@@ -1,0 +1,321 @@
+//! AC/DC — *Address Checking for Data Custody* dataflow analysis.
+//!
+//! The paper's Opt 3: an available-expressions analysis where the
+//! "expressions" are pointer definitions. `GEN[i]` is the pointer def whose
+//! address instruction `i` validates (a guard, or a guarded access);
+//! `KILL[i]` is the set of defs whose validation may no longer hold after
+//! `i`. With SSA values a def is never overwritten, so kills arise only
+//! from operations that can shrink the valid-region set: deallocation
+//! (`free`) and calls into code that may free or remap (conservatively, all
+//! user calls). At a join, availability is the *intersection* of the
+//! predecessors (the def must be validated on every path).
+//!
+//! A memory instruction whose pointer def is available at its program point
+//! needs no guard.
+
+use crate::bitset::BitSet;
+use crate::cfg::Cfg;
+use carat_ir::{BlockId, Function, Inst, Intrinsic, ValueId};
+
+/// Result of the AC/DC availability analysis.
+#[derive(Debug, Clone)]
+pub struct Availability {
+    /// `IN[b]`: defs available at the head of each block.
+    block_in: Vec<BitSet>,
+    nvalues: usize,
+}
+
+/// What an instruction contributes to availability.
+fn gen_of(inst: &Inst) -> Option<ValueId> {
+    match inst {
+        // Executing a guarded access (or an explicit guard) validates the
+        // address def it uses.
+        Inst::Load { addr, .. } | Inst::Store { addr, .. } => Some(*addr),
+        Inst::CallIntrinsic {
+            intr: Intrinsic::GuardLoad | Intrinsic::GuardStore,
+            args,
+        } => args.first().copied(),
+        _ => None,
+    }
+}
+
+/// Whether an instruction invalidates previously validated defs.
+fn kills_all(inst: &Inst) -> bool {
+    match inst {
+        // A user call may free memory or trigger a region change.
+        Inst::Call { .. } => true,
+        Inst::CallIntrinsic { intr, .. } => matches!(intr, Intrinsic::Free),
+        _ => false,
+    }
+}
+
+impl Availability {
+    /// Run the forward must-analysis to fixpoint.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Availability {
+        let n = f.num_values();
+        let nb = f.num_blocks();
+        // Block transfer functions: (kills_all_flag, gen set in order).
+        // We summarize each block by applying its instructions in order to
+        // an input set.
+        let entry = f.entry();
+        let mut block_in: Vec<BitSet> = (0..nb)
+            .map(|i| {
+                if BlockId(i as u32) == entry {
+                    BitSet::new(n)
+                } else {
+                    BitSet::full(n)
+                }
+            })
+            .collect();
+        let mut block_out: Vec<BitSet> = vec![BitSet::full(n); nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &cfg.rpo {
+                // IN = intersection of predecessor OUTs (entry: empty).
+                let mut inp = if b == entry {
+                    BitSet::new(n)
+                } else {
+                    let mut it = cfg.preds[b.index()].iter();
+                    match it.next() {
+                        None => BitSet::new(n),
+                        Some(&p0) => {
+                            let mut s = block_out[p0.index()].clone();
+                            for &p in it {
+                                s.intersect_with(&block_out[p.index()]);
+                            }
+                            s
+                        }
+                    }
+                };
+                if inp != block_in[b.index()] {
+                    block_in[b.index()] = inp.clone();
+                    changed = true;
+                }
+                // Apply block body.
+                for &v in &f.block(b).insts {
+                    if let Some(inst) = f.inst(v) {
+                        if kills_all(inst) {
+                            inp.clear();
+                        }
+                        if let Some(g) = gen_of(inst) {
+                            inp.insert(g.index());
+                        }
+                    }
+                }
+                if inp != block_out[b.index()] {
+                    block_out[b.index()] = inp;
+                    changed = true;
+                }
+            }
+        }
+        Availability {
+            block_in,
+            nvalues: n,
+        }
+    }
+
+    /// Availability set at the head of `b`.
+    pub fn at_block_head(&self, b: BlockId) -> &BitSet {
+        &self.block_in[b.index()]
+    }
+
+    /// Walk block `b` and report, for each instruction, whether the given
+    /// pointer def is available *just before* it. Returns the set of
+    /// instruction positions (indices into the block's inst list) whose
+    /// `addr_of` def was already validated.
+    pub fn available_positions(
+        &self,
+        f: &Function,
+        b: BlockId,
+        addr_of: impl Fn(&Inst) -> Option<ValueId>,
+    ) -> Vec<usize> {
+        let mut cur = self.block_in[b.index()].clone();
+        let mut out = Vec::new();
+        for (i, &v) in f.block(b).insts.iter().enumerate() {
+            let Some(inst) = f.inst(v) else { continue };
+            if let Some(a) = addr_of(inst) {
+                if cur.contains(a.index()) {
+                    out.push(i);
+                }
+            }
+            if kills_all(inst) {
+                cur.clear();
+            }
+            if let Some(g) = gen_of(inst) {
+                cur.insert(g.index());
+            }
+        }
+        debug_assert!(cur.capacity() == self.nvalues);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carat_ir::{ModuleBuilder, Pred, Type};
+
+    /// Two consecutive accesses to the same pointer: the second is covered.
+    #[test]
+    fn second_access_to_same_def_is_available() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare("f", vec![Type::Ptr], Some(Type::I64));
+        {
+            let mut b = mb.define(f);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let p = b.arg(0);
+            let x = b.load(Type::I64, p);
+            let y = b.load(Type::I64, p);
+            let s = b.add(x, y);
+            b.ret(Some(s));
+        }
+        let m = mb.finish();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let cfg = Cfg::compute(f);
+        let avail = Availability::compute(f, &cfg);
+        let pos = avail.available_positions(f, f.entry(), |i| match i {
+            Inst::Load { addr, .. } => Some(*addr),
+            _ => None,
+        });
+        // Block layout: [load, load, add, ret]; only the second load (pos 1)
+        // sees the def already validated.
+        assert_eq!(pos, vec![1]);
+    }
+
+    /// Availability must hold on *all* paths into a join.
+    #[test]
+    fn join_requires_validation_on_every_path() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare("f", vec![Type::Ptr, Type::I1], Some(Type::I64));
+        {
+            let mut b = mb.define(f);
+            let e = b.block("entry");
+            let t = b.block("t");
+            let fl = b.block("f");
+            let j = b.block("join");
+            b.switch_to(e);
+            b.br(b.arg(1), t, fl);
+            b.switch_to(t);
+            let _ = b.load(Type::I64, b.arg(0)); // validates arg0 on this path only
+            b.jmp(j);
+            b.switch_to(fl);
+            b.jmp(j);
+            b.switch_to(j);
+            let x = b.load(Type::I64, b.arg(0));
+            b.ret(Some(x));
+        }
+        let m = mb.finish();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let cfg = Cfg::compute(f);
+        let avail = Availability::compute(f, &cfg);
+        let join = BlockId(3);
+        assert!(
+            !avail.at_block_head(join).contains(f.arg(0).index()),
+            "one unvalidated path means not available"
+        );
+    }
+
+    /// A diamond where BOTH arms validate makes the join covered.
+    #[test]
+    fn join_covered_when_both_paths_validate() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare("f", vec![Type::Ptr, Type::I1], Some(Type::I64));
+        {
+            let mut b = mb.define(f);
+            let e = b.block("entry");
+            let t = b.block("t");
+            let fl = b.block("f");
+            let j = b.block("join");
+            b.switch_to(e);
+            b.br(b.arg(1), t, fl);
+            b.switch_to(t);
+            let _ = b.load(Type::I64, b.arg(0));
+            b.jmp(j);
+            b.switch_to(fl);
+            let _ = b.load(Type::I64, b.arg(0));
+            b.jmp(j);
+            b.switch_to(j);
+            let x = b.load(Type::I64, b.arg(0));
+            b.ret(Some(x));
+        }
+        let m = mb.finish();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let cfg = Cfg::compute(f);
+        let avail = Availability::compute(f, &cfg);
+        assert!(avail.at_block_head(BlockId(3)).contains(f.arg(0).index()));
+    }
+
+    /// free() kills availability.
+    #[test]
+    fn free_kills_availability() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare("f", vec![Type::Ptr], Some(Type::I64));
+        {
+            let mut b = mb.define(f);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let p = b.arg(0);
+            let _ = b.load(Type::I64, p);
+            b.free(p);
+            let x = b.load(Type::I64, p); // use-after-free: must be re-guarded
+            b.ret(Some(x));
+        }
+        let m = mb.finish();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let cfg = Cfg::compute(f);
+        let avail = Availability::compute(f, &cfg);
+        let pos = avail.available_positions(f, f.entry(), |i| match i {
+            Inst::Load { addr, .. } => Some(*addr),
+            _ => None,
+        });
+        assert!(pos.is_empty(), "free invalidates the earlier validation");
+    }
+
+    /// Loop: availability generated in the body covers later iterations
+    /// once established on all paths into the header... but the entry path
+    /// has no validation, so the header stays uncovered; within one body
+    /// block, the second access is covered.
+    #[test]
+    fn loop_header_intersects_entry_path() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare("f", vec![Type::Ptr, Type::I64], None);
+        {
+            let mut b = mb.define(f);
+            let e = b.block("entry");
+            let h = b.block("header");
+            let body = b.block("body");
+            let x = b.block("exit");
+            b.switch_to(e);
+            let zero = b.const_i64(0);
+            let one = b.const_i64(1);
+            b.jmp(h);
+            b.switch_to(h);
+            let i = b.phi(Type::I64, vec![(e, zero)]);
+            let c = b.icmp(Pred::Slt, i, b.arg(1));
+            b.br(c, body, x);
+            b.switch_to(body);
+            let v0 = b.load(Type::I64, b.arg(0));
+            b.store(Type::I64, b.arg(0), v0);
+            let i2 = b.add(i, one);
+            b.phi_add_incoming(i, body, i2);
+            b.jmp(h);
+            b.switch_to(x);
+            b.ret(None);
+        }
+        let m = mb.finish();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let cfg = Cfg::compute(f);
+        let avail = Availability::compute(f, &cfg);
+        // Header head: entry path provides nothing.
+        assert!(!avail.at_block_head(BlockId(1)).contains(f.arg(0).index()));
+        // In the body, the store at position 1 follows the load of the same
+        // def: available.
+        let pos = avail.available_positions(f, BlockId(2), |i| match i {
+            Inst::Store { addr, .. } => Some(*addr),
+            _ => None,
+        });
+        assert_eq!(pos, vec![1]);
+    }
+}

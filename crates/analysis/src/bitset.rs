@@ -1,0 +1,184 @@
+//! A dense fixed-capacity bit set used by the dataflow solvers.
+
+/// A fixed-capacity set of small indices backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Create an empty set able to hold indices `0..capacity`.
+    pub fn new(capacity: usize) -> BitSet {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Create a set with all of `0..capacity` present.
+    pub fn full(capacity: usize) -> BitSet {
+        let mut s = BitSet::new(capacity);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        if !capacity.is_multiple_of(64) {
+            if let Some(last) = s.words.last_mut() {
+                *last = (1u64 << (capacity % 64)) - 1;
+            }
+        }
+        s
+    }
+
+    /// Capacity this set was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Insert `i`; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity`.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        let (w, b) = (i / 64, i % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Remove `i`; returns whether it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        if i >= self.capacity {
+            return false;
+        }
+        let (w, b) = (i / 64, i % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Whether `i` is present.
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.capacity {
+            return false;
+        }
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Intersect in place; returns whether `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a & *b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Union in place; returns whether `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | *b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Remove all of `other`'s members; returns whether `self` changed.
+    pub fn subtract(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a & !*b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate over members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w & (1 << b) != 0)
+                .map(move |b| wi * 64 + b)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0));
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        let s = BitSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+    }
+
+    #[test]
+    fn set_ops() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        a.insert(2);
+        b.insert(2);
+        b.insert(3);
+        let mut i = a.clone();
+        assert!(i.intersect_with(&b));
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2]);
+        let mut u = a.clone();
+        assert!(u.union_with(&b));
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        let mut d = a.clone();
+        assert!(d.subtract(&b));
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1]);
+        assert!(!a.intersect_with(&a.clone()), "self-intersection is a no-op");
+    }
+
+    #[test]
+    fn iteration_order_is_ascending() {
+        let mut s = BitSet::new(200);
+        for i in [150, 3, 64, 199, 0] {
+            s.insert(i);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3, 64, 150, 199]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Control-flow-graph utilities: orders and reachability.
+
+use carat_ir::{BlockId, Function};
+
+/// Precomputed CFG orderings for a function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Blocks in reverse postorder (entry first).
+    pub rpo: Vec<BlockId>,
+    /// `rpo_index[b] = position of b in rpo`, or `usize::MAX` if unreachable.
+    pub rpo_index: Vec<usize>,
+    /// Predecessor lists (indexed by block).
+    pub preds: Vec<Vec<BlockId>>,
+    /// Successor lists (indexed by block).
+    pub succs: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Compute CFG structure for `f`.
+    pub fn compute(f: &Function) -> Cfg {
+        let n = f.num_blocks();
+        let mut succs = vec![Vec::new(); n];
+        for b in f.block_ids() {
+            succs[b.index()] = f.successors(b);
+        }
+        let mut preds = vec![Vec::new(); n];
+        for b in f.block_ids() {
+            for &s in &succs[b.index()] {
+                preds[s.index()].push(b);
+            }
+        }
+        // Iterative DFS postorder from entry.
+        let mut post = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let entry = f.entry();
+        // stack of (block, next successor index)
+        let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+        visited[entry.index()] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < succs[b.index()].len() {
+                let s = succs[b.index()][*i];
+                *i += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        Cfg {
+            rpo,
+            rpo_index,
+            preds,
+            succs,
+        }
+    }
+
+    /// Whether `b` is reachable from the entry block.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.index()] != usize::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carat_ir::{Inst, ModuleBuilder, Type};
+
+    fn diamond() -> carat_ir::Module {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare("f", vec![Type::I1], None);
+        {
+            let mut b = mb.define(f);
+            let e = b.block("entry");
+            let t = b.block("t");
+            let fl = b.block("f");
+            let j = b.block("join");
+            b.switch_to(e);
+            b.br(b.arg(0), t, fl);
+            b.switch_to(t);
+            b.jmp(j);
+            b.switch_to(fl);
+            b.jmp(j);
+            b.switch_to(j);
+            b.ret(None);
+        }
+        mb.finish()
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_ends_at_exit() {
+        let m = diamond();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let cfg = Cfg::compute(f);
+        assert_eq!(cfg.rpo.first(), Some(&f.entry()));
+        assert_eq!(cfg.rpo.last(), Some(&BlockId(3)));
+        assert_eq!(cfg.rpo.len(), 4);
+    }
+
+    #[test]
+    fn unreachable_blocks_are_flagged() {
+        let mut m = diamond();
+        let fid = m.func_by_name("f").unwrap();
+        let f = m.func_mut(fid);
+        let dead = f.add_block("dead");
+        f.append(dead, Inst::Ret { value: None });
+        let cfg = Cfg::compute(f);
+        assert!(!cfg.is_reachable(dead));
+        assert!(cfg.is_reachable(f.entry()));
+    }
+
+    #[test]
+    fn preds_and_succs_agree() {
+        let m = diamond();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let cfg = Cfg::compute(f);
+        for b in f.block_ids() {
+            for &s in &cfg.succs[b.index()] {
+                assert!(cfg.preds[s.index()].contains(&b));
+            }
+        }
+    }
+}

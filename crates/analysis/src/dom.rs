@@ -1,0 +1,185 @@
+//! Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+
+use crate::cfg::Cfg;
+use carat_ir::{BlockId, Function, ValueId};
+
+/// Dominator information for a function.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[b]` is the immediate dominator of `b` (entry maps to itself);
+    /// `None` for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    #[allow(dead_code)]
+    rpo_index: Vec<usize>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Compute the dominator tree for `f` using the CFG `cfg`.
+    pub fn compute(f: &Function, cfg: &Cfg) -> DomTree {
+        let n = f.num_blocks();
+        let entry = f.entry();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                // First processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &cfg.rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree {
+            idom,
+            rpo_index: cfg.rpo_index.clone(),
+            entry,
+        }
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry or unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            return None;
+        }
+        self.idom[b.index()]
+    }
+
+    /// Whether block `a` dominates block `b`.
+    ///
+    /// Unreachable blocks dominate nothing and are dominated by nothing.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[a.index()].is_none() || self.idom[b.index()].is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            match self.idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Whether the definition of `v` dominates the *start* of block `b`.
+    ///
+    /// Arguments dominate everything; instruction defs dominate `b` when
+    /// their block strictly dominates `b`.
+    pub fn def_dominates_block(&self, f: &Function, v: ValueId, b: BlockId) -> bool {
+        match f.block_of(v) {
+            None => true, // argument
+            Some(db) => db != b && self.dominates(db, b),
+        }
+    }
+
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("processed block has idom");
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("processed block has idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carat_ir::{ModuleBuilder, Type};
+
+    /// entry -> (a | b) -> join -> loop { latch } -> exit
+    fn build() -> carat_ir::Module {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare("f", vec![Type::I1], None);
+        {
+            let mut bld = mb.define(f);
+            let e = bld.block("entry");
+            let a = bld.block("a");
+            let b = bld.block("b");
+            let j = bld.block("join");
+            let l = bld.block("loop");
+            let x = bld.block("exit");
+            bld.switch_to(e);
+            bld.br(bld.arg(0), a, b);
+            bld.switch_to(a);
+            bld.jmp(j);
+            bld.switch_to(b);
+            bld.jmp(j);
+            bld.switch_to(j);
+            bld.jmp(l);
+            bld.switch_to(l);
+            bld.br(bld.arg(0), l, x);
+            bld.switch_to(x);
+            bld.ret(None);
+        }
+        mb.finish()
+    }
+
+    #[test]
+    fn idoms_of_diamond_and_loop() {
+        let m = build();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let cfg = Cfg::compute(f);
+        let dt = DomTree::compute(f, &cfg);
+        let bb = |i: u32| BlockId(i);
+        assert_eq!(dt.idom(bb(1)), Some(bb(0)));
+        assert_eq!(dt.idom(bb(2)), Some(bb(0)));
+        assert_eq!(dt.idom(bb(3)), Some(bb(0)), "join's idom is entry");
+        assert_eq!(dt.idom(bb(4)), Some(bb(3)));
+        assert_eq!(dt.idom(bb(5)), Some(bb(4)));
+        assert_eq!(dt.idom(bb(0)), None, "entry has no idom");
+    }
+
+    #[test]
+    fn dominates_is_reflexive_transitive() {
+        let m = build();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let cfg = Cfg::compute(f);
+        let dt = DomTree::compute(f, &cfg);
+        let bb = |i: u32| BlockId(i);
+        assert!(dt.dominates(bb(0), bb(5)));
+        assert!(dt.dominates(bb(3), bb(5)));
+        assert!(dt.dominates(bb(4), bb(4)));
+        assert!(!dt.dominates(bb(1), bb(3)), "diamond arm does not dominate join");
+        assert!(!dt.dominates(bb(5), bb(4)));
+    }
+
+    #[test]
+    fn args_dominate_everything() {
+        let m = build();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let cfg = Cfg::compute(f);
+        let dt = DomTree::compute(f, &cfg);
+        assert!(dt.def_dominates_block(f, f.arg(0), BlockId(5)));
+    }
+}

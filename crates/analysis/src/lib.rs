@@ -1,0 +1,62 @@
+//! # carat-analysis — program analyses for the CARAT compiler
+//!
+//! Implements the analysis stack that CARAT's guard optimizations rely on
+//! (paper §4.1.1):
+//!
+//! * [`Cfg`], [`DomTree`], [`LoopForest`] — control-flow structure;
+//! * [`ChainedAlias`] — several alias analyses combined best-of-N, the
+//!   reproduction of the prototype's 15-analysis LLVM alias chain;
+//! * [`LoopInvariance`] — alias-enhanced loop-invariant detection (Opt 1);
+//! * [`canonical_loop_info`] / [`ptr_evolution`] — scalar evolution for
+//!   counted loops (Opt 2);
+//! * [`ValueRanges`] — conditional value-range analysis;
+//! * [`Availability`] — the AC/DC available-pointer-defs dataflow (Opt 3).
+//!
+//! ## Example
+//!
+//! ```
+//! use carat_ir::{ModuleBuilder, Type};
+//! use carat_analysis::{Cfg, DomTree, LoopForest};
+//!
+//! let mut mb = ModuleBuilder::new("demo");
+//! let f = mb.declare("main", vec![], None);
+//! {
+//!     let mut b = mb.define(f);
+//!     let e = b.block("entry");
+//!     b.switch_to(e);
+//!     b.ret(None);
+//! }
+//! let m = mb.finish();
+//! let func = m.func(m.main().unwrap());
+//! let cfg = Cfg::compute(func);
+//! let dom = DomTree::compute(func, &cfg);
+//! let loops = LoopForest::compute(func, &cfg, &dom);
+//! assert!(loops.loops.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod alias;
+mod avail;
+mod bitset;
+mod cfg;
+mod dom;
+mod invariance;
+mod loops;
+mod range;
+mod scev;
+mod steensgaard;
+
+pub use alias::{
+    trace_base, AliasAnalysis, AliasResult, BaseObject, BaseObjectAlias, ChainedAlias, MemLoc,
+    OffsetAlias, TypeBasedAlias,
+};
+pub use avail::Availability;
+pub use bitset::BitSet;
+pub use cfg::Cfg;
+pub use dom::DomTree;
+pub use invariance::LoopInvariance;
+pub use loops::{ensure_preheader, Loop, LoopForest};
+pub use range::{Interval, ValueRanges};
+pub use scev::{affine_index, canonical_loop_info, ptr_evolution, AffineIndex, LoopTripInfo, PtrEvolution};
+pub use steensgaard::Steensgaard;

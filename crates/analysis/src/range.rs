@@ -1,0 +1,298 @@
+//! Value-range (interval) analysis for integer values.
+//!
+//! A conditionally-updated interval analysis in the spirit of Birch, van
+//! Engelen & Gallivan (the paper's reference [16]); CARAT uses value ranges
+//! of pointer definitions to merge guards of statically adjacent accesses.
+//! Widening after a fixed number of iterations guarantees termination.
+
+use carat_ir::{BinOp, CastKind, Const, Function, Inst, ValueId};
+use std::collections::HashMap;
+
+/// Inclusive interval over `i128` (wide enough that i64 arithmetic cannot
+/// overflow the analysis domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: i128,
+    /// Upper bound.
+    pub hi: i128,
+}
+
+impl Interval {
+    /// The full i64 range.
+    pub const TOP: Interval = Interval {
+        lo: i64::MIN as i128,
+        hi: i64::MAX as i128,
+    };
+
+    /// A single point.
+    pub fn point(v: i64) -> Interval {
+        Interval {
+            lo: v as i128,
+            hi: v as i128,
+        }
+    }
+
+    /// Whether the interval is a single known constant.
+    pub fn as_const(&self) -> Option<i64> {
+        (self.lo == self.hi).then_some(self.lo as i64)
+    }
+
+    /// Smallest interval containing both.
+    pub fn join(self, o: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.max(o.hi),
+        }
+    }
+
+    fn clamp(self) -> Interval {
+        Interval {
+            lo: self.lo.max(Interval::TOP.lo),
+            hi: self.hi.min(Interval::TOP.hi),
+        }
+    }
+
+    fn add(self, o: Interval) -> Interval {
+        Interval {
+            lo: self.lo + o.lo,
+            hi: self.hi + o.hi,
+        }
+        .clamp()
+    }
+
+    fn sub(self, o: Interval) -> Interval {
+        Interval {
+            lo: self.lo - o.hi,
+            hi: self.hi - o.lo,
+        }
+        .clamp()
+    }
+
+    fn mul(self, o: Interval) -> Interval {
+        let cands = [
+            self.lo * o.lo,
+            self.lo * o.hi,
+            self.hi * o.lo,
+            self.hi * o.hi,
+        ];
+        Interval {
+            lo: *cands.iter().min().unwrap(),
+            hi: *cands.iter().max().unwrap(),
+        }
+        .clamp()
+    }
+}
+
+/// Computed ranges for every integer value in one function.
+#[derive(Debug, Clone)]
+pub struct ValueRanges {
+    ranges: HashMap<ValueId, Interval>,
+}
+
+/// Number of fixpoint rounds before widening phis to TOP.
+const WIDEN_AFTER: usize = 8;
+
+impl ValueRanges {
+    /// Analyze `f`.
+    pub fn compute(f: &Function) -> ValueRanges {
+        let mut ranges: HashMap<ValueId, Interval> = HashMap::new();
+        // Arguments: unknown.
+        for i in 0..f.params.len() {
+            ranges.insert(f.arg(i), Interval::TOP);
+        }
+        let mut round = 0;
+        loop {
+            let mut changed = false;
+            for (_, v, inst) in f.insts_in_layout_order() {
+                let next = Self::eval(f, &ranges, inst, round);
+                if let Some(n) = next {
+                    let prev = ranges.get(&v).copied();
+                    if prev != Some(n) {
+                        // Monotone: join with previous to stay increasing.
+                        let merged = match prev {
+                            Some(p) => p.join(n),
+                            None => n,
+                        };
+                        if prev != Some(merged) {
+                            ranges.insert(v, merged);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            round += 1;
+            if !changed || round > WIDEN_AFTER + 4 {
+                break;
+            }
+        }
+        ValueRanges { ranges }
+    }
+
+    fn eval(
+        _f: &Function,
+        ranges: &HashMap<ValueId, Interval>,
+        inst: &Inst,
+        round: usize,
+    ) -> Option<Interval> {
+        let get = |v: ValueId| ranges.get(&v).copied();
+        match inst {
+            Inst::Const(Const::Int(x, _)) => Some(Interval::point(*x)),
+            Inst::Bin { op, lhs, rhs } if !op.is_float() => {
+                let (a, b) = (get(*lhs)?, get(*rhs)?);
+                Some(match op {
+                    BinOp::Add => a.add(b),
+                    BinOp::Sub => a.sub(b),
+                    BinOp::Mul => a.mul(b),
+                    _ => Interval::TOP,
+                })
+            }
+            Inst::Phi { incomings, .. } => {
+                if round >= WIDEN_AFTER {
+                    return Some(Interval::TOP);
+                }
+                let mut acc: Option<Interval> = None;
+                for (_, v) in incomings {
+                    // Unknown incomings (not yet computed) are skipped this
+                    // round; the fixpoint iteration will pick them up.
+                    if let Some(i) = get(*v) {
+                        acc = Some(match acc {
+                            None => i,
+                            Some(a) => a.join(i),
+                        });
+                    }
+                }
+                acc
+            }
+            Inst::Select {
+                if_true, if_false, ..
+            } => {
+                let (a, b) = (get(*if_true)?, get(*if_false)?);
+                Some(a.join(b))
+            }
+            Inst::Cast { kind, value, .. } => match kind {
+                CastKind::Sext | CastKind::Zext | CastKind::Trunc => get(*value),
+                _ => Some(Interval::TOP),
+            },
+            Inst::Load { ty, .. } if ty.is_int() => Some(Interval::TOP),
+            Inst::Call { ret_ty: Some(t), .. } if t.is_int() => Some(Interval::TOP),
+            Inst::CallIntrinsic { intr, .. } if intr.ret_ty().is_some_and(|t| t.is_int()) => {
+                Some(Interval::TOP)
+            }
+            Inst::Icmp { .. } | Inst::Fcmp { .. } => Some(Interval { lo: 0, hi: 1 }),
+            _ => None,
+        }
+    }
+
+    /// The interval for `v`, if it is an integer value the analysis saw.
+    pub fn range(&self, v: ValueId) -> Option<Interval> {
+        self.ranges.get(&v).copied()
+    }
+
+    /// The constant value of `v`, if its interval is a point.
+    pub fn as_const(&self, v: ValueId) -> Option<i64> {
+        self.range(v)?.as_const()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carat_ir::{ModuleBuilder, Pred, Type};
+
+    #[test]
+    fn constants_and_arithmetic_fold() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare("f", vec![], Some(Type::I64));
+        let (a, b, s, p);
+        {
+            let mut bld = mb.define(f);
+            let e = bld.block("entry");
+            bld.switch_to(e);
+            a = bld.const_i64(10);
+            b = bld.const_i64(32);
+            s = bld.add(a, b);
+            p = bld.mul(s, a);
+            bld.ret(Some(p));
+        }
+        let m = mb.finish();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let vr = ValueRanges::compute(f);
+        assert_eq!(vr.as_const(a), Some(10));
+        assert_eq!(vr.as_const(s), Some(42));
+        assert_eq!(vr.as_const(p), Some(420));
+    }
+
+    #[test]
+    fn compare_results_are_boolean_range() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare("f", vec![Type::I64], Some(Type::I1));
+        let c;
+        {
+            let mut bld = mb.define(f);
+            let e = bld.block("entry");
+            bld.switch_to(e);
+            let z = bld.const_i64(0);
+            c = bld.icmp(Pred::Slt, bld.arg(0), z);
+            bld.ret(Some(c));
+        }
+        let m = mb.finish();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let vr = ValueRanges::compute(f);
+        assert_eq!(vr.range(c), Some(Interval { lo: 0, hi: 1 }));
+    }
+
+    #[test]
+    fn loop_phi_widens_instead_of_diverging() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare("f", vec![Type::I64], None);
+        let iv;
+        {
+            let mut bld = mb.define(f);
+            let e = bld.block("entry");
+            let h = bld.block("h");
+            let body = bld.block("body");
+            let x = bld.block("x");
+            bld.switch_to(e);
+            let zero = bld.const_i64(0);
+            let one = bld.const_i64(1);
+            bld.jmp(h);
+            bld.switch_to(h);
+            iv = bld.phi(Type::I64, vec![(e, zero)]);
+            let c = bld.icmp(Pred::Slt, iv, bld.arg(0));
+            bld.br(c, body, x);
+            bld.switch_to(body);
+            let iv2 = bld.add(iv, one);
+            bld.phi_add_incoming(iv, body, iv2);
+            bld.jmp(h);
+            bld.switch_to(x);
+            bld.ret(None);
+        }
+        let m = mb.finish();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let vr = ValueRanges::compute(f);
+        let r = vr.range(iv).expect("analyzed");
+        // Terminates and covers at least [0, WIDEN_AFTER].
+        assert!(r.lo <= 0 && r.hi >= 1);
+    }
+
+    #[test]
+    fn arithmetic_clamps_to_i64_domain() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare("f", vec![], Some(Type::I64));
+        let p;
+        {
+            let mut bld = mb.define(f);
+            let e = bld.block("entry");
+            bld.switch_to(e);
+            let big = bld.const_i64(i64::MAX);
+            p = bld.mul(big, big);
+            bld.ret(Some(p));
+        }
+        let m = mb.finish();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let vr = ValueRanges::compute(f);
+        let r = vr.range(p).unwrap();
+        assert!(r.hi <= Interval::TOP.hi);
+    }
+}

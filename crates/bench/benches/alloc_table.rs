@@ -1,0 +1,90 @@
+//! Ablation: the from-scratch red/black tree backing the Allocation Table
+//! vs `std::collections::BTreeMap`, on the operations the runtime performs
+//! (insert, containing-allocation lookup, remove).
+
+use carat_runtime::{AllocKind, AllocationTable, RbTree};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+const N: u64 = 4096;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alloc_table_insert");
+    g.bench_function("rbtree", |b| {
+        b.iter(|| {
+            let mut t: RbTree<u64, u64> = RbTree::new();
+            for i in 0..N {
+                t.insert(black_box(i * 64), 64);
+            }
+            t.len()
+        })
+    });
+    g.bench_function("btreemap", |b| {
+        b.iter(|| {
+            let mut t: BTreeMap<u64, u64> = BTreeMap::new();
+            for i in 0..N {
+                t.insert(black_box(i * 64), 64);
+            }
+            t.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_floor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alloc_table_floor");
+    let mut rb: RbTree<u64, u64> = RbTree::new();
+    let mut bt: BTreeMap<u64, u64> = BTreeMap::new();
+    for i in 0..N {
+        rb.insert(i * 64, 64);
+        bt.insert(i * 64, 64);
+    }
+    g.bench_function("rbtree", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for q in (0..N * 64).step_by(97) {
+                if let Some((&k, _)) = rb.floor(&black_box(q)) {
+                    acc ^= k;
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("btreemap", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for q in (0..N * 64).step_by(97) {
+                if let Some((&k, _)) = bt.range(..=black_box(q)).next_back() {
+                    acc ^= k;
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_lifecycle(c: &mut Criterion) {
+    c.bench_function("allocation_table_lifecycle", |b| {
+        b.iter(|| {
+            let mut t = AllocationTable::new();
+            for i in 0..1024u64 {
+                t.track_alloc(0x10000 + i * 128, 96, AllocKind::Heap);
+            }
+            let mut found = 0;
+            for i in 0..1024u64 {
+                if t.find_containing(0x10000 + i * 128 + 40).is_some() {
+                    found += 1;
+                }
+            }
+            for i in 0..1024u64 {
+                t.track_free(0x10000 + i * 128);
+            }
+            found
+        })
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_floor, bench_full_lifecycle);
+criterion_main!(benches);

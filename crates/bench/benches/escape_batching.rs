@@ -1,0 +1,41 @@
+//! Ablation: batched vs immediate escape processing (the prototype batches
+//! escape-map maintenance; the Allocation Map updates immediately).
+
+use carat_runtime::{AllocKind, AllocationTable};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+
+const EVENTS: u64 = 8192;
+
+fn run(batch: u64) -> u64 {
+    let mut t = AllocationTable::new();
+    for i in 0..64u64 {
+        t.track_alloc(0x100000 + i * 0x1000, 0x1000, AllocKind::Heap);
+    }
+    // Memory image: cell i holds a pointer into allocation i % 64.
+    let mem: HashMap<u64, u64> = (0..EVENTS)
+        .map(|i| (0x900000 + i * 8, 0x100000 + (i % 64) * 0x1000 + 64))
+        .collect();
+    let mut resolved = 0;
+    for i in 0..EVENTS {
+        t.track_escape(0x900000 + i * 8);
+        if t.pending_escapes() as u64 >= batch {
+            resolved += t.flush_escapes(|c| mem[&c]);
+        }
+    }
+    resolved += t.flush_escapes(|c| mem[&c]);
+    resolved as u64
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("escape_batching");
+    for &batch in &[1u64, 16, 64, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| run(batch))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Compile-time cost of the CARAT pipeline (the paper reports the
+//! CARAT-specific optimizations add ~22% compilation time): frontend-only
+//! vs guard injection vs full Opt 1/2/3.
+
+use carat_core::{CaratCompiler, CompileOptions, OptPreset};
+use carat_workloads::{by_name, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile_time");
+    for name in ["hpccg", "mcf", "x264"] {
+        let w = by_name(name).expect("workload");
+        let module = w.module(Scale::Test).expect("compiles");
+        for (label, preset) in [
+            ("inject_only", OptPreset::None),
+            ("general", OptPreset::General),
+            ("carat_opts", OptPreset::CaratSpecific),
+        ] {
+            let m = module.clone();
+            g.bench_with_input(
+                BenchmarkId::new(label, name),
+                &preset,
+                move |b, &preset| {
+                    b.iter_batched(
+                        || m.clone(),
+                        |m| {
+                            CaratCompiler::new(CompileOptions::guards_only(preset))
+                                .compile(m)
+                                .expect("compiles")
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

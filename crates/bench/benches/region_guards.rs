@@ -1,0 +1,79 @@
+//! Criterion version of Figure 4: guard-check latency vs region count for
+//! the three mechanisms, random and strided access patterns.
+
+use carat_runtime::{Access, GuardImpl, Perms, Region, RegionTable};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn table(n: u64) -> RegionTable {
+    let mut t = RegionTable::new();
+    t.set_regions(
+        (0..n)
+            .map(|i| Region {
+                start: 0x100000 + i * 0x2000,
+                len: 0x1000,
+                perms: Perms::RW,
+            })
+            .collect(),
+    );
+    t
+}
+
+fn random_addrs(n: u64, count: usize) -> Vec<u64> {
+    let mut state = 0x2545f4914f6cdd1du64;
+    (0..count)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            0x100000 + state % (n * 0x2000)
+        })
+        .collect()
+}
+
+fn bench_random(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_random");
+    for &n in &[1u64, 16, 256, 4096] {
+        let t = table(n);
+        let addrs = random_addrs(n, 1024);
+        for imp in [GuardImpl::IfTree, GuardImpl::BinarySearch, GuardImpl::Mpx] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{imp:?}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut hits = 0u64;
+                        for &a in &addrs {
+                            hits += t.check(imp, black_box(a), 8, Access::Read).ok as u64;
+                        }
+                        hits
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_strided(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_strided");
+    let n = 1024u64;
+    let t = table(n);
+    for &stride in &[8u64, 512, 16384] {
+        let span = n * 0x2000;
+        let addrs: Vec<u64> = (0..1024u64).map(|i| 0x100000 + (i * stride) % span).collect();
+        g.bench_with_input(BenchmarkId::new("iftree_stride", stride), &stride, |b, _| {
+            b.iter(|| {
+                let mut hits = 0u64;
+                for &a in &addrs {
+                    hits += t.check_if_tree(black_box(a), 8, Access::Read).ok as u64;
+                }
+                hits
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_random, bench_strided);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Run every table/figure binary's logic in sequence (convenience driver
+//! for regenerating EXPERIMENTS.md numbers). Each experiment is also
+//! available as its own binary; see DESIGN.md.
+
+use std::process::Command;
+
+fn main() {
+    let exes = [
+        "fig2_dtlb_misses",
+        "table1_guard_opts",
+        "fig3_guard_overhead",
+        "fig4_region_guards",
+        "table2_paging_rates",
+        "fig5_escape_histogram",
+        "fig6_memory_overhead",
+        "fig7_tracking_overhead",
+        "fig9_move_overhead",
+        "table3_move_breakdown",
+    ];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    for exe in exes {
+        println!("\n=== {exe} ===\n");
+        let mut extra: Vec<String> = args.clone();
+        if exe == "fig3_guard_overhead" {
+            // Run both sub-figures.
+            for mode in ["general", "carat"] {
+                let mut cmd_args = vec![mode.to_string()];
+                cmd_args.extend(args.clone());
+                let status = Command::new(dir.join(exe))
+                    .args(&cmd_args)
+                    .status()
+                    .expect("spawn");
+                assert!(status.success(), "{exe} {mode} failed");
+            }
+            continue;
+        }
+        let status = Command::new(dir.join(exe))
+            .args(&mut extra)
+            .status()
+            .expect("spawn");
+        assert!(status.success(), "{exe} failed");
+    }
+    println!("\nAll experiments completed.");
+}

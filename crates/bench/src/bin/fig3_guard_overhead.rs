@@ -1,0 +1,55 @@
+//! Figure 3 — run-time overhead of guard injection, normalized to the
+//! uninstrumented baseline. `general` = generic optimizations only (3a);
+//! `carat` = CARAT-specific optimizations (3b). Each mode reports both the
+//! software range guard and the MPX-modeled guard.
+
+use carat_bench::{
+    arg_after_binary, compile, geomean, print_table, run, run_simple, scale_from_args,
+    selected_workloads, Variant,
+};
+use carat_runtime::GuardImpl;
+
+fn main() {
+    let scale = scale_from_args();
+    let mode = arg_after_binary("carat");
+    let variant = match mode.as_str() {
+        "general" => Variant::GuardsGeneral,
+        "none" => Variant::GuardsNaive,
+        _ => Variant::GuardsCarat,
+    };
+    println!(
+        "Figure 3{}: guard overhead with {} optimizations ({scale:?} scale)\n",
+        if variant == Variant::GuardsGeneral { "a" } else { "b" },
+        mode
+    );
+    let mut rows = Vec::new();
+    let (mut mpxs, mut ranges) = (Vec::new(), Vec::new());
+    for w in selected_workloads() {
+        let base = run_simple(&w, scale, Variant::Baseline);
+        let m = compile(&w, scale, variant);
+        let mpx = run(m.clone(), variant, GuardImpl::Mpx, None).expect("mpx run");
+        let rng = run(m, variant, GuardImpl::BinarySearch, None).expect("range run");
+        let o_mpx = mpx.counters.normalized_to(&base.counters);
+        let o_rng = rng.counters.normalized_to(&base.counters);
+        mpxs.push(o_mpx);
+        ranges.push(o_rng);
+        rows.push(vec![
+            w.name.to_string(),
+            "1.000".into(),
+            format!("{o_mpx:.3}"),
+            format!("{o_rng:.3}"),
+            format!("{}", mpx.counters.guards_executed),
+        ]);
+    }
+    rows.push(vec![
+        "Geo. Mean".into(),
+        "1.000".into(),
+        format!("{:.3}", geomean(&mpxs)),
+        format!("{:.3}", geomean(&ranges)),
+        String::new(),
+    ]);
+    print_table(
+        &["benchmark", "Baseline", "MPX Guard", "Range Guard", "guards exec"],
+        &rows,
+    );
+}

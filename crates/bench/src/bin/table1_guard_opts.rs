@@ -1,0 +1,52 @@
+//! Table 1 — effectiveness of the CARAT-specific compiler optimizations:
+//! fraction of injected guards statically remaining, untouched, and
+//! optimized by each of Opt 1 (hoisting), Opt 2 (merging), Opt 3 (AC/DC).
+
+use carat_bench::{mean, print_table, scale_from_args, selected_workloads};
+use carat_core::{CaratCompiler, CompileOptions, OptPreset};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table 1: Effectiveness of Compiler Optimizations ({scale:?} scale)\n");
+    let mut rows = Vec::new();
+    let mut cols: [Vec<f64>; 5] = Default::default();
+    for w in selected_workloads() {
+        let module = w.module(scale).expect("workload compiles");
+        let out = CaratCompiler::new(CompileOptions::guards_only(OptPreset::CaratSpecific))
+            .compile(module)
+            .expect("carat compiles");
+        let c = out.census;
+        let vals = [
+            c.remaining_fraction(),
+            c.untouched_fraction(),
+            c.hoisted_fraction(),
+            c.merged_fraction(),
+            c.eliminated_fraction(),
+        ];
+        for (col, v) in cols.iter_mut().zip(vals) {
+            col.push(v);
+        }
+        rows.push(vec![
+            w.name.to_string(),
+            format!("{:.3}", vals[0]),
+            format!("{:.3}", vals[1]),
+            format!("{:.3}", vals[2]),
+            format!("{:.3}", vals[3]),
+            format!("{:.3}", vals[4]),
+            format!("{}", c.total),
+        ]);
+    }
+    rows.push(vec![
+        "Arith. Mean".into(),
+        format!("{:.3}", mean(&cols[0])),
+        format!("{:.3}", mean(&cols[1])),
+        format!("{:.3}", mean(&cols[2])),
+        format!("{:.3}", mean(&cols[3])),
+        format!("{:.3}", mean(&cols[4])),
+        String::new(),
+    ]);
+    print_table(
+        &["benchmark", "Opt. Guards", "Untouched", "Opt. 1", "Opt. 2", "Opt. 3", "total"],
+        &rows,
+    );
+}

@@ -1,0 +1,273 @@
+//! Global value numbering for pure expressions.
+//!
+//! A readily-available optimization (part of any `-O3` pipeline, so it
+//! belongs to the paper's "general optimizations" of Figure 3a): identical
+//! pure computations — address arithmetic above all — are shared, so later
+//! CARAT passes (dedup in hoisting, AC/DC redundancy elimination) see
+//! repeated accesses to one pointer *definition* instead of many
+//! structurally identical ones.
+//!
+//! Dominator-based: a computation is replaced by an equivalent earlier one
+//! only when the earlier definition dominates the later use site.
+
+use carat_analysis::{Cfg, DomTree};
+use carat_ir::{BlockId, Const, Function, Inst, ValueId};
+use std::collections::HashMap;
+
+/// Hashable key for a pure instruction after operand canonicalization.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Const(ConstKey),
+    Bin(carat_ir::BinOp, ValueId, ValueId),
+    Icmp(carat_ir::Pred, ValueId, ValueId),
+    Fcmp(carat_ir::Pred, ValueId, ValueId),
+    Cast(carat_ir::CastKind, ValueId, carat_ir::Type),
+    Select(ValueId, ValueId, ValueId),
+    PtrAdd(ValueId, ValueId, carat_ir::Type),
+    FieldAddr(ValueId, carat_ir::Type, u32),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ConstKey {
+    Int(i64, carat_ir::IntTy),
+    F64(u64),
+    Null,
+    Global(carat_ir::GlobalId),
+}
+
+fn key_of(inst: &Inst) -> Option<Key> {
+    Some(match inst {
+        Inst::Const(c) => Key::Const(match c {
+            Const::Int(v, w) => ConstKey::Int(*v, *w),
+            Const::F64(x) => ConstKey::F64(x.to_bits()),
+            Const::Null => ConstKey::Null,
+            Const::GlobalAddr(g) => ConstKey::Global(*g),
+        }),
+        Inst::Bin { op, lhs, rhs } => {
+            // Canonicalize commutative operands by id order.
+            use carat_ir::BinOp::*;
+            let (l, r) = if matches!(op, Add | Mul | And | Or | Xor | Fadd | Fmul) && rhs < lhs {
+                (*rhs, *lhs)
+            } else {
+                (*lhs, *rhs)
+            };
+            Key::Bin(*op, l, r)
+        }
+        Inst::Icmp { pred, lhs, rhs } => Key::Icmp(*pred, *lhs, *rhs),
+        Inst::Fcmp { pred, lhs, rhs } => Key::Fcmp(*pred, *lhs, *rhs),
+        Inst::Cast { kind, value, to } => Key::Cast(*kind, *value, to.clone()),
+        Inst::Select {
+            cond,
+            if_true,
+            if_false,
+        } => Key::Select(*cond, *if_true, *if_false),
+        Inst::PtrAdd { base, index, elem } => Key::PtrAdd(*base, *index, elem.clone()),
+        Inst::FieldAddr {
+            base,
+            struct_ty,
+            field,
+        } => Key::FieldAddr(*base, struct_ty.clone(), *field),
+        // Loads, calls, allocas, phis, terminators: not pure or not
+        // position-independent.
+        _ => return None,
+    })
+}
+
+/// Run GVN on `f`; returns the number of instructions eliminated.
+pub fn run(f: &mut Function) -> usize {
+    let cfg = Cfg::compute(f);
+    let dt = DomTree::compute(f, &cfg);
+    // Leaders per key; a leader is usable if its block dominates the use
+    // block (or is the same block, where earlier position is guaranteed by
+    // our forward walk).
+    let mut leaders: HashMap<Key, Vec<(ValueId, BlockId)>> = HashMap::new();
+    let mut replace: HashMap<ValueId, ValueId> = HashMap::new();
+    let mut removed: Vec<ValueId> = Vec::new();
+
+    let blocks: Vec<BlockId> = cfg.rpo.clone();
+    for &b in &blocks {
+        let insts = f.block(b).insts.clone();
+        for v in insts {
+            // Rewrite operands through the replacement map first.
+            if let Some(inst) = f.inst_mut(v) {
+                inst.map_operands(|op| *replace.get(&op).unwrap_or(&op));
+            }
+            let Some(inst) = f.inst(v) else { continue };
+            let Some(key) = key_of(inst) else { continue };
+            let usable = leaders.get(&key).and_then(|cands| {
+                cands
+                    .iter()
+                    .find(|(_, lb)| *lb == b || dt.dominates(*lb, b))
+                    .map(|(lv, _)| *lv)
+            });
+            match usable {
+                Some(leader) => {
+                    replace.insert(v, leader);
+                    removed.push(v);
+                }
+                None => {
+                    leaders.entry(key).or_default().push((v, b));
+                }
+            }
+        }
+    }
+    // Rewrite any remaining uses (instructions processed before their
+    // operands' replacements were discovered cannot exist in RPO for
+    // dominating defs, but phis reference across back edges).
+    if !replace.is_empty() {
+        let n = f.num_values();
+        for i in 0..n {
+            let vid = ValueId(i as u32);
+            if let Some(inst) = f.inst_mut(vid) {
+                inst.map_operands(|op| *replace.get(&op).unwrap_or(&op));
+            }
+        }
+    }
+    for v in &removed {
+        f.remove_from_block(*v);
+    }
+    removed.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carat_ir::{verify_module, ModuleBuilder, Pred, Type};
+
+    #[test]
+    fn dedups_identical_address_computation() {
+        let mut mb = ModuleBuilder::new("m");
+        let fid = mb.declare("f", vec![Type::Ptr, Type::I64], Some(Type::I64));
+        {
+            let mut b = mb.define(fid);
+            let e = b.block("entry");
+            b.switch_to(e);
+            // Two identical GEPs (as a frontend without CSE emits them).
+            let a1 = b.ptr_add(b.arg(0), b.arg(1), Type::I64);
+            let x = b.load(Type::I64, a1);
+            let a2 = b.ptr_add(b.arg(0), b.arg(1), Type::I64);
+            let y = b.load(Type::I64, a2);
+            let s = b.add(x, y);
+            b.ret(Some(s));
+        }
+        let mut m = mb.finish();
+        let f = m.func_mut(carat_ir::FuncId(0));
+        let n = run(f);
+        assert_eq!(n, 1, "second GEP eliminated");
+        verify_module(&m).unwrap();
+        let f = m.func(carat_ir::FuncId(0));
+        // Both loads now use the same address value.
+        let addrs: Vec<_> = f
+            .insts_in_layout_order()
+            .filter_map(|(_, _, i)| match i {
+                Inst::Load { addr, .. } => Some(*addr),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(addrs[0], addrs[1]);
+    }
+
+    #[test]
+    fn does_not_merge_across_non_dominating_blocks() {
+        let mut mb = ModuleBuilder::new("m");
+        let fid = mb.declare("f", vec![Type::I1, Type::I64], Some(Type::I64));
+        {
+            let mut b = mb.define(fid);
+            let e = b.block("entry");
+            let t = b.block("t");
+            let fl = b.block("fl");
+            let j = b.block("j");
+            b.switch_to(e);
+            b.br(b.arg(0), t, fl);
+            b.switch_to(t);
+            let x = b.add(b.arg(1), b.arg(1));
+            b.jmp(j);
+            b.switch_to(fl);
+            let y = b.add(b.arg(1), b.arg(1));
+            b.jmp(j);
+            b.switch_to(j);
+            let p = b.phi(Type::I64, vec![(t, x), (fl, y)]);
+            b.ret(Some(p));
+        }
+        let mut m = mb.finish();
+        let n = run(m.func_mut(carat_ir::FuncId(0)));
+        assert_eq!(n, 0, "sibling branches do not dominate each other");
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn entry_computation_dominates_loop_use() {
+        let mut mb = ModuleBuilder::new("m");
+        let fid = mb.declare("f", vec![Type::I64], Some(Type::I64));
+        {
+            let mut b = mb.define(fid);
+            let e = b.block("entry");
+            let h = b.block("h");
+            let body = b.block("body");
+            let x = b.block("x");
+            b.switch_to(e);
+            let two = b.const_i64(2);
+            let n2a = b.mul(b.arg(0), two);
+            b.jmp(h);
+            b.switch_to(h);
+            let zero = b.const_i64(0);
+            let i = b.phi(Type::I64, vec![(e, zero)]);
+            let c = b.icmp(Pred::Slt, i, n2a);
+            b.br(c, body, x);
+            b.switch_to(body);
+            // Recomputation of n*2 inside the loop.
+            let n2b = b.mul(b.arg(0), two);
+            let one = b.const_i64(1);
+            let step = b.bin(carat_ir::BinOp::Sdiv, n2b, n2b);
+            let i2 = b.add(i, step);
+            let _ = one;
+            b.phi_add_incoming(i, body, i2);
+            b.jmp(h);
+            b.switch_to(x);
+            b.ret(Some(i));
+        }
+        let mut m = mb.finish();
+        let n = run(m.func_mut(carat_ir::FuncId(0)));
+        assert!(n >= 1, "loop recomputation folded into entry def");
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn commutative_operands_canonicalize() {
+        let mut mb = ModuleBuilder::new("m");
+        let fid = mb.declare("f", vec![Type::I64, Type::I64], Some(Type::I64));
+        {
+            let mut b = mb.define(fid);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let x = b.add(b.arg(0), b.arg(1));
+            let y = b.add(b.arg(1), b.arg(0));
+            let s = b.mul(x, y);
+            b.ret(Some(s));
+        }
+        let mut m = mb.finish();
+        let n = run(m.func_mut(carat_ir::FuncId(0)));
+        assert_eq!(n, 1, "a+b == b+a");
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn loads_are_never_merged() {
+        let mut mb = ModuleBuilder::new("m");
+        let fid = mb.declare("f", vec![Type::Ptr], Some(Type::I64));
+        {
+            let mut b = mb.define(fid);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let x = b.load(Type::I64, b.arg(0));
+            let c = b.const_i64(1);
+            b.store(Type::I64, b.arg(0), c);
+            let y = b.load(Type::I64, b.arg(0));
+            let s = b.add(x, y);
+            b.ret(Some(s));
+        }
+        let mut m = mb.finish();
+        let n = run(m.func_mut(carat_ir::FuncId(0)));
+        assert_eq!(n, 0, "loads have memory effects");
+    }
+}

@@ -1,0 +1,190 @@
+//! CARAT-specific guard optimizations (paper §4.1.1).
+//!
+//! * **Opt 1** — [`hoist`]: hoist guards with loop-invariant addresses out
+//!   of loops (recursively, to the outermost loop possible), including call
+//!   guards out of alloca-free loops.
+//! * **Opt 2** — [`merge`]: replace per-iteration guards over affine
+//!   induction-variable addresses with one range guard in the preheader,
+//!   and merge statically adjacent same-block guards.
+//! * **Opt 3** — [`redundancy`]: AC/DC — eliminate guards whose pointer
+//!   definition was already validated on every path.
+
+pub mod gvn;
+pub mod hoist;
+pub mod merge;
+pub mod redundancy;
+
+use carat_ir::ValueId;
+use std::collections::HashMap;
+use std::ops::AddAssign;
+
+/// How a guard ended up after the optimization pipeline (Table 1 classes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardClass {
+    /// Still at its original position.
+    Untouched,
+    /// Hoisted out of at least one loop (Opt 1).
+    Hoisted,
+    /// Folded into a range guard (Opt 2).
+    Merged,
+    /// Eliminated as redundant (Opt 3).
+    Eliminated,
+}
+
+/// Classification of every originally-injected guard in one function.
+#[derive(Debug, Clone, Default)]
+pub struct GuardClasses {
+    map: HashMap<ValueId, GuardClass>,
+}
+
+impl GuardClasses {
+    /// Record the original guard set; everything starts untouched.
+    pub fn with_original(guards: &[ValueId]) -> GuardClasses {
+        GuardClasses {
+            map: guards
+                .iter()
+                .map(|&g| (g, GuardClass::Untouched))
+                .collect(),
+        }
+    }
+
+    /// Mark `g` as affected by `class`. Later marks override earlier ones;
+    /// guards introduced by the optimizer itself (e.g. range guards) are
+    /// ignored, keeping the census over *original* guards only.
+    pub fn mark(&mut self, g: ValueId, class: GuardClass) {
+        if let Some(slot) = self.map.get_mut(&g) {
+            *slot = class;
+        }
+    }
+
+    /// The class of original guard `g`, if it is one.
+    pub fn class_of(&self, g: ValueId) -> Option<GuardClass> {
+        self.map.get(&g).copied()
+    }
+
+    /// Summarize into counts.
+    pub fn census(&self) -> GuardCensus {
+        let mut c = GuardCensus::default();
+        for &cls in self.map.values() {
+            c.total += 1;
+            match cls {
+                GuardClass::Untouched => c.untouched += 1,
+                GuardClass::Hoisted => c.hoisted += 1,
+                GuardClass::Merged => c.merged += 1,
+                GuardClass::Eliminated => c.eliminated += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Aggregated guard optimization counts — the raw material of Table 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardCensus {
+    /// Originally injected guards.
+    pub total: usize,
+    /// Never moved or removed.
+    pub untouched: usize,
+    /// Hoisted out of loops (Opt 1); still present statically.
+    pub hoisted: usize,
+    /// Folded into range guards (Opt 2); the replacements remain.
+    pub merged: usize,
+    /// Removed outright (Opt 3).
+    pub eliminated: usize,
+}
+
+impl GuardCensus {
+    /// Fraction of original guards statically remaining ("Opt. Guards").
+    pub fn remaining_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        1.0 - self.eliminated as f64 / self.total as f64
+    }
+
+    /// Fraction untouched ("Untouched Guards").
+    pub fn untouched_fraction(&self) -> f64 {
+        self.frac(self.untouched)
+    }
+
+    /// Fraction hoisted ("Opt. 1").
+    pub fn hoisted_fraction(&self) -> f64 {
+        self.frac(self.hoisted)
+    }
+
+    /// Fraction merged ("Opt. 2").
+    pub fn merged_fraction(&self) -> f64 {
+        self.frac(self.merged)
+    }
+
+    /// Fraction eliminated ("Opt. 3").
+    pub fn eliminated_fraction(&self) -> f64 {
+        self.frac(self.eliminated)
+    }
+
+    fn frac(&self, n: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            n as f64 / self.total as f64
+        }
+    }
+}
+
+impl AddAssign for GuardCensus {
+    fn add_assign(&mut self, o: GuardCensus) {
+        self.total += o.total;
+        self.untouched += o.untouched;
+        self.hoisted += o.hoisted;
+        self.merged += o.merged;
+        self.eliminated += o.eliminated;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_fractions() {
+        let guards: Vec<ValueId> = (0..10).map(ValueId).collect();
+        let mut cls = GuardClasses::with_original(&guards);
+        cls.mark(ValueId(0), GuardClass::Hoisted);
+        cls.mark(ValueId(1), GuardClass::Merged);
+        cls.mark(ValueId(2), GuardClass::Eliminated);
+        cls.mark(ValueId(3), GuardClass::Eliminated);
+        let c = cls.census();
+        assert_eq!(c.total, 10);
+        assert_eq!(c.untouched, 6);
+        assert!((c.remaining_fraction() - 0.8).abs() < 1e-9);
+        assert!((c.eliminated_fraction() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marks_ignore_foreign_guards() {
+        let mut cls = GuardClasses::with_original(&[ValueId(1)]);
+        cls.mark(ValueId(99), GuardClass::Eliminated);
+        assert_eq!(cls.census().eliminated, 0);
+    }
+
+    #[test]
+    fn add_assign_aggregates() {
+        let mut a = GuardCensus {
+            total: 5,
+            untouched: 3,
+            hoisted: 1,
+            merged: 1,
+            eliminated: 0,
+        };
+        a += GuardCensus {
+            total: 5,
+            untouched: 1,
+            hoisted: 0,
+            merged: 0,
+            eliminated: 4,
+        };
+        assert_eq!(a.total, 10);
+        assert_eq!(a.eliminated, 4);
+        assert!((a.remaining_fraction() - 0.6).abs() < 1e-9);
+    }
+}

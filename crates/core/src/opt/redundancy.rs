@@ -1,0 +1,330 @@
+//! Opt 3 — AC/DC redundant-guard elimination.
+//!
+//! Available-expressions over pointer definitions (paper §4.1.1): a guard
+//! whose pointer def was already validated — by an earlier guard or guarded
+//! access — on **every** path, with at least the same extent, is removed.
+//! Validation is killed by user calls and `free`, which may shrink the
+//! valid-region set.
+
+use super::{GuardClass, GuardClasses};
+use carat_analysis::Cfg;
+use carat_ir::{BlockId, Const, Function, Inst, Intrinsic, ValueId};
+use std::collections::HashMap;
+
+/// Run redundancy elimination on `f`. Marks eliminated guards in `classes`
+/// and returns the number removed.
+pub fn run(f: &mut Function, classes: &mut GuardClasses) -> usize {
+    let cfg = Cfg::compute(f);
+    let n = f.num_blocks();
+    // Must-availability of validated extents: def -> guaranteed validated
+    // size. `None` represents ⊤ (everything available) for not-yet-visited
+    // inputs of the intersection.
+    let mut block_in: Vec<Option<HashMap<ValueId, u64>>> = vec![None; n];
+    let mut block_out: Vec<Option<HashMap<ValueId, u64>>> = vec![None; n];
+    let entry = f.entry();
+    block_in[entry.index()] = Some(HashMap::new());
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &cfg.rpo {
+            let inp: HashMap<ValueId, u64> = if b == entry {
+                HashMap::new()
+            } else {
+                let mut acc: Option<HashMap<ValueId, u64>> = None;
+                for &p in &cfg.preds[b.index()] {
+                    match (&acc, &block_out[p.index()]) {
+                        (_, None) => {} // ⊤ input: identity for intersection
+                        (None, Some(o)) => acc = Some(o.clone()),
+                        (Some(_), Some(o)) => {
+                            let a = acc.as_mut().expect("present");
+                            a.retain(|k, sz| {
+                                if let Some(osz) = o.get(k) {
+                                    *sz = (*sz).min(*osz);
+                                    true
+                                } else {
+                                    false
+                                }
+                            });
+                        }
+                    }
+                }
+                acc.unwrap_or_default()
+            };
+            if block_in[b.index()].as_ref() != Some(&inp) {
+                block_in[b.index()] = Some(inp.clone());
+                changed = true;
+            }
+            let mut cur = inp;
+            for &v in &f.block(b).insts {
+                if let Some(inst) = f.inst(v) {
+                    apply(f, inst, &mut cur);
+                }
+            }
+            if block_out[b.index()].as_ref() != Some(&cur) {
+                block_out[b.index()] = Some(cur);
+                changed = true;
+            }
+        }
+    }
+
+    // Removal walk.
+    let mut removed = 0;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        removed += remove_in_block(f, b, block_in[b.index()].clone().unwrap_or_default(), classes);
+    }
+    removed
+}
+
+/// Block-local redundancy elimination only — the "readily available,
+/// generic" optimization level of Figure 3a, which any production compiler
+/// performs without CARAT-specific analyses. No cross-block availability.
+pub fn run_local(f: &mut Function, classes: &mut GuardClasses) -> usize {
+    let mut removed = 0;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        removed += remove_in_block(f, b, HashMap::new(), classes);
+    }
+    removed
+}
+
+/// Transfer function for one instruction.
+fn apply(f: &Function, inst: &Inst, cur: &mut HashMap<ValueId, u64>) {
+    match inst {
+        Inst::Call { .. } => cur.clear(),
+        Inst::CallIntrinsic { intr, args } => match intr {
+            Intrinsic::Free => cur.clear(),
+            Intrinsic::GuardLoad | Intrinsic::GuardStore => {
+                if let Some(sz) = const_of(f, args[1]) {
+                    let e = cur.entry(args[0]).or_insert(0);
+                    *e = (*e).max(sz as u64);
+                }
+            }
+            _ => {}
+        },
+        Inst::Load { ty, addr } => {
+            let e = cur.entry(*addr).or_insert(0);
+            *e = (*e).max(ty.size());
+        }
+        Inst::Store { ty, addr, .. } => {
+            let e = cur.entry(*addr).or_insert(0);
+            *e = (*e).max(ty.size());
+        }
+        _ => {}
+    }
+}
+
+fn remove_in_block(
+    f: &mut Function,
+    b: BlockId,
+    mut cur: HashMap<ValueId, u64>,
+    classes: &mut GuardClasses,
+) -> usize {
+    let mut to_remove = Vec::new();
+    for &v in &f.block(b).insts {
+        let Some(inst) = f.inst(v) else { continue };
+        if let Inst::CallIntrinsic { intr, args } = inst {
+            if matches!(intr, Intrinsic::GuardLoad | Intrinsic::GuardStore) {
+                if let Some(sz) = const_of(f, args[1]) {
+                    if cur.get(&args[0]).is_some_and(|&have| have >= sz as u64) {
+                        to_remove.push(v);
+                        // Do not apply this guard's GEN: it is being removed,
+                        // but the def stays available from the earlier check,
+                        // and the guarded access right after re-GENs anyway.
+                        continue;
+                    }
+                }
+            }
+        }
+        apply(f, inst, &mut cur);
+    }
+    for v in &to_remove {
+        f.remove_from_block(*v);
+        classes.mark(*v, GuardClass::Eliminated);
+    }
+    to_remove.len()
+}
+
+fn const_of(f: &Function, v: ValueId) -> Option<i64> {
+    match f.inst(v) {
+        Some(Inst::Const(Const::Int(x, _))) => Some(*x),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guards::{guard_ids, inject_guards, GuardConfig};
+    use carat_ir::{verify_module, Module, ModuleBuilder, Pred, Type};
+
+    /// Load then store through the same pointer: the store guard is
+    /// redundant.
+    fn load_store_same_ptr() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare("f", vec![Type::Ptr], None);
+        {
+            let mut b = mb.define(f);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let v = b.load(Type::I64, b.arg(0));
+            b.store(Type::I64, b.arg(0), v);
+            b.ret(None);
+        }
+        mb.finish()
+    }
+
+    #[test]
+    fn removes_second_guard_on_same_def() {
+        let mut m = load_store_same_ptr();
+        inject_guards(&mut m, GuardConfig::default());
+        let fid = m.func_by_name("f").unwrap();
+        let guards = guard_ids(m.func(fid));
+        assert_eq!(guards.len(), 2);
+        let mut classes = GuardClasses::with_original(&guards);
+        let n = run(m.func_mut(fid), &mut classes);
+        assert_eq!(n, 1);
+        assert_eq!(guard_ids(m.func(fid)).len(), 1);
+        assert_eq!(classes.census().eliminated, 1);
+        verify_module(&m).unwrap();
+    }
+
+    /// Smaller earlier validation must not cover a wider later access.
+    #[test]
+    fn wider_access_keeps_its_guard() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare("f", vec![Type::Ptr], None);
+        {
+            let mut b = mb.define(f);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let v = b.load(Type::I8, b.arg(0));
+            let _ = v;
+            let w = b.const_i64(7);
+            b.store(Type::I64, b.arg(0), w);
+            b.ret(None);
+        }
+        let mut m = mb.finish();
+        inject_guards(&mut m, GuardConfig::default());
+        let fid = m.func_by_name("f").unwrap();
+        let guards = guard_ids(m.func(fid));
+        let mut classes = GuardClasses::with_original(&guards);
+        let n = run(m.func_mut(fid), &mut classes);
+        assert_eq!(n, 0, "1-byte validation cannot cover an 8-byte store");
+    }
+
+    /// A call between accesses kills availability.
+    #[test]
+    fn call_kills_availability() {
+        let mut mb = ModuleBuilder::new("m");
+        let callee = {
+            let mbi = ModuleBuilder::new("x");
+            let _ = mbi;
+            
+            mb.declare("callee", vec![], None)
+        };
+        let f = mb.declare("f", vec![Type::Ptr], None);
+        {
+            let mut b = mb.define(callee);
+            let e = b.block("entry");
+            b.switch_to(e);
+            b.ret(None);
+        }
+        {
+            let mut b = mb.define(f);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let v = b.load(Type::I64, b.arg(0));
+            b.call(callee, vec![], None);
+            b.store(Type::I64, b.arg(0), v);
+            b.ret(None);
+        }
+        let mut m = mb.finish();
+        inject_guards(
+            &mut m,
+            GuardConfig {
+                loads: true,
+                stores: true,
+                calls: false,
+            },
+        );
+        let fid = m.func_by_name("f").unwrap();
+        let guards = guard_ids(m.func(fid));
+        let mut classes = GuardClasses::with_original(&guards);
+        let n = run(m.func_mut(fid), &mut classes);
+        assert_eq!(n, 0, "call may change regions; both guards stay");
+    }
+
+    /// Redundancy works across blocks when all paths validate.
+    #[test]
+    fn diamond_with_validation_on_both_arms() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare("f", vec![Type::Ptr, Type::I1], Some(Type::I64));
+        {
+            let mut b = mb.define(f);
+            let e = b.block("entry");
+            let t = b.block("t");
+            let fl = b.block("fl");
+            let j = b.block("join");
+            b.switch_to(e);
+            b.br(b.arg(1), t, fl);
+            b.switch_to(t);
+            let _x = b.load(Type::I64, b.arg(0));
+            b.jmp(j);
+            b.switch_to(fl);
+            let _y = b.load(Type::I64, b.arg(0));
+            b.jmp(j);
+            b.switch_to(j);
+            let z = b.load(Type::I64, b.arg(0));
+            b.ret(Some(z));
+        }
+        let mut m = mb.finish();
+        inject_guards(&mut m, GuardConfig::default());
+        let fid = m.func_by_name("f").unwrap();
+        let guards = guard_ids(m.func(fid));
+        assert_eq!(guards.len(), 3);
+        let mut classes = GuardClasses::with_original(&guards);
+        let n = run(m.func_mut(fid), &mut classes);
+        assert_eq!(n, 1, "only the join guard is removable");
+        verify_module(&m).unwrap();
+    }
+
+    /// In a loop body, the guard before a second access of the same def in
+    /// the same iteration is removed, but the header-crossing one stays.
+    #[test]
+    fn loop_intra_iteration_redundancy() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare("f", vec![Type::Ptr, Type::I64], None);
+        {
+            let mut b = mb.define(f);
+            let e = b.block("entry");
+            let h = b.block("h");
+            let body = b.block("body");
+            let x = b.block("x");
+            b.switch_to(e);
+            let zero = b.const_i64(0);
+            let one = b.const_i64(1);
+            b.jmp(h);
+            b.switch_to(h);
+            let i = b.phi(Type::I64, vec![(e, zero)]);
+            let c = b.icmp(Pred::Slt, i, b.arg(1));
+            b.br(c, body, x);
+            b.switch_to(body);
+            let v = b.load(Type::I64, b.arg(0));
+            b.store(Type::I64, b.arg(0), v);
+            let i2 = b.add(i, one);
+            b.phi_add_incoming(i, body, i2);
+            b.jmp(h);
+            b.switch_to(x);
+            b.ret(None);
+        }
+        let mut m = mb.finish();
+        inject_guards(&mut m, GuardConfig::default());
+        let fid = m.func_by_name("f").unwrap();
+        let guards = guard_ids(m.func(fid));
+        assert_eq!(guards.len(), 2);
+        let mut classes = GuardClasses::with_original(&guards);
+        let n = run(m.func_mut(fid), &mut classes);
+        assert_eq!(n, 1, "store guard redundant after load in same iteration");
+        verify_module(&m).unwrap();
+    }
+}

@@ -1,0 +1,330 @@
+//! The CARAT compilation pipeline: instrumentation, optimization, signing.
+//!
+//! This is the top-level API a build system would drive:
+//!
+//! ```text
+//! Cm source ──frontend──▶ Module ──[CaratCompiler::compile]──▶ CompiledModule
+//!                                     │ inject guards (§2.2)
+//!                                     │ inject tracking (§4.1.2)
+//!                                     │ Opt 1/2/3 (§4.1.1)
+//!                                     │ sign (§4.1)
+//! ```
+
+use crate::guards::{guard_ids, inject_guards, GuardConfig};
+use crate::opt::{gvn, hoist, merge, redundancy, GuardCensus, GuardClasses};
+use crate::sign::{sign_module, SignedModule, SigningKey};
+use crate::tracking::{inject_tracking, TrackingConfig};
+use carat_ir::{verify_module, Module, VerifyError};
+
+/// Optimization preset for the guard pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptPreset {
+    /// No guard optimization at all: the conceptual "guard every
+    /// instruction" model.
+    None,
+    /// Only generic, readily-available optimizations (paper Figure 3a):
+    /// local redundancy within a basic block, nothing loop-aware.
+    General,
+    /// The full CARAT-specific stack (paper Figure 3b): hoisting, merging,
+    /// and AC/DC redundancy elimination.
+    #[default]
+    CaratSpecific,
+}
+
+/// Which of the CARAT-specific optimizations to run (ablation control).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptToggles {
+    /// Opt 1 — hoisting.
+    pub hoist: bool,
+    /// Opt 2 — merging.
+    pub merge: bool,
+    /// Opt 3 — redundancy elimination.
+    pub redundancy: bool,
+}
+
+impl OptToggles {
+    /// All three optimizations.
+    pub const ALL: OptToggles = OptToggles {
+        hoist: true,
+        merge: true,
+        redundancy: true,
+    };
+    /// No optimization.
+    pub const NONE: OptToggles = OptToggles {
+        hoist: false,
+        merge: false,
+        redundancy: false,
+    };
+}
+
+/// Full compilation options.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Inject protection guards.
+    pub guards: Option<GuardConfig>,
+    /// Inject allocation/escape tracking.
+    pub tracking: Option<TrackingConfig>,
+    /// Optimization preset.
+    pub preset: OptPreset,
+    /// Fine-grained toggles applied when `preset` is
+    /// [`OptPreset::CaratSpecific`].
+    pub toggles: OptToggles,
+    /// Signing key; `None` produces an unsigned build the kernel loader
+    /// will reject unless configured to allow it.
+    pub signing: Option<SigningKey>,
+}
+
+impl Default for CompileOptions {
+    fn default() -> CompileOptions {
+        CompileOptions {
+            guards: Some(GuardConfig::default()),
+            tracking: Some(TrackingConfig::default()),
+            preset: OptPreset::CaratSpecific,
+            toggles: OptToggles::ALL,
+            signing: Some(SigningKey::from_passphrase("carat-cc", "reference-toolchain")),
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Baseline build: generic optimizations, no instrumentation — the
+    /// `-O3`-style build every overhead figure normalizes against.
+    pub fn baseline() -> CompileOptions {
+        CompileOptions {
+            guards: None,
+            tracking: None,
+            preset: OptPreset::General,
+            toggles: OptToggles::NONE,
+            ..CompileOptions::default()
+        }
+    }
+
+    /// Guards only, with the given preset (Figure 3 configurations).
+    pub fn guards_only(preset: OptPreset) -> CompileOptions {
+        CompileOptions {
+            guards: Some(GuardConfig::default()),
+            tracking: None,
+            preset,
+            toggles: OptToggles::ALL,
+            ..CompileOptions::default()
+        }
+    }
+
+    /// Tracking only (Figures 5–7 configurations). Generic optimizations
+    /// stay on so the comparison against [`CompileOptions::baseline`]
+    /// isolates the tracking cost.
+    pub fn tracking_only() -> CompileOptions {
+        CompileOptions {
+            guards: None,
+            tracking: Some(TrackingConfig::default()),
+            preset: OptPreset::General,
+            toggles: OptToggles::NONE,
+            ..CompileOptions::default()
+        }
+    }
+}
+
+/// The result of a CARAT compilation.
+#[derive(Debug, Clone)]
+pub struct CompiledModule {
+    /// The instrumented, optimized module.
+    pub module: Module,
+    /// Guard optimization census (Table 1 raw data).
+    pub census: GuardCensus,
+    /// Signed serialized form, if a signing key was supplied.
+    pub signed: Option<SignedModule>,
+}
+
+/// The CARAT compiler driver.
+#[derive(Debug, Clone, Default)]
+pub struct CaratCompiler {
+    options: CompileOptions,
+}
+
+impl CaratCompiler {
+    /// A compiler with the given options.
+    pub fn new(options: CompileOptions) -> CaratCompiler {
+        CaratCompiler { options }
+    }
+
+    /// Compile (instrument + optimize + sign) `module`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VerifyError`] if the input module is malformed, or if an
+    /// internal pass broke the module (a compiler bug — the verifier runs
+    /// again after transformation, reflecting the paper's point that the
+    /// compiler is in the TCB and must police itself).
+    pub fn compile(&self, mut module: Module) -> Result<CompiledModule, VerifyError> {
+        verify_module(&module)?;
+        // Generic middle-end optimization (value numbering) runs for every
+        // preset above `None`, instrumented or not — the paper's baselines
+        // are `-O3` builds, so the uninstrumented baseline gets it too.
+        if self.options.preset != OptPreset::None {
+            let fids: Vec<_> = module.func_ids().collect();
+            for fid in fids {
+                gvn::run(module.func_mut(fid));
+            }
+        }
+        let mut census = GuardCensus::default();
+        if let Some(gcfg) = self.options.guards {
+            inject_guards(&mut module, gcfg);
+            let fids: Vec<_> = module.func_ids().collect();
+            for fid in fids {
+                let guards = guard_ids(module.func(fid));
+                let mut classes = GuardClasses::with_original(&guards);
+                let f = module.func_mut(fid);
+                match self.options.preset {
+                    OptPreset::None => {}
+                    OptPreset::General => {
+                        // Readily-available guard cleanup only: same-block
+                        // redundancy. (AC/DC, loop hoisting and merging are
+                        // the CARAT-specific additions.)
+                        redundancy::run_local(f, &mut classes);
+                    }
+                    OptPreset::CaratSpecific => {
+                        let t = self.options.toggles;
+                        if t.hoist {
+                            hoist::run(f, &mut classes);
+                        }
+                        if t.merge {
+                            merge::run(f, &mut classes);
+                        }
+                        if t.redundancy {
+                            redundancy::run(f, &mut classes);
+                        }
+                    }
+                }
+                census += classes.census();
+            }
+        }
+        if let Some(tcfg) = self.options.tracking {
+            inject_tracking(&mut module, tcfg);
+        }
+        verify_module(&module)?;
+        let signed = self
+            .options
+            .signing
+            .as_ref()
+            .map(|k| sign_module(&module, k));
+        Ok(CompiledModule {
+            module,
+            census,
+            signed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guards::count_guards;
+    use crate::sign::verify_signature;
+    use crate::tracking::count_tracking;
+    use carat_ir::{ModuleBuilder, Pred, Type};
+
+    /// sum over a[0..n] with an extra invariant pointer update.
+    fn workload() -> Module {
+        let mut mb = ModuleBuilder::new("w");
+        let f = mb.declare("main", vec![], Some(Type::I64));
+        {
+            let mut b = mb.define(f);
+            let e = b.block("entry");
+            let h = b.block("h");
+            let body = b.block("body");
+            let x = b.block("x");
+            b.switch_to(e);
+            let n = b.const_i64(64);
+            let bytes = b.const_i64(64 * 8);
+            let a = b.malloc(bytes);
+            let zero = b.const_i64(0);
+            let one = b.const_i64(1);
+            b.jmp(h);
+            b.switch_to(h);
+            let i = b.phi(Type::I64, vec![(e, zero)]);
+            let s = b.phi(Type::I64, vec![(e, zero)]);
+            let c = b.icmp(Pred::Slt, i, n);
+            b.br(c, body, x);
+            b.switch_to(body);
+            let ai = b.ptr_add(a, i, Type::I64);
+            b.store(Type::I64, ai, i);
+            let v = b.load(Type::I64, ai);
+            let s2 = b.add(s, v);
+            let i2 = b.add(i, one);
+            b.phi_add_incoming(i, body, i2);
+            b.phi_add_incoming(s, body, s2);
+            b.jmp(h);
+            b.switch_to(x);
+            b.free(a);
+            b.ret(Some(s));
+        }
+        mb.finish()
+    }
+
+    #[test]
+    fn baseline_leaves_module_untouched() {
+        let m = workload();
+        let before = carat_ir::print_module(&m);
+        let out = CaratCompiler::new(CompileOptions::baseline())
+            .compile(m)
+            .unwrap();
+        assert_eq!(carat_ir::print_module(&out.module), before);
+        assert_eq!(out.census.total, 0);
+    }
+
+    #[test]
+    fn full_pipeline_instruments_and_signs() {
+        let out = CaratCompiler::new(CompileOptions::default())
+            .compile(workload())
+            .unwrap();
+        assert!(count_guards(&out.module) >= 1);
+        assert!(count_tracking(&out.module) >= 2);
+        let signed = out.signed.expect("signed by default");
+        let key = SigningKey::from_passphrase("carat-cc", "reference-toolchain");
+        verify_signature(&signed, &key).expect("default key verifies");
+    }
+
+    #[test]
+    fn carat_opts_reduce_dynamic_guard_positions() {
+        let none = CaratCompiler::new(CompileOptions::guards_only(OptPreset::None))
+            .compile(workload())
+            .unwrap();
+        let carat = CaratCompiler::new(CompileOptions::guards_only(OptPreset::CaratSpecific))
+            .compile(workload())
+            .unwrap();
+        // The two in-loop guards (store + load on a[i]) must be gone from
+        // the loop: merged into a preheader range guard and/or eliminated.
+        assert!(count_guards(&carat.module) <= count_guards(&none.module));
+        let census = carat.census;
+        assert_eq!(census.total, 2);
+        assert!(
+            census.merged + census.eliminated + census.hoisted >= 2,
+            "both loop guards optimized: {census:?}"
+        );
+    }
+
+    #[test]
+    fn census_classes_partition_total() {
+        let out = CaratCompiler::new(CompileOptions::guards_only(OptPreset::CaratSpecific))
+            .compile(workload())
+            .unwrap();
+        let c = out.census;
+        assert_eq!(
+            c.untouched + c.hoisted + c.merged + c.eliminated,
+            c.total,
+            "classes partition the original guards"
+        );
+    }
+
+    #[test]
+    fn general_preset_runs_local_redundancy_only() {
+        let out = CaratCompiler::new(CompileOptions::guards_only(OptPreset::General))
+            .compile(workload())
+            .unwrap();
+        // load guard after store guard on same address in same block:
+        // removable even by the general preset.
+        assert!(out.census.eliminated >= 1);
+        assert_eq!(out.census.hoisted, 0);
+        assert_eq!(out.census.merged, 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Code signing (paper §2.2, §4.1).
+//!
+//! The CARAT compiler signs the binary it produces "with the credentials of
+//! the compiler toolchain, so that it is easy to validate that a specific
+//! compiler made the binary"; the kernel then decides whether to trust the
+//! compiler based on provenance. The paper's prototype reuses the
+//! Microsoft .NET strong-name scheme; we substitute a keyed-hash MAC over
+//! the serialized module text (see DESIGN.md), which provides the same
+//! validate-provenance behavior with a shared toolchain/kernel key.
+
+use crate::sha256::{sha256, to_hex, Sha256};
+use carat_ir::{print_module, Module};
+use std::error::Error;
+use std::fmt;
+
+/// A toolchain signing identity: a name plus a secret key shared with
+/// kernels that trust this toolchain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SigningKey {
+    /// Human-readable toolchain identity (e.g. `"carat-cc 0.1"`).
+    pub toolchain: String,
+    key: [u8; 32],
+}
+
+impl SigningKey {
+    /// Derive a signing key from a passphrase.
+    pub fn from_passphrase(toolchain: impl Into<String>, passphrase: &str) -> SigningKey {
+        SigningKey {
+            toolchain: toolchain.into(),
+            key: sha256(passphrase.as_bytes()),
+        }
+    }
+
+    fn mac(&self, data: &[u8]) -> [u8; 32] {
+        // HMAC-SHA256.
+        let mut ipad = [0x36u8; 64];
+        let mut opad = [0x5cu8; 64];
+        for i in 0..32 {
+            ipad[i] ^= self.key[i];
+            opad[i] ^= self.key[i];
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        inner.update(data);
+        let inner_digest = inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+/// A signed module: serialized text plus provenance and MAC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedModule {
+    /// The serialized module ("bitcode").
+    pub text: String,
+    /// Toolchain identity that produced it.
+    pub toolchain: String,
+    /// HMAC-SHA256 over `toolchain || text`.
+    pub signature: [u8; 32],
+}
+
+impl SignedModule {
+    /// Hex rendering of the signature.
+    pub fn signature_hex(&self) -> String {
+        to_hex(&self.signature)
+    }
+}
+
+/// Signature validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SignatureError {
+    /// The MAC does not match the text (corruption or tampering).
+    Mismatch,
+    /// The kernel does not trust this toolchain identity.
+    UntrustedToolchain(String),
+}
+
+impl fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignatureError::Mismatch => write!(f, "signature does not match module contents"),
+            SignatureError::UntrustedToolchain(t) => {
+                write!(f, "toolchain `{t}` is not trusted by this kernel")
+            }
+        }
+    }
+}
+
+impl Error for SignatureError {}
+
+/// Sign `module` with `key`.
+pub fn sign_module(module: &Module, key: &SigningKey) -> SignedModule {
+    let text = print_module(module);
+    let signature = key.mac(&signed_payload(&key.toolchain, &text));
+    SignedModule {
+        text,
+        toolchain: key.toolchain.clone(),
+        signature,
+    }
+}
+
+/// Verify `signed` against `key` (the kernel's copy of the trusted
+/// toolchain's key).
+///
+/// # Errors
+///
+/// [`SignatureError::UntrustedToolchain`] if the identities differ,
+/// [`SignatureError::Mismatch`] if the MAC fails.
+pub fn verify_signature(signed: &SignedModule, key: &SigningKey) -> Result<(), SignatureError> {
+    if signed.toolchain != key.toolchain {
+        return Err(SignatureError::UntrustedToolchain(signed.toolchain.clone()));
+    }
+    let expect = key.mac(&signed_payload(&signed.toolchain, &signed.text));
+    if expect == signed.signature {
+        Ok(())
+    } else {
+        Err(SignatureError::Mismatch)
+    }
+}
+
+fn signed_payload(toolchain: &str, text: &str) -> Vec<u8> {
+    let mut p = Vec::with_capacity(toolchain.len() + 1 + text.len());
+    p.extend_from_slice(toolchain.as_bytes());
+    p.push(0);
+    p.extend_from_slice(text.as_bytes());
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carat_ir::{ModuleBuilder, Type};
+
+    fn sample() -> Module {
+        let mut mb = ModuleBuilder::new("signed");
+        let f = mb.declare("main", vec![], Some(Type::I64));
+        {
+            let mut b = mb.define(f);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let c = b.const_i64(0);
+            b.ret(Some(c));
+        }
+        mb.finish()
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let key = SigningKey::from_passphrase("carat-cc", "hunter2");
+        let signed = sign_module(&sample(), &key);
+        verify_signature(&signed, &key).expect("valid signature verifies");
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let key = SigningKey::from_passphrase("carat-cc", "hunter2");
+        let mut signed = sign_module(&sample(), &key);
+        signed.text = signed.text.replace("const i64 0", "const i64 1");
+        assert_eq!(
+            verify_signature(&signed, &key),
+            Err(SignatureError::Mismatch)
+        );
+    }
+
+    #[test]
+    fn wrong_key_is_detected() {
+        let key = SigningKey::from_passphrase("carat-cc", "hunter2");
+        let other = SigningKey::from_passphrase("carat-cc", "password");
+        let signed = sign_module(&sample(), &key);
+        assert_eq!(
+            verify_signature(&signed, &other),
+            Err(SignatureError::Mismatch)
+        );
+    }
+
+    #[test]
+    fn untrusted_toolchain_is_rejected() {
+        let key = SigningKey::from_passphrase("carat-cc", "hunter2");
+        let evil = SigningKey::from_passphrase("evil-cc", "hunter2");
+        let signed = sign_module(&sample(), &evil);
+        assert!(matches!(
+            verify_signature(&signed, &key),
+            Err(SignatureError::UntrustedToolchain(_))
+        ));
+    }
+
+    #[test]
+    fn signature_depends_on_toolchain_name() {
+        let k1 = SigningKey::from_passphrase("a", "same");
+        let k2 = SigningKey::from_passphrase("b", "same");
+        let m = sample();
+        assert_ne!(sign_module(&m, &k1).signature, sign_module(&m, &k2).signature);
+    }
+}

@@ -1,0 +1,282 @@
+//! Allocation and escape tracking injection (paper §4.1.2).
+//!
+//! * after every `malloc` — `carat.track.alloc(result, size)`;
+//! * before every `free` — `carat.track.free(ptr)`;
+//! * after every `alloca` (optionally) — `carat.track.alloc(slot, size)`;
+//! * after every store of a *pointer-typed* value — `carat.track.escape(dst)`,
+//!   informing the runtime that a pointer now lives at address `dst`.
+//!
+//! Static allocations (globals) are recorded by the kernel loader at load
+//! time, not by instrumentation.
+
+use carat_ir::{Const, FuncId, Function, Inst, IntTy, Intrinsic, Module, Type, ValueId};
+
+/// What to instrument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackingConfig {
+    /// Track heap allocations (`malloc`/`free`).
+    pub heap: bool,
+    /// Track stack allocations (`alloca`).
+    pub stack: bool,
+    /// Track pointer escapes (stores of pointers).
+    pub escapes: bool,
+}
+
+impl Default for TrackingConfig {
+    fn default() -> TrackingConfig {
+        TrackingConfig {
+            heap: true,
+            stack: true,
+            escapes: true,
+        }
+    }
+}
+
+/// Counts of tracking callbacks inserted into one function.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrackingCounts {
+    /// `track.alloc` after mallocs.
+    pub heap_allocs: usize,
+    /// `track.free` before frees.
+    pub frees: usize,
+    /// `track.alloc` after allocas.
+    pub stack_allocs: usize,
+    /// `track.escape` after pointer stores.
+    pub escapes: usize,
+}
+
+impl TrackingCounts {
+    /// Total callbacks inserted.
+    pub fn total(&self) -> usize {
+        self.heap_allocs + self.frees + self.stack_allocs + self.escapes
+    }
+}
+
+/// Inject tracking callbacks into every function of `module`.
+pub fn inject_tracking(module: &mut Module, cfg: TrackingConfig) -> Vec<TrackingCounts> {
+    let fids: Vec<FuncId> = module.func_ids().collect();
+    let mut out = Vec::with_capacity(fids.len());
+    for fid in fids {
+        out.push(inject_into_function(module.func_mut(fid), cfg));
+    }
+    out
+}
+
+enum Site {
+    MallocAfter { call: ValueId, size: ValueId },
+    FreeBefore { call: ValueId, ptr: ValueId },
+    AllocaAfter { slot: ValueId, size: u64 },
+    EscapeAfter { store: ValueId, dst: ValueId },
+}
+
+fn inject_into_function(f: &mut Function, cfg: TrackingConfig) -> TrackingCounts {
+    let mut counts = TrackingCounts::default();
+    let mut sites = Vec::new();
+    for b in f.block_ids().collect::<Vec<_>>() {
+        for &v in &f.block(b).insts {
+            match f.inst(v) {
+                Some(Inst::CallIntrinsic { intr, args }) => match intr {
+                    Intrinsic::Malloc if cfg.heap => sites.push(Site::MallocAfter {
+                        call: v,
+                        size: args[0],
+                    }),
+                    Intrinsic::Free if cfg.heap => sites.push(Site::FreeBefore {
+                        call: v,
+                        ptr: args[0],
+                    }),
+                    _ => {}
+                },
+                Some(Inst::Alloca(ty)) if cfg.stack => sites.push(Site::AllocaAfter {
+                    slot: v,
+                    size: ty.size(),
+                }),
+                Some(Inst::Store { ty, addr, .. }) if cfg.escapes && *ty == Type::Ptr => {
+                    sites.push(Site::EscapeAfter { store: v, dst: *addr })
+                }
+                _ => {}
+            }
+        }
+    }
+    for site in sites {
+        match site {
+            Site::MallocAfter { call, size } => {
+                insert_after(
+                    f,
+                    call,
+                    Inst::CallIntrinsic {
+                        intr: Intrinsic::TrackAlloc,
+                        args: vec![call, size],
+                    },
+                );
+                counts.heap_allocs += 1;
+            }
+            Site::FreeBefore { call, ptr } => {
+                f.insert_before(
+                    call,
+                    Inst::CallIntrinsic {
+                        intr: Intrinsic::TrackFree,
+                        args: vec![ptr],
+                    },
+                );
+                counts.frees += 1;
+            }
+            Site::AllocaAfter { slot, size } => {
+                let sz = insert_after(f, slot, Inst::Const(Const::Int(size as i64, IntTy::I64)));
+                insert_after(
+                    f,
+                    sz,
+                    Inst::CallIntrinsic {
+                        intr: Intrinsic::TrackAlloc,
+                        args: vec![slot, sz],
+                    },
+                );
+                counts.stack_allocs += 1;
+            }
+            Site::EscapeAfter { store, dst } => {
+                insert_after(
+                    f,
+                    store,
+                    Inst::CallIntrinsic {
+                        intr: Intrinsic::TrackEscape,
+                        args: vec![dst],
+                    },
+                );
+                counts.escapes += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Insert `inst` immediately after `after` within its block.
+fn insert_after(f: &mut Function, after: ValueId, inst: Inst) -> ValueId {
+    let b = f
+        .block_of(after)
+        .expect("insertion anchor must be an instruction");
+    let pos = f
+        .block(b)
+        .insts
+        .iter()
+        .position(|&v| v == after)
+        .expect("anchor present in its block");
+    f.insert_at(b, pos + 1, inst)
+}
+
+/// Count tracking intrinsics currently present in `module`.
+pub fn count_tracking(module: &Module) -> usize {
+    module
+        .func_ids()
+        .map(|fid| {
+            module
+                .func(fid)
+                .insts_in_layout_order()
+                .filter(
+                    |(_, _, i)| matches!(i, Inst::CallIntrinsic { intr, .. } if intr.is_track()),
+                )
+                .count()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carat_ir::{verify_module, ModuleBuilder};
+
+    fn sample() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare("main", vec![], Some(Type::I64));
+        {
+            let mut b = mb.define(f);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let size = b.const_i64(128);
+            let p = b.malloc(size);
+            let slot = b.alloca(Type::Ptr);
+            b.store(Type::Ptr, slot, p); // pointer escape
+            let x = b.const_i64(1);
+            b.store(Type::I64, p, x); // not an escape
+            b.free(p);
+            b.ret(Some(x));
+        }
+        mb.finish()
+    }
+
+    #[test]
+    fn injects_all_callback_kinds() {
+        let mut m = sample();
+        let counts = inject_tracking(&mut m, TrackingConfig::default());
+        let c = counts[0];
+        assert_eq!(c.heap_allocs, 1);
+        assert_eq!(c.frees, 1);
+        assert_eq!(c.stack_allocs, 1);
+        assert_eq!(c.escapes, 1, "only the pointer store escapes");
+        assert_eq!(count_tracking(&m), 4);
+        verify_module(&m).expect("instrumented module verifies");
+    }
+
+    #[test]
+    fn track_alloc_follows_malloc() {
+        let mut m = sample();
+        inject_tracking(&mut m, TrackingConfig::default());
+        let f = m.func(m.func_by_name("main").unwrap());
+        let insts: Vec<_> = f
+            .block(f.entry())
+            .insts
+            .iter()
+            .map(|&v| f.inst(v).unwrap().clone())
+            .collect();
+        let malloc_pos = insts
+            .iter()
+            .position(
+                |i| matches!(i, Inst::CallIntrinsic { intr: Intrinsic::Malloc, .. }),
+            )
+            .unwrap();
+        assert!(matches!(
+            &insts[malloc_pos + 1],
+            Inst::CallIntrinsic {
+                intr: Intrinsic::TrackAlloc,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn track_free_precedes_free() {
+        let mut m = sample();
+        inject_tracking(&mut m, TrackingConfig::default());
+        let f = m.func(m.func_by_name("main").unwrap());
+        let insts: Vec<_> = f
+            .block(f.entry())
+            .insts
+            .iter()
+            .map(|&v| f.inst(v).unwrap().clone())
+            .collect();
+        let free_pos = insts
+            .iter()
+            .position(|i| matches!(i, Inst::CallIntrinsic { intr: Intrinsic::Free, .. }))
+            .unwrap();
+        assert!(matches!(
+            &insts[free_pos - 1],
+            Inst::CallIntrinsic {
+                intr: Intrinsic::TrackFree,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn stack_tracking_can_be_disabled() {
+        let mut m = sample();
+        let counts = inject_tracking(
+            &mut m,
+            TrackingConfig {
+                heap: true,
+                stack: false,
+                escapes: true,
+            },
+        );
+        assert_eq!(counts[0].stack_allocs, 0);
+        assert_eq!(count_tracking(&m), 3);
+    }
+}

@@ -1,0 +1,289 @@
+//! Abstract syntax tree for Cm.
+
+/// A Cm type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CmType {
+    /// 64-bit signed integer (`int`).
+    Int,
+    /// 8-bit integer (`char`).
+    Char,
+    /// Boolean (`bool`).
+    Bool,
+    /// IEEE double (`double`).
+    Double,
+    /// No value (`void`, also `malloc`'s pointee).
+    Void,
+    /// Pointer.
+    Ptr(Box<CmType>),
+    /// Named struct.
+    Struct(String),
+    /// Fixed array (declarations only; decays to pointer in expressions).
+    Array(Box<CmType>, u64),
+}
+
+impl CmType {
+    /// Shortcut for `T*`.
+    pub fn ptr(inner: CmType) -> CmType {
+        CmType::Ptr(Box::new(inner))
+    }
+
+    /// Whether this is an arithmetic (int-like or double) type.
+    pub fn is_arith(&self) -> bool {
+        matches!(
+            self,
+            CmType::Int | CmType::Char | CmType::Bool | CmType::Double
+        )
+    }
+
+    /// Whether this is an integer-like type.
+    pub fn is_intlike(&self) -> bool {
+        matches!(self, CmType::Int | CmType::Char | CmType::Bool)
+    }
+
+    /// Whether this is any pointer.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, CmType::Ptr(_))
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-x`
+    Neg,
+    /// `!x`
+    Not,
+    /// `~x`
+    BitNot,
+}
+
+/// Binary operators (excluding assignment and short-circuit forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOpKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl BinOpKind {
+    /// Whether this operator yields `bool`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOpKind::Eq
+                | BinOpKind::Ne
+                | BinOpKind::Lt
+                | BinOpKind::Le
+                | BinOpKind::Gt
+                | BinOpKind::Ge
+        )
+    }
+}
+
+/// An expression, tagged with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Expression kind.
+    pub kind: ExprKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Char literal.
+    CharLit(i8),
+    /// Bool literal.
+    BoolLit(bool),
+    /// `null`.
+    NullLit,
+    /// Variable reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOpKind, Box<Expr>, Box<Expr>),
+    /// Short-circuit `&&`.
+    LogicalAnd(Box<Expr>, Box<Expr>),
+    /// Short-circuit `||`.
+    LogicalOr(Box<Expr>, Box<Expr>),
+    /// Assignment `target op= value` (`op` None for plain `=`).
+    Assign {
+        /// Assigned place.
+        target: Box<Expr>,
+        /// Compound operator, if any.
+        op: Option<BinOpKind>,
+        /// Right-hand side.
+        value: Box<Expr>,
+    },
+    /// Function call.
+    Call {
+        /// Callee name (user function or builtin).
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `base[idx]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `base.field` (`arrow` = `base->field`).
+    Field {
+        /// Receiver.
+        base: Box<Expr>,
+        /// Field name.
+        field: String,
+        /// Whether `->` was used.
+        arrow: bool,
+    },
+    /// `*ptr`.
+    Deref(Box<Expr>),
+    /// `&place`.
+    AddrOf(Box<Expr>),
+    /// `(type) expr`.
+    Cast(CmType, Box<Expr>),
+    /// `sizeof(type)`.
+    Sizeof(CmType),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration, possibly with array shape and initializer.
+    Decl {
+        /// Declared type (arrays included).
+        ty: CmType,
+        /// Name.
+        name: String,
+        /// Initializer.
+        init: Option<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if (c) t else e`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch.
+        else_body: Vec<Stmt>,
+    },
+    /// `while (c) body`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Init statement (decl or expr).
+        init: Option<Box<Stmt>>,
+        /// Condition (absent = true).
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return e;`.
+    Return(Option<Expr>, usize),
+    /// Nested block.
+    Block(Vec<Stmt>),
+    /// `break;`
+    Break(usize),
+    /// `continue;`
+    Continue(usize),
+}
+
+/// A struct definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDef {
+    /// Name.
+    pub name: String,
+    /// Ordered fields.
+    pub fields: Vec<(CmType, String)>,
+}
+
+/// Scalar literal in a global initializer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GlobalLit {
+    /// Integer.
+    Int(i64),
+    /// Double.
+    Float(f64),
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDef {
+    /// Type (often an array).
+    pub ty: CmType,
+    /// Name.
+    pub name: String,
+    /// Flat initializer list, if present.
+    pub init: Option<Vec<GlobalLit>>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Return type.
+    pub ret: CmType,
+    /// Name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(CmType, String)>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Globals.
+    pub globals: Vec<GlobalDef>,
+    /// Functions.
+    pub funcs: Vec<FuncDef>,
+}

@@ -1,0 +1,815 @@
+//! Recursive-descent parser for Cm.
+
+use crate::ast::*;
+use crate::token::{lex, Kw, LexError, Spanned, Tok};
+use std::error::Error;
+use std::fmt;
+
+/// Parsing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// Message.
+    pub message: String,
+}
+
+impl fmt::Display for CmParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for CmParseError {}
+
+impl From<LexError> for CmParseError {
+    fn from(e: LexError) -> CmParseError {
+        CmParseError {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+type Result<T> = std::result::Result<T, CmParseError>;
+
+/// Parse a Cm source file.
+///
+/// # Errors
+///
+/// Returns a [`CmParseError`] naming the offending line.
+pub fn parse_program(src: &str) -> Result<Program> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(CmParseError {
+            line: self.line(),
+            message: msg.into(),
+        })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<()> {
+        match self.peek() {
+            Tok::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => self.err(format!("expected `{p}`, found {other:?}")),
+        }
+    }
+
+    fn try_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    // ---- types ----------------------------------------------------------
+
+    /// Whether the current token starts a type.
+    fn at_type(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::Kw(Kw::Int | Kw::Double | Kw::Char | Kw::Bool | Kw::Void | Kw::Struct)
+        )
+    }
+
+    fn base_type(&mut self) -> Result<CmType> {
+        let t = match self.bump() {
+            Tok::Kw(Kw::Int) => CmType::Int,
+            Tok::Kw(Kw::Double) => CmType::Double,
+            Tok::Kw(Kw::Char) => CmType::Char,
+            Tok::Kw(Kw::Bool) => CmType::Bool,
+            Tok::Kw(Kw::Void) => CmType::Void,
+            Tok::Kw(Kw::Struct) => {
+                let name = self.ident()?;
+                CmType::Struct(name)
+            }
+            other => return self.err(format!("expected type, found {other:?}")),
+        };
+        Ok(t)
+    }
+
+    /// `base_type '*'*`
+    fn typ(&mut self) -> Result<CmType> {
+        let mut t = self.base_type()?;
+        while self.try_punct("*") {
+            t = CmType::ptr(t);
+        }
+        Ok(t)
+    }
+
+    // ---- items ----------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program> {
+        let mut prog = Program::default();
+        while !matches!(self.peek(), Tok::Eof) {
+            // struct definition: `struct Name {` (vs `struct Name ident`).
+            if matches!(self.peek(), Tok::Kw(Kw::Struct))
+                && matches!(self.peek2(), Tok::Ident(_))
+                && matches!(
+                    self.toks.get(self.pos + 2).map(|s| &s.tok),
+                    Some(Tok::Punct("{"))
+                )
+            {
+                prog.structs.push(self.struct_def()?);
+                continue;
+            }
+            // Otherwise: type name, then `(` => function, else global.
+            let line = self.line();
+            let ty = self.typ()?;
+            let name = self.ident()?;
+            if matches!(self.peek(), Tok::Punct("(")) {
+                prog.funcs.push(self.func_def(ty, name, line)?);
+            } else {
+                prog.globals.push(self.global_def(ty, name, line)?);
+            }
+        }
+        Ok(prog)
+    }
+
+    fn struct_def(&mut self) -> Result<StructDef> {
+        self.bump(); // struct
+        let name = self.ident()?;
+        self.eat_punct("{")?;
+        let mut fields = Vec::new();
+        while !self.try_punct("}") {
+            let fty = self.typ()?;
+            let fname = self.ident()?;
+            let fty = self.array_suffix(fty)?;
+            self.eat_punct(";")?;
+            fields.push((fty, fname));
+        }
+        let _ = self.try_punct(";");
+        Ok(StructDef { name, fields })
+    }
+
+    fn array_suffix(&mut self, mut ty: CmType) -> Result<CmType> {
+        let mut dims = Vec::new();
+        while self.try_punct("[") {
+            let n = match self.bump() {
+                Tok::Int(n) if n > 0 => n as u64,
+                other => return self.err(format!("expected array length, found {other:?}")),
+            };
+            self.eat_punct("]")?;
+            dims.push(n);
+        }
+        for n in dims.into_iter().rev() {
+            ty = CmType::Array(Box::new(ty), n);
+        }
+        Ok(ty)
+    }
+
+    fn global_def(&mut self, ty: CmType, name: String, line: usize) -> Result<GlobalDef> {
+        let ty = self.array_suffix(ty)?;
+        let init = if self.try_punct("=") {
+            Some(self.global_init()?)
+        } else {
+            None
+        };
+        self.eat_punct(";")?;
+        Ok(GlobalDef {
+            ty,
+            name,
+            init,
+            line,
+        })
+    }
+
+    fn global_init(&mut self) -> Result<Vec<GlobalLit>> {
+        let mut lits = Vec::new();
+        if self.try_punct("{") {
+            loop {
+                if self.try_punct("}") {
+                    break;
+                }
+                lits.push(self.global_lit()?);
+                if !self.try_punct(",") {
+                    self.eat_punct("}")?;
+                    break;
+                }
+            }
+        } else {
+            lits.push(self.global_lit()?);
+        }
+        Ok(lits)
+    }
+
+    fn global_lit(&mut self) -> Result<GlobalLit> {
+        let neg = self.try_punct("-");
+        match self.bump() {
+            Tok::Int(v) => Ok(GlobalLit::Int(if neg { -v } else { v })),
+            Tok::Float(v) => Ok(GlobalLit::Float(if neg { -v } else { v })),
+            other => self.err(format!("expected literal, found {other:?}")),
+        }
+    }
+
+    fn func_def(&mut self, ret: CmType, name: String, line: usize) -> Result<FuncDef> {
+        self.eat_punct("(")?;
+        let mut params = Vec::new();
+        if !self.try_punct(")") {
+            loop {
+                if matches!(self.peek(), Tok::Kw(Kw::Void)) && matches!(self.peek2(), Tok::Punct(")"))
+                {
+                    self.bump();
+                    self.eat_punct(")")?;
+                    break;
+                }
+                let pty = self.typ()?;
+                let pname = self.ident()?;
+                params.push((pty, pname));
+                if !self.try_punct(",") {
+                    self.eat_punct(")")?;
+                    break;
+                }
+            }
+        }
+        self.eat_punct("{")?;
+        let body = self.block_body()?;
+        Ok(FuncDef {
+            ret,
+            name,
+            params,
+            body,
+            line,
+        })
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>> {
+        let mut out = Vec::new();
+        while !self.try_punct("}") {
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let line = self.line();
+        match self.peek() {
+            Tok::Punct("{") => {
+                self.bump();
+                Ok(Stmt::Block(self.block_body()?))
+            }
+            Tok::Kw(Kw::If) => {
+                self.bump();
+                self.eat_punct("(")?;
+                let cond = self.expr()?;
+                self.eat_punct(")")?;
+                let then_body = self.stmt_as_block()?;
+                let else_body = if matches!(self.peek(), Tok::Kw(Kw::Else)) {
+                    self.bump();
+                    self.stmt_as_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
+            }
+            Tok::Kw(Kw::While) => {
+                self.bump();
+                self.eat_punct("(")?;
+                let cond = self.expr()?;
+                self.eat_punct(")")?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::Kw(Kw::For) => {
+                self.bump();
+                self.eat_punct("(")?;
+                let init = if self.try_punct(";") {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt_semi()?))
+                };
+                let cond = if matches!(self.peek(), Tok::Punct(";")) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.eat_punct(";")?;
+                let step = if matches!(self.peek(), Tok::Punct(")")) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.eat_punct(")")?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
+            }
+            Tok::Kw(Kw::Return) => {
+                self.bump();
+                let e = if self.try_punct(";") {
+                    return Ok(Stmt::Return(None, line));
+                } else {
+                    let e = self.expr()?;
+                    self.eat_punct(";")?;
+                    Some(e)
+                };
+                Ok(Stmt::Return(e, line))
+            }
+            Tok::Kw(Kw::Break) => {
+                self.bump();
+                self.eat_punct(";")?;
+                Ok(Stmt::Break(line))
+            }
+            Tok::Kw(Kw::Continue) => {
+                self.bump();
+                self.eat_punct(";")?;
+                Ok(Stmt::Continue(line))
+            }
+            _ => self.simple_stmt_semi(),
+        }
+    }
+
+    /// A declaration or expression statement, consuming the `;`.
+    fn simple_stmt_semi(&mut self) -> Result<Stmt> {
+        let line = self.line();
+        if self.at_type() && !self.is_struct_literal_expr() {
+            let ty = self.typ()?;
+            let name = self.ident()?;
+            let ty = self.array_suffix(ty)?;
+            let init = if self.try_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.eat_punct(";")?;
+            return Ok(Stmt::Decl {
+                ty,
+                name,
+                init,
+                line,
+            });
+        }
+        let e = self.expr()?;
+        self.eat_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    /// Disambiguate `struct X` (decl) — Cm has no struct-literal exprs, so
+    /// any type keyword starts a declaration.
+    fn is_struct_literal_expr(&self) -> bool {
+        false
+    }
+
+    fn stmt_as_block(&mut self) -> Result<Vec<Stmt>> {
+        if self.try_punct("{") {
+            self.block_body()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr> {
+        let line = self.line();
+        let lhs = self.logical_or()?;
+        let op = match self.peek() {
+            Tok::Punct("=") => None,
+            Tok::Punct("+=") => Some(BinOpKind::Add),
+            Tok::Punct("-=") => Some(BinOpKind::Sub),
+            Tok::Punct("*=") => Some(BinOpKind::Mul),
+            Tok::Punct("/=") => Some(BinOpKind::Div),
+            Tok::Punct("%=") => Some(BinOpKind::Rem),
+            Tok::Punct("&=") => Some(BinOpKind::And),
+            Tok::Punct("|=") => Some(BinOpKind::Or),
+            Tok::Punct("^=") => Some(BinOpKind::Xor),
+            Tok::Punct("<<=") => Some(BinOpKind::Shl),
+            Tok::Punct(">>=") => Some(BinOpKind::Shr),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let value = self.assignment()?;
+        Ok(Expr {
+            kind: ExprKind::Assign {
+                target: Box::new(lhs),
+                op,
+                value: Box::new(value),
+            },
+            line,
+        })
+    }
+
+    fn logical_or(&mut self) -> Result<Expr> {
+        let mut e = self.logical_and()?;
+        while matches!(self.peek(), Tok::Punct("||")) {
+            let line = self.line();
+            self.bump();
+            let r = self.logical_and()?;
+            e = Expr {
+                kind: ExprKind::LogicalOr(Box::new(e), Box::new(r)),
+                line,
+            };
+        }
+        Ok(e)
+    }
+
+    fn logical_and(&mut self) -> Result<Expr> {
+        let mut e = self.bit_or()?;
+        while matches!(self.peek(), Tok::Punct("&&")) {
+            let line = self.line();
+            self.bump();
+            let r = self.bit_or()?;
+            e = Expr {
+                kind: ExprKind::LogicalAnd(Box::new(e), Box::new(r)),
+                line,
+            };
+        }
+        Ok(e)
+    }
+
+    fn binary_level(
+        &mut self,
+        ops: &[(&str, BinOpKind)],
+        next: fn(&mut Parser) -> Result<Expr>,
+    ) -> Result<Expr> {
+        let mut e = next(self)?;
+        'outer: loop {
+            for (p, k) in ops {
+                if matches!(self.peek(), Tok::Punct(q) if q == p) {
+                    let line = self.line();
+                    self.bump();
+                    let r = next(self)?;
+                    e = Expr {
+                        kind: ExprKind::Binary(*k, Box::new(e), Box::new(r)),
+                        line,
+                    };
+                    continue 'outer;
+                }
+            }
+            return Ok(e);
+        }
+    }
+
+    fn bit_or(&mut self) -> Result<Expr> {
+        self.binary_level(&[("|", BinOpKind::Or)], Parser::bit_xor)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr> {
+        self.binary_level(&[("^", BinOpKind::Xor)], Parser::bit_and)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr> {
+        self.binary_level(&[("&", BinOpKind::And)], Parser::equality)
+    }
+
+    fn equality(&mut self) -> Result<Expr> {
+        self.binary_level(
+            &[("==", BinOpKind::Eq), ("!=", BinOpKind::Ne)],
+            Parser::relational,
+        )
+    }
+
+    fn relational(&mut self) -> Result<Expr> {
+        self.binary_level(
+            &[
+                ("<=", BinOpKind::Le),
+                (">=", BinOpKind::Ge),
+                ("<", BinOpKind::Lt),
+                (">", BinOpKind::Gt),
+            ],
+            Parser::shift,
+        )
+    }
+
+    fn shift(&mut self) -> Result<Expr> {
+        self.binary_level(
+            &[("<<", BinOpKind::Shl), (">>", BinOpKind::Shr)],
+            Parser::additive,
+        )
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        self.binary_level(
+            &[("+", BinOpKind::Add), ("-", BinOpKind::Sub)],
+            Parser::multiplicative,
+        )
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        self.binary_level(
+            &[
+                ("*", BinOpKind::Mul),
+                ("/", BinOpKind::Div),
+                ("%", BinOpKind::Rem),
+            ],
+            Parser::unary,
+        )
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        let line = self.line();
+        match self.peek() {
+            Tok::Punct("-") => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnOp::Neg, Box::new(e)),
+                    line,
+                })
+            }
+            Tok::Punct("!") => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnOp::Not, Box::new(e)),
+                    line,
+                })
+            }
+            Tok::Punct("~") => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnOp::BitNot, Box::new(e)),
+                    line,
+                })
+            }
+            Tok::Punct("*") => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr {
+                    kind: ExprKind::Deref(Box::new(e)),
+                    line,
+                })
+            }
+            Tok::Punct("&") => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr {
+                    kind: ExprKind::AddrOf(Box::new(e)),
+                    line,
+                })
+            }
+            Tok::Kw(Kw::Sizeof) => {
+                self.bump();
+                self.eat_punct("(")?;
+                let ty = self.typ()?;
+                let ty = self.array_suffix(ty)?;
+                self.eat_punct(")")?;
+                Ok(Expr {
+                    kind: ExprKind::Sizeof(ty),
+                    line,
+                })
+            }
+            // Cast: `( type ... )` — only when a type keyword follows `(`.
+            Tok::Punct("(") => {
+                if matches!(
+                    self.peek2(),
+                    Tok::Kw(Kw::Int | Kw::Double | Kw::Char | Kw::Bool | Kw::Void | Kw::Struct)
+                ) {
+                    self.bump();
+                    let ty = self.typ()?;
+                    self.eat_punct(")")?;
+                    let e = self.unary()?;
+                    return Ok(Expr {
+                        kind: ExprKind::Cast(ty, Box::new(e)),
+                        line,
+                    });
+                }
+                self.postfix()
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            let line = self.line();
+            match self.peek() {
+                Tok::Punct("[") => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.eat_punct("]")?;
+                    e = Expr {
+                        kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                        line,
+                    };
+                }
+                Tok::Punct(".") => {
+                    self.bump();
+                    let field = self.ident()?;
+                    e = Expr {
+                        kind: ExprKind::Field {
+                            base: Box::new(e),
+                            field,
+                            arrow: false,
+                        },
+                        line,
+                    };
+                }
+                Tok::Punct("->") => {
+                    self.bump();
+                    let field = self.ident()?;
+                    e = Expr {
+                        kind: ExprKind::Field {
+                            base: Box::new(e),
+                            field,
+                            arrow: true,
+                        },
+                        line,
+                    };
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr {
+                kind: ExprKind::IntLit(v),
+                line,
+            }),
+            Tok::Float(v) => Ok(Expr {
+                kind: ExprKind::FloatLit(v),
+                line,
+            }),
+            Tok::Char(v) => Ok(Expr {
+                kind: ExprKind::CharLit(v),
+                line,
+            }),
+            Tok::Kw(Kw::True) => Ok(Expr {
+                kind: ExprKind::BoolLit(true),
+                line,
+            }),
+            Tok::Kw(Kw::False) => Ok(Expr {
+                kind: ExprKind::BoolLit(false),
+                line,
+            }),
+            Tok::Kw(Kw::Null) => Ok(Expr {
+                kind: ExprKind::NullLit,
+                line,
+            }),
+            Tok::Ident(name) => {
+                if self.try_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.try_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.try_punct(",") {
+                                self.eat_punct(")")?;
+                                break;
+                            }
+                        }
+                    }
+                    Ok(Expr {
+                        kind: ExprKind::Call { name, args },
+                        line,
+                    })
+                } else {
+                    Ok(Expr {
+                        kind: ExprKind::Var(name),
+                        line,
+                    })
+                }
+            }
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse_program("int main() { return 1 + 2 * 3; }").unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].name, "main");
+        match &p.funcs[0].body[0] {
+            Stmt::Return(Some(e), _) => {
+                // precedence: 1 + (2*3)
+                match &e.kind {
+                    ExprKind::Binary(BinOpKind::Add, _, r) => {
+                        assert!(matches!(r.kind, ExprKind::Binary(BinOpKind::Mul, _, _)));
+                    }
+                    other => panic!("bad tree: {other:?}"),
+                }
+            }
+            other => panic!("expected return, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_structs_globals_functions() {
+        let src = r#"
+            struct point { double x; double y; };
+            int table[100];
+            double weights[3] = {1.0, 2.0, 3.0};
+            int add(int a, int b) { return a + b; }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.structs[0].fields.len(), 2);
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(
+            p.globals[0].ty,
+            CmType::Array(Box::new(CmType::Int), 100)
+        );
+        assert_eq!(p.globals[1].init.as_ref().unwrap().len(), 3);
+        assert_eq!(p.funcs[0].params.len(), 2);
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = r#"
+            int f(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i += 1) {
+                    if (i % 2 == 0) { s += i; } else { continue; }
+                    while (s > 100) { s -= 7; break; }
+                }
+                return s;
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert!(matches!(p.funcs[0].body[1], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parses_pointers_and_postfix() {
+        let src = r#"
+            struct node { int val; struct node* next; };
+            int f(struct node* n, int* a) {
+                return n->next->val + a[3] + (*a) + sizeof(struct node);
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.funcs[0].params[0].0, CmType::ptr(CmType::Struct("node".into())));
+    }
+
+    #[test]
+    fn parses_casts_and_logical_ops() {
+        let src = "int f(double x) { return (int) x + (x > 0.0 && x < 1.0); }";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.funcs.len(), 1);
+    }
+
+    #[test]
+    fn error_has_line_number() {
+        let e = parse_program("int main() {\n  return @;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

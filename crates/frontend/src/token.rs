@@ -1,0 +1,398 @@
+//! Lexer for Cm, the C-subset front-end language.
+
+use std::error::Error;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// Character literal (value).
+    Char(i8),
+    /// Identifier.
+    Ident(String),
+    /// Keyword.
+    Kw(Kw),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// Keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    /// `int`
+    Int,
+    /// `double`
+    Double,
+    /// `char`
+    Char,
+    /// `bool`
+    Bool,
+    /// `void`
+    Void,
+    /// `struct`
+    Struct,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `sizeof`
+    Sizeof,
+    /// `null`
+    Null,
+}
+
+/// A token plus its source line (for diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line.
+    pub line: usize,
+    /// Message.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for LexError {}
+
+const PUNCTS: &[&str] = &[
+    // longest first
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "(", ")", "{", "}", "[", "]", ";", ",", ".", "+",
+    "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~", "?", ":",
+];
+
+fn keyword(s: &str) -> Option<Kw> {
+    Some(match s {
+        "int" => Kw::Int,
+        "double" => Kw::Double,
+        "char" => Kw::Char,
+        "bool" => Kw::Bool,
+        "void" => Kw::Void,
+        "struct" => Kw::Struct,
+        "if" => Kw::If,
+        "else" => Kw::Else,
+        "while" => Kw::While,
+        "for" => Kw::For,
+        "return" => Kw::Return,
+        "break" => Kw::Break,
+        "continue" => Kw::Continue,
+        "true" => Kw::True,
+        "false" => Kw::False,
+        "sizeof" => Kw::Sizeof,
+        "null" | "NULL" => Kw::Null,
+        _ => return None,
+    })
+}
+
+/// Tokenize Cm source.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on malformed literals or unknown characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= bytes.len() {
+                    return Err(LexError {
+                        line,
+                        message: "unterminated block comment".into(),
+                    });
+                }
+                i += 2;
+                continue;
+            }
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] | 32) == b'x' {
+                i += 2;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                    i += 1;
+                }
+                let text = &src[start + 2..i];
+                let v = i64::from_str_radix(text, 16).map_err(|_| LexError {
+                    line,
+                    message: format!("bad hex literal `{text}`"),
+                })?;
+                out.push(Spanned {
+                    tok: Tok::Int(v),
+                    line,
+                });
+                continue;
+            }
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len()
+                && (bytes[i + 1] as char).is_ascii_digit()
+            {
+                is_float = true;
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < bytes.len() && (bytes[i] | 32) == b'e' {
+                let save = i;
+                i += 1;
+                if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                    i += 1;
+                }
+                if i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    is_float = true;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                } else {
+                    i = save;
+                }
+            }
+            let text = &src[start..i];
+            let tok = if is_float {
+                Tok::Float(text.parse().map_err(|_| LexError {
+                    line,
+                    message: format!("bad float literal `{text}`"),
+                })?)
+            } else {
+                Tok::Int(text.parse().map_err(|_| LexError {
+                    line,
+                    message: format!("bad int literal `{text}`"),
+                })?)
+            };
+            out.push(Spanned { tok, line });
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let text = &src[start..i];
+            let tok = match keyword(text) {
+                Some(k) => Tok::Kw(k),
+                None => Tok::Ident(text.to_string()),
+            };
+            out.push(Spanned { tok, line });
+            continue;
+        }
+        // Character literal.
+        if c == '\'' {
+            i += 1;
+            let val = if i < bytes.len() && bytes[i] == b'\\' {
+                i += 1;
+                let esc = bytes.get(i).copied().ok_or_else(|| LexError {
+                    line,
+                    message: "unterminated char literal".into(),
+                })?;
+                i += 1;
+                match esc {
+                    b'n' => b'\n' as i8,
+                    b't' => b'\t' as i8,
+                    b'0' => 0,
+                    b'\\' => b'\\' as i8,
+                    b'\'' => b'\'' as i8,
+                    other => {
+                        return Err(LexError {
+                            line,
+                            message: format!("unknown escape \\{}", other as char),
+                        })
+                    }
+                }
+            } else {
+                let v = bytes.get(i).copied().ok_or_else(|| LexError {
+                    line,
+                    message: "unterminated char literal".into(),
+                })? as i8;
+                i += 1;
+                v
+            };
+            if bytes.get(i) != Some(&b'\'') {
+                return Err(LexError {
+                    line,
+                    message: "unterminated char literal".into(),
+                });
+            }
+            i += 1;
+            out.push(Spanned {
+                tok: Tok::Char(val),
+                line,
+            });
+            continue;
+        }
+        // Punctuation.
+        let rest = &src[i..];
+        let mut matched = false;
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                out.push(Spanned {
+                    tok: Tok::Punct(p),
+                    line,
+                });
+                i += p.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(LexError {
+                line,
+                message: format!("unexpected character `{c}`"),
+            });
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_program_fragment() {
+        let t = toks("int main() { return 42; }");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Kw(Kw::Int),
+                Tok::Ident("main".into()),
+                Tok::Punct("("),
+                Tok::Punct(")"),
+                Tok::Punct("{"),
+                Tok::Kw(Kw::Return),
+                Tok::Int(42),
+                Tok::Punct(";"),
+                Tok::Punct("}"),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            toks("1 2.5 1e3 0x1f 7e"),
+            vec![
+                Tok::Int(1),
+                Tok::Float(2.5),
+                Tok::Float(1000.0),
+                Tok::Int(31),
+                Tok::Int(7),
+                Tok::Ident("e".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_multichar_operators() {
+        assert_eq!(
+            toks("a->b <= c && d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("->"),
+                Tok::Ident("b".into()),
+                Tok::Punct("<="),
+                Tok::Ident("c".into()),
+                Tok::Punct("&&"),
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_counts_lines() {
+        let spanned = lex("// hi\n/* multi\nline */ int x;").unwrap();
+        assert_eq!(spanned[0].tok, Tok::Kw(Kw::Int));
+        assert_eq!(spanned[0].line, 3);
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(
+            toks("'a' '\\n' '\\0'"),
+            vec![Tok::Char(97), Tok::Char(10), Tok::Char(0), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn reports_unknown_character() {
+        let e = lex("int @").unwrap_err();
+        assert!(e.message.contains('@'));
+    }
+}

@@ -1,0 +1,384 @@
+//! Functions and basic blocks.
+
+use crate::inst::{BlockId, Inst, ValueId};
+use crate::types::Type;
+
+/// How a value came to exist.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueDef {
+    /// The `index`-th formal parameter.
+    Arg {
+        /// Parameter position.
+        index: u32,
+        /// Parameter type.
+        ty: Type,
+    },
+    /// Result of (or placeholder for) an instruction placed in `block`.
+    Inst {
+        /// The instruction.
+        inst: Inst,
+        /// The block the instruction lives in.
+        block: BlockId,
+    },
+}
+
+/// A basic block: a straight-line run of instructions ending in a terminator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Block {
+    /// Human-readable label (unique within the function).
+    pub name: String,
+    /// Instruction sequence, as [`ValueId`]s into the function's arena.
+    pub insts: Vec<ValueId>,
+}
+
+/// A function: parameters, a return type, and a CFG of basic blocks over an
+/// arena of values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name (unique within the module).
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Type>,
+    /// Return type, or `None` for void.
+    pub ret: Option<Type>,
+    blocks: Vec<Block>,
+    values: Vec<ValueDef>,
+}
+
+impl Function {
+    /// Create an empty function (no blocks yet). Parameters are
+    /// pre-registered as the first `params.len()` values.
+    pub fn new(name: impl Into<String>, params: Vec<Type>, ret: Option<Type>) -> Function {
+        let values = params
+            .iter()
+            .enumerate()
+            .map(|(i, ty)| ValueDef::Arg {
+                index: i as u32,
+                ty: ty.clone(),
+            })
+            .collect();
+        Function {
+            name: name.into(),
+            params,
+            ret,
+            blocks: Vec::new(),
+            values,
+        }
+    }
+
+    /// The value representing formal parameter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn arg(&self, i: usize) -> ValueId {
+        assert!(i < self.params.len(), "argument index out of range");
+        ValueId(i as u32)
+    }
+
+    /// The entry block (the first block added).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function has no blocks.
+    pub fn entry(&self) -> BlockId {
+        assert!(!self.blocks.is_empty(), "function {} has no blocks", self.name);
+        BlockId(0)
+    }
+
+    /// Append a new, empty block.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block {
+            name: name.into(),
+            insts: Vec::new(),
+        });
+        id
+    }
+
+    /// All block ids in layout order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of values in the arena (args + instructions).
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Borrow a block.
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.index()]
+    }
+
+    /// Mutably borrow a block.
+    pub fn block_mut(&mut self, b: BlockId) -> &mut Block {
+        &mut self.blocks[b.index()]
+    }
+
+    /// Borrow a value definition.
+    pub fn def(&self, v: ValueId) -> &ValueDef {
+        &self.values[v.index()]
+    }
+
+    /// The instruction behind `v`, or `None` if `v` is an argument.
+    pub fn inst(&self, v: ValueId) -> Option<&Inst> {
+        match &self.values[v.index()] {
+            ValueDef::Inst { inst, .. } => Some(inst),
+            ValueDef::Arg { .. } => None,
+        }
+    }
+
+    /// Mutable access to the instruction behind `v`.
+    pub fn inst_mut(&mut self, v: ValueId) -> Option<&mut Inst> {
+        match &mut self.values[v.index()] {
+            ValueDef::Inst { inst, .. } => Some(inst),
+            ValueDef::Arg { .. } => None,
+        }
+    }
+
+    /// The block containing the instruction `v`, or `None` for arguments.
+    pub fn block_of(&self, v: ValueId) -> Option<BlockId> {
+        match &self.values[v.index()] {
+            ValueDef::Inst { block, .. } => Some(*block),
+            ValueDef::Arg { .. } => None,
+        }
+    }
+
+    /// Register `inst` in the arena and append it to block `b`.
+    pub fn append(&mut self, b: BlockId, inst: Inst) -> ValueId {
+        let id = self.push_value(inst, b);
+        self.blocks[b.index()].insts.push(id);
+        id
+    }
+
+    /// Register `inst` in the arena and insert it into block `b` at
+    /// position `pos` (index into the block's instruction list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos > len`.
+    pub fn insert_at(&mut self, b: BlockId, pos: usize, inst: Inst) -> ValueId {
+        let id = self.push_value(inst, b);
+        self.blocks[b.index()].insts.insert(pos, id);
+        id
+    }
+
+    /// Insert `inst` immediately before the existing instruction `before`
+    /// within its block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `before` is not an instruction present in its block's list.
+    pub fn insert_before(&mut self, before: ValueId, inst: Inst) -> ValueId {
+        let b = self
+            .block_of(before)
+            .expect("insert_before target must be an instruction");
+        let pos = self.blocks[b.index()]
+            .insts
+            .iter()
+            .position(|&v| v == before)
+            .expect("instruction not found in its block");
+        self.insert_at(b, pos, inst)
+    }
+
+    /// Remove instruction `v` from its block's list. The arena slot remains
+    /// (ids are stable) but the instruction no longer executes.
+    pub fn remove_from_block(&mut self, v: ValueId) {
+        if let Some(b) = self.block_of(v) {
+            self.blocks[b.index()].insts.retain(|&x| x != v);
+        }
+    }
+
+    /// Move instruction `v` to block `to` at position `pos`, updating its
+    /// recorded block. Used by guard hoisting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an instruction or `pos` is out of range.
+    pub fn move_inst(&mut self, v: ValueId, to: BlockId, pos: usize) {
+        self.remove_from_block(v);
+        match &mut self.values[v.index()] {
+            ValueDef::Inst { block, .. } => *block = to,
+            ValueDef::Arg { .. } => panic!("cannot move an argument"),
+        }
+        self.blocks[to.index()].insts.insert(pos, v);
+    }
+
+    fn push_value(&mut self, inst: Inst, block: BlockId) -> ValueId {
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(ValueDef::Inst { inst, block });
+        id
+    }
+
+    /// Replace this function's arena and block contents with parsed data.
+    ///
+    /// Used by the textual parser to reconstruct a function whose value ids
+    /// must match the printed ids exactly. `values` holds the defs for ids
+    /// `params.len()..`, and `block_lists[i]` the instruction sequence of
+    /// block `i` (which must already exist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_lists` does not match the number of blocks.
+    pub fn install_parsed(&mut self, values: Vec<ValueDef>, block_lists: Vec<Vec<ValueId>>) {
+        assert_eq!(
+            block_lists.len(),
+            self.blocks.len(),
+            "block list count mismatch"
+        );
+        self.values.truncate(self.params.len());
+        self.values.extend(values);
+        for (b, insts) in self.blocks.iter_mut().zip(block_lists) {
+            b.insts = insts;
+        }
+    }
+
+    /// The terminator of block `b`, if its last instruction is one.
+    pub fn terminator(&self, b: BlockId) -> Option<&Inst> {
+        let last = *self.blocks[b.index()].insts.last()?;
+        let inst = self.inst(last)?;
+        inst.is_terminator().then_some(inst)
+    }
+
+    /// Successor blocks of `b`.
+    pub fn successors(&self, b: BlockId) -> Vec<BlockId> {
+        self.terminator(b).map(Inst::successors).unwrap_or_default()
+    }
+
+    /// Compute the predecessor lists for every block.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for b in self.block_ids() {
+            for s in self.successors(b) {
+                preds[s.index()].push(b);
+            }
+        }
+        preds
+    }
+
+    /// The type of value `v`, resolving operand-dependent instructions
+    /// (integer binops, selects) through their operands.
+    ///
+    /// Returns `None` for void-producing instructions.
+    pub fn value_type(&self, v: ValueId) -> Option<Type> {
+        match &self.values[v.index()] {
+            ValueDef::Arg { ty, .. } => Some(ty.clone()),
+            ValueDef::Inst { inst, .. } => match inst {
+                Inst::Bin { op, lhs, .. } if !op.is_float() => self.value_type(*lhs),
+                Inst::Select { if_true, .. } => self.value_type(*if_true),
+                other => other.result_ty(),
+            },
+        }
+    }
+
+    /// Iterate over `(BlockId, ValueId, &Inst)` for every instruction in
+    /// layout order.
+    pub fn insts_in_layout_order(&self) -> impl Iterator<Item = (BlockId, ValueId, &Inst)> + '_ {
+        self.block_ids().flat_map(move |b| {
+            self.block(b).insts.iter().filter_map(move |&v| {
+                self.inst(v).map(|inst| (b, v, inst))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, Const};
+    use crate::types::IntTy;
+
+    fn sample() -> Function {
+        let mut f = Function::new("f", vec![Type::I64, Type::I64], Some(Type::I64));
+        let bb = f.add_block("entry");
+        let a = f.arg(0);
+        let b = f.arg(1);
+        let sum = f.append(
+            bb,
+            Inst::Bin {
+                op: BinOp::Add,
+                lhs: a,
+                rhs: b,
+            },
+        );
+        f.append(bb, Inst::Ret { value: Some(sum) });
+        f
+    }
+
+    #[test]
+    fn args_are_first_values() {
+        let f = sample();
+        assert_eq!(f.arg(0), ValueId(0));
+        assert_eq!(f.arg(1), ValueId(1));
+        assert_eq!(f.value_type(f.arg(0)), Some(Type::I64));
+        assert!(f.inst(f.arg(0)).is_none());
+    }
+
+    #[test]
+    fn append_and_terminator() {
+        let f = sample();
+        let bb = f.entry();
+        assert_eq!(f.block(bb).insts.len(), 2);
+        assert!(matches!(f.terminator(bb), Some(Inst::Ret { .. })));
+        assert!(f.successors(bb).is_empty());
+    }
+
+    #[test]
+    fn int_binop_type_follows_operands() {
+        let f = sample();
+        let sum = f.block(f.entry()).insts[0];
+        assert_eq!(f.value_type(sum), Some(Type::I64));
+    }
+
+    #[test]
+    fn insert_before_places_correctly() {
+        let mut f = sample();
+        let bb = f.entry();
+        let ret = *f.block(bb).insts.last().unwrap();
+        let c = f.insert_before(ret, Inst::Const(Const::Int(7, IntTy::I64)));
+        let insts = &f.block(bb).insts;
+        assert_eq!(insts.len(), 3);
+        assert_eq!(insts[1], c);
+        assert_eq!(insts[2], ret);
+    }
+
+    #[test]
+    fn remove_from_block_keeps_arena() {
+        let mut f = sample();
+        let bb = f.entry();
+        let sum = f.block(bb).insts[0];
+        f.remove_from_block(sum);
+        assert_eq!(f.block(bb).insts.len(), 1);
+        assert!(f.inst(sum).is_some(), "arena slot survives removal");
+    }
+
+    #[test]
+    fn predecessors_of_diamond() {
+        let mut f = Function::new("g", vec![Type::I1], None);
+        let e = f.add_block("entry");
+        let t = f.add_block("t");
+        let fl = f.add_block("f");
+        let j = f.add_block("join");
+        let cond = f.arg(0);
+        f.append(
+            e,
+            Inst::Br {
+                cond,
+                if_true: t,
+                if_false: fl,
+            },
+        );
+        f.append(t, Inst::Jmp { target: j });
+        f.append(fl, Inst::Jmp { target: j });
+        f.append(j, Inst::Ret { value: None });
+        let preds = f.predecessors();
+        assert_eq!(preds[j.index()], vec![t, fl]);
+        assert_eq!(preds[e.index()], Vec::<BlockId>::new());
+    }
+}

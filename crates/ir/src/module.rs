@@ -1,0 +1,174 @@
+//! Modules and global variables.
+
+use crate::func::Function;
+use crate::inst::{FuncId, GlobalId};
+use crate::types::Type;
+
+/// Initial contents of a global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInit {
+    /// Zero-initialized (a `bss`-style allocation).
+    Zero,
+    /// Explicit byte image (a `data`-style allocation); must be exactly
+    /// `ty.size()` bytes.
+    Bytes(Vec<u8>),
+    /// Word image: each `i64` stored little-endian at 8-byte strides. The
+    /// global's type must be at least `8 * len` bytes.
+    I64s(Vec<i64>),
+    /// Word image of doubles, as for [`GlobalInit::I64s`].
+    F64s(Vec<f64>),
+}
+
+/// A global variable: a named, statically-allocated block.
+///
+/// In CARAT terms, every global is a *static allocation*: it is recorded in
+/// the runtime's allocation table at load time, and its address constant in
+/// the code image is patched whenever the kernel relocates it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Name (unique within the module).
+    pub name: String,
+    /// Type, which determines the allocation's size.
+    pub ty: Type,
+    /// Initializer.
+    pub init: GlobalInit,
+}
+
+impl Global {
+    /// Size in bytes of this allocation.
+    pub fn size(&self) -> u64 {
+        self.ty.size()
+    }
+}
+
+/// A translation unit: globals plus functions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    globals: Vec<Global>,
+    funcs: Vec<Function>,
+}
+
+impl Module {
+    /// Create an empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module {
+            name: name.into(),
+            globals: Vec::new(),
+            funcs: Vec::new(),
+        }
+    }
+
+    /// Add a global; returns its id.
+    pub fn add_global(&mut self, g: Global) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(g);
+        id
+    }
+
+    /// Add a function; returns its id.
+    pub fn add_func(&mut self, f: Function) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(f);
+        id
+    }
+
+    /// Borrow a global.
+    pub fn global(&self, g: GlobalId) -> &Global {
+        &self.globals[g.index()]
+    }
+
+    /// Borrow a function.
+    pub fn func(&self, f: FuncId) -> &Function {
+        &self.funcs[f.index()]
+    }
+
+    /// Mutably borrow a function.
+    pub fn func_mut(&mut self, f: FuncId) -> &mut Function {
+        &mut self.funcs[f.index()]
+    }
+
+    /// All global ids.
+    pub fn global_ids(&self) -> impl Iterator<Item = GlobalId> + '_ {
+        (0..self.globals.len() as u32).map(GlobalId)
+    }
+
+    /// All function ids.
+    pub fn func_ids(&self) -> impl Iterator<Item = FuncId> + '_ {
+        (0..self.funcs.len() as u32).map(FuncId)
+    }
+
+    /// Number of globals.
+    pub fn num_globals(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Number of functions.
+    pub fn num_funcs(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Find a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Find a global by name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| GlobalId(i as u32))
+    }
+
+    /// The designated entry point (`main`), if present.
+    pub fn main(&self) -> Option<FuncId> {
+        self.func_by_name("main")
+    }
+
+    /// Total bytes of all static allocations — the module's *static
+    /// footprint* (Table 2 of the paper).
+    pub fn static_footprint(&self) -> u64 {
+        self.globals.iter().map(Global::size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        let mut m = Module::new("test");
+        let g = m.add_global(Global {
+            name: "table".into(),
+            ty: Type::Array(Box::new(Type::I64), 100),
+            init: GlobalInit::Zero,
+        });
+        let f = m.add_func(Function::new("main", vec![], Some(Type::I64)));
+        assert_eq!(m.global_by_name("table"), Some(g));
+        assert_eq!(m.func_by_name("main"), Some(f));
+        assert_eq!(m.main(), Some(f));
+        assert_eq!(m.func_by_name("nope"), None);
+    }
+
+    #[test]
+    fn static_footprint_sums_globals() {
+        let mut m = Module::new("test");
+        m.add_global(Global {
+            name: "a".into(),
+            ty: Type::Array(Box::new(Type::I64), 10),
+            init: GlobalInit::Zero,
+        });
+        m.add_global(Global {
+            name: "b".into(),
+            ty: Type::I32,
+            init: GlobalInit::Bytes(vec![1, 2, 3, 4]),
+        });
+        assert_eq!(m.static_footprint(), 84);
+    }
+}

@@ -1,0 +1,278 @@
+//! The CARAT IR type system.
+//!
+//! Mirrors the fragment of LLVM's type system that CARAT's transformations
+//! care about: scalar integers, a double-precision float, an opaque pointer,
+//! and the aggregate types (arrays, structs) needed to lay out globals and
+//! stack allocations. Layout (size, alignment, field offsets) is defined
+//! here because guards must know the byte extent of every access.
+
+use std::fmt;
+
+/// Width of an integer type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IntTy {
+    /// 1-bit boolean (stored as one byte).
+    I1,
+    /// 8-bit integer.
+    I8,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+}
+
+impl IntTy {
+    /// Size of a value of this type in bytes, as stored in memory.
+    pub fn size(self) -> u64 {
+        match self {
+            IntTy::I1 | IntTy::I8 => 1,
+            IntTy::I32 => 4,
+            IntTy::I64 => 8,
+        }
+    }
+
+    /// Number of value bits (1, 8, 32 or 64).
+    pub fn bits(self) -> u32 {
+        match self {
+            IntTy::I1 => 1,
+            IntTy::I8 => 8,
+            IntTy::I32 => 32,
+            IntTy::I64 => 64,
+        }
+    }
+
+    /// Wrap `v` to this width, sign-extending back to `i64`.
+    ///
+    /// This is the canonical in-register representation used by the
+    /// interpreter: every integer is held as an `i64` whose value is the
+    /// sign-extension of its low `bits()` bits.
+    pub fn wrap(self, v: i64) -> i64 {
+        match self {
+            IntTy::I1 => v & 1,
+            IntTy::I8 => v as i8 as i64,
+            IntTy::I32 => v as i32 as i64,
+            IntTy::I64 => v,
+        }
+    }
+}
+
+impl fmt::Display for IntTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntTy::I1 => write!(f, "i1"),
+            IntTy::I8 => write!(f, "i8"),
+            IntTy::I32 => write!(f, "i32"),
+            IntTy::I64 => write!(f, "i64"),
+        }
+    }
+}
+
+/// A first-class IR type.
+///
+/// Pointers are opaque (no pointee type), as in modern LLVM; memory
+/// instructions carry the accessed type explicitly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// Integer of the given width.
+    Int(IntTy),
+    /// IEEE-754 double.
+    F64,
+    /// Opaque pointer (8 bytes).
+    Ptr,
+    /// Fixed-length array.
+    Array(Box<Type>, u64),
+    /// Struct with the given field types, laid out with natural alignment.
+    Struct(Vec<Type>),
+}
+
+impl Type {
+    /// The 1-bit boolean type.
+    pub const I1: Type = Type::Int(IntTy::I1);
+    /// The 8-bit integer type.
+    pub const I8: Type = Type::Int(IntTy::I8);
+    /// The 32-bit integer type.
+    pub const I32: Type = Type::Int(IntTy::I32);
+    /// The 64-bit integer type.
+    pub const I64: Type = Type::Int(IntTy::I64);
+
+    /// Size in bytes a value of this type occupies in memory, including
+    /// interior padding (for structs) but following C-like layout rules.
+    pub fn size(&self) -> u64 {
+        match self {
+            Type::Int(w) => w.size(),
+            Type::F64 | Type::Ptr => 8,
+            Type::Array(elem, n) => elem.stride() * n,
+            Type::Struct(fields) => {
+                let mut off = 0u64;
+                let mut align = 1u64;
+                for f in fields {
+                    let a = f.align();
+                    align = align.max(a);
+                    off = round_up(off, a) + f.size();
+                }
+                round_up(off, align)
+            }
+        }
+    }
+
+    /// Alignment in bytes.
+    pub fn align(&self) -> u64 {
+        match self {
+            Type::Int(w) => w.size(),
+            Type::F64 | Type::Ptr => 8,
+            Type::Array(elem, _) => elem.align(),
+            Type::Struct(fields) => fields.iter().map(Type::align).max().unwrap_or(1),
+        }
+    }
+
+    /// Distance in bytes between consecutive array elements of this type.
+    pub fn stride(&self) -> u64 {
+        round_up(self.size(), self.align())
+    }
+
+    /// Byte offset of struct field `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a struct or `idx` is out of range.
+    pub fn field_offset(&self, idx: usize) -> u64 {
+        match self {
+            Type::Struct(fields) => {
+                assert!(idx < fields.len(), "field index {idx} out of range");
+                let mut off = 0u64;
+                for (i, f) in fields.iter().enumerate() {
+                    off = round_up(off, f.align());
+                    if i == idx {
+                        return off;
+                    }
+                    off += f.size();
+                }
+                unreachable!()
+            }
+            other => panic!("field_offset on non-struct type {other}"),
+        }
+    }
+
+    /// The type of struct field `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a struct or `idx` is out of range.
+    pub fn field_type(&self, idx: usize) -> &Type {
+        match self {
+            Type::Struct(fields) => &fields[idx],
+            other => panic!("field_type on non-struct type {other}"),
+        }
+    }
+
+    /// Whether this is a scalar (non-aggregate) type: the only types a
+    /// value (SSA register) may have.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Type::Int(_) | Type::F64 | Type::Ptr)
+    }
+
+    /// Whether this is an integer type.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Type::Int(_))
+    }
+
+    /// The integer width, if this is an integer type.
+    pub fn int_width(&self) -> Option<IntTy> {
+        match self {
+            Type::Int(w) => Some(*w),
+            _ => None,
+        }
+    }
+}
+
+/// Round `v` up to the next multiple of `align` (`align` must be a power of
+/// two or at least nonzero; we only require nonzero).
+pub fn round_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align > 0);
+    v.div_ceil(align) * align
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int(w) => write!(f, "{w}"),
+            Type::F64 => write!(f, "f64"),
+            Type::Ptr => write!(f, "ptr"),
+            Type::Array(elem, n) => write!(f, "[{n} x {elem}]"),
+            Type::Struct(fields) => {
+                write!(f, "{{")?;
+                for (i, t) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(Type::I1.size(), 1);
+        assert_eq!(Type::I8.size(), 1);
+        assert_eq!(Type::I32.size(), 4);
+        assert_eq!(Type::I64.size(), 8);
+        assert_eq!(Type::F64.size(), 8);
+        assert_eq!(Type::Ptr.size(), 8);
+    }
+
+    #[test]
+    fn array_layout() {
+        let a = Type::Array(Box::new(Type::I32), 10);
+        assert_eq!(a.size(), 40);
+        assert_eq!(a.align(), 4);
+        assert_eq!(a.stride(), 40);
+    }
+
+    #[test]
+    fn struct_layout_with_padding() {
+        // { i8, i64, i32 } -> i8 at 0, i64 at 8, i32 at 16, size 24
+        let s = Type::Struct(vec![Type::I8, Type::I64, Type::I32]);
+        assert_eq!(s.field_offset(0), 0);
+        assert_eq!(s.field_offset(1), 8);
+        assert_eq!(s.field_offset(2), 16);
+        assert_eq!(s.size(), 24);
+        assert_eq!(s.align(), 8);
+    }
+
+    #[test]
+    fn nested_aggregate_layout() {
+        let inner = Type::Struct(vec![Type::I8, Type::I32]); // size 8, align 4
+        assert_eq!(inner.size(), 8);
+        let outer = Type::Array(Box::new(inner), 3);
+        assert_eq!(outer.size(), 24);
+    }
+
+    #[test]
+    fn empty_struct() {
+        let s = Type::Struct(vec![]);
+        assert_eq!(s.size(), 0);
+        assert_eq!(s.align(), 1);
+    }
+
+    #[test]
+    fn int_wrap_sign_extends() {
+        assert_eq!(IntTy::I8.wrap(0xff), -1);
+        assert_eq!(IntTy::I8.wrap(0x7f), 127);
+        assert_eq!(IntTy::I32.wrap(0xffff_ffff), -1);
+        assert_eq!(IntTy::I1.wrap(3), 1);
+        assert_eq!(IntTy::I64.wrap(-5), -5);
+    }
+
+    #[test]
+    fn display_roundtrips_shapes() {
+        let t = Type::Array(Box::new(Type::Struct(vec![Type::Ptr, Type::F64])), 4);
+        assert_eq!(t.to_string(), "[4 x {ptr, f64}]");
+    }
+}

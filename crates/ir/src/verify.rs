@@ -1,0 +1,501 @@
+//! Module verifier.
+//!
+//! Checks structural well-formedness plus the CARAT source restrictions
+//! that the compiler must be able to rely on (paper §2.2): all control flow
+//! is through structured terminators and direct calls — the IR has no
+//! function-pointer type, so "no casts between function and data pointers"
+//! and "no pointer arithmetic on function pointers" hold by construction;
+//! this pass checks everything else.
+
+use crate::func::{Function, ValueDef};
+use crate::inst::{BlockId, Inst, ValueId};
+use crate::module::{GlobalInit, Module};
+use crate::types::Type;
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function name (empty for module-level problems).
+    pub func: String,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.func.is_empty() {
+            write!(f, "verify error: {}", self.message)
+        } else {
+            write!(f, "verify error in @{}: {}", self.func, self.message)
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verify a whole module.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    // Globals: explicit initializers must fit the type.
+    for gid in m.global_ids() {
+        let g = m.global(gid);
+        match &g.init {
+            GlobalInit::Zero => {}
+            GlobalInit::Bytes(bs) => {
+                if bs.len() as u64 != g.ty.size() {
+                    return Err(VerifyError {
+                        func: String::new(),
+                        message: format!(
+                            "global @{}: byte initializer length {} != type size {}",
+                            g.name,
+                            bs.len(),
+                            g.ty.size()
+                        ),
+                    });
+                }
+            }
+            GlobalInit::I64s(ws) => {
+                if (ws.len() as u64) * 8 > g.ty.size() {
+                    return Err(VerifyError {
+                        func: String::new(),
+                        message: format!("global @{}: i64 initializer overflows type", g.name),
+                    });
+                }
+            }
+            GlobalInit::F64s(ws) => {
+                if (ws.len() as u64) * 8 > g.ty.size() {
+                    return Err(VerifyError {
+                        func: String::new(),
+                        message: format!("global @{}: f64 initializer overflows type", g.name),
+                    });
+                }
+            }
+        }
+    }
+    for fid in m.func_ids() {
+        verify_func(m, m.func(fid))?;
+    }
+    Ok(())
+}
+
+fn err(f: &Function, message: impl Into<String>) -> Result<(), VerifyError> {
+    Err(VerifyError {
+        func: f.name.clone(),
+        message: message.into(),
+    })
+}
+
+/// Verify one function.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found.
+pub fn verify_func(m: &Module, f: &Function) -> Result<(), VerifyError> {
+    if f.num_blocks() == 0 {
+        return err(f, "function has no blocks");
+    }
+    // Gather live instruction ids (those present in some block).
+    let mut placed: HashSet<ValueId> = HashSet::new();
+    for b in f.block_ids() {
+        for &v in &f.block(b).insts {
+            if !placed.insert(v) {
+                return err(f, format!("{v} appears in more than one position"));
+            }
+            match f.def(v) {
+                ValueDef::Arg { .. } => return err(f, format!("{v} is an argument inside a block")),
+                ValueDef::Inst { block, .. } if *block != b => {
+                    return err(f, format!("{v} recorded in wrong block"))
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let preds = f.predecessors();
+    for b in f.block_ids() {
+        let insts = &f.block(b).insts;
+        if insts.is_empty() {
+            return err(f, format!("block {b} is empty"));
+        }
+        // Exactly one terminator and it is last.
+        for (i, &v) in insts.iter().enumerate() {
+            let inst = f.inst(v).expect("placed values are instructions");
+            let is_last = i + 1 == insts.len();
+            if inst.is_terminator() != is_last {
+                return err(
+                    f,
+                    format!("block {b}: terminator placement wrong at position {i}"),
+                );
+            }
+            // Phis only at the head.
+            if matches!(inst, Inst::Phi { .. }) {
+                let head = insts[..i]
+                    .iter()
+                    .all(|&w| matches!(f.inst(w), Some(Inst::Phi { .. })));
+                if !head {
+                    return err(f, format!("block {b}: phi not at head"));
+                }
+                // Incoming blocks must exactly match predecessors.
+                if let Some(Inst::Phi { incomings, .. }) = f.inst(v) {
+                    let inc: HashSet<BlockId> = incomings.iter().map(|(p, _)| *p).collect();
+                    let actual: HashSet<BlockId> = preds[b.index()].iter().copied().collect();
+                    if inc != actual {
+                        return err(
+                            f,
+                            format!(
+                                "block {b}: phi incomings {:?} do not match predecessors {:?}",
+                                inc, actual
+                            ),
+                        );
+                    }
+                }
+            }
+            // Successor targets exist.
+            for s in inst.successors() {
+                if s.index() >= f.num_blocks() {
+                    return err(f, format!("block {b}: branch to nonexistent {s}"));
+                }
+            }
+            // Operands must exist and (if instructions) be placed in a block.
+            for op in inst.operands() {
+                if op.index() >= f.num_values() {
+                    return err(f, format!("{v} uses undefined value {op}"));
+                }
+                match f.def(op) {
+                    ValueDef::Arg { .. } => {}
+                    ValueDef::Inst { .. } => {
+                        if !placed.contains(&op) {
+                            return err(f, format!("{v} uses unplaced instruction {op}"));
+                        }
+                    }
+                }
+            }
+            type_check(m, f, v, inst)?;
+        }
+    }
+
+    // Return type agreement.
+    for b in f.block_ids() {
+        if let Some(Inst::Ret { value }) = f.terminator(b) {
+            match (value, &f.ret) {
+                (None, None) => {}
+                (Some(v), Some(rt)) => {
+                    if let Some(vt) = f.value_type(*v) {
+                        if &vt != rt {
+                            return err(f, format!("ret type {vt} != declared {rt}"));
+                        }
+                    }
+                }
+                (Some(_), None) => return err(f, "ret with value in void function"),
+                (None, Some(_)) => return err(f, "ret without value in non-void function"),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn type_check(m: &Module, f: &Function, v: ValueId, inst: &Inst) -> Result<(), VerifyError> {
+    let ty_of = |x: ValueId| f.value_type(x);
+    let want = |cond: bool, msg: String| -> Result<(), VerifyError> {
+        if cond {
+            Ok(())
+        } else {
+            Err(VerifyError {
+                func: f.name.clone(),
+                message: msg,
+            })
+        }
+    };
+    match inst {
+        Inst::Load { ty, addr } => {
+            want(ty.is_scalar(), format!("{v}: load of non-scalar {ty}"))?;
+            want(
+                ty_of(*addr) == Some(Type::Ptr),
+                format!("{v}: load address is not ptr"),
+            )
+        }
+        Inst::Store { ty, addr, value } => {
+            want(ty.is_scalar(), format!("{v}: store of non-scalar {ty}"))?;
+            want(
+                ty_of(*addr) == Some(Type::Ptr),
+                format!("{v}: store address is not ptr"),
+            )?;
+            want(
+                ty_of(*value).as_ref() == Some(ty),
+                format!("{v}: store value type mismatch"),
+            )
+        }
+        Inst::PtrAdd { base, index, .. } => {
+            want(
+                ty_of(*base) == Some(Type::Ptr),
+                format!("{v}: ptradd base is not ptr"),
+            )?;
+            want(
+                ty_of(*index) == Some(Type::I64),
+                format!("{v}: ptradd index is not i64"),
+            )
+        }
+        Inst::FieldAddr {
+            base,
+            struct_ty,
+            field,
+        } => {
+            want(
+                ty_of(*base) == Some(Type::Ptr),
+                format!("{v}: fieldaddr base is not ptr"),
+            )?;
+            match struct_ty {
+                Type::Struct(fs) => want(
+                    (*field as usize) < fs.len(),
+                    format!("{v}: field index out of range"),
+                ),
+                _ => err(f, format!("{v}: fieldaddr on non-struct")),
+            }
+        }
+        Inst::Bin { op, lhs, rhs } => {
+            let (lt, rt) = (ty_of(*lhs), ty_of(*rhs));
+            if op.is_float() {
+                want(
+                    lt == Some(Type::F64) && rt == Some(Type::F64),
+                    format!("{v}: float binop on non-floats"),
+                )
+            } else {
+                want(
+                    lt.as_ref().is_some_and(Type::is_int) && lt == rt,
+                    format!("{v}: int binop operand mismatch ({lt:?} vs {rt:?})"),
+                )
+            }
+        }
+        Inst::Icmp { lhs, rhs, .. } => {
+            let (lt, rt) = (ty_of(*lhs), ty_of(*rhs));
+            let ok = lt == rt && lt.as_ref().is_some_and(|t| t.is_int() || *t == Type::Ptr);
+            want(ok, format!("{v}: icmp operand mismatch"))
+        }
+        Inst::Fcmp { lhs, rhs, .. } => want(
+            ty_of(*lhs) == Some(Type::F64) && ty_of(*rhs) == Some(Type::F64),
+            format!("{v}: fcmp on non-floats"),
+        ),
+        Inst::Cast { kind, value, to } => {
+            use crate::inst::CastKind::*;
+            let from = ty_of(*value);
+            let ok = match kind {
+                Sext | Zext | Trunc => {
+                    from.as_ref().is_some_and(Type::is_int) && to.is_int()
+                }
+                SiToFp => from.as_ref().is_some_and(Type::is_int) && *to == Type::F64,
+                FpToSi => from == Some(Type::F64) && to.is_int(),
+                PtrToInt => from == Some(Type::Ptr) && *to == Type::I64,
+                IntToPtr => from == Some(Type::I64) && *to == Type::Ptr,
+            };
+            want(ok, format!("{v}: invalid cast"))
+        }
+        Inst::Select { cond, .. } => want(
+            ty_of(*cond) == Some(Type::I1),
+            format!("{v}: select condition is not i1"),
+        ),
+        Inst::Phi { ty, incomings } => {
+            for (_, iv) in incomings {
+                if let Some(t) = ty_of(*iv) {
+                    if &t != ty {
+                        return err(f, format!("{v}: phi incoming type {t} != {ty}"));
+                    }
+                }
+            }
+            Ok(())
+        }
+        Inst::Call {
+            callee,
+            args,
+            ret_ty,
+        } => {
+            if callee.index() >= m.num_funcs() {
+                return err(f, format!("{v}: call to nonexistent function"));
+            }
+            let target = m.func(*callee);
+            want(
+                args.len() == target.params.len(),
+                format!("{v}: call arg count mismatch"),
+            )?;
+            for (a, p) in args.iter().zip(&target.params) {
+                if let Some(at) = ty_of(*a) {
+                    if &at != p {
+                        return err(f, format!("{v}: call arg type {at} != param {p}"));
+                    }
+                }
+            }
+            want(
+                ret_ty == &target.ret,
+                format!("{v}: call return type mismatch"),
+            )
+        }
+        Inst::CallIntrinsic { intr, args } => {
+            let params = intr.param_tys();
+            want(
+                args.len() == params.len(),
+                format!("{v}: intrinsic {} arg count mismatch", intr.name()),
+            )?;
+            for (a, p) in args.iter().zip(&params) {
+                if let Some(at) = ty_of(*a) {
+                    if &at != p {
+                        return err(
+                            f,
+                            format!("{v}: intrinsic {} arg type {at} != {p}", intr.name()),
+                        );
+                    }
+                }
+            }
+            Ok(())
+        }
+        Inst::Br { cond, .. } => want(
+            ty_of(*cond) == Some(Type::I1),
+            format!("{v}: branch condition is not i1"),
+        ),
+        Inst::Alloca(_)
+        | Inst::Const(_)
+        | Inst::Jmp { .. }
+        | Inst::Ret { .. }
+        | Inst::Unreachable => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::inst::{BinOp, Const, Intrinsic};
+    use crate::types::IntTy;
+
+    fn ok_module() -> Module {
+        let mut mb = ModuleBuilder::new("ok");
+        let f = mb.declare("main", vec![], Some(Type::I64));
+        {
+            let mut b = mb.define(f);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let size = b.const_i64(64);
+            let p = b.malloc(size);
+            let x = b.const_i64(5);
+            b.store(Type::I64, p, x);
+            let y = b.load(Type::I64, p);
+            b.free(p);
+            b.ret(Some(y));
+        }
+        mb.finish()
+    }
+
+    #[test]
+    fn accepts_valid_module() {
+        verify_module(&ok_module()).expect("valid module verifies");
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut m = Module::new("bad");
+        let mut f = Function::new("f", vec![], None);
+        let b = f.add_block("entry");
+        f.append(b, Inst::Const(Const::Int(1, IntTy::I64)));
+        m.add_func(f);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn rejects_store_type_mismatch() {
+        let mut m = Module::new("bad");
+        let mut f = Function::new("f", vec![Type::Ptr], None);
+        let b = f.add_block("entry");
+        let c = f.append(b, Inst::Const(Const::F64(1.0)));
+        f.append(
+            b,
+            Inst::Store {
+                ty: Type::I64,
+                addr: f.arg(0),
+                value: c,
+            },
+        );
+        f.append(b, Inst::Ret { value: None });
+        m.add_func(f);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("store value type"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_phi_incomings() {
+        let mut m = Module::new("bad");
+        let mut f = Function::new("f", vec![], None);
+        let e0 = f.add_block("entry");
+        let e1 = f.add_block("next");
+        f.append(e0, Inst::Jmp { target: e1 });
+        let c = f.append(e1, Inst::Const(Const::Int(0, IntTy::I64)));
+        // phi claims an incoming from e1 itself, which is not a predecessor
+        let bad_phi = Inst::Phi {
+            ty: Type::I64,
+            incomings: vec![(e1, c)],
+        };
+        let b1 = &mut f;
+        let phi = b1.append(e1, bad_phi);
+        // move phi to head
+        b1.block_mut(e1).insts.retain(|&x| x != phi);
+        b1.block_mut(e1).insts.insert(0, phi);
+        b1.append(e1, Inst::Ret { value: None });
+        m.add_func(f);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("phi incomings"), "{e}");
+    }
+
+    #[test]
+    fn rejects_intrinsic_arity() {
+        let mut m = Module::new("bad");
+        let mut f = Function::new("f", vec![Type::Ptr], None);
+        let b = f.add_block("entry");
+        f.append(
+            b,
+            Inst::CallIntrinsic {
+                intr: Intrinsic::GuardLoad,
+                args: vec![f.arg(0)],
+            },
+        );
+        f.append(b, Inst::Ret { value: None });
+        m.add_func(f);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("arg count"), "{e}");
+    }
+
+    #[test]
+    fn rejects_int_binop_width_mismatch() {
+        let mut m = Module::new("bad");
+        let mut f = Function::new("f", vec![], None);
+        let b = f.add_block("entry");
+        let a = f.append(b, Inst::Const(Const::Int(1, IntTy::I32)));
+        let c = f.append(b, Inst::Const(Const::Int(1, IntTy::I64)));
+        f.append(
+            b,
+            Inst::Bin {
+                op: BinOp::Add,
+                lhs: a,
+                rhs: c,
+            },
+        );
+        f.append(b, Inst::Ret { value: None });
+        m.add_func(f);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_global_initializer_mismatch() {
+        let mut m = ok_module();
+        m.add_global(crate::module::Global {
+            name: "g".into(),
+            ty: Type::I64,
+            init: GlobalInit::Bytes(vec![0; 4]),
+        });
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("initializer"), "{e}");
+    }
+}

@@ -1,0 +1,799 @@
+//! The simulated kernel: physical memory management, region policy, the
+//! paging baseline, and the CARAT move/protection orchestration (paper
+//! §4.3 — the kernel module's role).
+
+use crate::buddy::BuddyAllocator;
+use crate::loader::{load_signed, load_unsigned, LoadConfig, LoadError, ProcessImage};
+use crate::pagetable::{PageTable, Pte};
+use crate::phys::PhysicalMemory;
+use crate::trace::{PagingEvent, PagingTrace};
+use carat_core::sign::{SignedModule, SigningKey};
+use carat_ir::Module;
+use carat_runtime::{
+    perform_move, AllocationTable, CostModel, MemAccess, MoveOutcome, MoveRequest, Perms,
+    Region, RegionTable, WorldStop,
+};
+use std::collections::HashMap;
+
+/// The simulated kernel.
+#[derive(Debug)]
+pub struct SimKernel {
+    /// Physical memory.
+    pub mem: PhysicalMemory,
+    /// Page-frame allocator.
+    pub buddy: BuddyAllocator,
+    /// MMU-notifier-style trace (Table 2 counters).
+    pub trace: PagingTrace,
+    /// Baseline page table (traditional model only).
+    pub pagetable: PageTable,
+    /// CARAT region set for the (single) process.
+    pub regions: RegionTable,
+    /// Machine cost model.
+    pub cost: CostModel,
+    /// Master region list behind `regions` (kept sorted; holes punched on
+    /// moves).
+    master: Vec<Region>,
+    /// Page ranges vacated by moves, recycled as future move destinations
+    /// ("frees the data at the old location", paper §4.2).
+    vacated: Vec<(u64, u64)>,
+    /// Swapped-out ranges by slot id: the paper's non-canonical-address
+    /// encoding of "this data is in swap" (§2.2).
+    swap: HashMap<u64, SwapEntry>,
+    next_swap_slot: u64,
+    trusted: Vec<SigningKey>,
+}
+
+/// One swapped-out range.
+#[derive(Debug, Clone)]
+struct SwapEntry {
+    len: u64,
+    data: Vec<u8>,
+}
+
+/// A [`MemAccess`] view that routes poison addresses into the swap store,
+/// so pointer patching reaches cells whose backing data is swapped out.
+pub struct SwapAwareMem<'a> {
+    mem: &'a mut PhysicalMemory,
+    swap: &'a mut HashMap<u64, SwapEntry>,
+}
+
+impl MemAccess for SwapAwareMem<'_> {
+    fn read_u64(&self, addr: u64) -> u64 {
+        if addr >= POISON_BASE {
+            let slot = (addr - POISON_BASE) / POISON_SLOT_SPAN;
+            let off = ((addr - POISON_BASE) % POISON_SLOT_SPAN) as usize;
+            if let Some(e) = self.swap.get(&slot) {
+                if off + 8 <= e.data.len() {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&e.data[off..off + 8]);
+                    return u64::from_le_bytes(b);
+                }
+            }
+            return 0;
+        }
+        self.mem.read_u64(addr)
+    }
+
+    fn write_u64(&mut self, addr: u64, val: u64) {
+        if addr >= POISON_BASE {
+            let slot = (addr - POISON_BASE) / POISON_SLOT_SPAN;
+            let off = ((addr - POISON_BASE) % POISON_SLOT_SPAN) as usize;
+            if let Some(e) = self.swap.get_mut(&slot) {
+                if off + 8 <= e.data.len() {
+                    e.data[off..off + 8].copy_from_slice(&val.to_le_bytes());
+                }
+            }
+            return;
+        }
+        self.mem.write_u64(addr, val);
+    }
+
+    fn copy(&mut self, src: u64, dst: u64, len: u64) {
+        assert!(
+            src < POISON_BASE && dst < POISON_BASE,
+            "bulk copies operate on resident memory"
+        );
+        self.mem.copy(src, dst, len);
+    }
+}
+
+/// Base of the non-canonical ("poison") address space used to mark
+/// swapped-out data. Any address at or above this cannot be a physical
+/// address in the simulated machine; a guard that sees one faults to the
+/// kernel, which brings the data back in.
+pub const POISON_BASE: u64 = 0xFFFF_8000_0000_0000;
+/// Poison address span reserved per swap slot.
+pub const POISON_SLOT_SPAN: u64 = 1 << 24;
+
+impl SimKernel {
+    /// Boot a kernel over `mem_size` bytes of physical memory. The first
+    /// 64 KiB are reserved (null-page trap + kernel image stand-in).
+    pub fn new(mem_size: u64) -> SimKernel {
+        let cost = CostModel::default();
+        let page = cost.page_size;
+        let reserved = 64 * 1024;
+        let pages = (mem_size - reserved) / page;
+        SimKernel {
+            mem: PhysicalMemory::new(mem_size),
+            buddy: BuddyAllocator::new(reserved, pages, page),
+            trace: PagingTrace::new(4096),
+            pagetable: PageTable::new(),
+            regions: RegionTable::new(),
+            cost,
+            master: Vec::new(),
+            vacated: Vec::new(),
+            swap: HashMap::new(),
+            next_swap_slot: 0,
+            trusted: Vec::new(),
+        }
+    }
+
+    /// Whether `addr` encodes swapped-out data.
+    pub fn is_poison(addr: u64) -> bool {
+        addr >= POISON_BASE
+    }
+
+    /// Number of ranges currently in swap.
+    pub fn swapped_ranges(&self) -> usize {
+        self.swap.len()
+    }
+
+    /// Whether swap slot `slot` is live.
+    pub fn has_swap_slot(&self, slot: u64) -> bool {
+        self.swap.contains_key(&slot)
+    }
+
+    /// Debug aid: read a u64 through the swap-aware router without
+    /// mutating anything.
+    pub fn debug_read_routed(&self, addr: u64) -> u64 {
+        if Self::is_poison(addr) {
+            let slot = (addr - POISON_BASE) / POISON_SLOT_SPAN;
+            let off = ((addr - POISON_BASE) % POISON_SLOT_SPAN) as usize;
+            if let Some(e) = self.swap.get(&slot) {
+                if off + 8 <= e.data.len() {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&e.data[off..off + 8]);
+                    return u64::from_le_bytes(b);
+                }
+            }
+            return 0;
+        }
+        if addr + 8 <= self.mem.size() {
+            self.mem.read_uint(addr, 8)
+        } else {
+            0
+        }
+    }
+
+    /// Debug aid: find occurrences of an 8-byte value inside swap images.
+    /// Returns `(slot, byte offset)` pairs.
+    pub fn debug_scan_swap(&self, needle: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for (&slot, e) in &self.swap {
+            for off in (0..e.data.len().saturating_sub(7)).step_by(8) {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&e.data[off..off + 8]);
+                if u64::from_le_bytes(b) == needle {
+                    out.push((slot, off as u64));
+                }
+            }
+        }
+        out
+    }
+
+    /// Pick a destination for `len` bytes: recycle a vacated range when one
+    /// fits, else take fresh frames from the buddy allocator.
+    fn alloc_move_dst(&mut self, len: u64) -> Option<u64> {
+        let page = self.cost.page_size;
+        if let Some(i) = self.vacated.iter().position(|&(_, l)| l >= len) {
+            let (start, l) = self.vacated[i];
+            if l == len {
+                self.vacated.remove(i);
+            } else {
+                self.vacated[i] = (start + len, l - len);
+            }
+            return Some(start);
+        }
+        self.buddy.alloc_pages(len / page)
+    }
+
+    /// Register a toolchain key the kernel trusts.
+    pub fn trust(&mut self, key: SigningKey) {
+        self.trusted.push(key);
+    }
+
+    /// Load a signed CARAT binary; installs the capsule region set and
+    /// counts the initial page allocations.
+    ///
+    /// # Errors
+    ///
+    /// See [`LoadError`].
+    pub fn load(
+        &mut self,
+        signed: &SignedModule,
+        table: &mut AllocationTable,
+        cfg: LoadConfig,
+    ) -> Result<ProcessImage, LoadError> {
+        let img = load_signed(
+            signed,
+            &self.trusted,
+            &mut self.mem,
+            &mut self.buddy,
+            table,
+            cfg,
+        )?;
+        self.install_image(&img);
+        Ok(img)
+    }
+
+    /// Load an unsigned module (baseline mode and tests).
+    ///
+    /// # Errors
+    ///
+    /// See [`LoadError`].
+    pub fn load_unsigned(
+        &mut self,
+        module: Module,
+        table: &mut AllocationTable,
+        cfg: LoadConfig,
+    ) -> Result<ProcessImage, LoadError> {
+        let img = load_unsigned(module, &mut self.mem, &mut self.buddy, table, cfg)?;
+        self.install_image(&img);
+        Ok(img)
+    }
+
+    fn install_image(&mut self, img: &ProcessImage) {
+        self.master = vec![img.capsule_region()];
+        self.regions.set_regions(self.master.clone());
+        // Initial pages (stack+data+code) are allocations at load time.
+        let page = self.cost.page_size;
+        for i in 0..img.initial_pages {
+            self.trace.record_first_touch(img.stack.0 / page + i);
+        }
+    }
+
+    /// Demand-allocate the page containing `addr` (CARAT mode: pure
+    /// bookkeeping; the capsule already covers the arena). Returns whether
+    /// this was a fresh page.
+    pub fn demand_touch(&mut self, addr: u64) -> bool {
+        self.trace.record_first_touch(addr / self.cost.page_size)
+    }
+
+    /// Baseline: translate-or-fault. Ensures `vpn` is mapped, allocating
+    /// and mapping a fresh frame on first touch. Returns the PTE.
+    pub fn ensure_mapped(&mut self, vpn: u64) -> Pte {
+        if let Some(pte) = self.pagetable.translate(vpn) {
+            return pte;
+        }
+        let frame = self
+            .buddy
+            .alloc_pages(1)
+            .expect("baseline out of page frames");
+        let pte = Pte {
+            ppn: frame / self.cost.page_size,
+            writable: true,
+        };
+        self.pagetable.map(vpn, pte);
+        self.trace.record(PagingEvent::Alloc { page: vpn });
+        pte
+    }
+
+    /// Change protections on a region of the process (paper: "a region
+    /// change is a modification of a region entry"). `start..start+len`
+    /// must already lie within the capsule.
+    pub fn change_protection(&mut self, start: u64, len: u64, perms: Perms) {
+        self.punch_hole(start, start + len);
+        self.master.push(Region { start, len, perms });
+        self.master.sort_by_key(|r| r.start);
+        self.regions.set_regions(self.master.clone());
+        self.trace.record(PagingEvent::Invalidate {
+            first: start / self.cost.page_size,
+            count: len.div_ceil(self.cost.page_size),
+        });
+    }
+
+    fn punch_hole(&mut self, lo: u64, hi: u64) {
+        let mut next = Vec::with_capacity(self.master.len() + 2);
+        for r in self.master.drain(..) {
+            let (rs, re) = (r.start, r.end());
+            if re <= lo || rs >= hi {
+                next.push(r);
+                continue;
+            }
+            if rs < lo {
+                next.push(Region {
+                    start: rs,
+                    len: lo - rs,
+                    perms: r.perms,
+                });
+            }
+            if re > hi {
+                next.push(Region {
+                    start: hi,
+                    len: re - hi,
+                    perms: r.perms,
+                });
+            }
+        }
+        self.master = next;
+    }
+
+    /// The worst-case page to move: the page-aligned address overlapping
+    /// the allocation with the most live escapes (paper §4.4).
+    pub fn worst_page(&self, table: &AllocationTable) -> Option<u64> {
+        let page = self.cost.page_size;
+        table
+            .snapshot()
+            .into_iter()
+            // Swapped-out (poison-resident) allocations cannot be moved.
+            .filter(|&(start, _, _, _)| !Self::is_poison(start))
+            .max_by_key(|&(_, _, escapes_live, _)| escapes_live)
+            .map(|(start, _, _, _)| start / page * page)
+    }
+
+    /// Execute a full CARAT page movement: world stop, negotiation,
+    /// patching (escapes + registers), data copy, region update, resume.
+    /// Returns the protocol record and the move outcome.
+    ///
+    /// `regs` is the register state of all threads, dumped by the signal
+    /// handlers; `threads` its thread count.
+    pub fn move_pages(
+        &mut self,
+        table: &mut AllocationTable,
+        regs: &mut [u64],
+        src: u64,
+        pages: u64,
+        threads: usize,
+    ) -> (WorldStop, MoveOutcome) {
+        let page = self.cost.page_size;
+        let len = pages * page;
+        // Pre-negotiate the expansion so the destination is large enough.
+        let (xsrc, xlen) =
+            carat_runtime::expand_to_allocations(table, src / page * page, len, page);
+        let dst = self
+            .alloc_move_dst(xlen)
+            .expect("out of frames for move destination");
+
+        let mut world = WorldStop::new(threads);
+        world.signal_all(&self.cost).expect("fresh episode");
+        for _ in 0..threads {
+            world.thread_entered().expect("threads enter");
+        }
+        world.barrier1(&self.cost).expect("barrier");
+        world.negotiated().expect("negotiated");
+        world.patches_computed().expect("patches computed");
+        let mut routed = SwapAwareMem {
+            mem: &mut self.mem,
+            swap: &mut self.swap,
+        };
+        let outcome = perform_move(
+            table,
+            &mut routed,
+            regs,
+            MoveRequest {
+                src: xsrc,
+                len: xlen,
+                dst,
+            },
+            &self.cost,
+        );
+        world.patched().expect("patched");
+        world.moved().expect("moved");
+        world.barrier2(&self.cost).expect("barrier2");
+        world.complete().expect("complete");
+
+        // Region maintenance: the moved range leaves the capsule; the
+        // destination becomes accessible. The vacated frames are recycled
+        // for future moves.
+        self.vacated.push((outcome.moved_src, outcome.moved_len));
+        self.punch_hole(outcome.moved_src, outcome.moved_src + outcome.moved_len);
+        self.master.push(Region {
+            start: outcome.moved_dst,
+            len: outcome.moved_len,
+            perms: Perms::RW,
+        });
+        self.master.sort_by_key(|r| r.start);
+        self.regions.set_regions(self.master.clone());
+
+        for p in 0..outcome.moved_len / page {
+            self.trace.record(PagingEvent::Move {
+                from: outcome.moved_src / page + p,
+                to: outcome.moved_dst / page + p,
+            });
+        }
+        (world, outcome)
+    }
+
+    /// Page a range out to swap (paper §2.2: "to make a page unavailable,
+    /// we patch its affected pointers to a physical address that will
+    /// cause a fault … the specific non-canonical address can be used to
+    /// encode different conditions").
+    ///
+    /// Expands `page` to whole allocations, patches every escape and
+    /// register pointing into the range to a poison address encoding the
+    /// swap slot, copies the data to the swap store, revokes the region,
+    /// and recycles the frames. Returns the slot id.
+    pub fn page_out(
+        &mut self,
+        table: &mut AllocationTable,
+        regs: &mut [u64],
+        page: u64,
+        threads: usize,
+    ) -> Option<(WorldStop, u64, u64, u64)> {
+        let pg = self.cost.page_size;
+        let (src, len) =
+            carat_runtime::expand_to_allocations(table, page / pg * pg, pg, pg);
+        if len > POISON_SLOT_SPAN || Self::is_poison(src) {
+            return None;
+        }
+        let slot = self.next_swap_slot;
+        self.next_swap_slot += 1;
+        let poison = POISON_BASE + slot * POISON_SLOT_SPAN;
+        let delta = poison.wrapping_sub(src) as i64;
+
+        let mut world = WorldStop::new(threads);
+        world.signal_all(&self.cost).expect("fresh episode");
+        for _ in 0..threads {
+            world.thread_entered().expect("threads enter");
+        }
+        world.barrier1(&self.cost).expect("barrier");
+        world.negotiated().expect("negotiated");
+        world.patches_computed().expect("patches computed");
+
+        // Patch escapes of every affected allocation to poison addresses
+        // (cells may themselves live in other swapped ranges).
+        let mut routed = SwapAwareMem {
+            mem: &mut self.mem,
+            swap: &mut self.swap,
+        };
+        for start in table.overlapping(src, src + len) {
+            let info = table.info(start).expect("listed");
+            let (lo, hi) = (start, start + info.len);
+            let cells: Vec<u64> = info.escapes.iter().copied().collect();
+            for cell in cells {
+                let val = routed.read_u64(cell);
+                if val >= lo && val < hi {
+                    routed.write_u64(cell, val.wrapping_add(delta as u64));
+                }
+            }
+        }
+        for r in regs.iter_mut() {
+            if *r >= src && *r < src + len {
+                *r = r.wrapping_add(delta as u64);
+            }
+        }
+        // Copy out, rebase tracking to the poison range, free the frames.
+        let data = self.mem.read_bytes(src, len).to_vec();
+        table.rebase_escape_cells(src, src + len, delta);
+        for start in table.overlapping(src, src + len) {
+            table.relocate(start, delta);
+        }
+        self.swap.insert(slot, SwapEntry { len, data });
+        self.vacated.push((src, len));
+        self.punch_hole(src, src + len);
+        self.regions.set_regions(self.master.clone());
+        self.trace.record(PagingEvent::Invalidate {
+            first: src / pg,
+            count: len / pg,
+        });
+
+        world.patched().expect("patched");
+        world.moved().expect("moved");
+        world.barrier2(&self.cost).expect("barrier2");
+        world.complete().expect("complete");
+        Some((world, slot, src, len))
+    }
+
+    /// Service a fault on a poison address: bring the slot's data back
+    /// into fresh frames, patch every poisoned pointer to the new
+    /// location, and restore the region. Returns the new base address of
+    /// the range.
+    pub fn page_in(
+        &mut self,
+        table: &mut AllocationTable,
+        regs: &mut [u64],
+        poison_addr: u64,
+        threads: usize,
+    ) -> Option<(WorldStop, u64)> {
+        if !Self::is_poison(poison_addr) {
+            return None;
+        }
+        let slot = (poison_addr - POISON_BASE) / POISON_SLOT_SPAN;
+        let entry = self.swap.remove(&slot)?;
+        let poison = POISON_BASE + slot * POISON_SLOT_SPAN;
+        let dst = self.alloc_move_dst(entry.len)?;
+        let delta = dst.wrapping_sub(poison) as i64;
+
+        let mut world = WorldStop::new(threads);
+        world.signal_all(&self.cost).expect("fresh episode");
+        for _ in 0..threads {
+            world.thread_entered().expect("threads enter");
+        }
+        world.barrier1(&self.cost).expect("barrier");
+        world.negotiated().expect("negotiated");
+        world.patches_computed().expect("patches computed");
+
+        self.mem.write_bytes(dst, &entry.data);
+        // Patch every escape cell holding a pointer into the poison range.
+        let mut routed = SwapAwareMem {
+            mem: &mut self.mem,
+            swap: &mut self.swap,
+        };
+        for start in table.overlapping(poison, poison + entry.len) {
+            let info = table.info(start).expect("listed");
+            let (lo, hi) = (start, start + info.len);
+            let cells: Vec<u64> = info.escapes.iter().copied().collect();
+            for cell in cells {
+                // Cells inside this slot were restored at dst; cells in
+                // other slots are reached through the router.
+                let cell = if cell >= poison && cell < poison + entry.len {
+                    cell.wrapping_add(delta as u64)
+                } else {
+                    cell
+                };
+                let val = routed.read_u64(cell);
+                if val >= lo && val < hi {
+                    routed.write_u64(cell, val.wrapping_add(delta as u64));
+                }
+            }
+        }
+        for r in regs.iter_mut() {
+            if *r >= poison && *r < poison + entry.len {
+                *r = r.wrapping_add(delta as u64);
+            }
+        }
+        table.rebase_escape_cells(poison, poison + entry.len, delta);
+        for start in table.overlapping(poison, poison + entry.len) {
+            table.relocate(start, delta);
+        }
+        self.punch_hole(dst, dst + entry.len);
+        self.master.push(Region {
+            start: dst,
+            len: entry.len,
+            perms: Perms::RW,
+        });
+        self.master.sort_by_key(|r| r.start);
+        self.regions.set_regions(self.master.clone());
+        let pg = self.cost.page_size;
+        for p in 0..entry.len / pg {
+            self.trace.record(PagingEvent::Alloc { page: dst / pg + p });
+        }
+
+        world.patched().expect("patched");
+        world.moved().expect("moved");
+        world.barrier2(&self.cost).expect("barrier2");
+        world.complete().expect("complete");
+        Some((world, dst))
+    }
+
+    /// Seamless stack expansion (paper §2.2: "a failed guard involving the
+    /// stack causes the kernel to be invoked; this provides a mechanism by
+    /// which the kernel can implement seamless stack expansion").
+    ///
+    /// The stack is an ordinary tracked allocation, so the kernel grows it
+    /// by *moving* it: allocate a block twice the size, relocate the live
+    /// stack contents to its top (patching escapes and registers via the
+    /// normal move engine), extend the allocation downward, and install
+    /// the new region. Returns the move outcome, or `None` when the stack
+    /// already reached `max_stack` bytes.
+    pub fn expand_stack(
+        &mut self,
+        table: &mut AllocationTable,
+        regs: &mut [u64],
+        img: &mut ProcessImage,
+        threads: usize,
+        max_stack: u64,
+    ) -> Option<(WorldStop, MoveOutcome)> {
+        let (old_start, old_len) = img.stack;
+        let new_len = (old_len * 2).min(max_stack);
+        if new_len <= old_len {
+            return None;
+        }
+        let dst_block = self.alloc_move_dst(new_len)?;
+        // Live data keeps its distance from the stack top: it lands at the
+        // top of the new block.
+        let data_dst = dst_block + new_len - old_len;
+
+        let mut world = WorldStop::new(threads);
+        world.signal_all(&self.cost).expect("fresh episode");
+        for _ in 0..threads {
+            world.thread_entered().expect("threads enter");
+        }
+        world.barrier1(&self.cost).expect("barrier");
+        world.negotiated().expect("negotiated");
+        world.patches_computed().expect("patches computed");
+        let mut routed = SwapAwareMem {
+            mem: &mut self.mem,
+            swap: &mut self.swap,
+        };
+        let outcome = perform_move(
+            table,
+            &mut routed,
+            regs,
+            MoveRequest {
+                src: old_start,
+                len: old_len,
+                dst: data_dst,
+            },
+            &self.cost,
+        );
+        world.patched().expect("patched");
+        world.moved().expect("moved");
+        world.barrier2(&self.cost).expect("barrier2");
+        world.complete().expect("complete");
+
+        // Extend the relocated stack allocation downward over the whole
+        // new block.
+        if let Some(info) = table.track_free(outcome.moved_dst) {
+            table.track_alloc(dst_block, new_len, carat_runtime::AllocKind::Stack);
+            if let Some(fresh) = table.info_mut(dst_block) {
+                fresh.escapes = info.escapes;
+                fresh.escapes_ever = info.escapes_ever;
+            }
+            // track_free recorded a death; neutralize the histogram entry
+            // since the allocation logically lives on.
+            if let Some(h) = table
+                .stats
+                .escape_histogram
+                .get_mut(&info.escapes_ever)
+            {
+                *h = h.saturating_sub(1);
+            }
+        }
+
+        // Regions: the old stack range is vacated; the new block (all of
+        // it, including the fresh growth room) becomes the stack region.
+        self.vacated.push((outcome.moved_src, outcome.moved_len));
+        self.punch_hole(outcome.moved_src, outcome.moved_src + outcome.moved_len);
+        self.punch_hole(dst_block, dst_block + new_len);
+        self.master.push(Region {
+            start: dst_block,
+            len: new_len,
+            perms: Perms::RW,
+        });
+        self.master.sort_by_key(|r| r.start);
+        self.regions.set_regions(self.master.clone());
+        self.trace.record(PagingEvent::Move {
+            from: old_start / self.cost.page_size,
+            to: data_dst / self.cost.page_size,
+        });
+
+        img.stack = (dst_block, new_len);
+        Some((world, outcome))
+    }
+
+    /// Update a process image's global bindings after a move (the kernel
+    /// patches the code image's address constants).
+    pub fn patch_globals(img: &mut ProcessImage, outcome: &MoveOutcome) {
+        let (lo, hi) = (outcome.moved_src, outcome.moved_src + outcome.moved_len);
+        let delta = outcome.moved_dst.wrapping_sub(outcome.moved_src);
+        for g in &mut img.globals {
+            if *g >= lo && *g < hi {
+                *g = g.wrapping_add(delta);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carat_ir::{GlobalInit, ModuleBuilder, Type};
+    use carat_runtime::{Access, GuardImpl};
+
+    fn module_with_global() -> Module {
+        let mut mb = ModuleBuilder::new("prog");
+        mb.global("buf", Type::Array(Box::new(Type::I64), 16), GlobalInit::Zero);
+        let f = mb.declare("main", vec![], Some(Type::I64));
+        {
+            let mut b = mb.define(f);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let c = b.const_i64(0);
+            b.ret(Some(c));
+        }
+        mb.finish()
+    }
+
+    fn boot() -> (SimKernel, AllocationTable, ProcessImage) {
+        let mut k = SimKernel::new(256 * 1024 * 1024);
+        let mut table = AllocationTable::new();
+        let img = k
+            .load_unsigned(module_with_global(), &mut table, LoadConfig::default())
+            .expect("loads");
+        (k, table, img)
+    }
+
+    #[test]
+    fn load_installs_capsule_and_counts_pages() {
+        let (k, _, img) = boot();
+        assert_eq!(k.regions.len(), 1);
+        assert!(k
+            .regions
+            .check(GuardImpl::Mpx, img.globals[0], 8, Access::Write)
+            .ok);
+        assert_eq!(k.trace.allocs, img.initial_pages);
+    }
+
+    #[test]
+    fn protection_change_splits_regions() {
+        let (mut k, _, img) = boot();
+        let g = img.globals[0];
+        let page = k.cost.page_size;
+        let page_start = g / page * page;
+        k.change_protection(page_start, page, Perms::R);
+        assert!(k.regions.len() >= 2, "capsule split around the page");
+        assert!(k.regions.check(GuardImpl::IfTree, g, 8, Access::Read).ok);
+        assert!(
+            !k.regions.check(GuardImpl::IfTree, g, 8, Access::Write).ok,
+            "write now denied"
+        );
+        assert_eq!(k.trace.invalidations, 1);
+    }
+
+    #[test]
+    fn move_pages_end_to_end() {
+        let (mut k, mut table, mut img) = boot();
+        let g = img.globals[0];
+        // Store a pointer to the global somewhere in the heap and track it.
+        let cell = img.heap.0 + 64;
+        k.mem.write_uint(cell, g + 8, 8);
+        table.track_escape(cell);
+        let snapshot = g + 8;
+        table.flush_escapes(|_| snapshot);
+
+        let mut regs = vec![g + 16, 0x0];
+        let page = k.cost.page_size;
+        let (world, outcome) = k.move_pages(&mut table, &mut regs, g / page * page, 1, 2);
+        assert!(world.is_complete());
+        assert!(outcome.escapes_patched >= 1);
+        // The escape cell points at the new location.
+        let new_ptr = k.mem.read_uint(cell, 8);
+        assert_ne!(new_ptr, g + 8);
+        // Register patched.
+        assert_ne!(regs[0], g + 16);
+        assert_eq!(regs[1], 0);
+        // Old page is no longer a valid region; new one is.
+        assert!(
+            !k.regions
+                .check(GuardImpl::IfTree, g, 8, Access::Read)
+                .ok
+        );
+        assert!(
+            k.regions
+                .check(GuardImpl::IfTree, new_ptr, 8, Access::Read)
+                .ok
+        );
+        // Kernel patches the image's global table too.
+        SimKernel::patch_globals(&mut img, &outcome);
+        assert_eq!(img.globals[0], new_ptr - 8);
+        assert!(k.trace.moves >= 1);
+    }
+
+    #[test]
+    fn baseline_demand_mapping() {
+        let (mut k, _, _) = boot();
+        let before = k.trace.allocs;
+        let pte1 = k.ensure_mapped(0x4000);
+        let pte2 = k.ensure_mapped(0x4000);
+        assert_eq!(pte1, pte2, "second touch reuses the mapping");
+        assert_eq!(k.trace.allocs, before + 1);
+        assert_eq!(k.pagetable.mapped, 1);
+    }
+
+    #[test]
+    fn worst_page_picks_most_escaped_allocation() {
+        let (mut k, mut table, img) = boot();
+        // Heap allocation with 3 escapes vs the global with 1.
+        let a = img.heap.0 + 0x1000;
+        table.track_alloc(a, 128, carat_runtime::AllocKind::Heap);
+        for i in 0..3u64 {
+            let cell = img.heap.0 + 64 + i * 8;
+            k.mem.write_uint(cell, a, 8);
+            table.track_escape(cell);
+        }
+        table.flush_escapes(|c| k.mem.read_uint(c, 8));
+        let page = k.cost.page_size;
+        assert_eq!(k.worst_page(&table), Some(a / page * page));
+    }
+}

@@ -1,0 +1,49 @@
+//! # carat-kernel — the simulated kernel
+//!
+//! The kernel half of the CARAT co-design, simulated: physical memory, a
+//! buddy page-frame allocator, the CARAT program loader (signature
+//! validation → layout → initial patch), region management, the
+//! world-stop page-move orchestration, and — for the *traditional*
+//! baseline — a 4-level radix page table plus an MMU-notifier-style
+//! paging trace reproducing the paper's Table 2 methodology.
+//!
+//! ## Example
+//!
+//! ```
+//! use carat_kernel::{SimKernel, LoadConfig};
+//! use carat_runtime::AllocationTable;
+//! use carat_ir::{ModuleBuilder, Type};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut mb = ModuleBuilder::new("hello");
+//! let f = mb.declare("main", vec![], Some(Type::I64));
+//! {
+//!     let mut b = mb.define(f);
+//!     let e = b.block("entry");
+//!     b.switch_to(e);
+//!     let c = b.const_i64(0);
+//!     b.ret(Some(c));
+//! }
+//! let mut kernel = SimKernel::new(256 * 1024 * 1024);
+//! let mut table = AllocationTable::new();
+//! let image = kernel.load_unsigned(mb.finish(), &mut table, LoadConfig::default())?;
+//! assert!(image.initial_pages > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod buddy;
+mod kernel;
+mod loader;
+mod pagetable;
+mod phys;
+mod trace;
+
+pub use buddy::BuddyAllocator;
+pub use kernel::{SimKernel, POISON_BASE, POISON_SLOT_SPAN};
+pub use loader::{load_signed, load_unsigned, LoadConfig, LoadError, ProcessImage};
+pub use pagetable::{PageTable, Pte, Walk};
+pub use phys::PhysicalMemory;
+pub use trace::{PagingEvent, PagingTrace};

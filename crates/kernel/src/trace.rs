@@ -1,0 +1,150 @@
+//! MMU-notifier-style paging event trace (paper §3, "Typical Mappings
+//! Change Slowly with Time").
+//!
+//! The feasibility study instruments Linux with an MMU-notifier kernel
+//! module to count page allocations and page moves; this is the simulated
+//! kernel's equivalent, feeding Table 2.
+
+use std::collections::HashSet;
+
+/// One paging event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PagingEvent {
+    /// A physical page was allocated (demand paging, CoW resolution,
+    /// initial load…). `page` is the page-aligned address (CARAT) or VPN
+    /// (traditional).
+    Alloc {
+        /// Page identifier.
+        page: u64,
+    },
+    /// A page's contents moved to a different physical page.
+    Move {
+        /// Source page.
+        from: u64,
+        /// Destination page.
+        to: u64,
+    },
+    /// A TLB-invalidation-style event over a page range.
+    Invalidate {
+        /// First page.
+        first: u64,
+        /// Number of pages.
+        count: u64,
+    },
+}
+
+/// Event counters plus a bounded event log.
+#[derive(Debug, Clone, Default)]
+pub struct PagingTrace {
+    /// Total page allocations.
+    pub allocs: u64,
+    /// Total page moves.
+    pub moves: u64,
+    /// Total invalidation events.
+    pub invalidations: u64,
+    /// Distinct pages ever allocated.
+    touched: HashSet<u64>,
+    log: Vec<PagingEvent>,
+    log_cap: usize,
+}
+
+impl PagingTrace {
+    /// Trace keeping at most `log_cap` raw events (counters are exact
+    /// regardless).
+    pub fn new(log_cap: usize) -> PagingTrace {
+        PagingTrace {
+            log_cap,
+            ..PagingTrace::default()
+        }
+    }
+
+    /// Record an event.
+    pub fn record(&mut self, e: PagingEvent) {
+        match e {
+            PagingEvent::Alloc { page } => {
+                self.allocs += 1;
+                self.touched.insert(page);
+            }
+            PagingEvent::Move { .. } => self.moves += 1,
+            PagingEvent::Invalidate { .. } => self.invalidations += 1,
+        }
+        if self.log.len() < self.log_cap {
+            self.log.push(e);
+        }
+    }
+
+    /// Record an allocation only the first time `page` is touched;
+    /// returns whether it was new (a demand-paging "fault").
+    pub fn record_first_touch(&mut self, page: u64) -> bool {
+        if self.touched.contains(&page) {
+            return false;
+        }
+        self.record(PagingEvent::Alloc { page });
+        true
+    }
+
+    /// Distinct pages allocated.
+    pub fn distinct_pages(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// The retained event log.
+    pub fn log(&self) -> &[PagingEvent] {
+        &self.log
+    }
+
+    /// Allocation rate given elapsed simulated seconds.
+    pub fn alloc_rate(&self, seconds: f64) -> f64 {
+        if seconds > 0.0 {
+            self.allocs as f64 / seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Move rate given elapsed simulated seconds.
+    pub fn move_rate(&self, seconds: f64) -> f64 {
+        if seconds > 0.0 {
+            self.moves as f64 / seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_log() {
+        let mut t = PagingTrace::new(2);
+        t.record(PagingEvent::Alloc { page: 1 });
+        t.record(PagingEvent::Alloc { page: 2 });
+        t.record(PagingEvent::Move { from: 1, to: 3 });
+        assert_eq!(t.allocs, 2);
+        assert_eq!(t.moves, 1);
+        assert_eq!(t.log().len(), 2, "log capped");
+        assert_eq!(t.distinct_pages(), 2);
+    }
+
+    #[test]
+    fn first_touch_counts_once() {
+        let mut t = PagingTrace::new(0);
+        assert!(t.record_first_touch(7));
+        assert!(!t.record_first_touch(7));
+        assert!(t.record_first_touch(8));
+        assert_eq!(t.allocs, 2);
+    }
+
+    #[test]
+    fn rates() {
+        let mut t = PagingTrace::new(0);
+        for p in 0..100 {
+            t.record_first_touch(p);
+        }
+        assert!((t.alloc_rate(10.0) - 10.0).abs() < 1e-9);
+        assert_eq!(t.move_rate(10.0), 0.0);
+        assert_eq!(t.alloc_rate(0.0), 0.0, "no division by zero");
+    }
+}

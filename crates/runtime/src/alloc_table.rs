@@ -1,0 +1,380 @@
+//! The Allocation Table and Allocation-to-Escape Map (paper §4.2).
+//!
+//! The runtime's hard-state: every live allocation (static, stack, heap),
+//! keyed by start address in a red/black tree, each carrying the set of
+//! memory cells that hold a pointer into it (its *escapes*). Escapes are
+//! registered in batches, as in the prototype ("we use the first method
+//! when tracking allocations, and the second when tracking the escapes").
+
+use crate::rbtree::RbTree;
+use std::collections::{HashMap, HashSet};
+
+/// Where an allocation came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocKind {
+    /// Global / bss (recorded at load time).
+    Static,
+    /// Stack slot (alloca) or thread stack.
+    Stack,
+    /// Heap (`malloc`).
+    Heap,
+}
+
+/// Metadata for one allocation.
+#[derive(Debug, Clone)]
+pub struct AllocInfo {
+    /// Length in bytes.
+    pub len: u64,
+    /// Origin.
+    pub kind: AllocKind,
+    /// Addresses of cells currently holding a pointer into this
+    /// allocation — the Allocation-to-Escape Map entry.
+    pub escapes: HashSet<u64>,
+    /// Escapes ever recorded against this allocation (Figure 5 histogram
+    /// counts total escapes over the program run, not just live ones).
+    pub escapes_ever: u64,
+}
+
+/// Aggregate tracking statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrackStats {
+    /// Allocations ever registered.
+    pub allocs: u64,
+    /// Frees processed.
+    pub frees: u64,
+    /// Escape events enqueued.
+    pub escape_events: u64,
+    /// Escapes resolved to a live allocation at flush time.
+    pub escapes_resolved: u64,
+    /// High-water mark of live allocations.
+    pub max_live: usize,
+    /// Histogram of total escapes per allocation, recorded when an
+    /// allocation dies (see [`AllocationTable::finish`] for live ones).
+    pub escape_histogram: HashMap<u64, u64>,
+}
+
+/// The allocation table.
+#[derive(Debug, Default)]
+pub struct AllocationTable {
+    tree: RbTree<u64, AllocInfo>,
+    /// Reverse map: escape cell address → allocation start it points into.
+    escape_owner: HashMap<u64, u64>,
+    /// Batched escapes not yet resolved.
+    pending: Vec<u64>,
+    /// Statistics.
+    pub stats: TrackStats,
+}
+
+impl AllocationTable {
+    /// Empty table.
+    pub fn new() -> AllocationTable {
+        AllocationTable::default()
+    }
+
+    /// Number of live allocations.
+    pub fn live(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Register a new allocation.
+    ///
+    /// Overlapping registrations indicate a substrate bug; the new entry
+    /// replaces any entry at the identical start address.
+    pub fn track_alloc(&mut self, start: u64, len: u64, kind: AllocKind) {
+        self.stats.allocs += 1;
+        self.tree.insert(
+            start,
+            AllocInfo {
+                len,
+                kind,
+                escapes: HashSet::new(),
+                escapes_ever: 0,
+            },
+        );
+        self.stats.max_live = self.stats.max_live.max(self.tree.len());
+    }
+
+    /// Deregister an allocation; returns its metadata. Records its final
+    /// escape count in the lifetime histogram and drops its escape cells
+    /// from the reverse map.
+    pub fn track_free(&mut self, start: u64) -> Option<AllocInfo> {
+        let info = self.tree.remove(&start)?;
+        self.stats.frees += 1;
+        for e in &info.escapes {
+            self.escape_owner.remove(e);
+        }
+        *self
+            .stats
+            .escape_histogram
+            .entry(info.escapes_ever)
+            .or_insert(0) += 1;
+        Some(info)
+    }
+
+    /// The allocation containing `addr`, if any.
+    pub fn find_containing(&self, addr: u64) -> Option<(u64, &AllocInfo)> {
+        let (&start, info) = self.tree.floor(&addr)?;
+        (addr < start + info.len).then_some((start, info))
+    }
+
+    /// Queue an escape event: a pointer was stored at cell `dst`.
+    pub fn track_escape(&mut self, dst: u64) {
+        self.stats.escape_events += 1;
+        self.pending.push(dst);
+    }
+
+    /// Number of queued, unprocessed escapes.
+    pub fn pending_escapes(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Resolve all queued escapes. `read_ptr(cell)` returns the pointer
+    /// value currently stored at `cell` (the VM/kernel reads simulated
+    /// memory). Returns the number of escapes resolved.
+    ///
+    /// Later writes to the same cell override earlier ones — the batch is
+    /// processed in order, and a cell is re-pointed to its newest target.
+    pub fn flush_escapes(&mut self, mut read_ptr: impl FnMut(u64) -> u64) -> usize {
+        let pending = std::mem::take(&mut self.pending);
+        let mut resolved = 0;
+        for cell in pending {
+            // Remove a previous binding of this cell.
+            if let Some(prev_start) = self.escape_owner.remove(&cell) {
+                if let Some(info) = self.tree.get_mut(&prev_start) {
+                    info.escapes.remove(&cell);
+                }
+            }
+            let ptr = read_ptr(cell);
+            let Some((start, _)) = self.find_containing(ptr) else {
+                continue; // null or points outside tracked memory
+            };
+            let info = self.tree.get_mut(&start).expect("found above");
+            if info.escapes.insert(cell) {
+                info.escapes_ever += 1;
+            }
+            self.escape_owner.insert(cell, start);
+            resolved += 1;
+        }
+        self.stats.escapes_resolved += resolved as u64;
+        resolved
+    }
+
+    /// Start addresses of allocations overlapping `[lo, hi)`.
+    pub fn overlapping(&self, lo: u64, hi: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        // An allocation starting strictly before `lo` may straddle into the
+        // range.
+        if lo > 0 {
+            if let Some((&start, info)) = self.tree.floor(&(lo - 1)) {
+                if start < lo && start + info.len > lo {
+                    out.push(start);
+                }
+            }
+        }
+        for (&start, _) in self.tree.iter() {
+            if start >= lo && start < hi {
+                out.push(start);
+            } else if start >= hi {
+                break;
+            }
+        }
+        out.dedup();
+        out
+    }
+
+    /// Borrow an allocation's metadata by start address.
+    pub fn info(&self, start: u64) -> Option<&AllocInfo> {
+        self.tree.get(&start)
+    }
+
+    /// Mutable metadata access (used by the patching engine).
+    pub fn info_mut(&mut self, start: u64) -> Option<&mut AllocInfo> {
+        self.tree.get_mut(&start)
+    }
+
+    /// Relocate allocation `start` to `start + delta`, rebasing its key.
+    /// Escape-cell rebasing is the patch engine's job; this moves only the
+    /// table entry.
+    pub fn relocate(&mut self, start: u64, delta: i64) {
+        if let Some(info) = self.tree.remove(&start) {
+            let new_start = start.wrapping_add(delta as u64);
+            for e in &info.escapes {
+                self.escape_owner.insert(*e, new_start);
+            }
+            self.tree.insert(new_start, info);
+        }
+    }
+
+    /// Rebase escape cells that themselves live inside `[lo, hi)` by
+    /// `delta` (their containing allocation moved, so the cells moved).
+    pub fn rebase_escape_cells(&mut self, lo: u64, hi: u64, delta: i64) -> usize {
+        let moved: Vec<(u64, u64)> = self
+            .escape_owner
+            .iter()
+            .filter(|(&cell, _)| cell >= lo && cell < hi)
+            .map(|(&c, &o)| (c, o))
+            .collect();
+        for &(cell, owner) in &moved {
+            let new_cell = cell.wrapping_add(delta as u64);
+            self.escape_owner.remove(&cell);
+            self.escape_owner.insert(new_cell, owner);
+            if let Some(info) = self.tree.get_mut(&owner) {
+                info.escapes.remove(&cell);
+                info.escapes.insert(new_cell);
+            }
+        }
+        moved.len()
+    }
+
+    /// All live allocations as `(start, len, escapes_live, escapes_ever)`.
+    pub fn snapshot(&self) -> Vec<(u64, u64, usize, u64)> {
+        self.tree
+            .iter()
+            .map(|(&s, i)| (s, i.len, i.escapes.len(), i.escapes_ever))
+            .collect()
+    }
+
+    /// Fold live allocations into the lifetime escape histogram (call at
+    /// program end before reading [`TrackStats::escape_histogram`]).
+    pub fn finish(&mut self) {
+        let counts: Vec<u64> = self.tree.iter().map(|(_, i)| i.escapes_ever).collect();
+        for c in counts {
+            *self.stats.escape_histogram.entry(c).or_insert(0) += 1;
+        }
+    }
+
+    /// Approximate bytes of tracking state — the Figure 6 memory overhead.
+    pub fn memory_overhead_bytes(&self) -> usize {
+        let tree = self.tree.heap_bytes();
+        let escape_sets: usize = self
+            .tree
+            .iter()
+            .map(|(_, i)| i.escapes.capacity() * std::mem::size_of::<u64>())
+            .sum();
+        let reverse = self.escape_owner.capacity()
+            * (std::mem::size_of::<u64>() * 2 + std::mem::size_of::<usize>());
+        let pending = self.pending.capacity() * std::mem::size_of::<u64>();
+        tree + escape_sets + reverse + pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_lifecycle() {
+        let mut t = AllocationTable::new();
+        t.track_alloc(0x1000, 256, AllocKind::Heap);
+        t.track_alloc(0x2000, 512, AllocKind::Heap);
+        assert_eq!(t.live(), 2);
+        assert_eq!(t.find_containing(0x10ff).map(|(s, _)| s), Some(0x1000));
+        assert!(t.find_containing(0x1100).is_none(), "past the end");
+        let info = t.track_free(0x1000).expect("tracked");
+        assert_eq!(info.len, 256);
+        assert_eq!(t.live(), 1);
+        assert_eq!(t.stats.allocs, 2);
+        assert_eq!(t.stats.frees, 1);
+    }
+
+    #[test]
+    fn escapes_resolve_in_batches() {
+        let mut t = AllocationTable::new();
+        t.track_alloc(0x1000, 256, AllocKind::Heap);
+        // Cells 0x5000 and 0x5008 hold pointers into the allocation.
+        let mem: HashMap<u64, u64> =
+            [(0x5000, 0x1000), (0x5008, 0x10f0), (0x5010, 0x9999)].into();
+        t.track_escape(0x5000);
+        t.track_escape(0x5008);
+        t.track_escape(0x5010); // dangling target: ignored
+        assert_eq!(t.pending_escapes(), 3);
+        let n = t.flush_escapes(|c| mem[&c]);
+        assert_eq!(n, 2);
+        assert_eq!(t.pending_escapes(), 0);
+        let info = t.info(0x1000).unwrap();
+        assert_eq!(info.escapes.len(), 2);
+        assert_eq!(info.escapes_ever, 2);
+    }
+
+    #[test]
+    fn overwriting_a_cell_rebinds_the_escape() {
+        let mut t = AllocationTable::new();
+        t.track_alloc(0x1000, 256, AllocKind::Heap);
+        t.track_alloc(0x2000, 256, AllocKind::Heap);
+        t.track_escape(0x5000);
+        t.flush_escapes(|_| 0x1000);
+        assert_eq!(t.info(0x1000).unwrap().escapes.len(), 1);
+        // Same cell now stores a pointer to the other allocation.
+        t.track_escape(0x5000);
+        t.flush_escapes(|_| 0x2000);
+        assert_eq!(t.info(0x1000).unwrap().escapes.len(), 0);
+        assert_eq!(t.info(0x2000).unwrap().escapes.len(), 1);
+    }
+
+    #[test]
+    fn overlapping_includes_straddlers() {
+        let mut t = AllocationTable::new();
+        t.track_alloc(0x0f00, 0x200, AllocKind::Heap); // straddles 0x1000
+        t.track_alloc(0x1000, 0x100, AllocKind::Heap);
+        t.track_alloc(0x3000, 0x100, AllocKind::Heap);
+        let hits = t.overlapping(0x1000, 0x2000);
+        assert_eq!(hits, vec![0x0f00, 0x1000]);
+    }
+
+    #[test]
+    fn relocate_moves_key_and_reverse_map() {
+        let mut t = AllocationTable::new();
+        t.track_alloc(0x1000, 256, AllocKind::Heap);
+        t.track_escape(0x5000);
+        t.flush_escapes(|_| 0x1080);
+        t.relocate(0x1000, 0x7000);
+        assert!(t.info(0x1000).is_none());
+        let info = t.info(0x8000).expect("moved");
+        assert_eq!(info.escapes.len(), 1);
+        // The escape cell still points at the allocation logically.
+        t.track_escape(0x5000);
+        t.flush_escapes(|_| 0x8080);
+        assert_eq!(t.info(0x8000).unwrap().escapes.len(), 1);
+    }
+
+    #[test]
+    fn rebase_escape_cells_moves_cells_within_range() {
+        let mut t = AllocationTable::new();
+        t.track_alloc(0x1000, 0x100, AllocKind::Heap);
+        t.track_alloc(0x2000, 0x100, AllocKind::Heap);
+        // A cell at 0x1010 (inside alloc A) points into alloc B.
+        t.track_escape(0x1010);
+        t.flush_escapes(|_| 0x2050);
+        assert!(t.info(0x2000).unwrap().escapes.contains(&0x1010));
+        // Alloc A's range moves by +0x7000.
+        let n = t.rebase_escape_cells(0x1000, 0x1100, 0x7000);
+        assert_eq!(n, 1);
+        let esc = &t.info(0x2000).unwrap().escapes;
+        assert!(esc.contains(&0x8010));
+        assert!(!esc.contains(&0x1010));
+    }
+
+    #[test]
+    fn histogram_counts_lifetime_escapes() {
+        let mut t = AllocationTable::new();
+        t.track_alloc(0x1000, 64, AllocKind::Heap);
+        t.track_escape(0x5000);
+        t.track_escape(0x5008);
+        t.flush_escapes(|c| if c == 0x5000 { 0x1000 } else { 0x1008 });
+        t.track_free(0x1000);
+        t.track_alloc(0x2000, 64, AllocKind::Heap); // zero escapes, stays live
+        t.finish();
+        assert_eq!(t.stats.escape_histogram.get(&2), Some(&1));
+        assert_eq!(t.stats.escape_histogram.get(&0), Some(&1));
+    }
+
+    #[test]
+    fn memory_overhead_grows_with_tracking() {
+        let mut t = AllocationTable::new();
+        let before = t.memory_overhead_bytes();
+        for i in 0..1000 {
+            t.track_alloc(0x10000 + i * 64, 64, AllocKind::Heap);
+        }
+        assert!(t.memory_overhead_bytes() > before);
+    }
+}

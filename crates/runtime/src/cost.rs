@@ -1,0 +1,175 @@
+//! The shared machine cost model (cycles).
+//!
+//! The reproduction's stand-in for the paper's Xeon testbeds: every
+//! component that charges simulated cycles — the VM interpreter, the TLB
+//! and pagewalk simulation, guard evaluation, tracking callbacks, and the
+//! page-move protocol — draws its constants from here, so experiments and
+//! ablations stay mutually consistent. Values are chosen to match the
+//! magnitudes the paper reports (e.g. ~47-cycle average pagewalks, 1-cycle
+//! MPX bounds checks) rather than any exact microarchitecture.
+
+/// Cycle costs and structure sizes for the simulated machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    // --- core execution ---
+    /// Simple ALU operation (add, compare, …).
+    pub alu: u64,
+    /// Floating-point operation.
+    pub fpu: u64,
+    /// Taken or not-taken branch (predicted; we do not model mispredicts).
+    pub branch: u64,
+    /// L1-hit load or store.
+    pub mem_l1: u64,
+    /// Additional cycles for an access that misses L1 (flat model).
+    pub mem_l1_miss_extra: u64,
+    /// L1 data hit rate numerator per 1024 accesses (flat probabilistic
+    /// cache model, deterministic via access counting).
+    pub l1_hit_per_1024: u64,
+    /// Call/return overhead (prologue + epilogue).
+    pub call: u64,
+
+    // --- traditional model: TLB + pagewalk ---
+    /// Page size in bytes.
+    pub page_size: u64,
+    /// L1 DTLB entries.
+    pub dtlb_entries: usize,
+    /// L1 DTLB associativity.
+    pub dtlb_assoc: usize,
+    /// STLB (L2 TLB) entries.
+    pub stlb_entries: usize,
+    /// STLB associativity.
+    pub stlb_assoc: usize,
+    /// Cycles for an STLB hit after a DTLB miss.
+    pub stlb_hit: u64,
+    /// Cycles for a full pagewalk (radix walk; the paper measures ~47 avg).
+    pub pagewalk: u64,
+    /// Kernel page-fault service cost (demand allocation, baseline mode).
+    pub page_fault: u64,
+
+    // --- CARAT guards ---
+    /// MPX-style bounds check: single-cycle, no register pressure.
+    pub guard_mpx: u64,
+    /// Cost per probe step of a software range guard (compare+branch pair).
+    pub guard_probe: u64,
+    /// Fixed overhead of reaching the guard code (register save/restore
+    /// pressure of the straightforward compare-and-branch technique).
+    pub guard_software_fixed: u64,
+
+    // --- CARAT tracking ---
+    /// Allocation-table insert (red/black tree).
+    pub track_alloc: u64,
+    /// Allocation-table remove.
+    pub track_free: u64,
+    /// Queue one escape (batched processing).
+    pub track_escape_enqueue: u64,
+    /// Process one escape at flush time.
+    pub track_escape_flush: u64,
+
+    // --- page movement protocol ---
+    /// Signal delivery + register dump per thread ("world stop" entry).
+    pub move_signal_per_thread: u64,
+    /// Barrier synchronization per thread.
+    pub move_barrier_per_thread: u64,
+    /// Finding/expanding allocations per affected allocation (Page Expand).
+    pub move_expand_per_alloc: u64,
+    /// Fixed page-expand overhead per move (range query on the table).
+    pub move_expand_fixed: u64,
+    /// Patch generation+execution per escape (Patch Gen. & Exec).
+    pub move_patch_per_escape: u64,
+    /// Register patch per inspected register (Register Patch).
+    pub move_register_patch_per_reg: u64,
+    /// Allocation of the destination block, fixed (Allocation & Movement).
+    pub move_alloc_fixed: u64,
+    /// Copy cost per byte moved (Allocation & Movement).
+    pub move_copy_per_byte_milli: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            alu: 1,
+            fpu: 3,
+            branch: 1,
+            mem_l1: 4,
+            mem_l1_miss_extra: 40,
+            l1_hit_per_1024: 983, // ~96% hit rate
+            call: 6,
+            page_size: 4096,
+            dtlb_entries: 64,
+            dtlb_assoc: 4,
+            stlb_entries: 1536,
+            stlb_assoc: 12,
+            stlb_hit: 7,
+            pagewalk: 47,
+            page_fault: 1500,
+            guard_mpx: 1,
+            guard_probe: 3,
+            guard_software_fixed: 2,
+            track_alloc: 40,
+            track_free: 40,
+            track_escape_enqueue: 6,
+            track_escape_flush: 14,
+            move_signal_per_thread: 1200,
+            move_barrier_per_thread: 300,
+            move_expand_per_alloc: 350,
+            move_expand_fixed: 2500,
+            move_patch_per_escape: 120,
+            move_register_patch_per_reg: 4,
+            move_alloc_fixed: 800,
+            move_copy_per_byte_milli: 250, // 0.25 cycles/byte
+        }
+    }
+}
+
+impl CostModel {
+    /// Cycles to copy `bytes` bytes.
+    pub fn copy_cost(&self, bytes: u64) -> u64 {
+        (bytes * self.move_copy_per_byte_milli) / 1000
+    }
+
+    /// Cost of a software guard that performed `probes` probe steps.
+    pub fn software_guard_cost(&self, probes: u64) -> u64 {
+        self.guard_software_fixed + probes * self.guard_probe
+    }
+
+    /// Number of 4KiB pages covering `bytes`.
+    pub fn pages(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.page_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_magnitudes() {
+        let c = CostModel::default();
+        assert_eq!(c.guard_mpx, 1, "MPX check is single-cycle");
+        assert_eq!(c.pagewalk, 47, "average pagewalk from the paper");
+        assert_eq!(c.dtlb_entries, 64, "modern Intel L1 DTLB");
+        assert_eq!(c.stlb_entries, 1536, "current-generation STLB");
+    }
+
+    #[test]
+    fn copy_cost_scales() {
+        let c = CostModel::default();
+        assert_eq!(c.copy_cost(4096), 1024);
+        assert_eq!(c.copy_cost(0), 0);
+    }
+
+    #[test]
+    fn software_guard_grows_with_probes() {
+        let c = CostModel::default();
+        assert!(c.software_guard_cost(10) > c.software_guard_cost(1));
+        assert!(c.software_guard_cost(1) > c.guard_mpx);
+    }
+
+    #[test]
+    fn page_rounding() {
+        let c = CostModel::default();
+        assert_eq!(c.pages(1), 1);
+        assert_eq!(c.pages(4096), 1);
+        assert_eq!(c.pages(4097), 2);
+    }
+}

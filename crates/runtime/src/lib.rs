@@ -1,0 +1,48 @@
+//! # carat-runtime — the CARAT runtime
+//!
+//! The run-time half of the CARAT co-design (paper §4.2): linked into every
+//! CARAT process, it maintains the tracking state the kernel relies on to
+//! move physical memory, evaluates guards against the kernel-supplied
+//! region set, and executes mapping changes by patching every affected
+//! pointer.
+//!
+//! * [`AllocationTable`] — allocations keyed in a from-scratch red/black
+//!   tree ([`RbTree`]), each with its Allocation-to-Escape Map entry;
+//! * [`RegionTable`] — kernel-supplied regions with binary-search,
+//!   if-tree, and MPX-style guard evaluators;
+//! * [`perform_move`] — the pointer-swizzling patch engine (Figure 8);
+//! * [`WorldStop`] — the signal/barrier protocol state machine;
+//! * [`CostModel`] — the shared simulated-machine cycle model.
+//!
+//! ## Example
+//!
+//! ```
+//! use carat_runtime::{AllocationTable, AllocKind, Region, RegionTable, Perms, Access, GuardImpl};
+//!
+//! let mut table = AllocationTable::new();
+//! table.track_alloc(0x1000, 256, AllocKind::Heap);
+//! assert_eq!(table.find_containing(0x1080).map(|(s, _)| s), Some(0x1000));
+//!
+//! let mut regions = RegionTable::new();
+//! regions.set_regions(vec![Region { start: 0x1000, len: 0x1000, perms: Perms::RW }]);
+//! assert!(regions.check(GuardImpl::Mpx, 0x1080, 8, Access::Write).ok);
+//! ```
+
+#![warn(missing_docs)]
+
+mod alloc_table;
+mod cost;
+mod patch;
+mod rbtree;
+mod region;
+mod world;
+
+pub use alloc_table::{AllocInfo, AllocKind, AllocationTable, TrackStats};
+pub use cost::CostModel;
+pub use patch::{
+    expand_to_allocations, perform_move, perform_move_alloc_granular, ExpandVeto, MemAccess,
+    MoveCostBreakdown, MoveOutcome, MoveRequest,
+};
+pub use rbtree::RbTree;
+pub use region::{Access, GuardCheck, GuardImpl, Perms, Region, RegionTable};
+pub use world::{ProtocolError, Step, WorldStop};

@@ -1,0 +1,487 @@
+//! The patching engine: executing a mapping change (paper §4.2 "Mapping",
+//! Figure 8 steps 5–10).
+//!
+//! Given a kernel page-move request, the runtime (inside the world-stop):
+//!
+//! 1. **negotiates/expands** the source range so no allocation straddles
+//!    its boundary (allocations move in their entirety);
+//! 2. finds all **affected allocations**;
+//! 3. **patches every escape** of every affected allocation — each memory
+//!    cell holding a pointer into the moved range is rewritten to the
+//!    address the target will have *after* the move (pointer swizzling);
+//! 4. **patches registers** (the register file dumped on the stack by the
+//!    signal handler);
+//! 5. moves the data and updates the allocation table.
+//!
+//! Every phase reports counts so the caller can convert to cycles with the
+//! [`CostModel`](crate::cost::CostModel) — this is the raw material of
+//! Table 3.
+
+use crate::alloc_table::AllocationTable;
+use crate::cost::CostModel;
+
+/// Memory access interface the engine uses to read/patch/copy simulated
+/// physical memory. Implemented by the kernel's physical memory.
+pub trait MemAccess {
+    /// Read the 8-byte little-endian word at `addr`.
+    fn read_u64(&self, addr: u64) -> u64;
+    /// Write the 8-byte little-endian word at `addr`.
+    fn write_u64(&mut self, addr: u64, val: u64);
+    /// Copy `len` bytes from `src` to `dst` (ranges may not overlap).
+    fn copy(&mut self, src: u64, dst: u64, len: u64);
+}
+
+/// A kernel request to move `[src, src+len)` to `dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveRequest {
+    /// Source range start (page aligned in page-granularity mode).
+    pub src: u64,
+    /// Source range length.
+    pub len: u64,
+    /// Destination start.
+    pub dst: u64,
+}
+
+/// Cycle breakdown of one move — the columns of Table 3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MoveCostBreakdown {
+    /// "Page Expand": finding allocations and expanding the page set.
+    pub page_expand: u64,
+    /// "Patch Gen. & Exec.": finding and updating all escapes.
+    pub patch_gen_exec: u64,
+    /// "Register Patch".
+    pub register_patch: u64,
+    /// "Allocation & Mem. Movement": destination alloc + data copy.
+    pub alloc_and_move: u64,
+}
+
+impl MoveCostBreakdown {
+    /// "Prototype Cost": expand + patch + register (excludes the copy,
+    /// which paging pays too).
+    pub fn prototype_cost(&self) -> u64 {
+        self.page_expand + self.patch_gen_exec + self.register_patch
+    }
+
+    /// "Prototype w/o Expand Cost".
+    pub fn prototype_wo_expand(&self) -> u64 {
+        self.patch_gen_exec + self.register_patch
+    }
+
+    /// "Total Cost".
+    pub fn total(&self) -> u64 {
+        self.prototype_cost() + self.alloc_and_move
+    }
+}
+
+/// Outcome of a completed move.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoveOutcome {
+    /// The range actually moved, after expansion.
+    pub moved_src: u64,
+    /// Length of the moved range.
+    pub moved_len: u64,
+    /// Destination of the (possibly expanded) range.
+    pub moved_dst: u64,
+    /// Allocations relocated.
+    pub allocations: usize,
+    /// Escape cells rewritten.
+    pub escapes_patched: usize,
+    /// Registers rewritten.
+    pub registers_patched: usize,
+    /// Cycle breakdown.
+    pub cost: MoveCostBreakdown,
+}
+
+/// Expansion failure: the expanded range would exceed what the caller
+/// allows (the kernel may veto, paper §4.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpandVeto {
+    /// The range the negotiation wanted.
+    pub wanted_src: u64,
+    /// Its length.
+    pub wanted_len: u64,
+}
+
+/// Expand `[src, src+len)` (page-aligned growth) until no tracked
+/// allocation straddles either boundary. Returns the expanded range.
+///
+/// This is the page-granularity "negotiation": an allocation overlapping
+/// the boundary drags its whole extent (rounded to pages) into the move.
+pub fn expand_to_allocations(
+    table: &AllocationTable,
+    mut src: u64,
+    mut len: u64,
+    page: u64,
+) -> (u64, u64) {
+    loop {
+        let mut grown = false;
+        for start in table.overlapping(src, src + len) {
+            let info = table.info(start).expect("listed");
+            let end = start + info.len;
+            if start < src {
+                let new_src = start / page * page;
+                len += src - new_src;
+                src = new_src;
+                grown = true;
+            }
+            if end > src + len {
+                let new_end = end.div_ceil(page) * page;
+                len = new_end - src;
+                grown = true;
+            }
+        }
+        if !grown {
+            return (src, len);
+        }
+    }
+}
+
+/// Execute a move entirely: negotiate, patch escapes and registers, copy,
+/// and update the allocation table. `regs` is the dumped register state of
+/// all stopped threads (patched in place).
+///
+/// The caller (kernel) has already stopped the world and picked a `dst`
+/// with room for the *expanded* range; `dst` is adjusted by the same
+/// leading expansion so relative layout is preserved.
+pub fn perform_move(
+    table: &mut AllocationTable,
+    mem: &mut dyn MemAccess,
+    regs: &mut [u64],
+    req: MoveRequest,
+    cost: &CostModel,
+) -> MoveOutcome {
+    // --- Phase 1: page expand (negotiation) ---
+    let (src, len) = expand_to_allocations(table, req.src, req.len, cost.page_size);
+    let dst = req.dst.wrapping_sub(req.src - src);
+    let delta = dst.wrapping_sub(src) as i64;
+    let affected = table.overlapping(src, src + len);
+    let page_expand =
+        cost.move_expand_fixed + affected.len() as u64 * cost.move_expand_per_alloc;
+
+    // --- Phase 2: patch generation & execution ---
+    let mut escapes_patched = 0usize;
+    for &start in &affected {
+        let info = table.info(start).expect("listed");
+        let escape_cells: Vec<u64> = info.escapes.iter().copied().collect();
+        let (lo, hi) = (start, start + info.len);
+        for cell in escape_cells {
+            let val = mem.read_u64(cell);
+            if val >= lo && val < hi {
+                mem.write_u64(cell, val.wrapping_add(delta as u64));
+                escapes_patched += 1;
+            }
+        }
+    }
+    let patch_gen_exec = escapes_patched as u64 * cost.move_patch_per_escape;
+
+    // --- Phase 3: register patch ---
+    let mut registers_patched = 0usize;
+    for r in regs.iter_mut() {
+        if *r >= src && *r < src + len {
+            *r = r.wrapping_add(delta as u64);
+            registers_patched += 1;
+        }
+    }
+    let register_patch = regs.len() as u64 * cost.move_register_patch_per_reg;
+
+    // --- Phase 4: allocation + data movement ---
+    mem.copy(src, dst, len);
+    let alloc_and_move = cost.move_alloc_fixed + cost.copy_cost(len);
+
+    // --- Table maintenance: rebase entries and escape cells in range ---
+    // Escape cells that themselves lived inside the moved range moved too.
+    table.rebase_escape_cells(src, src + len, delta);
+    for &start in &affected {
+        table.relocate(start, delta);
+    }
+
+    MoveOutcome {
+        moved_src: src,
+        moved_len: len,
+        moved_dst: dst,
+        allocations: affected.len(),
+        escapes_patched,
+        registers_patched,
+        cost: MoveCostBreakdown {
+            page_expand,
+            patch_gen_exec,
+            register_patch,
+            alloc_and_move,
+        },
+    }
+}
+
+/// Allocation-granularity move (the paper's §6 "Allocation Granularity"
+/// future-work extension, implemented here for the ablation benchmarks):
+/// moves exactly one allocation, with no page expansion or negotiation.
+pub fn perform_move_alloc_granular(
+    table: &mut AllocationTable,
+    mem: &mut dyn MemAccess,
+    regs: &mut [u64],
+    alloc_start: u64,
+    dst: u64,
+    cost: &CostModel,
+) -> Option<MoveOutcome> {
+    let info = table.info(alloc_start)?;
+    let len = info.len;
+    let delta = dst.wrapping_sub(alloc_start) as i64;
+    let escape_cells: Vec<u64> = info.escapes.iter().copied().collect();
+    let mut escapes_patched = 0;
+    for cell in escape_cells {
+        let val = mem.read_u64(cell);
+        if val >= alloc_start && val < alloc_start + len {
+            mem.write_u64(cell, val.wrapping_add(delta as u64));
+            escapes_patched += 1;
+        }
+    }
+    let mut registers_patched = 0;
+    for r in regs.iter_mut() {
+        if *r >= alloc_start && *r < alloc_start + len {
+            *r = r.wrapping_add(delta as u64);
+            registers_patched += 1;
+        }
+    }
+    mem.copy(alloc_start, dst, len);
+    table.rebase_escape_cells(alloc_start, alloc_start + len, delta);
+    table.relocate(alloc_start, delta);
+    Some(MoveOutcome {
+        moved_src: alloc_start,
+        moved_len: len,
+        moved_dst: dst,
+        allocations: 1,
+        escapes_patched,
+        registers_patched,
+        cost: MoveCostBreakdown {
+            page_expand: 0, // the whole point of allocation granularity
+            patch_gen_exec: escapes_patched as u64 * cost.move_patch_per_escape,
+            register_patch: regs.len() as u64 * cost.move_register_patch_per_reg,
+            alloc_and_move: cost.move_alloc_fixed + cost.copy_cost(len),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc_table::AllocKind;
+    use std::collections::HashMap;
+
+    /// Sparse simulated memory for tests.
+    #[derive(Default)]
+    struct TestMem {
+        words: HashMap<u64, u64>,
+    }
+
+    impl MemAccess for TestMem {
+        fn read_u64(&self, addr: u64) -> u64 {
+            *self.words.get(&addr).unwrap_or(&0)
+        }
+        fn write_u64(&mut self, addr: u64, val: u64) {
+            self.words.insert(addr, val);
+        }
+        fn copy(&mut self, src: u64, dst: u64, len: u64) {
+            let moved: Vec<(u64, u64)> = self
+                .words
+                .iter()
+                .filter(|(&a, _)| a >= src && a < src + len)
+                .map(|(&a, &v)| (a, v))
+                .collect();
+            for (a, v) in moved {
+                self.words.remove(&a);
+                self.words.insert(a - src + dst, v);
+            }
+        }
+    }
+
+    fn setup() -> (AllocationTable, TestMem) {
+        let mut t = AllocationTable::new();
+        let mut m = TestMem::default();
+        // Allocation A at 0x1000..0x1100 with two escapes:
+        //  - cell 0x5000 (outside A) -> 0x1010
+        //  - cell 0x1080 (inside A!) -> 0x1020  (self-referential structure)
+        t.track_alloc(0x1000, 0x100, AllocKind::Heap);
+        m.write_u64(0x5000, 0x1010);
+        m.write_u64(0x1080, 0x1020);
+        t.track_escape(0x5000);
+        t.track_escape(0x1080);
+        let snapshot: HashMap<u64, u64> = [(0x5000u64, 0x1010u64), (0x1080, 0x1020)].into();
+        t.flush_escapes(|c| snapshot[&c]);
+        (t, m)
+    }
+
+    #[test]
+    fn expand_covers_straddling_allocation() {
+        let mut t = AllocationTable::new();
+        // Allocation crossing the 0x2000 page boundary.
+        t.track_alloc(0x1f00, 0x200, AllocKind::Heap);
+        let (src, len) = expand_to_allocations(&t, 0x2000, 0x1000, 0x1000);
+        assert_eq!(src, 0x1000, "expanded back to cover the allocation");
+        assert_eq!(len, 0x2000);
+    }
+
+    #[test]
+    fn move_patches_external_and_internal_escapes() {
+        let (mut t, mut m) = setup();
+        let cost = CostModel::default();
+        let mut regs = vec![0x1044u64, 0xdead];
+        let out = perform_move(
+            &mut t,
+            &mut m,
+            &mut regs,
+            MoveRequest {
+                src: 0x1000,
+                len: 0x1000,
+                dst: 0x9000,
+            },
+            &cost,
+        );
+        assert_eq!(out.allocations, 1);
+        assert_eq!(out.escapes_patched, 2);
+        assert_eq!(out.registers_patched, 1);
+        // External cell now points into the new location.
+        assert_eq!(m.read_u64(0x5000), 0x9010);
+        // Internal cell moved with the data AND was patched.
+        assert_eq!(m.read_u64(0x9080), 0x9020);
+        // Register snapshot patched.
+        assert_eq!(regs[0], 0x9044);
+        assert_eq!(regs[1], 0xdead);
+        // Table relocated.
+        assert!(t.info(0x1000).is_none());
+        assert_eq!(t.info(0x9000).map(|i| i.len), Some(0x100));
+        // The internal escape cell is tracked at its new address.
+        assert!(t.info(0x9000).unwrap().escapes.contains(&0x9080));
+        assert!(t.info(0x9000).unwrap().escapes.contains(&0x5000));
+    }
+
+    #[test]
+    fn move_cost_breakdown_sums() {
+        let (mut t, mut m) = setup();
+        let cost = CostModel::default();
+        let mut regs = vec![0u64; 16];
+        let out = perform_move(
+            &mut t,
+            &mut m,
+            &mut regs,
+            MoveRequest {
+                src: 0x1000,
+                len: 0x1000,
+                dst: 0x9000,
+            },
+            &cost,
+        );
+        let c = out.cost;
+        assert_eq!(c.total(), c.prototype_cost() + c.alloc_and_move);
+        assert_eq!(
+            c.prototype_cost(),
+            c.page_expand + c.patch_gen_exec + c.register_patch
+        );
+        assert!(c.prototype_wo_expand() < c.prototype_cost());
+        assert_eq!(
+            c.patch_gen_exec,
+            2 * cost.move_patch_per_escape,
+            "two escapes patched"
+        );
+    }
+
+    #[test]
+    fn alloc_granular_move_skips_expand() {
+        let (mut t, mut m) = setup();
+        let cost = CostModel::default();
+        let mut regs = vec![];
+        let out =
+            perform_move_alloc_granular(&mut t, &mut m, &mut regs, 0x1000, 0x9000, &cost)
+                .expect("allocation exists");
+        assert_eq!(out.cost.page_expand, 0);
+        assert_eq!(out.moved_len, 0x100, "only the allocation itself");
+        assert_eq!(m.read_u64(0x5000), 0x9010);
+        assert_eq!(t.info(0x9000).map(|i| i.len), Some(0x100));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        /// Random allocation layouts with random cross-pointers: after a
+        /// move of any page, every escape cell points into its (possibly
+        /// relocated) owner and the data moved verbatim.
+        #[test]
+        fn move_preserves_pointer_graph(
+            n_allocs in 1usize..24,
+            sizes in proptest::collection::vec(16u64..200, 24),
+            links in proptest::collection::vec((0usize..24, 0usize..24, 0u64..16), 0..40),
+            move_page in 0u64..4,
+        ) {
+            use proptest::prelude::*;
+            let cost = CostModel::default();
+            let mut t = AllocationTable::new();
+            let mut m = TestMem::default();
+            // Lay allocations out contiguously from 0x10000 (16-aligned).
+            let mut starts = Vec::new();
+            let mut cursor = 0x10000u64;
+            for i in 0..n_allocs {
+                let size = sizes[i] / 16 * 16 + 16;
+                starts.push(cursor);
+                t.track_alloc(cursor, size, AllocKind::Heap);
+                cursor += size;
+            }
+            // Random pointer cells: cell inside alloc A points into alloc B.
+            let mut cells = Vec::new();
+            for &(a, bflt, off) in &links {
+                let (a, b) = (a % n_allocs, bflt % n_allocs);
+                let cell = starts[a] + (off % (sizes[a] / 16 + 1)) * 8;
+                let target = starts[b] + (off % 2) * 8;
+                m.write_u64(cell, target);
+                t.track_escape(cell);
+                cells.push(cell);
+            }
+            let snapshot = m.words.clone();
+            t.flush_escapes(|c| *snapshot.get(&c).unwrap_or(&0));
+            // Move one page of the layout.
+            let src = 0x10000 + move_page * 0x1000;
+            let mut regs = vec![starts[0], 0x0];
+            let out = perform_move(
+                &mut t,
+                &mut m,
+                &mut regs,
+                MoveRequest { src, len: 0x1000, dst: 0x90000 },
+                &cost,
+            );
+            prop_assert!(out.moved_len >= 0x1000);
+            // Every registered escape cell's value lies inside its owner.
+            for (start, len, _, _) in t.snapshot() {
+                if let Some(info) = t.info(start) {
+                    for &cell in &info.escapes {
+                        let val = m.read_u64(cell);
+                        prop_assert!(
+                            val >= start && val < start + len,
+                            "cell {cell:#x} -> {val:#x} outside [{start:#x},+{len:#x})"
+                        );
+                    }
+                }
+            }
+            // Register patched iff it was in the moved range.
+            prop_assert_eq!(regs[1], 0);
+        }
+    }
+
+    #[test]
+    fn moving_without_pointers_patches_nothing() {
+        let mut t = AllocationTable::new();
+        let mut m = TestMem::default();
+        t.track_alloc(0x1000, 0x100, AllocKind::Heap);
+        m.write_u64(0x1000, 42);
+        let cost = CostModel::default();
+        let mut regs = vec![0u64; 4];
+        let out = perform_move(
+            &mut t,
+            &mut m,
+            &mut regs,
+            MoveRequest {
+                src: 0x1000,
+                len: 0x1000,
+                dst: 0x4000,
+            },
+            &cost,
+        );
+        assert_eq!(out.escapes_patched, 0);
+        assert_eq!(m.read_u64(0x4000), 42, "data moved verbatim");
+    }
+}

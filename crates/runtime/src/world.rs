@@ -1,0 +1,245 @@
+//! The world-stop protocol (paper Figure 8).
+//!
+//! On a kernel change request, every thread is signalled, dumps its
+//! register state, and synchronizes at a barrier before the runtime
+//! negotiates and patches; a second barrier precedes resumption. This
+//! module is the protocol state machine the VM and kernel drive; it
+//! validates step ordering and accounts the per-thread costs.
+
+use crate::cost::CostModel;
+use std::error::Error;
+use std::fmt;
+
+/// Protocol steps, in legal order (numbers follow Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// 1 — kernel received a change request.
+    RequestReceived,
+    /// 2 — signals delivered to all threads.
+    SignalsSent,
+    /// 3/4 — every thread entered its handler and dumped registers.
+    HandlersEntered,
+    /// 5 — first barrier passed ("world stopped").
+    Barrier1,
+    /// 5/6 — move negotiated with the kernel (page-set expansion).
+    Negotiated,
+    /// 6/7 — affected allocations determined and patches computed.
+    PatchesComputed,
+    /// 8 — escapes and registers patched.
+    Patched,
+    /// 10 — data moved.
+    Moved,
+    /// 11 — second barrier passed.
+    Barrier2,
+    /// 12 — kernel notified; threads resumed.
+    Completed,
+}
+
+/// Ordering violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// What was attempted.
+    pub attempted: Step,
+    /// What the protocol expected next.
+    pub expected: Step,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "protocol violation: attempted {:?}, expected {:?}",
+            self.attempted, self.expected
+        )
+    }
+}
+
+impl Error for ProtocolError {}
+
+/// One world-stop episode over `threads` threads.
+#[derive(Debug, Clone)]
+pub struct WorldStop {
+    threads: usize,
+    entered: usize,
+    log: Vec<Step>,
+    /// Cycles charged to the episode so far.
+    pub cycles: u64,
+}
+
+impl WorldStop {
+    /// Begin an episode for a process with `threads` threads.
+    pub fn new(threads: usize) -> WorldStop {
+        WorldStop {
+            threads,
+            entered: 0,
+            log: vec![Step::RequestReceived],
+            cycles: 0,
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn log(&self) -> &[Step] {
+        &self.log
+    }
+
+    fn expect_last(&self, want: Step, attempted: Step) -> Result<(), ProtocolError> {
+        if self.log.last() == Some(&want) {
+            Ok(())
+        } else {
+            Err(ProtocolError {
+                attempted,
+                expected: want,
+            })
+        }
+    }
+
+    /// Kernel signals every thread (step 2).
+    pub fn signal_all(&mut self, cost: &CostModel) -> Result<(), ProtocolError> {
+        self.expect_last(Step::RequestReceived, Step::SignalsSent)?;
+        self.cycles += self.threads as u64 * cost.move_signal_per_thread;
+        self.log.push(Step::SignalsSent);
+        Ok(())
+    }
+
+    /// One thread enters its handler and dumps registers (steps 3–4).
+    /// When the last thread arrives, the state advances.
+    pub fn thread_entered(&mut self) -> Result<bool, ProtocolError> {
+        self.expect_last(Step::SignalsSent, Step::HandlersEntered)
+            .or_else(|e| {
+                // Threads trickle in; allowed while still in SignalsSent.
+                if self.entered < self.threads {
+                    Ok(())
+                } else {
+                    Err(e)
+                }
+            })?;
+        self.entered += 1;
+        if self.entered == self.threads {
+            self.log.push(Step::HandlersEntered);
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// All threads synchronize (step 5, first barrier).
+    pub fn barrier1(&mut self, cost: &CostModel) -> Result<(), ProtocolError> {
+        self.expect_last(Step::HandlersEntered, Step::Barrier1)?;
+        self.cycles += self.threads as u64 * cost.move_barrier_per_thread;
+        self.log.push(Step::Barrier1);
+        Ok(())
+    }
+
+    /// Negotiation finished (steps 5–6).
+    pub fn negotiated(&mut self) -> Result<(), ProtocolError> {
+        self.expect_last(Step::Barrier1, Step::Negotiated)?;
+        self.log.push(Step::Negotiated);
+        Ok(())
+    }
+
+    /// Affected allocations found, patches computed (steps 6–7).
+    pub fn patches_computed(&mut self) -> Result<(), ProtocolError> {
+        self.expect_last(Step::Negotiated, Step::PatchesComputed)?;
+        self.log.push(Step::PatchesComputed);
+        Ok(())
+    }
+
+    /// Escapes + registers patched (step 8).
+    pub fn patched(&mut self) -> Result<(), ProtocolError> {
+        self.expect_last(Step::PatchesComputed, Step::Patched)?;
+        self.log.push(Step::Patched);
+        Ok(())
+    }
+
+    /// Data movement done (step 10).
+    pub fn moved(&mut self) -> Result<(), ProtocolError> {
+        self.expect_last(Step::Patched, Step::Moved)?;
+        self.log.push(Step::Moved);
+        Ok(())
+    }
+
+    /// Second barrier (step 11).
+    pub fn barrier2(&mut self, cost: &CostModel) -> Result<(), ProtocolError> {
+        self.expect_last(Step::Moved, Step::Barrier2)?;
+        self.cycles += self.threads as u64 * cost.move_barrier_per_thread;
+        self.log.push(Step::Barrier2);
+        Ok(())
+    }
+
+    /// Kernel notified, threads resume (step 12).
+    pub fn complete(&mut self) -> Result<(), ProtocolError> {
+        self.expect_last(Step::Barrier2, Step::Completed)?;
+        self.log.push(Step::Completed);
+        Ok(())
+    }
+
+    /// Whether the episode finished.
+    pub fn is_complete(&self) -> bool {
+        self.log.last() == Some(&Step::Completed)
+    }
+
+    /// Drive a full episode in one call (used when the caller needs the
+    /// costs but not the intermediate states).
+    pub fn run_all(threads: usize, cost: &CostModel) -> WorldStop {
+        let mut w = WorldStop::new(threads);
+        w.signal_all(cost).expect("fresh episode");
+        for _ in 0..threads {
+            w.thread_entered().expect("threads enter");
+        }
+        w.barrier1(cost).expect("barrier1");
+        w.negotiated().expect("negotiated");
+        w.patches_computed().expect("patches");
+        w.patched().expect("patched");
+        w.moved().expect("moved");
+        w.barrier2(cost).expect("barrier2");
+        w.complete().expect("complete");
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_episode_in_order() {
+        let cost = CostModel::default();
+        let w = WorldStop::run_all(4, &cost);
+        assert!(w.is_complete());
+        assert_eq!(w.log().first(), Some(&Step::RequestReceived));
+        assert_eq!(w.log().last(), Some(&Step::Completed));
+        assert_eq!(
+            w.cycles,
+            4 * cost.move_signal_per_thread + 2 * 4 * cost.move_barrier_per_thread
+        );
+    }
+
+    #[test]
+    fn out_of_order_is_rejected() {
+        let cost = CostModel::default();
+        let mut w = WorldStop::new(2);
+        assert!(w.barrier1(&cost).is_err(), "barrier before signals");
+        w.signal_all(&cost).unwrap();
+        assert!(w.negotiated().is_err(), "negotiate before barrier");
+        assert!(!w.thread_entered().unwrap());
+        assert!(w.barrier1(&cost).is_err(), "barrier before all threads in");
+        assert!(w.thread_entered().unwrap());
+        w.barrier1(&cost).unwrap();
+        assert!(w.patched().is_err(), "patch before negotiate+compute");
+    }
+
+    #[test]
+    fn single_thread_episode() {
+        let cost = CostModel::default();
+        let w = WorldStop::run_all(1, &cost);
+        assert!(w.is_complete());
+    }
+
+    #[test]
+    fn costs_scale_with_threads() {
+        let cost = CostModel::default();
+        let w1 = WorldStop::run_all(1, &cost);
+        let w8 = WorldStop::run_all(8, &cost);
+        assert!(w8.cycles > w1.cycles);
+        assert_eq!(w8.cycles, 8 * w1.cycles);
+    }
+}

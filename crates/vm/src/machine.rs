@@ -1,0 +1,1748 @@
+//! The execution substrate: an IR interpreter over simulated physical
+//! memory with a cycle cost model.
+//!
+//! Two execution modes reproduce the paper's two worlds:
+//!
+//! * [`Mode::Traditional`] — every data access is translated through the
+//!   simulated DTLB/STLB/pagewalker against the kernel's radix page table
+//!   (identity-mapped, demand-faulted), charging translation cycles;
+//! * [`Mode::Carat`] — addresses are physical; no TLB exists; the guard
+//!   and tracking intrinsics injected by the CARAT compiler execute
+//!   against the kernel's region set and the runtime's allocation table.
+//!
+//! A [`MoveDriverConfig`] injects worst-case page movements at a fixed
+//! simulated rate (Figure 9 / Table 3 methodology).
+
+use crate::counters::PerfCounters;
+use crate::heap::HeapAllocator;
+use crate::tlb::TranslationUnit;
+use carat_core::guards::frame_size;
+use carat_ir::{
+    BinOp, BlockId, CastKind, Const, FuncId, Inst, IntTy, Intrinsic, Module, Pred, Type, ValueId,
+};
+use carat_kernel::{LoadConfig, LoadError, ProcessImage, SimKernel};
+use carat_runtime::{Access, AllocKind, AllocationTable, GuardImpl, TrackStats};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Address-translation world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Paging baseline: TLBs + pagewalks, no instrumentation semantics.
+    Traditional,
+    /// CARAT: physical addressing, guards and tracking live.
+    #[default]
+    Carat,
+}
+
+/// Page-move injection (Figure 9 / Table 3 methodology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveDriverConfig {
+    /// Simulated cycles between moves (rate = freq / period).
+    pub period_cycles: u64,
+    /// Stop injecting after this many moves (0 = unlimited).
+    pub max_moves: u64,
+}
+
+/// Swap injection: periodically page the hottest tracked range out to the
+/// kernel's swap store; guards bring it back on demand (paper §2.2's
+/// non-canonical-address mechanism).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapDriverConfig {
+    /// Simulated cycles between page-outs.
+    pub period_cycles: u64,
+    /// Stop injecting after this many page-outs (0 = unlimited).
+    pub max_swaps: u64,
+}
+
+/// VM configuration.
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Execution mode.
+    pub mode: Mode,
+    /// Guard mechanism for guard intrinsics.
+    pub guard_impl: GuardImpl,
+    /// Abort after this many IR instructions (runaway protection).
+    pub max_steps: u64,
+    /// Abort after this many simulated cycles (captures move/swap storms
+    /// whose cost is cycles, not instructions). `u64::MAX` disables.
+    pub max_cycles: u64,
+    /// Seed for the `rand` intrinsic.
+    pub seed: u64,
+    /// Escape batch size before an automatic flush.
+    pub escape_batch: usize,
+    /// Optional page-move injection.
+    pub move_driver: Option<MoveDriverConfig>,
+    /// Optional swap injection.
+    pub swap_driver: Option<SwapDriverConfig>,
+    /// Additional (idle) threads participating in world stops.
+    pub extra_threads: usize,
+    /// Simulated clock for converting cycles to seconds.
+    pub freq_hz: f64,
+    /// Loader sizing.
+    pub load: LoadConfig,
+    /// Let a failed call guard invoke the kernel for seamless stack
+    /// expansion (paper §2.2) instead of faulting.
+    pub auto_grow_stack: bool,
+    /// Stack growth ceiling in bytes.
+    pub max_stack: u64,
+}
+
+impl Default for VmConfig {
+    fn default() -> VmConfig {
+        VmConfig {
+            mode: Mode::Carat,
+            guard_impl: GuardImpl::IfTree,
+            max_steps: 2_000_000_000,
+            max_cycles: u64::MAX,
+            seed: 0x5eed_cafe_f00d_0001,
+            escape_batch: 64,
+            move_driver: None,
+            swap_driver: None,
+            extra_threads: 0,
+            freq_hz: 2.3e9,
+            load: LoadConfig::default(),
+            auto_grow_stack: true,
+            max_stack: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// Why a run stopped abnormally.
+#[derive(Debug)]
+pub enum VmError {
+    /// A guard rejected an access — the CARAT protection fault.
+    GuardFault {
+        /// Offending address (or range start).
+        addr: u64,
+        /// Access length.
+        len: u64,
+        /// Whether it was a write.
+        write: bool,
+    },
+    /// Heap exhausted.
+    OutOfMemory,
+    /// `max_steps` exceeded.
+    StepLimit,
+    /// `abort()` or `unreachable` executed, or an internal trap.
+    Trap(String),
+    /// Loading failed.
+    Load(LoadError),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::GuardFault { addr, len, write } => write!(
+                f,
+                "guard fault: {} of [{addr:#x}, +{len})",
+                if *write { "write" } else { "read" }
+            ),
+            VmError::OutOfMemory => write!(f, "heap exhausted"),
+            VmError::StepLimit => write!(f, "instruction step limit exceeded"),
+            VmError::Trap(m) => write!(f, "trap: {m}"),
+            VmError::Load(e) => write!(f, "load: {e}"),
+        }
+    }
+}
+
+impl Error for VmError {}
+
+impl From<LoadError> for VmError {
+    fn from(e: LoadError) -> VmError {
+        VmError::Load(e)
+    }
+}
+
+/// Result of a completed run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// `main`'s return value.
+    pub ret: i64,
+    /// Performance counters.
+    pub counters: PerfCounters,
+    /// `print_*` output lines.
+    pub output: Vec<String>,
+    /// Runtime tracking statistics (escape histogram etc.).
+    pub track_stats: TrackStats,
+    /// Bytes of runtime tracking state at peak (Figure 6 numerator).
+    pub tracking_bytes: usize,
+    /// Peak live heap bytes (Figure 6 denominator component).
+    pub peak_heap_bytes: u64,
+    /// Kernel paging counters (Table 2).
+    pub page_allocs: u64,
+    /// Kernel page moves (Table 2).
+    pub page_moves: u64,
+    /// Pages at load (Table 2 "Initial Pages").
+    pub initial_pages: u64,
+    /// Static footprint bytes (Table 2).
+    pub static_footprint: u64,
+    /// DTLB misses (traditional mode).
+    pub dtlb_misses: u64,
+    /// DTLB misses per 1000 instructions.
+    pub dtlb_mpki: f64,
+    /// Pagewalks performed (traditional mode).
+    pub pagewalks: u64,
+}
+
+/// An SSA register value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Value {
+    I(i64),
+    F(f64),
+    P(u64),
+    Undef,
+}
+
+impl Value {
+    fn as_i(self) -> i64 {
+        match self {
+            Value::I(x) => x,
+            Value::P(p) => p as i64,
+            Value::F(_) | Value::Undef => 0,
+        }
+    }
+    fn as_f(self) -> f64 {
+        match self {
+            Value::F(x) => x,
+            _ => 0.0,
+        }
+    }
+    fn as_p(self) -> u64 {
+        match self {
+            Value::P(p) => p,
+            Value::I(x) => x as u64,
+            _ => 0,
+        }
+    }
+}
+
+struct Frame {
+    func: FuncId,
+    regs: Vec<Value>,
+    block: BlockId,
+    idx: usize,
+    prev_block: Option<BlockId>,
+    sp_base: u64,
+    ret_to: Option<ValueId>,
+}
+
+/// Per-function static info the interpreter precomputes.
+struct FuncMeta {
+    frame_size: u64,
+    alloca_offsets: HashMap<ValueId, u64>,
+}
+
+/// Bookkeeping for writing a patched register snapshot back into every
+/// thread (see [`Vm::snapshot_regs`]).
+#[derive(Debug, Default)]
+struct SnapshotMap {
+    reg_slots: Vec<(usize, usize, usize)>,
+    sp_slots: Vec<(usize, usize)>,
+    base_slots: Vec<(usize, usize, usize)>,
+}
+
+/// A thread that is not currently executing.
+struct ParkedThread {
+    frames: Vec<Frame>,
+    sp: u64,
+    stack_base: u64,
+}
+
+/// Lifecycle state of one thread slot.
+enum ThreadState {
+    /// This slot is the currently executing thread (its state lives in the
+    /// `Vm` fields).
+    Current,
+    /// Parked, waiting for its next time slice.
+    Parked(ParkedThread),
+    /// Finished with this result.
+    Done(i64),
+}
+
+/// The virtual machine.
+pub struct Vm {
+    cfg: VmConfig,
+    /// The simulated kernel (public for post-run inspection).
+    pub kernel: SimKernel,
+    /// The runtime allocation table (public for post-run inspection).
+    pub table: AllocationTable,
+    image: ProcessImage,
+    heap: HeapAllocator,
+    tlb: TranslationUnit,
+    counters: PerfCounters,
+    output: Vec<String>,
+    meta: Vec<FuncMeta>,
+    rng: u64,
+    sp: u64,
+    frames: Vec<Frame>,
+    /// All thread slots (index = thread id); slot `cur_tid` is `Current`.
+    threads: Vec<ThreadState>,
+    cur_tid: usize,
+    /// Set by a blocking intrinsic (join on a live thread): the current
+    /// instruction must not advance; the scheduler rotates instead.
+    block_current: bool,
+    /// Low bound of the current thread's stack (rebased on relocations).
+    cur_stack_base: u64,
+    access_counter: u64,
+    next_move_at: u64,
+    moves_done: u64,
+    next_swap_at: u64,
+    swaps_done: u64,
+    peak_tracking_bytes: usize,
+}
+
+impl fmt::Debug for Vm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Vm")
+            .field("mode", &self.cfg.mode)
+            .field("cycles", &self.counters.cycles)
+            .finish()
+    }
+}
+
+impl Vm {
+    /// Create a VM over a fresh kernel and load `module` into it
+    /// (unsigned path; use [`Vm::load_signed`] for the full trust chain).
+    ///
+    /// # Errors
+    ///
+    /// Propagates loader failures.
+    pub fn new(module: Module, cfg: VmConfig) -> Result<Vm, VmError> {
+        let mut kernel = SimKernel::new(512 * 1024 * 1024);
+        let mut table = AllocationTable::new();
+        let image = kernel.load_unsigned(module, &mut table, cfg.load)?;
+        Ok(Vm::from_parts(kernel, table, image, cfg))
+    }
+
+    /// Create a VM from a signed module, verifying the trust chain.
+    ///
+    /// # Errors
+    ///
+    /// Signature, parse, verify, or memory failures.
+    pub fn load_signed(
+        signed: &carat_core::SignedModule,
+        trusted: Vec<carat_core::SigningKey>,
+        cfg: VmConfig,
+    ) -> Result<Vm, VmError> {
+        let mut kernel = SimKernel::new(512 * 1024 * 1024);
+        for k in trusted {
+            kernel.trust(k);
+        }
+        let mut table = AllocationTable::new();
+        let image = kernel.load(signed, &mut table, cfg.load)?;
+        Ok(Vm::from_parts(kernel, table, image, cfg))
+    }
+
+    fn from_parts(
+        kernel: SimKernel,
+        table: AllocationTable,
+        image: ProcessImage,
+        cfg: VmConfig,
+    ) -> Vm {
+        let meta = image
+            .module
+            .func_ids()
+            .map(|fid| {
+                let f = image.module.func(fid);
+                let mut alloca_offsets = HashMap::new();
+                let mut off = 0u64;
+                for (_, v, inst) in f.insts_in_layout_order() {
+                    if let Inst::Alloca(ty) = inst {
+                        off = off.div_ceil(ty.align().max(1)) * ty.align().max(1);
+                        alloca_offsets.insert(v, off);
+                        off += ty.stride().max(8);
+                    }
+                }
+                FuncMeta {
+                    frame_size: frame_size(f),
+                    alloca_offsets,
+                }
+            })
+            .collect();
+        let heap = HeapAllocator::new(image.heap.0, image.heap.1);
+        let tlb = TranslationUnit::new(&kernel.cost);
+        let sp = image.stack_top();
+        let next_move_at = cfg
+            .move_driver
+            .map(|d| d.period_cycles)
+            .unwrap_or(u64::MAX);
+        let next_swap_at = cfg
+            .swap_driver
+            .map(|d| d.period_cycles)
+            .unwrap_or(u64::MAX);
+        let seed = cfg.seed;
+        let stack_base = image.stack.0;
+        let mut vm = Vm {
+            cfg,
+            kernel,
+            table,
+            image,
+            heap,
+            tlb,
+            counters: PerfCounters::default(),
+            output: Vec::new(),
+            meta,
+            rng: seed | 1,
+            sp,
+            frames: Vec::new(),
+            threads: vec![ThreadState::Current],
+            cur_tid: 0,
+            block_current: false,
+            cur_stack_base: 0, // set just below from the image
+            access_counter: 0,
+            next_move_at,
+            moves_done: 0,
+            next_swap_at,
+            swaps_done: 0,
+            peak_tracking_bytes: 0,
+        };
+        vm.cur_stack_base = stack_base;
+        vm
+    }
+
+    /// The loaded image.
+    pub fn image(&self) -> &ProcessImage {
+        &self.image
+    }
+
+    /// Run `main` to completion.
+    ///
+    /// # Errors
+    ///
+    /// See [`VmError`].
+    pub fn run(mut self) -> Result<RunResult, VmError> {
+        let main = self
+            .image
+            .module
+            .main()
+            .ok_or_else(|| VmError::Trap("no main function".into()))?;
+        self.push_frame(main, vec![], None)?;
+        let mut steps = 0u64;
+        let ret;
+        loop {
+            steps += 1;
+            if steps > self.cfg.max_steps || self.counters.cycles > self.cfg.max_cycles {
+                return Err(VmError::StepLimit);
+            }
+            if let Some(v) = self.step()? {
+                if self.cur_tid == 0 {
+                    // Main returned: the process ends (any still-running
+                    // threads are abandoned, as on a real exit()).
+                    ret = v;
+                    break;
+                }
+                self.threads[self.cur_tid] = ThreadState::Done(v);
+                self.counters.cycles += self.kernel.cost.call;
+                if !self.rotate(true)? {
+                    return Err(VmError::Trap("all threads finished but main".into()));
+                }
+                continue;
+            }
+            if self.counters.cycles >= self.next_move_at && !self.tracking_owed() {
+                // A world-stop may not land between a pointer store and its
+                // escape callback (the instrumentation stub runs with
+                // signals masked in a real CARAT); defer until the
+                // notification has been delivered.
+                self.drive_move()?;
+            }
+            if self.counters.cycles >= self.next_swap_at && !self.tracking_owed() {
+                self.drive_swap()?;
+            }
+            if self.threads.len() > 1 && !self.tracking_owed() {
+                self.rotate(false)?;
+            }
+        }
+        // End of program: final escape flush and histogram fold.
+        self.flush_escapes();
+        self.table.finish();
+        self.note_tracking_bytes();
+        let mpki = self.tlb.dtlb_mpki(self.counters.instructions);
+        Ok(RunResult {
+            ret,
+            output: std::mem::take(&mut self.output),
+            track_stats: self.table.stats.clone(),
+            tracking_bytes: self.peak_tracking_bytes,
+            peak_heap_bytes: self.heap.peak_bytes,
+            page_allocs: self.kernel.trace.allocs,
+            page_moves: self.kernel.trace.moves,
+            initial_pages: self.image.initial_pages,
+            static_footprint: self.image.static_footprint,
+            dtlb_misses: self.tlb.dtlb.misses,
+            dtlb_mpki: mpki,
+            pagewalks: self.tlb.pagewalks,
+            counters: self.counters,
+        })
+    }
+
+    fn push_frame(
+        &mut self,
+        func: FuncId,
+        args: Vec<Value>,
+        ret_to: Option<ValueId>,
+    ) -> Result<(), VmError> {
+        let f = self.image.module.func(func);
+        let meta = &self.meta[func.index()];
+        let fsize = meta.frame_size;
+        if self.sp < fsize {
+            return Err(VmError::Trap("stack exhausted".into()));
+        }
+        let sp_base = self.sp - fsize;
+        // Without guards (baseline builds) nothing checks the stack bound;
+        // physical addressing means an overflow would silently clobber
+        // neighboring memory — exactly the protection CARAT's call guards
+        // reintroduce. Trap loudly in the simulator instead.
+        if sp_base < self.cur_stack_base {
+            return Err(VmError::Trap(
+                "stack overflow (no call guards to trigger expansion)".into(),
+            ));
+        }
+        // Traditional model: the kernel grows the stack transparently; in
+        // CARAT the call guard checked this range already.
+        self.sp = sp_base;
+        let mut regs = vec![Value::Undef; f.num_values()];
+        for (i, a) in args.into_iter().enumerate() {
+            regs[i] = a;
+        }
+        let entry = f.entry();
+        self.frames.push(Frame {
+            func,
+            regs,
+            block: entry,
+            idx: 0,
+            prev_block: None,
+            sp_base,
+            ret_to,
+        });
+        self.counters.calls += 1;
+        self.counters.cycles += self.kernel.cost.call;
+        Ok(())
+    }
+
+    /// Execute one instruction; returns `Some(ret)` when `main` returns.
+    fn step(&mut self) -> Result<Option<i64>, VmError> {
+        let frame = self.frames.last().expect("non-empty");
+        let fid = frame.func;
+        let f = self.image.module.func(fid);
+        let block = frame.block;
+        let insts = &f.block(block).insts;
+        let v = insts[frame.idx];
+        let inst = f.inst(v).expect("placed instruction").clone();
+        self.counters.instructions += 1;
+        let cost = &self.kernel.cost;
+
+        macro_rules! frame_mut {
+            () => {
+                self.frames.last_mut().expect("non-empty")
+            };
+        }
+        macro_rules! reg {
+            ($v:expr) => {
+                self.frames.last().expect("frame").regs[$v.index()]
+            };
+        }
+
+        match inst {
+            Inst::Const(c) => {
+                let val = match c {
+                    Const::Int(x, w) => Value::I(w.wrap(x)),
+                    Const::F64(x) => Value::F(x),
+                    Const::Null => Value::P(0),
+                    Const::GlobalAddr(g) => Value::P(self.image.globals[g.index()]),
+                };
+                frame_mut!().regs[v.index()] = val;
+                frame_mut!().idx += 1;
+            }
+            Inst::Alloca(_) => {
+                let off = self.meta[fid.index()].alloca_offsets[&v];
+                let addr = self.frames.last().unwrap().sp_base + off;
+                self.counters.cycles += self.kernel.cost.alu;
+                frame_mut!().regs[v.index()] = Value::P(addr);
+                frame_mut!().idx += 1;
+            }
+            Inst::Load { ty, addr } => {
+                let a = reg!(addr).as_p();
+                let size = ty.size();
+                let paddr = self.data_access(a, size, false)?;
+                let val = match ty {
+                    Type::F64 => Value::F(self.kernel.mem.read_f64(paddr)),
+                    Type::Ptr => Value::P(self.kernel.mem.read_uint(paddr, 8)),
+                    Type::Int(w) => {
+                        Value::I(w.wrap(self.kernel.mem.read_uint(paddr, size) as i64))
+                    }
+                    _ => return Err(VmError::Trap("load of aggregate".into())),
+                };
+                self.counters.loads += 1;
+                frame_mut!().regs[v.index()] = val;
+                frame_mut!().idx += 1;
+            }
+            Inst::Store { ty, addr, value } => {
+                let a = reg!(addr).as_p();
+                let size = ty.size();
+                let paddr = self.data_access(a, size, true)?;
+                // Read the value register only AFTER the access resolved:
+                // a poison address triggers a page-in world-stop inside
+                // `data_access`, which patches registers — a value read
+                // earlier would be stale.
+                let x = reg!(value);
+                match ty {
+                    Type::F64 => self.kernel.mem.write_f64(paddr, x.as_f()),
+                    Type::Ptr => self.kernel.mem.write_uint(paddr, x.as_p(), 8),
+                    Type::Int(_) => self.kernel.mem.write_uint(paddr, x.as_i() as u64, size),
+                    _ => return Err(VmError::Trap("store of aggregate".into())),
+                }
+                self.counters.stores += 1;
+                frame_mut!().idx += 1;
+            }
+            Inst::PtrAdd { base, index, elem } => {
+                let b = reg!(base).as_p();
+                let i = reg!(index).as_i();
+                let addr = b.wrapping_add((i.wrapping_mul(elem.stride() as i64)) as u64);
+                self.counters.cycles += cost.alu;
+                frame_mut!().regs[v.index()] = Value::P(addr);
+                frame_mut!().idx += 1;
+            }
+            Inst::FieldAddr {
+                base,
+                struct_ty,
+                field,
+            } => {
+                let b = reg!(base).as_p();
+                let addr = b + struct_ty.field_offset(field as usize);
+                self.counters.cycles += cost.alu;
+                frame_mut!().regs[v.index()] = Value::P(addr);
+                frame_mut!().idx += 1;
+            }
+            Inst::Bin { op, lhs, rhs } => {
+                let out = self.eval_bin(op, reg!(lhs), reg!(rhs), fid, lhs)?;
+                frame_mut!().regs[v.index()] = out;
+                frame_mut!().idx += 1;
+            }
+            Inst::Icmp { pred, lhs, rhs } => {
+                let (a, b) = (reg!(lhs), reg!(rhs));
+                let r = match (a, b) {
+                    (Value::P(x), _) | (_, Value::P(x)) => {
+                        let _ = x;
+                        icmp_u(pred, a.as_p(), b.as_p())
+                    }
+                    _ => icmp_i(pred, a.as_i(), b.as_i()),
+                };
+                self.counters.cycles += self.kernel.cost.alu;
+                frame_mut!().regs[v.index()] = Value::I(r as i64);
+                frame_mut!().idx += 1;
+            }
+            Inst::Fcmp { pred, lhs, rhs } => {
+                let (a, b) = (reg!(lhs).as_f(), reg!(rhs).as_f());
+                let r = match pred {
+                    Pred::Eq => a == b,
+                    Pred::Ne => a != b,
+                    Pred::Slt | Pred::Ult => a < b,
+                    Pred::Sle => a <= b,
+                    Pred::Sgt => a > b,
+                    Pred::Sge | Pred::Uge => a >= b,
+                };
+                self.counters.cycles += self.kernel.cost.fpu;
+                frame_mut!().regs[v.index()] = Value::I(r as i64);
+                frame_mut!().idx += 1;
+            }
+            Inst::Cast { kind, value, to } => {
+                let x = reg!(value);
+                let out = match kind {
+                    CastKind::Sext | CastKind::Zext | CastKind::Trunc => {
+                        let w = to.int_width().unwrap_or(IntTy::I64);
+                        Value::I(w.wrap(x.as_i()))
+                    }
+                    CastKind::SiToFp => Value::F(x.as_i() as f64),
+                    CastKind::FpToSi => Value::I(x.as_f() as i64),
+                    CastKind::PtrToInt => Value::I(x.as_p() as i64),
+                    CastKind::IntToPtr => Value::P(x.as_i() as u64),
+                };
+                self.counters.cycles += self.kernel.cost.alu;
+                frame_mut!().regs[v.index()] = out;
+                frame_mut!().idx += 1;
+            }
+            Inst::Select {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                let c = reg!(cond).as_i() != 0;
+                let out = if c { reg!(if_true) } else { reg!(if_false) };
+                self.counters.cycles += self.kernel.cost.alu;
+                frame_mut!().regs[v.index()] = out;
+                frame_mut!().idx += 1;
+            }
+            Inst::Phi { .. } => {
+                // Phis are handled en bloc at block entry; reaching one here
+                // means we are at the block head: evaluate all phis in
+                // parallel against prev_block.
+                self.exec_phis()?;
+            }
+            Inst::Call { callee, args, .. } => {
+                let argv: Vec<Value> = args.iter().map(|&a| reg!(a)).collect();
+                frame_mut!().idx += 1; // return lands after the call
+                self.push_frame(callee, argv, Some(v))?;
+            }
+            Inst::CallIntrinsic { intr, args } => {
+                let argv: Vec<Value> = args.iter().map(|&a| reg!(a)).collect();
+                let out = self.exec_intrinsic(intr, &argv)?;
+                if self.block_current {
+                    // A blocking intrinsic (join): leave the instruction
+                    // pointer in place; the run loop's scheduler rotates
+                    // away and this instruction re-executes later.
+                    self.block_current = false;
+                    self.counters.cycles += self.kernel.cost.branch;
+                    return Ok(None);
+                }
+                if let Some(x) = out {
+                    frame_mut!().regs[v.index()] = x;
+                }
+                frame_mut!().idx += 1;
+            }
+            Inst::Jmp { target } => {
+                self.counters.cycles += self.kernel.cost.branch;
+                self.jump(block, target);
+            }
+            Inst::Br {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                let c = reg!(cond).as_i() != 0;
+                self.counters.cycles += self.kernel.cost.branch;
+                self.jump(block, if c { if_true } else { if_false });
+            }
+            Inst::Ret { value } => {
+                let out = value.map(|x| reg!(x));
+                let frame = self.frames.pop().expect("frame");
+                // Release the stack frame.
+                self.sp = frame.sp_base + self.meta[frame.func.index()].frame_size;
+                self.counters.cycles += self.kernel.cost.branch;
+                match self.frames.last_mut() {
+                    Some(parent) => {
+                        if let (Some(dst), Some(val)) = (frame.ret_to, out) {
+                            parent.regs[dst.index()] = val;
+                        }
+                    }
+                    None => {
+                        return Ok(Some(out.map(Value::as_i).unwrap_or(0)));
+                    }
+                }
+            }
+            Inst::Unreachable => {
+                return Err(VmError::Trap("unreachable executed".into()));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Evaluate all phis at the head of the current block in parallel,
+    /// then advance past them.
+    fn exec_phis(&mut self) -> Result<(), VmError> {
+        let frame = self.frames.last().expect("frame");
+        let f = self.image.module.func(frame.func);
+        let block = frame.block;
+        let prev = frame
+            .prev_block
+            .ok_or_else(|| VmError::Trap("phi at function entry".into()))?;
+        let mut updates: Vec<(ValueId, Value)> = Vec::new();
+        let mut consumed = 0usize;
+        for &pv in &f.block(block).insts {
+            let Some(Inst::Phi { incomings, .. }) = f.inst(pv) else {
+                break;
+            };
+            let (_, iv) = incomings
+                .iter()
+                .find(|(b, _)| *b == prev)
+                .ok_or_else(|| VmError::Trap(format!("phi missing incoming from {prev}")))?;
+            updates.push((pv, frame.regs[iv.index()]));
+            consumed += 1;
+        }
+        let frame = self.frames.last_mut().expect("frame");
+        for (pv, val) in updates {
+            frame.regs[pv.index()] = val;
+        }
+        frame.idx += consumed;
+        Ok(())
+    }
+
+    fn jump(&mut self, from: BlockId, to: BlockId) {
+        let frame = self.frames.last_mut().expect("frame");
+        frame.prev_block = Some(from);
+        frame.block = to;
+        frame.idx = 0;
+    }
+
+    fn eval_bin(
+        &mut self,
+        op: BinOp,
+        a: Value,
+        b: Value,
+        fid: FuncId,
+        lhs: ValueId,
+    ) -> Result<Value, VmError> {
+        let cost = &self.kernel.cost;
+        if op.is_float() {
+            self.counters.cycles += cost.fpu;
+            let (x, y) = (a.as_f(), b.as_f());
+            return Ok(Value::F(match op {
+                BinOp::Fadd => x + y,
+                BinOp::Fsub => x - y,
+                BinOp::Fmul => x * y,
+                BinOp::Fdiv => x / y,
+                _ => unreachable!(),
+            }));
+        }
+        self.counters.cycles += match op {
+            BinOp::Sdiv | BinOp::Srem | BinOp::Udiv | BinOp::Urem => 20,
+            BinOp::Mul => 3,
+            _ => cost.alu,
+        };
+        // Pointer arithmetic via add/sub keeps pointerness.
+        let keep_ptr = matches!((a, op), (Value::P(_), BinOp::Add | BinOp::Sub));
+        let (x, y) = (a.as_i(), b.as_i());
+        let width = self
+            .image
+            .module
+            .func(fid)
+            .value_type(lhs)
+            .and_then(|t| t.int_width())
+            .unwrap_or(IntTy::I64);
+        let r = match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::Sdiv => {
+                if y == 0 {
+                    return Err(VmError::Trap("division by zero".into()));
+                }
+                x.wrapping_div(y)
+            }
+            BinOp::Srem => {
+                if y == 0 {
+                    return Err(VmError::Trap("remainder by zero".into()));
+                }
+                x.wrapping_rem(y)
+            }
+            BinOp::Udiv => {
+                if y == 0 {
+                    return Err(VmError::Trap("division by zero".into()));
+                }
+                ((x as u64) / (y as u64)) as i64
+            }
+            BinOp::Urem => {
+                if y == 0 {
+                    return Err(VmError::Trap("remainder by zero".into()));
+                }
+                ((x as u64) % (y as u64)) as i64
+            }
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Shl => x.wrapping_shl(y as u32 & 63),
+            BinOp::Ashr => x.wrapping_shr(y as u32 & 63),
+            BinOp::Lshr => ((x as u64).wrapping_shr(y as u32 & 63)) as i64,
+            _ => unreachable!(),
+        };
+        Ok(if keep_ptr {
+            Value::P(r as u64)
+        } else {
+            Value::I(width.wrap(r))
+        })
+    }
+
+    /// Account for a data access at `addr` and return the physical address
+    /// to use. Traditional mode translates (TLB/pagewalk/fault);
+    /// CARAT mode uses the address as-is and records first touches.
+    ///
+    /// A *poison* (non-canonical) address raises the hardware fault the
+    /// paper relies on for swapped data — even when the access's guard was
+    /// optimized away — and the kernel services it by paging back in.
+    fn data_access(&mut self, mut addr: u64, size: u64, _write: bool) -> Result<u64, VmError> {
+        if SimKernel::is_poison(addr) {
+            match self.try_page_in(addr) {
+                Some((base, span, delta)) => addr = translate(addr, base, span, delta),
+                None => {
+                    return Err(VmError::GuardFault {
+                        addr,
+                        len: size,
+                        write: _write,
+                    })
+                }
+            }
+        }
+        let cost = self.kernel.cost.clone();
+        self.access_counter += 1;
+        // Flat L1 model: deterministic pseudo-random hit/miss.
+        let h = self
+            .access_counter
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(addr >> 6);
+        let l1_hit = (h % 1024) < cost.l1_hit_per_1024;
+        self.counters.cycles += cost.mem_l1;
+        if !l1_hit {
+            self.counters.cycles += cost.mem_l1_miss_extra;
+        }
+        match self.cfg.mode {
+            Mode::Carat => {
+                self.kernel.demand_touch(addr);
+                if size > 0 && (addr + size - 1) / cost.page_size != addr / cost.page_size {
+                    self.kernel.demand_touch(addr + size - 1);
+                }
+                Ok(addr)
+            }
+            Mode::Traditional => {
+                let vpn = addr / cost.page_size;
+                let extra = self.tlb.access(vpn, &cost);
+                self.counters.translation_cycles += extra;
+                self.counters.cycles += extra;
+                // Demand fault on first touch (identity-mapped).
+                if self.kernel.pagetable.translate(vpn).is_none() {
+                    self.kernel.pagetable.map(
+                        vpn,
+                        carat_kernel::Pte {
+                            ppn: vpn,
+                            writable: true,
+                        },
+                    );
+                    self.kernel
+                        .trace
+                        .record(carat_kernel::PagingEvent::Alloc { page: vpn });
+                    self.counters.cycles += cost.page_fault;
+                }
+                Ok(addr) // identity mapping: paddr == vaddr
+            }
+        }
+    }
+
+    fn exec_intrinsic(
+        &mut self,
+        intr: Intrinsic,
+        args: &[Value],
+    ) -> Result<Option<Value>, VmError> {
+        let cost = self.kernel.cost.clone();
+        match intr {
+            Intrinsic::Malloc => {
+                let size = args[0].as_i().max(0) as u64;
+                self.counters.cycles += 60;
+                let addr = self.heap.alloc(size).ok_or(VmError::OutOfMemory)?;
+                Ok(Some(Value::P(addr)))
+            }
+            Intrinsic::Free => {
+                self.counters.cycles += 40;
+                self.heap.free(args[0].as_p());
+                Ok(None)
+            }
+            Intrinsic::GuardLoad | Intrinsic::GuardStore => {
+                let addr = args[0].as_p();
+                let len = args[1].as_i().max(0) as u64;
+                let access = if intr == Intrinsic::GuardStore {
+                    Access::Write
+                } else {
+                    Access::Read
+                };
+                let check = self.kernel.regions.check(self.cfg.guard_impl, addr, len, access);
+                self.account_guard(check.probes, &cost);
+                if check.ok {
+                    return Ok(None);
+                }
+                // A poison address means the data is in swap: the guard
+                // fault reaches the kernel, which pages it back in.
+                if let Some((base, span, delta)) = self.try_page_in(addr) {
+                    let addr2 = translate(addr, base, span, delta);
+                    let again =
+                        self.kernel
+                            .regions
+                            .check(self.cfg.guard_impl, addr2, len, access);
+                    self.account_guard(again.probes, &cost);
+                    if again.ok {
+                        return Ok(None);
+                    }
+                }
+                if std::env::var_os("CARAT_VM_DEBUG").is_some() {
+                    eprintln!(
+                        "guard fault @ {addr:#x}: alloc={:?}, regions={:?}",
+                        self.table.find_containing(addr).map(|(s, i)| (s, i.len)),
+                        self.kernel.regions.regions().iter().map(|r| (r.start, r.len)).collect::<Vec<_>>()
+                    );
+                }
+                Err(VmError::GuardFault {
+                    addr,
+                    len,
+                    write: access == Access::Write,
+                })
+            }
+            Intrinsic::GuardRange => {
+                let lo = args[0].as_p();
+                let hi = args[1].as_p();
+                let access = if args[2].as_i() != 0 {
+                    Access::Write
+                } else {
+                    Access::Read
+                };
+                let check = self.kernel.regions.check_range(lo, hi, access);
+                self.account_guard(check.probes, &cost);
+                if check.ok {
+                    return Ok(None);
+                }
+                if let Some((base, span, delta)) = self.try_page_in(lo) {
+                    let lo2 = translate(lo, base, span, delta);
+                    let hi2 = translate(hi, base, span, delta);
+                    let again = self.kernel.regions.check_range(lo2, hi2, access);
+                    self.account_guard(again.probes, &cost);
+                    if again.ok {
+                        return Ok(None);
+                    }
+                }
+                Err(VmError::GuardFault {
+                    addr: lo,
+                    len: hi.saturating_sub(lo),
+                    write: access == Access::Write,
+                })
+            }
+            Intrinsic::GuardCall => {
+                let frame = args[0].as_i().max(0) as u64;
+                let lo = self.sp.saturating_sub(frame);
+                let check = self
+                    .kernel
+                    .regions
+                    .check(self.cfg.guard_impl, lo, frame, Access::Write);
+                self.account_guard(check.probes, &cost);
+                if check.ok {
+                    return Ok(None);
+                }
+                // The stack itself may be in swap (its pointers poisoned);
+                // fault to the kernel and page it back in first.
+                if SimKernel::is_poison(lo) && self.try_page_in(lo).is_some() {
+                    let lo2 = self.sp.saturating_sub(frame);
+                    let again = self
+                        .kernel
+                        .regions
+                        .check(self.cfg.guard_impl, lo2, frame, Access::Write);
+                    self.account_guard(again.probes, &cost);
+                    if again.ok {
+                        return Ok(None);
+                    }
+                }
+                // A failed guard involving the stack invokes the kernel,
+                // which implements seamless stack expansion (paper §2.2).
+                // Spawned threads' heap stacks are fixed-size.
+                if self.cfg.auto_grow_stack && self.cur_tid == 0 && self.try_expand_stack() {
+                    let lo2 = self.sp.saturating_sub(frame);
+                    let again = self
+                        .kernel
+                        .regions
+                        .check(self.cfg.guard_impl, lo2, frame, Access::Write);
+                    self.account_guard(again.probes, &cost);
+                    if again.ok {
+                        return Ok(None);
+                    }
+                }
+                Err(VmError::GuardFault {
+                    addr: lo,
+                    len: frame,
+                    write: true,
+                })
+            }
+            Intrinsic::TrackAlloc => {
+                let addr = args[0].as_p();
+                let size = args[1].as_i().max(0) as u64;
+                let kind = if addr >= self.image.heap.0 {
+                    AllocKind::Heap
+                } else {
+                    AllocKind::Stack
+                };
+                self.table.track_alloc(addr, size, kind);
+                self.counters.track_events += 1;
+                self.counters.track_cycles += cost.track_alloc;
+                self.counters.cycles += cost.track_alloc;
+                self.counters.instrumentation_insts += 1;
+                self.note_tracking_bytes();
+                Ok(None)
+            }
+            Intrinsic::TrackFree => {
+                self.table.track_free(args[0].as_p());
+                self.counters.track_events += 1;
+                self.counters.track_cycles += cost.track_free;
+                self.counters.cycles += cost.track_free;
+                self.counters.instrumentation_insts += 1;
+                Ok(None)
+            }
+            Intrinsic::TrackEscape => {
+                self.table.track_escape(args[0].as_p());
+                self.counters.track_events += 1;
+                self.counters.track_cycles += cost.track_escape_enqueue;
+                self.counters.cycles += cost.track_escape_enqueue;
+                self.counters.instrumentation_insts += 1;
+                if self.table.pending_escapes() >= self.cfg.escape_batch {
+                    self.flush_escapes();
+                }
+                Ok(None)
+            }
+            Intrinsic::Rand => {
+                // xorshift64*
+                let mut x = self.rng;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                self.rng = x;
+                self.counters.cycles += 4;
+                Ok(Some(Value::I(
+                    (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 1) as i64,
+                )))
+            }
+            Intrinsic::Sqrt => {
+                self.counters.cycles += 15;
+                Ok(Some(Value::F(args[0].as_f().sqrt())))
+            }
+            Intrinsic::Exp => {
+                self.counters.cycles += 30;
+                Ok(Some(Value::F(args[0].as_f().exp())))
+            }
+            Intrinsic::Log => {
+                self.counters.cycles += 30;
+                Ok(Some(Value::F(args[0].as_f().ln())))
+            }
+            Intrinsic::PrintI64 => {
+                self.output.push(args[0].as_i().to_string());
+                Ok(None)
+            }
+            Intrinsic::PrintF64 => {
+                self.output.push(format!("{:.6}", args[0].as_f()));
+                Ok(None)
+            }
+            Intrinsic::Memcpy => {
+                let (mut dst, mut src, len) =
+                    (args[0].as_p(), args[1].as_p(), args[2].as_i().max(0) as u64);
+                // Resolve swapped operands up front so the bulk copy below
+                // sees resident memory.
+                if SimKernel::is_poison(dst) {
+                    let (b, sp, d) = self.try_page_in(dst).ok_or(VmError::GuardFault {
+                        addr: dst,
+                        len,
+                        write: true,
+                    })?;
+                    dst = translate(dst, b, sp, d);
+                    src = translate(src, b, sp, d);
+                }
+                if SimKernel::is_poison(src) {
+                    let (b, sp, d) = self.try_page_in(src).ok_or(VmError::GuardFault {
+                        addr: src,
+                        len,
+                        write: false,
+                    })?;
+                    src = translate(src, b, sp, d);
+                    dst = translate(dst, b, sp, d);
+                }
+                // Touch pages on both sides.
+                let page = cost.page_size;
+                for p in 0..=len.saturating_sub(1) / page {
+                    self.data_access(src + p * page, 1, false)?;
+                    self.data_access(dst + p * page, 1, true)?;
+                }
+                self.counters.cycles += cost.copy_cost(len);
+                // Copy through a buffer (ranges may overlap).
+                let data = self.kernel.mem.read_bytes(src, len).to_vec();
+                self.kernel.mem.write_bytes(dst, &data);
+                Ok(None)
+            }
+            Intrinsic::Memset => {
+                let (mut dst, byte, len) =
+                    (args[0].as_p(), args[1].as_i() as u8, args[2].as_i().max(0) as u64);
+                if SimKernel::is_poison(dst) {
+                    let (b, sp, d) = self.try_page_in(dst).ok_or(VmError::GuardFault {
+                        addr: dst,
+                        len,
+                        write: true,
+                    })?;
+                    dst = translate(dst, b, sp, d);
+                }
+                let page = cost.page_size;
+                for p in 0..=len.saturating_sub(1) / page {
+                    self.data_access(dst + p * page, 1, true)?;
+                }
+                self.counters.cycles += cost.copy_cost(len);
+                self.kernel.mem.write_bytes(dst, &vec![byte; len as usize]);
+                Ok(None)
+            }
+            Intrinsic::Abort => Err(VmError::Trap("abort() called".into())),
+            Intrinsic::Spawn => {
+                let fid = FuncId(args[0].as_i().max(0) as u32);
+                let arg = args[1].as_i();
+                let tid = self.spawn_thread(fid, arg)?;
+                Ok(Some(Value::I(tid)))
+            }
+            Intrinsic::Join => {
+                let tid = args[0].as_i();
+                if tid < 0 || tid as usize >= self.threads.len() {
+                    return Err(VmError::Trap(format!("join of unknown thread {tid}")));
+                }
+                if tid as usize == self.cur_tid {
+                    return Err(VmError::Trap("thread cannot join itself".into()));
+                }
+                match self.threads[tid as usize] {
+                    ThreadState::Done(v) => {
+                        self.counters.cycles += cost.call;
+                        Ok(Some(Value::I(v)))
+                    }
+                    _ => {
+                        // Not finished: block; the scheduler re-runs this
+                        // join after other threads make progress.
+                        self.block_current = true;
+                        Ok(None)
+                    }
+                }
+            }
+        }
+    }
+
+    fn account_guard(&mut self, probes: u64, cost: &carat_runtime::CostModel) {
+        self.counters.guards_executed += 1;
+        self.counters.guard_probes += probes;
+        self.counters.instrumentation_insts += 1;
+        let cycles = if self.cfg.guard_impl == GuardImpl::Mpx && self.kernel.regions.len() == 1 {
+            cost.guard_mpx
+        } else {
+            cost.software_guard_cost(probes)
+        };
+        self.counters.guard_cycles += cycles;
+        self.counters.cycles += cycles;
+    }
+
+    fn flush_escapes(&mut self) {
+        let pending = self.table.pending_escapes() as u64;
+        if pending == 0 {
+            return;
+        }
+        let mem = &self.kernel.mem;
+        let resolved = self.table.flush_escapes(|cell| {
+            use carat_runtime::MemAccess;
+            mem.read_u64(cell)
+        });
+        let _ = resolved;
+        let cost = &self.kernel.cost;
+        let cycles = pending * cost.track_escape_flush;
+        self.counters.track_cycles += cycles;
+        self.counters.cycles += cycles;
+        self.note_tracking_bytes();
+    }
+
+    fn note_tracking_bytes(&mut self) {
+        self.peak_tracking_bytes = self
+            .peak_tracking_bytes
+            .max(self.table.memory_overhead_bytes());
+    }
+
+    /// Whether the next instruction is a tracking callback whose
+    /// notification the runtime has not received yet — a point where the
+    /// world must not stop (see the call site in [`Vm::run`]).
+    fn tracking_owed(&self) -> bool {
+        let Some(frame) = self.frames.last() else {
+            return false;
+        };
+        let f = self.image.module.func(frame.func);
+        let insts = &f.block(frame.block).insts;
+        let Some(&v) = insts.get(frame.idx) else {
+            return false;
+        };
+        matches!(
+            f.inst(v),
+            Some(Inst::CallIntrinsic { intr, .. }) if intr.is_track()
+        )
+    }
+
+    /// Round-robin to the next runnable thread. With `force`, the current
+    /// slot is already retired (`Done`) and must not be re-entered; returns
+    /// whether a runnable thread was found.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; the `Result` keeps the call sites uniform.
+    fn rotate(&mut self, force: bool) -> Result<bool, VmError> {
+        let n = self.threads.len();
+        for off in 1..=n {
+            let tid = (self.cur_tid + off) % n;
+            if tid == self.cur_tid {
+                return Ok(!force);
+            }
+            if matches!(self.threads[tid], ThreadState::Parked(_)) {
+                self.switch_to(tid, force);
+                return Ok(true);
+            }
+        }
+        Ok(!force)
+    }
+
+    /// Swap the current thread's state with parked thread `tid`.
+    fn switch_to(&mut self, tid: usize, current_retired: bool) {
+        if !current_retired {
+            let parked = ParkedThread {
+                frames: std::mem::take(&mut self.frames),
+                sp: self.sp,
+                stack_base: self.cur_stack_base,
+            };
+            self.threads[self.cur_tid] = ThreadState::Parked(parked);
+        }
+        let slot = std::mem::replace(&mut self.threads[tid], ThreadState::Current);
+        let ThreadState::Parked(t) = slot else {
+            unreachable!("switch target verified parked");
+        };
+        self.frames = t.frames;
+        self.sp = t.sp;
+        self.cur_stack_base = t.stack_base;
+        self.cur_tid = tid;
+    }
+
+    /// Live (current or parked) thread count, for world-stop costing.
+    fn live_threads(&self) -> usize {
+        self.threads
+            .iter()
+            .filter(|t| !matches!(t, ThreadState::Done(_)))
+            .count()
+    }
+
+    /// Create a thread running function `fid` with `arg`, on a stack
+    /// allocated from heap memory (paper §2.2). Returns its thread id.
+    fn spawn_thread(&mut self, fid: FuncId, arg: i64) -> Result<i64, VmError> {
+        if fid.index() >= self.image.module.num_funcs() {
+            return Err(VmError::Trap("spawn of nonexistent function".into()));
+        }
+        let f = self.image.module.func(fid);
+        if f.params != vec![Type::I64] || f.ret != Some(Type::I64) {
+            return Err(VmError::Trap(format!(
+                "spawned function `{}` must have signature i64(i64)",
+                f.name
+            )));
+        }
+        let stack_size = self.cfg.load.stack_size;
+        let block = self.heap.alloc(stack_size).ok_or(VmError::OutOfMemory)?;
+        // Thread stacks are ordinary tracked allocations: they move and
+        // swap like everything else.
+        self.table
+            .track_alloc(block, stack_size, AllocKind::Stack);
+        let meta = &self.meta[fid.index()];
+        let sp_top = block + stack_size;
+        let sp_base = sp_top - meta.frame_size;
+        let mut regs = vec![Value::Undef; f.num_values()];
+        regs[0] = Value::I(arg);
+        let entry = f.entry();
+        let frame = Frame {
+            func: fid,
+            regs,
+            block: entry,
+            idx: 0,
+            prev_block: None,
+            sp_base,
+            ret_to: None,
+        };
+        self.threads.push(ThreadState::Parked(ParkedThread {
+            frames: vec![frame],
+            sp: sp_base,
+            stack_base: block,
+        }));
+        // Thread creation cost: the kernel sets up the stack and registers
+        // the thread with the runtime.
+        self.counters.cycles += self.kernel.cost.move_signal_per_thread;
+        Ok((self.threads.len() - 1) as i64)
+    }
+
+    /// Snapshot every pointer-valued register of every frame (the
+    /// "registers dumped on the stack" by the signal handlers), plus the
+    /// stack pointer and frame bases. Returns the flat register image and
+    /// the bookkeeping needed to write it back.
+    fn snapshot_regs(&self) -> (Vec<u64>, SnapshotMap) {
+        let mut regs: Vec<u64> = Vec::new();
+        let mut map = SnapshotMap::default();
+        let mut visit = |tid: usize, frames: &[Frame], sp: u64, map: &mut SnapshotMap| {
+            for (fi, fr) in frames.iter().enumerate() {
+                for (ri, val) in fr.regs.iter().enumerate() {
+                    if let Value::P(p) = val {
+                        regs.push(*p);
+                        map.reg_slots.push((tid, fi, ri));
+                    }
+                }
+            }
+            regs.push(sp);
+            map.sp_slots.push((tid, regs.len() - 1));
+            for (fi, fr) in frames.iter().enumerate() {
+                regs.push(fr.sp_base);
+                map.base_slots.push((tid, fi, regs.len() - 1));
+            }
+        };
+        visit(self.cur_tid, &self.frames, self.sp, &mut map);
+        for (tid, t) in self.threads.iter().enumerate() {
+            if let ThreadState::Parked(p) = t {
+                visit(tid, &p.frames, p.sp, &mut map);
+            }
+        }
+        (regs, map)
+    }
+
+    fn writeback_regs(&mut self, regs: &[u64], map: &SnapshotMap) {
+        // Replay the exact visit order of `snapshot_regs`: per thread, its
+        // pointer registers (positional), then sp and frame bases (by
+        // recorded absolute slot index).
+        let mut idx = 0usize;
+        let mut r = 0usize;
+        let mut spi = 0usize;
+        let mut bi = 0usize;
+        let order: Vec<usize> = {
+            let mut o = vec![self.cur_tid];
+            for (tid, t) in self.threads.iter().enumerate() {
+                if matches!(t, ThreadState::Parked(_)) {
+                    o.push(tid);
+                }
+            }
+            o
+        };
+        for tid in order {
+            // regs for this thread
+            while r < map.reg_slots.len() && map.reg_slots[r].0 == tid {
+                let (_, fi, ri) = map.reg_slots[r];
+                self.thread_frames_mut(tid)[fi].regs[ri] = Value::P(regs[idx]);
+                idx += 1;
+                r += 1;
+            }
+            // sp
+            debug_assert_eq!(map.sp_slots[spi].0, tid);
+            let sp_val = regs[map.sp_slots[spi].1];
+            if tid == self.cur_tid {
+                self.sp = sp_val;
+            } else if let ThreadState::Parked(p) = &mut self.threads[tid] {
+                p.sp = sp_val;
+            }
+            idx += 1;
+            spi += 1;
+            // frame bases
+            while bi < map.base_slots.len() && map.base_slots[bi].0 == tid {
+                let (_, fi, slot) = map.base_slots[bi];
+                self.thread_frames_mut(tid)[fi].sp_base = regs[slot];
+                idx += 1;
+                bi += 1;
+            }
+        }
+    }
+
+    fn thread_frames_mut(&mut self, tid: usize) -> &mut Vec<Frame> {
+        if tid == self.cur_tid {
+            &mut self.frames
+        } else {
+            match &mut self.threads[tid] {
+                ThreadState::Parked(p) => &mut p.frames,
+                _ => unreachable!("writeback targets live threads"),
+            }
+        }
+    }
+
+    /// Keep `image.stack` in sync when a relocation touched it (the stack
+    /// is an ordinary allocation and moves/swaps like any other).
+    fn rebase_image_stack(&mut self, lo: u64, len: u64, delta: i64) {
+        let (s, _) = self.image.stack;
+        if s >= lo && s < lo + len {
+            self.image.stack.0 = s.wrapping_add(delta as u64);
+        }
+        if self.cur_stack_base >= lo && self.cur_stack_base < lo + len {
+            self.cur_stack_base = self.cur_stack_base.wrapping_add(delta as u64);
+        }
+        for t in &mut self.threads {
+            if let ThreadState::Parked(p) = t {
+                if p.stack_base >= lo && p.stack_base < lo + len {
+                    p.stack_base = p.stack_base.wrapping_add(delta as u64);
+                }
+            }
+        }
+    }
+
+    /// Ask the kernel to grow the stack; returns whether it did.
+    fn try_expand_stack(&mut self) -> bool {
+        self.flush_escapes();
+        let (mut regs, map) = self.snapshot_regs();
+        let threads = self.live_threads() + self.cfg.extra_threads;
+        let Some((world, outcome)) = self.kernel.expand_stack(
+            &mut self.table,
+            &mut regs,
+            &mut self.image,
+            threads,
+            self.cfg.max_stack,
+        ) else {
+            return false;
+        };
+        self.writeback_regs(&regs, &map);
+        let delta = outcome.moved_dst.wrapping_sub(outcome.moved_src) as i64;
+        self.heap
+            .rebase(outcome.moved_src, outcome.moved_len, delta);
+        SimKernel::patch_globals(&mut self.image, &outcome);
+        // The expanded stack block begins below the moved data.
+        self.cur_stack_base = self.image.stack.0;
+        let cycles = world.cycles + outcome.cost.total();
+        self.counters.stack_expansions += 1;
+        self.counters.move_cycles += cycles;
+        self.counters.cycles += cycles;
+        true
+    }
+
+    /// Debug audit: every registered escape cell must hold a pointer into
+    /// its owner allocation (reading through the swap store).
+    #[allow(dead_code)]
+    fn audit(&self, tag: &str) {
+        if std::env::var_os("CARAT_VM_AUDIT").is_none() {
+            return;
+        }
+        for (start, len, _, _) in self.table.snapshot() {
+            if let Some(info) = self.table.info(start) {
+                for &cell in &info.escapes {
+                    let val = self.kernel.debug_read_routed(cell);
+                    if !(val >= start && val < start + len) {
+                        eprintln!(
+                            "AUDIT[{tag}]: cell {cell:#x} -> {val:#x} outside owner [{start:#x},+{len:#x})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Debug audit 2: scan resident memory for pointers into tracked
+    /// allocations that are NOT registered as escapes (slow; env-gated).
+    #[allow(dead_code)]
+    fn audit_unregistered(&self, tag: &str) {
+        if std::env::var_os("CARAT_VM_AUDIT2").is_none() {
+            return;
+        }
+        let snap = self.table.snapshot();
+        for probe in (0x10000u64..0x4100000.min(self.kernel.mem.size() - 8)).step_by(8) {
+            let v = self.kernel.mem.read_uint(probe, 8);
+            if v < 0x10000 {
+                continue;
+            }
+            for &(start, len, _, _) in &snap {
+                if v >= start && v < start + len && len >= 64 {
+                    if let Some(info) = self.table.info(start) {
+                        // Is the holder cell registered?
+                        if !info.escapes.contains(&probe)
+                            && self.table.find_containing(probe).is_some()
+                        {
+                            eprintln!(
+                                "AUDIT2[{tag}]: unregistered cell {probe:#x} -> {v:#x} (target alloc {start:#x}, cell alloc {:?})",
+                                self.table.find_containing(probe).map(|(s, _)| s)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Debug audit 3: any poison value in resident memory must refer to a
+    /// live swap slot (env-gated scan).
+    #[allow(dead_code)]
+    fn audit_stale_poison(&self, tag: &str) {
+        if std::env::var_os("CARAT_VM_AUDIT3").is_none() {
+            return;
+        }
+        for probe in (0x10000u64..0x4100000.min(self.kernel.mem.size() - 8)).step_by(8) {
+            let v = self.kernel.mem.read_uint(probe, 8);
+            if SimKernel::is_poison(v) {
+                let slot = (v - carat_kernel::POISON_BASE) / carat_kernel::POISON_SLOT_SPAN;
+                if !self.kernel.has_swap_slot(slot) {
+                    eprintln!(
+                        "AUDIT3[{tag}]: stale poison {v:#x} (dead slot {slot}) in cell {probe:#x}, cell alloc {:?}",
+                        self.table.find_containing(probe).map(|(s, _)| s)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Inject one page-out (swap driver).
+    fn drive_swap(&mut self) -> Result<(), VmError> {
+        self.next_swap_at = self.next_swap_at.saturating_add(
+            self.cfg
+                .swap_driver
+                .map(|d| d.period_cycles)
+                .unwrap_or(u64::MAX),
+        );
+        if let Some(d) = self.cfg.swap_driver {
+            if d.max_swaps != 0 && self.swaps_done >= d.max_swaps {
+                return Ok(());
+            }
+        }
+        self.flush_escapes();
+        // Pick the most-escaped allocation still resident in memory.
+        let page_size = self.kernel.cost.page_size;
+        let Some(page) = self
+            .table
+            .snapshot()
+            .into_iter()
+            .filter(|&(start, _, _, _)| !SimKernel::is_poison(start))
+            .max_by_key(|&(_, _, escapes_live, _)| escapes_live)
+            .map(|(start, _, _, _)| start / page_size * page_size)
+        else {
+            return Ok(());
+        };
+        let _ = page_size;
+        let (mut regs, map) = self.snapshot_regs();
+        let threads = self.live_threads() + self.cfg.extra_threads;
+        let Some((world, slot, src, len)) = self
+            .kernel
+            .page_out(&mut self.table, &mut regs, page, threads)
+        else {
+            return Ok(());
+        };
+        self.writeback_regs(&regs, &map);
+        // Heap bookkeeping and code-image constants follow the data into
+        // the poison range.
+        let base = carat_kernel::POISON_BASE + slot * carat_kernel::POISON_SLOT_SPAN;
+        let delta = base.wrapping_sub(src) as i64;
+        self.heap.rebase(src, len, delta);
+        for g in &mut self.image.globals {
+            if *g >= src && *g < src + len {
+                *g = g.wrapping_add(delta as u64);
+            }
+        }
+        self.rebase_image_stack(src, len, delta);
+        if std::env::var_os("CARAT_VM_DEBUG").is_some() {
+            eprintln!("page-out slot {slot}: [{src:#x},+{len:#x})");
+        }
+        self.counters.swap_outs += 1;
+        self.counters.cycles += world.cycles;
+        self.counters.move_cycles += world.cycles;
+        self.swaps_done += 1;
+        self.audit("page_out");
+        self.audit_unregistered("page_out");
+        self.audit_stale_poison("page_out");
+        Ok(())
+    }
+
+    /// Service a poison-address guard fault by paging the slot back in.
+    /// Returns `(slot_base, slot_span, delta)` for translating stale
+    /// locals, or `None` when `addr` is not poisoned swap data.
+    fn try_page_in(&mut self, addr: u64) -> Option<(u64, u64, i64)> {
+        if !SimKernel::is_poison(addr) {
+            return None;
+        }
+        // Stores made after the page-out may legitimately have written
+        // poison pointers; their escape notifications must reach the table
+        // before the kernel patches, or those cells would be missed.
+        self.flush_escapes();
+        if std::env::var_os("CARAT_VM_DEBUG").is_some() {
+            let slot = (addr - carat_kernel::POISON_BASE) / carat_kernel::POISON_SLOT_SPAN;
+            eprintln!(
+                "page-in attempt @ {addr:#x} (slot {slot}); swapped_ranges={}",
+                self.kernel.swapped_ranges()
+            );
+        }
+        let (mut regs, map) = self.snapshot_regs();
+        let threads = self.live_threads() + self.cfg.extra_threads;
+        let (world, dst) = self
+            .kernel
+            .page_in(&mut self.table, &mut regs, addr, threads)?;
+        self.writeback_regs(&regs, &map);
+        let span = carat_kernel::POISON_SLOT_SPAN;
+        let base = (addr - carat_kernel::POISON_BASE) / span * span + carat_kernel::POISON_BASE;
+        let delta = dst.wrapping_sub(base) as i64;
+        self.heap.rebase(base, span, delta);
+        for g in &mut self.image.globals {
+            if *g >= base && *g < base + span {
+                *g = g.wrapping_add(delta as u64);
+            }
+        }
+        self.rebase_image_stack(base, span, delta);
+        self.counters.swap_ins += 1;
+        self.counters.cycles += world.cycles;
+        self.counters.move_cycles += world.cycles;
+        self.audit("page_in");
+        self.audit_unregistered("page_in");
+        self.audit_stale_poison("page_in");
+        Some((base, span, delta))
+    }
+
+    /// Inject one worst-case page movement (Figure 9 driver).
+    fn drive_move(&mut self) -> Result<(), VmError> {
+        self.next_move_at = self.next_move_at.saturating_add(
+            self.cfg
+                .move_driver
+                .map(|d| d.period_cycles)
+                .unwrap_or(u64::MAX),
+        );
+        if let Some(d) = self.cfg.move_driver {
+            if d.max_moves != 0 && self.moves_done >= d.max_moves {
+                return Ok(());
+            }
+        }
+        // Escape state must be current before patching.
+        self.flush_escapes();
+        let Some(page) = self.kernel.worst_page(&self.table) else {
+            return Ok(());
+        };
+        let (mut regs, map) = self.snapshot_regs();
+        let threads = self.live_threads() + self.cfg.extra_threads;
+        let (world, outcome) =
+            self.kernel
+                .move_pages(&mut self.table, &mut regs, page, 1, threads);
+        self.writeback_regs(&regs, &map);
+        // Rebase host-side bookkeeping.
+        let delta = outcome.moved_dst.wrapping_sub(outcome.moved_src) as i64;
+        self.heap
+            .rebase(outcome.moved_src, outcome.moved_len, delta);
+        SimKernel::patch_globals(&mut self.image, &outcome);
+        self.rebase_image_stack(outcome.moved_src, outcome.moved_len, delta);
+
+        if std::env::var_os("CARAT_VM_DEBUG").is_some() {
+            eprintln!(
+                "move #{}: [{:#x},+{:#x}) -> {:#x}, allocs={} escapes={} regs={}",
+                self.moves_done + 1,
+                outcome.moved_src,
+                outcome.moved_len,
+                outcome.moved_dst,
+                outcome.allocations,
+                outcome.escapes_patched,
+                outcome.registers_patched
+            );
+        }
+        let cycles = world.cycles + outcome.cost.total();
+        self.counters.moves += 1;
+        self.counters.move_cycles += cycles;
+        self.counters.cycles += cycles;
+        self.counters.move_breakdown.add(&outcome.cost);
+        self.moves_done += 1;
+        self.audit("move");
+        self.audit_unregistered("move");
+        self.audit_stale_poison("move");
+        Ok(())
+    }
+}
+
+/// Rebase `x` by `delta` when it lies within `[base, base+span)`.
+fn translate(x: u64, base: u64, span: u64, delta: i64) -> u64 {
+    if x >= base && x < base + span {
+        x.wrapping_add(delta as u64)
+    } else {
+        x
+    }
+}
+
+fn icmp_i(pred: Pred, a: i64, b: i64) -> bool {
+    match pred {
+        Pred::Eq => a == b,
+        Pred::Ne => a != b,
+        Pred::Slt => a < b,
+        Pred::Sle => a <= b,
+        Pred::Sgt => a > b,
+        Pred::Sge => a >= b,
+        Pred::Ult => (a as u64) < (b as u64),
+        Pred::Uge => (a as u64) >= (b as u64),
+    }
+}
+
+fn icmp_u(pred: Pred, a: u64, b: u64) -> bool {
+    match pred {
+        Pred::Eq => a == b,
+        Pred::Ne => a != b,
+        Pred::Slt | Pred::Ult => a < b,
+        Pred::Sle => a <= b,
+        Pred::Sgt => a > b,
+        Pred::Sge | Pred::Uge => a >= b,
+    }
+}

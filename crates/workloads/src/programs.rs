@@ -1,0 +1,751 @@
+//! The Cm sources of the workload suite.
+//!
+//! Each program models the *memory behavior* of one benchmark from the
+//! paper's suites (Mantevo, NAS, PARSEC, SPEC2017) — footprint, access
+//! pattern, allocation rate, and escape density — at a size controlled by
+//! [`Scale`](crate::Scale). Every `main` returns a checksum so semantics
+//! preservation under instrumentation and page movement is testable.
+
+/// HPCCG (Mantevo): 27-point-stencil-flavored sparse CG iteration —
+/// regular strided access over medium arrays, dot products.
+pub fn hpccg(n: i64, iters: i64) -> String {
+    format!(
+        r#"
+double xs[{n}];
+double rs[{n}];
+double ps[{n}];
+int main() {{
+    int n = {n};
+    for (int i = 0; i < n; i += 1) {{
+        xs[i] = 0.0;
+        rs[i] = 1.0 + (i % 7);
+        ps[i] = rs[i];
+    }}
+    double rtrans = 0.0;
+    for (int it = 0; it < {iters}; it += 1) {{
+        /* sparse matvec: tridiagonal-ish stencil */
+        for (int i = 1; i < n - 1; i += 1) {{
+            xs[i] = 2.0 * ps[i] - 0.5 * ps[i - 1] - 0.5 * ps[i + 1];
+        }}
+        double alpha_den = 0.0;
+        for (int i = 0; i < n; i += 1) {{ alpha_den += ps[i] * xs[i]; }}
+        rtrans = 0.0;
+        for (int i = 0; i < n; i += 1) {{ rtrans += rs[i] * rs[i]; }}
+        double alpha = rtrans / (alpha_den + 1.0);
+        for (int i = 0; i < n; i += 1) {{
+            rs[i] -= alpha * xs[i];
+            ps[i] = rs[i] + 0.5 * ps[i];
+        }}
+    }}
+    return (int) (rtrans * 1000.0);
+}}
+"#
+    )
+}
+
+/// NAS CG: sparse matrix-vector products with an indirection (column
+/// index) array — scattered reads over a large footprint.
+pub fn cg(rows: i64, nz_per_row: i64, iters: i64) -> String {
+    format!(
+        r#"
+int main() {{
+    int rows = {rows};
+    int nz = {nz_per_row};
+    int* colidx = (int*) malloc(rows * nz * sizeof(int));
+    double* a = (double*) malloc(rows * nz * sizeof(double));
+    double* x = (double*) malloc(rows * sizeof(double));
+    double* y = (double*) malloc(rows * sizeof(double));
+    for (int i = 0; i < rows; i += 1) {{
+        x[i] = 1.0;
+        for (int k = 0; k < nz; k += 1) {{
+            colidx[i * nz + k] = (i * 31 + k * 97) % rows;
+            a[i * nz + k] = 0.01 * ((i + k) % 13);
+        }}
+    }}
+    double norm = 0.0;
+    for (int it = 0; it < {iters}; it += 1) {{
+        for (int i = 0; i < rows; i += 1) {{
+            double s = 0.0;
+            for (int k = 0; k < nz; k += 1) {{
+                s += a[i * nz + k] * x[colidx[i * nz + k]];
+            }}
+            y[i] = s;
+        }}
+        norm = 0.0;
+        for (int i = 0; i < rows; i += 1) {{ norm += y[i] * y[i]; x[i] = y[i] / 10.0 + 0.5; }}
+    }}
+    free(colidx); free(a); free(x); free(y);
+    return (int) (norm * 100.0);
+}}
+"#
+    )
+}
+
+/// NAS EP: embarrassingly parallel random-number crunching — almost no
+/// memory traffic, tiny footprint.
+pub fn ep(samples: i64) -> String {
+    format!(
+        r#"
+int main() {{
+    int inside = 0;
+    for (int i = 0; i < {samples}; i += 1) {{
+        int rx = rand() % 10000;
+        int ry = rand() % 10000;
+        double fx = rx / 10000.0;
+        double fy = ry / 10000.0;
+        if (fx * fx + fy * fy < 1.0) {{ inside += 1; }}
+    }}
+    return inside;
+}}
+"#
+    )
+}
+
+/// NAS FT: FFT-style passes over large global arrays — bit-reversal
+/// scatter followed by strided butterfly sweeps (global bss arrays, like
+/// the paper's note that FT's footprint is almost entirely static).
+pub fn ft(log_n: u32, iters: i64) -> String {
+    let n = 1i64 << log_n;
+    format!(
+        r#"
+double re[{n}];
+double im[{n}];
+int main() {{
+    int n = {n};
+    for (int i = 0; i < n; i += 1) {{ re[i] = (i % 17) * 0.25; im[i] = 0.0; }}
+    double check = 0.0;
+    for (int it = 0; it < {iters}; it += 1) {{
+        /* bit-reversal-flavored scatter */
+        for (int i = 0; i < n; i += 1) {{
+            int j = (i * 2654435761) % n;
+            if (j < 0) {{ j = -j; }}
+            if (i < j) {{
+                double t = re[i]; re[i] = re[j]; re[j] = t;
+            }}
+        }}
+        /* butterfly passes at growing strides */
+        for (int stride = 1; stride < n; stride *= 2) {{
+            for (int i = 0; i + stride < n; i += 2 * stride) {{
+                double a = re[i];
+                double b = re[i + stride];
+                re[i] = a + b;
+                re[i + stride] = a - b;
+                im[i] += 0.5 * b;
+            }}
+        }}
+        check = re[0] + im[n / 2];
+        for (int i = 0; i < n; i += 1) {{ re[i] = re[i] / 2.0 + 0.125; }}
+    }}
+    return (int) check;
+}}
+"#
+    )
+}
+
+/// NAS LU: dense blocked triangular sweeps — perfectly regular nested
+/// loops over a global matrix (fully hoistable/mergeable guards).
+pub fn lu(dim: i64, iters: i64) -> String {
+    format!(
+        r#"
+double m[{sq}];
+int main() {{
+    int n = {dim};
+    for (int i = 0; i < n; i += 1) {{
+        for (int j = 0; j < n; j += 1) {{
+            m[i * n + j] = 1.0 / (1.0 + i + j);
+        }}
+    }}
+    double sum = 0.0;
+    for (int it = 0; it < {iters}; it += 1) {{
+        for (int k = 0; k < n - 1; k += 1) {{
+            for (int i = k + 1; i < n; i += 1) {{
+                double f = m[i * n + k] / (m[k * n + k] + 1.0);
+                for (int j = k; j < n; j += 1) {{
+                    m[i * n + j] -= f * m[k * n + j];
+                }}
+            }}
+        }}
+        sum = 0.0;
+        for (int d = 0; d < n; d += 1) {{ sum += m[d * n + d]; }}
+    }}
+    return (int) (sum * 100.0);
+}}
+"#,
+        sq = dim * dim
+    )
+}
+
+/// PARSEC blackscholes: independent per-option math over an array of
+/// structs — exp/log/sqrt heavy, streaming reads.
+pub fn blackscholes(options: i64, iters: i64) -> String {
+    format!(
+        r#"
+struct option {{ double spot; double strike; double rate; double vol; double time; }};
+double cnd(double x) {{
+    double a = x;
+    if (a < 0.0) {{ a = -a; }}
+    double k = 1.0 / (1.0 + 0.2316419 * a);
+    double w = 0.3989423 * exp(-0.5 * a * a)
+        * k * (0.3193815 + k * (-0.3565638 + k * 1.7814779));
+    if (x < 0.0) {{ return w; }}
+    return 1.0 - w;
+}}
+int main() {{
+    int n = {options};
+    struct option* opts = (struct option*) malloc(n * sizeof(struct option));
+    for (int i = 0; i < n; i += 1) {{
+        opts[i].spot = 90.0 + (i % 21);
+        opts[i].strike = 100.0;
+        opts[i].rate = 0.02;
+        opts[i].vol = 0.2 + 0.01 * (i % 5);
+        opts[i].time = 0.5 + 0.1 * (i % 4);
+    }}
+    double acc = 0.0;
+    for (int it = 0; it < {iters}; it += 1) {{
+        for (int i = 0; i < n; i += 1) {{
+            double s = opts[i].spot;
+            double x = opts[i].strike;
+            double t = opts[i].time;
+            double v = opts[i].vol;
+            double r = opts[i].rate;
+            double d1 = (log(s / x) + (r + 0.5 * v * v) * t) / (v * sqrt(t));
+            double d2 = d1 - v * sqrt(t);
+            acc += s * cnd(d1) - x * exp(-r * t) * cnd(d2);
+        }}
+    }}
+    free(opts);
+    return (int) acc;
+}}
+"#
+    )
+}
+
+/// PARSEC canneal: random element swaps across a large array — the
+/// worst-case random access pattern (high DTLB miss rate).
+pub fn canneal(elements: i64, swaps: i64) -> String {
+    format!(
+        r#"
+int main() {{
+    int n = {elements};
+    int* net = (int*) malloc(n * sizeof(int));
+    for (int i = 0; i < n; i += 1) {{ net[i] = i; }}
+    int cost = 0;
+    for (int s = 0; s < {swaps}; s += 1) {{
+        int a = rand() % n;
+        int b = rand() % n;
+        int t = net[a];
+        net[a] = net[b];
+        net[b] = t;
+        cost += net[a] % 7 - net[b] % 5;
+    }}
+    int check = cost;
+    for (int i = 0; i < n; i += 271) {{ check += net[i]; }}
+    free(net);
+    return check;
+}}
+"#
+    )
+}
+
+/// PARSEC fluidanimate: grid-of-cells neighbor sweeps — mostly regular
+/// with short-range neighbor access.
+pub fn fluidanimate(grid: i64, steps: i64) -> String {
+    format!(
+        r#"
+int main() {{
+    int g = {grid};
+    int cells = g * g;
+    double* density = (double*) malloc(cells * sizeof(double));
+    double* next = (double*) malloc(cells * sizeof(double));
+    for (int i = 0; i < cells; i += 1) {{ density[i] = (i % 9) * 0.125; }}
+    for (int s = 0; s < {steps}; s += 1) {{
+        for (int y = 1; y < g - 1; y += 1) {{
+            for (int x = 1; x < g - 1; x += 1) {{
+                int c = y * g + x;
+                next[c] = 0.2 * (density[c] + density[c - 1] + density[c + 1]
+                    + density[c - g] + density[c + g]);
+            }}
+        }}
+        double* t = density; density = next; next = t;
+    }}
+    double sum = 0.0;
+    for (int i = 0; i < cells; i += 1) {{ sum += density[i]; }}
+    free(density); free(next);
+    return (int) (sum * 10.0);
+}}
+"#
+    )
+}
+
+/// PARSEC freqmine: FP-tree-style linked structure built from many small
+/// allocations — each node escapes into its parent's child list.
+pub fn freqmine(transactions: i64, depth: i64) -> String {
+    format!(
+        r#"
+struct node {{ int item; int count; struct node* child; struct node* sibling; }};
+struct node* find_or_add(struct node* parent, int item) {{
+    struct node* c = parent->child;
+    while (c != null) {{
+        if (c->item == item) {{ c->count += 1; return c; }}
+        c = c->sibling;
+    }}
+    struct node* fresh = (struct node*) malloc(sizeof(struct node));
+    fresh->item = item;
+    fresh->count = 1;
+    fresh->child = null;
+    fresh->sibling = parent->child;
+    parent->child = fresh;
+    return fresh;
+}}
+int count_tree(struct node* n) {{
+    if (n == null) {{ return 0; }}
+    return n->count + count_tree(n->child) + count_tree(n->sibling);
+}}
+int main() {{
+    struct node* root = (struct node*) malloc(sizeof(struct node));
+    root->item = -1; root->count = 0; root->child = null; root->sibling = null;
+    for (int t = 0; t < {transactions}; t += 1) {{
+        struct node* cur = root;
+        for (int d = 0; d < {depth}; d += 1) {{
+            int item = (t * 7 + d * 13) % 23;
+            cur = find_or_add(cur, item);
+        }}
+    }}
+    return count_tree(root);
+}}
+"#
+    )
+}
+
+/// PARSEC streamcluster: distance evaluations over a point set — many
+/// escapes early (each point's coordinate block pointer), then pure
+/// compute, matching the paper's observation.
+pub fn streamcluster(points: i64, dims: i64, rounds: i64) -> String {
+    format!(
+        r#"
+struct point {{ double* coords; double weight; }};
+int main() {{
+    int n = {points};
+    int d = {dims};
+    struct point* pts = (struct point*) malloc(n * sizeof(struct point));
+    for (int i = 0; i < n; i += 1) {{
+        pts[i].coords = (double*) malloc(d * sizeof(double));
+        pts[i].weight = 1.0;
+        for (int k = 0; k < d; k += 1) {{ pts[i].coords[k] = ((i * 31 + k) % 11) * 0.3; }}
+    }}
+    double total = 0.0;
+    for (int r = 0; r < {rounds}; r += 1) {{
+        int center = r % n;
+        for (int i = 0; i < n; i += 1) {{
+            double dist = 0.0;
+            for (int k = 0; k < d; k += 1) {{
+                double diff = pts[i].coords[k] - pts[center].coords[k];
+                dist += diff * diff;
+            }}
+            total += dist * pts[i].weight;
+        }}
+    }}
+    for (int i = 0; i < n; i += 1) {{ free(pts[i].coords); }}
+    free(pts);
+    return (int) total;
+}}
+"#
+    )
+}
+
+/// PARSEC swaptions: an HJM-style simulation allocating one simulation
+/// path per trial and keeping them all live — the paper's tracking-memory
+/// outlier (its absolute tracking overhead was the suite's largest).
+pub fn swaptions(trials: i64, path_len: i64) -> String {
+    format!(
+        r#"
+double* paths[{trials}];
+int main() {{
+    double acc = 0.0;
+    for (int t = 0; t < {trials}; t += 1) {{
+        double* path = (double*) malloc({path_len} * sizeof(double));
+        paths[t] = path;
+        path[0] = 0.05;
+        for (int i = 1; i < {path_len}; i += 1) {{
+            path[i] = path[i - 1] + 0.0001 * (rand() % 100 - 50);
+        }}
+        acc += path[{path_len} - 1];
+    }}
+    /* batched pricing pass over every retained path */
+    for (int t = 0; t < {trials}; t += 1) {{
+        acc += paths[t][{path_len} / 2] * 0.001;
+    }}
+    for (int t = 0; t < {trials}; t += 1) {{ free(paths[t]); }}
+    return (int) (acc * 1000.0);
+}}
+"#
+    )
+}
+
+/// PARSEC x264 (and SPEC x264_s): block-based frame processing — copies
+/// and SAD computations over 16x16 blocks of a frame buffer.
+pub fn x264(width: i64, height: i64, frames: i64) -> String {
+    format!(
+        r#"
+int main() {{
+    int w = {width};
+    int h = {height};
+    char* cur = (char*) malloc(w * h);
+    char* ref = (char*) malloc(w * h);
+    for (int i = 0; i < w * h; i += 1) {{ cur[i] = (char) (i % 251); ref[i] = (char) ((i * 3) % 251); }}
+    int sad_total = 0;
+    for (int f = 0; f < {frames}; f += 1) {{
+        for (int by = 0; by + 16 <= h; by += 16) {{
+            for (int bx = 0; bx + 16 <= w; bx += 16) {{
+                int sad = 0;
+                for (int y = 0; y < 16; y += 1) {{
+                    for (int x = 0; x < 16; x += 1) {{
+                        int a = cur[(by + y) * w + bx + x];
+                        int b = ref[(by + y) * w + bx + x];
+                        int diff = a - b;
+                        if (diff < 0) {{ diff = -diff; }}
+                        sad += diff;
+                    }}
+                }}
+                sad_total += sad;
+                if (sad < 64) {{
+                    memcpy(ref + (by * w + bx), cur + (by * w + bx), 16);
+                }}
+            }}
+        }}
+        char* t = cur; cur = ref; ref = t;
+    }}
+    free(cur); free(ref);
+    return sad_total;
+}}
+"#
+    )
+}
+
+/// SPEC deepsjeng_s: transposition-table probing — random hash lookups
+/// into a large table with occasional replacement.
+pub fn deepsjeng(table_bits: u32, probes: i64) -> String {
+    let size = 1i64 << table_bits;
+    format!(
+        r#"
+struct entry {{ int key; int depth; int score; int flags; }};
+int main() {{
+    int size = {size};
+    struct entry* tt = (struct entry*) malloc(size * sizeof(struct entry));
+    for (int i = 0; i < size; i += 1) {{ tt[i].key = -1; tt[i].depth = 0; }}
+    int hits = 0;
+    int h = 88172645;
+    for (int p = 0; p < {probes}; p += 1) {{
+        h = h * 1103515245 + 12345;
+        int idx = h % size;
+        if (idx < 0) {{ idx = -idx; }}
+        if (tt[idx].key == h % 1000) {{
+            hits += tt[idx].score;
+        }} else {{
+            tt[idx].key = h % 1000;
+            tt[idx].depth = p % 32;
+            tt[idx].score = h % 97;
+            tt[idx].flags = 3;
+        }}
+    }}
+    free(tt);
+    return hits;
+}}
+"#
+    )
+}
+
+/// SPEC lbm_s: lattice-Boltzmann streaming — huge working set swept
+/// linearly every step (high steady DTLB pressure like the paper's lbm).
+pub fn lbm(cells: i64, steps: i64) -> String {
+    format!(
+        r#"
+int main() {{
+    int n = {cells};
+    double* src = (double*) malloc(n * sizeof(double));
+    double* dst = (double*) malloc(n * sizeof(double));
+    for (int i = 0; i < n; i += 1) {{ src[i] = (i % 19) * 0.05; }}
+    for (int s = 0; s < {steps}; s += 1) {{
+        for (int i = 1; i < n - 1; i += 1) {{
+            dst[i] = 0.6 * src[i] + 0.2 * src[i - 1] + 0.2 * src[i + 1];
+        }}
+        double* t = src; src = dst; dst = t;
+    }}
+    double sum = 0.0;
+    for (int i = 0; i < n; i += 257) {{ sum += src[i]; }}
+    free(src); free(dst);
+    return (int) (sum * 10.0);
+}}
+"#
+    )
+}
+
+/// SPEC mcf_s: network-simplex pointer chasing — arcs and nodes as linked
+/// records, irregular traversal (guards largely unoptimizable, like the
+/// paper's mcf row in Table 1).
+pub fn mcf(nodes: i64, arcs_per_node: i64, sweeps: i64) -> String {
+    format!(
+        r#"
+struct arc {{ int cost; struct nodeT* head; struct arc* next; }};
+struct nodeT {{ int potential; struct arc* first; struct nodeT* link; }};
+int main() {{
+    int n = {nodes};
+    struct nodeT* all = (struct nodeT*) malloc(n * sizeof(struct nodeT));
+    for (int i = 0; i < n; i += 1) {{
+        all[i].potential = i % 100;
+        all[i].first = null;
+        all[i].link = null;
+    }}
+    for (int i = 0; i + 1 < n; i += 1) {{ all[i].link = &all[i + 1]; }}
+    for (int i = 0; i < n; i += 1) {{
+        for (int k = 0; k < {arcs_per_node}; k += 1) {{
+            struct arc* a = (struct arc*) malloc(sizeof(struct arc));
+            a->cost = (i * 7 + k * 3) % 50 - 25;
+            a->head = &all[(i * 31 + k * 17 + 1) % n];
+            a->next = all[i].first;
+            all[i].first = a;
+        }}
+    }}
+    int total = 0;
+    for (int s = 0; s < {sweeps}; s += 1) {{
+        struct nodeT* nd = &all[0];
+        while (nd != null) {{
+            struct arc* a = nd->first;
+            while (a != null) {{
+                int reduced = a->cost + nd->potential - a->head->potential;
+                if (reduced < 0) {{ a->head->potential += 1; total += 1; }}
+                a = a->next;
+            }}
+            nd = nd->link;
+        }}
+    }}
+    return total;
+}}
+"#
+    )
+}
+
+/// SPEC nab_s: molecular dynamics-ish — one structure accumulating MANY
+/// escapes (the paper's Figure 5 outlier with up to 47-escape allocations).
+pub fn nab(atoms: i64, steps: i64) -> String {
+    format!(
+        r#"
+struct atom {{ double x; double y; double z; double fx; double fy; }};
+struct ref {{ struct atom* target; struct ref* next; }};
+int main() {{
+    int n = {atoms};
+    struct atom* atomsv = (struct atom*) malloc(n * sizeof(struct atom));
+    for (int i = 0; i < n; i += 1) {{
+        atomsv[i].x = (i % 13) * 0.5;
+        atomsv[i].y = (i % 7) * 0.25;
+        atomsv[i].z = (i % 5) * 0.125;
+    }}
+    /* neighbor lists: many cells escape pointers to the same atom block */
+    struct ref* lists = null;
+    for (int i = 0; i < n; i += 1) {{
+        struct ref* r = (struct ref*) malloc(sizeof(struct ref));
+        r->target = &atomsv[(i * 17 + 1) % n];
+        r->next = lists;
+        lists = r;
+    }}
+    double energy = 0.0;
+    for (int s = 0; s < {steps}; s += 1) {{
+        struct ref* r = lists;
+        while (r != null) {{
+            struct atom* a = r->target;
+            double d = a->x * a->x + a->y * a->y + a->z * a->z + 1.0;
+            energy += 1.0 / d;
+            a->fx += 0.001;
+            r = r->next;
+        }}
+    }}
+    return (int) (energy * 100.0);
+}}
+"#
+    )
+}
+
+/// SPEC namd_r: pairwise force computation over fixed particle arrays —
+/// compute bound, modest memory.
+pub fn namd(particles: i64, steps: i64) -> String {
+    format!(
+        r#"
+double px[{particles}];
+double py[{particles}];
+double fx[{particles}];
+int main() {{
+    int n = {particles};
+    for (int i = 0; i < n; i += 1) {{ px[i] = (i % 29) * 0.1; py[i] = (i % 31) * 0.2; }}
+    double virial = 0.0;
+    for (int s = 0; s < {steps}; s += 1) {{
+        for (int i = 0; i < n; i += 1) {{
+            double f = 0.0;
+            for (int j = i + 1; j < n; j += 8) {{
+                double dx = px[i] - px[j];
+                double dy = py[i] - py[j];
+                double r2 = dx * dx + dy * dy + 0.5;
+                f += 1.0 / r2;
+            }}
+            fx[i] = f;
+            virial += f;
+        }}
+    }}
+    return (int) virial;
+}}
+"#
+    )
+}
+
+/// SPEC xalancbmk_s: DOM-tree construction and traversal — node records
+/// with child/sibling pointers, many small allocations.
+pub fn xalancbmk(fanout: i64, levels: i64, traversals: i64) -> String {
+    format!(
+        r#"
+struct elem {{ int tag; struct elem* first_child; struct elem* next_sibling; }};
+struct elem* build(int level, int tag) {{
+    struct elem* e = (struct elem*) malloc(sizeof(struct elem));
+    e->tag = tag;
+    e->first_child = null;
+    e->next_sibling = null;
+    if (level > 0) {{
+        for (int c = 0; c < {fanout}; c += 1) {{
+            struct elem* child = build(level - 1, tag * {fanout} + c);
+            child->next_sibling = e->first_child;
+            e->first_child = child;
+        }}
+    }}
+    return e;
+}}
+int walk(struct elem* e) {{
+    if (e == null) {{ return 0; }}
+    return e->tag % 1009 + walk(e->first_child) + walk(e->next_sibling);
+}}
+int main() {{
+    struct elem* root = build({levels}, 1);
+    int check = 0;
+    for (int t = 0; t < {traversals}; t += 1) {{ check += walk(root) % 65536; }}
+    return check;
+}}
+"#
+    )
+}
+
+/// SPEC xz_s: LZ-style match finding and copying over byte buffers —
+/// char-granularity loads/stores with data-dependent copies.
+pub fn xz(input_len: i64, passes: i64) -> String {
+    format!(
+        r#"
+int main() {{
+    int n = {input_len};
+    char* buf = (char*) malloc(n);
+    char* out = (char*) malloc(n);
+    for (int i = 0; i < n; i += 1) {{ buf[i] = (char) ((i * i + i / 3) % 17); }}
+    int emitted = 0;
+    for (int p = 0; p < {passes}; p += 1) {{
+        int pos = 4;
+        emitted = 0;
+        while (pos < n - 4) {{
+            /* look for a match 4 bytes back */
+            int len = 0;
+            while (len < 4 && pos + len < n && buf[pos + len] == buf[pos + len - 4]) {{
+                len += 1;
+            }}
+            if (len >= 3) {{
+                /* copy the match */
+                for (int k = 0; k < len; k += 1) {{ out[emitted + k] = buf[pos + k - 4]; }}
+                emitted += len;
+                pos += len;
+            }} else {{
+                out[emitted] = buf[pos];
+                emitted += 1;
+                pos += 1;
+            }}
+        }}
+        buf[p % n] = (char) (p % 120);
+    }}
+    int check = emitted;
+    for (int i = 0; i < emitted; i += 97) {{ check += out[i]; }}
+    free(buf); free(out);
+    return check;
+}}
+"#
+    )
+}
+
+/// PARSEC bodytrack: multi-stage image-pyramid-style passes over a few
+/// medium buffers with per-frame temporary allocations.
+pub fn bodytrack(width: i64, frames: i64) -> String {
+    format!(
+        r#"
+int main() {{
+    int w = {width};
+    int size = w * w;
+    double* image = (double*) malloc(size * sizeof(double));
+    for (int i = 0; i < size; i += 1) {{ image[i] = (i % 23) * 0.04; }}
+    double likelihood = 0.0;
+    for (int f = 0; f < {frames}; f += 1) {{
+        /* per-frame temporary pyramid level */
+        double* half = (double*) malloc((size / 4) * sizeof(double));
+        for (int y = 0; y < w / 2; y += 1) {{
+            for (int x = 0; x < w / 2; x += 1) {{
+                half[y * (w / 2) + x] = 0.25 * (
+                    image[2 * y * w + 2 * x] + image[2 * y * w + 2 * x + 1]
+                    + image[(2 * y + 1) * w + 2 * x] + image[(2 * y + 1) * w + 2 * x + 1]);
+            }}
+        }}
+        for (int i = 0; i < size / 4; i += 1) {{ likelihood += half[i] * 0.001; }}
+        free(half);
+        image[f % size] += 0.5;
+    }}
+    free(image);
+    return (int) (likelihood * 100.0);
+}}
+"#
+    )
+}
+
+/// PARSEC dedup: pipeline-parallel chunking/compression model — worker
+/// threads (on heap-allocated stacks, paper §2.2) hash disjoint slices of
+/// a shared buffer while the main thread merges.
+pub fn dedup(chunk: i64, workers_chunks: i64) -> String {
+    format!(
+        r#"
+char* buffer;
+int chunk_hashes[{total}];
+
+int worker(int wid) {{
+    int base = wid * {workers_chunks};
+    for (int c = 0; c < {workers_chunks}; c += 1) {{
+        int h = 0;
+        int off = (base + c) * {chunk};
+        for (int i = 0; i < {chunk}; i += 1) {{
+            h = h * 131 + buffer[off + i];
+        }}
+        chunk_hashes[base + c] = h;
+    }}
+    return base;
+}}
+
+int main() {{
+    int total_chunks = {total};
+    buffer = (char*) malloc(total_chunks * {chunk});
+    for (int i = 0; i < total_chunks * {chunk}; i += 1) {{
+        buffer[i] = (char) ((i * 7 + i / 13) % 101);
+    }}
+    int t0 = spawn(worker, 0);
+    int t1 = spawn(worker, 1);
+    int t2 = spawn(worker, 2);
+    int r3 = worker(3);
+    int sync = join(t0) + join(t1) + join(t2) + r3;
+    /* dedup: count distinct neighboring hashes */
+    int distinct = 1;
+    for (int c = 1; c < total_chunks; c += 1) {{
+        if (chunk_hashes[c] != chunk_hashes[c - 1]) {{ distinct += 1; }}
+    }}
+    free(buffer);
+    return distinct + sync % 7;
+}}
+"#,
+        total = 4 * workers_chunks,
+    )
+}

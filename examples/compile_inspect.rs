@@ -1,0 +1,57 @@
+//! Compiler-pipeline inspection: print the IR of a small function before
+//! and after CARAT instrumentation and optimization, to see exactly what
+//! guard injection, hoisting, merging and AC/DC do.
+//!
+//! ```sh
+//! cargo run --example compile_inspect
+//! ```
+
+use carat_core::{count_guards, CaratCompiler, CompileOptions, OptPreset};
+use carat_frontend::compile_cm;
+use carat_ir::print_module;
+
+const PROGRAM: &str = r#"
+double dot(double* xs, double* ys, int n) {
+    double acc = 0.0;
+    for (int i = 0; i < n; i += 1) {
+        acc += xs[i] * ys[i];
+    }
+    return acc;
+}
+int main() {
+    double* xs = (double*) malloc(512 * sizeof(double));
+    double* ys = (double*) malloc(512 * sizeof(double));
+    for (int i = 0; i < 512; i += 1) { xs[i] = 1.0; ys[i] = 2.0; }
+    double d = dot(xs, ys, 512);
+    free(xs); free(ys);
+    return (int) d;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = compile_cm("inspect", PROGRAM)?;
+    println!("==== front-end output ====\n");
+    println!("{}", print_module(&module));
+
+    let naive = CaratCompiler::new(CompileOptions::guards_only(OptPreset::None))
+        .compile(module.clone())?;
+    println!(
+        "==== guards injected, unoptimized ({} static guards) ====\n",
+        count_guards(&naive.module)
+    );
+    println!("{}", print_module(&naive.module));
+
+    let optimized = CaratCompiler::new(CompileOptions::guards_only(OptPreset::CaratSpecific))
+        .compile(module)?;
+    let c = optimized.census;
+    println!(
+        "==== CARAT-optimized ({} static guards; census: {} hoisted / {} merged / {} eliminated of {}) ====\n",
+        count_guards(&optimized.module),
+        c.hoisted,
+        c.merged,
+        c.eliminated,
+        c.total
+    );
+    println!("{}", print_module(&optimized.module));
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Quickstart: compile a Cm program with the CARAT compiler, load it into
+//! the simulated kernel through the signed-binary trust chain, run it on
+//! physical addresses, and look at what the instrumentation did.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use carat_core::{CaratCompiler, CompileOptions, SigningKey};
+use carat_frontend::compile_cm;
+use carat_vm::{Vm, VmConfig};
+
+const PROGRAM: &str = r#"
+// Sum the squares of 0..100 through a heap array.
+int main() {
+    int n = 100;
+    int* squares = (int*) malloc(n * sizeof(int));
+    for (int i = 0; i < n; i += 1) {
+        squares[i] = i * i;
+    }
+    int sum = 0;
+    for (int i = 0; i < n; i += 1) {
+        sum += squares[i];
+    }
+    free(squares);
+    print_i64(sum);
+    return sum;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Front end: Cm -> IR.
+    let module = compile_cm("quickstart", PROGRAM)?;
+    println!(
+        "compiled `quickstart`: {} function(s), {} global(s)",
+        module.num_funcs(),
+        module.num_globals()
+    );
+
+    // 2. CARAT middle end: guards + tracking + Opt 1/2/3 + signing.
+    let key = SigningKey::from_passphrase("carat-cc", "quickstart-demo");
+    let compiled = CaratCompiler::new(CompileOptions {
+        signing: Some(key.clone()),
+        ..CompileOptions::default()
+    })
+    .compile(module)?;
+    let census = compiled.census;
+    println!(
+        "guards: {} injected — {} untouched, {} hoisted, {} merged, {} eliminated",
+        census.total, census.untouched, census.hoisted, census.merged, census.eliminated
+    );
+    let signed = compiled.signed.expect("signing key was supplied");
+    println!("signed by `{}`: {}", signed.toolchain, signed.signature_hex());
+
+    // 3. Kernel load (signature validation) + run in a physical address
+    //    space — no TLB, no page table.
+    let vm = Vm::load_signed(&signed, vec![key], VmConfig::default())?;
+    let result = vm.run()?;
+
+    println!("program output: {:?}", result.output);
+    println!(
+        "result {} in {} instructions / {} cycles ({} guard checks, {} tracking events)",
+        result.ret,
+        result.counters.instructions,
+        result.counters.cycles,
+        result.counters.guards_executed,
+        result.counters.track_events,
+    );
+    assert_eq!(result.ret, (0..100).map(|i| i * i).sum::<i64>());
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Differential property tests: for randomized program parameters, the
+//! baseline build, the fully instrumented build, and the instrumented
+//! build under page-move injection must all compute the same result.
+
+use carat_suite::core::{CaratCompiler, CompileOptions};
+use carat_suite::frontend::compile_cm;
+use carat_suite::vm::{MoveDriverConfig, Vm, VmConfig};
+use proptest::prelude::*;
+
+fn template(nodes: u64, passes: u64, stride: u64, bytes_per_node: u64) -> String {
+    format!(
+        r#"
+        struct node {{ int vals[{vals}]; struct node* next; }};
+        int main() {{
+            struct node* head = (struct node*) null;
+            for (int i = 0; i < {nodes}; i += 1) {{
+                struct node* x = (struct node*) malloc(sizeof(struct node));
+                x->vals[i % {vals}] = i * {stride};
+                x->next = head;
+                head = x;
+            }}
+            int acc = 0;
+            for (int p = 0; p < {passes}; p += 1) {{
+                struct node* c = head;
+                while (c != null) {{
+                    for (int k = 0; k < {vals}; k += 1) {{ acc += c->vals[k]; }}
+                    c = c->next;
+                }}
+                acc = acc % 1000003;
+            }}
+            return acc;
+        }}
+        "#,
+        vals = (bytes_per_node / 8).max(1),
+    )
+}
+
+fn run_variant(src: &str, options: CompileOptions, cfg: VmConfig) -> i64 {
+    let module = compile_cm("prop", src).expect("frontend");
+    let compiled = CaratCompiler::new(options).compile(module).expect("carat");
+    Vm::new(compiled.module, cfg)
+        .expect("load")
+        .run()
+        .expect("run")
+        .ret
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn baseline_carat_and_moves_agree(
+        nodes in 1u64..120,
+        passes in 1u64..6,
+        stride in 1u64..50,
+        bytes in 8u64..128,
+        period in 5_000u64..80_000,
+    ) {
+        let src = template(nodes, passes, stride, bytes);
+        let base = run_variant(&src, CompileOptions::baseline(), VmConfig::default());
+        let carat = run_variant(&src, CompileOptions::default(), VmConfig::default());
+        prop_assert_eq!(base, carat, "instrumentation changed semantics");
+        let moved = run_variant(
+            &src,
+            CompileOptions::default(),
+            VmConfig {
+                move_driver: Some(MoveDriverConfig {
+                    period_cycles: period,
+                    max_moves: 25,
+                }),
+                ..VmConfig::default()
+            },
+        );
+        prop_assert_eq!(base, moved, "page moves changed semantics");
+    }
+}

@@ -1,0 +1,57 @@
+//! Robustness properties: malformed input must produce errors, never
+//! panics, for both front ends (Cm source and IR bitcode text).
+
+use carat_suite::frontend::{compile_cm, parse_program};
+use carat_suite::ir::parse_module;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary ASCII never panics the Cm parser.
+    #[test]
+    fn cm_parser_never_panics(src in "[ -~\\n]{0,400}") {
+        let _ = parse_program(&src);
+    }
+
+    /// Arbitrary "bitcode" text never panics the IR parser.
+    #[test]
+    fn ir_parser_never_panics(src in "[ -~\\n]{0,400}") {
+        let _ = parse_module(&src);
+    }
+
+    /// Cm-token soup (valid tokens, random arrangement) never panics the
+    /// full front end, and failures carry a line number.
+    #[test]
+    fn cm_token_soup_fails_cleanly(toks in proptest::collection::vec(
+        prop_oneof![
+            Just("int"), Just("double"), Just("struct"), Just("if"),
+            Just("while"), Just("return"), Just("("), Just(")"),
+            Just("{"), Just("}"), Just(";"), Just("="), Just("+"),
+            Just("*"), Just("x"), Just("main"), Just("1"), Just("2.5"),
+            Just("->"), Just("&&"), Just("[" ), Just("]"), Just(","),
+        ], 0..60)) {
+        let src = toks.join(" ");
+        if let Err(e) = compile_cm("fuzz", &src) {
+            let msg = format!("{e}");
+            prop_assert!(!msg.is_empty());
+        }
+    }
+
+    /// Mutating one byte of valid bitcode either reparses to an
+    /// equivalent-printing module or errors — never panics.
+    #[test]
+    fn bitcode_mutation_is_safe(pos in 0usize..2000, byte in 32u8..127) {
+        let m = compile_cm(
+            "seed",
+            "int main() { int s = 0; for (int i = 0; i < 9; i += 1) { s += i; } return s; }",
+        ).expect("valid program");
+        let mut text = carat_suite::ir::print_module(&m).into_bytes();
+        if pos < text.len() {
+            text[pos] = byte;
+        }
+        if let Ok(s) = String::from_utf8(text) {
+            let _ = parse_module(&s);
+        }
+    }
+}

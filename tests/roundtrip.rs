@@ -1,0 +1,57 @@
+//! Bitcode (textual IR) round-trip over the whole workload suite, in every
+//! instrumentation configuration — the property the kernel loader relies
+//! on: what the compiler signs is exactly what the kernel executes.
+
+use carat_suite::core::{CaratCompiler, CompileOptions, OptPreset};
+use carat_suite::ir::{parse_module, print_module, verify_module};
+use carat_suite::vm::{Vm, VmConfig};
+use carat_suite::workloads::{all_workloads, Scale};
+
+#[test]
+fn every_workload_roundtrips_through_bitcode() {
+    for w in all_workloads() {
+        let m = w.module(Scale::Test).expect("compiles");
+        let text = print_module(&m);
+        let reparsed = parse_module(&text)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", w.name));
+        assert_eq!(
+            print_module(&reparsed),
+            text,
+            "{}: round-trip must be exact",
+            w.name
+        );
+        verify_module(&reparsed).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    }
+}
+
+#[test]
+fn instrumented_workloads_roundtrip_and_run_identically() {
+    for w in all_workloads().into_iter().take(6) {
+        let m = w.module(Scale::Test).expect("compiles");
+        let compiled = CaratCompiler::new(CompileOptions::guards_only(OptPreset::CaratSpecific))
+            .compile(m)
+            .expect("carat");
+        let direct = Vm::new(compiled.module.clone(), VmConfig::default())
+            .unwrap()
+            .run()
+            .unwrap_or_else(|e| panic!("{}: direct run: {e}", w.name));
+        // Serialize, reparse, run again: identical result AND counters.
+        let text = print_module(&compiled.module);
+        let reloaded = parse_module(&text).expect("reparse");
+        let indirect = Vm::new(reloaded, VmConfig::default())
+            .unwrap()
+            .run()
+            .unwrap_or_else(|e| panic!("{}: reloaded run: {e}", w.name));
+        assert_eq!(direct.ret, indirect.ret, "{}", w.name);
+        assert_eq!(
+            direct.counters.instructions, indirect.counters.instructions,
+            "{}: the reloaded binary is instruction-identical",
+            w.name
+        );
+        assert_eq!(
+            direct.counters.guards_executed, indirect.counters.guards_executed,
+            "{}",
+            w.name
+        );
+    }
+}
