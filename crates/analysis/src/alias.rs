@@ -74,9 +74,7 @@ pub fn trace_base(f: &Function, ptr: ValueId) -> (BaseObject, Option<i64>) {
             }
             Some(Inst::Alloca(_)) => return (BaseObject::Alloca(cur), offset),
             Some(Inst::Const(Const::GlobalAddr(g))) => return (BaseObject::Global(*g), offset),
-            Some(Inst::CallIntrinsic { intr, .. })
-                if *intr == carat_ir::Intrinsic::Malloc =>
-            {
+            Some(Inst::CallIntrinsic { intr, .. }) if *intr == carat_ir::Intrinsic::Malloc => {
                 return (BaseObject::Malloc(cur), offset)
             }
             Some(Inst::PtrAdd { base, index, elem }) => {

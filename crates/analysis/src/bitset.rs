@@ -41,7 +41,11 @@ impl BitSet {
     ///
     /// Panics if `i >= capacity`.
     pub fn insert(&mut self, i: usize) -> bool {
-        assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "index {i} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (i / 64, i % 64);
         let was = self.words[w] & (1 << b) != 0;
         self.words[w] |= 1 << b;
@@ -170,7 +174,10 @@ mod tests {
         let mut d = a.clone();
         assert!(d.subtract(&b));
         assert_eq!(d.iter().collect::<Vec<_>>(), vec![1]);
-        assert!(!a.intersect_with(&a.clone()), "self-intersection is a no-op");
+        assert!(
+            !a.intersect_with(&a.clone()),
+            "self-intersection is a no-op"
+        );
     }
 
     #[test]

@@ -92,7 +92,6 @@ impl DomTree {
             Some(db) => db != b && self.dominates(db, b),
         }
     }
-
 }
 
 fn intersect(
@@ -170,7 +169,10 @@ mod tests {
         assert!(dt.dominates(bb(0), bb(5)));
         assert!(dt.dominates(bb(3), bb(5)));
         assert!(dt.dominates(bb(4), bb(4)));
-        assert!(!dt.dominates(bb(1), bb(3)), "diamond arm does not dominate join");
+        assert!(
+            !dt.dominates(bb(1), bb(3)),
+            "diamond arm does not dominate join"
+        );
         assert!(!dt.dominates(bb(5), bb(4)));
     }
 

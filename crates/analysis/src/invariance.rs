@@ -173,7 +173,9 @@ mod tests {
         let lp = &forest.loops[0];
         let aa = ChainedAlias::new();
         let inv = LoopInvariance::compute(f, lp, &aa);
-        let [i, q, ai, _x, i2] = ids[..] else { panic!() };
+        let [i, q, ai, _x, i2] = ids[..] else {
+            panic!()
+        };
         assert!(!inv.is_invariant(f, lp, i), "induction variable varies");
         assert!(inv.is_invariant(f, lp, q), "arg+5 is invariant");
         assert!(!inv.is_invariant(f, lp, ai), "a[i] varies");

@@ -58,5 +58,7 @@ pub use dom::DomTree;
 pub use invariance::LoopInvariance;
 pub use loops::{ensure_preheader, Loop, LoopForest};
 pub use range::{Interval, ValueRanges};
-pub use scev::{affine_index, canonical_loop_info, ptr_evolution, AffineIndex, LoopTripInfo, PtrEvolution};
+pub use scev::{
+    affine_index, canonical_loop_info, ptr_evolution, AffineIndex, LoopTripInfo, PtrEvolution,
+};
 pub use steensgaard::Steensgaard;

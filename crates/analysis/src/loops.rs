@@ -177,9 +177,8 @@ pub fn ensure_preheader(f: &mut Function, lp: &Loop) -> BlockId {
         let Some(Inst::Phi { ty, incomings }) = f.inst(v).cloned() else {
             break; // phis are at the head
         };
-        let (out_inc, in_inc): (Vec<_>, Vec<_>) = incomings
-            .into_iter()
-            .partition(|(p, _)| !lp.contains(*p));
+        let (out_inc, in_inc): (Vec<_>, Vec<_>) =
+            incomings.into_iter().partition(|(p, _)| !lp.contains(*p));
         let fed: ValueId = if out_inc.len() == 1 {
             out_inc[0].1
         } else {

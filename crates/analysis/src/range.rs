@@ -175,7 +175,9 @@ impl ValueRanges {
                 _ => Some(Interval::TOP),
             },
             Inst::Load { ty, .. } if ty.is_int() => Some(Interval::TOP),
-            Inst::Call { ret_ty: Some(t), .. } if t.is_int() => Some(Interval::TOP),
+            Inst::Call {
+                ret_ty: Some(t), ..
+            } if t.is_int() => Some(Interval::TOP),
             Inst::CallIntrinsic { intr, .. } if intr.ret_ty().is_some_and(|t| t.is_int()) => {
                 Some(Interval::TOP)
             }

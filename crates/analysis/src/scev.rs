@@ -63,11 +63,7 @@ pub enum PtrEvolution {
 /// `add(phi, c)` with constant `c > 0`; a header terminator
 /// `br (icmp slt/sle phi, N), <in-loop>, <out-of-loop>` with `N`
 /// loop-invariant.
-pub fn canonical_loop_info(
-    f: &Function,
-    lp: &Loop,
-    inv: &LoopInvariance,
-) -> Option<LoopTripInfo> {
+pub fn canonical_loop_info(f: &Function, lp: &Loop, inv: &LoopInvariance) -> Option<LoopTripInfo> {
     // Header terminator must be a conditional branch guarding loop entry.
     let term = f.terminator(lp.header)?;
     let Inst::Br {
@@ -311,13 +307,7 @@ mod tests {
         (mb.finish(), ids)
     }
 
-    fn analyze(
-        m: &carat_ir::Module,
-    ) -> (
-        &carat_ir::Function,
-        crate::loops::Loop,
-        LoopInvariance,
-    ) {
+    fn analyze(m: &carat_ir::Module) -> (&carat_ir::Function, crate::loops::Loop, LoopInvariance) {
         let f = m.func(m.func_by_name("f").unwrap());
         let cfg = Cfg::compute(f);
         let dt = DomTree::compute(f, &cfg);

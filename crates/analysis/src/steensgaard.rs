@@ -108,10 +108,7 @@ impl Steensgaard {
         // Unknown memory may point at more unknown memory.
         uf.pointee[unknown] = Some(unknown);
 
-        let mut node_of = |uf: &mut Uf,
-                           value_node: &mut HashMap<ValueId, Node>,
-                           v: ValueId|
-         -> Node {
+        let node_of = |uf: &mut Uf, value_node: &mut HashMap<ValueId, Node>, v: ValueId| -> Node {
             *value_node.entry(v).or_insert_with(|| uf.fresh())
         };
 
@@ -166,14 +163,12 @@ impl Steensgaard {
                 }
                 Inst::Select {
                     if_true, if_false, ..
-                } => {
-                    if f.value_type(v) == Some(Type::Ptr) {
-                        let n = node_of(&mut uf, &mut value_node, v);
-                        let t = node_of(&mut uf, &mut value_node, *if_true);
-                        let e = node_of(&mut uf, &mut value_node, *if_false);
-                        uf.union(n, t);
-                        uf.union(n, e);
-                    }
+                } if f.value_type(v) == Some(Type::Ptr) => {
+                    let n = node_of(&mut uf, &mut value_node, v);
+                    let t = node_of(&mut uf, &mut value_node, *if_true);
+                    let e = node_of(&mut uf, &mut value_node, *if_false);
+                    uf.union(n, t);
+                    uf.union(n, e);
                 }
                 Inst::Phi { ty, incomings } if *ty == Type::Ptr => {
                     let n = node_of(&mut uf, &mut value_node, v);
@@ -298,7 +293,11 @@ mod tests {
         assert_eq!(st.alias(f, loc(phi), loc(pc)), AliasResult::No);
         assert_eq!(st.alias(f, loc(phi), loc(pa)), AliasResult::May);
         assert_eq!(st.alias(f, loc(phi), loc(pb)), AliasResult::May);
-        assert_eq!(st.alias(f, loc(pa), loc(pb)), AliasResult::May, "unified by the phi");
+        assert_eq!(
+            st.alias(f, loc(pa), loc(pb)),
+            AliasResult::May,
+            "unified by the phi"
+        );
     }
 
     #[test]

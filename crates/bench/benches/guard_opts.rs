@@ -17,21 +17,17 @@ fn bench(c: &mut Criterion) {
             ("carat_opts", OptPreset::CaratSpecific),
         ] {
             let m = module.clone();
-            g.bench_with_input(
-                BenchmarkId::new(label, name),
-                &preset,
-                move |b, &preset| {
-                    b.iter_batched(
-                        || m.clone(),
-                        |m| {
-                            CaratCompiler::new(CompileOptions::guards_only(preset))
-                                .compile(m)
-                                .expect("compiles")
-                        },
-                        criterion::BatchSize::SmallInput,
-                    )
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(label, name), &preset, move |b, &preset| {
+                b.iter_batched(
+                    || m.clone(),
+                    |m| {
+                        CaratCompiler::new(CompileOptions::guards_only(preset))
+                            .compile(m)
+                            .expect("compiles")
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            });
         }
     }
     g.finish();

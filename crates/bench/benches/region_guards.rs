@@ -37,19 +37,15 @@ fn bench_random(c: &mut Criterion) {
         let t = table(n);
         let addrs = random_addrs(n, 1024);
         for imp in [GuardImpl::IfTree, GuardImpl::BinarySearch, GuardImpl::Mpx] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("{imp:?}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let mut hits = 0u64;
-                        for &a in &addrs {
-                            hits += t.check(imp, black_box(a), 8, Access::Read).ok as u64;
-                        }
-                        hits
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("{imp:?}"), n), &n, |b, _| {
+                b.iter(|| {
+                    let mut hits = 0u64;
+                    for &a in &addrs {
+                        hits += t.check(imp, black_box(a), 8, Access::Read).ok as u64;
+                    }
+                    hits
+                })
+            });
         }
     }
     g.finish();
@@ -61,16 +57,22 @@ fn bench_strided(c: &mut Criterion) {
     let t = table(n);
     for &stride in &[8u64, 512, 16384] {
         let span = n * 0x2000;
-        let addrs: Vec<u64> = (0..1024u64).map(|i| 0x100000 + (i * stride) % span).collect();
-        g.bench_with_input(BenchmarkId::new("iftree_stride", stride), &stride, |b, _| {
-            b.iter(|| {
-                let mut hits = 0u64;
-                for &a in &addrs {
-                    hits += t.check_if_tree(black_box(a), 8, Access::Read).ok as u64;
-                }
-                hits
-            })
-        });
+        let addrs: Vec<u64> = (0..1024u64)
+            .map(|i| 0x100000 + (i * stride) % span)
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new("iftree_stride", stride),
+            &stride,
+            |b, _| {
+                b.iter(|| {
+                    let mut hits = 0u64;
+                    for &a in &addrs {
+                        hits += t.check_if_tree(black_box(a), 8, Access::Read).ok as u64;
+                    }
+                    hits
+                })
+            },
+        );
     }
     g.finish();
 }

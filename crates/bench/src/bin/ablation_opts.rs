@@ -13,9 +13,30 @@ fn main() {
     println!("Ablation: per-optimization contribution ({scale:?} scale)\n");
     let configs: [(&str, OptToggles); 5] = [
         ("none", OptToggles::NONE),
-        ("hoist", OptToggles { hoist: true, merge: false, redundancy: false }),
-        ("merge", OptToggles { hoist: false, merge: true, redundancy: false }),
-        ("acdc", OptToggles { hoist: false, merge: false, redundancy: true }),
+        (
+            "hoist",
+            OptToggles {
+                hoist: true,
+                merge: false,
+                redundancy: false,
+            },
+        ),
+        (
+            "merge",
+            OptToggles {
+                hoist: false,
+                merge: true,
+                redundancy: false,
+            },
+        ),
+        (
+            "acdc",
+            OptToggles {
+                hoist: false,
+                merge: false,
+                redundancy: true,
+            },
+        ),
         ("all", OptToggles::ALL),
     ];
     let mut rows = Vec::new();
@@ -57,5 +78,15 @@ fn main() {
     }
     rows.push(mean_row);
     println!("dynamic guard executions, normalized to no optimization:");
-    print_table(&["benchmark", "none", "hoist only", "merge only", "AC/DC only", "all"], &rows);
+    print_table(
+        &[
+            "benchmark",
+            "none",
+            "hoist only",
+            "merge only",
+            "AC/DC only",
+            "all",
+        ],
+        &rows,
+    );
 }

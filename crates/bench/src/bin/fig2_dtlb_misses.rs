@@ -5,7 +5,9 @@ use carat_bench::{print_table, run_simple, scale_from_args, selected_workloads, 
 
 fn main() {
     let scale = scale_from_args();
-    println!("Figure 2: L1 DTLB misses per 1000 instructions (traditional model, {scale:?} scale)\n");
+    println!(
+        "Figure 2: L1 DTLB misses per 1000 instructions (traditional model, {scale:?} scale)\n"
+    );
     let mut rows = Vec::new();
     for w in selected_workloads() {
         let r = run_simple(&w, scale, Variant::Traditional);
@@ -14,11 +16,20 @@ fn main() {
             format!("{:.4}", r.dtlb_mpki),
             format!("{}", r.dtlb_misses),
             format!("{}", r.pagewalks),
-            format!("{:.4}", r.pagewalks as f64 * 1000.0 / r.counters.instructions as f64),
+            format!(
+                "{:.4}",
+                r.pagewalks as f64 * 1000.0 / r.counters.instructions as f64
+            ),
         ]);
     }
     print_table(
-        &["benchmark", "DTLB MPKI", "DTLB misses", "pagewalks", "walks/1K instr"],
+        &[
+            "benchmark",
+            "DTLB MPKI",
+            "DTLB misses",
+            "pagewalks",
+            "walks/1K instr",
+        ],
         &rows,
     );
 }

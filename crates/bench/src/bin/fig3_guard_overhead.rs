@@ -19,7 +19,11 @@ fn main() {
     };
     println!(
         "Figure 3{}: guard overhead with {} optimizations ({scale:?} scale)\n",
-        if variant == Variant::GuardsGeneral { "a" } else { "b" },
+        if variant == Variant::GuardsGeneral {
+            "a"
+        } else {
+            "b"
+        },
         mode
     );
     let mut rows = Vec::new();
@@ -49,7 +53,13 @@ fn main() {
         String::new(),
     ]);
     print_table(
-        &["benchmark", "Baseline", "MPX Guard", "Range Guard", "guards exec"],
+        &[
+            "benchmark",
+            "Baseline",
+            "MPX Guard",
+            "Range Guard",
+            "guards exec",
+        ],
         &rows,
     );
 }

@@ -51,7 +51,9 @@ fn main() {
         let mut state = 0x12345678u64;
         let addrs: Vec<u64> = (0..4096)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 0x100000 + (state >> 16) % (n * 0x2000)
             })
             .collect();
@@ -72,13 +74,22 @@ fn main() {
         let mut cells = vec![n.to_string()];
         for &stride in &[8u64, 64, 512, 4096, 16384] {
             let span = n * 0x2000;
-            let addrs: Vec<u64> = (0..4096u64).map(|i| 0x100000 + (i * stride) % span).collect();
+            let addrs: Vec<u64> = (0..4096u64)
+                .map(|i| 0x100000 + (i * stride) % span)
+                .collect();
             cells.push(format!("{:.1}", measure(&t, &addrs, true)));
         }
         rows.push(cells);
     }
     print_table(
-        &["regions", "stride 8", "stride 64", "stride 512", "stride 4096", "stride 16384"],
+        &[
+            "regions",
+            "stride 8",
+            "stride 64",
+            "stride 512",
+            "stride 4096",
+            "stride 16384",
+        ],
         &rows,
     );
 }

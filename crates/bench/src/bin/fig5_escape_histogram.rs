@@ -16,7 +16,12 @@ fn main() {
         let r = run_simple(&w, scale, Variant::Tracking);
         let mut wl_allocs = 0u64;
         let mut wl_max = 0u64;
-        for (&escapes, &count) in r.track_stats.escape_histogram.iter().collect::<BTreeMap<_, _>>() {
+        for (&escapes, &count) in r
+            .track_stats
+            .escape_histogram
+            .iter()
+            .collect::<BTreeMap<_, _>>()
+        {
             wl_allocs += count;
             wl_max = wl_max.max(escapes);
             total_allocs += count;

@@ -30,7 +30,12 @@ fn main() {
         format!("{:.3}", geomean(&overheads)),
     ]);
     print_table(
-        &["benchmark", "program footprint", "tracking state", "normalized"],
+        &[
+            "benchmark",
+            "program footprint",
+            "tracking state",
+            "normalized",
+        ],
         &rows,
     );
 }

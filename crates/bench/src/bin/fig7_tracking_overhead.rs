@@ -29,7 +29,13 @@ fn main() {
         String::new(),
     ]);
     print_table(
-        &["benchmark", "Baseline", "CARAT", "allocs tracked", "escape events"],
+        &[
+            "benchmark",
+            "Baseline",
+            "CARAT",
+            "allocs tracked",
+            "escape events",
+        ],
         &rows,
     );
 }

@@ -58,7 +58,14 @@ fn main() {
     }
     rows.push(mean_row);
     print_table(
-        &["benchmark", "CARAT base", "1 mv/s", "100 mv/s", "10k mv/s", "20k mv/s"],
+        &[
+            "benchmark",
+            "CARAT base",
+            "1 mv/s",
+            "100 mv/s",
+            "10k mv/s",
+            "20k mv/s",
+        ],
         &rows,
     );
 }

@@ -1,0 +1,176 @@
+//! Host-side interpreter throughput: wall-clock ns per retired IR
+//! instruction and MIPS for the pre-decoded execution engine, with the
+//! retained reference interpreter as the comparison point, across the
+//! whole workload suite.
+//!
+//! Unlike every other experiment (which reports *simulated* cycles), this
+//! one measures the *host* cost of simulation itself — the number the
+//! decoded-engine refactor exists to improve. Workloads are compiled
+//! uninstrumented (`Variant::Baseline`) so the timing isolates the
+//! interpreter loop rather than the guard/tracking runtime it calls into.
+//!
+//! Usage: `interp_throughput [--scale test|small|full] [--only a,b]
+//! [--reference] [--out PATH]`. `--reference` times only the reference
+//! engine (for A/B runs); the default times both and reports the
+//! speedup. Results are also written as JSON (default `BENCH_interp.json`).
+
+use std::time::Instant;
+
+use carat_bench::{compile, print_table, scale_from_args, selected_workloads, Variant};
+use carat_ir::Module;
+use carat_vm::{Engine, Vm, VmConfig};
+
+/// Wall-clock one run; returns (elapsed ns, instructions retired).
+fn time_run(module: Module, engine: Engine) -> (f64, u64) {
+    let cfg = VmConfig {
+        engine,
+        ..VmConfig::default()
+    };
+    let vm = Vm::new(module, cfg).expect("load");
+    let start = Instant::now();
+    let r = vm.run().expect("run");
+    let ns = start.elapsed().as_nanos() as f64;
+    (ns, r.counters.instructions)
+}
+
+/// Best-of-N for both engines, reps interleaved so a noisy stretch of
+/// host time degrades both measurements instead of biasing one.
+fn best_of_pair(module: &Module, reps: usize, reference_only: bool) -> (f64, f64, u64) {
+    let mut best_ref = f64::INFINITY;
+    let mut best_dec = f64::INFINITY;
+    let mut insts = 0;
+    for _ in 0..reps {
+        let (ns, n) = time_run(module.clone(), Engine::Reference);
+        best_ref = best_ref.min(ns);
+        insts = n;
+        if reference_only {
+            continue;
+        }
+        let (ns, n) = time_run(module.clone(), Engine::Decoded);
+        best_dec = best_dec.min(ns);
+        assert_eq!(insts, n, "engines disagree on instruction count");
+    }
+    if reference_only {
+        best_dec = f64::NAN;
+    }
+    (best_ref, best_dec, insts)
+}
+
+struct Row {
+    name: String,
+    insts: u64,
+    decoded_ns_per_inst: f64,
+    decoded_mips: f64,
+    reference_ns_per_inst: f64,
+    reference_mips: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let reference_only = args.iter().any(|a| a == "--reference");
+    let out_path = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_interp.json".to_string());
+    let scale = scale_from_args();
+    let reps = 7;
+
+    println!("Interpreter throughput ({scale:?} scale, best of {reps})\n");
+    let mut rows: Vec<Row> = Vec::new();
+    let selected = selected_workloads();
+    if selected.is_empty() {
+        eprintln!("error: --only matched no workloads");
+        std::process::exit(2);
+    }
+    for w in selected {
+        let m = compile(&w, scale, Variant::Baseline);
+        let (ref_ns, dec_ns, insts) = best_of_pair(&m, reps, reference_only);
+        let per = |ns: f64| ns / insts.max(1) as f64;
+        let mips = |ns: f64| insts as f64 / (ns / 1e9) / 1e6;
+        rows.push(Row {
+            name: w.name.to_string(),
+            insts,
+            decoded_ns_per_inst: per(dec_ns),
+            decoded_mips: mips(dec_ns),
+            reference_ns_per_inst: per(ref_ns),
+            reference_mips: mips(ref_ns),
+        });
+    }
+
+    let mut table = Vec::new();
+    let mut speedups = Vec::new();
+    let mut at_least_2x = 0usize;
+    for r in &rows {
+        let speedup = r.decoded_mips / r.reference_mips;
+        if speedup >= 2.0 {
+            at_least_2x += 1;
+        }
+        speedups.push(speedup);
+        let dec = |x: f64, suffix: &str| {
+            if x.is_nan() {
+                "-".to_string()
+            } else if suffix.is_empty() {
+                format!("{x:.1}")
+            } else {
+                format!("{x:.2}{suffix}")
+            }
+        };
+        table.push(vec![
+            r.name.clone(),
+            format!("{}", r.insts),
+            format!("{:.1}", r.reference_ns_per_inst),
+            format!("{:.1}", r.reference_mips),
+            dec(r.decoded_ns_per_inst, ""),
+            dec(r.decoded_mips, ""),
+            dec(speedup, "x"),
+        ]);
+    }
+    print_table(
+        &[
+            "workload", "IR insts", "ref ns/i", "ref MIPS", "dec ns/i", "dec MIPS", "speedup",
+        ],
+        &table,
+    );
+    if !reference_only {
+        println!(
+            "\nGeomean speedup {:.2}x; >=2x on {}/{} workloads",
+            carat_bench::geomean(&speedups),
+            at_least_2x,
+            rows.len()
+        );
+    }
+
+    if reference_only {
+        // A/B helper mode: no decoded numbers, so nothing to report —
+        // and NaN fields would corrupt the JSON artifact.
+        return;
+    }
+    // Hand-rolled JSON: no serde in the dependency closure.
+    let mut json = String::from("{\n  \"scale\": \"");
+    json.push_str(&format!("{scale:?}"));
+    json.push_str("\",\n  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ir_instructions\": {}, \
+             \"reference_ns_per_inst\": {:.3}, \"reference_mips\": {:.3}, \
+             \"decoded_ns_per_inst\": {:.3}, \"decoded_mips\": {:.3}, \
+             \"speedup\": {:.3}}}{}\n",
+            r.name,
+            r.insts,
+            r.reference_ns_per_inst,
+            r.reference_mips,
+            r.decoded_ns_per_inst,
+            r.decoded_mips,
+            r.decoded_mips / r.reference_mips,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"geomean_speedup\": {:.3},\n  \"workloads_at_2x\": {}\n}}\n",
+        carat_bench::geomean(&speedups),
+        at_least_2x
+    ));
+    std::fs::write(&out_path, json).expect("write json");
+    println!("wrote {out_path}");
+}

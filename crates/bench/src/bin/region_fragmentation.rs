@@ -48,12 +48,21 @@ fn main() {
             splits.to_string(),
             regions.to_string(),
             r.counters.guards_executed.to_string(),
-            format!("{:.2}", r.counters.guard_cycles as f64 / r.counters.guards_executed.max(1) as f64),
+            format!(
+                "{:.2}",
+                r.counters.guard_cycles as f64 / r.counters.guards_executed.max(1) as f64
+            ),
             format!("{:.3}", r.counters.cycles as f64 / base_cycles as f64),
         ]);
     }
     print_table(
-        &["splits", "regions", "guards exec", "cycles/guard", "relative runtime"],
+        &[
+            "splits",
+            "regions",
+            "guards exec",
+            "cycles/guard",
+            "relative runtime",
+        ],
         &rows,
     );
     println!("\nGuard cost grows with the region count (log probes), which is");

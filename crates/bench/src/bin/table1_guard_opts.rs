@@ -46,7 +46,15 @@ fn main() {
         String::new(),
     ]);
     print_table(
-        &["benchmark", "Opt. Guards", "Untouched", "Opt. 1", "Opt. 2", "Opt. 3", "total"],
+        &[
+            "benchmark",
+            "Opt. Guards",
+            "Untouched",
+            "Opt. 1",
+            "Opt. 2",
+            "Opt. 3",
+            "total",
+        ],
         &rows,
     );
 }

@@ -42,7 +42,16 @@ fn main() {
         "< 1/s".into(),
     ]);
     print_table(
-        &["benchmark", "Static FP pgs", "Initial", "Page Allocs", "Moves", "Exec Time", "Alloc Rate", "Move Rate"],
+        &[
+            "benchmark",
+            "Static FP pgs",
+            "Initial",
+            "Page Allocs",
+            "Moves",
+            "Exec Time",
+            "Alloc Rate",
+            "Move Rate",
+        ],
         &rows,
     );
 }

@@ -227,6 +227,9 @@ mod tests {
         let over_naive = naive.counters.normalized_to(&base.counters);
         let over_carat = carat.counters.normalized_to(&base.counters);
         assert!(over_naive > over_carat, "{over_naive} vs {over_carat}");
-        assert!(over_carat < 1.6, "CARAT-opt overhead is small: {over_carat}");
+        assert!(
+            over_carat < 1.6,
+            "CARAT-opt overhead is small: {over_carat}"
+        );
     }
 }

@@ -209,12 +209,10 @@ pub fn guard_extent(f: &Function, guard: ValueId) -> Option<u64> {
         Some(Inst::CallIntrinsic {
             intr: Intrinsic::GuardLoad | Intrinsic::GuardStore,
             args,
-        }) => {
-            match f.inst(*args.get(1)?) {
-                Some(Inst::Const(carat_ir::Const::Int(n, _))) => Some(*n as u64),
-                _ => None,
-            }
-        }
+        }) => match f.inst(*args.get(1)?) {
+            Some(Inst::Const(carat_ir::Const::Int(n, _))) => Some(*n as u64),
+            _ => None,
+        },
         _ => None,
     }
 }

@@ -7,10 +7,10 @@
 //! climb to the outermost loop possible.
 
 use super::{GuardClass, GuardClasses};
-use carat_ir::{Const, Function, Inst, Intrinsic, ValueId};
 use carat_analysis::{
     ensure_preheader, Cfg, ChainedAlias, DomTree, Loop, LoopForest, LoopInvariance,
 };
+use carat_ir::{Const, Function, Inst, Intrinsic, ValueId};
 use std::collections::HashSet;
 
 /// Run guard hoisting on `f` to fixpoint. Marks hoisted guards in `classes`
@@ -49,12 +49,7 @@ fn run_one_round(f: &mut Function, classes: &mut GuardClasses) -> usize {
     hoisted
 }
 
-fn hoist_loop(
-    f: &mut Function,
-    lp: &Loop,
-    aa: &ChainedAlias,
-    classes: &mut GuardClasses,
-) -> usize {
+fn hoist_loop(f: &mut Function, lp: &Loop, aa: &ChainedAlias, classes: &mut GuardClasses) -> usize {
     let inv = LoopInvariance::compute(f, lp, aa);
     let loop_has_alloca = lp.blocks.iter().any(|&b| {
         f.block(b)
@@ -71,9 +66,9 @@ fn hoist_loop(
                 continue;
             };
             let ok = match intr {
-                Intrinsic::GuardLoad | Intrinsic::GuardStore | Intrinsic::GuardRange => args
-                    .iter()
-                    .all(|&a| inv.is_invariant(f, lp, a)),
+                Intrinsic::GuardLoad | Intrinsic::GuardStore | Intrinsic::GuardRange => {
+                    args.iter().all(|&a| inv.is_invariant(f, lp, a))
+                }
                 Intrinsic::GuardCall => {
                     !loop_has_alloca && args.iter().all(|&a| inv.is_invariant(f, lp, a))
                 }
@@ -160,11 +155,7 @@ fn find_equivalent_guard(f: &Function, ph: carat_ir::BlockId, g: ValueId) -> Opt
         if v == g {
             continue;
         }
-        if let Some(Inst::CallIntrinsic {
-            intr: i2,
-            args: a2,
-        }) = f.inst(v)
-        {
+        if let Some(Inst::CallIntrinsic { intr: i2, args: a2 }) = f.inst(v) {
             if i2 == intr
                 && args.len() == a2.len()
                 && args

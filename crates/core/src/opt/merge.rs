@@ -12,8 +12,8 @@
 
 use super::{GuardClass, GuardClasses};
 use carat_analysis::{
-    canonical_loop_info, ensure_preheader, ptr_evolution, trace_base, AffineIndex, BaseObject,
-    Cfg, ChainedAlias, DomTree, Loop, LoopForest, LoopInvariance, LoopTripInfo, PtrEvolution,
+    canonical_loop_info, ensure_preheader, ptr_evolution, trace_base, AffineIndex, BaseObject, Cfg,
+    ChainedAlias, DomTree, Loop, LoopForest, LoopInvariance, LoopTripInfo, PtrEvolution,
 };
 use carat_ir::{BinOp, BlockId, Const, Function, Inst, IntTy, Intrinsic, Pred, Type, ValueId};
 use std::collections::HashSet;
@@ -67,9 +67,7 @@ fn merge_one_loop(
     };
     // The range endpoints are computed in the preheader, so everything they
     // use must be defined outside the loop.
-    let outside = |v: ValueId| -> bool {
-        f.block_of(v).map(|b| !lp.contains(b)).unwrap_or(true)
-    };
+    let outside = |v: ValueId| -> bool { f.block_of(v).map(|b| !lp.contains(b)).unwrap_or(true) };
     if !outside(trip.init) || !outside(trip.bound) {
         return 0;
     }
@@ -117,10 +115,9 @@ fn merge_one_loop(
             }
         }
         // One range guard per distinct (base, elem, index, access kind).
-        if !emitted
-            .iter()
-            .any(|(b, e, ix, st)| *b == c.base && *e == c.elem && *ix == c.index && *st == c.is_store)
-        {
+        if !emitted.iter().any(|(b, e, ix, st)| {
+            *b == c.base && *e == c.elem && *ix == c.index && *st == c.is_store
+        }) {
             emit_range_guard(f, ph, &trip, &c);
             emitted.push((c.base, c.elem.clone(), c.index, c.is_store));
         }
@@ -134,13 +131,7 @@ fn merge_one_loop(
 /// Move the pure, loop-invariant computation `root` (and its in-loop
 /// operand chain) into preheader `ph`, before its terminator.
 fn hoist_chain_to_preheader(f: &mut Function, lp: &Loop, ph: BlockId, root: ValueId) {
-    fn visit(
-        f: &mut Function,
-        lp: &Loop,
-        ph: BlockId,
-        v: ValueId,
-        seen: &mut HashSet<ValueId>,
-    ) {
+    fn visit(f: &mut Function, lp: &Loop, ph: BlockId, v: ValueId, seen: &mut HashSet<ValueId>) {
         if !seen.insert(v) {
             return;
         }
@@ -270,11 +261,7 @@ fn merge_adjacent(f: &mut Function, classes: &mut GuardClasses) -> usize {
     merged
 }
 
-fn merge_adjacent_in_block(
-    f: &mut Function,
-    b: BlockId,
-    classes: &mut GuardClasses,
-) -> usize {
+fn merge_adjacent_in_block(f: &mut Function, b: BlockId, classes: &mut GuardClasses) -> usize {
     // Gather (position, guard, base-object, offset, size, is_store); a call
     // or free between guards stops merging across it (regions may change).
     #[derive(Clone)]

@@ -41,10 +41,7 @@ impl GuardClasses {
     /// Record the original guard set; everything starts untouched.
     pub fn with_original(guards: &[ValueId]) -> GuardClasses {
         GuardClasses {
-            map: guards
-                .iter()
-                .map(|&g| (g, GuardClass::Untouched))
-                .collect(),
+            map: guards.iter().map(|&g| (g, GuardClass::Untouched)).collect(),
         }
     }
 

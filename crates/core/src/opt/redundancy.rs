@@ -71,7 +71,12 @@ pub fn run(f: &mut Function, classes: &mut GuardClasses) -> usize {
     // Removal walk.
     let mut removed = 0;
     for b in f.block_ids().collect::<Vec<_>>() {
-        removed += remove_in_block(f, b, block_in[b.index()].clone().unwrap_or_default(), classes);
+        removed += remove_in_block(
+            f,
+            b,
+            block_in[b.index()].clone().unwrap_or_default(),
+            classes,
+        );
     }
     removed
 }
@@ -219,7 +224,7 @@ mod tests {
         let callee = {
             let mbi = ModuleBuilder::new("x");
             let _ = mbi;
-            
+
             mb.declare("callee", vec![], None)
         };
         let f = mb.declare("f", vec![Type::Ptr], None);

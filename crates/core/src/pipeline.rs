@@ -81,7 +81,10 @@ impl Default for CompileOptions {
             tracking: Some(TrackingConfig::default()),
             preset: OptPreset::CaratSpecific,
             toggles: OptToggles::ALL,
-            signing: Some(SigningKey::from_passphrase("carat-cc", "reference-toolchain")),
+            signing: Some(SigningKey::from_passphrase(
+                "carat-cc",
+                "reference-toolchain",
+            )),
         }
     }
 }

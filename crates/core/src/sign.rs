@@ -191,6 +191,9 @@ mod tests {
         let k1 = SigningKey::from_passphrase("a", "same");
         let k2 = SigningKey::from_passphrase("b", "same");
         let m = sample();
-        assert_ne!(sign_module(&m, &k1).signature, sign_module(&m, &k2).signature);
+        assert_ne!(
+            sign_module(&m, &k1).signature,
+            sign_module(&m, &k2).signature
+        );
     }
 }

@@ -90,9 +90,11 @@ fn inject_into_function(f: &mut Function, cfg: TrackingConfig) -> TrackingCounts
                     slot: v,
                     size: ty.size(),
                 }),
-                Some(Inst::Store { ty, addr, .. }) if cfg.escapes && *ty == Type::Ptr => {
-                    sites.push(Site::EscapeAfter { store: v, dst: *addr })
-                }
+                Some(Inst::Store { ty, addr, .. }) if cfg.escapes && *ty == Type::Ptr => sites
+                    .push(Site::EscapeAfter {
+                        store: v,
+                        dst: *addr,
+                    }),
                 _ => {}
             }
         }
@@ -228,9 +230,15 @@ mod tests {
             .collect();
         let malloc_pos = insts
             .iter()
-            .position(
-                |i| matches!(i, Inst::CallIntrinsic { intr: Intrinsic::Malloc, .. }),
-            )
+            .position(|i| {
+                matches!(
+                    i,
+                    Inst::CallIntrinsic {
+                        intr: Intrinsic::Malloc,
+                        ..
+                    }
+                )
+            })
             .unwrap();
         assert!(matches!(
             &insts[malloc_pos + 1],
@@ -254,7 +262,15 @@ mod tests {
             .collect();
         let free_pos = insts
             .iter()
-            .position(|i| matches!(i, Inst::CallIntrinsic { intr: Intrinsic::Free, .. }))
+            .position(|i| {
+                matches!(
+                    i,
+                    Inst::CallIntrinsic {
+                        intr: Intrinsic::Free,
+                        ..
+                    }
+                )
+            })
             .unwrap();
         assert!(matches!(
             &insts[free_pos - 1],

@@ -125,12 +125,10 @@ struct Ctx {
 
 impl Ctx {
     fn struct_fields(&self, name: &str, line: usize) -> Result<&Vec<(CmType, String)>> {
-        self.structs
-            .get(name)
-            .ok_or_else(|| LowerError {
-                line,
-                message: format!("unknown struct `{name}`"),
-            })
+        self.structs.get(name).ok_or_else(|| LowerError {
+            line,
+            message: format!("unknown struct `{name}`"),
+        })
     }
 }
 
@@ -185,7 +183,10 @@ fn global_init(ty: &CmType, lits: &[GlobalLit], line: usize) -> Result<GlobalIni
                 })
                 .collect::<Result<_>>()?,
         )),
-        other => err(line, format!("initializers unsupported for {other:?} globals")),
+        other => err(
+            line,
+            format!("initializers unsupported for {other:?} globals"),
+        ),
     }
 }
 
@@ -256,18 +257,24 @@ impl<'c, 'm> FnLower<'c, 'm> {
                 let ir = ir_type(pty, &fl.ctx.structs, def.line)?;
                 let slot = fl.b.alloca(ir.clone());
                 fl.b.store(ir, slot, arg);
-                fl.declare_var(pname.clone(), Variable {
-                    storage: Storage::Stack(slot),
-                    ty: pty.clone(),
-                });
+                fl.declare_var(
+                    pname.clone(),
+                    Variable {
+                        storage: Storage::Stack(slot),
+                        ty: pty.clone(),
+                    },
+                );
             } else {
                 let var = fl.new_ssa_var(pty.clone());
                 let blk = fl.b.current();
                 fl.write_var(var, blk, arg);
-                fl.declare_var(pname.clone(), Variable {
-                    storage: Storage::Ssa(var),
-                    ty: pty.clone(),
-                });
+                fl.declare_var(
+                    pname.clone(),
+                    Variable {
+                        storage: Storage::Ssa(var),
+                        ty: pty.clone(),
+                    },
+                );
             }
         }
         Ok(fl)
@@ -341,9 +348,7 @@ impl<'c, 'm> FnLower<'c, 'm> {
                     self.write_var(var, block, phi);
                     for p in preds {
                         let v = self.read_var(var, p);
-                        if let Some(Inst::Phi { incomings, .. }) =
-                            self.b.func_mut_inst(phi)
-                        {
+                        if let Some(Inst::Phi { incomings, .. }) = self.b.func_mut_inst(phi) {
                             incomings.push((p, v));
                         }
                     }
@@ -470,24 +475,18 @@ impl<'c, 'm> FnLower<'c, 'm> {
                 fl.lower_loop(cond.as_ref(), step.as_ref(), body)
             }),
             Stmt::Break(line) => {
-                let (brk, _) = *self
-                    .loop_stack
-                    .last()
-                    .ok_or_else(|| LowerError {
-                        line: *line,
-                        message: "break outside loop".into(),
-                    })?;
+                let (brk, _) = *self.loop_stack.last().ok_or_else(|| LowerError {
+                    line: *line,
+                    message: "break outside loop".into(),
+                })?;
                 self.b.jmp(brk);
                 Ok(())
             }
             Stmt::Continue(line) => {
-                let (_, cont) = *self
-                    .loop_stack
-                    .last()
-                    .ok_or_else(|| LowerError {
-                        line: *line,
-                        message: "continue outside loop".into(),
-                    })?;
+                let (_, cont) = *self.loop_stack.last().ok_or_else(|| LowerError {
+                    line: *line,
+                    message: "continue outside loop".into(),
+                })?;
                 self.b.jmp(cont);
                 Ok(())
             }
@@ -501,8 +500,8 @@ impl<'c, 'm> FnLower<'c, 'm> {
         init: Option<&Expr>,
         line: usize,
     ) -> Result<()> {
-        let needs_stack = self.addr_taken.contains(name)
-            || matches!(ty, CmType::Array(..) | CmType::Struct(_));
+        let needs_stack =
+            self.addr_taken.contains(name) || matches!(ty, CmType::Array(..) | CmType::Struct(_));
         if needs_stack {
             let ir = ir_type(ty, &self.ctx.structs, line)?;
             let slot = self.b.alloca(ir.clone());
@@ -717,7 +716,10 @@ impl<'c, 'm> FnLower<'c, 'm> {
                             return err(e.line, format!("`.` on non-struct {other:?}"))
                         }
                         Place::Ssa(..) => {
-                            return err(e.line, "`.` on a register variable (structs live in memory)")
+                            return err(
+                                e.line,
+                                "`.` on a register variable (structs live in memory)",
+                            )
                         }
                     }
                 };
@@ -805,7 +807,10 @@ impl<'c, 'm> FnLower<'c, 'm> {
                 v: self.b.null(),
                 ty: CmType::ptr(CmType::Void),
             }),
-            ExprKind::Var(_) | ExprKind::Deref(_) | ExprKind::Index(..) | ExprKind::Field { .. } => {
+            ExprKind::Var(_)
+            | ExprKind::Deref(_)
+            | ExprKind::Index(..)
+            | ExprKind::Field { .. } => {
                 let p = self.place(e)?;
                 self.load_place(p, line)
             }
@@ -1151,7 +1156,10 @@ impl<'c, 'm> FnLower<'c, 'm> {
                     })?
                     .clone();
                 if params != vec![CmType::Int] || ret != CmType::Int {
-                    return err(line, format!("`{fname}` must have signature int(int) to be spawned"));
+                    return err(
+                        line,
+                        format!("`{fname}` must have signature int(int) to be spawned"),
+                    );
                 }
                 let idx = self.b.const_i64(fid.index() as i64);
                 let a1 = self.expr(&args[1])?;
@@ -1348,9 +1356,7 @@ fn collect_addr_taken(body: &[Stmt]) -> HashSet<String> {
                 }
                 walk_expr(inner, out);
             }
-            ExprKind::Unary(_, a) | ExprKind::Deref(a) | ExprKind::Cast(_, a) => {
-                walk_expr(a, out)
-            }
+            ExprKind::Unary(_, a) | ExprKind::Deref(a) | ExprKind::Cast(_, a) => walk_expr(a, out),
             ExprKind::Binary(_, a, b)
             | ExprKind::LogicalAnd(a, b)
             | ExprKind::LogicalOr(a, b)
@@ -1373,9 +1379,7 @@ fn collect_addr_taken(body: &[Stmt]) -> HashSet<String> {
     }
     fn walk_stmt(s: &Stmt, out: &mut HashSet<String>) {
         match s {
-            Stmt::Decl {
-                init: Some(e), ..
-            } => walk_expr(e, out),
+            Stmt::Decl { init: Some(e), .. } => walk_expr(e, out),
             Stmt::Expr(e) => walk_expr(e, out),
             Stmt::If {
                 cond,

@@ -248,7 +248,8 @@ impl Parser {
         let mut params = Vec::new();
         if !self.try_punct(")") {
             loop {
-                if matches!(self.peek(), Tok::Kw(Kw::Void)) && matches!(self.peek2(), Tok::Punct(")"))
+                if matches!(self.peek(), Tok::Kw(Kw::Void))
+                    && matches!(self.peek2(), Tok::Punct(")"))
                 {
                     self.bump();
                     self.eat_punct(")")?;
@@ -764,10 +765,7 @@ mod tests {
         assert_eq!(p.structs.len(), 1);
         assert_eq!(p.structs[0].fields.len(), 2);
         assert_eq!(p.globals.len(), 2);
-        assert_eq!(
-            p.globals[0].ty,
-            CmType::Array(Box::new(CmType::Int), 100)
-        );
+        assert_eq!(p.globals[0].ty, CmType::Array(Box::new(CmType::Int), 100));
         assert_eq!(p.globals[1].init.as_ref().unwrap().len(), 3);
         assert_eq!(p.funcs[0].params.len(), 2);
     }
@@ -797,7 +795,10 @@ mod tests {
             }
         "#;
         let p = parse_program(src).unwrap();
-        assert_eq!(p.funcs[0].params[0].0, CmType::ptr(CmType::Struct("node".into())));
+        assert_eq!(
+            p.funcs[0].params[0].0,
+            CmType::ptr(CmType::Struct("node".into()))
+        );
     }
 
     #[test]

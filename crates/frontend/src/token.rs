@@ -187,7 +187,9 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
                 i += 1;
             }
-            if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len()
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && i + 1 < bytes.len()
                 && (bytes[i + 1] as char).is_ascii_digit()
             {
                 is_float = true;

@@ -82,7 +82,11 @@ impl Function {
     ///
     /// Panics if the function has no blocks.
     pub fn entry(&self) -> BlockId {
-        assert!(!self.blocks.is_empty(), "function {} has no blocks", self.name);
+        assert!(
+            !self.blocks.is_empty(),
+            "function {} has no blocks",
+            self.name
+        );
         BlockId(0)
     }
 
@@ -281,9 +285,10 @@ impl Function {
     /// layout order.
     pub fn insts_in_layout_order(&self) -> impl Iterator<Item = (BlockId, ValueId, &Inst)> + '_ {
         self.block_ids().flat_map(move |b| {
-            self.block(b).insts.iter().filter_map(move |&v| {
-                self.inst(v).map(|inst| (b, v, inst))
-            })
+            self.block(b)
+                .insts
+                .iter()
+                .filter_map(move |&v| self.inst(v).map(|inst| (b, v, inst)))
         })
     }
 }

@@ -437,6 +437,108 @@ impl Intrinsic {
     }
 }
 
+/// The shape of an instruction, independent of its operands — the stable
+/// classification used by decoders and per-opcode accounting.
+///
+/// `Opcode::COUNT` and [`Opcode::index`] make it usable as a dense array
+/// index (e.g. an instruction-mix histogram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// [`Inst::Const`].
+    Const,
+    /// [`Inst::Alloca`].
+    Alloca,
+    /// [`Inst::Load`].
+    Load,
+    /// [`Inst::Store`].
+    Store,
+    /// [`Inst::PtrAdd`].
+    PtrAdd,
+    /// [`Inst::FieldAddr`].
+    FieldAddr,
+    /// [`Inst::Bin`].
+    Bin,
+    /// [`Inst::Icmp`].
+    Icmp,
+    /// [`Inst::Fcmp`].
+    Fcmp,
+    /// [`Inst::Cast`].
+    Cast,
+    /// [`Inst::Select`].
+    Select,
+    /// [`Inst::Phi`].
+    Phi,
+    /// [`Inst::Call`].
+    Call,
+    /// [`Inst::CallIntrinsic`].
+    CallIntrinsic,
+    /// [`Inst::Jmp`].
+    Jmp,
+    /// [`Inst::Br`].
+    Br,
+    /// [`Inst::Ret`].
+    Ret,
+    /// [`Inst::Unreachable`].
+    Unreachable,
+}
+
+impl Opcode {
+    /// Number of opcodes (the length of [`Opcode::ALL`]).
+    pub const COUNT: usize = 18;
+
+    /// Every opcode, in [`Opcode::index`] order.
+    pub const ALL: [Opcode; Opcode::COUNT] = [
+        Opcode::Const,
+        Opcode::Alloca,
+        Opcode::Load,
+        Opcode::Store,
+        Opcode::PtrAdd,
+        Opcode::FieldAddr,
+        Opcode::Bin,
+        Opcode::Icmp,
+        Opcode::Fcmp,
+        Opcode::Cast,
+        Opcode::Select,
+        Opcode::Phi,
+        Opcode::Call,
+        Opcode::CallIntrinsic,
+        Opcode::Jmp,
+        Opcode::Br,
+        Opcode::Ret,
+        Opcode::Unreachable,
+    ];
+
+    /// Dense index in `0..Opcode::COUNT`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Const => "const",
+            Opcode::Alloca => "alloca",
+            Opcode::Load => "load",
+            Opcode::Store => "store",
+            Opcode::PtrAdd => "ptradd",
+            Opcode::FieldAddr => "fieldaddr",
+            Opcode::Bin => "bin",
+            Opcode::Icmp => "icmp",
+            Opcode::Fcmp => "fcmp",
+            Opcode::Cast => "cast",
+            Opcode::Select => "select",
+            Opcode::Phi => "phi",
+            Opcode::Call => "call",
+            Opcode::CallIntrinsic => "intrinsic",
+            Opcode::Jmp => "jmp",
+            Opcode::Br => "br",
+            Opcode::Ret => "ret",
+            Opcode::Unreachable => "unreachable",
+        }
+    }
+}
+
 /// An IR instruction.
 ///
 /// Instructions that produce a value do so under the [`ValueId`] they were
@@ -573,6 +675,40 @@ pub enum Inst {
 }
 
 impl Inst {
+    /// The [`Opcode`] classifying this instruction.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Inst::Const(_) => Opcode::Const,
+            Inst::Alloca(_) => Opcode::Alloca,
+            Inst::Load { .. } => Opcode::Load,
+            Inst::Store { .. } => Opcode::Store,
+            Inst::PtrAdd { .. } => Opcode::PtrAdd,
+            Inst::FieldAddr { .. } => Opcode::FieldAddr,
+            Inst::Bin { .. } => Opcode::Bin,
+            Inst::Icmp { .. } => Opcode::Icmp,
+            Inst::Fcmp { .. } => Opcode::Fcmp,
+            Inst::Cast { .. } => Opcode::Cast,
+            Inst::Select { .. } => Opcode::Select,
+            Inst::Phi { .. } => Opcode::Phi,
+            Inst::Call { .. } => Opcode::Call,
+            Inst::CallIntrinsic { .. } => Opcode::CallIntrinsic,
+            Inst::Jmp { .. } => Opcode::Jmp,
+            Inst::Br { .. } => Opcode::Br,
+            Inst::Ret { .. } => Opcode::Ret,
+            Inst::Unreachable => Opcode::Unreachable,
+        }
+    }
+
+    /// The `(predecessor, value)` incomings if this is a phi — a borrow,
+    /// unlike [`Inst::operands`], so decoders can walk phis without
+    /// allocating.
+    pub fn phi_incomings(&self) -> Option<&[(BlockId, ValueId)]> {
+        match self {
+            Inst::Phi { incomings, .. } => Some(incomings),
+            _ => None,
+        }
+    }
+
     /// The type of the value this instruction produces, if any.
     ///
     /// `None` for stores, guards, terminators and void calls.

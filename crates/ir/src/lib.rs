@@ -49,7 +49,7 @@ mod verify;
 pub use builder::{FuncBuilder, ModuleBuilder};
 pub use func::{Block, Function, ValueDef};
 pub use inst::{
-    BinOp, BlockId, CastKind, Const, FuncId, GlobalId, Inst, Intrinsic, Pred, ValueId,
+    BinOp, BlockId, CastKind, Const, FuncId, GlobalId, Inst, Intrinsic, Opcode, Pred, ValueId,
 };
 pub use module::{Global, GlobalInit, Module};
 pub use parse::{parse_module, ParseError};

@@ -5,9 +5,7 @@
 //! round-tripping is exercised by property tests.
 
 use crate::func::{Function, ValueDef};
-use crate::inst::{
-    BinOp, BlockId, CastKind, Const, FuncId, Inst, Intrinsic, Pred, ValueId,
-};
+use crate::inst::{BinOp, BlockId, CastKind, Const, FuncId, Inst, Intrinsic, Pred, ValueId};
 use crate::module::{Global, GlobalInit, Module};
 use crate::types::{IntTy, Type};
 use std::collections::HashMap;
@@ -323,7 +321,10 @@ fn parse_global_init(ln: usize, text: &str) -> Result<GlobalInit> {
     if text == "zero" {
         return Ok(GlobalInit::Zero);
     }
-    if let Some(body) = text.strip_prefix("bytes [").and_then(|t| t.strip_suffix(']')) {
+    if let Some(body) = text
+        .strip_prefix("bytes [")
+        .and_then(|t| t.strip_suffix(']'))
+    {
         let mut bytes = Vec::new();
         for tok in body.split_whitespace() {
             let b = u8::from_str_radix(tok, 16).map_err(|_| ParseError {
@@ -334,7 +335,10 @@ fn parse_global_init(ln: usize, text: &str) -> Result<GlobalInit> {
         }
         return Ok(GlobalInit::Bytes(bytes));
     }
-    if let Some(body) = text.strip_prefix("i64s [").and_then(|t| t.strip_suffix(']')) {
+    if let Some(body) = text
+        .strip_prefix("i64s [")
+        .and_then(|t| t.strip_suffix(']'))
+    {
         let mut ws = Vec::new();
         for tok in body.split(',').map(str::trim).filter(|t| !t.is_empty()) {
             let w: i64 = tok.parse().map_err(|_| ParseError {
@@ -345,7 +349,10 @@ fn parse_global_init(ln: usize, text: &str) -> Result<GlobalInit> {
         }
         return Ok(GlobalInit::I64s(ws));
     }
-    if let Some(body) = text.strip_prefix("f64s [").and_then(|t| t.strip_suffix(']')) {
+    if let Some(body) = text
+        .strip_prefix("f64s [")
+        .and_then(|t| t.strip_suffix(']'))
+    {
         let mut ws = Vec::new();
         for tok in body.split(',').map(str::trim).filter(|t| !t.is_empty()) {
             let bits = parse_hex_bits(ln, tok)?;

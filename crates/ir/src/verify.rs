@@ -108,7 +108,9 @@ pub fn verify_func(m: &Module, f: &Function) -> Result<(), VerifyError> {
                 return err(f, format!("{v} appears in more than one position"));
             }
             match f.def(v) {
-                ValueDef::Arg { .. } => return err(f, format!("{v} is an argument inside a block")),
+                ValueDef::Arg { .. } => {
+                    return err(f, format!("{v} is an argument inside a block"))
+                }
                 ValueDef::Inst { block, .. } if *block != b => {
                     return err(f, format!("{v} recorded in wrong block"))
                 }
@@ -285,9 +287,7 @@ fn type_check(m: &Module, f: &Function, v: ValueId, inst: &Inst) -> Result<(), V
             use crate::inst::CastKind::*;
             let from = ty_of(*value);
             let ok = match kind {
-                Sext | Zext | Trunc => {
-                    from.as_ref().is_some_and(Type::is_int) && to.is_int()
-                }
+                Sext | Zext | Trunc => from.as_ref().is_some_and(Type::is_int) && to.is_int(),
                 SiToFp => from.as_ref().is_some_and(Type::is_int) && *to == Type::F64,
                 FpToSi => from == Some(Type::F64) && to.is_int(),
                 PtrToInt => from == Some(Type::Ptr) && *to == Type::I64,

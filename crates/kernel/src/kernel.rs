@@ -10,8 +10,8 @@ use crate::trace::{PagingEvent, PagingTrace};
 use carat_core::sign::{SignedModule, SigningKey};
 use carat_ir::Module;
 use carat_runtime::{
-    perform_move, AllocationTable, CostModel, MemAccess, MoveOutcome, MoveRequest, Perms,
-    Region, RegionTable, WorldStop,
+    perform_move, AllocationTable, CostModel, MemAccess, MoveOutcome, MoveRequest, Perms, Region,
+    RegionTable, WorldStop,
 };
 use std::collections::HashMap;
 
@@ -40,6 +40,9 @@ pub struct SimKernel {
     /// encoding of "this data is in swap" (§2.2).
     swap: HashMap<u64, SwapEntry>,
     next_swap_slot: u64,
+    /// Last page passed to [`SimKernel::demand_touch`] — a one-entry
+    /// cache shortcutting the per-access touched-set probe.
+    last_touched_page: u64,
     trusted: Vec<SigningKey>,
 }
 
@@ -124,6 +127,7 @@ impl SimKernel {
             vacated: Vec::new(),
             swap: HashMap::new(),
             next_swap_slot: 0,
+            last_touched_page: u64::MAX,
             trusted: Vec::new(),
         }
     }
@@ -256,7 +260,14 @@ impl SimKernel {
     /// bookkeeping; the capsule already covers the arena). Returns whether
     /// this was a fresh page.
     pub fn demand_touch(&mut self, addr: u64) -> bool {
-        self.trace.record_first_touch(addr / self.cost.page_size)
+        let page = self.cost.page_of(addr);
+        // Fast path for the VM's per-access call: the touched set only
+        // grows, so a hit on the last touched page can never go stale.
+        if page == self.last_touched_page {
+            return false;
+        }
+        self.last_touched_page = page;
+        self.trace.record_first_touch(page)
     }
 
     /// Baseline: translate-or-fault. Ensures `vpn` is mapped, allocating
@@ -421,8 +432,7 @@ impl SimKernel {
         threads: usize,
     ) -> Option<(WorldStop, u64, u64, u64)> {
         let pg = self.cost.page_size;
-        let (src, len) =
-            carat_runtime::expand_to_allocations(table, page / pg * pg, pg, pg);
+        let (src, len) = carat_runtime::expand_to_allocations(table, page / pg * pg, pg, pg);
         if len > POISON_SLOT_SPAN || Self::is_poison(src) {
             return None;
         }
@@ -626,17 +636,10 @@ impl SimKernel {
         // new block.
         if let Some(info) = table.track_free(outcome.moved_dst) {
             table.track_alloc(dst_block, new_len, carat_runtime::AllocKind::Stack);
-            if let Some(fresh) = table.info_mut(dst_block) {
-                fresh.escapes = info.escapes;
-                fresh.escapes_ever = info.escapes_ever;
-            }
+            table.adopt_escapes(dst_block, info.escapes, info.escapes_ever);
             // track_free recorded a death; neutralize the histogram entry
             // since the allocation logically lives on.
-            if let Some(h) = table
-                .stats
-                .escape_histogram
-                .get_mut(&info.escapes_ever)
-            {
+            if let Some(h) = table.stats.escape_histogram.get_mut(&info.escapes_ever) {
                 *h = h.saturating_sub(1);
             }
         }
@@ -683,7 +686,11 @@ mod tests {
 
     fn module_with_global() -> Module {
         let mut mb = ModuleBuilder::new("prog");
-        mb.global("buf", Type::Array(Box::new(Type::I64), 16), GlobalInit::Zero);
+        mb.global(
+            "buf",
+            Type::Array(Box::new(Type::I64), 16),
+            GlobalInit::Zero,
+        );
         let f = mb.declare("main", vec![], Some(Type::I64));
         {
             let mut b = mb.define(f);
@@ -708,10 +715,11 @@ mod tests {
     fn load_installs_capsule_and_counts_pages() {
         let (k, _, img) = boot();
         assert_eq!(k.regions.len(), 1);
-        assert!(k
-            .regions
-            .check(GuardImpl::Mpx, img.globals[0], 8, Access::Write)
-            .ok);
+        assert!(
+            k.regions
+                .check(GuardImpl::Mpx, img.globals[0], 8, Access::Write)
+                .ok
+        );
         assert_eq!(k.trace.allocs, img.initial_pages);
     }
 
@@ -754,11 +762,7 @@ mod tests {
         assert_ne!(regs[0], g + 16);
         assert_eq!(regs[1], 0);
         // Old page is no longer a valid region; new one is.
-        assert!(
-            !k.regions
-                .check(GuardImpl::IfTree, g, 8, Access::Read)
-                .ok
-        );
+        assert!(!k.regions.check(GuardImpl::IfTree, g, 8, Access::Read).ok);
         assert!(
             k.regions
                 .check(GuardImpl::IfTree, new_ptr, 8, Access::Read)

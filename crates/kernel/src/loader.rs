@@ -267,8 +267,16 @@ mod tests {
 
     fn sample_module() -> Module {
         let mut mb = ModuleBuilder::new("prog");
-        mb.global("zeros", Type::Array(Box::new(Type::I64), 100), GlobalInit::Zero);
-        mb.global("init", Type::Array(Box::new(Type::I64), 4), GlobalInit::I64s(vec![1, 2, 3, 4]));
+        mb.global(
+            "zeros",
+            Type::Array(Box::new(Type::I64), 100),
+            GlobalInit::Zero,
+        );
+        mb.global(
+            "init",
+            Type::Array(Box::new(Type::I64), 4),
+            GlobalInit::I64s(vec![1, 2, 3, 4]),
+        );
         let f = mb.declare("main", vec![], Some(Type::I64));
         {
             let mut b = mb.define(f);
@@ -342,7 +350,10 @@ mod tests {
         assert_eq!(r.start, img.stack.0);
         assert_eq!(r.start + r.len, img.heap.0 + img.heap.1);
         // stack < data < code < heap with no gaps.
-        assert_eq!(img.stack.0 + img.stack.1 + /* data */ (img.code.0 - (img.stack.0 + img.stack.1)), img.code.0);
+        assert_eq!(
+            img.stack.0 + img.stack.1 + /* data */ (img.code.0 - (img.stack.0 + img.stack.1)),
+            img.code.0
+        );
         assert_eq!(img.code.0 + img.code.1, img.heap.0);
     }
 

@@ -23,8 +23,8 @@ pub struct PageTable {
 
 #[derive(Debug, Default)]
 struct Node {
-    children: std::collections::HashMap<u16, Box<Node>>,
-    entries: std::collections::HashMap<u16, Pte>,
+    children: carat_runtime::FastMap<u16, Box<Node>>,
+    entries: carat_runtime::FastMap<u16, Pte>,
 }
 
 /// Result of a walk: the PTE plus how many levels were touched (memory
@@ -140,8 +140,20 @@ mod tests {
         let mut pt = PageTable::new();
         let a = 0u64;
         let b = 1u64 << 27; // differs in the top-level index
-        pt.map(a, Pte { ppn: 1, writable: false });
-        pt.map(b, Pte { ppn: 2, writable: false });
+        pt.map(
+            a,
+            Pte {
+                ppn: 1,
+                writable: false,
+            },
+        );
+        pt.map(
+            b,
+            Pte {
+                ppn: 2,
+                writable: false,
+            },
+        );
         assert_eq!(pt.translate(a).map(|p| p.ppn), Some(1));
         assert_eq!(pt.translate(b).map(|p| p.ppn), Some(2));
         // Unmapped page sharing no prefix aborts the walk early.
@@ -153,8 +165,20 @@ mod tests {
     #[test]
     fn remap_replaces() {
         let mut pt = PageTable::new();
-        pt.map(7, Pte { ppn: 1, writable: false });
-        let prev = pt.map(7, Pte { ppn: 9, writable: true });
+        pt.map(
+            7,
+            Pte {
+                ppn: 1,
+                writable: false,
+            },
+        );
+        let prev = pt.map(
+            7,
+            Pte {
+                ppn: 9,
+                writable: true,
+            },
+        );
         assert_eq!(prev.map(|p| p.ppn), Some(1));
         assert_eq!(pt.mapped, 1);
         assert_eq!(pt.translate(7).map(|p| p.ppn), Some(9));
@@ -164,7 +188,13 @@ mod tests {
     fn dense_mapping_count() {
         let mut pt = PageTable::new();
         for vpn in 0..1000 {
-            pt.map(vpn, Pte { ppn: vpn + 5000, writable: true });
+            pt.map(
+                vpn,
+                Pte {
+                    ppn: vpn + 5000,
+                    writable: true,
+                },
+            );
         }
         assert_eq!(pt.mapped, 1000);
         for vpn in (0..1000).step_by(2) {

@@ -53,6 +53,10 @@ impl PhysicalMemory {
     /// zero-extended.
     pub fn read_uint(&self, addr: u64, size: u64) -> u64 {
         let b = self.read_bytes(addr, size);
+        // Whole-word fast path: the VM's pointer and f64 traffic.
+        if let Ok(w) = <[u8; 8]>::try_from(b) {
+            return u64::from_le_bytes(w);
+        }
         let mut v = 0u64;
         for (i, &x) in b.iter().enumerate() {
             v |= (x as u64) << (8 * i);

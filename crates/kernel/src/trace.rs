@@ -5,7 +5,7 @@
 //! module to count page allocations and page moves; this is the simulated
 //! kernel's equivalent, feeding Table 2.
 
-use std::collections::HashSet;
+use carat_runtime::FastSet;
 
 /// One paging event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,7 +43,7 @@ pub struct PagingTrace {
     /// Total invalidation events.
     pub invalidations: u64,
     /// Distinct pages ever allocated.
-    touched: HashSet<u64>,
+    touched: FastSet<u64>,
     log: Vec<PagingEvent>,
     log_cap: usize,
 }

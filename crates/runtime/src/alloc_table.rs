@@ -6,8 +6,9 @@
 //! registered in batches, as in the prototype ("we use the first method
 //! when tracking allocations, and the second when tracking the escapes").
 
+use crate::fast_hash::{FastMap, FastSet};
 use crate::rbtree::RbTree;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Where an allocation came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +30,7 @@ pub struct AllocInfo {
     pub kind: AllocKind,
     /// Addresses of cells currently holding a pointer into this
     /// allocation — the Allocation-to-Escape Map entry.
-    pub escapes: HashSet<u64>,
+    pub escapes: FastSet<u64>,
     /// Escapes ever recorded against this allocation (Figure 5 histogram
     /// counts total escapes over the program run, not just live ones).
     pub escapes_ever: u64,
@@ -58,9 +59,13 @@ pub struct TrackStats {
 pub struct AllocationTable {
     tree: RbTree<u64, AllocInfo>,
     /// Reverse map: escape cell address → allocation start it points into.
-    escape_owner: HashMap<u64, u64>,
+    escape_owner: FastMap<u64, u64>,
     /// Batched escapes not yet resolved.
     pending: Vec<u64>,
+    /// Σ capacity bytes of all live escape sets, maintained incrementally
+    /// (sets only ever grow or are dropped whole) so the Figure 6 overhead
+    /// query is O(1) instead of a walk over every live allocation.
+    escape_set_bytes: usize,
     /// Statistics.
     pub stats: TrackStats,
 }
@@ -82,15 +87,18 @@ impl AllocationTable {
     /// replaces any entry at the identical start address.
     pub fn track_alloc(&mut self, start: u64, len: u64, kind: AllocKind) {
         self.stats.allocs += 1;
-        self.tree.insert(
+        let replaced = self.tree.insert(
             start,
             AllocInfo {
                 len,
                 kind,
-                escapes: HashSet::new(),
+                escapes: FastSet::default(),
                 escapes_ever: 0,
             },
         );
+        if let Some(old) = replaced {
+            self.escape_set_bytes -= old.escapes.capacity() * std::mem::size_of::<u64>();
+        }
         self.stats.max_live = self.stats.max_live.max(self.tree.len());
     }
 
@@ -99,6 +107,7 @@ impl AllocationTable {
     /// from the reverse map.
     pub fn track_free(&mut self, start: u64) -> Option<AllocInfo> {
         let info = self.tree.remove(&start)?;
+        self.escape_set_bytes -= info.escapes.capacity() * std::mem::size_of::<u64>();
         self.stats.frees += 1;
         for e in &info.escapes {
             self.escape_owner.remove(e);
@@ -141,7 +150,10 @@ impl AllocationTable {
             // Remove a previous binding of this cell.
             if let Some(prev_start) = self.escape_owner.remove(&cell) {
                 if let Some(info) = self.tree.get_mut(&prev_start) {
+                    let cap_before = info.escapes.capacity();
                     info.escapes.remove(&cell);
+                    self.escape_set_bytes += info.escapes.capacity() * std::mem::size_of::<u64>();
+                    self.escape_set_bytes -= cap_before * std::mem::size_of::<u64>();
                 }
             }
             let ptr = read_ptr(cell);
@@ -149,9 +161,12 @@ impl AllocationTable {
                 continue; // null or points outside tracked memory
             };
             let info = self.tree.get_mut(&start).expect("found above");
+            let cap_before = info.escapes.capacity();
             if info.escapes.insert(cell) {
                 info.escapes_ever += 1;
             }
+            self.escape_set_bytes += info.escapes.capacity() * std::mem::size_of::<u64>();
+            self.escape_set_bytes -= cap_before * std::mem::size_of::<u64>();
             self.escape_owner.insert(cell, start);
             resolved += 1;
         }
@@ -192,6 +207,19 @@ impl AllocationTable {
         self.tree.get_mut(&start)
     }
 
+    /// Hand an existing escape set (e.g. salvaged from [`Self::track_free`])
+    /// to the allocation at `start`, keeping the incremental byte
+    /// accounting behind [`Self::memory_overhead_bytes`] consistent.
+    pub fn adopt_escapes(&mut self, start: u64, escapes: FastSet<u64>, escapes_ever: u64) {
+        if let Some(info) = self.tree.get_mut(&start) {
+            let cap_before = info.escapes.capacity();
+            info.escapes = escapes;
+            info.escapes_ever = escapes_ever;
+            self.escape_set_bytes += info.escapes.capacity() * std::mem::size_of::<u64>();
+            self.escape_set_bytes -= cap_before * std::mem::size_of::<u64>();
+        }
+    }
+
     /// Relocate allocation `start` to `start + delta`, rebasing its key.
     /// Escape-cell rebasing is the patch engine's job; this moves only the
     /// table entry.
@@ -219,8 +247,14 @@ impl AllocationTable {
             self.escape_owner.remove(&cell);
             self.escape_owner.insert(new_cell, owner);
             if let Some(info) = self.tree.get_mut(&owner) {
+                let cap_before = info.escapes.capacity();
                 info.escapes.remove(&cell);
                 info.escapes.insert(new_cell);
+                // remove+insert can shrink capacity() by a tombstone, so
+                // apply the delta as add-then-subtract (never underflows:
+                // the total includes this set's previous contribution).
+                self.escape_set_bytes += info.escapes.capacity() * std::mem::size_of::<u64>();
+                self.escape_set_bytes -= cap_before * std::mem::size_of::<u64>();
             }
         }
         moved.len()
@@ -244,17 +278,15 @@ impl AllocationTable {
     }
 
     /// Approximate bytes of tracking state — the Figure 6 memory overhead.
+    ///
+    /// O(1): the escape-set component is maintained incrementally, so the
+    /// VM can sample this on every tracking callback without a table walk.
     pub fn memory_overhead_bytes(&self) -> usize {
         let tree = self.tree.heap_bytes();
-        let escape_sets: usize = self
-            .tree
-            .iter()
-            .map(|(_, i)| i.escapes.capacity() * std::mem::size_of::<u64>())
-            .sum();
         let reverse = self.escape_owner.capacity()
             * (std::mem::size_of::<u64>() * 2 + std::mem::size_of::<usize>());
         let pending = self.pending.capacity() * std::mem::size_of::<u64>();
-        tree + escape_sets + reverse + pending
+        tree + self.escape_set_bytes + reverse + pending
     }
 }
 
@@ -282,8 +314,7 @@ mod tests {
         let mut t = AllocationTable::new();
         t.track_alloc(0x1000, 256, AllocKind::Heap);
         // Cells 0x5000 and 0x5008 hold pointers into the allocation.
-        let mem: HashMap<u64, u64> =
-            [(0x5000, 0x1000), (0x5008, 0x10f0), (0x5010, 0x9999)].into();
+        let mem: HashMap<u64, u64> = [(0x5000, 0x1000), (0x5008, 0x10f0), (0x5010, 0x9999)].into();
         t.track_escape(0x5000);
         t.track_escape(0x5008);
         t.track_escape(0x5010); // dangling target: ignored
@@ -376,5 +407,37 @@ mod tests {
             t.track_alloc(0x10000 + i * 64, 64, AllocKind::Heap);
         }
         assert!(t.memory_overhead_bytes() > before);
+    }
+
+    /// The incrementally-maintained escape-set byte count must equal a
+    /// from-scratch fold over every live allocation.
+    #[test]
+    fn incremental_escape_bytes_match_full_fold() {
+        let mut t = AllocationTable::new();
+        for i in 0..64u64 {
+            t.track_alloc(0x10000 + i * 0x100, 0x100, AllocKind::Heap);
+        }
+        // Scatter escapes across allocations, rebind some cells, free a few.
+        for c in 0..500u64 {
+            t.track_escape(0x90000 + c * 8);
+        }
+        t.flush_escapes(|cell| 0x10000 + (cell % 64) * 0x100);
+        for c in 0..100u64 {
+            t.track_escape(0x90000 + c * 8); // rebind to a different target
+        }
+        t.flush_escapes(|cell| 0x10000 + ((cell + 7) % 64) * 0x100);
+        for i in 0..16u64 {
+            t.track_free(0x10000 + i * 0x100);
+        }
+        t.rebase_escape_cells(0x90000, 0x90400, 0x1_0000);
+        let fold: usize = (0..64u64)
+            .filter_map(|i| t.info(0x10000 + i * 0x100))
+            .map(|info| info.escapes.capacity() * std::mem::size_of::<u64>())
+            .sum();
+        let tree = t.tree.heap_bytes();
+        let reverse = t.escape_owner.capacity()
+            * (std::mem::size_of::<u64>() * 2 + std::mem::size_of::<usize>());
+        let pending = t.pending.capacity() * std::mem::size_of::<u64>();
+        assert_eq!(t.memory_overhead_bytes(), tree + fold + reverse + pending);
     }
 }

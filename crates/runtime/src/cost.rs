@@ -9,7 +9,11 @@
 //! MPX bounds checks) rather than any exact microarchitecture.
 
 /// Cycle costs and structure sizes for the simulated machine.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// All fields are scalars, so the model is `Copy`: hot paths (the VM's
+/// data-access and intrinsic handlers) copy it to a local instead of
+/// cloning through a heap-free but borrow-restricted reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     // --- core execution ---
     /// Simple ALU operation (add, compare, …).
@@ -122,6 +126,18 @@ impl Default for CostModel {
 }
 
 impl CostModel {
+    /// Page number of `addr`. Pages are virtually always a power of two,
+    /// in which case this is a shift — a 64-bit hardware divide here is
+    /// measurable on the VM's per-access path.
+    #[inline]
+    pub fn page_of(&self, addr: u64) -> u64 {
+        if self.page_size.is_power_of_two() {
+            addr >> self.page_size.trailing_zeros()
+        } else {
+            addr / self.page_size
+        }
+    }
+
     /// Cycles to copy `bytes` bytes.
     pub fn copy_cost(&self, bytes: u64) -> u64 {
         (bytes * self.move_copy_per_byte_milli) / 1000

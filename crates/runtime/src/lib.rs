@@ -32,6 +32,7 @@
 
 mod alloc_table;
 mod cost;
+mod fast_hash;
 mod patch;
 mod rbtree;
 mod region;
@@ -39,6 +40,7 @@ mod world;
 
 pub use alloc_table::{AllocInfo, AllocKind, AllocationTable, TrackStats};
 pub use cost::CostModel;
+pub use fast_hash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use patch::{
     expand_to_allocations, perform_move, perform_move_alloc_granular, ExpandVeto, MemAccess,
     MoveCostBreakdown, MoveOutcome, MoveRequest,

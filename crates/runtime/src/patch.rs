@@ -155,8 +155,7 @@ pub fn perform_move(
     let dst = req.dst.wrapping_sub(req.src - src);
     let delta = dst.wrapping_sub(src) as i64;
     let affected = table.overlapping(src, src + len);
-    let page_expand =
-        cost.move_expand_fixed + affected.len() as u64 * cost.move_expand_per_alloc;
+    let page_expand = cost.move_expand_fixed + affected.len() as u64 * cost.move_expand_per_alloc;
 
     // --- Phase 2: patch generation & execution ---
     let mut escapes_patched = 0usize;
@@ -388,9 +387,8 @@ mod tests {
         let (mut t, mut m) = setup();
         let cost = CostModel::default();
         let mut regs = vec![];
-        let out =
-            perform_move_alloc_granular(&mut t, &mut m, &mut regs, 0x1000, 0x9000, &cost)
-                .expect("allocation exists");
+        let out = perform_move_alloc_granular(&mut t, &mut m, &mut regs, 0x1000, 0x9000, &cost)
+            .expect("allocation exists");
         assert_eq!(out.cost.page_expand, 0);
         assert_eq!(out.moved_len, 0x100, "only the allocation itself");
         assert_eq!(m.read_u64(0x5000), 0x9010);
@@ -416,8 +414,8 @@ mod tests {
             // Lay allocations out contiguously from 0x10000 (16-aligned).
             let mut starts = Vec::new();
             let mut cursor = 0x10000u64;
-            for i in 0..n_allocs {
-                let size = sizes[i] / 16 * 16 + 16;
+            for &raw in sizes.iter().take(n_allocs) {
+                let size = raw / 16 * 16 + 16;
                 starts.push(cursor);
                 t.track_alloc(cursor, size, AllocKind::Heap);
                 cursor += size;

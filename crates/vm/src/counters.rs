@@ -1,6 +1,7 @@
 //! Performance counters collected during a run — the raw numbers behind
 //! every figure of the evaluation.
 
+use carat_ir::Opcode;
 use carat_runtime::MoveCostBreakdown;
 
 /// Counters for one program execution.
@@ -51,6 +52,44 @@ pub struct PerfCounters {
     pub move_cycles: u64,
     /// Summed per-phase move costs (Table 3 numerators).
     pub move_breakdown: MoveBreakdownSum,
+
+    // --- instruction mix ---
+    /// Executed instructions by opcode (phi batches count once, matching
+    /// `instructions`). Recorded identically by both execution engines.
+    pub opcode_mix: OpcodeMix,
+}
+
+/// Per-opcode executed-instruction histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpcodeMix(pub [u64; Opcode::COUNT]);
+
+impl OpcodeMix {
+    /// Count one executed instruction of `op`.
+    #[inline]
+    pub fn record(&mut self, op: Opcode) {
+        self.0[op.index()] += 1;
+    }
+
+    /// The count for `op`.
+    pub fn count(&self, op: Opcode) -> u64 {
+        self.0[op.index()]
+    }
+
+    /// Total instructions recorded.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// `(opcode, count)` pairs with nonzero counts, descending by count.
+    pub fn sorted(&self) -> Vec<(Opcode, u64)> {
+        let mut v: Vec<(Opcode, u64)> = Opcode::ALL
+            .iter()
+            .map(|&op| (op, self.count(op)))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.index().cmp(&b.0.index())));
+        v
+    }
 }
 
 /// Accumulated move-phase costs plus counts for averaging.

@@ -1,0 +1,655 @@
+//! Pre-decoded execution programs: each loaded [`Module`] is compiled
+//! once into flat per-function arrays of [`DecodedInst`] — a `Copy`-able
+//! instruction with operand register slots, immediate constants, resolved
+//! alloca offsets, precomputed per-edge phi copy lists, and direct
+//! intrinsic dispatch. The interpreter's hot loop then executes over
+//! `(func, block, idx)` cursors into this stream with zero per-step
+//! cloning and no hash lookups.
+//!
+//! Decoding is an engine-side cache, not a semantic transformation: a
+//! decoded program must produce the same observable behavior — return
+//! value, output, and every [`PerfCounters`](crate::PerfCounters) field —
+//! as the reference interpreter walking the IR arena directly. The
+//! differential harness in `tests/decoded_differential.rs` enforces this
+//! across the full workload suite.
+
+use carat_core::guards::frame_size;
+use carat_ir::{BinOp, BlockId, CastKind, Const, Inst, IntTy, Intrinsic, Module, Opcode, Pred};
+
+/// Register slot sentinel for "no value" (absent return value/operand).
+pub const NO_REG: u32 = u32::MAX;
+
+/// The scalar class of a memory access, with its size pre-resolved.
+#[derive(Debug, Clone, Copy)]
+pub enum ScalarClass {
+    /// 8-byte float.
+    F64,
+    /// 8-byte pointer.
+    Ptr,
+    /// Integer of the given width.
+    Int(IntTy),
+}
+
+impl ScalarClass {
+    /// Access size in bytes.
+    #[inline]
+    pub fn size(self) -> u64 {
+        match self {
+            ScalarClass::F64 | ScalarClass::Ptr => 8,
+            ScalarClass::Int(w) => w.size(),
+        }
+    }
+}
+
+/// A `(start, len)` window into a [`DecodedFunc`]'s operand pool.
+#[derive(Debug, Clone, Copy)]
+pub struct OperandRange {
+    /// First index in [`DecodedFunc::operands`].
+    pub start: u32,
+    /// Number of operands.
+    pub len: u32,
+}
+
+/// One fully resolved instruction. Everything static — immediates, frame
+/// offsets, operand register slots, access sizes, result widths — is
+/// folded in at decode time; only dynamic state (register values, memory)
+/// remains for the interpreter.
+#[derive(Debug, Clone, Copy)]
+pub enum DecodedInst {
+    /// Integer constant, already width-wrapped.
+    ConstI {
+        /// Destination register.
+        dst: u32,
+        /// Wrapped value.
+        val: i64,
+    },
+    /// Float constant.
+    ConstF {
+        /// Destination register.
+        dst: u32,
+        /// Value.
+        val: f64,
+    },
+    /// The null pointer.
+    ConstNull {
+        /// Destination register.
+        dst: u32,
+    },
+    /// Address of a global. The *index* is kept (not the address): globals
+    /// relocate when their range moves or swaps, so the current address is
+    /// read from the image at execution time.
+    ConstGlobal {
+        /// Destination register.
+        dst: u32,
+        /// Global index.
+        global: u32,
+    },
+    /// Stack slot address: `sp_base + off`, with `off` resolved at decode
+    /// time (this kills the per-function offset `HashMap`).
+    Alloca {
+        /// Destination register.
+        dst: u32,
+        /// Byte offset within the frame.
+        off: u64,
+    },
+    /// Scalar load.
+    Load {
+        /// Destination register.
+        dst: u32,
+        /// Address register.
+        addr: u32,
+        /// Access class and size.
+        cls: ScalarClass,
+    },
+    /// Scalar store.
+    Store {
+        /// Address register.
+        addr: u32,
+        /// Value register.
+        value: u32,
+        /// Access class and size.
+        cls: ScalarClass,
+    },
+    /// `base + index * stride` with the element stride pre-resolved.
+    PtrAdd {
+        /// Destination register.
+        dst: u32,
+        /// Base pointer register.
+        base: u32,
+        /// Index register.
+        index: u32,
+        /// Element stride in bytes.
+        stride: u64,
+    },
+    /// `base + off` with the field offset pre-resolved.
+    FieldAddr {
+        /// Destination register.
+        dst: u32,
+        /// Base pointer register.
+        base: u32,
+        /// Field byte offset.
+        off: u64,
+    },
+    /// Two-operand arithmetic with the result width pre-resolved from the
+    /// left operand's type.
+    Bin {
+        /// Destination register.
+        dst: u32,
+        /// Operation.
+        op: BinOp,
+        /// Left operand register.
+        lhs: u32,
+        /// Right operand register.
+        rhs: u32,
+        /// Integer result width (unused by float ops).
+        width: IntTy,
+    },
+    /// Integer/pointer comparison.
+    Icmp {
+        /// Destination register.
+        dst: u32,
+        /// Predicate.
+        pred: Pred,
+        /// Left operand register.
+        lhs: u32,
+        /// Right operand register.
+        rhs: u32,
+    },
+    /// Float comparison.
+    Fcmp {
+        /// Destination register.
+        dst: u32,
+        /// Predicate.
+        pred: Pred,
+        /// Left operand register.
+        lhs: u32,
+        /// Right operand register.
+        rhs: u32,
+    },
+    /// Scalar conversion with the integer target width pre-resolved.
+    Cast {
+        /// Destination register.
+        dst: u32,
+        /// Conversion kind.
+        kind: CastKind,
+        /// Source register.
+        src: u32,
+        /// Target integer width (sext/zext/trunc only).
+        width: IntTy,
+    },
+    /// `cond ? if_true : if_false`.
+    Select {
+        /// Destination register.
+        dst: u32,
+        /// Condition register.
+        cond: u32,
+        /// Register taken when true.
+        if_true: u32,
+        /// Register taken when false.
+        if_false: u32,
+    },
+    /// Execute the whole phi batch at this block's head: one copy list per
+    /// predecessor edge, applied in parallel. Counts as one instruction,
+    /// exactly like the reference interpreter's en-bloc phi evaluation.
+    PhiBatch,
+    /// Direct call to a user function.
+    Call {
+        /// Register receiving the return value (also the call's id).
+        dst: u32,
+        /// Callee function index.
+        callee: u32,
+        /// Argument registers.
+        args: OperandRange,
+    },
+    /// Direct-dispatch intrinsic call.
+    Intrinsic {
+        /// Register receiving the result (if the intrinsic returns one).
+        dst: u32,
+        /// The intrinsic.
+        intr: Intrinsic,
+        /// Argument registers.
+        args: OperandRange,
+    },
+    /// Unconditional branch.
+    Jmp {
+        /// Target block index.
+        target: u32,
+    },
+    /// Conditional branch.
+    Br {
+        /// Condition register.
+        cond: u32,
+        /// Block index when true.
+        if_true: u32,
+        /// Block index when false.
+        if_false: u32,
+    },
+    /// Return ([`NO_REG`] = void).
+    Ret {
+        /// Returned register or [`NO_REG`].
+        value: u32,
+    },
+    /// Trap if executed.
+    Unreachable,
+    /// A load/store of an aggregate type: traps when executed (matching
+    /// the reference interpreter, which rejects it at execution time, not
+    /// load time).
+    TrapAggregate {
+        /// Whether the faulting access was a store.
+        store: bool,
+    },
+}
+
+impl DecodedInst {
+    /// The [`Opcode`] this decoded instruction accounts as — identical to
+    /// the classification of the IR instruction it was decoded from.
+    #[inline]
+    pub fn opcode(self) -> Opcode {
+        match self {
+            DecodedInst::ConstI { .. }
+            | DecodedInst::ConstF { .. }
+            | DecodedInst::ConstNull { .. }
+            | DecodedInst::ConstGlobal { .. } => Opcode::Const,
+            DecodedInst::Alloca { .. } => Opcode::Alloca,
+            DecodedInst::Load { .. } => Opcode::Load,
+            DecodedInst::Store { .. } => Opcode::Store,
+            DecodedInst::PtrAdd { .. } => Opcode::PtrAdd,
+            DecodedInst::FieldAddr { .. } => Opcode::FieldAddr,
+            DecodedInst::Bin { .. } => Opcode::Bin,
+            DecodedInst::Icmp { .. } => Opcode::Icmp,
+            DecodedInst::Fcmp { .. } => Opcode::Fcmp,
+            DecodedInst::Cast { .. } => Opcode::Cast,
+            DecodedInst::Select { .. } => Opcode::Select,
+            DecodedInst::PhiBatch => Opcode::Phi,
+            DecodedInst::Call { .. } => Opcode::Call,
+            DecodedInst::Intrinsic { .. } => Opcode::CallIntrinsic,
+            DecodedInst::Jmp { .. } => Opcode::Jmp,
+            DecodedInst::Br { .. } => Opcode::Br,
+            DecodedInst::Ret { .. } => Opcode::Ret,
+            DecodedInst::Unreachable => Opcode::Unreachable,
+            DecodedInst::TrapAggregate { store } => {
+                if store {
+                    Opcode::Store
+                } else {
+                    Opcode::Load
+                }
+            }
+        }
+    }
+}
+
+/// The copy list for entering a phi-headed block from one predecessor.
+#[derive(Debug, Clone, Copy)]
+pub struct PhiEdge {
+    /// The predecessor block this edge handles.
+    pub pred: BlockId,
+    /// First index in [`DecodedFunc::phi_copies`].
+    pub start: u32,
+    /// Number of `(dst, src)` copies (one per phi).
+    pub len: u32,
+}
+
+/// One decoded basic block: the leading phis collapse into a single
+/// [`DecodedInst::PhiBatch`] slot, the rest map one-to-one.
+#[derive(Debug, Clone, Default)]
+pub struct DecodedBlock {
+    /// The instruction stream. Shared (`Rc`) so the VM can pin the
+    /// current block's code in the active frame and fetch with a single
+    /// index, instead of re-walking `funcs[f].blocks[b].code` every step.
+    pub code: std::rc::Rc<[DecodedInst]>,
+    /// Per-predecessor phi copy lists (empty when the block has no phis).
+    /// An entry exists only for predecessors every phi covers; entering
+    /// from any other block traps, as in the reference interpreter.
+    pub phi_edges: Vec<PhiEdge>,
+}
+
+/// One decoded function.
+#[derive(Debug, Clone)]
+pub struct DecodedFunc {
+    /// Stack frame size in bytes (allocas + spill margin).
+    pub frame_size: u64,
+    /// Register file size (args + instruction results).
+    pub num_values: usize,
+    /// Decoded blocks, indexed by [`BlockId`].
+    pub blocks: Vec<DecodedBlock>,
+    /// Argument-register pool for calls and intrinsics.
+    pub operands: Vec<u32>,
+    /// `(dst, src)` register pairs for phi edges.
+    pub phi_copies: Vec<(u32, u32)>,
+    /// Dense alloca frame offsets by value index ([`u64::MAX`] = not an
+    /// alloca). The decoded stream carries offsets inline; this table
+    /// serves the reference engine, replacing its per-function `HashMap`.
+    pub alloca_offsets: Vec<u64>,
+}
+
+impl DecodedFunc {
+    /// The frame offset of alloca `value_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a placed alloca.
+    #[inline]
+    pub fn alloca_offset(&self, value_index: usize) -> u64 {
+        let off = self.alloca_offsets[value_index];
+        assert_ne!(off, u64::MAX, "value is not an alloca");
+        off
+    }
+}
+
+/// A module compiled to its flat executable form.
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    /// Decoded functions, indexed by [`FuncId`](carat_ir::FuncId).
+    pub funcs: Vec<DecodedFunc>,
+}
+
+impl DecodedProgram {
+    /// Decode every function of `module`. Pure and infallible: malformed
+    /// constructs (aggregate accesses, incomplete phi webs) decode to
+    /// trapping forms so behavior stays identical to the reference
+    /// interpreter, which also rejects them only upon execution.
+    pub fn decode(module: &Module) -> DecodedProgram {
+        DecodedProgram {
+            funcs: module
+                .func_ids()
+                .map(|fid| decode_func(module.func(fid)))
+                .collect(),
+        }
+    }
+}
+
+fn decode_func(f: &carat_ir::Function) -> DecodedFunc {
+    // Alloca offsets: identical layout walk to the seed interpreter's
+    // FuncMeta construction (alignment-rounded, 8-byte minimum stride).
+    let mut alloca_offsets = vec![u64::MAX; f.num_values()];
+    let mut off = 0u64;
+    for (_, v, inst) in f.insts_in_layout_order() {
+        if let Inst::Alloca(ty) = inst {
+            let align = ty.align().max(1);
+            off = off.div_ceil(align) * align;
+            alloca_offsets[v.index()] = off;
+            off += ty.stride().max(8);
+        }
+    }
+
+    let mut operands: Vec<u32> = Vec::new();
+    let mut phi_copies: Vec<(u32, u32)> = Vec::new();
+    let mut blocks: Vec<DecodedBlock> = Vec::with_capacity(f.num_blocks());
+
+    for b in f.block_ids() {
+        let insts = &f.block(b).insts;
+        let mut code: Vec<DecodedInst> = Vec::with_capacity(insts.len());
+        let mut phi_edges: Vec<PhiEdge> = Vec::new();
+
+        // Leading phis collapse into one PhiBatch with per-edge copy lists.
+        let phis: Vec<(u32, &[(BlockId, carat_ir::ValueId)])> = insts
+            .iter()
+            .map_while(|&v| {
+                f.inst(v)
+                    .and_then(Inst::phi_incomings)
+                    .map(|inc| (v.0, inc))
+            })
+            .collect();
+        if !phis.is_empty() {
+            code.push(DecodedInst::PhiBatch);
+            let mut preds: Vec<BlockId> = Vec::new();
+            for (_, inc) in &phis {
+                for (p, _) in inc.iter() {
+                    if !preds.contains(p) {
+                        preds.push(*p);
+                    }
+                }
+            }
+            for pred in preds {
+                // Only complete edges are materialized; a phi missing this
+                // predecessor makes entry from it trap at runtime.
+                let Some(copies) = phis
+                    .iter()
+                    .map(|&(dst, inc)| {
+                        inc.iter()
+                            .find(|(p, _)| *p == pred)
+                            .map(|&(_, src)| (dst, src.0))
+                    })
+                    .collect::<Option<Vec<(u32, u32)>>>()
+                else {
+                    continue;
+                };
+                let start = phi_copies.len() as u32;
+                let len = copies.len() as u32;
+                phi_copies.extend(copies);
+                phi_edges.push(PhiEdge { pred, start, len });
+            }
+        }
+
+        for &v in &insts[phis.len()..] {
+            let Some(inst) = f.inst(v) else { continue };
+            code.push(decode_inst(f, v.0, inst, &alloca_offsets, &mut operands));
+        }
+        blocks.push(DecodedBlock {
+            code: code.into(),
+            phi_edges,
+        });
+    }
+
+    DecodedFunc {
+        frame_size: frame_size(f),
+        num_values: f.num_values(),
+        blocks,
+        operands,
+        phi_copies,
+        alloca_offsets,
+    }
+}
+
+fn decode_inst(
+    f: &carat_ir::Function,
+    dst: u32,
+    inst: &Inst,
+    alloca_offsets: &[u64],
+    operands: &mut Vec<u32>,
+) -> DecodedInst {
+    let mut pool = |args: &[carat_ir::ValueId]| {
+        let start = operands.len() as u32;
+        operands.extend(args.iter().map(|a| a.0));
+        OperandRange {
+            start,
+            len: args.len() as u32,
+        }
+    };
+    match inst {
+        Inst::Const(c) => match c {
+            Const::Int(x, w) => DecodedInst::ConstI {
+                dst,
+                val: w.wrap(*x),
+            },
+            Const::F64(x) => DecodedInst::ConstF { dst, val: *x },
+            Const::Null => DecodedInst::ConstNull { dst },
+            Const::GlobalAddr(g) => DecodedInst::ConstGlobal { dst, global: g.0 },
+        },
+        Inst::Alloca(_) => DecodedInst::Alloca {
+            dst,
+            off: alloca_offsets[dst as usize],
+        },
+        Inst::Load { ty, addr } => match scalar_class(ty) {
+            Some(cls) => DecodedInst::Load {
+                dst,
+                addr: addr.0,
+                cls,
+            },
+            None => DecodedInst::TrapAggregate { store: false },
+        },
+        Inst::Store { ty, addr, value } => match scalar_class(ty) {
+            Some(cls) => DecodedInst::Store {
+                addr: addr.0,
+                value: value.0,
+                cls,
+            },
+            None => DecodedInst::TrapAggregate { store: true },
+        },
+        Inst::PtrAdd { base, index, elem } => DecodedInst::PtrAdd {
+            dst,
+            base: base.0,
+            index: index.0,
+            stride: elem.stride(),
+        },
+        Inst::FieldAddr {
+            base,
+            struct_ty,
+            field,
+        } => DecodedInst::FieldAddr {
+            dst,
+            base: base.0,
+            off: struct_ty.field_offset(*field as usize),
+        },
+        Inst::Bin { op, lhs, rhs } => DecodedInst::Bin {
+            dst,
+            op: *op,
+            lhs: lhs.0,
+            rhs: rhs.0,
+            // Same resolution as the reference interpreter: the result
+            // width follows the left operand's type.
+            width: f
+                .value_type(*lhs)
+                .and_then(|t| t.int_width())
+                .unwrap_or(IntTy::I64),
+        },
+        Inst::Icmp { pred, lhs, rhs } => DecodedInst::Icmp {
+            dst,
+            pred: *pred,
+            lhs: lhs.0,
+            rhs: rhs.0,
+        },
+        Inst::Fcmp { pred, lhs, rhs } => DecodedInst::Fcmp {
+            dst,
+            pred: *pred,
+            lhs: lhs.0,
+            rhs: rhs.0,
+        },
+        Inst::Cast { kind, value, to } => DecodedInst::Cast {
+            dst,
+            kind: *kind,
+            src: value.0,
+            width: to.int_width().unwrap_or(IntTy::I64),
+        },
+        Inst::Select {
+            cond,
+            if_true,
+            if_false,
+        } => DecodedInst::Select {
+            dst,
+            cond: cond.0,
+            if_true: if_true.0,
+            if_false: if_false.0,
+        },
+        // A phi past the leading run never executes in verified IR; decode
+        // it as a batch head so the malformed case still traps or resolves
+        // through the block's edge table rather than crashing the decoder.
+        Inst::Phi { .. } => DecodedInst::PhiBatch,
+        Inst::Call { callee, args, .. } => DecodedInst::Call {
+            dst,
+            callee: callee.0,
+            args: pool(args),
+        },
+        Inst::CallIntrinsic { intr, args } => DecodedInst::Intrinsic {
+            dst,
+            intr: *intr,
+            args: pool(args),
+        },
+        Inst::Jmp { target } => DecodedInst::Jmp { target: target.0 },
+        Inst::Br {
+            cond,
+            if_true,
+            if_false,
+        } => DecodedInst::Br {
+            cond: cond.0,
+            if_true: if_true.0,
+            if_false: if_false.0,
+        },
+        Inst::Ret { value } => DecodedInst::Ret {
+            value: value.map(|v| v.0).unwrap_or(NO_REG),
+        },
+        Inst::Unreachable => DecodedInst::Unreachable,
+    }
+}
+
+fn scalar_class(ty: &carat_ir::Type) -> Option<ScalarClass> {
+    match ty {
+        carat_ir::Type::F64 => Some(ScalarClass::F64),
+        carat_ir::Type::Ptr => Some(ScalarClass::Ptr),
+        carat_ir::Type::Int(w) => Some(ScalarClass::Int(*w)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carat_ir::{ModuleBuilder, Type};
+
+    #[test]
+    fn decodes_constants_and_allocas() {
+        let mut mb = ModuleBuilder::new("t");
+        let fid = mb.declare("main", vec![], Some(Type::I64));
+        {
+            let mut b = mb.define(fid);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let slot = b.alloca(Type::I64);
+            let x = b.const_i64(7);
+            b.store(Type::I64, slot, x);
+            let y = b.load(Type::I64, slot);
+            b.ret(Some(y));
+        }
+        let m = mb.finish();
+        let prog = DecodedProgram::decode(&m);
+        let f = &prog.funcs[0];
+        assert_eq!(f.blocks.len(), 1);
+        let code = &f.blocks[0].code;
+        assert!(matches!(code[0], DecodedInst::Alloca { off: 0, .. }));
+        assert!(matches!(code[1], DecodedInst::ConstI { val: 7, .. }));
+        assert!(matches!(code[2], DecodedInst::Store { .. }));
+        assert!(matches!(code[3], DecodedInst::Load { .. }));
+        assert!(matches!(code[4], DecodedInst::Ret { .. }));
+        assert_eq!(f.alloca_offset(code_dst(code[0]) as usize), 0);
+    }
+
+    #[test]
+    fn phi_blocks_collapse_to_batches() {
+        let mut mb = ModuleBuilder::new("t");
+        let fid = mb.declare("main", vec![], Some(Type::I64));
+        {
+            let mut b = mb.define(fid);
+            let e = b.block("entry");
+            let h = b.block("head");
+            let x = b.block("exit");
+            b.switch_to(e);
+            let z = b.const_i64(0);
+            let n = b.const_i64(3);
+            let one = b.const_i64(1);
+            b.jmp(h);
+            b.switch_to(h);
+            let i = b.phi(Type::I64, vec![(e, z)]);
+            let c = b.icmp(carat_ir::Pred::Slt, i, n);
+            let i2 = b.add(i, one);
+            b.phi_add_incoming(i, h, i2);
+            b.br(c, h, x);
+            b.switch_to(x);
+            b.ret(Some(i));
+        }
+        let m = mb.finish();
+        let prog = DecodedProgram::decode(&m);
+        let head = &prog.funcs[0].blocks[1];
+        assert!(matches!(head.code[0], DecodedInst::PhiBatch));
+        assert_eq!(head.phi_edges.len(), 2, "one edge per predecessor");
+        for e in &head.phi_edges {
+            assert_eq!(e.len, 1, "one copy per phi");
+        }
+    }
+
+    fn code_dst(i: DecodedInst) -> u32 {
+        match i {
+            DecodedInst::Alloca { dst, .. } => dst,
+            _ => panic!("expected alloca"),
+        }
+    }
+}

@@ -33,13 +33,20 @@
 #![warn(missing_docs)]
 
 mod counters;
+mod decode;
 mod heap;
 mod machine;
 mod tlb;
 
-pub use counters::{MoveBreakdownSum, PerfCounters};
+pub use counters::{MoveBreakdownSum, OpcodeMix, PerfCounters};
+pub use decode::{
+    DecodedBlock, DecodedFunc, DecodedInst, DecodedProgram, OperandRange, PhiEdge, ScalarClass,
+    NO_REG,
+};
 pub use heap::HeapAllocator;
-pub use machine::{Mode, MoveDriverConfig, RunResult, SwapDriverConfig, Vm, VmConfig, VmError};
+pub use machine::{
+    Engine, Mode, MoveDriverConfig, RunResult, SwapDriverConfig, Vm, VmConfig, VmError,
+};
 pub use tlb::{Tlb, TranslationUnit};
 
 #[cfg(test)]
@@ -115,7 +122,10 @@ mod tests {
             mode: Mode::Traditional,
             ..VmConfig::default()
         };
-        let r = Vm::new(array_sum_module(4096 * 4), cfg).unwrap().run().unwrap();
+        let r = Vm::new(array_sum_module(4096 * 4), cfg)
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(r.ret, (0..16384i64).sum::<i64>());
         assert!(r.dtlb_misses > 0, "streaming array misses the DTLB");
         assert!(r.pagewalks > 0);
@@ -381,8 +391,14 @@ mod tests {
             b.ret(Some(r));
         }
         let m = mb.finish();
-        let r1 = Vm::new(m.clone(), VmConfig::default()).unwrap().run().unwrap();
-        let r2 = Vm::new(m.clone(), VmConfig::default()).unwrap().run().unwrap();
+        let r1 = Vm::new(m.clone(), VmConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        let r2 = Vm::new(m.clone(), VmConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(r1.ret, r2.ret);
         let r3 = Vm::new(
             m,
@@ -407,7 +423,10 @@ mod tests {
         ";
         let module = carat_frontend::compile_cm("deep", src).unwrap();
         let m = compile(module, CompileOptions::default());
-        let r = Vm::new(m.clone(), VmConfig::default()).unwrap().run().unwrap();
+        let r = Vm::new(m.clone(), VmConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(r.ret, 5000);
         assert!(
             r.counters.stack_expansions >= 1,
@@ -425,7 +444,10 @@ mod tests {
         .unwrap()
         .run()
         .unwrap_err();
-        assert!(matches!(err, VmError::GuardFault { write: true, .. }), "{err}");
+        assert!(
+            matches!(err, VmError::GuardFault { write: true, .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -503,7 +525,10 @@ mod tests {
         let module = carat_frontend::compile_cm("both", src).unwrap();
         let m = compile(module, CompileOptions::default());
         let expect = {
-            let r = Vm::new(m.clone(), VmConfig::default()).unwrap().run().unwrap();
+            let r = Vm::new(m.clone(), VmConfig::default())
+                .unwrap()
+                .run()
+                .unwrap();
             r.ret
         };
         let r = Vm::new(
@@ -547,7 +572,10 @@ mod tests {
         ";
         let module = carat_frontend::compile_cm("threads", src).unwrap();
         let m = compile(module, CompileOptions::default());
-        let r = Vm::new(m.clone(), VmConfig::default()).unwrap().run().unwrap();
+        let r = Vm::new(m.clone(), VmConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(r.ret, (0..1000i64).sum::<i64>());
         // Deterministic across runs.
         let r2 = Vm::new(m, VmConfig::default()).unwrap().run().unwrap();
@@ -580,7 +608,11 @@ mod tests {
         ";
         let module = carat_frontend::compile_cm("shared", src).unwrap();
         let m = compile(module, CompileOptions::default());
-        let expect = Vm::new(m.clone(), VmConfig::default()).unwrap().run().unwrap().ret;
+        let expect = Vm::new(m.clone(), VmConfig::default())
+            .unwrap()
+            .run()
+            .unwrap()
+            .ret;
         let r = Vm::new(
             m,
             VmConfig {
@@ -604,7 +636,10 @@ mod tests {
         let module = carat_frontend::compile_cm("selfjoin", src).unwrap();
         let m = compile(module, CompileOptions::baseline());
         let err = Vm::new(m, VmConfig::default()).unwrap().run().unwrap_err();
-        assert!(matches!(err, VmError::Trap(ref m) if m.contains("join")), "{err}");
+        assert!(
+            matches!(err, VmError::Trap(ref m) if m.contains("join")),
+            "{err}"
+        );
         let src2 = "int main() { return join(7); }";
         let module2 = carat_frontend::compile_cm("badjoin", src2).unwrap();
         let m2 = compile(module2, CompileOptions::baseline());
@@ -626,7 +661,10 @@ mod tests {
             b.intr(carat_ir::Intrinsic::PrintF64, vec![pi]);
             b.ret(Some(x));
         }
-        let r = Vm::new(mb.finish(), VmConfig::default()).unwrap().run().unwrap();
+        let r = Vm::new(mb.finish(), VmConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(r.output, vec!["7".to_string(), "3.500000".to_string()]);
     }
 }

@@ -14,15 +14,14 @@
 //! simulated rate (Figure 9 / Table 3 methodology).
 
 use crate::counters::PerfCounters;
+use crate::decode::{DecodedInst, DecodedProgram, OperandRange, ScalarClass, NO_REG};
 use crate::heap::HeapAllocator;
 use crate::tlb::TranslationUnit;
-use carat_core::guards::frame_size;
 use carat_ir::{
     BinOp, BlockId, CastKind, Const, FuncId, Inst, IntTy, Intrinsic, Module, Pred, Type, ValueId,
 };
 use carat_kernel::{LoadConfig, LoadError, ProcessImage, SimKernel};
-use carat_runtime::{Access, AllocKind, AllocationTable, GuardImpl, TrackStats};
-use std::collections::HashMap;
+use carat_runtime::{Access, AllocKind, AllocationTable, CostModel, GuardImpl, TrackStats};
 use std::error::Error;
 use std::fmt;
 
@@ -56,11 +55,31 @@ pub struct SwapDriverConfig {
     pub max_swaps: u64,
 }
 
+/// Which interpreter core executes instructions.
+///
+/// Both engines implement identical semantics and identical accounting —
+/// every [`PerfCounters`] field, guard/tracking behavior, and world-stop
+/// interleaving match exactly (enforced by the differential test suite).
+/// They differ only in host-side speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Execute over the flat pre-decoded instruction stream
+    /// (see [`crate::decode`]): no per-step cloning, no hash lookups.
+    #[default]
+    Decoded,
+    /// Walk the IR arena directly, cloning each instruction — the original
+    /// interpreter, retained as the semantic reference for differential
+    /// testing and as the `--reference` baseline in `interp_throughput`.
+    Reference,
+}
+
 /// VM configuration.
 #[derive(Debug, Clone)]
 pub struct VmConfig {
     /// Execution mode.
     pub mode: Mode,
+    /// Interpreter core (decoded fast path by default).
+    pub engine: Engine,
     /// Guard mechanism for guard intrinsics.
     pub guard_impl: GuardImpl,
     /// Abort after this many IR instructions (runaway protection).
@@ -93,6 +112,7 @@ impl Default for VmConfig {
     fn default() -> VmConfig {
         VmConfig {
             mode: Mode::Carat,
+            engine: Engine::default(),
             guard_impl: GuardImpl::IfTree,
             max_steps: 2_000_000_000,
             max_cycles: u64::MAX,
@@ -226,12 +246,9 @@ struct Frame {
     prev_block: Option<BlockId>,
     sp_base: u64,
     ret_to: Option<ValueId>,
-}
-
-/// Per-function static info the interpreter precomputes.
-struct FuncMeta {
-    frame_size: u64,
-    alloca_offsets: HashMap<ValueId, u64>,
+    /// The current block's decoded code, pinned here so the hot fetch is
+    /// one indexed load (kept in sync by `push_frame` and `jump`).
+    code: std::rc::Rc<[DecodedInst]>,
 }
 
 /// Bookkeeping for writing a patched register snapshot back into every
@@ -273,7 +290,12 @@ pub struct Vm {
     tlb: TranslationUnit,
     counters: PerfCounters,
     output: Vec<String>,
-    meta: Vec<FuncMeta>,
+    /// The module compiled to its flat executable form (also carries the
+    /// per-function frame sizes and alloca offsets the reference engine
+    /// reads).
+    program: DecodedProgram,
+    /// Reusable buffer for parallel phi-batch copies (decoded engine).
+    phi_scratch: Vec<Value>,
     rng: u64,
     sp: u64,
     frames: Vec<Frame>,
@@ -341,37 +363,12 @@ impl Vm {
         image: ProcessImage,
         cfg: VmConfig,
     ) -> Vm {
-        let meta = image
-            .module
-            .func_ids()
-            .map(|fid| {
-                let f = image.module.func(fid);
-                let mut alloca_offsets = HashMap::new();
-                let mut off = 0u64;
-                for (_, v, inst) in f.insts_in_layout_order() {
-                    if let Inst::Alloca(ty) = inst {
-                        off = off.div_ceil(ty.align().max(1)) * ty.align().max(1);
-                        alloca_offsets.insert(v, off);
-                        off += ty.stride().max(8);
-                    }
-                }
-                FuncMeta {
-                    frame_size: frame_size(f),
-                    alloca_offsets,
-                }
-            })
-            .collect();
+        let program = DecodedProgram::decode(&image.module);
         let heap = HeapAllocator::new(image.heap.0, image.heap.1);
         let tlb = TranslationUnit::new(&kernel.cost);
         let sp = image.stack_top();
-        let next_move_at = cfg
-            .move_driver
-            .map(|d| d.period_cycles)
-            .unwrap_or(u64::MAX);
-        let next_swap_at = cfg
-            .swap_driver
-            .map(|d| d.period_cycles)
-            .unwrap_or(u64::MAX);
+        let next_move_at = cfg.move_driver.map(|d| d.period_cycles).unwrap_or(u64::MAX);
+        let next_swap_at = cfg.swap_driver.map(|d| d.period_cycles).unwrap_or(u64::MAX);
         let seed = cfg.seed;
         let stack_base = image.stack.0;
         let mut vm = Vm {
@@ -383,7 +380,8 @@ impl Vm {
             tlb,
             counters: PerfCounters::default(),
             output: Vec::new(),
-            meta,
+            program,
+            phi_scratch: Vec::new(),
             rng: seed | 1,
             sp,
             frames: Vec::new(),
@@ -483,8 +481,7 @@ impl Vm {
         ret_to: Option<ValueId>,
     ) -> Result<(), VmError> {
         let f = self.image.module.func(func);
-        let meta = &self.meta[func.index()];
-        let fsize = meta.frame_size;
+        let fsize = self.program.funcs[func.index()].frame_size;
         if self.sp < fsize {
             return Err(VmError::Trap("stack exhausted".into()));
         }
@@ -514,6 +511,9 @@ impl Vm {
             prev_block: None,
             sp_base,
             ret_to,
+            code: self.program.funcs[func.index()].blocks[entry.index()]
+                .code
+                .clone(),
         });
         self.counters.calls += 1;
         self.counters.cycles += self.kernel.cost.call;
@@ -522,6 +522,16 @@ impl Vm {
 
     /// Execute one instruction; returns `Some(ret)` when `main` returns.
     fn step(&mut self) -> Result<Option<i64>, VmError> {
+        match self.cfg.engine {
+            Engine::Decoded => self.step_decoded(),
+            Engine::Reference => self.step_reference(),
+        }
+    }
+
+    /// Reference engine: clone each instruction out of the IR arena. Kept
+    /// byte-for-byte semantically identical to the decoded fast path; any
+    /// observable divergence between the two is a bug.
+    fn step_reference(&mut self) -> Result<Option<i64>, VmError> {
         let frame = self.frames.last().expect("non-empty");
         let fid = frame.func;
         let f = self.image.module.func(fid);
@@ -530,6 +540,7 @@ impl Vm {
         let v = insts[frame.idx];
         let inst = f.inst(v).expect("placed instruction").clone();
         self.counters.instructions += 1;
+        self.counters.opcode_mix.record(inst.opcode());
         let cost = &self.kernel.cost;
 
         macro_rules! frame_mut {
@@ -555,7 +566,7 @@ impl Vm {
                 frame_mut!().idx += 1;
             }
             Inst::Alloca(_) => {
-                let off = self.meta[fid.index()].alloca_offsets[&v];
+                let off = self.program.funcs[fid.index()].alloca_offset(v.index());
                 let addr = self.frames.last().unwrap().sp_base + off;
                 self.counters.cycles += self.kernel.cost.alu;
                 frame_mut!().regs[v.index()] = Value::P(addr);
@@ -568,9 +579,7 @@ impl Vm {
                 let val = match ty {
                     Type::F64 => Value::F(self.kernel.mem.read_f64(paddr)),
                     Type::Ptr => Value::P(self.kernel.mem.read_uint(paddr, 8)),
-                    Type::Int(w) => {
-                        Value::I(w.wrap(self.kernel.mem.read_uint(paddr, size) as i64))
-                    }
+                    Type::Int(w) => Value::I(w.wrap(self.kernel.mem.read_uint(paddr, size) as i64)),
                     _ => return Err(VmError::Trap("load of aggregate".into())),
                 };
                 self.counters.loads += 1;
@@ -615,7 +624,14 @@ impl Vm {
                 frame_mut!().idx += 1;
             }
             Inst::Bin { op, lhs, rhs } => {
-                let out = self.eval_bin(op, reg!(lhs), reg!(rhs), fid, lhs)?;
+                let width = self
+                    .image
+                    .module
+                    .func(fid)
+                    .value_type(lhs)
+                    .and_then(|t| t.int_width())
+                    .unwrap_or(IntTy::I64);
+                let out = self.eval_bin(op, reg!(lhs), reg!(rhs), width)?;
                 frame_mut!().regs[v.index()] = out;
                 frame_mut!().idx += 1;
             }
@@ -717,7 +733,7 @@ impl Vm {
                 let out = value.map(|x| reg!(x));
                 let frame = self.frames.pop().expect("frame");
                 // Release the stack frame.
-                self.sp = frame.sp_base + self.meta[frame.func.index()].frame_size;
+                self.sp = frame.sp_base + self.program.funcs[frame.func.index()].frame_size;
                 self.counters.cycles += self.kernel.cost.branch;
                 match self.frames.last_mut() {
                     Some(parent) => {
@@ -735,6 +751,293 @@ impl Vm {
             }
         }
         Ok(None)
+    }
+
+    /// Decoded engine: execute one instruction from the flat pre-resolved
+    /// stream. No cloning, no arena walk, no hash lookups — the decoded
+    /// instruction is `Copy` and carries its operand register slots,
+    /// immediates, and resolved offsets inline.
+    ///
+    /// Borrow discipline: `fr` (the current frame) is borrowed once, up
+    /// front, from `self.frames`; counters, the cost model, the decoded
+    /// program, and the global image are all disjoint fields, so simple
+    /// arms execute with that single borrow. Arms that call back into
+    /// `&mut self` helpers (memory access, calls, intrinsics) let `fr`
+    /// lapse and re-borrow afterwards.
+    fn step_decoded(&mut self) -> Result<Option<i64>, VmError> {
+        let fr = self.frames.last_mut().expect("non-empty");
+        let fid = fr.func;
+        let block = fr.block;
+        let inst = fr.code[fr.idx];
+        self.counters.instructions += 1;
+        self.counters.opcode_mix.record(inst.opcode());
+
+        match inst {
+            DecodedInst::ConstI { dst, val } => {
+                fr.regs[dst as usize] = Value::I(val);
+                fr.idx += 1;
+            }
+            DecodedInst::ConstF { dst, val } => {
+                fr.regs[dst as usize] = Value::F(val);
+                fr.idx += 1;
+            }
+            DecodedInst::ConstNull { dst } => {
+                fr.regs[dst as usize] = Value::P(0);
+                fr.idx += 1;
+            }
+            DecodedInst::ConstGlobal { dst, global } => {
+                // Globals relocate (moves, swaps): always read the current
+                // address out of the image.
+                fr.regs[dst as usize] = Value::P(self.image.globals[global as usize]);
+                fr.idx += 1;
+            }
+            DecodedInst::Alloca { dst, off } => {
+                self.counters.cycles += self.kernel.cost.alu;
+                fr.regs[dst as usize] = Value::P(fr.sp_base + off);
+                fr.idx += 1;
+            }
+            DecodedInst::Load { dst, addr, cls } => {
+                let a = fr.regs[addr as usize].as_p();
+                let size = cls.size();
+                let paddr = self.data_access(a, size, false)?;
+                let val = match cls {
+                    ScalarClass::F64 => Value::F(self.kernel.mem.read_f64(paddr)),
+                    ScalarClass::Ptr => Value::P(self.kernel.mem.read_uint(paddr, 8)),
+                    ScalarClass::Int(w) => {
+                        Value::I(w.wrap(self.kernel.mem.read_uint(paddr, size) as i64))
+                    }
+                };
+                self.counters.loads += 1;
+                let fr = self.frames.last_mut().expect("frame");
+                fr.regs[dst as usize] = val;
+                fr.idx += 1;
+            }
+            DecodedInst::Store { addr, value, cls } => {
+                let a = fr.regs[addr as usize].as_p();
+                let size = cls.size();
+                let paddr = self.data_access(a, size, true)?;
+                // Read the value register only AFTER the access resolved:
+                // a poison address triggers a page-in world-stop inside
+                // `data_access`, which patches registers — a value read
+                // earlier would be stale.
+                let fr = self.frames.last_mut().expect("frame");
+                let x = fr.regs[value as usize];
+                fr.idx += 1;
+                match cls {
+                    ScalarClass::F64 => self.kernel.mem.write_f64(paddr, x.as_f()),
+                    ScalarClass::Ptr => self.kernel.mem.write_uint(paddr, x.as_p(), 8),
+                    ScalarClass::Int(_) => self.kernel.mem.write_uint(paddr, x.as_i() as u64, size),
+                }
+                self.counters.stores += 1;
+            }
+            DecodedInst::PtrAdd {
+                dst,
+                base,
+                index,
+                stride,
+            } => {
+                self.counters.cycles += self.kernel.cost.alu;
+                let b = fr.regs[base as usize].as_p();
+                let i = fr.regs[index as usize].as_i();
+                fr.regs[dst as usize] =
+                    Value::P(b.wrapping_add((i.wrapping_mul(stride as i64)) as u64));
+                fr.idx += 1;
+            }
+            DecodedInst::FieldAddr { dst, base, off } => {
+                self.counters.cycles += self.kernel.cost.alu;
+                fr.regs[dst as usize] = Value::P(fr.regs[base as usize].as_p() + off);
+                fr.idx += 1;
+            }
+            DecodedInst::Bin {
+                dst,
+                op,
+                lhs,
+                rhs,
+                width,
+            } => {
+                let (a, b) = (fr.regs[lhs as usize], fr.regs[rhs as usize]);
+                let out = self.eval_bin(op, a, b, width)?;
+                let fr = self.frames.last_mut().expect("frame");
+                fr.regs[dst as usize] = out;
+                fr.idx += 1;
+            }
+            DecodedInst::Icmp {
+                dst,
+                pred,
+                lhs,
+                rhs,
+            } => {
+                self.counters.cycles += self.kernel.cost.alu;
+                let (a, b) = (fr.regs[lhs as usize], fr.regs[rhs as usize]);
+                let r = match (a, b) {
+                    (Value::P(_), _) | (_, Value::P(_)) => icmp_u(pred, a.as_p(), b.as_p()),
+                    _ => icmp_i(pred, a.as_i(), b.as_i()),
+                };
+                fr.regs[dst as usize] = Value::I(r as i64);
+                fr.idx += 1;
+            }
+            DecodedInst::Fcmp {
+                dst,
+                pred,
+                lhs,
+                rhs,
+            } => {
+                self.counters.cycles += self.kernel.cost.fpu;
+                let (a, b) = (fr.regs[lhs as usize].as_f(), fr.regs[rhs as usize].as_f());
+                let r = match pred {
+                    Pred::Eq => a == b,
+                    Pred::Ne => a != b,
+                    Pred::Slt | Pred::Ult => a < b,
+                    Pred::Sle => a <= b,
+                    Pred::Sgt => a > b,
+                    Pred::Sge | Pred::Uge => a >= b,
+                };
+                fr.regs[dst as usize] = Value::I(r as i64);
+                fr.idx += 1;
+            }
+            DecodedInst::Cast {
+                dst,
+                kind,
+                src,
+                width,
+            } => {
+                self.counters.cycles += self.kernel.cost.alu;
+                let x = fr.regs[src as usize];
+                fr.regs[dst as usize] = match kind {
+                    CastKind::Sext | CastKind::Zext | CastKind::Trunc => {
+                        Value::I(width.wrap(x.as_i()))
+                    }
+                    CastKind::SiToFp => Value::F(x.as_i() as f64),
+                    CastKind::FpToSi => Value::I(x.as_f() as i64),
+                    CastKind::PtrToInt => Value::I(x.as_p() as i64),
+                    CastKind::IntToPtr => Value::P(x.as_i() as u64),
+                };
+                fr.idx += 1;
+            }
+            DecodedInst::Select {
+                dst,
+                cond,
+                if_true,
+                if_false,
+            } => {
+                self.counters.cycles += self.kernel.cost.alu;
+                let c = fr.regs[cond as usize].as_i() != 0;
+                let src = if c { if_true } else { if_false };
+                fr.regs[dst as usize] = fr.regs[src as usize];
+                fr.idx += 1;
+            }
+            DecodedInst::PhiBatch => {
+                self.exec_phi_batch(fid, block)?;
+            }
+            DecodedInst::Call { dst, callee, args } => {
+                fr.idx += 1; // return lands after the call
+                let argv = self.gather_args_vec(fid, args);
+                self.push_frame(FuncId(callee), argv, Some(ValueId(dst)))?;
+            }
+            DecodedInst::Intrinsic { dst, intr, args } => {
+                let mut argv = [Value::Undef; 4];
+                let pool = &self.program.funcs[fid.index()].operands;
+                let n = args.len as usize;
+                for (slot, &r) in argv.iter_mut().zip(&pool[args.start as usize..][..n]) {
+                    *slot = fr.regs[r as usize];
+                }
+                let out = self.exec_intrinsic(intr, &argv[..n])?;
+                if self.block_current {
+                    // A blocking intrinsic (join): leave the instruction
+                    // pointer in place; the run loop's scheduler rotates
+                    // away and this instruction re-executes later.
+                    self.block_current = false;
+                    self.counters.cycles += self.kernel.cost.branch;
+                    return Ok(None);
+                }
+                let fr = self.frames.last_mut().expect("frame");
+                if let Some(x) = out {
+                    fr.regs[dst as usize] = x;
+                }
+                fr.idx += 1;
+            }
+            DecodedInst::Jmp { target } => {
+                self.counters.cycles += self.kernel.cost.branch;
+                self.jump(block, BlockId(target));
+            }
+            DecodedInst::Br {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                self.counters.cycles += self.kernel.cost.branch;
+                let c = fr.regs[cond as usize].as_i() != 0;
+                self.jump(block, BlockId(if c { if_true } else { if_false }));
+            }
+            DecodedInst::Ret { value } => {
+                let out = (value != NO_REG).then(|| fr.regs[value as usize]);
+                let frame = self.frames.pop().expect("frame");
+                // Release the stack frame.
+                self.sp = frame.sp_base + self.program.funcs[frame.func.index()].frame_size;
+                self.counters.cycles += self.kernel.cost.branch;
+                match self.frames.last_mut() {
+                    Some(parent) => {
+                        if let (Some(dst), Some(val)) = (frame.ret_to, out) {
+                            parent.regs[dst.index()] = val;
+                        }
+                    }
+                    None => {
+                        return Ok(Some(out.map(Value::as_i).unwrap_or(0)));
+                    }
+                }
+            }
+            DecodedInst::Unreachable => {
+                return Err(VmError::Trap("unreachable executed".into()));
+            }
+            DecodedInst::TrapAggregate { store } => {
+                return Err(VmError::Trap(
+                    if store {
+                        "store of aggregate"
+                    } else {
+                        "load of aggregate"
+                    }
+                    .into(),
+                ));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Apply the pre-resolved phi copy list for the edge `prev_block ->
+    /// block`, in parallel (all sources read before any destination is
+    /// written), then advance past the batch slot. Counts as one
+    /// instruction, matching [`Vm::exec_phis`].
+    fn exec_phi_batch(&mut self, fid: FuncId, block: BlockId) -> Result<(), VmError> {
+        let frame = self.frames.last().expect("frame");
+        let prev = frame
+            .prev_block
+            .ok_or_else(|| VmError::Trap("phi at function entry".into()))?;
+        let df = &self.program.funcs[fid.index()];
+        let blk = &df.blocks[block.index()];
+        let Some(edge) = blk.phi_edges.iter().find(|e| e.pred == prev) else {
+            return Err(VmError::Trap(format!("phi missing incoming from {prev}")));
+        };
+        let copies = &df.phi_copies[edge.start as usize..][..edge.len as usize];
+        self.phi_scratch.clear();
+        let regs = &self.frames.last().expect("frame").regs;
+        self.phi_scratch
+            .extend(copies.iter().map(|&(_, src)| regs[src as usize]));
+        let frame = self.frames.last_mut().expect("frame");
+        for (k, &(dst, _)) in copies.iter().enumerate() {
+            frame.regs[dst as usize] = self.phi_scratch[k];
+        }
+        frame.idx += 1;
+        Ok(())
+    }
+
+    /// Copy call arguments out of the operand pool into an argument vector.
+    fn gather_args_vec(&self, fid: FuncId, range: OperandRange) -> Vec<Value> {
+        let pool = &self.program.funcs[fid.index()].operands;
+        let regs = &self.frames.last().expect("frame").regs;
+        pool[range.start as usize..][..range.len as usize]
+            .iter()
+            .map(|&r| regs[r as usize])
+            .collect()
     }
 
     /// Evaluate all phis at the head of the current block in parallel,
@@ -772,16 +1075,15 @@ impl Vm {
         frame.prev_block = Some(from);
         frame.block = to;
         frame.idx = 0;
+        frame.code = self.program.funcs[frame.func.index()].blocks[to.index()]
+            .code
+            .clone();
     }
 
-    fn eval_bin(
-        &mut self,
-        op: BinOp,
-        a: Value,
-        b: Value,
-        fid: FuncId,
-        lhs: ValueId,
-    ) -> Result<Value, VmError> {
+    /// Evaluate a two-operand op. `width` is the integer result width,
+    /// pre-resolved by the caller from the left operand's type (the
+    /// decoded engine resolves it once at decode time).
+    fn eval_bin(&mut self, op: BinOp, a: Value, b: Value, width: IntTy) -> Result<Value, VmError> {
         let cost = &self.kernel.cost;
         if op.is_float() {
             self.counters.cycles += cost.fpu;
@@ -802,13 +1104,6 @@ impl Vm {
         // Pointer arithmetic via add/sub keeps pointerness.
         let keep_ptr = matches!((a, op), (Value::P(_), BinOp::Add | BinOp::Sub));
         let (x, y) = (a.as_i(), b.as_i());
-        let width = self
-            .image
-            .module
-            .func(fid)
-            .value_type(lhs)
-            .and_then(|t| t.int_width())
-            .unwrap_or(IntTy::I64);
         let r = match op {
             BinOp::Add => x.wrapping_add(y),
             BinOp::Sub => x.wrapping_sub(y),
@@ -872,29 +1167,44 @@ impl Vm {
                 }
             }
         }
-        let cost = self.kernel.cost.clone();
+        // Bind only the fields this path reads; a full `CostModel` copy
+        // (~25 words) per access is measurable on the hot path.
+        let CostModel {
+            mem_l1,
+            mem_l1_miss_extra,
+            l1_hit_per_1024,
+            page_size,
+            ..
+        } = self.kernel.cost;
         self.access_counter += 1;
         // Flat L1 model: deterministic pseudo-random hit/miss.
         let h = self
             .access_counter
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add(addr >> 6);
-        let l1_hit = (h % 1024) < cost.l1_hit_per_1024;
-        self.counters.cycles += cost.mem_l1;
+        let l1_hit = (h % 1024) < l1_hit_per_1024;
+        self.counters.cycles += mem_l1;
         if !l1_hit {
-            self.counters.cycles += cost.mem_l1_miss_extra;
+            self.counters.cycles += mem_l1_miss_extra;
         }
         match self.cfg.mode {
             Mode::Carat => {
+                let page_of = |a: u64| {
+                    if page_size.is_power_of_two() {
+                        a >> page_size.trailing_zeros()
+                    } else {
+                        a / page_size
+                    }
+                };
                 self.kernel.demand_touch(addr);
-                if size > 0 && (addr + size - 1) / cost.page_size != addr / cost.page_size {
+                if size > 0 && page_of(addr + size - 1) != page_of(addr) {
                     self.kernel.demand_touch(addr + size - 1);
                 }
                 Ok(addr)
             }
             Mode::Traditional => {
-                let vpn = addr / cost.page_size;
-                let extra = self.tlb.access(vpn, &cost);
+                let vpn = self.kernel.cost.page_of(addr);
+                let extra = self.tlb.access(vpn, &self.kernel.cost);
                 self.counters.translation_cycles += extra;
                 self.counters.cycles += extra;
                 // Demand fault on first touch (identity-mapped).
@@ -909,7 +1219,7 @@ impl Vm {
                     self.kernel
                         .trace
                         .record(carat_kernel::PagingEvent::Alloc { page: vpn });
-                    self.counters.cycles += cost.page_fault;
+                    self.counters.cycles += self.kernel.cost.page_fault;
                 }
                 Ok(addr) // identity mapping: paddr == vaddr
             }
@@ -921,7 +1231,7 @@ impl Vm {
         intr: Intrinsic,
         args: &[Value],
     ) -> Result<Option<Value>, VmError> {
-        let cost = self.kernel.cost.clone();
+        let cost = self.kernel.cost; // Copy: no per-intrinsic allocation
         match intr {
             Intrinsic::Malloc => {
                 let size = args[0].as_i().max(0) as u64;
@@ -942,7 +1252,10 @@ impl Vm {
                 } else {
                     Access::Read
                 };
-                let check = self.kernel.regions.check(self.cfg.guard_impl, addr, len, access);
+                let check = self
+                    .kernel
+                    .regions
+                    .check(self.cfg.guard_impl, addr, len, access);
                 self.account_guard(check.probes, &cost);
                 if check.ok {
                     return Ok(None);
@@ -951,10 +1264,10 @@ impl Vm {
                 // fault reaches the kernel, which pages it back in.
                 if let Some((base, span, delta)) = self.try_page_in(addr) {
                     let addr2 = translate(addr, base, span, delta);
-                    let again =
-                        self.kernel
-                            .regions
-                            .check(self.cfg.guard_impl, addr2, len, access);
+                    let again = self
+                        .kernel
+                        .regions
+                        .check(self.cfg.guard_impl, addr2, len, access);
                     self.account_guard(again.probes, &cost);
                     if again.ok {
                         return Ok(None);
@@ -964,7 +1277,12 @@ impl Vm {
                     eprintln!(
                         "guard fault @ {addr:#x}: alloc={:?}, regions={:?}",
                         self.table.find_containing(addr).map(|(s, i)| (s, i.len)),
-                        self.kernel.regions.regions().iter().map(|r| (r.start, r.len)).collect::<Vec<_>>()
+                        self.kernel
+                            .regions
+                            .regions()
+                            .iter()
+                            .map(|r| (r.start, r.len))
+                            .collect::<Vec<_>>()
                     );
                 }
                 Err(VmError::GuardFault {
@@ -1004,10 +1322,10 @@ impl Vm {
             Intrinsic::GuardCall => {
                 let frame = args[0].as_i().max(0) as u64;
                 let lo = self.sp.saturating_sub(frame);
-                let check = self
-                    .kernel
-                    .regions
-                    .check(self.cfg.guard_impl, lo, frame, Access::Write);
+                let check =
+                    self.kernel
+                        .regions
+                        .check(self.cfg.guard_impl, lo, frame, Access::Write);
                 self.account_guard(check.probes, &cost);
                 if check.ok {
                     return Ok(None);
@@ -1016,10 +1334,10 @@ impl Vm {
                 // fault to the kernel and page it back in first.
                 if SimKernel::is_poison(lo) && self.try_page_in(lo).is_some() {
                     let lo2 = self.sp.saturating_sub(frame);
-                    let again = self
-                        .kernel
-                        .regions
-                        .check(self.cfg.guard_impl, lo2, frame, Access::Write);
+                    let again =
+                        self.kernel
+                            .regions
+                            .check(self.cfg.guard_impl, lo2, frame, Access::Write);
                     self.account_guard(again.probes, &cost);
                     if again.ok {
                         return Ok(None);
@@ -1030,10 +1348,10 @@ impl Vm {
                 // Spawned threads' heap stacks are fixed-size.
                 if self.cfg.auto_grow_stack && self.cur_tid == 0 && self.try_expand_stack() {
                     let lo2 = self.sp.saturating_sub(frame);
-                    let again = self
-                        .kernel
-                        .regions
-                        .check(self.cfg.guard_impl, lo2, frame, Access::Write);
+                    let again =
+                        self.kernel
+                            .regions
+                            .check(self.cfg.guard_impl, lo2, frame, Access::Write);
                     self.account_guard(again.probes, &cost);
                     if again.ok {
                         return Ok(None);
@@ -1148,8 +1466,11 @@ impl Vm {
                 Ok(None)
             }
             Intrinsic::Memset => {
-                let (mut dst, byte, len) =
-                    (args[0].as_p(), args[1].as_i() as u8, args[2].as_i().max(0) as u64);
+                let (mut dst, byte, len) = (
+                    args[0].as_p(),
+                    args[1].as_i() as u8,
+                    args[2].as_i().max(0) as u64,
+                );
                 if SimKernel::is_poison(dst) {
                     let (b, sp, d) = self.try_page_in(dst).ok_or(VmError::GuardFault {
                         addr: dst,
@@ -1241,15 +1562,25 @@ impl Vm {
         let Some(frame) = self.frames.last() else {
             return false;
         };
-        let f = self.image.module.func(frame.func);
-        let insts = &f.block(frame.block).insts;
-        let Some(&v) = insts.get(frame.idx) else {
-            return false;
-        };
-        matches!(
-            f.inst(v),
-            Some(Inst::CallIntrinsic { intr, .. }) if intr.is_track()
-        )
+        match self.cfg.engine {
+            Engine::Decoded => {
+                matches!(
+                    frame.code.get(frame.idx),
+                    Some(DecodedInst::Intrinsic { intr, .. }) if intr.is_track()
+                )
+            }
+            Engine::Reference => {
+                let f = self.image.module.func(frame.func);
+                let insts = &f.block(frame.block).insts;
+                let Some(&v) = insts.get(frame.idx) else {
+                    return false;
+                };
+                matches!(
+                    f.inst(v),
+                    Some(Inst::CallIntrinsic { intr, .. }) if intr.is_track()
+                )
+            }
+        }
     }
 
     /// Round-robin to the next runnable thread. With `force`, the current
@@ -1319,11 +1650,9 @@ impl Vm {
         let block = self.heap.alloc(stack_size).ok_or(VmError::OutOfMemory)?;
         // Thread stacks are ordinary tracked allocations: they move and
         // swap like everything else.
-        self.table
-            .track_alloc(block, stack_size, AllocKind::Stack);
-        let meta = &self.meta[fid.index()];
+        self.table.track_alloc(block, stack_size, AllocKind::Stack);
         let sp_top = block + stack_size;
-        let sp_base = sp_top - meta.frame_size;
+        let sp_base = sp_top - self.program.funcs[fid.index()].frame_size;
         let mut regs = vec![Value::Undef; f.num_values()];
         regs[0] = Value::I(arg);
         let entry = f.entry();
@@ -1335,6 +1664,9 @@ impl Vm {
             prev_block: None,
             sp_base,
             ret_to: None,
+            code: self.program.funcs[fid.index()].blocks[entry.index()]
+                .code
+                .clone(),
         };
         self.threads.push(ThreadState::Parked(ParkedThread {
             frames: vec![frame],
@@ -1584,9 +1916,9 @@ impl Vm {
         let _ = page_size;
         let (mut regs, map) = self.snapshot_regs();
         let threads = self.live_threads() + self.cfg.extra_threads;
-        let Some((world, slot, src, len)) = self
-            .kernel
-            .page_out(&mut self.table, &mut regs, page, threads)
+        let Some((world, slot, src, len)) =
+            self.kernel
+                .page_out(&mut self.table, &mut regs, page, threads)
         else {
             return Ok(());
         };
@@ -1678,9 +2010,9 @@ impl Vm {
         };
         let (mut regs, map) = self.snapshot_regs();
         let threads = self.live_threads() + self.cfg.extra_threads;
-        let (world, outcome) =
-            self.kernel
-                .move_pages(&mut self.table, &mut regs, page, 1, threads);
+        let (world, outcome) = self
+            .kernel
+            .move_pages(&mut self.table, &mut regs, page, 1, threads);
         self.writeback_regs(&regs, &map);
         // Rebase host-side bookkeeping.
         let delta = outcome.moved_dst.wrapping_sub(outcome.moved_src) as i64;

@@ -92,153 +92,258 @@ macro_rules! workload {
 pub fn all_workloads() -> Vec<Workload> {
     use programs::*;
     vec![
-        workload!("hpccg", "HPCCG (Mantevo)", "strided sparse-CG sweeps over medium arrays", |s| {
-            match s {
-                Scale::Test => hpccg(256, 3),
-                Scale::Small => hpccg(4096, 10),
-                Scale::Full => hpccg(16384, 25),
+        workload!(
+            "hpccg",
+            "HPCCG (Mantevo)",
+            "strided sparse-CG sweeps over medium arrays",
+            |s| {
+                match s {
+                    Scale::Test => hpccg(256, 3),
+                    Scale::Small => hpccg(4096, 10),
+                    Scale::Full => hpccg(16384, 25),
+                }
             }
-        }),
-        workload!("cg", "CG (NAS)", "indirect sparse matvec over a large footprint", |s| {
-            match s {
-                Scale::Test => cg(128, 4, 2),
-                Scale::Small => cg(2048, 8, 5),
-                Scale::Full => cg(8192, 12, 10),
+        ),
+        workload!(
+            "cg",
+            "CG (NAS)",
+            "indirect sparse matvec over a large footprint",
+            |s| {
+                match s {
+                    Scale::Test => cg(128, 4, 2),
+                    Scale::Small => cg(2048, 8, 5),
+                    Scale::Full => cg(8192, 12, 10),
+                }
             }
-        }),
-        workload!("ep", "EP (NAS)", "pure compute, almost no memory traffic", |s| {
-            match s {
-                Scale::Test => ep(2_000),
-                Scale::Small => ep(100_000),
-                Scale::Full => ep(600_000),
+        ),
+        workload!(
+            "ep",
+            "EP (NAS)",
+            "pure compute, almost no memory traffic",
+            |s| {
+                match s {
+                    Scale::Test => ep(2_000),
+                    Scale::Small => ep(100_000),
+                    Scale::Full => ep(600_000),
+                }
             }
-        }),
-        workload!("ft", "FT (NAS)", "global bss arrays, scatter + strided butterflies", |s| {
-            match s {
-                Scale::Test => ft(8, 2),
-                Scale::Small => ft(13, 4),
-                Scale::Full => ft(16, 6),
+        ),
+        workload!(
+            "ft",
+            "FT (NAS)",
+            "global bss arrays, scatter + strided butterflies",
+            |s| {
+                match s {
+                    Scale::Test => ft(8, 2),
+                    Scale::Small => ft(13, 4),
+                    Scale::Full => ft(16, 6),
+                }
             }
-        }),
-        workload!("lu", "LU (NAS)", "dense triangular sweeps, perfectly regular", |s| {
-            match s {
-                Scale::Test => lu(24, 1),
-                Scale::Small => lu(64, 2),
-                Scale::Full => lu(128, 3),
+        ),
+        workload!(
+            "lu",
+            "LU (NAS)",
+            "dense triangular sweeps, perfectly regular",
+            |s| {
+                match s {
+                    Scale::Test => lu(24, 1),
+                    Scale::Small => lu(64, 2),
+                    Scale::Full => lu(128, 3),
+                }
             }
-        }),
-        workload!("blackscholes", "blackscholes (PARSEC)", "streaming array-of-structs, transcendental heavy", |s| {
-            match s {
-                Scale::Test => blackscholes(128, 2),
-                Scale::Small => blackscholes(2048, 10),
-                Scale::Full => blackscholes(8192, 25),
+        ),
+        workload!(
+            "blackscholes",
+            "blackscholes (PARSEC)",
+            "streaming array-of-structs, transcendental heavy",
+            |s| {
+                match s {
+                    Scale::Test => blackscholes(128, 2),
+                    Scale::Small => blackscholes(2048, 10),
+                    Scale::Full => blackscholes(8192, 25),
+                }
             }
-        }),
-        workload!("bodytrack", "bodytrack (PARSEC)", "multi-pass image pyramid with per-frame temporaries", |s| {
-            match s {
-                Scale::Test => bodytrack(16, 3),
-                Scale::Small => bodytrack(64, 12),
-                Scale::Full => bodytrack(128, 30),
+        ),
+        workload!(
+            "bodytrack",
+            "bodytrack (PARSEC)",
+            "multi-pass image pyramid with per-frame temporaries",
+            |s| {
+                match s {
+                    Scale::Test => bodytrack(16, 3),
+                    Scale::Small => bodytrack(64, 12),
+                    Scale::Full => bodytrack(128, 30),
+                }
             }
-        }),
-        workload!("canneal", "canneal (PARSEC)", "uniform random swaps — worst-case locality", |s| {
-            match s {
-                Scale::Test => canneal(1024, 2_000),
-                Scale::Small => canneal(65_536, 50_000),
-                Scale::Full => canneal(1_048_576, 250_000),
+        ),
+        workload!(
+            "canneal",
+            "canneal (PARSEC)",
+            "uniform random swaps — worst-case locality",
+            |s| {
+                match s {
+                    Scale::Test => canneal(1024, 2_000),
+                    Scale::Small => canneal(65_536, 50_000),
+                    Scale::Full => canneal(1_048_576, 250_000),
+                }
             }
-        }),
-        workload!("fluidanimate", "fluidanimate (PARSEC)", "grid neighbor sweeps with double buffering", |s| {
-            match s {
-                Scale::Test => fluidanimate(16, 3),
-                Scale::Small => fluidanimate(96, 10),
-                Scale::Full => fluidanimate(256, 20),
+        ),
+        workload!(
+            "fluidanimate",
+            "fluidanimate (PARSEC)",
+            "grid neighbor sweeps with double buffering",
+            |s| {
+                match s {
+                    Scale::Test => fluidanimate(16, 3),
+                    Scale::Small => fluidanimate(96, 10),
+                    Scale::Full => fluidanimate(256, 20),
+                }
             }
-        }),
-        workload!("freqmine", "freqmine (PARSEC)", "FP-tree of small allocations, child-list escapes", |s| {
-            match s {
-                Scale::Test => freqmine(200, 4),
-                Scale::Small => freqmine(4_000, 6),
-                Scale::Full => freqmine(20_000, 8),
+        ),
+        workload!(
+            "freqmine",
+            "freqmine (PARSEC)",
+            "FP-tree of small allocations, child-list escapes",
+            |s| {
+                match s {
+                    Scale::Test => freqmine(200, 4),
+                    Scale::Small => freqmine(4_000, 6),
+                    Scale::Full => freqmine(20_000, 8),
+                }
             }
-        }),
-        workload!("streamcluster", "streamcluster (PARSEC)", "early escape burst, then pure distance compute", |s| {
-            match s {
-                Scale::Test => streamcluster(32, 8, 4),
-                Scale::Small => streamcluster(256, 16, 20),
-                Scale::Full => streamcluster(1024, 32, 40),
+        ),
+        workload!(
+            "streamcluster",
+            "streamcluster (PARSEC)",
+            "early escape burst, then pure distance compute",
+            |s| {
+                match s {
+                    Scale::Test => streamcluster(32, 8, 4),
+                    Scale::Small => streamcluster(256, 16, 20),
+                    Scale::Full => streamcluster(1024, 32, 40),
+                }
             }
-        }),
-        workload!("swaptions", "swaptions (PARSEC)", "many short-lived allocations — tracking-memory outlier", |s| {
-            match s {
-                Scale::Test => swaptions(50, 32),
-                Scale::Small => swaptions(2_000, 64),
-                Scale::Full => swaptions(10_000, 128),
+        ),
+        workload!(
+            "swaptions",
+            "swaptions (PARSEC)",
+            "many short-lived allocations — tracking-memory outlier",
+            |s| {
+                match s {
+                    Scale::Test => swaptions(50, 32),
+                    Scale::Small => swaptions(2_000, 64),
+                    Scale::Full => swaptions(10_000, 128),
+                }
             }
-        }),
-        workload!("x264", "x264 (PARSEC/SPEC)", "16x16 block SADs + conditional copies", |s| {
-            match s {
-                Scale::Test => x264(64, 32, 2),
-                Scale::Small => x264(320, 192, 4),
-                Scale::Full => x264(640, 384, 8),
+        ),
+        workload!(
+            "x264",
+            "x264 (PARSEC/SPEC)",
+            "16x16 block SADs + conditional copies",
+            |s| {
+                match s {
+                    Scale::Test => x264(64, 32, 2),
+                    Scale::Small => x264(320, 192, 4),
+                    Scale::Full => x264(640, 384, 8),
+                }
             }
-        }),
-        workload!("deepsjeng", "deepsjeng_s (SPEC2017)", "random transposition-table probes", |s| {
-            match s {
-                Scale::Test => deepsjeng(10, 5_000),
-                Scale::Small => deepsjeng(16, 150_000),
-                Scale::Full => deepsjeng(20, 800_000),
+        ),
+        workload!(
+            "deepsjeng",
+            "deepsjeng_s (SPEC2017)",
+            "random transposition-table probes",
+            |s| {
+                match s {
+                    Scale::Test => deepsjeng(10, 5_000),
+                    Scale::Small => deepsjeng(16, 150_000),
+                    Scale::Full => deepsjeng(20, 800_000),
+                }
             }
-        }),
-        workload!("lbm", "lbm_s (SPEC2017)", "huge working set swept linearly every step", |s| {
-            match s {
-                Scale::Test => lbm(4_096, 3),
-                Scale::Small => lbm(262_144, 6),
-                Scale::Full => lbm(2_097_152, 8),
+        ),
+        workload!(
+            "lbm",
+            "lbm_s (SPEC2017)",
+            "huge working set swept linearly every step",
+            |s| {
+                match s {
+                    Scale::Test => lbm(4_096, 3),
+                    Scale::Small => lbm(262_144, 6),
+                    Scale::Full => lbm(2_097_152, 8),
+                }
             }
-        }),
-        workload!("mcf", "mcf_s (SPEC2017)", "pointer-chasing node/arc lists — unoptimizable guards", |s| {
-            match s {
-                Scale::Test => mcf(128, 3, 3),
-                Scale::Small => mcf(2_048, 6, 10),
-                Scale::Full => mcf(8_192, 8, 25),
+        ),
+        workload!(
+            "mcf",
+            "mcf_s (SPEC2017)",
+            "pointer-chasing node/arc lists — unoptimizable guards",
+            |s| {
+                match s {
+                    Scale::Test => mcf(128, 3, 3),
+                    Scale::Small => mcf(2_048, 6, 10),
+                    Scale::Full => mcf(8_192, 8, 25),
+                }
             }
-        }),
-        workload!("nab", "nab_s (SPEC2017)", "one block accumulating many escapes (Fig 5 outlier)", |s| {
-            match s {
-                Scale::Test => nab(128, 5),
-                Scale::Small => nab(2_048, 25),
-                Scale::Full => nab(8_192, 60),
+        ),
+        workload!(
+            "nab",
+            "nab_s (SPEC2017)",
+            "one block accumulating many escapes (Fig 5 outlier)",
+            |s| {
+                match s {
+                    Scale::Test => nab(128, 5),
+                    Scale::Small => nab(2_048, 25),
+                    Scale::Full => nab(8_192, 60),
+                }
             }
-        }),
-        workload!("namd", "namd_r (SPEC2017)", "pairwise force loops, compute bound", |s| {
-            match s {
-                Scale::Test => namd(64, 2),
-                Scale::Small => namd(512, 5),
-                Scale::Full => namd(1_024, 12),
+        ),
+        workload!(
+            "namd",
+            "namd_r (SPEC2017)",
+            "pairwise force loops, compute bound",
+            |s| {
+                match s {
+                    Scale::Test => namd(64, 2),
+                    Scale::Small => namd(512, 5),
+                    Scale::Full => namd(1_024, 12),
+                }
             }
-        }),
-        workload!("xalancbmk", "xalancbmk_s (SPEC2017)", "DOM tree of small nodes, repeated traversals", |s| {
-            match s {
-                Scale::Test => xalancbmk(3, 4, 3),
-                Scale::Small => xalancbmk(4, 6, 10),
-                Scale::Full => xalancbmk(4, 8, 20),
+        ),
+        workload!(
+            "xalancbmk",
+            "xalancbmk_s (SPEC2017)",
+            "DOM tree of small nodes, repeated traversals",
+            |s| {
+                match s {
+                    Scale::Test => xalancbmk(3, 4, 3),
+                    Scale::Small => xalancbmk(4, 6, 10),
+                    Scale::Full => xalancbmk(4, 8, 20),
+                }
             }
-        }),
-        workload!("xz", "xz_s (SPEC2017)", "byte-level match copy over char buffers", |s| {
-            match s {
-                Scale::Test => xz(4_096, 2),
-                Scale::Small => xz(131_072, 4),
-                Scale::Full => xz(1_048_576, 6),
+        ),
+        workload!(
+            "xz",
+            "xz_s (SPEC2017)",
+            "byte-level match copy over char buffers",
+            |s| {
+                match s {
+                    Scale::Test => xz(4_096, 2),
+                    Scale::Small => xz(131_072, 4),
+                    Scale::Full => xz(1_048_576, 6),
+                }
             }
-        }),
-        workload!("dedup", "dedup (PARSEC)", "4 threads hashing disjoint slices of a shared buffer", |s| {
-            match s {
-                Scale::Test => dedup(64, 8),
-                Scale::Small => dedup(512, 32),
-                Scale::Full => dedup(2_048, 64),
+        ),
+        workload!(
+            "dedup",
+            "dedup (PARSEC)",
+            "4 threads hashing disjoint slices of a shared buffer",
+            |s| {
+                match s {
+                    Scale::Test => dedup(64, 8),
+                    Scale::Small => dedup(512, 32),
+                    Scale::Full => dedup(2_048, 64),
+                }
             }
-        }),
+        ),
     ]
 }
 

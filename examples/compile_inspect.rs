@@ -9,6 +9,7 @@
 use carat_core::{count_guards, CaratCompiler, CompileOptions, OptPreset};
 use carat_frontend::compile_cm;
 use carat_ir::print_module;
+use carat_vm::{Vm, VmConfig};
 
 const PROGRAM: &str = r#"
 double dot(double* xs, double* ys, int n) {
@@ -33,8 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("==== front-end output ====\n");
     println!("{}", print_module(&module));
 
-    let naive = CaratCompiler::new(CompileOptions::guards_only(OptPreset::None))
-        .compile(module.clone())?;
+    let naive =
+        CaratCompiler::new(CompileOptions::guards_only(OptPreset::None)).compile(module.clone())?;
     println!(
         "==== guards injected, unoptimized ({} static guards) ====\n",
         count_guards(&naive.module)
@@ -53,5 +54,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         c.total
     );
     println!("{}", print_module(&optimized.module));
+
+    // Run it and print the dynamic per-opcode instruction mix the decoded
+    // engine's counters record — what the program actually *executes*, as
+    // opposed to the static IR printed above.
+    let result = Vm::new(optimized.module, VmConfig::default())?.run()?;
+    println!(
+        "==== dynamic opcode mix ({} instructions retired, ret {}) ====\n",
+        result.counters.instructions, result.ret
+    );
+    for (op, n) in result.counters.opcode_mix.sorted() {
+        let pct = 100.0 * n as f64 / result.counters.instructions as f64;
+        println!("  {:<14} {n:>8}  ({pct:4.1}%)", format!("{op:?}"));
+    }
     Ok(())
 }

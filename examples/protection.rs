@@ -21,12 +21,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     "#;
     let module = compile_cm("wild", wild)?;
-    let compiled =
-        CaratCompiler::new(CompileOptions::guards_only(OptPreset::CaratSpecific)).compile(module)?;
+    let compiled = CaratCompiler::new(CompileOptions::guards_only(OptPreset::CaratSpecific))
+        .compile(module)?;
     match Vm::new(compiled.module, VmConfig::default())?.run() {
         Err(VmError::GuardFault { addr, write, .. }) => {
-            println!("guard fault caught the wild {} to {addr:#x} (as paging would)",
-                if write { "write" } else { "read" });
+            println!(
+                "guard fault caught the wild {} to {addr:#x} (as paging would)",
+                if write { "write" } else { "read" }
+            );
         }
         other => panic!("expected a guard fault, got {other:?}"),
     }
@@ -40,10 +42,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     "#;
     let module = compile_cm("tame", tame)?;
-    let compiled =
-        CaratCompiler::new(CompileOptions::guards_only(OptPreset::CaratSpecific)).compile(module)?;
+    let compiled = CaratCompiler::new(CompileOptions::guards_only(OptPreset::CaratSpecific))
+        .compile(module)?;
     let r = Vm::new(compiled.module, VmConfig::default())?.run()?;
-    println!("tame run returned {} with {} guard checks", r.ret, r.counters.guards_executed);
+    println!(
+        "tame run returned {} with {} guard checks",
+        r.ret, r.counters.guards_executed
+    );
 
     // --- 3. Kernel-side protection change: make a region read-only ----
     // Drive the region machinery directly (what the kernel module does on
@@ -66,7 +71,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The very next guarded store faults — "the next guard will see the
     // changes" (paper §2.2).
     match kernel_view.run() {
-        Err(VmError::GuardFault { addr, write: true, .. }) => {
+        Err(VmError::GuardFault {
+            addr, write: true, ..
+        }) => {
             println!("guarded store to {addr:#x} faulted after the protection change");
         }
         other => panic!("expected a write fault, got {other:?}"),
@@ -74,8 +81,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 4. Guard mechanisms agree ------------------------------------
     let module = compile_cm("tame3", tame)?;
-    let compiled =
-        CaratCompiler::new(CompileOptions::guards_only(OptPreset::CaratSpecific)).compile(module)?;
+    let compiled = CaratCompiler::new(CompileOptions::guards_only(OptPreset::CaratSpecific))
+        .compile(module)?;
     for imp in [GuardImpl::BinarySearch, GuardImpl::IfTree, GuardImpl::Mpx] {
         let r = Vm::new(
             compiled.module.clone(),

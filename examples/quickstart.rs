@@ -50,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         census.total, census.untouched, census.hoisted, census.merged, census.eliminated
     );
     let signed = compiled.signed.expect("signing key was supplied");
-    println!("signed by `{}`: {}", signed.toolchain, signed.signature_hex());
+    println!(
+        "signed by `{}`: {}",
+        signed.toolchain,
+        signed.signature_hex()
+    );
 
     // 3. Kernel load (signature validation) + run in a physical address
     //    space — no TLB, no page table.

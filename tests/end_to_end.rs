@@ -276,5 +276,8 @@ fn carat_census_matches_static_guard_count() {
         .unwrap();
     let c = compiled.census;
     assert_eq!(c.total, c.untouched + c.hoisted + c.merged + c.eliminated);
-    assert!(c.merged >= 2, "both loops' guards merge into range guards: {c:?}");
+    assert!(
+        c.merged >= 2,
+        "both loops' guards merge into range guards: {c:?}"
+    );
 }

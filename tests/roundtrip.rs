@@ -12,8 +12,8 @@ fn every_workload_roundtrips_through_bitcode() {
     for w in all_workloads() {
         let m = w.module(Scale::Test).expect("compiles");
         let text = print_module(&m);
-        let reparsed = parse_module(&text)
-            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", w.name));
+        let reparsed =
+            parse_module(&text).unwrap_or_else(|e| panic!("{}: reparse failed: {e}", w.name));
         assert_eq!(
             print_module(&reparsed),
             text,
