@@ -1,5 +1,42 @@
 //! A buddy physical-page allocator — the kernel's page frame manager.
 
+use std::error::Error;
+use std::fmt;
+
+/// A free that the allocator cannot honor. Surfaced as a typed error
+/// rather than a panic so recovery paths (e.g. releasing a move
+/// destination after a mid-move fault) cannot turn one fault into an
+/// abort; the allocator itself is left unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuddyError {
+    /// The address lies below the managed arena.
+    BelowArena {
+        /// The offending address.
+        addr: u64,
+    },
+    /// The address is not the start of a live allocation (double free or
+    /// foreign pointer).
+    UnallocatedFree {
+        /// The offending address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for BuddyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuddyError::BelowArena { addr } => {
+                write!(f, "free of {addr:#x} below the managed arena")
+            }
+            BuddyError::UnallocatedFree { addr } => {
+                write!(f, "free of unallocated block at {addr:#x}")
+            }
+        }
+    }
+}
+
+impl Error for BuddyError {}
+
 /// Buddy allocator over a contiguous physical range.
 #[derive(Debug, Clone)]
 pub struct BuddyAllocator {
@@ -12,6 +49,9 @@ pub struct BuddyAllocator {
     allocated: std::collections::HashMap<u64, usize>,
     /// Pages currently allocated.
     pub pages_in_use: u64,
+    /// Fault injection: this many upcoming allocations fail regardless of
+    /// free space (simulated frame exhaustion).
+    fail_next_allocs: u64,
 }
 
 impl BuddyAllocator {
@@ -29,7 +69,15 @@ impl BuddyAllocator {
             free,
             allocated: std::collections::HashMap::new(),
             pages_in_use: 0,
+            fail_next_allocs: 0,
         }
+    }
+
+    /// Fault injection: make the next `n` calls to
+    /// [`BuddyAllocator::alloc_pages`] fail as if the arena were
+    /// exhausted. Used by the kernel's seeded fault plans.
+    pub fn inject_alloc_failures(&mut self, n: u64) {
+        self.fail_next_allocs += n;
     }
 
     /// Total pages managed.
@@ -47,6 +95,10 @@ impl BuddyAllocator {
 
     /// Allocate `pages` contiguous pages; returns the physical address.
     pub fn alloc_pages(&mut self, pages: u64) -> Option<u64> {
+        if self.fail_next_allocs > 0 {
+            self.fail_next_allocs -= 1;
+            return None;
+        }
         let order = self.order_for(pages.max(1));
         if order > self.max_order {
             return None;
@@ -73,16 +125,19 @@ impl BuddyAllocator {
 
     /// Free a block previously returned by [`BuddyAllocator::alloc_pages`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a double free or foreign address.
-    pub fn free_pages(&mut self, addr: u64) {
-        assert!(addr >= self.base, "address below arena");
+    /// [`BuddyError`] on a double free or foreign address; the allocator
+    /// state is unchanged in that case.
+    pub fn free_pages(&mut self, addr: u64) -> Result<(), BuddyError> {
+        if addr < self.base {
+            return Err(BuddyError::BelowArena { addr });
+        }
         let block = (addr - self.base) / self.page_size;
         let order = self
             .allocated
             .remove(&block)
-            .expect("free of unallocated block");
+            .ok_or(BuddyError::UnallocatedFree { addr })?;
         self.pages_in_use -= 1 << order;
         // Coalesce with buddies.
         let mut block = block;
@@ -98,6 +153,7 @@ impl BuddyAllocator {
             }
         }
         self.free[order].push(block);
+        Ok(())
     }
 
     /// Pages still available.
@@ -118,7 +174,7 @@ mod tests {
         let a = b.alloc_pages(1).unwrap();
         assert!(a >= 0x10000);
         assert_eq!(b.pages_in_use, 1);
-        b.free_pages(a);
+        b.free_pages(a).unwrap();
         assert_eq!(b.pages_in_use, 0);
         assert_eq!(b.pages_free(), 64);
     }
@@ -128,7 +184,7 @@ mod tests {
         let mut b = BuddyAllocator::new(0, 64, 0x1000);
         let a = b.alloc_pages(3).unwrap(); // rounds to 4
         assert_eq!(b.pages_in_use, 4);
-        b.free_pages(a);
+        b.free_pages(a).unwrap();
         assert_eq!(b.pages_in_use, 0);
     }
 
@@ -145,7 +201,7 @@ mod tests {
         let xs: Vec<u64> = (0..8).map(|_| b.alloc_pages(1).unwrap()).collect();
         assert!(b.alloc_pages(1).is_none());
         for x in xs {
-            b.free_pages(x);
+            b.free_pages(x).unwrap();
         }
         // After freeing everything, an order-3 allocation must succeed.
         assert!(b.alloc_pages(8).is_some());
@@ -165,12 +221,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "free of unallocated")]
-    fn double_free_panics() {
+    fn double_free_is_a_typed_error() {
         let mut b = BuddyAllocator::new(0, 8, 0x1000);
         let a = b.alloc_pages(1).unwrap();
-        b.free_pages(a);
-        b.free_pages(a);
+        b.free_pages(a).unwrap();
+        let in_use = b.pages_in_use;
+        assert_eq!(
+            b.free_pages(a),
+            Err(BuddyError::UnallocatedFree { addr: a })
+        );
+        assert_eq!(b.pages_in_use, in_use, "failed free leaves state alone");
+        // The arena still works after the rejected free.
+        assert!(b.alloc_pages(8).is_some());
+    }
+
+    #[test]
+    fn free_below_arena_is_a_typed_error() {
+        let mut b = BuddyAllocator::new(0x10000, 8, 0x1000);
+        assert_eq!(
+            b.free_pages(0x8000),
+            Err(BuddyError::BelowArena { addr: 0x8000 })
+        );
+    }
+
+    #[test]
+    fn injected_failures_exhaust_then_recover() {
+        let mut b = BuddyAllocator::new(0, 8, 0x1000);
+        b.inject_alloc_failures(2);
+        assert!(b.alloc_pages(1).is_none(), "first injected failure");
+        assert!(b.alloc_pages(1).is_none(), "second injected failure");
+        assert!(b.alloc_pages(1).is_some(), "injection budget spent");
+        assert_eq!(b.pages_in_use, 1);
     }
 
     proptest! {
@@ -182,13 +263,13 @@ mod tests {
             for (pages, do_free) in ops {
                 if do_free && !live.is_empty() {
                     let a = live.swap_remove(0);
-                    b.free_pages(a);
+                    prop_assert!(b.free_pages(a).is_ok());
                 } else if let Some(a) = b.alloc_pages(pages) {
                     live.push(a);
                 }
             }
             for a in live {
-                b.free_pages(a);
+                prop_assert!(b.free_pages(a).is_ok());
             }
             prop_assert_eq!(b.pages_in_use, 0);
             // Full coalescing: the whole arena is allocatable again.

@@ -1,0 +1,352 @@
+//! Deterministic, seeded fault injection for the kernel and runtime.
+//!
+//! The paper's thesis is that memory events are *signals the kernel can
+//! respond to*, not crashes (§2.2: poison addresses "encode different
+//! conditions"). This module makes that claim testable: a [`FaultPlan`]
+//! arms specific [`FaultPoint`]s to fire on their Nth dynamic occurrence,
+//! and every fired fault must surface as a typed [`KernelError`] with the
+//! machine left in a consistent, recoverable state — never a panic.
+//!
+//! Determinism rules:
+//!
+//! * An un-armed plan (or an armed point that has not yet reached its
+//!   trigger count) has **no side effects** on kernel behavior — counters
+//!   of a run whose faults never fire are identical to a fault-free run.
+//! * Firing is a pure function of the occurrence count, so the same plan
+//!   over the same workload fires at exactly the same instant every time.
+
+use carat_runtime::WorldStopError;
+use std::error::Error;
+use std::fmt;
+
+pub use crate::buddy::BuddyError;
+
+/// A site in the kernel/runtime where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultPoint {
+    /// Buddy/vacated-frame exhaustion when allocating a move destination
+    /// (`move_pages`, `page_in`, `expand_stack`).
+    MoveDstAlloc,
+    /// Interruption of a move between its patch and copy phases — the
+    /// crash window the patch journal must cover.
+    MidMove,
+    /// A thread stalls and never reaches its world-stop signal handler.
+    WorldStopStall,
+    /// The swap store fails to read a slot back on `page_in`.
+    SwapRead,
+    /// The signed image is corrupted in flight, so signature verification
+    /// at `load` must reject it.
+    SignatureCorrupt,
+}
+
+impl FaultPoint {
+    /// All injectable points, for building seed matrices.
+    pub const ALL: [FaultPoint; 5] = [
+        FaultPoint::MoveDstAlloc,
+        FaultPoint::MidMove,
+        FaultPoint::WorldStopStall,
+        FaultPoint::SwapRead,
+        FaultPoint::SignatureCorrupt,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultPoint::MoveDstAlloc => 0,
+            FaultPoint::MidMove => 1,
+            FaultPoint::WorldStopStall => 2,
+            FaultPoint::SwapRead => 3,
+            FaultPoint::SignatureCorrupt => 4,
+        }
+    }
+}
+
+impl fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultPoint::MoveDstAlloc => "move-dst-alloc",
+            FaultPoint::MidMove => "mid-move",
+            FaultPoint::WorldStopStall => "world-stop-stall",
+            FaultPoint::SwapRead => "swap-read",
+            FaultPoint::SignatureCorrupt => "signature-corrupt",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One armed trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Arm {
+    point: FaultPoint,
+    /// Fires on the `at`-th dynamic occurrence (1-based).
+    at: u64,
+    /// One-shot arms disarm after firing; persistent arms keep firing on
+    /// every occurrence from `at` onward (e.g. an exhaustion that stays
+    /// exhausted through the kernel's compaction retries).
+    persistent: bool,
+}
+
+/// A deterministic schedule of injected faults.
+///
+/// An empty plan never fires but still switches the kernel onto the
+/// journaled move path, which is how the zero-fault journal overhead is
+/// measured (`carat-bench --bin fault_overhead`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    arms: Vec<Arm>,
+    /// Dynamic occurrence count per fault point.
+    counts: [u64; 5],
+    /// Log of fired faults: `(point, occurrence)` in firing order.
+    fired: Vec<(FaultPoint, u64)>,
+}
+
+impl FaultPlan {
+    /// An empty plan: journaling on, no faults armed.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Arm `point` to fire once, on its `nth` dynamic occurrence
+    /// (1-based).
+    pub fn arm(mut self, point: FaultPoint, nth: u64) -> FaultPlan {
+        self.arms.push(Arm {
+            point,
+            at: nth.max(1),
+            persistent: false,
+        });
+        self
+    }
+
+    /// Arm `point` to fire on its `nth` occurrence and every occurrence
+    /// after it (a condition that persists through retries).
+    pub fn arm_persistent(mut self, point: FaultPoint, nth: u64) -> FaultPlan {
+        self.arms.push(Arm {
+            point,
+            at: nth.max(1),
+            persistent: true,
+        });
+        self
+    }
+
+    /// Derive a pseudo-random schedule from `seed` (xorshift64*): one or
+    /// two armed points with small trigger counts. The same seed always
+    /// produces the same schedule.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = || {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let mut plan = FaultPlan::new();
+        let n_arms = 1 + (next() % 2);
+        for _ in 0..n_arms {
+            let point = FaultPoint::ALL[(next() % 5) as usize];
+            let nth = 1 + next() % 3;
+            // Exhaustion that clears itself mid-retry would make the run
+            // diverge from the fault-free counters without erroring;
+            // keep MoveDstAlloc persistent so it always surfaces.
+            plan = if point == FaultPoint::MoveDstAlloc {
+                plan.arm_persistent(point, nth)
+            } else {
+                plan.arm(point, nth)
+            };
+        }
+        plan
+    }
+
+    /// Record one dynamic occurrence of `point` and report whether an arm
+    /// fires. Occurrence counting is the only state this mutates when
+    /// nothing fires.
+    pub fn should_fire(&mut self, point: FaultPoint) -> bool {
+        let i = point.index();
+        self.counts[i] += 1;
+        let occurrence = self.counts[i];
+        let mut fire = false;
+        self.arms.retain(|a| {
+            if a.point != point || occurrence < a.at {
+                return true;
+            }
+            fire = true;
+            a.persistent
+        });
+        if fire {
+            self.fired.push((point, occurrence));
+        }
+        fire
+    }
+
+    /// Dynamic occurrences of `point` observed so far.
+    pub fn occurrences(&self, point: FaultPoint) -> u64 {
+        self.counts[point.index()]
+    }
+
+    /// Faults fired so far, in order.
+    pub fn fired(&self) -> &[(FaultPoint, u64)] {
+        &self.fired
+    }
+
+    /// Whether any point is still armed.
+    pub fn is_armed(&self) -> bool {
+        !self.arms.is_empty()
+    }
+}
+
+/// A kernel operation failed. Every variant is a clean, typed outcome:
+/// the kernel's allocation table, physical memory, and swap store are
+/// consistent when one of these is returned (transactional operations
+/// roll back first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// No frames for a move/page-in destination, even after compacting
+    /// vacated ranges and retrying with backoff.
+    OutOfFrames {
+        /// Pages that were requested.
+        pages: u64,
+    },
+    /// The world-stop protocol failed (stall or ordering violation); the
+    /// episode was aborted and the threads released.
+    WorldStop(WorldStopError),
+    /// A move was interrupted between patch and copy; the patch journal
+    /// rolled every cell and register back to its pre-move value.
+    MoveInterrupted {
+        /// Expanded source range start.
+        src: u64,
+        /// Expanded source range length.
+        len: u64,
+        /// The destination that was abandoned (released back).
+        dst: u64,
+    },
+    /// The swap store could not produce slot `slot` (read failure or
+    /// corrupted entry). The slot's metadata is preserved for retry
+    /// where possible.
+    SwapReadFailed {
+        /// The unreadable slot.
+        slot: u64,
+    },
+    /// The frame allocator rejected an operation (e.g. double free) —
+    /// a sign of kernel-internal inconsistency.
+    Buddy(BuddyError),
+}
+
+impl KernelError {
+    /// Whether the caller can retry or continue after this error.
+    /// Transient conditions (exhaustion, stalls, interrupted moves, swap
+    /// I/O) are recoverable: kernel state is intact and the operation can
+    /// be reattempted. [`KernelError::Buddy`] is fatal — it indicates the
+    /// kernel's own bookkeeping is inconsistent.
+    pub fn is_recoverable(&self) -> bool {
+        !matches!(self, KernelError::Buddy(_))
+    }
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::OutOfFrames { pages } => {
+                write!(
+                    f,
+                    "out of frames for {pages} page(s), even after compaction"
+                )
+            }
+            KernelError::WorldStop(e) => write!(f, "world-stop failed: {e}"),
+            KernelError::MoveInterrupted { src, len, dst } => write!(
+                f,
+                "move of [{src:#x},+{len:#x}) -> {dst:#x} interrupted; rolled back"
+            ),
+            KernelError::SwapReadFailed { slot } => {
+                write!(f, "swap store failed to read slot {slot}")
+            }
+            KernelError::Buddy(e) => write!(f, "frame allocator: {e}"),
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+impl From<WorldStopError> for KernelError {
+    fn from(e: WorldStopError) -> KernelError {
+        KernelError::WorldStop(e)
+    }
+}
+
+impl From<BuddyError> for KernelError {
+    fn from(e: BuddyError) -> KernelError {
+        KernelError::Buddy(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_plan_never_fires_but_counts() {
+        let mut p = FaultPlan::new();
+        for _ in 0..10 {
+            assert!(!p.should_fire(FaultPoint::MidMove));
+        }
+        assert_eq!(p.occurrences(FaultPoint::MidMove), 10);
+        assert!(p.fired().is_empty());
+    }
+
+    #[test]
+    fn one_shot_arm_fires_exactly_once_at_nth() {
+        let mut p = FaultPlan::new().arm(FaultPoint::SwapRead, 3);
+        assert!(!p.should_fire(FaultPoint::SwapRead));
+        assert!(!p.should_fire(FaultPoint::SwapRead));
+        assert!(p.should_fire(FaultPoint::SwapRead), "third occurrence");
+        assert!(
+            !p.should_fire(FaultPoint::SwapRead),
+            "disarmed after firing"
+        );
+        assert_eq!(p.fired(), &[(FaultPoint::SwapRead, 3)]);
+    }
+
+    #[test]
+    fn persistent_arm_keeps_firing() {
+        let mut p = FaultPlan::new().arm_persistent(FaultPoint::MoveDstAlloc, 2);
+        assert!(!p.should_fire(FaultPoint::MoveDstAlloc));
+        assert!(p.should_fire(FaultPoint::MoveDstAlloc));
+        assert!(p.should_fire(FaultPoint::MoveDstAlloc));
+        assert!(p.is_armed());
+    }
+
+    #[test]
+    fn points_count_independently() {
+        let mut p = FaultPlan::new().arm(FaultPoint::MidMove, 1);
+        assert!(!p.should_fire(FaultPoint::SwapRead));
+        assert!(p.should_fire(FaultPoint::MidMove));
+    }
+
+    #[test]
+    fn seeded_schedules_are_deterministic_and_varied() {
+        for seed in 0..32u64 {
+            assert_eq!(FaultPlan::from_seed(seed), FaultPlan::from_seed(seed));
+            assert!(FaultPlan::from_seed(seed).is_armed());
+        }
+        // Different seeds do not all produce the same schedule.
+        let distinct: std::collections::HashSet<String> = (0..32u64)
+            .map(|s| format!("{:?}", FaultPlan::from_seed(s)))
+            .collect();
+        assert!(distinct.len() > 4);
+    }
+
+    #[test]
+    fn recoverability_classification() {
+        assert!(KernelError::OutOfFrames { pages: 1 }.is_recoverable());
+        assert!(KernelError::SwapReadFailed { slot: 0 }.is_recoverable());
+        assert!(KernelError::MoveInterrupted {
+            src: 0,
+            len: 0,
+            dst: 0
+        }
+        .is_recoverable());
+        assert!(KernelError::WorldStop(WorldStopError::Stalled {
+            entered: 1,
+            threads: 2
+        })
+        .is_recoverable());
+        assert!(!KernelError::Buddy(BuddyError::UnallocatedFree { addr: 0 }).is_recoverable());
+    }
+}

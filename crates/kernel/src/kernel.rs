@@ -3,6 +3,7 @@
 //! §4.3 — the kernel module's role).
 
 use crate::buddy::BuddyAllocator;
+use crate::faults::{FaultPlan, FaultPoint, KernelError};
 use crate::loader::{load_signed, load_unsigned, LoadConfig, LoadError, ProcessImage};
 use crate::pagetable::{PageTable, Pte};
 use crate::phys::PhysicalMemory;
@@ -10,10 +11,15 @@ use crate::trace::{PagingEvent, PagingTrace};
 use carat_core::sign::{SignedModule, SigningKey};
 use carat_ir::Module;
 use carat_runtime::{
-    perform_move, AllocationTable, CostModel, MemAccess, MoveOutcome, MoveRequest, Perms, Region,
-    RegionTable, WorldStop,
+    perform_move_journaled, AllocationTable, CostModel, MemAccess, MoveOutcome, MovePhase,
+    MoveRequest, Perms, Region, RegionTable, WorldStop, WorldStopError,
 };
 use std::collections::HashMap;
+
+/// Bounded retries for a move-destination allocation before surfacing
+/// [`KernelError::OutOfFrames`] (each retry compacts vacated ranges and
+/// charges cost-model backoff).
+const MOVE_ALLOC_RETRIES: u32 = 3;
 
 /// The simulated kernel.
 #[derive(Debug)]
@@ -44,6 +50,21 @@ pub struct SimKernel {
     /// cache shortcutting the per-access touched-set probe.
     last_touched_page: u64,
     trusted: Vec<SigningKey>,
+    /// Injected fault schedule. `None` (the default) also disables the
+    /// patch journal, so the fault-free fast path pays nothing.
+    faults: Option<FaultPlan>,
+    /// Move-destination allocations that succeeded only after compaction
+    /// and retry (OOM recoveries).
+    pub oom_recoveries: u64,
+}
+
+/// A move destination with its provenance, so an abandoned move can
+/// release it to the right place.
+#[derive(Debug, Clone, Copy)]
+struct DstAlloc {
+    addr: u64,
+    len: u64,
+    from_buddy: bool,
 }
 
 /// One swapped-out range.
@@ -129,7 +150,28 @@ impl SimKernel {
             next_swap_slot: 0,
             last_touched_page: u64::MAX,
             trusted: Vec::new(),
+            faults: None,
+            oom_recoveries: 0,
         }
+    }
+
+    /// Install a fault-injection schedule. Also enables the patch journal
+    /// for every subsequent move (crash consistency), even when the plan
+    /// is empty — an empty plan is how the journal's zero-fault overhead
+    /// is measured.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The installed fault plan, if any (for inspecting fired faults).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Record an occurrence of `point` against the installed plan and
+    /// report whether an armed fault fires. No plan → never fires.
+    fn fire(&mut self, point: FaultPoint) -> bool {
+        self.faults.as_mut().is_some_and(|p| p.should_fire(point))
     }
 
     /// Whether `addr` encodes swapped-out data.
@@ -169,6 +211,31 @@ impl SimKernel {
         }
     }
 
+    /// Test hook: corrupt swap slot `slot` by truncating its stored
+    /// image, as a disk error would. Returns whether the slot existed.
+    pub fn debug_corrupt_swap_slot(&mut self, slot: u64) -> bool {
+        match self.swap.get_mut(&slot) {
+            Some(e) => {
+                e.data.truncate(e.data.len() / 2);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Integrity scan of the swap store: slots whose stored image does not
+    /// match its recorded length (corruption). Empty means healthy.
+    pub fn corrupt_swap_slots(&self) -> Vec<u64> {
+        let mut bad: Vec<u64> = self
+            .swap
+            .iter()
+            .filter(|(_, e)| e.data.len() as u64 != e.len || e.len == 0)
+            .map(|(&s, _)| s)
+            .collect();
+        bad.sort_unstable();
+        bad
+    }
+
     /// Debug aid: find occurrences of an 8-byte value inside swap images.
     /// Returns `(slot, byte offset)` pairs.
     pub fn debug_scan_swap(&self, needle: u64) -> Vec<(u64, u64)> {
@@ -185,9 +252,10 @@ impl SimKernel {
         out
     }
 
-    /// Pick a destination for `len` bytes: recycle a vacated range when one
-    /// fits, else take fresh frames from the buddy allocator.
-    fn alloc_move_dst(&mut self, len: u64) -> Option<u64> {
+    /// One attempt to take a destination for `len` bytes: recycle a
+    /// vacated range when one fits, else take fresh frames from the buddy
+    /// allocator.
+    fn try_take_dst(&mut self, len: u64) -> Option<DstAlloc> {
         let page = self.cost.page_size;
         if let Some(i) = self.vacated.iter().position(|&(_, l)| l >= len) {
             let (start, l) = self.vacated[i];
@@ -196,9 +264,180 @@ impl SimKernel {
             } else {
                 self.vacated[i] = (start + len, l - len);
             }
-            return Some(start);
+            return Some(DstAlloc {
+                addr: start,
+                len,
+                from_buddy: false,
+            });
         }
-        self.buddy.alloc_pages(len / page)
+        self.buddy.alloc_pages(len / page).map(|addr| DstAlloc {
+            addr,
+            len,
+            from_buddy: true,
+        })
+    }
+
+    /// Merge adjacent/overlapping vacated ranges so fragments freed by
+    /// earlier moves can satisfy larger requests (the OOM recovery path).
+    fn compact_vacated(&mut self) {
+        if self.vacated.len() < 2 {
+            return;
+        }
+        self.vacated.sort_unstable_by_key(|&(start, _)| start);
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.vacated.len());
+        for &(start, len) in &self.vacated {
+            match merged.last_mut() {
+                Some((ms, ml)) if *ms + *ml >= start => {
+                    *ml = (*ml).max(start + len - *ms);
+                }
+                _ => merged.push((start, len)),
+            }
+        }
+        self.vacated = merged;
+    }
+
+    /// Pick a destination for `len` bytes, with bounded recovery: on
+    /// exhaustion, compact the vacated ranges and retry up to
+    /// [`MOVE_ALLOC_RETRIES`] times, charging exponential cost-model
+    /// backoff. Returns the destination and the backoff cycles incurred
+    /// (zero on the first-try fast path).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::OutOfFrames`] when every retry failed; aside from
+    /// the (semantically neutral) vacated-range compaction, kernel state
+    /// is untouched.
+    fn alloc_move_dst(&mut self, len: u64) -> Result<(DstAlloc, u64), KernelError> {
+        let mut backoff = 0u64;
+        for attempt in 0..=MOVE_ALLOC_RETRIES {
+            let dst = if self.fire(FaultPoint::MoveDstAlloc) {
+                // Injected exhaustion: the vacated recycle list counts as
+                // unusable, and the failure is routed through the frame
+                // allocator so the whole path under test sees it.
+                self.buddy.inject_alloc_failures(1);
+                let page = self.cost.page_size;
+                self.buddy.alloc_pages(len / page).map(|addr| DstAlloc {
+                    addr,
+                    len,
+                    from_buddy: true,
+                })
+            } else {
+                self.try_take_dst(len)
+            };
+            if let Some(dst) = dst {
+                if attempt > 0 {
+                    self.oom_recoveries += 1;
+                }
+                return Ok((dst, backoff));
+            }
+            if attempt < MOVE_ALLOC_RETRIES {
+                self.compact_vacated();
+                backoff += self.cost.move_alloc_fixed << attempt;
+            }
+        }
+        Err(KernelError::OutOfFrames {
+            pages: len.div_ceil(self.cost.page_size),
+        })
+    }
+
+    /// Return an unused (or rolled-back) move destination to its source.
+    fn release_move_dst(&mut self, dst: DstAlloc) {
+        if dst.from_buddy {
+            // The buddy handed this block out moments ago; a rejected free
+            // here would mean kernel-internal corruption. Keep the
+            // original fault as the surfaced error regardless.
+            let freed = self.buddy.free_pages(dst.addr);
+            debug_assert!(freed.is_ok(), "releasing a live buddy block");
+        } else {
+            self.vacated.push((dst.addr, dst.len));
+        }
+    }
+
+    /// Drive the front half of a world-stop episode (signal, handler
+    /// entry, first barrier, negotiation, patch computation), injecting
+    /// thread stalls when armed.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::WorldStop`] on a stall or ordering violation; the
+    /// episode is aborted (threads released, machine idle) first.
+    fn begin_stop(&mut self, threads: usize) -> Result<WorldStop, KernelError> {
+        let mut world = WorldStop::new(threads);
+        if let Err(e) = self.begin_stop_inner(&mut world, threads) {
+            world.abort(&self.cost);
+            return Err(e);
+        }
+        Ok(world)
+    }
+
+    fn begin_stop_inner(
+        &mut self,
+        world: &mut WorldStop,
+        threads: usize,
+    ) -> Result<(), KernelError> {
+        world.signal_all(&self.cost)?;
+        for entered in 0..threads {
+            if self.fire(FaultPoint::WorldStopStall) {
+                return Err(KernelError::WorldStop(WorldStopError::Stalled {
+                    entered,
+                    threads,
+                }));
+            }
+            world.thread_entered()?;
+        }
+        world.barrier1(&self.cost)?;
+        world.negotiated()?;
+        world.patches_computed()?;
+        Ok(())
+    }
+
+    /// Drive the back half of a world-stop episode (patched, moved,
+    /// second barrier, completion).
+    fn finish_stop(world: &mut WorldStop, cost: &CostModel) -> Result<(), KernelError> {
+        world.patched()?;
+        world.moved()?;
+        world.barrier2(cost)?;
+        world.complete()?;
+        Ok(())
+    }
+
+    /// Run a journaled move inside an already-stopped world: the MidMove
+    /// fault point is consulted between the patch and copy phases; when it
+    /// fires, the journal restores a byte-identical pre-move state.
+    fn journaled_move(
+        &mut self,
+        table: &mut AllocationTable,
+        regs: &mut [u64],
+        req: MoveRequest,
+    ) -> Result<MoveOutcome, KernelError> {
+        // The hook needs the plan while the router borrows mem+swap; take
+        // the plan out for the duration of the move.
+        let mut plan = self.faults.take();
+        let journal_on = plan.is_some();
+        let mut hook = |phase: MovePhase| {
+            phase == MovePhase::Patched
+                && plan
+                    .as_mut()
+                    .is_some_and(|p| p.should_fire(FaultPoint::MidMove))
+        };
+        let mut routed = SwapAwareMem {
+            mem: &mut self.mem,
+            swap: &mut self.swap,
+        };
+        let res = perform_move_journaled(
+            table,
+            &mut routed,
+            regs,
+            req,
+            &self.cost,
+            if journal_on { Some(&mut hook) } else { None },
+        );
+        self.faults = plan;
+        res.map_err(|_| KernelError::MoveInterrupted {
+            src: req.src,
+            len: req.len,
+            dst: req.dst,
+        })
     }
 
     /// Register a toolchain key the kernel trusts.
@@ -218,6 +457,17 @@ impl SimKernel {
         table: &mut AllocationTable,
         cfg: LoadConfig,
     ) -> Result<ProcessImage, LoadError> {
+        // Injected in-flight corruption: flip a signature bit so the
+        // verification path must catch and reject the image.
+        let corrupted;
+        let signed = if self.fire(FaultPoint::SignatureCorrupt) {
+            let mut c = signed.clone();
+            c.signature[0] ^= 0x01;
+            corrupted = c;
+            &corrupted
+        } else {
+            signed
+        };
         let img = load_signed(
             signed,
             &self.trusted,
@@ -272,21 +522,25 @@ impl SimKernel {
 
     /// Baseline: translate-or-fault. Ensures `vpn` is mapped, allocating
     /// and mapping a fresh frame on first touch. Returns the PTE.
-    pub fn ensure_mapped(&mut self, vpn: u64) -> Pte {
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::OutOfFrames`] when the frame allocator is exhausted.
+    pub fn ensure_mapped(&mut self, vpn: u64) -> Result<Pte, KernelError> {
         if let Some(pte) = self.pagetable.translate(vpn) {
-            return pte;
+            return Ok(pte);
         }
         let frame = self
             .buddy
             .alloc_pages(1)
-            .expect("baseline out of page frames");
+            .ok_or(KernelError::OutOfFrames { pages: 1 })?;
         let pte = Pte {
             ppn: frame / self.cost.page_size,
             writable: true,
         };
         self.pagetable.map(vpn, pte);
         self.trace.record(PagingEvent::Alloc { page: vpn });
-        pte
+        Ok(pte)
     }
 
     /// Change protections on a region of the process (paper: "a region
@@ -348,6 +602,16 @@ impl SimKernel {
     ///
     /// `regs` is the register state of all threads, dumped by the signal
     /// handlers; `threads` its thread count.
+    ///
+    /// # Errors
+    ///
+    /// The operation is transactional: on any error the allocation table,
+    /// registers, and physical memory are as they were before the call.
+    /// [`KernelError::OutOfFrames`] when no destination exists (after
+    /// compaction + retries); [`KernelError::WorldStop`] when the stop
+    /// protocol stalls (the episode is aborted and threads released);
+    /// [`KernelError::MoveInterrupted`] when the move was interrupted
+    /// between patch and copy (the patch journal has rolled back).
     pub fn move_pages(
         &mut self,
         table: &mut AllocationTable,
@@ -355,43 +619,36 @@ impl SimKernel {
         src: u64,
         pages: u64,
         threads: usize,
-    ) -> (WorldStop, MoveOutcome) {
+    ) -> Result<(WorldStop, MoveOutcome), KernelError> {
         let page = self.cost.page_size;
         let len = pages * page;
         // Pre-negotiate the expansion so the destination is large enough.
         let (xsrc, xlen) =
             carat_runtime::expand_to_allocations(table, src / page * page, len, page);
-        let dst = self
-            .alloc_move_dst(xlen)
-            .expect("out of frames for move destination");
+        let (dst, backoff) = self.alloc_move_dst(xlen)?;
 
-        let mut world = WorldStop::new(threads);
-        world.signal_all(&self.cost).expect("fresh episode");
-        for _ in 0..threads {
-            world.thread_entered().expect("threads enter");
-        }
-        world.barrier1(&self.cost).expect("barrier");
-        world.negotiated().expect("negotiated");
-        world.patches_computed().expect("patches computed");
-        let mut routed = SwapAwareMem {
-            mem: &mut self.mem,
-            swap: &mut self.swap,
+        let mut world = match self.begin_stop(threads) {
+            Ok(w) => w,
+            Err(e) => {
+                self.release_move_dst(dst);
+                return Err(e);
+            }
         };
-        let outcome = perform_move(
-            table,
-            &mut routed,
-            regs,
-            MoveRequest {
-                src: xsrc,
-                len: xlen,
-                dst,
-            },
-            &self.cost,
-        );
-        world.patched().expect("patched");
-        world.moved().expect("moved");
-        world.barrier2(&self.cost).expect("barrier2");
-        world.complete().expect("complete");
+        let req = MoveRequest {
+            src: xsrc,
+            len: xlen,
+            dst: dst.addr,
+        };
+        let mut outcome = match self.journaled_move(table, regs, req) {
+            Ok(out) => out,
+            Err(e) => {
+                world.abort(&self.cost);
+                self.release_move_dst(dst);
+                return Err(e);
+            }
+        };
+        outcome.cost.alloc_and_move += backoff;
+        Self::finish_stop(&mut world, &self.cost)?;
 
         // Region maintenance: the moved range leaves the capsule; the
         // destination becomes accessible. The vacated frames are recycled
@@ -412,7 +669,7 @@ impl SimKernel {
                 to: outcome.moved_dst / page + p,
             });
         }
-        (world, outcome)
+        Ok((world, outcome))
     }
 
     /// Page a range out to swap (paper §2.2: "to make a page unavailable,
@@ -423,32 +680,35 @@ impl SimKernel {
     /// Expands `page` to whole allocations, patches every escape and
     /// register pointing into the range to a poison address encoding the
     /// swap slot, copies the data to the swap store, revokes the region,
-    /// and recycles the frames. Returns the slot id.
+    /// and recycles the frames. Returns the slot id, or `Ok(None)` for a
+    /// range the kernel declines to swap (too large, or already in swap).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::WorldStop`] when the stop protocol stalls before
+    /// any state was touched (the episode is aborted, the slot id is not
+    /// consumed, and no data has been patched or copied).
     pub fn page_out(
         &mut self,
         table: &mut AllocationTable,
         regs: &mut [u64],
         page: u64,
         threads: usize,
-    ) -> Option<(WorldStop, u64, u64, u64)> {
+    ) -> Result<Option<(WorldStop, u64, u64, u64)>, KernelError> {
         let pg = self.cost.page_size;
         let (src, len) = carat_runtime::expand_to_allocations(table, page / pg * pg, pg, pg);
         if len > POISON_SLOT_SPAN || Self::is_poison(src) {
-            return None;
+            return Ok(None);
         }
+        // The slot id is only consumed once the episode is under way.
         let slot = self.next_swap_slot;
-        self.next_swap_slot += 1;
         let poison = POISON_BASE + slot * POISON_SLOT_SPAN;
         let delta = poison.wrapping_sub(src) as i64;
 
-        let mut world = WorldStop::new(threads);
-        world.signal_all(&self.cost).expect("fresh episode");
-        for _ in 0..threads {
-            world.thread_entered().expect("threads enter");
-        }
-        world.barrier1(&self.cost).expect("barrier");
-        world.negotiated().expect("negotiated");
-        world.patches_computed().expect("patches computed");
+        // All mutations happen after the world has stopped; a stall here
+        // leaves every byte as it was.
+        let mut world = self.begin_stop(threads)?;
+        self.next_swap_slot += 1;
 
         // Patch escapes of every affected allocation to poison addresses
         // (cells may themselves live in other swapped ranges).
@@ -487,41 +747,78 @@ impl SimKernel {
             count: len / pg,
         });
 
-        world.patched().expect("patched");
-        world.moved().expect("moved");
-        world.barrier2(&self.cost).expect("barrier2");
-        world.complete().expect("complete");
-        Some((world, slot, src, len))
+        Self::finish_stop(&mut world, &self.cost)?;
+        Ok(Some((world, slot, src, len)))
     }
 
     /// Service a fault on a poison address: bring the slot's data back
     /// into fresh frames, patch every poisoned pointer to the new
     /// location, and restore the region. Returns the new base address of
-    /// the range.
+    /// the range, or `Ok(None)` when `poison_addr` does not name a live
+    /// swap slot.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::SwapReadFailed`] when the swap store cannot produce
+    /// the slot (injected read failure or corrupted entry);
+    /// [`KernelError::OutOfFrames`] when no destination frames exist;
+    /// [`KernelError::WorldStop`] on a stop-protocol stall. In every
+    /// case the swap entry is preserved so the fault can be retried —
+    /// the data is never dropped on a failed page-in.
     pub fn page_in(
         &mut self,
         table: &mut AllocationTable,
         regs: &mut [u64],
         poison_addr: u64,
         threads: usize,
-    ) -> Option<(WorldStop, u64)> {
+    ) -> Result<Option<(WorldStop, u64)>, KernelError> {
         if !Self::is_poison(poison_addr) {
-            return None;
+            return Ok(None);
         }
         let slot = (poison_addr - POISON_BASE) / POISON_SLOT_SPAN;
-        let entry = self.swap.remove(&slot)?;
-        let poison = POISON_BASE + slot * POISON_SLOT_SPAN;
-        let dst = self.alloc_move_dst(entry.len)?;
-        let delta = dst.wrapping_sub(poison) as i64;
-
-        let mut world = WorldStop::new(threads);
-        world.signal_all(&self.cost).expect("fresh episode");
-        for _ in 0..threads {
-            world.thread_entered().expect("threads enter");
+        let Some(len) = self.swap.get(&slot).map(|e| e.len) else {
+            return Ok(None);
+        };
+        if self.fire(FaultPoint::SwapRead) {
+            return Err(KernelError::SwapReadFailed { slot });
         }
-        world.barrier1(&self.cost).expect("barrier");
-        world.negotiated().expect("negotiated");
-        world.patches_computed().expect("patches computed");
+        let poison = POISON_BASE + slot * POISON_SLOT_SPAN;
+        // Allocate before taking the entry out of the store: an OOM here
+        // must not lose the swapped data.
+        let (dst, backoff) = self.alloc_move_dst(len)?;
+        let mut world = match self.begin_stop(threads) {
+            Ok(w) => w,
+            Err(e) => {
+                self.release_move_dst(dst);
+                return Err(e);
+            }
+        };
+        world.cycles += backoff;
+        let entry = self.swap.remove(&slot).expect("checked live above");
+        if entry.data.len() as u64 != entry.len {
+            // Corrupted entry: keep it for post-mortem, release
+            // everything else, surface a typed error.
+            self.swap.insert(slot, entry);
+            world.abort(&self.cost);
+            self.release_move_dst(dst);
+            return Err(KernelError::SwapReadFailed { slot });
+        }
+        self.page_in_stopped(table, regs, world, entry, dst, poison)
+    }
+
+    /// The body of [`SimKernel::page_in`] once the world is stopped and
+    /// the entry + destination are in hand.
+    fn page_in_stopped(
+        &mut self,
+        table: &mut AllocationTable,
+        regs: &mut [u64],
+        mut world: WorldStop,
+        entry: SwapEntry,
+        dst_alloc: DstAlloc,
+        poison: u64,
+    ) -> Result<Option<(WorldStop, u64)>, KernelError> {
+        let dst = dst_alloc.addr;
+        let delta = dst.wrapping_sub(poison) as i64;
 
         self.mem.write_bytes(dst, &entry.data);
         // Patch every escape cell holding a pointer into the poison range.
@@ -569,11 +866,8 @@ impl SimKernel {
             self.trace.record(PagingEvent::Alloc { page: dst / pg + p });
         }
 
-        world.patched().expect("patched");
-        world.moved().expect("moved");
-        world.barrier2(&self.cost).expect("barrier2");
-        world.complete().expect("complete");
-        Some((world, dst))
+        Self::finish_stop(&mut world, &self.cost)?;
+        Ok(Some((world, dst)))
     }
 
     /// Seamless stack expansion (paper §2.2: "a failed guard involving the
@@ -584,8 +878,15 @@ impl SimKernel {
     /// by *moving* it: allocate a block twice the size, relocate the live
     /// stack contents to its top (patching escapes and registers via the
     /// normal move engine), extend the allocation downward, and install
-    /// the new region. Returns the move outcome, or `None` when the stack
-    /// already reached `max_stack` bytes.
+    /// the new region. Returns the move outcome, or `Ok(None)` when the
+    /// stack already reached `max_stack` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Transactional like [`SimKernel::move_pages`]: on
+    /// [`KernelError::OutOfFrames`], [`KernelError::WorldStop`], or
+    /// [`KernelError::MoveInterrupted`] the stack, table, and registers
+    /// are exactly as before the call.
     pub fn expand_stack(
         &mut self,
         table: &mut AllocationTable,
@@ -593,44 +894,40 @@ impl SimKernel {
         img: &mut ProcessImage,
         threads: usize,
         max_stack: u64,
-    ) -> Option<(WorldStop, MoveOutcome)> {
+    ) -> Result<Option<(WorldStop, MoveOutcome)>, KernelError> {
         let (old_start, old_len) = img.stack;
         let new_len = (old_len * 2).min(max_stack);
         if new_len <= old_len {
-            return None;
+            return Ok(None);
         }
-        let dst_block = self.alloc_move_dst(new_len)?;
+        let (dst, backoff) = self.alloc_move_dst(new_len)?;
+        let dst_block = dst.addr;
         // Live data keeps its distance from the stack top: it lands at the
         // top of the new block.
         let data_dst = dst_block + new_len - old_len;
 
-        let mut world = WorldStop::new(threads);
-        world.signal_all(&self.cost).expect("fresh episode");
-        for _ in 0..threads {
-            world.thread_entered().expect("threads enter");
-        }
-        world.barrier1(&self.cost).expect("barrier");
-        world.negotiated().expect("negotiated");
-        world.patches_computed().expect("patches computed");
-        let mut routed = SwapAwareMem {
-            mem: &mut self.mem,
-            swap: &mut self.swap,
+        let mut world = match self.begin_stop(threads) {
+            Ok(w) => w,
+            Err(e) => {
+                self.release_move_dst(dst);
+                return Err(e);
+            }
         };
-        let outcome = perform_move(
-            table,
-            &mut routed,
-            regs,
-            MoveRequest {
-                src: old_start,
-                len: old_len,
-                dst: data_dst,
-            },
-            &self.cost,
-        );
-        world.patched().expect("patched");
-        world.moved().expect("moved");
-        world.barrier2(&self.cost).expect("barrier2");
-        world.complete().expect("complete");
+        world.cycles += backoff;
+        let req = MoveRequest {
+            src: old_start,
+            len: old_len,
+            dst: data_dst,
+        };
+        let outcome = match self.journaled_move(table, regs, req) {
+            Ok(out) => out,
+            Err(e) => {
+                world.abort(&self.cost);
+                self.release_move_dst(dst);
+                return Err(e);
+            }
+        };
+        Self::finish_stop(&mut world, &self.cost)?;
 
         // Extend the relocated stack allocation downward over the whole
         // new block.
@@ -662,7 +959,7 @@ impl SimKernel {
         });
 
         img.stack = (dst_block, new_len);
-        Some((world, outcome))
+        Ok(Some((world, outcome)))
     }
 
     /// Update a process image's global bindings after a move (the kernel
@@ -752,7 +1049,9 @@ mod tests {
 
         let mut regs = vec![g + 16, 0x0];
         let page = k.cost.page_size;
-        let (world, outcome) = k.move_pages(&mut table, &mut regs, g / page * page, 1, 2);
+        let (world, outcome) = k
+            .move_pages(&mut table, &mut regs, g / page * page, 1, 2)
+            .expect("move succeeds");
         assert!(world.is_complete());
         assert!(outcome.escapes_patched >= 1);
         // The escape cell points at the new location.
@@ -778,11 +1077,248 @@ mod tests {
     fn baseline_demand_mapping() {
         let (mut k, _, _) = boot();
         let before = k.trace.allocs;
-        let pte1 = k.ensure_mapped(0x4000);
-        let pte2 = k.ensure_mapped(0x4000);
+        let pte1 = k.ensure_mapped(0x4000).unwrap();
+        let pte2 = k.ensure_mapped(0x4000).unwrap();
         assert_eq!(pte1, pte2, "second touch reuses the mapping");
         assert_eq!(k.trace.allocs, before + 1);
         assert_eq!(k.pagetable.mapped, 1);
+    }
+
+    /// A small kernel whose full physical memory is cheap to snapshot for
+    /// byte-identity assertions.
+    fn boot_small() -> (SimKernel, AllocationTable, ProcessImage) {
+        let mut k = SimKernel::new(8 * 1024 * 1024);
+        let mut table = AllocationTable::new();
+        let cfg = LoadConfig {
+            stack_size: 64 * 1024,
+            heap_size: 1024 * 1024,
+            page_size: 4096,
+        };
+        let img = k
+            .load_unsigned(module_with_global(), &mut table, cfg)
+            .expect("loads");
+        (k, table, img)
+    }
+
+    /// Set up the escape + register fixture `move_pages_end_to_end` uses.
+    fn track_pointer_to_global(
+        k: &mut SimKernel,
+        table: &mut AllocationTable,
+        img: &ProcessImage,
+    ) -> (u64, Vec<u64>) {
+        let g = img.globals[0];
+        let cell = img.heap.0 + 64;
+        k.mem.write_uint(cell, g + 8, 8);
+        table.track_escape(cell);
+        let snapshot = g + 8;
+        table.flush_escapes(|_| snapshot);
+        (g, vec![g + 16, 0x0])
+    }
+
+    #[test]
+    fn move_oom_surfaces_typed_error_and_leaves_state() {
+        let (mut k, mut table, img) = boot_small();
+        let (g, mut regs) = track_pointer_to_global(&mut k, &mut table, &img);
+        k.install_fault_plan(FaultPlan::new().arm_persistent(FaultPoint::MoveDstAlloc, 1));
+        let mem_before = k.mem.read_bytes(0, k.mem.size()).to_vec();
+        let table_before = table.snapshot();
+        let regs_before = regs.clone();
+        let page = k.cost.page_size;
+        let err = k
+            .move_pages(&mut table, &mut regs, g / page * page, 1, 2)
+            .unwrap_err();
+        assert!(matches!(err, KernelError::OutOfFrames { .. }), "{err}");
+        assert!(err.is_recoverable());
+        assert_eq!(k.mem.read_bytes(0, k.mem.size()), &mem_before[..]);
+        assert_eq!(table.snapshot(), table_before);
+        assert_eq!(regs, regs_before);
+    }
+
+    #[test]
+    fn move_oom_recovers_after_transient_exhaustion() {
+        let (mut k, mut table, img) = boot_small();
+        let (g, mut regs) = track_pointer_to_global(&mut k, &mut table, &img);
+        // One-shot exhaustion: the compaction+retry path must recover.
+        k.install_fault_plan(FaultPlan::new().arm(FaultPoint::MoveDstAlloc, 1));
+        let page = k.cost.page_size;
+        let (world, outcome) = k
+            .move_pages(&mut table, &mut regs, g / page * page, 1, 2)
+            .expect("retry recovers");
+        assert!(world.is_complete());
+        assert_eq!(k.oom_recoveries, 1);
+        // The retry's backoff was charged to the move's cost breakdown.
+        assert!(outcome.cost.alloc_and_move > k.cost.move_alloc_fixed + k.cost.copy_cost(page));
+    }
+
+    #[test]
+    fn mid_move_fault_rolls_back_byte_identical() {
+        let (mut k, mut table, img) = boot_small();
+        let (g, mut regs) = track_pointer_to_global(&mut k, &mut table, &img);
+        k.install_fault_plan(FaultPlan::new().arm(FaultPoint::MidMove, 1));
+        let mem_before = k.mem.read_bytes(0, k.mem.size()).to_vec();
+        let table_before = table.snapshot();
+        let regs_before = regs.clone();
+        let page = k.cost.page_size;
+        let err = k
+            .move_pages(&mut table, &mut regs, g / page * page, 1, 2)
+            .unwrap_err();
+        assert!(matches!(err, KernelError::MoveInterrupted { .. }), "{err}");
+        // Byte-identical pre-move state across the whole machine.
+        assert_eq!(k.mem.read_bytes(0, k.mem.size()), &mem_before[..]);
+        assert_eq!(table.snapshot(), table_before);
+        assert_eq!(regs, regs_before);
+        assert!(k.regions.check(GuardImpl::IfTree, g, 8, Access::Read).ok);
+        assert_eq!(k.fault_plan().unwrap().fired().len(), 1);
+        // The machine is not poisoned: the same move now succeeds.
+        let (world, outcome) = k
+            .move_pages(&mut table, &mut regs, g / page * page, 1, 2)
+            .expect("fault disarmed");
+        assert!(world.is_complete());
+        assert!(outcome.escapes_patched >= 1);
+    }
+
+    #[test]
+    fn world_stop_stall_aborts_cleanly() {
+        let (mut k, mut table, img) = boot_small();
+        let (g, mut regs) = track_pointer_to_global(&mut k, &mut table, &img);
+        k.install_fault_plan(FaultPlan::new().arm(FaultPoint::WorldStopStall, 2));
+        let mem_before = k.mem.read_bytes(0, k.mem.size()).to_vec();
+        let page = k.cost.page_size;
+        let err = k
+            .move_pages(&mut table, &mut regs, g / page * page, 1, 4)
+            .unwrap_err();
+        match err {
+            KernelError::WorldStop(carat_runtime::WorldStopError::Stalled { entered, threads }) => {
+                assert_eq!(entered, 1, "one thread made it before the stall");
+                assert_eq!(threads, 4);
+            }
+            other => panic!("expected a stall, got {other:?}"),
+        }
+        assert_eq!(k.mem.read_bytes(0, k.mem.size()), &mem_before[..]);
+        // Episode aborted, machine idle: the retry completes.
+        let (world, _) = k
+            .move_pages(&mut table, &mut regs, g / page * page, 1, 4)
+            .expect("stall cleared");
+        assert!(world.is_complete());
+    }
+
+    #[test]
+    fn page_out_page_in_round_trip_preserves_bytes() {
+        let (mut k, mut table, img) = boot_small();
+        let g = img.globals[0];
+        // Fill the global buffer with a recognizable pattern.
+        for i in 0..16u64 {
+            k.mem.write_uint(g + i * 8, 0xA5A5_0000 + i, 8);
+        }
+        let cell = img.heap.0 + 64;
+        k.mem.write_uint(cell, g + 8, 8);
+        table.track_escape(cell);
+        table.flush_escapes(|_| g + 8);
+        let mut regs = vec![g + 16, 0x0];
+        let (world, slot, src, len) = k
+            .page_out(&mut table, &mut regs, g, 2)
+            .expect("no fault")
+            .expect("swappable");
+        assert!(world.is_complete());
+        let pre_swap: Vec<u64> = (0..16u64).map(|i| 0xA5A5_0000 + i).collect();
+        // Bring it back via the poisoned pointer the register now holds.
+        let poisoned = regs[0];
+        assert!(SimKernel::is_poison(poisoned));
+        let (world, dst) = k
+            .page_in(&mut table, &mut regs, poisoned, 2)
+            .expect("no fault")
+            .expect("slot live");
+        assert!(world.is_complete());
+        assert!(!k.has_swap_slot(slot));
+        // The resumed program reads back the exact pre-swap bytes.
+        let g2 = dst + (g - src);
+        let back: Vec<u64> = (0..16u64).map(|i| k.mem.read_uint(g2 + i * 8, 8)).collect();
+        assert_eq!(back, pre_swap);
+        // Pointers chased through the patched escape land on the data.
+        assert_eq!(k.mem.read_uint(cell, 8), g2 + 8);
+        assert_eq!(regs[0], g2 + 16);
+        assert_eq!(len % k.cost.page_size, 0);
+    }
+
+    #[test]
+    fn page_in_of_missing_slot_is_none() {
+        let (mut k, mut table, _) = boot_small();
+        let mut regs = vec![0u64];
+        let bogus = POISON_BASE + 7 * POISON_SLOT_SPAN;
+        assert!(k
+            .page_in(&mut table, &mut regs, bogus, 1)
+            .expect("no fault")
+            .is_none());
+    }
+
+    #[test]
+    fn corrupted_swap_slot_is_a_typed_error_not_a_panic() {
+        let (mut k, mut table, img) = boot_small();
+        let g = img.globals[0];
+        let mut regs = vec![g + 16];
+        let (_, slot, _, _) = k
+            .page_out(&mut table, &mut regs, g, 1)
+            .expect("no fault")
+            .expect("swappable");
+        assert!(k.debug_corrupt_swap_slot(slot));
+        assert_eq!(k.corrupt_swap_slots(), vec![slot]);
+        let poisoned = regs[0];
+        let err = k.page_in(&mut table, &mut regs, poisoned, 1).unwrap_err();
+        assert_eq!(err, KernelError::SwapReadFailed { slot });
+        // The (corrupt) entry is preserved for post-mortem, not dropped.
+        assert!(k.has_swap_slot(slot));
+    }
+
+    #[test]
+    fn failed_page_in_preserves_the_swap_entry_for_retry() {
+        let (mut k, mut table, img) = boot_small();
+        let g = img.globals[0];
+        k.mem.write_uint(g, 0xFEED_FACE, 8);
+        let mut regs = vec![g];
+        let (_, slot, src, _) = k
+            .page_out(&mut table, &mut regs, g, 1)
+            .expect("no fault")
+            .expect("swappable");
+        let poisoned = regs[0];
+        // First attempt: injected swap-read failure.
+        k.install_fault_plan(FaultPlan::new().arm(FaultPoint::SwapRead, 1));
+        let err = k.page_in(&mut table, &mut regs, poisoned, 1).unwrap_err();
+        assert_eq!(err, KernelError::SwapReadFailed { slot });
+        assert!(k.has_swap_slot(slot), "data survives the failed read");
+        // Second attempt: injected destination OOM.
+        k.install_fault_plan(FaultPlan::new().arm_persistent(FaultPoint::MoveDstAlloc, 1));
+        let err = k.page_in(&mut table, &mut regs, poisoned, 1).unwrap_err();
+        assert!(matches!(err, KernelError::OutOfFrames { .. }));
+        assert!(k.has_swap_slot(slot), "OOM must not drop the swap entry");
+        // Third attempt: clean — the exact bytes come back.
+        k.install_fault_plan(FaultPlan::new());
+        let (_, dst) = k
+            .page_in(&mut table, &mut regs, poisoned, 1)
+            .expect("no fault")
+            .expect("slot live");
+        assert_eq!(k.mem.read_uint(dst + (g - src), 8), 0xFEED_FACE);
+    }
+
+    #[test]
+    fn signature_corruption_at_load_is_rejected_by_verification() {
+        use carat_core::sign::{sign_module, SignatureError, SigningKey};
+        let key = SigningKey::from_passphrase("carat-cc 0.1", "trusted toolchain");
+        let signed = sign_module(&module_with_global(), &key);
+        let mut k = SimKernel::new(256 * 1024 * 1024);
+        k.trust(key.clone());
+        k.install_fault_plan(FaultPlan::new().arm(FaultPoint::SignatureCorrupt, 1));
+        let mut table = AllocationTable::new();
+        let err = k
+            .load(&signed, &mut table, LoadConfig::default())
+            .unwrap_err();
+        assert!(
+            matches!(err, LoadError::Signature(SignatureError::Mismatch)),
+            "corrupted image must fail verification, got {err:?}"
+        );
+        // The fault was one-shot: an intact reload succeeds.
+        let mut table = AllocationTable::new();
+        k.load(&signed, &mut table, LoadConfig::default())
+            .expect("clean image verifies");
     }
 
     #[test]

@@ -35,13 +35,15 @@
 #![warn(missing_docs)]
 
 mod buddy;
+mod faults;
 mod kernel;
 mod loader;
 mod pagetable;
 mod phys;
 mod trace;
 
-pub use buddy::BuddyAllocator;
+pub use buddy::{BuddyAllocator, BuddyError};
+pub use faults::{FaultPlan, FaultPoint, KernelError};
 pub use kernel::{SimKernel, POISON_BASE, POISON_SLOT_SPAN};
 pub use loader::{load_signed, load_unsigned, LoadConfig, LoadError, ProcessImage};
 pub use pagetable::{PageTable, Pte, Walk};

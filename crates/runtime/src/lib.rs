@@ -42,9 +42,9 @@ pub use alloc_table::{AllocInfo, AllocKind, AllocationTable, TrackStats};
 pub use cost::CostModel;
 pub use fast_hash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use patch::{
-    expand_to_allocations, perform_move, perform_move_alloc_granular, ExpandVeto, MemAccess,
-    MoveCostBreakdown, MoveOutcome, MoveRequest,
+    expand_to_allocations, perform_move, perform_move_alloc_granular, perform_move_journaled,
+    ExpandVeto, MemAccess, MoveCostBreakdown, MoveInterrupted, MoveOutcome, MovePhase, MoveRequest,
 };
 pub use rbtree::RbTree;
 pub use region::{Access, GuardCheck, GuardImpl, Perms, Region, RegionTable};
-pub use world::{ProtocolError, Step, WorldStop};
+pub use world::{ProtocolError, Step, WorldStop, WorldStopError};

@@ -19,6 +19,7 @@
 
 use crate::alloc_table::AllocationTable;
 use crate::cost::CostModel;
+use std::fmt;
 
 /// Memory access interface the engine uses to read/patch/copy simulated
 /// physical memory. Implemented by the kernel's physical memory.
@@ -136,6 +137,65 @@ pub fn expand_to_allocations(
     }
 }
 
+/// Checkpoints at which a journaled move consults its interrupt hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MovePhase {
+    /// After negotiation/expansion — nothing has been mutated yet.
+    Expanded,
+    /// After escapes and registers were patched, before the data copy and
+    /// table maintenance — the crash window the patch journal covers.
+    Patched,
+}
+
+/// A journaled move was interrupted and rolled back. Every escape cell and
+/// register the move had patched was restored to its pre-move value; the
+/// allocation table and the data were never touched (both are only updated
+/// after the final checkpoint), so the machine state is byte-identical to
+/// the state before the move began.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveInterrupted {
+    /// The checkpoint at which the interrupt fired.
+    pub phase: MovePhase,
+    /// Escape cells restored from the journal.
+    pub cells_rolled_back: usize,
+    /// Registers restored from the journal.
+    pub registers_rolled_back: usize,
+}
+
+impl fmt::Display for MoveInterrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "move interrupted at {:?}: rolled back {} cells, {} registers",
+            self.phase, self.cells_rolled_back, self.registers_rolled_back
+        )
+    }
+}
+
+impl std::error::Error for MoveInterrupted {}
+
+/// Undo log for one move: the pre-patch value of every mutated escape
+/// cell and register, in mutation order.
+#[derive(Debug, Default)]
+struct PatchJournal {
+    cells: Vec<(u64, u64)>,
+    regs: Vec<(usize, u64)>,
+}
+
+impl PatchJournal {
+    /// Restore everything in reverse mutation order.
+    fn rollback(self, mem: &mut dyn MemAccess, regs: &mut [u64]) -> (usize, usize) {
+        let (nc, nr) = (self.cells.len(), self.regs.len());
+        for (idx, old) in self.regs.into_iter().rev() {
+            regs[idx] = old;
+        }
+        for (cell, old) in self.cells.into_iter().rev() {
+            mem.write_u64(cell, old);
+        }
+        (nc, nr)
+    }
+}
+
 /// Execute a move entirely: negotiate, patch escapes and registers, copy,
 /// and update the allocation table. `regs` is the dumped register state of
 /// all stopped threads (patched in place).
@@ -150,12 +210,53 @@ pub fn perform_move(
     req: MoveRequest,
     cost: &CostModel,
 ) -> MoveOutcome {
+    match perform_move_journaled(table, mem, regs, req, cost, None) {
+        Ok(out) => out,
+        Err(_) => unreachable!("a move without an interrupt hook cannot be interrupted"),
+    }
+}
+
+/// [`perform_move`] with crash consistency: when `interrupt` is present,
+/// every escape-cell and register patch is journaled, and the hook is
+/// consulted at each [`MovePhase`] checkpoint. If it returns `true` the
+/// move is abandoned: the journal is replayed in reverse, restoring a
+/// byte-identical pre-move state (the data copy and all allocation-table
+/// maintenance happen strictly after the last checkpoint, so cells and
+/// registers are the only mutations to undo).
+///
+/// With `interrupt == None` this is exactly [`perform_move`] — no journal
+/// is kept and no overhead is paid.
+///
+/// # Errors
+///
+/// [`MoveInterrupted`] when the hook fired; the rollback has already
+/// happened by the time the error is returned.
+pub fn perform_move_journaled(
+    table: &mut AllocationTable,
+    mem: &mut dyn MemAccess,
+    regs: &mut [u64],
+    req: MoveRequest,
+    cost: &CostModel,
+    mut interrupt: Option<&mut dyn FnMut(MovePhase) -> bool>,
+) -> Result<MoveOutcome, MoveInterrupted> {
     // --- Phase 1: page expand (negotiation) ---
     let (src, len) = expand_to_allocations(table, req.src, req.len, cost.page_size);
     let dst = req.dst.wrapping_sub(req.src - src);
     let delta = dst.wrapping_sub(src) as i64;
     let affected = table.overlapping(src, src + len);
     let page_expand = cost.move_expand_fixed + affected.len() as u64 * cost.move_expand_per_alloc;
+
+    let mut journal = interrupt.as_ref().map(|_| PatchJournal::default());
+    if let Some(hook) = interrupt.as_deref_mut() {
+        if hook(MovePhase::Expanded) {
+            // Nothing mutated yet; the journal is empty.
+            return Err(MoveInterrupted {
+                phase: MovePhase::Expanded,
+                cells_rolled_back: 0,
+                registers_rolled_back: 0,
+            });
+        }
+    }
 
     // --- Phase 2: patch generation & execution ---
     let mut escapes_patched = 0usize;
@@ -166,6 +267,9 @@ pub fn perform_move(
         for cell in escape_cells {
             let val = mem.read_u64(cell);
             if val >= lo && val < hi {
+                if let Some(j) = journal.as_mut() {
+                    j.cells.push((cell, val));
+                }
                 mem.write_u64(cell, val.wrapping_add(delta as u64));
                 escapes_patched += 1;
             }
@@ -175,13 +279,30 @@ pub fn perform_move(
 
     // --- Phase 3: register patch ---
     let mut registers_patched = 0usize;
-    for r in regs.iter_mut() {
+    for (idx, r) in regs.iter_mut().enumerate() {
         if *r >= src && *r < src + len {
+            if let Some(j) = journal.as_mut() {
+                j.regs.push((idx, *r));
+            }
             *r = r.wrapping_add(delta as u64);
             registers_patched += 1;
         }
     }
     let register_patch = regs.len() as u64 * cost.move_register_patch_per_reg;
+
+    if let Some(hook) = interrupt {
+        if hook(MovePhase::Patched) {
+            let (nc, nr) = journal
+                .take()
+                .expect("journal exists whenever a hook does")
+                .rollback(mem, regs);
+            return Err(MoveInterrupted {
+                phase: MovePhase::Patched,
+                cells_rolled_back: nc,
+                registers_rolled_back: nr,
+            });
+        }
+    }
 
     // --- Phase 4: allocation + data movement ---
     mem.copy(src, dst, len);
@@ -194,7 +315,7 @@ pub fn perform_move(
         table.relocate(start, delta);
     }
 
-    MoveOutcome {
+    Ok(MoveOutcome {
         moved_src: src,
         moved_len: len,
         moved_dst: dst,
@@ -207,7 +328,7 @@ pub fn perform_move(
             register_patch,
             alloc_and_move,
         },
-    }
+    })
 }
 
 /// Allocation-granularity move (the paper's §6 "Allocation Granularity"
@@ -458,6 +579,101 @@ mod tests {
             // Register patched iff it was in the moved range.
             prop_assert_eq!(regs[1], 0);
         }
+    }
+
+    #[test]
+    fn interrupted_move_rolls_back_byte_identical() {
+        let (mut t, mut m) = setup();
+        let cost = CostModel::default();
+        let mut regs = vec![0x1044u64, 0xdead];
+        let words_before = m.words.clone();
+        let regs_before = regs.clone();
+        let table_before = t.snapshot();
+        let mut fire = |phase: MovePhase| phase == MovePhase::Patched;
+        let err = perform_move_journaled(
+            &mut t,
+            &mut m,
+            &mut regs,
+            MoveRequest {
+                src: 0x1000,
+                len: 0x1000,
+                dst: 0x9000,
+            },
+            &cost,
+            Some(&mut fire),
+        )
+        .unwrap_err();
+        assert_eq!(err.phase, MovePhase::Patched);
+        assert_eq!(err.cells_rolled_back, 2, "both escape patches undone");
+        assert_eq!(err.registers_rolled_back, 1);
+        // Byte-identical pre-move state: memory, registers, and table.
+        assert_eq!(m.words, words_before);
+        assert_eq!(regs, regs_before);
+        assert_eq!(t.snapshot(), table_before);
+        assert!(t.info(0x1000).is_some(), "allocation still at old address");
+        assert!(t.info(0x9000).is_none(), "nothing landed at the dst");
+        // The machine is not poisoned: the same move succeeds afterwards.
+        let out = perform_move(
+            &mut t,
+            &mut m,
+            &mut regs,
+            MoveRequest {
+                src: 0x1000,
+                len: 0x1000,
+                dst: 0x9000,
+            },
+            &cost,
+        );
+        assert_eq!(out.escapes_patched, 2);
+        assert_eq!(m.read_u64(0x5000), 0x9010);
+    }
+
+    #[test]
+    fn interrupt_before_patching_touches_nothing() {
+        let (mut t, mut m) = setup();
+        let cost = CostModel::default();
+        let mut regs = vec![0x1044u64];
+        let words_before = m.words.clone();
+        let mut fire = |phase: MovePhase| phase == MovePhase::Expanded;
+        let err = perform_move_journaled(
+            &mut t,
+            &mut m,
+            &mut regs,
+            MoveRequest {
+                src: 0x1000,
+                len: 0x1000,
+                dst: 0x9000,
+            },
+            &cost,
+            Some(&mut fire),
+        )
+        .unwrap_err();
+        assert_eq!(err.phase, MovePhase::Expanded);
+        assert_eq!(err.cells_rolled_back, 0);
+        assert_eq!(m.words, words_before);
+        assert_eq!(regs, vec![0x1044u64]);
+    }
+
+    #[test]
+    fn journaled_move_without_interrupt_matches_plain_move() {
+        let (mut t1, mut m1) = setup();
+        let (mut t2, mut m2) = setup();
+        let cost = CostModel::default();
+        let req = MoveRequest {
+            src: 0x1000,
+            len: 0x1000,
+            dst: 0x9000,
+        };
+        let mut regs1 = vec![0x1044u64, 0xdead];
+        let mut regs2 = regs1.clone();
+        let plain = perform_move(&mut t1, &mut m1, &mut regs1, req, &cost);
+        let mut never = |_: MovePhase| false;
+        let journaled =
+            perform_move_journaled(&mut t2, &mut m2, &mut regs2, req, &cost, Some(&mut never))
+                .unwrap();
+        assert_eq!(plain, journaled, "journal must not change the outcome");
+        assert_eq!(regs1, regs2);
+        assert_eq!(m1.words, m2.words);
     }
 
     #[test]

@@ -5,6 +5,11 @@
 //! negotiates and patches; a second barrier precedes resumption. This
 //! module is the protocol state machine the VM and kernel drive; it
 //! validates step ordering and accounts the per-thread costs.
+//!
+//! An episode that cannot make progress (a step out of order, a thread
+//! that never reaches its handler) is not allowed to poison the machine:
+//! [`WorldStop::abort`] releases the stopped threads and returns the
+//! state machine to idle so a fresh episode can be started.
 
 use crate::cost::CostModel;
 use std::error::Error;
@@ -33,6 +38,9 @@ pub enum Step {
     Barrier2,
     /// 12 — kernel notified; threads resumed.
     Completed,
+    /// The episode was interrupted: stopped threads were released and the
+    /// machine returned to idle without a change taking effect.
+    Aborted,
 }
 
 /// Ordering violation.
@@ -55,6 +63,41 @@ impl fmt::Display for ProtocolError {
 }
 
 impl Error for ProtocolError {}
+
+/// Why a world-stop episode failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorldStopError {
+    /// A step was driven out of order.
+    Protocol(ProtocolError),
+    /// A thread never reached its signal handler (stall/timeout): only
+    /// `entered` of `threads` threads arrived before the kernel gave up.
+    Stalled {
+        /// Threads that did reach their handler.
+        entered: usize,
+        /// Threads that were signalled.
+        threads: usize,
+    },
+}
+
+impl fmt::Display for WorldStopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorldStopError::Protocol(e) => write!(f, "{e}"),
+            WorldStopError::Stalled { entered, threads } => write!(
+                f,
+                "world-stop stalled: {entered}/{threads} threads reached their handlers"
+            ),
+        }
+    }
+}
+
+impl Error for WorldStopError {}
+
+impl From<ProtocolError> for WorldStopError {
+    fn from(e: ProtocolError) -> WorldStopError {
+        WorldStopError::Protocol(e)
+    }
+}
 
 /// One world-stop episode over `threads` threads.
 #[derive(Debug, Clone)]
@@ -82,19 +125,24 @@ impl WorldStop {
         &self.log
     }
 
-    fn expect_last(&self, want: Step, attempted: Step) -> Result<(), ProtocolError> {
+    fn expect_last(&self, want: Step, attempted: Step) -> Result<(), WorldStopError> {
         if self.log.last() == Some(&want) {
             Ok(())
         } else {
-            Err(ProtocolError {
+            Err(WorldStopError::Protocol(ProtocolError {
                 attempted,
                 expected: want,
-            })
+            }))
         }
     }
 
-    /// Kernel signals every thread (step 2).
-    pub fn signal_all(&mut self, cost: &CostModel) -> Result<(), ProtocolError> {
+    /// Kernel signals every thread (step 2). Legal from idle — either a
+    /// fresh episode or one returned to idle by [`WorldStop::abort`].
+    pub fn signal_all(&mut self, cost: &CostModel) -> Result<(), WorldStopError> {
+        if self.log.last() == Some(&Step::Aborted) {
+            // Restarting after an abort begins a new request.
+            self.log.push(Step::RequestReceived);
+        }
         self.expect_last(Step::RequestReceived, Step::SignalsSent)?;
         self.cycles += self.threads as u64 * cost.move_signal_per_thread;
         self.log.push(Step::SignalsSent);
@@ -103,11 +151,11 @@ impl WorldStop {
 
     /// One thread enters its handler and dumps registers (steps 3–4).
     /// When the last thread arrives, the state advances.
-    pub fn thread_entered(&mut self) -> Result<bool, ProtocolError> {
+    pub fn thread_entered(&mut self) -> Result<bool, WorldStopError> {
         self.expect_last(Step::SignalsSent, Step::HandlersEntered)
             .or_else(|e| {
                 // Threads trickle in; allowed while still in SignalsSent.
-                if self.entered < self.threads {
+                if self.entered < self.threads && self.log.last() == Some(&Step::SignalsSent) {
                     Ok(())
                 } else {
                     Err(e)
@@ -122,7 +170,7 @@ impl WorldStop {
     }
 
     /// All threads synchronize (step 5, first barrier).
-    pub fn barrier1(&mut self, cost: &CostModel) -> Result<(), ProtocolError> {
+    pub fn barrier1(&mut self, cost: &CostModel) -> Result<(), WorldStopError> {
         self.expect_last(Step::HandlersEntered, Step::Barrier1)?;
         self.cycles += self.threads as u64 * cost.move_barrier_per_thread;
         self.log.push(Step::Barrier1);
@@ -130,35 +178,35 @@ impl WorldStop {
     }
 
     /// Negotiation finished (steps 5–6).
-    pub fn negotiated(&mut self) -> Result<(), ProtocolError> {
+    pub fn negotiated(&mut self) -> Result<(), WorldStopError> {
         self.expect_last(Step::Barrier1, Step::Negotiated)?;
         self.log.push(Step::Negotiated);
         Ok(())
     }
 
     /// Affected allocations found, patches computed (steps 6–7).
-    pub fn patches_computed(&mut self) -> Result<(), ProtocolError> {
+    pub fn patches_computed(&mut self) -> Result<(), WorldStopError> {
         self.expect_last(Step::Negotiated, Step::PatchesComputed)?;
         self.log.push(Step::PatchesComputed);
         Ok(())
     }
 
     /// Escapes + registers patched (step 8).
-    pub fn patched(&mut self) -> Result<(), ProtocolError> {
+    pub fn patched(&mut self) -> Result<(), WorldStopError> {
         self.expect_last(Step::PatchesComputed, Step::Patched)?;
         self.log.push(Step::Patched);
         Ok(())
     }
 
     /// Data movement done (step 10).
-    pub fn moved(&mut self) -> Result<(), ProtocolError> {
+    pub fn moved(&mut self) -> Result<(), WorldStopError> {
         self.expect_last(Step::Patched, Step::Moved)?;
         self.log.push(Step::Moved);
         Ok(())
     }
 
     /// Second barrier (step 11).
-    pub fn barrier2(&mut self, cost: &CostModel) -> Result<(), ProtocolError> {
+    pub fn barrier2(&mut self, cost: &CostModel) -> Result<(), WorldStopError> {
         self.expect_last(Step::Moved, Step::Barrier2)?;
         self.cycles += self.threads as u64 * cost.move_barrier_per_thread;
         self.log.push(Step::Barrier2);
@@ -166,10 +214,25 @@ impl WorldStop {
     }
 
     /// Kernel notified, threads resume (step 12).
-    pub fn complete(&mut self) -> Result<(), ProtocolError> {
+    pub fn complete(&mut self) -> Result<(), WorldStopError> {
         self.expect_last(Step::Barrier2, Step::Completed)?;
         self.log.push(Step::Completed);
         Ok(())
+    }
+
+    /// Abort an in-flight episode: release every thread that already
+    /// stopped (charging a release barrier for them) and return the state
+    /// machine to idle. After an abort, [`WorldStop::signal_all`] starts a
+    /// fresh episode on the same machine. A no-op on a completed episode.
+    pub fn abort(&mut self, cost: &CostModel) {
+        if self.is_complete() || self.is_aborted() {
+            return;
+        }
+        // Threads already parked in their handlers pass a release barrier
+        // on the way out.
+        self.cycles += self.entered as u64 * cost.move_barrier_per_thread;
+        self.entered = 0;
+        self.log.push(Step::Aborted);
     }
 
     /// Whether the episode finished.
@@ -177,22 +240,32 @@ impl WorldStop {
         self.log.last() == Some(&Step::Completed)
     }
 
+    /// Whether the episode was aborted (and is back to idle).
+    pub fn is_aborted(&self) -> bool {
+        self.log.last() == Some(&Step::Aborted)
+    }
+
+    /// Drive a full episode, propagating any protocol failure.
+    pub fn try_run_all(threads: usize, cost: &CostModel) -> Result<WorldStop, WorldStopError> {
+        let mut w = WorldStop::new(threads);
+        w.signal_all(cost)?;
+        for _ in 0..threads {
+            w.thread_entered()?;
+        }
+        w.barrier1(cost)?;
+        w.negotiated()?;
+        w.patches_computed()?;
+        w.patched()?;
+        w.moved()?;
+        w.barrier2(cost)?;
+        w.complete()?;
+        Ok(w)
+    }
+
     /// Drive a full episode in one call (used when the caller needs the
     /// costs but not the intermediate states).
     pub fn run_all(threads: usize, cost: &CostModel) -> WorldStop {
-        let mut w = WorldStop::new(threads);
-        w.signal_all(cost).expect("fresh episode");
-        for _ in 0..threads {
-            w.thread_entered().expect("threads enter");
-        }
-        w.barrier1(cost).expect("barrier1");
-        w.negotiated().expect("negotiated");
-        w.patches_computed().expect("patches");
-        w.patched().expect("patched");
-        w.moved().expect("moved");
-        w.barrier2(cost).expect("barrier2");
-        w.complete().expect("complete");
-        w
+        WorldStop::try_run_all(threads, cost).expect("fresh episode cannot violate the protocol")
     }
 }
 
@@ -228,6 +301,20 @@ mod tests {
     }
 
     #[test]
+    fn errors_are_typed_protocol_violations() {
+        let cost = CostModel::default();
+        let mut w = WorldStop::new(1);
+        let err = w.barrier1(&cost).unwrap_err();
+        match err {
+            WorldStopError::Protocol(p) => {
+                assert_eq!(p.attempted, Step::Barrier1);
+                assert_eq!(p.expected, Step::HandlersEntered);
+            }
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn single_thread_episode() {
         let cost = CostModel::default();
         let w = WorldStop::run_all(1, &cost);
@@ -241,5 +328,52 @@ mod tests {
         let w8 = WorldStop::run_all(8, &cost);
         assert!(w8.cycles > w1.cycles);
         assert_eq!(w8.cycles, 8 * w1.cycles);
+    }
+
+    #[test]
+    fn abort_returns_to_idle_and_allows_restart() {
+        let cost = CostModel::default();
+        let mut w = WorldStop::new(3);
+        w.signal_all(&cost).unwrap();
+        assert!(!w.thread_entered().unwrap());
+        // Third thread stalls; the kernel gives up.
+        w.abort(&cost);
+        assert!(w.is_aborted());
+        assert!(!w.is_complete());
+        // The same machine can start over and complete cleanly.
+        w.signal_all(&cost).unwrap();
+        for _ in 0..3 {
+            w.thread_entered().unwrap();
+        }
+        w.barrier1(&cost).unwrap();
+        w.negotiated().unwrap();
+        w.patches_computed().unwrap();
+        w.patched().unwrap();
+        w.moved().unwrap();
+        w.barrier2(&cost).unwrap();
+        w.complete().unwrap();
+        assert!(w.is_complete());
+    }
+
+    #[test]
+    fn abort_charges_release_barrier_for_entered_threads() {
+        let cost = CostModel::default();
+        let mut w = WorldStop::new(4);
+        w.signal_all(&cost).unwrap();
+        let signalled = w.cycles;
+        w.thread_entered().unwrap();
+        w.thread_entered().unwrap();
+        w.abort(&cost);
+        assert_eq!(w.cycles, signalled + 2 * cost.move_barrier_per_thread);
+    }
+
+    #[test]
+    fn abort_on_completed_episode_is_noop() {
+        let cost = CostModel::default();
+        let mut w = WorldStop::run_all(2, &cost);
+        let cycles = w.cycles;
+        w.abort(&cost);
+        assert!(w.is_complete());
+        assert_eq!(w.cycles, cycles);
     }
 }

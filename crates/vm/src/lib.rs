@@ -45,7 +45,8 @@ pub use decode::{
 };
 pub use heap::HeapAllocator;
 pub use machine::{
-    Engine, Mode, MoveDriverConfig, RunResult, SwapDriverConfig, Vm, VmConfig, VmError,
+    Engine, IntegrityReport, Mode, MoveDriverConfig, RunResult, SwapDriverConfig, Vm, VmConfig,
+    VmError,
 };
 pub use tlb::{Tlb, TranslationUnit};
 

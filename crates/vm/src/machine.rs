@@ -20,7 +20,7 @@ use crate::tlb::TranslationUnit;
 use carat_ir::{
     BinOp, BlockId, CastKind, Const, FuncId, Inst, IntTy, Intrinsic, Module, Pred, Type, ValueId,
 };
-use carat_kernel::{LoadConfig, LoadError, ProcessImage, SimKernel};
+use carat_kernel::{FaultPlan, KernelError, LoadConfig, LoadError, ProcessImage, SimKernel};
 use carat_runtime::{Access, AllocKind, AllocationTable, CostModel, GuardImpl, TrackStats};
 use std::error::Error;
 use std::fmt;
@@ -106,6 +106,10 @@ pub struct VmConfig {
     pub auto_grow_stack: bool,
     /// Stack growth ceiling in bytes.
     pub max_stack: u64,
+    /// Optional fault-injection schedule installed into the kernel.
+    /// `Some(FaultPlan::new())` arms nothing but enables the journaled
+    /// (crash-consistent) move path, for measuring its overhead.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for VmConfig {
@@ -125,6 +129,7 @@ impl Default for VmConfig {
             load: LoadConfig::default(),
             auto_grow_stack: true,
             max_stack: 8 * 1024 * 1024,
+            fault_plan: None,
         }
     }
 }
@@ -149,6 +154,11 @@ pub enum VmError {
     Trap(String),
     /// Loading failed.
     Load(LoadError),
+    /// A kernel operation (move, page-out, page-in, stack expansion)
+    /// failed with a typed error. The kernel rolled back or aborted
+    /// first, so its state — and the guest's memory image — is
+    /// consistent; [`Vm::run_checked`] verifies this.
+    Kernel(KernelError),
 }
 
 impl fmt::Display for VmError {
@@ -163,6 +173,7 @@ impl fmt::Display for VmError {
             VmError::StepLimit => write!(f, "instruction step limit exceeded"),
             VmError::Trap(m) => write!(f, "trap: {m}"),
             VmError::Load(e) => write!(f, "load: {e}"),
+            VmError::Kernel(e) => write!(f, "kernel: {e}"),
         }
     }
 }
@@ -172,6 +183,12 @@ impl Error for VmError {}
 impl From<LoadError> for VmError {
     fn from(e: LoadError) -> VmError {
         VmError::Load(e)
+    }
+}
+
+impl From<KernelError> for VmError {
+    fn from(e: KernelError) -> VmError {
+        VmError::Kernel(e)
     }
 }
 
@@ -204,6 +221,31 @@ pub struct RunResult {
     pub dtlb_mpki: f64,
     /// Pagewalks performed (traditional mode).
     pub pagewalks: u64,
+}
+
+/// Result of [`Vm::check_integrity`]: a structural audit of the
+/// allocation table, frame allocator, swap store, and region set.
+/// Produced by [`Vm::run_checked`] after every run — successful or not —
+/// so fault-injection tests can prove a typed error never left the
+/// machine corrupted.
+#[derive(Debug, Clone, Default)]
+pub struct IntegrityReport {
+    /// Human-readable descriptions of every violated invariant (empty
+    /// means the machine is consistent).
+    pub violations: Vec<String>,
+    /// Tracked allocations at audit time.
+    pub allocations: usize,
+    /// Page frames the buddy allocator accounts as in use.
+    pub frames_in_use: u64,
+    /// Live swap-store entries.
+    pub swap_entries: usize,
+}
+
+impl IntegrityReport {
+    /// Whether every structural invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
 }
 
 /// An SSA register value.
@@ -333,6 +375,9 @@ impl Vm {
     /// Propagates loader failures.
     pub fn new(module: Module, cfg: VmConfig) -> Result<Vm, VmError> {
         let mut kernel = SimKernel::new(512 * 1024 * 1024);
+        if let Some(plan) = cfg.fault_plan.clone() {
+            kernel.install_fault_plan(plan);
+        }
         let mut table = AllocationTable::new();
         let image = kernel.load_unsigned(module, &mut table, cfg.load)?;
         Ok(Vm::from_parts(kernel, table, image, cfg))
@@ -349,6 +394,11 @@ impl Vm {
         cfg: VmConfig,
     ) -> Result<Vm, VmError> {
         let mut kernel = SimKernel::new(512 * 1024 * 1024);
+        // The plan must be live before `load` so faults can target the
+        // trust chain (signature corruption in flight).
+        if let Some(plan) = cfg.fault_plan.clone() {
+            kernel.install_fault_plan(plan);
+        }
         for k in trusted {
             kernel.trust(k);
         }
@@ -411,6 +461,21 @@ impl Vm {
     ///
     /// See [`VmError`].
     pub fn run(mut self) -> Result<RunResult, VmError> {
+        self.run_mut()
+    }
+
+    /// Run `main` to completion, then audit the machine's structural
+    /// integrity — whatever the outcome. This is the fault-soak
+    /// entry point: a run that dies with a typed error must still leave
+    /// the allocation table, frame allocator, and swap store consistent,
+    /// and the report proves (or disproves) that.
+    pub fn run_checked(mut self) -> (Result<RunResult, VmError>, IntegrityReport) {
+        let result = self.run_mut();
+        let report = self.check_integrity();
+        (result, report)
+    }
+
+    fn run_mut(&mut self) -> Result<RunResult, VmError> {
         let main = self
             .image
             .module
@@ -470,8 +535,60 @@ impl Vm {
             dtlb_misses: self.tlb.dtlb.misses,
             dtlb_mpki: mpki,
             pagewalks: self.tlb.pagewalks,
-            counters: self.counters,
+            counters: self.counters.clone(),
         })
+    }
+
+    /// Structural audit of the machine's memory-management state. Checks
+    /// hold at any quiescent point — including right after a failed run —
+    /// because every kernel error path rolls back or aborts first:
+    ///
+    /// * tracked allocations are disjoint (no move landed on live data);
+    /// * the frame allocator's usage accounting is within the arena;
+    /// * every swap entry's payload matches its recorded length;
+    /// * kernel regions are well-formed.
+    pub fn check_integrity(&self) -> IntegrityReport {
+        let mut violations = Vec::new();
+        // Allocation disjointness over the sorted snapshot. Poisoned
+        // (swapped-out) allocations live in disjoint per-slot windows and
+        // participate like any others.
+        let mut allocs: Vec<(u64, u64)> = self
+            .table
+            .snapshot()
+            .into_iter()
+            .map(|(start, len, _, _)| (start, len))
+            .collect();
+        allocs.sort_unstable();
+        for w in allocs.windows(2) {
+            let (a_start, a_len) = w[0];
+            let (b_start, _) = w[1];
+            if a_start + a_len > b_start {
+                violations.push(format!(
+                    "allocations overlap: [{a_start:#x},+{a_len:#x}) and {b_start:#x}"
+                ));
+            }
+        }
+        let in_use = self.kernel.buddy.pages_in_use;
+        let total = self.kernel.buddy.total_pages();
+        if in_use > total {
+            violations.push(format!(
+                "frame allocator accounts {in_use} pages in use of {total}"
+            ));
+        }
+        for slot in self.kernel.corrupt_swap_slots() {
+            violations.push(format!("swap slot {slot} length/payload mismatch"));
+        }
+        for r in self.kernel.regions.regions() {
+            if r.len == 0 || r.start.checked_add(r.len).is_none() {
+                violations.push(format!("malformed region [{:#x},+{:#x})", r.start, r.len));
+            }
+        }
+        IntegrityReport {
+            allocations: allocs.len(),
+            frames_in_use: in_use,
+            swap_entries: self.kernel.swapped_ranges(),
+            violations,
+        }
     }
 
     fn push_frame(
@@ -1156,7 +1273,7 @@ impl Vm {
     /// optimized away — and the kernel services it by paging back in.
     fn data_access(&mut self, mut addr: u64, size: u64, _write: bool) -> Result<u64, VmError> {
         if SimKernel::is_poison(addr) {
-            match self.try_page_in(addr) {
+            match self.try_page_in(addr)? {
                 Some((base, span, delta)) => addr = translate(addr, base, span, delta),
                 None => {
                     return Err(VmError::GuardFault {
@@ -1262,7 +1379,7 @@ impl Vm {
                 }
                 // A poison address means the data is in swap: the guard
                 // fault reaches the kernel, which pages it back in.
-                if let Some((base, span, delta)) = self.try_page_in(addr) {
+                if let Some((base, span, delta)) = self.try_page_in(addr)? {
                     let addr2 = translate(addr, base, span, delta);
                     let again = self
                         .kernel
@@ -1304,7 +1421,7 @@ impl Vm {
                 if check.ok {
                     return Ok(None);
                 }
-                if let Some((base, span, delta)) = self.try_page_in(lo) {
+                if let Some((base, span, delta)) = self.try_page_in(lo)? {
                     let lo2 = translate(lo, base, span, delta);
                     let hi2 = translate(hi, base, span, delta);
                     let again = self.kernel.regions.check_range(lo2, hi2, access);
@@ -1332,7 +1449,7 @@ impl Vm {
                 }
                 // The stack itself may be in swap (its pointers poisoned);
                 // fault to the kernel and page it back in first.
-                if SimKernel::is_poison(lo) && self.try_page_in(lo).is_some() {
+                if SimKernel::is_poison(lo) && self.try_page_in(lo)?.is_some() {
                     let lo2 = self.sp.saturating_sub(frame);
                     let again =
                         self.kernel
@@ -1346,7 +1463,7 @@ impl Vm {
                 // A failed guard involving the stack invokes the kernel,
                 // which implements seamless stack expansion (paper §2.2).
                 // Spawned threads' heap stacks are fixed-size.
-                if self.cfg.auto_grow_stack && self.cur_tid == 0 && self.try_expand_stack() {
+                if self.cfg.auto_grow_stack && self.cur_tid == 0 && self.try_expand_stack()? {
                     let lo2 = self.sp.saturating_sub(frame);
                     let again =
                         self.kernel
@@ -1436,7 +1553,7 @@ impl Vm {
                 // Resolve swapped operands up front so the bulk copy below
                 // sees resident memory.
                 if SimKernel::is_poison(dst) {
-                    let (b, sp, d) = self.try_page_in(dst).ok_or(VmError::GuardFault {
+                    let (b, sp, d) = self.try_page_in(dst)?.ok_or(VmError::GuardFault {
                         addr: dst,
                         len,
                         write: true,
@@ -1445,7 +1562,7 @@ impl Vm {
                     src = translate(src, b, sp, d);
                 }
                 if SimKernel::is_poison(src) {
-                    let (b, sp, d) = self.try_page_in(src).ok_or(VmError::GuardFault {
+                    let (b, sp, d) = self.try_page_in(src)?.ok_or(VmError::GuardFault {
                         addr: src,
                         len,
                         write: false,
@@ -1472,7 +1589,7 @@ impl Vm {
                     args[2].as_i().max(0) as u64,
                 );
                 if SimKernel::is_poison(dst) {
-                    let (b, sp, d) = self.try_page_in(dst).ok_or(VmError::GuardFault {
+                    let (b, sp, d) = self.try_page_in(dst)?.ok_or(VmError::GuardFault {
                         addr: dst,
                         len,
                         write: true,
@@ -1787,7 +1904,13 @@ impl Vm {
     }
 
     /// Ask the kernel to grow the stack; returns whether it did.
-    fn try_expand_stack(&mut self) -> bool {
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Kernel`] when the kernel's expansion failed and rolled
+    /// back (registers keep their pre-expansion snapshot — the rollback
+    /// restored them, so no writeback happens).
+    fn try_expand_stack(&mut self) -> Result<bool, VmError> {
         self.flush_escapes();
         let (mut regs, map) = self.snapshot_regs();
         let threads = self.live_threads() + self.cfg.extra_threads;
@@ -1797,8 +1920,9 @@ impl Vm {
             &mut self.image,
             threads,
             self.cfg.max_stack,
-        ) else {
-            return false;
+        )?
+        else {
+            return Ok(false);
         };
         self.writeback_regs(&regs, &map);
         let delta = outcome.moved_dst.wrapping_sub(outcome.moved_src) as i64;
@@ -1811,7 +1935,7 @@ impl Vm {
         self.counters.stack_expansions += 1;
         self.counters.move_cycles += cycles;
         self.counters.cycles += cycles;
-        true
+        Ok(true)
     }
 
     /// Debug audit: every registered escape cell must hold a pointer into
@@ -1918,7 +2042,7 @@ impl Vm {
         let threads = self.live_threads() + self.cfg.extra_threads;
         let Some((world, slot, src, len)) =
             self.kernel
-                .page_out(&mut self.table, &mut regs, page, threads)
+                .page_out(&mut self.table, &mut regs, page, threads)?
         else {
             return Ok(());
         };
@@ -1950,9 +2074,16 @@ impl Vm {
     /// Service a poison-address guard fault by paging the slot back in.
     /// Returns `(slot_base, slot_span, delta)` for translating stale
     /// locals, or `None` when `addr` is not poisoned swap data.
-    fn try_page_in(&mut self, addr: u64) -> Option<(u64, u64, i64)> {
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Kernel`] when the slot exists but the kernel could not
+    /// bring it back (swap-read failure, destination OOM). The kernel
+    /// preserved the swap entry and rolled registers back, so the fault
+    /// is retryable.
+    fn try_page_in(&mut self, addr: u64) -> Result<Option<(u64, u64, i64)>, VmError> {
         if !SimKernel::is_poison(addr) {
-            return None;
+            return Ok(None);
         }
         // Stores made after the page-out may legitimately have written
         // poison pointers; their escape notifications must reach the table
@@ -1967,9 +2098,14 @@ impl Vm {
         }
         let (mut regs, map) = self.snapshot_regs();
         let threads = self.live_threads() + self.cfg.extra_threads;
-        let (world, dst) = self
+        // On Err the kernel rolled `regs` back to the snapshot, so the
+        // writeback is skipped and thread state keeps its pre-fault image.
+        let Some((world, dst)) = self
             .kernel
-            .page_in(&mut self.table, &mut regs, addr, threads)?;
+            .page_in(&mut self.table, &mut regs, addr, threads)?
+        else {
+            return Ok(None);
+        };
         self.writeback_regs(&regs, &map);
         let span = carat_kernel::POISON_SLOT_SPAN;
         let base = (addr - carat_kernel::POISON_BASE) / span * span + carat_kernel::POISON_BASE;
@@ -1987,7 +2123,7 @@ impl Vm {
         self.audit("page_in");
         self.audit_unregistered("page_in");
         self.audit_stale_poison("page_in");
-        Some((base, span, delta))
+        Ok(Some((base, span, delta)))
     }
 
     /// Inject one worst-case page movement (Figure 9 driver).
@@ -2010,9 +2146,11 @@ impl Vm {
         };
         let (mut regs, map) = self.snapshot_regs();
         let threads = self.live_threads() + self.cfg.extra_threads;
-        let (world, outcome) = self
-            .kernel
-            .move_pages(&mut self.table, &mut regs, page, 1, threads);
+        // On Err the kernel rolled back (journal) or aborted (world stop)
+        // and `regs` holds the untouched snapshot: skip the writeback.
+        let (world, outcome) =
+            self.kernel
+                .move_pages(&mut self.table, &mut regs, page, 1, threads)?;
         self.writeback_regs(&regs, &map);
         // Rebase host-side bookkeeping.
         let delta = outcome.moved_dst.wrapping_sub(outcome.moved_src) as i64;
