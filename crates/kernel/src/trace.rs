@@ -7,6 +7,67 @@
 
 use carat_runtime::FastSet;
 
+/// Page ids below this bound live in the flat bitmap; anything above
+/// (poison-range ids and other outliers) spills to a hash set. 1<<24
+/// pages caps the bitmap at 2 MiB while covering any arena the simulated
+/// kernel can address (512 MiB / 4 KiB = 131072 pages).
+const DENSE_PAGE_LIMIT: u64 = 1 << 24;
+
+/// First-touch membership set on the per-access hot path
+/// ([`PagingTrace::record_first_touch`] runs once per interpreted memory
+/// access in CARAT mode). A flat bitmap makes the common probe a single
+/// load+mask instead of a hash-set lookup — the hash probe was the
+/// `dedup` workload's profile outlier, because its per-instruction thread
+/// interleaving defeats the kernel's one-entry last-page cache and
+/// funnels every access here.
+#[derive(Debug, Clone, Default)]
+struct TouchedSet {
+    /// One bit per page id below [`DENSE_PAGE_LIMIT`], grown on demand.
+    bits: Vec<u64>,
+    /// Outlier page ids (at or above the dense limit).
+    spill: FastSet<u64>,
+    /// Exact member count across both representations.
+    count: usize,
+}
+
+impl TouchedSet {
+    #[inline]
+    fn contains(&self, page: u64) -> bool {
+        if page < DENSE_PAGE_LIMIT {
+            let w = (page >> 6) as usize;
+            self.bits
+                .get(w)
+                .is_some_and(|&b| b & (1u64 << (page & 63)) != 0)
+        } else {
+            self.spill.contains(&page)
+        }
+    }
+
+    /// Insert `page`; returns whether it was new.
+    fn insert(&mut self, page: u64) -> bool {
+        let fresh = if page < DENSE_PAGE_LIMIT {
+            let w = (page >> 6) as usize;
+            if w >= self.bits.len() {
+                self.bits.resize(w + 1, 0);
+            }
+            let m = 1u64 << (page & 63);
+            let fresh = self.bits[w] & m == 0;
+            self.bits[w] |= m;
+            fresh
+        } else {
+            self.spill.insert(page)
+        };
+        if fresh {
+            self.count += 1;
+        }
+        fresh
+    }
+
+    fn len(&self) -> usize {
+        self.count
+    }
+}
+
 /// One paging event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PagingEvent {
@@ -43,7 +104,7 @@ pub struct PagingTrace {
     /// Total invalidation events.
     pub invalidations: u64,
     /// Distinct pages ever allocated.
-    touched: FastSet<u64>,
+    touched: TouchedSet,
     log: Vec<PagingEvent>,
     log_cap: usize,
 }
@@ -76,7 +137,7 @@ impl PagingTrace {
     /// Record an allocation only the first time `page` is touched;
     /// returns whether it was new (a demand-paging "fault").
     pub fn record_first_touch(&mut self, page: u64) -> bool {
-        if self.touched.contains(&page) {
+        if self.touched.contains(page) {
             return false;
         }
         self.record(PagingEvent::Alloc { page });
@@ -135,6 +196,21 @@ mod tests {
         assert!(!t.record_first_touch(7));
         assert!(t.record_first_touch(8));
         assert_eq!(t.allocs, 2);
+    }
+
+    #[test]
+    fn first_touch_spills_past_dense_limit() {
+        // Poison-range page ids land above the bitmap; both representations
+        // must agree on membership and the combined count must stay exact.
+        let mut t = PagingTrace::new(0);
+        let dense = 12u64;
+        let sparse = DENSE_PAGE_LIMIT + 12;
+        assert!(t.record_first_touch(dense));
+        assert!(t.record_first_touch(sparse));
+        assert!(!t.record_first_touch(dense));
+        assert!(!t.record_first_touch(sparse));
+        assert_eq!(t.allocs, 2);
+        assert_eq!(t.distinct_pages(), 2);
     }
 
     #[test]

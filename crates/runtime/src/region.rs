@@ -159,6 +159,15 @@ impl RegionTable {
         self.sorted.is_empty()
     }
 
+    /// The region containing `addr`, if any. Binary search over the
+    /// sorted array; used to seed last-hit guard caches with the region's
+    /// bounds (pair it with [`RegionTable::generation`] to detect stale
+    /// entries).
+    pub fn containing(&self, addr: u64) -> Option<&Region> {
+        let i = self.sorted.partition_point(|r| r.end() <= addr);
+        self.sorted.get(i).filter(|r| addr >= r.start)
+    }
+
     /// Dispatch on the configured guard implementation.
     pub fn check(&self, imp: GuardImpl, addr: u64, len: u64, access: Access) -> GuardCheck {
         match imp {
@@ -358,6 +367,17 @@ mod tests {
         assert!(t.check_range(0x1800, 0x2800, Access::Write).ok);
         assert!(!t.check_range(0x1800, 0x3001, Access::Write).ok);
         assert!(t.check_range(0x9000, 0x9000, Access::Read).ok, "empty");
+    }
+
+    #[test]
+    fn containing_finds_exactly_the_covering_region() {
+        let t = table(8);
+        assert_eq!(t.containing(0x10000).map(|r| r.start), Some(0x10000));
+        assert_eq!(t.containing(0x10fff).map(|r| r.start), Some(0x10000));
+        assert!(t.containing(0x11000).is_none(), "exclusive end");
+        assert!(t.containing(0x0).is_none(), "below all regions");
+        assert_eq!(t.containing(0x16008).map(|r| r.start), Some(0x16000));
+        assert!(t.containing(0x20000).is_none(), "above all regions");
     }
 
     #[test]

@@ -238,6 +238,262 @@ pub enum DecodedInst {
         /// Whether the faulting access was a store.
         store: bool,
     },
+
+    // --- superinstructions (fused streams only) ---
+    //
+    // Each fused variant packs two adjacent instructions into one dispatch.
+    // The fused stream keeps the *original* instruction in the second
+    // (tail) slot, so execution can resume unfused at an exact component
+    // boundary when the engine bails out mid-pair (scheduler rotation,
+    // due move/swap driver, step limit). Fused execution is accounting-
+    // transparent: each component charges exactly the cycles, counters,
+    // and opcode-mix entries its unfused form would.
+    /// `PtrAdd` immediately consumed by a `Load` of its result.
+    FusedPtrAddLoad {
+        /// The pointer destination register (still written — the value may
+        /// have other uses, and world-stop register patching must see it).
+        pdst: u32,
+        /// Base pointer register.
+        base: u32,
+        /// Index register.
+        index: u32,
+        /// Element stride in bytes (fusion requires it fits u32).
+        stride: u32,
+        /// Load destination register.
+        dst: u32,
+        /// Access class and size.
+        cls: ScalarClass,
+    },
+    /// `PtrAdd` immediately consumed by a `Store` through its result.
+    FusedPtrAddStore {
+        /// The pointer destination register.
+        pdst: u32,
+        /// Base pointer register.
+        base: u32,
+        /// Index register.
+        index: u32,
+        /// Element stride in bytes.
+        stride: u32,
+        /// Value register.
+        value: u32,
+        /// Access class and size.
+        cls: ScalarClass,
+    },
+    /// `FieldAddr` immediately consumed by a `Load` of its result.
+    FusedFieldLoad {
+        /// The pointer destination register.
+        pdst: u32,
+        /// Base pointer register.
+        base: u32,
+        /// Field byte offset (fusion requires it fits u32).
+        off: u32,
+        /// Load destination register.
+        dst: u32,
+        /// Access class and size.
+        cls: ScalarClass,
+    },
+    /// `FieldAddr` immediately consumed by a `Store` through its result.
+    FusedFieldStore {
+        /// The pointer destination register.
+        pdst: u32,
+        /// Base pointer register.
+        base: u32,
+        /// Field byte offset.
+        off: u32,
+        /// Value register.
+        value: u32,
+        /// Access class and size.
+        cls: ScalarClass,
+    },
+    /// A `guard_load` intrinsic folded into the `Load` it protects: one
+    /// dispatch performs check + access.
+    FusedGuardLoad {
+        /// Guarded-address register (the guard intrinsic's first arg).
+        gaddr: u32,
+        /// Guarded-length register (the guard intrinsic's second arg).
+        glen: u32,
+        /// Load destination register.
+        dst: u32,
+        /// Load address register (re-read after the guard: servicing a
+        /// poison fault patches registers).
+        addr: u32,
+        /// Access class and size.
+        cls: ScalarClass,
+    },
+    /// A `guard_store` intrinsic folded into the `Store` it protects.
+    FusedGuardStore {
+        /// Guarded-address register.
+        gaddr: u32,
+        /// Guarded-length register.
+        glen: u32,
+        /// Store address register.
+        addr: u32,
+        /// Value register.
+        value: u32,
+        /// Access class and size.
+        cls: ScalarClass,
+    },
+    /// `Icmp` feeding the `Br` that consumes it (the compare result is
+    /// still written: phis and later uses read it).
+    FusedIcmpBr {
+        /// Compare destination register.
+        cdst: u32,
+        /// Predicate.
+        pred: Pred,
+        /// Left operand register.
+        lhs: u32,
+        /// Right operand register.
+        rhs: u32,
+        /// Block index when true.
+        if_true: u32,
+        /// Block index when false.
+        if_false: u32,
+    },
+    /// An integer `Const` feeding an operand of the next `Bin`.
+    FusedConstBin {
+        /// Constant destination register.
+        cdst: u32,
+        /// The constant (fusion requires it fits i32).
+        imm: i32,
+        /// Bin destination register.
+        dst: u32,
+        /// Operation.
+        op: BinOp,
+        /// Left operand register.
+        lhs: u32,
+        /// Right operand register.
+        rhs: u32,
+        /// Integer result width.
+        width: IntTy,
+    },
+    /// `Bin` + `Bin`: two adjacent ALU ops in one dispatch (no dataflow
+    /// requirement — adjacency alone is enough, since the first result is
+    /// written before the second op reads its operands). Register slots
+    /// are narrowed to `u16` to stay inside the 24-byte slot budget;
+    /// fusion is skipped for functions with more than 65 535 values.
+    FusedBinBin {
+        /// First op's destination register.
+        dst1: u16,
+        /// First op's left operand register.
+        lhs1: u16,
+        /// First op's right operand register.
+        rhs1: u16,
+        /// Second op's destination register.
+        dst2: u16,
+        /// Second op's left operand register.
+        lhs2: u16,
+        /// Second op's right operand register.
+        rhs2: u16,
+        /// First operation.
+        op1: BinOp,
+        /// Second operation.
+        op2: BinOp,
+        /// First op's integer result width.
+        w1: IntTy,
+        /// Second op's integer result width.
+        w2: IntTy,
+    },
+    /// `Bin` + `Jmp`: loop-latch arithmetic folded into its back edge.
+    FusedBinJmp {
+        /// Destination register.
+        dst: u32,
+        /// Left operand register.
+        lhs: u32,
+        /// Right operand register.
+        rhs: u32,
+        /// Jump target block index.
+        target: u32,
+        /// Operation.
+        op: BinOp,
+        /// Integer result width.
+        width: IntTy,
+    },
+    /// `Fcmp` feeding the `Br` that consumes it (float mirror of
+    /// [`FusedIcmpBr`](DecodedInst::FusedIcmpBr)).
+    FusedFcmpBr {
+        /// Compare destination register.
+        cdst: u32,
+        /// Predicate.
+        pred: Pred,
+        /// Left operand register.
+        lhs: u32,
+        /// Right operand register.
+        rhs: u32,
+        /// Block index when true.
+        if_true: u32,
+        /// Block index when false.
+        if_false: u32,
+    },
+    /// A float `Const` feeding an operand of the next `Bin` (register
+    /// slots narrowed to `u16` so the `f64` immediate fits the slot).
+    FusedConstFBin {
+        /// The constant.
+        val: f64,
+        /// Constant destination register.
+        cdst: u16,
+        /// Bin destination register.
+        dst: u16,
+        /// Left operand register.
+        lhs: u16,
+        /// Right operand register.
+        rhs: u16,
+        /// Operation.
+        op: BinOp,
+        /// Integer result width (unused by float ops, kept for exact
+        /// replication of the unfused `Bin`).
+        width: IntTy,
+    },
+    /// Two adjacent integer `Const`s (both must fit `i32`) — argument
+    /// set-up runs and constant-heavy preambles.
+    FusedConstConst {
+        /// First destination register.
+        dst1: u32,
+        /// First constant.
+        v1: i32,
+        /// Second destination register.
+        dst2: u32,
+        /// Second constant.
+        v2: i32,
+    },
+    /// `PtrAdd` followed by an integer `Const` (adjacency only — the
+    /// usual shape is an address computation next to the constant its
+    /// consumer also needs).
+    FusedPtrAddConst {
+        /// Pointer destination register.
+        pdst: u16,
+        /// Base pointer register.
+        base: u16,
+        /// Index register.
+        index: u16,
+        /// Constant destination register.
+        cdst: u16,
+        /// Element stride in bytes (fusion requires it fits u32).
+        stride: u32,
+        /// The constant (fusion requires it fits i32).
+        imm: i32,
+    },
+    /// `Cast` + `Bin`: a width change or int/float conversion feeding
+    /// straight into arithmetic (adjacency only, like `FusedBinBin`).
+    FusedCastBin {
+        /// Cast destination register.
+        cdst: u16,
+        /// Cast source register.
+        src: u16,
+        /// Bin destination register.
+        dst: u16,
+        /// Left operand register.
+        lhs: u16,
+        /// Right operand register.
+        rhs: u16,
+        /// Cast kind.
+        kind: CastKind,
+        /// Cast integer result width.
+        cw: IntTy,
+        /// Operation.
+        op: BinOp,
+        /// Bin integer result width.
+        bw: IntTy,
+    },
 }
 
 impl DecodedInst {
@@ -274,7 +530,195 @@ impl DecodedInst {
                     Opcode::Load
                 }
             }
+            // Fused variants account their first component here; the
+            // executing arm accounts the tail component itself.
+            DecodedInst::FusedPtrAddLoad { .. } | DecodedInst::FusedPtrAddStore { .. } => {
+                Opcode::PtrAdd
+            }
+            DecodedInst::FusedFieldLoad { .. } | DecodedInst::FusedFieldStore { .. } => {
+                Opcode::FieldAddr
+            }
+            DecodedInst::FusedGuardLoad { .. } | DecodedInst::FusedGuardStore { .. } => {
+                Opcode::CallIntrinsic
+            }
+            DecodedInst::FusedIcmpBr { .. } => Opcode::Icmp,
+            DecodedInst::FusedFcmpBr { .. } => Opcode::Fcmp,
+            DecodedInst::FusedConstBin { .. }
+            | DecodedInst::FusedConstFBin { .. }
+            | DecodedInst::FusedConstConst { .. } => Opcode::Const,
+            DecodedInst::FusedBinBin { .. } | DecodedInst::FusedBinJmp { .. } => Opcode::Bin,
+            DecodedInst::FusedPtrAddConst { .. } => Opcode::PtrAdd,
+            DecodedInst::FusedCastBin { .. } => Opcode::Cast,
         }
+    }
+
+    /// The number of IR instructions this slot retires when executed to
+    /// completion (2 for fused superinstructions, 1 otherwise).
+    #[inline]
+    pub fn components(self) -> u64 {
+        match self.fused_kind() {
+            Some(_) => 2,
+            None => 1,
+        }
+    }
+
+    /// Which fusion pattern this is, if any.
+    #[inline]
+    pub fn fused_kind(self) -> Option<FusedKind> {
+        match self {
+            DecodedInst::FusedPtrAddLoad { .. } => Some(FusedKind::PtrAddLoad),
+            DecodedInst::FusedPtrAddStore { .. } => Some(FusedKind::PtrAddStore),
+            DecodedInst::FusedFieldLoad { .. } => Some(FusedKind::FieldLoad),
+            DecodedInst::FusedFieldStore { .. } => Some(FusedKind::FieldStore),
+            DecodedInst::FusedGuardLoad { .. } => Some(FusedKind::GuardLoad),
+            DecodedInst::FusedGuardStore { .. } => Some(FusedKind::GuardStore),
+            DecodedInst::FusedIcmpBr { .. } => Some(FusedKind::IcmpBr),
+            DecodedInst::FusedConstBin { .. } => Some(FusedKind::ConstBin),
+            DecodedInst::FusedBinBin { .. } => Some(FusedKind::BinBin),
+            DecodedInst::FusedBinJmp { .. } => Some(FusedKind::BinJmp),
+            DecodedInst::FusedFcmpBr { .. } => Some(FusedKind::FcmpBr),
+            DecodedInst::FusedConstFBin { .. } => Some(FusedKind::ConstFBin),
+            DecodedInst::FusedConstConst { .. } => Some(FusedKind::ConstConst),
+            DecodedInst::FusedPtrAddConst { .. } => Some(FusedKind::PtrAddConst),
+            DecodedInst::FusedCastBin { .. } => Some(FusedKind::CastBin),
+            _ => None,
+        }
+    }
+}
+
+/// The fusion patterns the peephole pass recognizes, chosen from the
+/// dominant adjacent pairs in the workload suite's dynamic `OpcodeMix`
+/// (address computation feeding its memory access, compare feeding its
+/// branch, constant feeding an ALU op, and guard intrinsics folded into
+/// the access they protect).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum FusedKind {
+    /// `PtrAdd` + `Load`.
+    PtrAddLoad,
+    /// `PtrAdd` + `Store`.
+    PtrAddStore,
+    /// `FieldAddr` + `Load`.
+    FieldLoad,
+    /// `FieldAddr` + `Store`.
+    FieldStore,
+    /// `guard_load` + `Load`.
+    GuardLoad,
+    /// `guard_store` + `Store`.
+    GuardStore,
+    /// `Icmp` + `Br`.
+    IcmpBr,
+    /// `Const` + `Bin`.
+    ConstBin,
+    /// `Bin` + `Bin`.
+    BinBin,
+    /// `Bin` + `Jmp`.
+    BinJmp,
+    /// `Fcmp` + `Br`.
+    FcmpBr,
+    /// Float `Const` + `Bin`.
+    ConstFBin,
+    /// `Const` + `Const`.
+    ConstConst,
+    /// `PtrAdd` + `Const`.
+    PtrAddConst,
+    /// `Cast` + `Bin`.
+    CastBin,
+}
+
+/// Number of [`FusedKind`] variants (array-indexed stats).
+pub const FUSED_KINDS: usize = 15;
+
+impl FusedKind {
+    /// All kinds, in index order.
+    pub const ALL: [FusedKind; FUSED_KINDS] = [
+        FusedKind::PtrAddLoad,
+        FusedKind::PtrAddStore,
+        FusedKind::FieldLoad,
+        FusedKind::FieldStore,
+        FusedKind::GuardLoad,
+        FusedKind::GuardStore,
+        FusedKind::IcmpBr,
+        FusedKind::ConstBin,
+        FusedKind::BinBin,
+        FusedKind::BinJmp,
+        FusedKind::FcmpBr,
+        FusedKind::ConstFBin,
+        FusedKind::ConstConst,
+        FusedKind::PtrAddConst,
+        FusedKind::CastBin,
+    ];
+
+    /// Human-readable pair name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FusedKind::PtrAddLoad => "ptradd+load",
+            FusedKind::PtrAddStore => "ptradd+store",
+            FusedKind::FieldLoad => "fieldaddr+load",
+            FusedKind::FieldStore => "fieldaddr+store",
+            FusedKind::GuardLoad => "guard+load",
+            FusedKind::GuardStore => "guard+store",
+            FusedKind::IcmpBr => "icmp+br",
+            FusedKind::ConstBin => "const+bin",
+            FusedKind::BinBin => "bin+bin",
+            FusedKind::BinJmp => "bin+jmp",
+            FusedKind::FcmpBr => "fcmp+br",
+            FusedKind::ConstFBin => "constf+bin",
+            FusedKind::ConstConst => "const+const",
+            FusedKind::PtrAddConst => "ptradd+const",
+            FusedKind::CastBin => "cast+bin",
+        }
+    }
+}
+
+/// Dynamic fusion statistics for one run — host-side observability only,
+/// deliberately kept *outside* [`PerfCounters`](crate::PerfCounters):
+/// simulated counters must stay byte-identical across engines, and only
+/// the fused engine executes superinstructions.
+#[derive(Debug, Clone, Default)]
+pub struct FusionStats {
+    /// Fused pairs executed to completion (both components in one
+    /// dispatch), by kind. A pair interrupted by a mid-pair bail-out
+    /// (scheduler rotation, due driver, step limit) is not counted: its
+    /// tail component retired through its unfused slot.
+    pub executed: [u64; FUSED_KINDS],
+}
+
+impl FusionStats {
+    /// Total fused pairs executed.
+    pub fn fused_pairs(&self) -> u64 {
+        self.executed.iter().sum()
+    }
+
+    /// Dynamic instructions retired inside fused dispatches (2 per pair).
+    pub fn fused_instructions(&self) -> u64 {
+        2 * self.fused_pairs()
+    }
+
+    /// Kinds with nonzero counts, most-executed first.
+    pub fn sorted(&self) -> Vec<(FusedKind, u64)> {
+        let mut v: Vec<(FusedKind, u64)> = FusedKind::ALL
+            .iter()
+            .map(|&k| (k, self.executed[k as usize]))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.name().cmp(b.0.name())));
+        v
+    }
+}
+
+/// Static fusion census for a decoded program: how many fusion sites the
+/// peephole pass created, by kind.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FusionSummary {
+    /// Fusion sites in the fused streams, by kind.
+    pub sites: [u64; FUSED_KINDS],
+}
+
+impl FusionSummary {
+    /// Total fusion sites.
+    pub fn total(&self) -> u64 {
+        self.sites.iter().sum()
     }
 }
 
@@ -297,6 +741,13 @@ pub struct DecodedBlock {
     /// current block's code in the active frame and fetch with a single
     /// index, instead of re-walking `funcs[f].blocks[b].code` every step.
     pub code: std::rc::Rc<[DecodedInst]>,
+    /// The superinstruction view of `code`, pinned instead of `code` by
+    /// the fused engine. Same length: a fused pair's head slot holds the
+    /// superinstruction and its tail slot keeps the original unfused
+    /// instruction, so any cursor into `code` is also a valid cursor here
+    /// (and vice versa) — mid-pair bail-outs and blocking intrinsics
+    /// resume at exact component boundaries.
+    pub fused_code: std::rc::Rc<[DecodedInst]>,
     /// Per-predecessor phi copy lists (empty when the block has no phis).
     /// An entry exists only for predecessors every phi covers; entering
     /// from any other block traps, as in the reference interpreter.
@@ -341,6 +792,8 @@ impl DecodedFunc {
 pub struct DecodedProgram {
     /// Decoded functions, indexed by [`FuncId`](carat_ir::FuncId).
     pub funcs: Vec<DecodedFunc>,
+    /// Static census of the fusion sites created across all functions.
+    pub fusion: FusionSummary,
 }
 
 impl DecodedProgram {
@@ -349,16 +802,18 @@ impl DecodedProgram {
     /// trapping forms so behavior stays identical to the reference
     /// interpreter, which also rejects them only upon execution.
     pub fn decode(module: &Module) -> DecodedProgram {
+        let mut fusion = FusionSummary::default();
         DecodedProgram {
             funcs: module
                 .func_ids()
-                .map(|fid| decode_func(module.func(fid)))
+                .map(|fid| decode_func(module.func(fid), &mut fusion))
                 .collect(),
+            fusion,
         }
     }
 }
 
-fn decode_func(f: &carat_ir::Function) -> DecodedFunc {
+fn decode_func(f: &carat_ir::Function, fusion: &mut FusionSummary) -> DecodedFunc {
     // Alloca offsets: identical layout walk to the seed interpreter's
     // FuncMeta construction (alignment-rounded, 8-byte minimum stride).
     let mut alloca_offsets = vec![u64::MAX; f.num_values()];
@@ -425,8 +880,10 @@ fn decode_func(f: &carat_ir::Function) -> DecodedFunc {
             let Some(inst) = f.inst(v) else { continue };
             code.push(decode_inst(f, v.0, inst, &alloca_offsets, &mut operands));
         }
+        let fused = fuse_block(&code, &operands, fusion);
         blocks.push(DecodedBlock {
             code: code.into(),
+            fused_code: fused.into(),
             phi_edges,
         });
     }
@@ -572,6 +1029,371 @@ fn decode_inst(
     }
 }
 
+/// Peephole superinstruction fusion over one block's decoded stream.
+///
+/// The output has the *same length* as the input: a recognized pair's
+/// head slot is replaced by the fused variant while the tail slot keeps
+/// the original instruction. Execution that lands on a tail slot (branch
+/// to the block re-enters at 0, but a mid-pair bail-out or a re-executed
+/// blocking instruction resumes at the component boundary) simply runs
+/// the unfused form — same semantics, same accounting.
+///
+/// Pairs never overlap: after fusing at `i` the scan resumes at `i + 2`,
+/// so a tail slot is never also a fused head.
+fn fuse_block(
+    code: &[DecodedInst],
+    operands: &[u32],
+    fusion: &mut FusionSummary,
+) -> Vec<DecodedInst> {
+    let mut out = code.to_vec();
+    let mut i = 0;
+    while i + 1 < out.len() {
+        match try_fuse(out[i], out[i + 1], operands) {
+            Some((fused, kind)) => {
+                out[i] = fused;
+                fusion.sites[kind as usize] += 1;
+                i += 2;
+            }
+            None => i += 1,
+        }
+    }
+    out
+}
+
+/// Recognize one fusable adjacent pair. Immediates that must shrink to
+/// fit the 24-byte instruction (strides, field offsets, constants) gate
+/// fusion instead of truncating.
+fn try_fuse(a: DecodedInst, b: DecodedInst, operands: &[u32]) -> Option<(DecodedInst, FusedKind)> {
+    const U32_MAX: u64 = u32::MAX as u64;
+    match (a, b) {
+        (
+            DecodedInst::PtrAdd {
+                dst: pdst,
+                base,
+                index,
+                stride,
+            },
+            DecodedInst::Load { dst, addr, cls },
+        ) if addr == pdst && stride <= U32_MAX => Some((
+            DecodedInst::FusedPtrAddLoad {
+                pdst,
+                base,
+                index,
+                stride: stride as u32,
+                dst,
+                cls,
+            },
+            FusedKind::PtrAddLoad,
+        )),
+        (
+            DecodedInst::PtrAdd {
+                dst: pdst,
+                base,
+                index,
+                stride,
+            },
+            DecodedInst::Store { addr, value, cls },
+        ) if addr == pdst && stride <= U32_MAX => Some((
+            DecodedInst::FusedPtrAddStore {
+                pdst,
+                base,
+                index,
+                stride: stride as u32,
+                value,
+                cls,
+            },
+            FusedKind::PtrAddStore,
+        )),
+        (
+            DecodedInst::FieldAddr {
+                dst: pdst,
+                base,
+                off,
+            },
+            DecodedInst::Load { dst, addr, cls },
+        ) if addr == pdst && off <= U32_MAX => Some((
+            DecodedInst::FusedFieldLoad {
+                pdst,
+                base,
+                off: off as u32,
+                dst,
+                cls,
+            },
+            FusedKind::FieldLoad,
+        )),
+        (
+            DecodedInst::FieldAddr {
+                dst: pdst,
+                base,
+                off,
+            },
+            DecodedInst::Store { addr, value, cls },
+        ) if addr == pdst && off <= U32_MAX => Some((
+            DecodedInst::FusedFieldStore {
+                pdst,
+                base,
+                off: off as u32,
+                value,
+                cls,
+            },
+            FusedKind::FieldStore,
+        )),
+        (
+            DecodedInst::Intrinsic {
+                intr: Intrinsic::GuardLoad,
+                args,
+                ..
+            },
+            DecodedInst::Load { dst, addr, cls },
+        ) if args.len == 2 => Some((
+            DecodedInst::FusedGuardLoad {
+                gaddr: operands[args.start as usize],
+                glen: operands[args.start as usize + 1],
+                dst,
+                addr,
+                cls,
+            },
+            FusedKind::GuardLoad,
+        )),
+        (
+            DecodedInst::Intrinsic {
+                intr: Intrinsic::GuardStore,
+                args,
+                ..
+            },
+            DecodedInst::Store { addr, value, cls },
+        ) if args.len == 2 => Some((
+            DecodedInst::FusedGuardStore {
+                gaddr: operands[args.start as usize],
+                glen: operands[args.start as usize + 1],
+                addr,
+                value,
+                cls,
+            },
+            FusedKind::GuardStore,
+        )),
+        (
+            DecodedInst::Icmp {
+                dst: cdst,
+                pred,
+                lhs,
+                rhs,
+            },
+            DecodedInst::Br {
+                cond,
+                if_true,
+                if_false,
+            },
+        ) if cond == cdst => Some((
+            DecodedInst::FusedIcmpBr {
+                cdst,
+                pred,
+                lhs,
+                rhs,
+                if_true,
+                if_false,
+            },
+            FusedKind::IcmpBr,
+        )),
+        (
+            DecodedInst::Fcmp {
+                dst: cdst,
+                pred,
+                lhs,
+                rhs,
+            },
+            DecodedInst::Br {
+                cond,
+                if_true,
+                if_false,
+            },
+        ) if cond == cdst => Some((
+            DecodedInst::FusedFcmpBr {
+                cdst,
+                pred,
+                lhs,
+                rhs,
+                if_true,
+                if_false,
+            },
+            FusedKind::FcmpBr,
+        )),
+        (
+            DecodedInst::ConstI { dst: cdst, val },
+            DecodedInst::Bin {
+                dst,
+                op,
+                lhs,
+                rhs,
+                width,
+            },
+        ) if (lhs == cdst || rhs == cdst) && i32::try_from(val).is_ok() => Some((
+            DecodedInst::FusedConstBin {
+                cdst,
+                imm: val as i32,
+                dst,
+                op,
+                lhs,
+                rhs,
+                width,
+            },
+            FusedKind::ConstBin,
+        )),
+        (
+            DecodedInst::ConstF { dst: cdst, val },
+            DecodedInst::Bin {
+                dst,
+                op,
+                lhs,
+                rhs,
+                width,
+            },
+        ) if (lhs == cdst || rhs == cdst)
+            && [cdst, dst, lhs, rhs].iter().all(|&r| r <= u16::MAX as u32) =>
+        {
+            Some((
+                DecodedInst::FusedConstFBin {
+                    val,
+                    cdst: cdst as u16,
+                    dst: dst as u16,
+                    lhs: lhs as u16,
+                    rhs: rhs as u16,
+                    op,
+                    width,
+                },
+                FusedKind::ConstFBin,
+            ))
+        }
+        (
+            DecodedInst::ConstI { dst: dst1, val: v1 },
+            DecodedInst::ConstI { dst: dst2, val: v2 },
+        ) if i32::try_from(v1).is_ok() && i32::try_from(v2).is_ok() => Some((
+            DecodedInst::FusedConstConst {
+                dst1,
+                v1: v1 as i32,
+                dst2,
+                v2: v2 as i32,
+            },
+            FusedKind::ConstConst,
+        )),
+        (
+            DecodedInst::PtrAdd {
+                dst: pdst,
+                base,
+                index,
+                stride,
+            },
+            DecodedInst::ConstI { dst: cdst, val },
+        ) if stride <= U32_MAX
+            && i32::try_from(val).is_ok()
+            && [pdst, base, index, cdst]
+                .iter()
+                .all(|&r| r <= u16::MAX as u32) =>
+        {
+            Some((
+                DecodedInst::FusedPtrAddConst {
+                    pdst: pdst as u16,
+                    base: base as u16,
+                    index: index as u16,
+                    cdst: cdst as u16,
+                    stride: stride as u32,
+                    imm: val as i32,
+                },
+                FusedKind::PtrAddConst,
+            ))
+        }
+        (
+            DecodedInst::Cast {
+                dst: cdst,
+                kind,
+                src,
+                width: cw,
+            },
+            DecodedInst::Bin {
+                dst,
+                op,
+                lhs,
+                rhs,
+                width: bw,
+            },
+        ) if [cdst, src, dst, lhs, rhs]
+            .iter()
+            .all(|&r| r <= u16::MAX as u32) =>
+        {
+            Some((
+                DecodedInst::FusedCastBin {
+                    cdst: cdst as u16,
+                    src: src as u16,
+                    dst: dst as u16,
+                    lhs: lhs as u16,
+                    rhs: rhs as u16,
+                    kind,
+                    cw,
+                    op,
+                    bw,
+                },
+                FusedKind::CastBin,
+            ))
+        }
+        (
+            DecodedInst::Bin {
+                dst: dst1,
+                op: op1,
+                lhs: lhs1,
+                rhs: rhs1,
+                width: w1,
+            },
+            DecodedInst::Bin {
+                dst: dst2,
+                op: op2,
+                lhs: lhs2,
+                rhs: rhs2,
+                width: w2,
+            },
+        ) if [dst1, lhs1, rhs1, dst2, lhs2, rhs2]
+            .iter()
+            .all(|&r| r <= u16::MAX as u32) =>
+        {
+            Some((
+                DecodedInst::FusedBinBin {
+                    dst1: dst1 as u16,
+                    lhs1: lhs1 as u16,
+                    rhs1: rhs1 as u16,
+                    dst2: dst2 as u16,
+                    lhs2: lhs2 as u16,
+                    rhs2: rhs2 as u16,
+                    op1,
+                    op2,
+                    w1,
+                    w2,
+                },
+                FusedKind::BinBin,
+            ))
+        }
+        (
+            DecodedInst::Bin {
+                dst,
+                op,
+                lhs,
+                rhs,
+                width,
+            },
+            DecodedInst::Jmp { target },
+        ) => Some((
+            DecodedInst::FusedBinJmp {
+                dst,
+                lhs,
+                rhs,
+                target,
+                op,
+                width,
+            },
+            FusedKind::BinJmp,
+        )),
+        _ => None,
+    }
+}
+
 fn scalar_class(ty: &carat_ir::Type) -> Option<ScalarClass> {
     match ty {
         carat_ir::Type::F64 => Some(ScalarClass::F64),
@@ -651,5 +1473,110 @@ mod tests {
             DecodedInst::Alloca { dst, .. } => dst,
             _ => panic!("expected alloca"),
         }
+    }
+
+    #[test]
+    fn decoded_inst_stays_hot_loop_sized() {
+        // The whole fused-variant design is gated on not growing the
+        // dispatch stream: immediates that would not fit (strides, field
+        // offsets, constants) block fusion instead of growing the enum.
+        assert!(
+            std::mem::size_of::<DecodedInst>() <= 24,
+            "DecodedInst grew past 24 bytes: {}",
+            std::mem::size_of::<DecodedInst>()
+        );
+    }
+
+    #[test]
+    fn fusion_same_length_with_original_tails() {
+        let mut mb = ModuleBuilder::new("t");
+        let fid = mb.declare("main", vec![], Some(Type::I64));
+        {
+            let mut b = mb.define(fid);
+            let e = b.block("entry");
+            let x = b.block("exit");
+            b.switch_to(e);
+            let slot = b.alloca(Type::I64);
+            let zero = b.const_i64(0);
+            let p = b.ptr_add(slot, zero, Type::I64);
+            b.store(Type::I64, p, zero);
+            let p2 = b.ptr_add(slot, zero, Type::I64);
+            let v = b.load(Type::I64, p2);
+            let one = b.const_i64(1);
+            let v2 = b.add(v, one);
+            let c = b.icmp(carat_ir::Pred::Slt, v2, one);
+            b.br(c, e, x);
+            b.switch_to(x);
+            b.ret(Some(v2));
+        }
+        let m = mb.finish();
+        let prog = DecodedProgram::decode(&m);
+        let blk = &prog.funcs[0].blocks[0];
+        assert_eq!(
+            blk.code.len(),
+            blk.fused_code.len(),
+            "streams stay parallel"
+        );
+        // Heads fused, tails untouched.
+        assert!(matches!(
+            blk.fused_code[2],
+            DecodedInst::FusedPtrAddStore { .. }
+        ));
+        assert!(matches!(blk.fused_code[3], DecodedInst::Store { .. }));
+        assert!(matches!(
+            blk.fused_code[4],
+            DecodedInst::FusedPtrAddLoad { .. }
+        ));
+        assert!(matches!(blk.fused_code[5], DecodedInst::Load { .. }));
+        assert!(matches!(
+            blk.fused_code[6],
+            DecodedInst::FusedConstBin { .. }
+        ));
+        assert!(matches!(blk.fused_code[7], DecodedInst::Bin { .. }));
+        assert!(matches!(blk.fused_code[8], DecodedInst::FusedIcmpBr { .. }));
+        assert!(matches!(blk.fused_code[9], DecodedInst::Br { .. }));
+        // Every unfused slot is bit-identical to the plain stream.
+        for (i, inst) in blk.fused_code.iter().enumerate() {
+            if inst.fused_kind().is_none() {
+                assert_eq!(
+                    std::mem::discriminant(inst),
+                    std::mem::discriminant(&blk.code[i]),
+                    "slot {i} must match the unfused stream"
+                );
+            }
+        }
+        assert_eq!(prog.fusion.total(), 4);
+        assert_eq!(prog.fusion.sites[FusedKind::PtrAddStore as usize], 1);
+        assert_eq!(prog.fusion.sites[FusedKind::IcmpBr as usize], 1);
+    }
+
+    #[test]
+    fn fusion_requires_dataflow_adjacency() {
+        // A Br consuming an older compare (not the adjacent one) must not
+        // fuse, and neither must a Load from a different pointer.
+        let mut mb = ModuleBuilder::new("t");
+        let fid = mb.declare("main", vec![], Some(Type::I64));
+        {
+            let mut b = mb.define(fid);
+            let e = b.block("entry");
+            let x = b.block("exit");
+            b.switch_to(e);
+            let zero = b.const_i64(0);
+            let one = b.const_i64(1);
+            let c_old = b.icmp(carat_ir::Pred::Slt, zero, one);
+            let _c_new = b.icmp(carat_ir::Pred::Sgt, zero, one);
+            b.br(c_old, x, x);
+            b.switch_to(x);
+            b.ret(Some(zero));
+        }
+        let m = mb.finish();
+        let prog = DecodedProgram::decode(&m);
+        let blk = &prog.funcs[0].blocks[0];
+        assert!(
+            blk.fused_code
+                .iter()
+                .all(|i| !matches!(i, DecodedInst::FusedIcmpBr { .. })),
+            "stale compare must not fuse into the branch"
+        );
     }
 }

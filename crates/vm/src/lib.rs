@@ -40,8 +40,8 @@ mod tlb;
 
 pub use counters::{MoveBreakdownSum, OpcodeMix, PerfCounters};
 pub use decode::{
-    DecodedBlock, DecodedFunc, DecodedInst, DecodedProgram, OperandRange, PhiEdge, ScalarClass,
-    NO_REG,
+    DecodedBlock, DecodedFunc, DecodedInst, DecodedProgram, FusedKind, FusionStats, FusionSummary,
+    OperandRange, PhiEdge, ScalarClass, FUSED_KINDS, NO_REG,
 };
 pub use heap::HeapAllocator;
 pub use machine::{

@@ -14,11 +14,12 @@
 //! simulated rate (Figure 9 / Table 3 methodology).
 
 use crate::counters::PerfCounters;
-use crate::decode::{DecodedInst, DecodedProgram, OperandRange, ScalarClass, NO_REG};
+use crate::decode::{DecodedInst, DecodedProgram, FusedKind, FusionStats, ScalarClass, NO_REG};
 use crate::heap::HeapAllocator;
 use crate::tlb::TranslationUnit;
 use carat_ir::{
-    BinOp, BlockId, CastKind, Const, FuncId, Inst, IntTy, Intrinsic, Module, Pred, Type, ValueId,
+    BinOp, BlockId, CastKind, Const, FuncId, Inst, IntTy, Intrinsic, Module, Opcode, Pred, Type,
+    ValueId,
 };
 use carat_kernel::{FaultPlan, KernelError, LoadConfig, LoadError, ProcessImage, SimKernel};
 use carat_runtime::{Access, AllocKind, AllocationTable, CostModel, GuardImpl, TrackStats};
@@ -63,9 +64,15 @@ pub struct SwapDriverConfig {
 /// They differ only in host-side speed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
-    /// Execute over the flat pre-decoded instruction stream
-    /// (see [`crate::decode`]): no per-step cloning, no hash lookups.
+    /// Execute over the superinstruction (fused) view of the pre-decoded
+    /// stream: dominant adjacent pairs — address computation + memory
+    /// access, guard + access, compare + branch, constant + ALU op —
+    /// retire in a single dispatch (see [`crate::decode`]'s fusion pass).
     #[default]
+    Fused,
+    /// Execute over the flat pre-decoded instruction stream
+    /// (see [`crate::decode`]): no per-step cloning, no hash lookups, one
+    /// dispatch per instruction.
     Decoded,
     /// Walk the IR arena directly, cloning each instruction — the original
     /// interpreter, retained as the semantic reference for differential
@@ -97,6 +104,14 @@ pub struct VmConfig {
     pub swap_driver: Option<SwapDriverConfig>,
     /// Additional (idle) threads participating in world stops.
     pub extra_threads: usize,
+    /// Scheduler quantum in retired instructions: with parked threads, the
+    /// round-robin scheduler switches at the first instruction boundary at
+    /// or past this many instructions since the last switch (a blocked
+    /// join yields the rest of its quantum immediately). Uniform across
+    /// engines — quanta are counted in retired instructions, which every
+    /// engine retires identically — so thread interleaving never depends
+    /// on the engine.
+    pub sched_quantum: u64,
     /// Simulated clock for converting cycles to seconds.
     pub freq_hz: f64,
     /// Loader sizing.
@@ -125,6 +140,7 @@ impl Default for VmConfig {
             move_driver: None,
             swap_driver: None,
             extra_threads: 0,
+            sched_quantum: 64,
             freq_hz: 2.3e9,
             load: LoadConfig::default(),
             auto_grow_stack: true,
@@ -221,6 +237,10 @@ pub struct RunResult {
     pub dtlb_mpki: f64,
     /// Pagewalks performed (traditional mode).
     pub pagewalks: u64,
+    /// Superinstruction execution statistics (fused engine only; zero for
+    /// the other engines). Host-side observability — deliberately outside
+    /// [`PerfCounters`], which must stay byte-identical across engines.
+    pub fusion: FusionStats,
 }
 
 /// Result of [`Vm::check_integrity`]: a structural audit of the
@@ -309,6 +329,37 @@ struct ParkedThread {
     stack_base: u64,
 }
 
+/// Last-hit region cache for the guard fast path: the bounds, permissions
+/// and probe count of the region the previous guard resolved to. Valid
+/// only while `generation` matches the kernel's
+/// [`RegionTable`](carat_runtime::RegionTable) generation (bumped on
+/// every region change). Probe counts are cacheable because the regions
+/// are disjoint and sorted: every address inside one region takes the
+/// same search path — and therefore the same probe count — through each
+/// guard implementation.
+#[derive(Debug, Clone, Copy)]
+struct GuardFastPath {
+    generation: u64,
+    start: u64,
+    end: u64,
+    perms: carat_runtime::Perms,
+    probes: u64,
+}
+
+impl Default for GuardFastPath {
+    fn default() -> GuardFastPath {
+        // `generation` 0 never matches a live table (the loader's initial
+        // `set_regions` bumps it to 1), so the empty cache never hits.
+        GuardFastPath {
+            generation: 0,
+            start: 0,
+            end: 0,
+            perms: carat_runtime::Perms::R,
+            probes: 0,
+        }
+    }
+}
+
 /// Lifecycle state of one thread slot.
 enum ThreadState {
     /// This slot is the currently executing thread (its state lives in the
@@ -344,6 +395,12 @@ pub struct Vm {
     /// All thread slots (index = thread id); slot `cur_tid` is `Current`.
     threads: Vec<ThreadState>,
     cur_tid: usize,
+    /// Threads currently in [`ThreadState::Parked`] — maintained so the
+    /// per-instruction scheduler gate and the fused engine's mid-pair
+    /// bail check are one integer compare instead of a slot scan.
+    /// (`Done` slots stay in `threads` forever; counting the parked ones
+    /// lets a program whose workers have retired keep its fast path.)
+    parked_threads: usize,
     /// Set by a blocking intrinsic (join on a live thread): the current
     /// instruction must not advance; the scheduler rotates instead.
     block_current: bool,
@@ -355,6 +412,32 @@ pub struct Vm {
     next_swap_at: u64,
     swaps_done: u64,
     peak_tracking_bytes: usize,
+    /// Guard fast path: last-hit region (see [`GuardFastPath`]).
+    guard_cache: GuardFastPath,
+    /// Translation fast path (traditional mode): the last VPN that went
+    /// through [`TranslationUnit::access`]. A repeat of the same VPN is a
+    /// guaranteed DTLB hit (the entry was touched last and cannot have
+    /// been evicted without an intervening different-VPN access), so the
+    /// front cache charges the hit without the set walk.
+    last_vpn: u64,
+    /// Superinstruction execution statistics (fused engine).
+    fusion: FusionStats,
+    /// Recycled frame register files: `push_frame` reuses a retired
+    /// frame's `regs` allocation instead of hitting the allocator on
+    /// every call. Bounded by the deepest call stack seen.
+    regs_pool: Vec<Vec<Value>>,
+    /// Next scheduler-rotation point in retired instructions (see
+    /// [`VmConfig::sched_quantum`]); meaningful only while a thread is
+    /// parked. Forced to 0 by a blocked join so the scheduler rotates at
+    /// the next boundary.
+    next_rotate_at: u64,
+    /// Cached bail threshold in retired instructions: the next rotation
+    /// point while any thread is parked, `max_steps` otherwise. Folded so
+    /// [`Vm::fusion_bail`] is two compares on the hot path.
+    bail_insts_at: u64,
+    /// Cached bail threshold in cycles: the earliest of the next due
+    /// move driver, the next due swap driver, and the cycle limit.
+    bail_cycles_at: u64,
 }
 
 impl fmt::Debug for Vm {
@@ -437,6 +520,7 @@ impl Vm {
             frames: Vec::new(),
             threads: vec![ThreadState::Current],
             cur_tid: 0,
+            parked_threads: 0,
             block_current: false,
             cur_stack_base: 0, // set just below from the image
             access_counter: 0,
@@ -445,8 +529,16 @@ impl Vm {
             next_swap_at,
             swaps_done: 0,
             peak_tracking_bytes: 0,
+            guard_cache: GuardFastPath::default(),
+            last_vpn: u64::MAX,
+            fusion: FusionStats::default(),
+            regs_pool: Vec::new(),
+            next_rotate_at: 0,
+            bail_insts_at: 0,
+            bail_cycles_at: 0,
         };
         vm.cur_stack_base = stack_base;
+        vm.recompute_bail();
         vm
     }
 
@@ -481,12 +573,18 @@ impl Vm {
             .module
             .main()
             .ok_or_else(|| VmError::Trap("no main function".into()))?;
-        self.push_frame(main, vec![], None)?;
-        let mut steps = 0u64;
+        self.push_frame(main, &[], None)?;
         let ret;
         loop {
-            steps += 1;
-            if steps > self.cfg.max_steps || self.counters.cycles > self.cfg.max_cycles {
+            // Step limit in retired instructions: every `step()` call
+            // retires at least one (a blocked join still counts, exactly
+            // as before), and a fused pair retires two — so this check is
+            // equivalent to the old per-iteration counter for the unfused
+            // engines and exact for the fused one, which bails out of a
+            // pair the moment the limit is reached.
+            if self.counters.instructions >= self.cfg.max_steps
+                || self.counters.cycles > self.cfg.max_cycles
+            {
                 return Err(VmError::StepLimit);
             }
             if let Some(v) = self.step()? {
@@ -501,6 +599,7 @@ impl Vm {
                 if !self.rotate(true)? {
                     return Err(VmError::Trap("all threads finished but main".into()));
                 }
+                self.grant_quantum();
                 continue;
             }
             if self.counters.cycles >= self.next_move_at && !self.tracking_owed() {
@@ -513,8 +612,18 @@ impl Vm {
             if self.counters.cycles >= self.next_swap_at && !self.tracking_owed() {
                 self.drive_swap()?;
             }
-            if self.threads.len() > 1 && !self.tracking_owed() {
+            // Rotation can only change state when a parked thread exists;
+            // gating on the parked count (not `threads.len()`, which keeps
+            // `Done` slots forever) skips the no-op scan once every worker
+            // has retired. With a parked thread, switch only at quantum
+            // boundaries — per-instruction context switching is neither
+            // realistic nor cheap (it dominated the threaded workloads).
+            if self.parked_threads > 0
+                && self.counters.instructions >= self.next_rotate_at
+                && !self.tracking_owed()
+            {
                 self.rotate(false)?;
+                self.grant_quantum();
             }
         }
         // End of program: final escape flush and histogram fold.
@@ -535,6 +644,7 @@ impl Vm {
             dtlb_misses: self.tlb.dtlb.misses,
             dtlb_mpki: mpki,
             pagewalks: self.tlb.pagewalks,
+            fusion: self.fusion.clone(),
             counters: self.counters.clone(),
         })
     }
@@ -594,7 +704,7 @@ impl Vm {
     fn push_frame(
         &mut self,
         func: FuncId,
-        args: Vec<Value>,
+        args: &[Value],
         ret_to: Option<ValueId>,
     ) -> Result<(), VmError> {
         let f = self.image.module.func(func);
@@ -615,10 +725,10 @@ impl Vm {
         // Traditional model: the kernel grows the stack transparently; in
         // CARAT the call guard checked this range already.
         self.sp = sp_base;
-        let mut regs = vec![Value::Undef; f.num_values()];
-        for (i, a) in args.into_iter().enumerate() {
-            regs[i] = a;
-        }
+        let mut regs = self.regs_pool.pop().unwrap_or_default();
+        regs.clear();
+        regs.resize(f.num_values(), Value::Undef);
+        regs[..args.len()].copy_from_slice(args);
         let entry = f.entry();
         self.frames.push(Frame {
             func,
@@ -628,9 +738,7 @@ impl Vm {
             prev_block: None,
             sp_base,
             ret_to,
-            code: self.program.funcs[func.index()].blocks[entry.index()]
-                .code
-                .clone(),
+            code: self.pinned_code(func.index(), entry.index()),
         });
         self.counters.calls += 1;
         self.counters.cycles += self.kernel.cost.call;
@@ -638,11 +746,62 @@ impl Vm {
     }
 
     /// Execute one instruction; returns `Some(ret)` when `main` returns.
+    ///
+    /// The fused and decoded engines share one core: fused variants are
+    /// just additional [`DecodedInst`] arms that only ever appear in the
+    /// streams the fused engine pins into frames.
     fn step(&mut self) -> Result<Option<i64>, VmError> {
         match self.cfg.engine {
-            Engine::Decoded => self.step_decoded(),
+            Engine::Fused => self.step_decoded::<true>(),
+            Engine::Decoded => self.step_decoded::<false>(),
             Engine::Reference => self.step_reference(),
         }
+    }
+
+    /// The code stream to pin for `(func, block)` under the configured
+    /// engine: the superinstruction view for [`Engine::Fused`], the plain
+    /// decoded stream otherwise. The two are index-compatible by
+    /// construction.
+    #[inline]
+    fn pinned_code(&self, func: usize, block: usize) -> std::rc::Rc<[DecodedInst]> {
+        let blk = &self.program.funcs[func].blocks[block];
+        match self.cfg.engine {
+            Engine::Fused => blk.fused_code.clone(),
+            _ => blk.code.clone(),
+        }
+    }
+
+    /// Whether a fused pair must split between its components: the run
+    /// loop would (or might) need control between the two instructions —
+    /// another runnable thread exists, the step or cycle limit has been
+    /// reached, or a move/swap driver is due. Conservative and always
+    /// safe: a bail leaves the frame index on the tail slot, which holds
+    /// the original unfused instruction, so execution resumes unfused at
+    /// the exact component boundary.
+    #[inline]
+    fn fusion_bail(&self) -> bool {
+        self.counters.instructions >= self.bail_insts_at
+            || self.counters.cycles >= self.bail_cycles_at
+    }
+
+    /// Refold the bail thresholds after anything they depend on changes:
+    /// the parked-thread count (spawn, scheduler switch) or a driver's
+    /// next due point. `parked_threads > 0` folds to an instruction
+    /// threshold of the next rotation boundary (the scheduler may need
+    /// control there); the cycle threshold is the earliest due driver or the
+    /// cycle limit (`> max_cycles` becomes `>= max_cycles + 1`,
+    /// saturating: a limit of `u64::MAX` stays unreachable in any run
+    /// that could ever retire it).
+    fn recompute_bail(&mut self) {
+        self.bail_insts_at = if self.parked_threads > 0 {
+            self.next_rotate_at.min(self.cfg.max_steps)
+        } else {
+            self.cfg.max_steps
+        };
+        self.bail_cycles_at = self
+            .next_move_at
+            .min(self.next_swap_at)
+            .min(self.cfg.max_cycles.saturating_add(1));
     }
 
     /// Reference engine: clone each instruction out of the IR arena. Kept
@@ -813,7 +972,19 @@ impl Vm {
                 self.exec_phis()?;
             }
             Inst::Call { callee, args, .. } => {
-                let argv: Vec<Value> = args.iter().map(|&a| reg!(a)).collect();
+                // Args buffered on the stack: no per-call heap allocation
+                // for the common arity (the `Vec` path is the overflow).
+                let mut buf = [Value::Undef; 16];
+                let mut heap = Vec::new();
+                let argv: &[Value] = if args.len() <= buf.len() {
+                    for (slot, &a) in buf.iter_mut().zip(args.iter()) {
+                        *slot = reg!(a);
+                    }
+                    &buf[..args.len()]
+                } else {
+                    heap.extend(args.iter().map(|&a| reg!(a)));
+                    &heap
+                };
                 frame_mut!().idx += 1; // return lands after the call
                 self.push_frame(callee, argv, Some(v))?;
             }
@@ -849,9 +1020,10 @@ impl Vm {
             Inst::Ret { value } => {
                 let out = value.map(|x| reg!(x));
                 let frame = self.frames.pop().expect("frame");
-                // Release the stack frame.
+                // Release the stack frame; recycle its register file.
                 self.sp = frame.sp_base + self.program.funcs[frame.func.index()].frame_size;
                 self.counters.cycles += self.kernel.cost.branch;
+                self.regs_pool.push(frame.regs);
                 match self.frames.last_mut() {
                     Some(parent) => {
                         if let (Some(dst), Some(val)) = (frame.ret_to, out) {
@@ -870,293 +1042,1011 @@ impl Vm {
         Ok(None)
     }
 
-    /// Decoded engine: execute one instruction from the flat pre-resolved
+    /// Decoded engine: execute instructions from the flat pre-resolved
     /// stream. No cloning, no arena walk, no hash lookups — the decoded
     /// instruction is `Copy` and carries its operand register slots,
     /// immediates, and resolved offsets inline.
     ///
-    /// Borrow discipline: `fr` (the current frame) is borrowed once, up
-    /// front, from `self.frames`; counters, the cost model, the decoded
-    /// program, and the global image are all disjoint fields, so simple
-    /// arms execute with that single borrow. Arms that call back into
-    /// `&mut self` helpers (memory access, calls, intrinsics) let `fr`
-    /// lapse and re-borrow afterwards.
-    fn step_decoded(&mut self) -> Result<Option<i64>, VmError> {
-        let fr = self.frames.last_mut().expect("non-empty");
-        let fid = fr.func;
-        let block = fr.block;
-        let inst = fr.code[fr.idx];
-        self.counters.instructions += 1;
-        self.counters.opcode_mix.record(inst.opcode());
+    /// Dispatch is two-tiered. The **fast tier** executes register-only
+    /// instructions (constants, arithmetic, compares, casts, selects, phi
+    /// batches, branches, the fused pairs built from them) and — through
+    /// the shared [`data_access_resolved`] free function — loads and
+    /// stores to resolved (non-poison) addresses, all under one sustained
+    /// destructured borrow of the disjoint fields they touch: the frame,
+    /// the counters, the kernel, the TLB, the decoded program. The
+    /// per-instruction frame re-borrow disappears and the compiler can
+    /// keep the hot counters in registers across instructions. Anything
+    /// that needs the whole `&mut self` — calls, intrinsics, guards,
+    /// returns, and accesses to poison (swapped-out) addresses, whose
+    /// page-in world-stop patches arbitrary state — breaks to the **slow
+    /// tier**: a full-`self` dispatch of that one instruction, identical
+    /// to the pre-split loop. Each arm records its own instruction count
+    /// and opcode mix (with a constant opcode index in the fast tier)
+    /// exactly as the shared loop header used to.
+    ///
+    /// Batched dispatch (`BATCH = true`, fused engine only): instead of
+    /// returning to the run loop after every instruction, keep executing
+    /// until [`Vm::fusion_bail`] reports that the run loop could need
+    /// control — a parked thread to rotate to, a step/cycle limit, or a
+    /// due move/swap driver. Between two instructions where none of those
+    /// hold, a run-loop iteration is a provable no-op, so skipping it
+    /// changes host time only. Every per-instruction effect (counters,
+    /// opcode mix, cycles) is still charged identically inside the loop.
+    fn step_decoded<const BATCH: bool>(&mut self) -> Result<Option<i64>, VmError> {
+        loop {
+            // --- fast tier: register-only ops, one sustained borrow ---
+            {
+                let Vm {
+                    frames,
+                    counters,
+                    kernel,
+                    tlb,
+                    program,
+                    image,
+                    fusion,
+                    phi_scratch,
+                    cfg,
+                    access_counter,
+                    last_vpn,
+                    bail_insts_at,
+                    bail_cycles_at,
+                    ..
+                } = self;
+                let fused_stream = matches!(cfg.engine, Engine::Fused);
+                let mode = cfg.mode;
+                let fr = frames.last_mut().expect("non-empty");
+                loop {
+                    match fr.code[fr.idx] {
+                        DecodedInst::ConstI { dst, val } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Const);
+                            fr.regs[dst as usize] = Value::I(val);
+                            fr.idx += 1;
+                        }
+                        DecodedInst::ConstF { dst, val } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Const);
+                            fr.regs[dst as usize] = Value::F(val);
+                            fr.idx += 1;
+                        }
+                        DecodedInst::ConstNull { dst } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Const);
+                            fr.regs[dst as usize] = Value::P(0);
+                            fr.idx += 1;
+                        }
+                        DecodedInst::ConstGlobal { dst, global } => {
+                            // Globals relocate (moves, swaps): always read the
+                            // current address out of the image.
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Const);
+                            fr.regs[dst as usize] = Value::P(image.globals[global as usize]);
+                            fr.idx += 1;
+                        }
+                        DecodedInst::Alloca { dst, off } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Alloca);
+                            counters.cycles += kernel.cost.alu;
+                            fr.regs[dst as usize] = Value::P(fr.sp_base + off);
+                            fr.idx += 1;
+                        }
+                        DecodedInst::PtrAdd {
+                            dst,
+                            base,
+                            index,
+                            stride,
+                        } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::PtrAdd);
+                            counters.cycles += kernel.cost.alu;
+                            let b = fr.regs[base as usize].as_p();
+                            let i = fr.regs[index as usize].as_i();
+                            fr.regs[dst as usize] =
+                                Value::P(b.wrapping_add((i.wrapping_mul(stride as i64)) as u64));
+                            fr.idx += 1;
+                        }
+                        DecodedInst::FieldAddr { dst, base, off } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::FieldAddr);
+                            counters.cycles += kernel.cost.alu;
+                            fr.regs[dst as usize] = Value::P(fr.regs[base as usize].as_p() + off);
+                            fr.idx += 1;
+                        }
+                        DecodedInst::Bin {
+                            dst,
+                            op,
+                            lhs,
+                            rhs,
+                            width,
+                        } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Bin);
+                            let (a, b) = (fr.regs[lhs as usize], fr.regs[rhs as usize]);
+                            fr.regs[dst as usize] =
+                                eval_bin(&kernel.cost, counters, op, a, b, width)?;
+                            fr.idx += 1;
+                        }
+                        DecodedInst::Icmp {
+                            dst,
+                            pred,
+                            lhs,
+                            rhs,
+                        } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Icmp);
+                            counters.cycles += kernel.cost.alu;
+                            let (a, b) = (fr.regs[lhs as usize], fr.regs[rhs as usize]);
+                            let r = match (a, b) {
+                                (Value::P(_), _) | (_, Value::P(_)) => {
+                                    icmp_u(pred, a.as_p(), b.as_p())
+                                }
+                                _ => icmp_i(pred, a.as_i(), b.as_i()),
+                            };
+                            fr.regs[dst as usize] = Value::I(r as i64);
+                            fr.idx += 1;
+                        }
+                        DecodedInst::Fcmp {
+                            dst,
+                            pred,
+                            lhs,
+                            rhs,
+                        } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Fcmp);
+                            counters.cycles += kernel.cost.fpu;
+                            let (a, b) =
+                                (fr.regs[lhs as usize].as_f(), fr.regs[rhs as usize].as_f());
+                            let r = match pred {
+                                Pred::Eq => a == b,
+                                Pred::Ne => a != b,
+                                Pred::Slt | Pred::Ult => a < b,
+                                Pred::Sle => a <= b,
+                                Pred::Sgt => a > b,
+                                Pred::Sge | Pred::Uge => a >= b,
+                            };
+                            fr.regs[dst as usize] = Value::I(r as i64);
+                            fr.idx += 1;
+                        }
+                        DecodedInst::Cast {
+                            dst,
+                            kind,
+                            src,
+                            width,
+                        } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Cast);
+                            counters.cycles += kernel.cost.alu;
+                            let x = fr.regs[src as usize];
+                            fr.regs[dst as usize] = match kind {
+                                CastKind::Sext | CastKind::Zext | CastKind::Trunc => {
+                                    Value::I(width.wrap(x.as_i()))
+                                }
+                                CastKind::SiToFp => Value::F(x.as_i() as f64),
+                                CastKind::FpToSi => Value::I(x.as_f() as i64),
+                                CastKind::PtrToInt => Value::I(x.as_p() as i64),
+                                CastKind::IntToPtr => Value::P(x.as_i() as u64),
+                            };
+                            fr.idx += 1;
+                        }
+                        DecodedInst::Select {
+                            dst,
+                            cond,
+                            if_true,
+                            if_false,
+                        } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Select);
+                            counters.cycles += kernel.cost.alu;
+                            let c = fr.regs[cond as usize].as_i() != 0;
+                            let src = if c { if_true } else { if_false };
+                            fr.regs[dst as usize] = fr.regs[src as usize];
+                            fr.idx += 1;
+                        }
+                        DecodedInst::PhiBatch => {
+                            // Apply the pre-resolved phi copy list for the
+                            // edge `prev_block -> block`, in parallel (all
+                            // sources read before any destination is
+                            // written). Counts as one instruction, matching
+                            // [`Vm::exec_phis`].
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Phi);
+                            let prev = fr
+                                .prev_block
+                                .ok_or_else(|| VmError::Trap("phi at function entry".into()))?;
+                            let df = &program.funcs[fr.func.index()];
+                            let blk = &df.blocks[fr.block.index()];
+                            let Some(edge) = blk.phi_edges.iter().find(|e| e.pred == prev) else {
+                                return Err(VmError::Trap(format!(
+                                    "phi missing incoming from {prev}"
+                                )));
+                            };
+                            let copies = &df.phi_copies[edge.start as usize..][..edge.len as usize];
+                            phi_scratch.clear();
+                            phi_scratch
+                                .extend(copies.iter().map(|&(_, src)| fr.regs[src as usize]));
+                            for (k, &(dst, _)) in copies.iter().enumerate() {
+                                fr.regs[dst as usize] = phi_scratch[k];
+                            }
+                            fr.idx += 1;
+                        }
+                        DecodedInst::Jmp { target } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Jmp);
+                            counters.cycles += kernel.cost.branch;
+                            take_jump(fr, program, fused_stream, BlockId(target));
+                        }
+                        DecodedInst::Br {
+                            cond,
+                            if_true,
+                            if_false,
+                        } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Br);
+                            counters.cycles += kernel.cost.branch;
+                            let c = fr.regs[cond as usize].as_i() != 0;
+                            take_jump(
+                                fr,
+                                program,
+                                fused_stream,
+                                BlockId(if c { if_true } else { if_false }),
+                            );
+                        }
 
-        match inst {
-            DecodedInst::ConstI { dst, val } => {
-                fr.regs[dst as usize] = Value::I(val);
-                fr.idx += 1;
-            }
-            DecodedInst::ConstF { dst, val } => {
-                fr.regs[dst as usize] = Value::F(val);
-                fr.idx += 1;
-            }
-            DecodedInst::ConstNull { dst } => {
-                fr.regs[dst as usize] = Value::P(0);
-                fr.idx += 1;
-            }
-            DecodedInst::ConstGlobal { dst, global } => {
-                // Globals relocate (moves, swaps): always read the current
-                // address out of the image.
-                fr.regs[dst as usize] = Value::P(self.image.globals[global as usize]);
-                fr.idx += 1;
-            }
-            DecodedInst::Alloca { dst, off } => {
-                self.counters.cycles += self.kernel.cost.alu;
-                fr.regs[dst as usize] = Value::P(fr.sp_base + off);
-                fr.idx += 1;
-            }
-            DecodedInst::Load { dst, addr, cls } => {
-                let a = fr.regs[addr as usize].as_p();
-                let size = cls.size();
-                let paddr = self.data_access(a, size, false)?;
-                let val = match cls {
-                    ScalarClass::F64 => Value::F(self.kernel.mem.read_f64(paddr)),
-                    ScalarClass::Ptr => Value::P(self.kernel.mem.read_uint(paddr, 8)),
-                    ScalarClass::Int(w) => {
-                        Value::I(w.wrap(self.kernel.mem.read_uint(paddr, size) as i64))
+                        // Loads and stores to *resolved* addresses run in
+                        // the fast tier through the shared
+                        // [`data_access_resolved`] free function. A poison
+                        // (swapped-out) address breaks to the slow tier —
+                        // before any accounting, so the re-dispatch there
+                        // records the instruction exactly once — because
+                        // servicing it triggers a page-in world-stop that
+                        // needs the whole `&mut self`.
+                        DecodedInst::Load { dst, addr, cls } => {
+                            let a = fr.regs[addr as usize].as_p();
+                            if SimKernel::is_poison(a) {
+                                break;
+                            }
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Load);
+                            let size = cls.size();
+                            let paddr = data_access_resolved(
+                                kernel,
+                                tlb,
+                                counters,
+                                access_counter,
+                                last_vpn,
+                                mode,
+                                a,
+                                size,
+                            );
+                            fr.regs[dst as usize] = match cls {
+                                ScalarClass::F64 => Value::F(kernel.mem.read_f64(paddr)),
+                                ScalarClass::Ptr => Value::P(kernel.mem.read_uint(paddr, 8)),
+                                ScalarClass::Int(w) => {
+                                    Value::I(w.wrap(kernel.mem.read_uint(paddr, size) as i64))
+                                }
+                            };
+                            counters.loads += 1;
+                            fr.idx += 1;
+                        }
+                        DecodedInst::Store { addr, value, cls } => {
+                            let a = fr.regs[addr as usize].as_p();
+                            if SimKernel::is_poison(a) {
+                                break;
+                            }
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Store);
+                            let size = cls.size();
+                            let paddr = data_access_resolved(
+                                kernel,
+                                tlb,
+                                counters,
+                                access_counter,
+                                last_vpn,
+                                mode,
+                                a,
+                                size,
+                            );
+                            let x = fr.regs[value as usize];
+                            fr.idx += 1;
+                            match cls {
+                                ScalarClass::F64 => kernel.mem.write_f64(paddr, x.as_f()),
+                                ScalarClass::Ptr => kernel.mem.write_uint(paddr, x.as_p(), 8),
+                                ScalarClass::Int(_) => {
+                                    kernel.mem.write_uint(paddr, x.as_i() as u64, size)
+                                }
+                            }
+                            counters.stores += 1;
+                        }
+
+                        // --- superinstructions over register-only pairs ---
+                        //
+                        // Each arm executes its first component exactly as
+                        // the plain arm above does (same counters, same
+                        // register writes), then consults the bail
+                        // thresholds: if the run loop could need control
+                        // between the components, the arm returns with the
+                        // frame index already on the tail slot — which holds
+                        // the original unfused instruction — and execution
+                        // resumes unfused at the exact component boundary.
+                        // Otherwise the second component runs inline,
+                        // charging its own instruction / opcode-mix / cycle
+                        // accounting, and the pair counts as fused.
+                        DecodedInst::FusedIcmpBr {
+                            cdst,
+                            pred,
+                            lhs,
+                            rhs,
+                            if_true,
+                            if_false,
+                        } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Icmp);
+                            counters.cycles += kernel.cost.alu;
+                            let (a, b) = (fr.regs[lhs as usize], fr.regs[rhs as usize]);
+                            let r = match (a, b) {
+                                (Value::P(_), _) | (_, Value::P(_)) => {
+                                    icmp_u(pred, a.as_p(), b.as_p())
+                                }
+                                _ => icmp_i(pred, a.as_i(), b.as_i()),
+                            };
+                            fr.regs[cdst as usize] = Value::I(r as i64);
+                            fr.idx += 1;
+                            if counters.instructions >= *bail_insts_at
+                                || counters.cycles >= *bail_cycles_at
+                            {
+                                return Ok(None);
+                            }
+                            fusion.executed[FusedKind::IcmpBr as usize] += 1;
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Br);
+                            counters.cycles += kernel.cost.branch;
+                            take_jump(
+                                fr,
+                                program,
+                                fused_stream,
+                                BlockId(if r { if_true } else { if_false }),
+                            );
+                        }
+                        DecodedInst::FusedConstBin {
+                            cdst,
+                            imm,
+                            dst,
+                            op,
+                            lhs,
+                            rhs,
+                            width,
+                        } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Const);
+                            fr.regs[cdst as usize] = Value::I(imm as i64);
+                            fr.idx += 1;
+                            if counters.instructions >= *bail_insts_at
+                                || counters.cycles >= *bail_cycles_at
+                            {
+                                return Ok(None);
+                            }
+                            fusion.executed[FusedKind::ConstBin as usize] += 1;
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Bin);
+                            let (a, b) = (fr.regs[lhs as usize], fr.regs[rhs as usize]);
+                            fr.regs[dst as usize] =
+                                eval_bin(&kernel.cost, counters, op, a, b, width)?;
+                            fr.idx += 1;
+                        }
+                        DecodedInst::FusedBinBin {
+                            dst1,
+                            lhs1,
+                            rhs1,
+                            dst2,
+                            lhs2,
+                            rhs2,
+                            op1,
+                            op2,
+                            w1,
+                            w2,
+                        } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Bin);
+                            let (a, b) = (fr.regs[lhs1 as usize], fr.regs[rhs1 as usize]);
+                            fr.regs[dst1 as usize] =
+                                eval_bin(&kernel.cost, counters, op1, a, b, w1)?;
+                            fr.idx += 1;
+                            if counters.instructions >= *bail_insts_at
+                                || counters.cycles >= *bail_cycles_at
+                            {
+                                return Ok(None);
+                            }
+                            fusion.executed[FusedKind::BinBin as usize] += 1;
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Bin);
+                            let (a, b) = (fr.regs[lhs2 as usize], fr.regs[rhs2 as usize]);
+                            fr.regs[dst2 as usize] =
+                                eval_bin(&kernel.cost, counters, op2, a, b, w2)?;
+                            fr.idx += 1;
+                        }
+                        DecodedInst::FusedBinJmp {
+                            dst,
+                            lhs,
+                            rhs,
+                            target,
+                            op,
+                            width,
+                        } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Bin);
+                            let (a, b) = (fr.regs[lhs as usize], fr.regs[rhs as usize]);
+                            fr.regs[dst as usize] =
+                                eval_bin(&kernel.cost, counters, op, a, b, width)?;
+                            fr.idx += 1;
+                            if counters.instructions >= *bail_insts_at
+                                || counters.cycles >= *bail_cycles_at
+                            {
+                                return Ok(None);
+                            }
+                            fusion.executed[FusedKind::BinJmp as usize] += 1;
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Jmp);
+                            counters.cycles += kernel.cost.branch;
+                            take_jump(fr, program, fused_stream, BlockId(target));
+                        }
+                        DecodedInst::FusedFcmpBr {
+                            cdst,
+                            pred,
+                            lhs,
+                            rhs,
+                            if_true,
+                            if_false,
+                        } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Fcmp);
+                            counters.cycles += kernel.cost.fpu;
+                            let (a, b) =
+                                (fr.regs[lhs as usize].as_f(), fr.regs[rhs as usize].as_f());
+                            let r = match pred {
+                                Pred::Eq => a == b,
+                                Pred::Ne => a != b,
+                                Pred::Slt | Pred::Ult => a < b,
+                                Pred::Sle => a <= b,
+                                Pred::Sgt => a > b,
+                                Pred::Sge | Pred::Uge => a >= b,
+                            };
+                            fr.regs[cdst as usize] = Value::I(r as i64);
+                            fr.idx += 1;
+                            if counters.instructions >= *bail_insts_at
+                                || counters.cycles >= *bail_cycles_at
+                            {
+                                return Ok(None);
+                            }
+                            fusion.executed[FusedKind::FcmpBr as usize] += 1;
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Br);
+                            counters.cycles += kernel.cost.branch;
+                            take_jump(
+                                fr,
+                                program,
+                                fused_stream,
+                                BlockId(if r { if_true } else { if_false }),
+                            );
+                        }
+                        DecodedInst::FusedConstFBin {
+                            val,
+                            cdst,
+                            dst,
+                            lhs,
+                            rhs,
+                            op,
+                            width,
+                        } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Const);
+                            fr.regs[cdst as usize] = Value::F(val);
+                            fr.idx += 1;
+                            if counters.instructions >= *bail_insts_at
+                                || counters.cycles >= *bail_cycles_at
+                            {
+                                return Ok(None);
+                            }
+                            fusion.executed[FusedKind::ConstFBin as usize] += 1;
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Bin);
+                            let (a, b) = (fr.regs[lhs as usize], fr.regs[rhs as usize]);
+                            fr.regs[dst as usize] =
+                                eval_bin(&kernel.cost, counters, op, a, b, width)?;
+                            fr.idx += 1;
+                        }
+                        DecodedInst::FusedConstConst { dst1, v1, dst2, v2 } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Const);
+                            fr.regs[dst1 as usize] = Value::I(v1 as i64);
+                            fr.idx += 1;
+                            if counters.instructions >= *bail_insts_at
+                                || counters.cycles >= *bail_cycles_at
+                            {
+                                return Ok(None);
+                            }
+                            fusion.executed[FusedKind::ConstConst as usize] += 1;
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Const);
+                            fr.regs[dst2 as usize] = Value::I(v2 as i64);
+                            fr.idx += 1;
+                        }
+                        DecodedInst::FusedPtrAddConst {
+                            pdst,
+                            base,
+                            index,
+                            cdst,
+                            stride,
+                            imm,
+                        } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::PtrAdd);
+                            counters.cycles += kernel.cost.alu;
+                            let b = fr.regs[base as usize].as_p();
+                            let i = fr.regs[index as usize].as_i();
+                            fr.regs[pdst as usize] =
+                                Value::P(b.wrapping_add((i.wrapping_mul(stride as i64)) as u64));
+                            fr.idx += 1;
+                            if counters.instructions >= *bail_insts_at
+                                || counters.cycles >= *bail_cycles_at
+                            {
+                                return Ok(None);
+                            }
+                            fusion.executed[FusedKind::PtrAddConst as usize] += 1;
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Const);
+                            fr.regs[cdst as usize] = Value::I(imm as i64);
+                            fr.idx += 1;
+                        }
+                        DecodedInst::FusedCastBin {
+                            cdst,
+                            src,
+                            dst,
+                            lhs,
+                            rhs,
+                            kind,
+                            cw,
+                            op,
+                            bw,
+                        } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Cast);
+                            counters.cycles += kernel.cost.alu;
+                            let x = fr.regs[src as usize];
+                            fr.regs[cdst as usize] = match kind {
+                                CastKind::Sext | CastKind::Zext | CastKind::Trunc => {
+                                    Value::I(cw.wrap(x.as_i()))
+                                }
+                                CastKind::SiToFp => Value::F(x.as_i() as f64),
+                                CastKind::FpToSi => Value::I(x.as_f() as i64),
+                                CastKind::PtrToInt => Value::I(x.as_p() as i64),
+                                CastKind::IntToPtr => Value::P(x.as_i() as u64),
+                            };
+                            fr.idx += 1;
+                            if counters.instructions >= *bail_insts_at
+                                || counters.cycles >= *bail_cycles_at
+                            {
+                                return Ok(None);
+                            }
+                            fusion.executed[FusedKind::CastBin as usize] += 1;
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Bin);
+                            let (a, b) = (fr.regs[lhs as usize], fr.regs[rhs as usize]);
+                            fr.regs[dst as usize] = eval_bin(&kernel.cost, counters, op, a, b, bw)?;
+                            fr.idx += 1;
+                        }
+
+                        // Address-compute + memory superinstructions: the
+                        // first component is register-only; the access runs
+                        // through the same fast-tier path as the plain
+                        // load/store arms. A poison address breaks to the
+                        // slow tier at the component boundary (the frame
+                        // index is already on the tail slot, which holds
+                        // the original unfused access) — the pair then
+                        // retires unfused, exactly like a mid-pair bail.
+                        DecodedInst::FusedPtrAddLoad {
+                            pdst,
+                            base,
+                            index,
+                            stride,
+                            dst,
+                            cls,
+                        } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::PtrAdd);
+                            counters.cycles += kernel.cost.alu;
+                            let b = fr.regs[base as usize].as_p();
+                            let i = fr.regs[index as usize].as_i();
+                            let a = b.wrapping_add((i.wrapping_mul(stride as i64)) as u64);
+                            fr.regs[pdst as usize] = Value::P(a);
+                            fr.idx += 1;
+                            if counters.instructions >= *bail_insts_at
+                                || counters.cycles >= *bail_cycles_at
+                            {
+                                return Ok(None);
+                            }
+                            if SimKernel::is_poison(a) {
+                                break;
+                            }
+                            fusion.executed[FusedKind::PtrAddLoad as usize] += 1;
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Load);
+                            let size = cls.size();
+                            let paddr = data_access_resolved(
+                                kernel,
+                                tlb,
+                                counters,
+                                access_counter,
+                                last_vpn,
+                                mode,
+                                a,
+                                size,
+                            );
+                            fr.regs[dst as usize] = match cls {
+                                ScalarClass::F64 => Value::F(kernel.mem.read_f64(paddr)),
+                                ScalarClass::Ptr => Value::P(kernel.mem.read_uint(paddr, 8)),
+                                ScalarClass::Int(w) => {
+                                    Value::I(w.wrap(kernel.mem.read_uint(paddr, size) as i64))
+                                }
+                            };
+                            counters.loads += 1;
+                            fr.idx += 1;
+                        }
+                        DecodedInst::FusedPtrAddStore {
+                            pdst,
+                            base,
+                            index,
+                            stride,
+                            value,
+                            cls,
+                        } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::PtrAdd);
+                            counters.cycles += kernel.cost.alu;
+                            let b = fr.regs[base as usize].as_p();
+                            let i = fr.regs[index as usize].as_i();
+                            let a = b.wrapping_add((i.wrapping_mul(stride as i64)) as u64);
+                            fr.regs[pdst as usize] = Value::P(a);
+                            fr.idx += 1;
+                            if counters.instructions >= *bail_insts_at
+                                || counters.cycles >= *bail_cycles_at
+                            {
+                                return Ok(None);
+                            }
+                            if SimKernel::is_poison(a) {
+                                break;
+                            }
+                            fusion.executed[FusedKind::PtrAddStore as usize] += 1;
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Store);
+                            let size = cls.size();
+                            let paddr = data_access_resolved(
+                                kernel,
+                                tlb,
+                                counters,
+                                access_counter,
+                                last_vpn,
+                                mode,
+                                a,
+                                size,
+                            );
+                            let x = fr.regs[value as usize];
+                            fr.idx += 1;
+                            match cls {
+                                ScalarClass::F64 => kernel.mem.write_f64(paddr, x.as_f()),
+                                ScalarClass::Ptr => kernel.mem.write_uint(paddr, x.as_p(), 8),
+                                ScalarClass::Int(_) => {
+                                    kernel.mem.write_uint(paddr, x.as_i() as u64, size)
+                                }
+                            }
+                            counters.stores += 1;
+                        }
+                        DecodedInst::FusedFieldLoad {
+                            pdst,
+                            base,
+                            off,
+                            dst,
+                            cls,
+                        } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::FieldAddr);
+                            counters.cycles += kernel.cost.alu;
+                            let a = fr.regs[base as usize].as_p() + off as u64;
+                            fr.regs[pdst as usize] = Value::P(a);
+                            fr.idx += 1;
+                            if counters.instructions >= *bail_insts_at
+                                || counters.cycles >= *bail_cycles_at
+                            {
+                                return Ok(None);
+                            }
+                            if SimKernel::is_poison(a) {
+                                break;
+                            }
+                            fusion.executed[FusedKind::FieldLoad as usize] += 1;
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Load);
+                            let size = cls.size();
+                            let paddr = data_access_resolved(
+                                kernel,
+                                tlb,
+                                counters,
+                                access_counter,
+                                last_vpn,
+                                mode,
+                                a,
+                                size,
+                            );
+                            fr.regs[dst as usize] = match cls {
+                                ScalarClass::F64 => Value::F(kernel.mem.read_f64(paddr)),
+                                ScalarClass::Ptr => Value::P(kernel.mem.read_uint(paddr, 8)),
+                                ScalarClass::Int(w) => {
+                                    Value::I(w.wrap(kernel.mem.read_uint(paddr, size) as i64))
+                                }
+                            };
+                            counters.loads += 1;
+                            fr.idx += 1;
+                        }
+                        DecodedInst::FusedFieldStore {
+                            pdst,
+                            base,
+                            off,
+                            value,
+                            cls,
+                        } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::FieldAddr);
+                            counters.cycles += kernel.cost.alu;
+                            let a = fr.regs[base as usize].as_p() + off as u64;
+                            fr.regs[pdst as usize] = Value::P(a);
+                            fr.idx += 1;
+                            if counters.instructions >= *bail_insts_at
+                                || counters.cycles >= *bail_cycles_at
+                            {
+                                return Ok(None);
+                            }
+                            if SimKernel::is_poison(a) {
+                                break;
+                            }
+                            fusion.executed[FusedKind::FieldStore as usize] += 1;
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Store);
+                            let size = cls.size();
+                            let paddr = data_access_resolved(
+                                kernel,
+                                tlb,
+                                counters,
+                                access_counter,
+                                last_vpn,
+                                mode,
+                                a,
+                                size,
+                            );
+                            let x = fr.regs[value as usize];
+                            fr.idx += 1;
+                            match cls {
+                                ScalarClass::F64 => kernel.mem.write_f64(paddr, x.as_f()),
+                                ScalarClass::Ptr => kernel.mem.write_uint(paddr, x.as_p(), 8),
+                                ScalarClass::Int(_) => {
+                                    kernel.mem.write_uint(paddr, x.as_i() as u64, size)
+                                }
+                            }
+                            counters.stores += 1;
+                        }
+
+                        // Kernel and frame-stack instructions (calls,
+                        // intrinsics, guards, returns) need the whole
+                        // `&mut self`: fall through to the slow tier
+                        // (which records their counters itself).
+                        _ => break,
                     }
-                };
-                self.counters.loads += 1;
-                let fr = self.frames.last_mut().expect("frame");
-                fr.regs[dst as usize] = val;
-                fr.idx += 1;
-            }
-            DecodedInst::Store { addr, value, cls } => {
-                let a = fr.regs[addr as usize].as_p();
-                let size = cls.size();
-                let paddr = self.data_access(a, size, true)?;
-                // Read the value register only AFTER the access resolved:
-                // a poison address triggers a page-in world-stop inside
-                // `data_access`, which patches registers — a value read
-                // earlier would be stale.
-                let fr = self.frames.last_mut().expect("frame");
-                let x = fr.regs[value as usize];
-                fr.idx += 1;
-                match cls {
-                    ScalarClass::F64 => self.kernel.mem.write_f64(paddr, x.as_f()),
-                    ScalarClass::Ptr => self.kernel.mem.write_uint(paddr, x.as_p(), 8),
-                    ScalarClass::Int(_) => self.kernel.mem.write_uint(paddr, x.as_i() as u64, size),
-                }
-                self.counters.stores += 1;
-            }
-            DecodedInst::PtrAdd {
-                dst,
-                base,
-                index,
-                stride,
-            } => {
-                self.counters.cycles += self.kernel.cost.alu;
-                let b = fr.regs[base as usize].as_p();
-                let i = fr.regs[index as usize].as_i();
-                fr.regs[dst as usize] =
-                    Value::P(b.wrapping_add((i.wrapping_mul(stride as i64)) as u64));
-                fr.idx += 1;
-            }
-            DecodedInst::FieldAddr { dst, base, off } => {
-                self.counters.cycles += self.kernel.cost.alu;
-                fr.regs[dst as usize] = Value::P(fr.regs[base as usize].as_p() + off);
-                fr.idx += 1;
-            }
-            DecodedInst::Bin {
-                dst,
-                op,
-                lhs,
-                rhs,
-                width,
-            } => {
-                let (a, b) = (fr.regs[lhs as usize], fr.regs[rhs as usize]);
-                let out = self.eval_bin(op, a, b, width)?;
-                let fr = self.frames.last_mut().expect("frame");
-                fr.regs[dst as usize] = out;
-                fr.idx += 1;
-            }
-            DecodedInst::Icmp {
-                dst,
-                pred,
-                lhs,
-                rhs,
-            } => {
-                self.counters.cycles += self.kernel.cost.alu;
-                let (a, b) = (fr.regs[lhs as usize], fr.regs[rhs as usize]);
-                let r = match (a, b) {
-                    (Value::P(_), _) | (_, Value::P(_)) => icmp_u(pred, a.as_p(), b.as_p()),
-                    _ => icmp_i(pred, a.as_i(), b.as_i()),
-                };
-                fr.regs[dst as usize] = Value::I(r as i64);
-                fr.idx += 1;
-            }
-            DecodedInst::Fcmp {
-                dst,
-                pred,
-                lhs,
-                rhs,
-            } => {
-                self.counters.cycles += self.kernel.cost.fpu;
-                let (a, b) = (fr.regs[lhs as usize].as_f(), fr.regs[rhs as usize].as_f());
-                let r = match pred {
-                    Pred::Eq => a == b,
-                    Pred::Ne => a != b,
-                    Pred::Slt | Pred::Ult => a < b,
-                    Pred::Sle => a <= b,
-                    Pred::Sgt => a > b,
-                    Pred::Sge | Pred::Uge => a >= b,
-                };
-                fr.regs[dst as usize] = Value::I(r as i64);
-                fr.idx += 1;
-            }
-            DecodedInst::Cast {
-                dst,
-                kind,
-                src,
-                width,
-            } => {
-                self.counters.cycles += self.kernel.cost.alu;
-                let x = fr.regs[src as usize];
-                fr.regs[dst as usize] = match kind {
-                    CastKind::Sext | CastKind::Zext | CastKind::Trunc => {
-                        Value::I(width.wrap(x.as_i()))
+                    if !BATCH
+                        || counters.instructions >= *bail_insts_at
+                        || counters.cycles >= *bail_cycles_at
+                    {
+                        return Ok(None);
                     }
-                    CastKind::SiToFp => Value::F(x.as_i() as f64),
-                    CastKind::FpToSi => Value::I(x.as_f() as i64),
-                    CastKind::PtrToInt => Value::I(x.as_p() as i64),
-                    CastKind::IntToPtr => Value::P(x.as_i() as u64),
-                };
-                fr.idx += 1;
-            }
-            DecodedInst::Select {
-                dst,
-                cond,
-                if_true,
-                if_false,
-            } => {
-                self.counters.cycles += self.kernel.cost.alu;
-                let c = fr.regs[cond as usize].as_i() != 0;
-                let src = if c { if_true } else { if_false };
-                fr.regs[dst as usize] = fr.regs[src as usize];
-                fr.idx += 1;
-            }
-            DecodedInst::PhiBatch => {
-                self.exec_phi_batch(fid, block)?;
-            }
-            DecodedInst::Call { dst, callee, args } => {
-                fr.idx += 1; // return lands after the call
-                let argv = self.gather_args_vec(fid, args);
-                self.push_frame(FuncId(callee), argv, Some(ValueId(dst)))?;
-            }
-            DecodedInst::Intrinsic { dst, intr, args } => {
-                let mut argv = [Value::Undef; 4];
-                let pool = &self.program.funcs[fid.index()].operands;
-                let n = args.len as usize;
-                for (slot, &r) in argv.iter_mut().zip(&pool[args.start as usize..][..n]) {
-                    *slot = fr.regs[r as usize];
                 }
-                let out = self.exec_intrinsic(intr, &argv[..n])?;
-                if self.block_current {
-                    // A blocking intrinsic (join): leave the instruction
-                    // pointer in place; the run loop's scheduler rotates
-                    // away and this instruction re-executes later.
-                    self.block_current = false;
-                    self.counters.cycles += self.kernel.cost.branch;
-                    return Ok(None);
+            }
+
+            // --- slow tier: one full-`self` dispatch ---
+            let fr = self.frames.last_mut().expect("non-empty");
+            let fid = fr.func;
+            let inst = fr.code[fr.idx];
+            self.counters.instructions += 1;
+            self.counters.opcode_mix.record(inst.opcode());
+
+            match inst {
+                DecodedInst::Load { dst, addr, cls } => {
+                    let a = fr.regs[addr as usize].as_p();
+                    let size = cls.size();
+                    let paddr = self.data_access(a, size, false)?;
+                    let val = match cls {
+                        ScalarClass::F64 => Value::F(self.kernel.mem.read_f64(paddr)),
+                        ScalarClass::Ptr => Value::P(self.kernel.mem.read_uint(paddr, 8)),
+                        ScalarClass::Int(w) => {
+                            Value::I(w.wrap(self.kernel.mem.read_uint(paddr, size) as i64))
+                        }
+                    };
+                    self.counters.loads += 1;
+                    let fr = self.frames.last_mut().expect("frame");
+                    fr.regs[dst as usize] = val;
+                    fr.idx += 1;
                 }
-                let fr = self.frames.last_mut().expect("frame");
-                if let Some(x) = out {
-                    fr.regs[dst as usize] = x;
-                }
-                fr.idx += 1;
-            }
-            DecodedInst::Jmp { target } => {
-                self.counters.cycles += self.kernel.cost.branch;
-                self.jump(block, BlockId(target));
-            }
-            DecodedInst::Br {
-                cond,
-                if_true,
-                if_false,
-            } => {
-                self.counters.cycles += self.kernel.cost.branch;
-                let c = fr.regs[cond as usize].as_i() != 0;
-                self.jump(block, BlockId(if c { if_true } else { if_false }));
-            }
-            DecodedInst::Ret { value } => {
-                let out = (value != NO_REG).then(|| fr.regs[value as usize]);
-                let frame = self.frames.pop().expect("frame");
-                // Release the stack frame.
-                self.sp = frame.sp_base + self.program.funcs[frame.func.index()].frame_size;
-                self.counters.cycles += self.kernel.cost.branch;
-                match self.frames.last_mut() {
-                    Some(parent) => {
-                        if let (Some(dst), Some(val)) = (frame.ret_to, out) {
-                            parent.regs[dst.index()] = val;
+                DecodedInst::Store { addr, value, cls } => {
+                    let a = fr.regs[addr as usize].as_p();
+                    let size = cls.size();
+                    let paddr = self.data_access(a, size, true)?;
+                    // Read the value register only AFTER the access resolved:
+                    // a poison address triggers a page-in world-stop inside
+                    // `data_access`, which patches registers — a value read
+                    // earlier would be stale.
+                    let fr = self.frames.last_mut().expect("frame");
+                    let x = fr.regs[value as usize];
+                    fr.idx += 1;
+                    match cls {
+                        ScalarClass::F64 => self.kernel.mem.write_f64(paddr, x.as_f()),
+                        ScalarClass::Ptr => self.kernel.mem.write_uint(paddr, x.as_p(), 8),
+                        ScalarClass::Int(_) => {
+                            self.kernel.mem.write_uint(paddr, x.as_i() as u64, size)
                         }
                     }
-                    None => {
-                        return Ok(Some(out.map(Value::as_i).unwrap_or(0)));
+                    self.counters.stores += 1;
+                }
+                DecodedInst::Call { dst, callee, args } => {
+                    fr.idx += 1; // return lands after the call
+                                 // Args buffered on the stack: no per-call heap
+                                 // allocation for the common arity.
+                    let n = args.len as usize;
+                    let pool = &self.program.funcs[fid.index()].operands;
+                    let mut buf = [Value::Undef; 16];
+                    let mut heap = Vec::new();
+                    let argv: &[Value] = if n <= buf.len() {
+                        for (slot, &r) in buf.iter_mut().zip(&pool[args.start as usize..][..n]) {
+                            *slot = fr.regs[r as usize];
+                        }
+                        &buf[..n]
+                    } else {
+                        heap.extend(
+                            pool[args.start as usize..][..n]
+                                .iter()
+                                .map(|&r| fr.regs[r as usize]),
+                        );
+                        &heap
+                    };
+                    self.push_frame(FuncId(callee), argv, Some(ValueId(dst)))?;
+                }
+                DecodedInst::Intrinsic { dst, intr, args } => {
+                    let mut argv = [Value::Undef; 4];
+                    let pool = &self.program.funcs[fid.index()].operands;
+                    let n = args.len as usize;
+                    for (slot, &r) in argv.iter_mut().zip(&pool[args.start as usize..][..n]) {
+                        *slot = fr.regs[r as usize];
+                    }
+                    let out = self.exec_intrinsic(intr, &argv[..n])?;
+                    if self.block_current {
+                        // A blocking intrinsic (join): leave the instruction
+                        // pointer in place; the join path already yielded the
+                        // quantum, so the run loop's scheduler rotates away
+                        // and this instruction re-executes later.
+                        self.block_current = false;
+                        self.counters.cycles += self.kernel.cost.branch;
+                        return Ok(None);
+                    }
+                    let fr = self.frames.last_mut().expect("frame");
+                    if let Some(x) = out {
+                        fr.regs[dst as usize] = x;
+                    }
+                    fr.idx += 1;
+                }
+                DecodedInst::Ret { value } => {
+                    let out = (value != NO_REG).then(|| fr.regs[value as usize]);
+                    let frame = self.frames.pop().expect("frame");
+                    // Release the stack frame; recycle its register file.
+                    self.sp = frame.sp_base + self.program.funcs[frame.func.index()].frame_size;
+                    self.counters.cycles += self.kernel.cost.branch;
+                    self.regs_pool.push(frame.regs);
+                    match self.frames.last_mut() {
+                        Some(parent) => {
+                            if let (Some(dst), Some(val)) = (frame.ret_to, out) {
+                                parent.regs[dst.index()] = val;
+                            }
+                        }
+                        None => {
+                            return Ok(Some(out.map(Value::as_i).unwrap_or(0)));
+                        }
                     }
                 }
-            }
-            DecodedInst::Unreachable => {
-                return Err(VmError::Trap("unreachable executed".into()));
-            }
-            DecodedInst::TrapAggregate { store } => {
-                return Err(VmError::Trap(
-                    if store {
-                        "store of aggregate"
-                    } else {
-                        "load of aggregate"
+                DecodedInst::Unreachable => {
+                    return Err(VmError::Trap("unreachable executed".into()));
+                }
+                DecodedInst::TrapAggregate { store } => {
+                    return Err(VmError::Trap(
+                        if store {
+                            "store of aggregate"
+                        } else {
+                            "load of aggregate"
+                        }
+                        .into(),
+                    ));
+                }
+                DecodedInst::FusedGuardLoad {
+                    gaddr,
+                    glen,
+                    dst,
+                    addr,
+                    cls,
+                } => {
+                    let a = fr.regs[gaddr as usize].as_p();
+                    let l = fr.regs[glen as usize].as_i().max(0) as u64;
+                    self.exec_guard_access(a, l, Access::Read)?;
+                    let fr = self.frames.last_mut().expect("frame");
+                    fr.idx += 1;
+                    if self.fusion_bail() {
+                        return Ok(None);
                     }
-                    .into(),
-                ));
+                    self.fusion.executed[FusedKind::GuardLoad as usize] += 1;
+                    self.counters.instructions += 1;
+                    self.counters.opcode_mix.record(Opcode::Load);
+                    // Re-read the address register: servicing a poison fault
+                    // inside the guard patched registers.
+                    let fr = self.frames.last().expect("frame");
+                    let a2 = fr.regs[addr as usize].as_p();
+                    let size = cls.size();
+                    let paddr = self.data_access(a2, size, false)?;
+                    let val = match cls {
+                        ScalarClass::F64 => Value::F(self.kernel.mem.read_f64(paddr)),
+                        ScalarClass::Ptr => Value::P(self.kernel.mem.read_uint(paddr, 8)),
+                        ScalarClass::Int(w) => {
+                            Value::I(w.wrap(self.kernel.mem.read_uint(paddr, size) as i64))
+                        }
+                    };
+                    self.counters.loads += 1;
+                    let fr = self.frames.last_mut().expect("frame");
+                    fr.regs[dst as usize] = val;
+                    fr.idx += 1;
+                }
+                DecodedInst::FusedGuardStore {
+                    gaddr,
+                    glen,
+                    addr,
+                    value,
+                    cls,
+                } => {
+                    let a = fr.regs[gaddr as usize].as_p();
+                    let l = fr.regs[glen as usize].as_i().max(0) as u64;
+                    self.exec_guard_access(a, l, Access::Write)?;
+                    let fr = self.frames.last_mut().expect("frame");
+                    fr.idx += 1;
+                    if self.fusion_bail() {
+                        return Ok(None);
+                    }
+                    self.fusion.executed[FusedKind::GuardStore as usize] += 1;
+                    self.counters.instructions += 1;
+                    self.counters.opcode_mix.record(Opcode::Store);
+                    // Re-read the address register (see `FusedGuardLoad`).
+                    let fr = self.frames.last().expect("frame");
+                    let a2 = fr.regs[addr as usize].as_p();
+                    let size = cls.size();
+                    let paddr = self.data_access(a2, size, true)?;
+                    let fr = self.frames.last_mut().expect("frame");
+                    let x = fr.regs[value as usize];
+                    fr.idx += 1;
+                    match cls {
+                        ScalarClass::F64 => self.kernel.mem.write_f64(paddr, x.as_f()),
+                        ScalarClass::Ptr => self.kernel.mem.write_uint(paddr, x.as_p(), 8),
+                        ScalarClass::Int(_) => {
+                            self.kernel.mem.write_uint(paddr, x.as_i() as u64, size)
+                        }
+                    }
+                    self.counters.stores += 1;
+                }
+                _ => unreachable!("fast-tier instruction reached the slow tier"),
+            }
+            if !BATCH || self.fusion_bail() {
+                return Ok(None);
             }
         }
-        Ok(None)
     }
-
-    /// Apply the pre-resolved phi copy list for the edge `prev_block ->
-    /// block`, in parallel (all sources read before any destination is
-    /// written), then advance past the batch slot. Counts as one
-    /// instruction, matching [`Vm::exec_phis`].
-    fn exec_phi_batch(&mut self, fid: FuncId, block: BlockId) -> Result<(), VmError> {
-        let frame = self.frames.last().expect("frame");
-        let prev = frame
-            .prev_block
-            .ok_or_else(|| VmError::Trap("phi at function entry".into()))?;
-        let df = &self.program.funcs[fid.index()];
-        let blk = &df.blocks[block.index()];
-        let Some(edge) = blk.phi_edges.iter().find(|e| e.pred == prev) else {
-            return Err(VmError::Trap(format!("phi missing incoming from {prev}")));
-        };
-        let copies = &df.phi_copies[edge.start as usize..][..edge.len as usize];
-        self.phi_scratch.clear();
-        let regs = &self.frames.last().expect("frame").regs;
-        self.phi_scratch
-            .extend(copies.iter().map(|&(_, src)| regs[src as usize]));
-        let frame = self.frames.last_mut().expect("frame");
-        for (k, &(dst, _)) in copies.iter().enumerate() {
-            frame.regs[dst as usize] = self.phi_scratch[k];
-        }
-        frame.idx += 1;
-        Ok(())
-    }
-
     /// Copy call arguments out of the operand pool into an argument vector.
-    fn gather_args_vec(&self, fid: FuncId, range: OperandRange) -> Vec<Value> {
-        let pool = &self.program.funcs[fid.index()].operands;
-        let regs = &self.frames.last().expect("frame").regs;
-        pool[range.start as usize..][..range.len as usize]
-            .iter()
-            .map(|&r| regs[r as usize])
-            .collect()
-    }
-
     /// Evaluate all phis at the head of the current block in parallel,
     /// then advance past them.
     fn exec_phis(&mut self) -> Result<(), VmError> {
@@ -1188,22 +2078,39 @@ impl Vm {
     }
 
     fn jump(&mut self, from: BlockId, to: BlockId) {
+        let fused_stream = matches!(self.cfg.engine, Engine::Fused);
         let frame = self.frames.last_mut().expect("frame");
-        frame.prev_block = Some(from);
-        frame.block = to;
-        frame.idx = 0;
-        frame.code = self.program.funcs[frame.func.index()].blocks[to.index()]
-            .code
-            .clone();
+        debug_assert_eq!(frame.block, from, "jump from a non-current block");
+        take_jump(frame, &self.program, fused_stream, to);
     }
 
     /// Evaluate a two-operand op. `width` is the integer result width,
     /// pre-resolved by the caller from the left operand's type (the
     /// decoded engine resolves it once at decode time).
     fn eval_bin(&mut self, op: BinOp, a: Value, b: Value, width: IntTy) -> Result<Value, VmError> {
-        let cost = &self.kernel.cost;
+        eval_bin(&self.kernel.cost, &mut self.counters, op, a, b, width)
+    }
+}
+
+/// Evaluate a two-operand op. A free function over the exact fields it
+/// touches (the cost model and the counters) so the fast dispatch tier
+/// can call it while holding its destructured borrow of `Vm`; the
+/// `Vm::eval_bin` method above wraps it for the reference engine.
+/// `width` is the integer result width, pre-resolved by the caller from
+/// the left operand's type (the decoded engine resolves it once at
+/// decode time).
+#[inline]
+fn eval_bin(
+    cost: &CostModel,
+    counters: &mut PerfCounters,
+    op: BinOp,
+    a: Value,
+    b: Value,
+    width: IntTy,
+) -> Result<Value, VmError> {
+    {
         if op.is_float() {
-            self.counters.cycles += cost.fpu;
+            counters.cycles += cost.fpu;
             let (x, y) = (a.as_f(), b.as_f());
             return Ok(Value::F(match op {
                 BinOp::Fadd => x + y,
@@ -1213,7 +2120,7 @@ impl Vm {
                 _ => unreachable!(),
             }));
         }
-        self.counters.cycles += match op {
+        counters.cycles += match op {
             BinOp::Sdiv | BinOp::Srem | BinOp::Udiv | BinOp::Urem => 20,
             BinOp::Mul => 3,
             _ => cost.alu,
@@ -1263,7 +2170,117 @@ impl Vm {
             Value::I(width.wrap(r))
         })
     }
+}
 
+/// Redirect `fr` to block `to`, pinning that block's code stream (the
+/// fused or the plain array, by engine). A free function over the frame
+/// and the decoded program so the fast dispatch tier can take branches
+/// without giving up its destructured borrow; [`Vm::jump`] wraps it for
+/// the reference engine.
+#[inline]
+fn take_jump(fr: &mut Frame, program: &DecodedProgram, fused_stream: bool, to: BlockId) {
+    fr.prev_block = Some(fr.block);
+    fr.block = to;
+    fr.idx = 0;
+    let blk = &program.funcs[fr.func.index()].blocks[to.index()];
+    fr.code = if fused_stream {
+        blk.fused_code.clone()
+    } else {
+        blk.code.clone()
+    };
+}
+
+/// The resolved (non-poison) body of [`Vm::data_access`]: charge the L1
+/// model and run the mode-specific translation bookkeeping. A free
+/// function over the disjoint fields it touches, so the fast dispatch
+/// tier can service loads and stores without leaving its sustained
+/// borrow; the [`Vm::data_access`] wrapper (poison handling, page-in
+/// world-stops) delegates here for everything after fault resolution.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn data_access_resolved(
+    kernel: &mut SimKernel,
+    tlb: &mut TranslationUnit,
+    counters: &mut PerfCounters,
+    access_counter: &mut u64,
+    last_vpn: &mut u64,
+    mode: Mode,
+    addr: u64,
+    size: u64,
+) -> u64 {
+    // Bind only the fields this path reads; a full `CostModel` copy
+    // (~25 words) per access is measurable on the hot path.
+    let CostModel {
+        mem_l1,
+        mem_l1_miss_extra,
+        l1_hit_per_1024,
+        page_size,
+        ..
+    } = kernel.cost;
+    *access_counter += 1;
+    // Flat L1 model: deterministic pseudo-random hit/miss.
+    let h = access_counter
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(addr >> 6);
+    let l1_hit = (h % 1024) < l1_hit_per_1024;
+    counters.cycles += mem_l1;
+    if !l1_hit {
+        counters.cycles += mem_l1_miss_extra;
+    }
+    match mode {
+        Mode::Carat => {
+            let page_of = |a: u64| {
+                if page_size.is_power_of_two() {
+                    a >> page_size.trailing_zeros()
+                } else {
+                    a / page_size
+                }
+            };
+            kernel.demand_touch(addr);
+            if size > 0 && page_of(addr + size - 1) != page_of(addr) {
+                kernel.demand_touch(addr + size - 1);
+            }
+            addr
+        }
+        Mode::Traditional => {
+            let vpn = kernel.cost.page_of(addr);
+            // Front cache: a repeat of the VPN that just went through
+            // `TranslationUnit::access` is a guaranteed DTLB hit (its
+            // entry was the last touched in its set, so it cannot have
+            // been evicted without an intervening different-VPN
+            // access) to an already-mapped page. Charge exactly what
+            // the full path would — one DTLB hit, zero extra cycles —
+            // without the set walk or the page-table probe. Skipping
+            // the LRU stamp refresh is invisible: consecutive repeats
+            // preserve the relative stamp order within the set.
+            if vpn == *last_vpn {
+                tlb.dtlb.hits += 1;
+                return addr;
+            }
+            *last_vpn = vpn;
+            let extra = tlb.access(vpn, &kernel.cost);
+            counters.translation_cycles += extra;
+            counters.cycles += extra;
+            // Demand fault on first touch (identity-mapped).
+            if kernel.pagetable.translate(vpn).is_none() {
+                kernel.pagetable.map(
+                    vpn,
+                    carat_kernel::Pte {
+                        ppn: vpn,
+                        writable: true,
+                    },
+                );
+                kernel
+                    .trace
+                    .record(carat_kernel::PagingEvent::Alloc { page: vpn });
+                counters.cycles += kernel.cost.page_fault;
+            }
+            addr // identity mapping: paddr == vaddr
+        }
+    }
+}
+
+impl Vm {
     /// Account for a data access at `addr` and return the physical address
     /// to use. Traditional mode translates (TLB/pagewalk/fault);
     /// CARAT mode uses the address as-is and records first touches.
@@ -1284,63 +2301,16 @@ impl Vm {
                 }
             }
         }
-        // Bind only the fields this path reads; a full `CostModel` copy
-        // (~25 words) per access is measurable on the hot path.
-        let CostModel {
-            mem_l1,
-            mem_l1_miss_extra,
-            l1_hit_per_1024,
-            page_size,
-            ..
-        } = self.kernel.cost;
-        self.access_counter += 1;
-        // Flat L1 model: deterministic pseudo-random hit/miss.
-        let h = self
-            .access_counter
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add(addr >> 6);
-        let l1_hit = (h % 1024) < l1_hit_per_1024;
-        self.counters.cycles += mem_l1;
-        if !l1_hit {
-            self.counters.cycles += mem_l1_miss_extra;
-        }
-        match self.cfg.mode {
-            Mode::Carat => {
-                let page_of = |a: u64| {
-                    if page_size.is_power_of_two() {
-                        a >> page_size.trailing_zeros()
-                    } else {
-                        a / page_size
-                    }
-                };
-                self.kernel.demand_touch(addr);
-                if size > 0 && page_of(addr + size - 1) != page_of(addr) {
-                    self.kernel.demand_touch(addr + size - 1);
-                }
-                Ok(addr)
-            }
-            Mode::Traditional => {
-                let vpn = self.kernel.cost.page_of(addr);
-                let extra = self.tlb.access(vpn, &self.kernel.cost);
-                self.counters.translation_cycles += extra;
-                self.counters.cycles += extra;
-                // Demand fault on first touch (identity-mapped).
-                if self.kernel.pagetable.translate(vpn).is_none() {
-                    self.kernel.pagetable.map(
-                        vpn,
-                        carat_kernel::Pte {
-                            ppn: vpn,
-                            writable: true,
-                        },
-                    );
-                    self.kernel
-                        .trace
-                        .record(carat_kernel::PagingEvent::Alloc { page: vpn });
-                    self.counters.cycles += self.kernel.cost.page_fault;
-                }
-                Ok(addr) // identity mapping: paddr == vaddr
-            }
-        }
+        Ok(data_access_resolved(
+            &mut self.kernel,
+            &mut self.tlb,
+            &mut self.counters,
+            &mut self.access_counter,
+            &mut self.last_vpn,
+            self.cfg.mode,
+            addr,
+            size,
+        ))
     }
 
     fn exec_intrinsic(
@@ -1348,7 +2318,6 @@ impl Vm {
         intr: Intrinsic,
         args: &[Value],
     ) -> Result<Option<Value>, VmError> {
-        let cost = self.kernel.cost; // Copy: no per-intrinsic allocation
         match intr {
             Intrinsic::Malloc => {
                 let size = args[0].as_i().max(0) as u64;
@@ -1369,44 +2338,8 @@ impl Vm {
                 } else {
                     Access::Read
                 };
-                let check = self
-                    .kernel
-                    .regions
-                    .check(self.cfg.guard_impl, addr, len, access);
-                self.account_guard(check.probes, &cost);
-                if check.ok {
-                    return Ok(None);
-                }
-                // A poison address means the data is in swap: the guard
-                // fault reaches the kernel, which pages it back in.
-                if let Some((base, span, delta)) = self.try_page_in(addr)? {
-                    let addr2 = translate(addr, base, span, delta);
-                    let again = self
-                        .kernel
-                        .regions
-                        .check(self.cfg.guard_impl, addr2, len, access);
-                    self.account_guard(again.probes, &cost);
-                    if again.ok {
-                        return Ok(None);
-                    }
-                }
-                if std::env::var_os("CARAT_VM_DEBUG").is_some() {
-                    eprintln!(
-                        "guard fault @ {addr:#x}: alloc={:?}, regions={:?}",
-                        self.table.find_containing(addr).map(|(s, i)| (s, i.len)),
-                        self.kernel
-                            .regions
-                            .regions()
-                            .iter()
-                            .map(|r| (r.start, r.len))
-                            .collect::<Vec<_>>()
-                    );
-                }
-                Err(VmError::GuardFault {
-                    addr,
-                    len,
-                    write: access == Access::Write,
-                })
+                self.exec_guard_access(addr, len, access)?;
+                Ok(None)
             }
             Intrinsic::GuardRange => {
                 let lo = args[0].as_p();
@@ -1417,7 +2350,7 @@ impl Vm {
                     Access::Read
                 };
                 let check = self.kernel.regions.check_range(lo, hi, access);
-                self.account_guard(check.probes, &cost);
+                self.account_guard(check.probes);
                 if check.ok {
                     return Ok(None);
                 }
@@ -1425,7 +2358,7 @@ impl Vm {
                     let lo2 = translate(lo, base, span, delta);
                     let hi2 = translate(hi, base, span, delta);
                     let again = self.kernel.regions.check_range(lo2, hi2, access);
-                    self.account_guard(again.probes, &cost);
+                    self.account_guard(again.probes);
                     if again.ok {
                         return Ok(None);
                     }
@@ -1443,7 +2376,7 @@ impl Vm {
                     self.kernel
                         .regions
                         .check(self.cfg.guard_impl, lo, frame, Access::Write);
-                self.account_guard(check.probes, &cost);
+                self.account_guard(check.probes);
                 if check.ok {
                     return Ok(None);
                 }
@@ -1455,7 +2388,7 @@ impl Vm {
                         self.kernel
                             .regions
                             .check(self.cfg.guard_impl, lo2, frame, Access::Write);
-                    self.account_guard(again.probes, &cost);
+                    self.account_guard(again.probes);
                     if again.ok {
                         return Ok(None);
                     }
@@ -1469,7 +2402,7 @@ impl Vm {
                         self.kernel
                             .regions
                             .check(self.cfg.guard_impl, lo2, frame, Access::Write);
-                    self.account_guard(again.probes, &cost);
+                    self.account_guard(again.probes);
                     if again.ok {
                         return Ok(None);
                     }
@@ -1490,8 +2423,8 @@ impl Vm {
                 };
                 self.table.track_alloc(addr, size, kind);
                 self.counters.track_events += 1;
-                self.counters.track_cycles += cost.track_alloc;
-                self.counters.cycles += cost.track_alloc;
+                self.counters.track_cycles += self.kernel.cost.track_alloc;
+                self.counters.cycles += self.kernel.cost.track_alloc;
                 self.counters.instrumentation_insts += 1;
                 self.note_tracking_bytes();
                 Ok(None)
@@ -1499,16 +2432,16 @@ impl Vm {
             Intrinsic::TrackFree => {
                 self.table.track_free(args[0].as_p());
                 self.counters.track_events += 1;
-                self.counters.track_cycles += cost.track_free;
-                self.counters.cycles += cost.track_free;
+                self.counters.track_cycles += self.kernel.cost.track_free;
+                self.counters.cycles += self.kernel.cost.track_free;
                 self.counters.instrumentation_insts += 1;
                 Ok(None)
             }
             Intrinsic::TrackEscape => {
                 self.table.track_escape(args[0].as_p());
                 self.counters.track_events += 1;
-                self.counters.track_cycles += cost.track_escape_enqueue;
-                self.counters.cycles += cost.track_escape_enqueue;
+                self.counters.track_cycles += self.kernel.cost.track_escape_enqueue;
+                self.counters.cycles += self.kernel.cost.track_escape_enqueue;
                 self.counters.instrumentation_insts += 1;
                 if self.table.pending_escapes() >= self.cfg.escape_batch {
                     self.flush_escapes();
@@ -1571,12 +2504,12 @@ impl Vm {
                     dst = translate(dst, b, sp, d);
                 }
                 // Touch pages on both sides.
-                let page = cost.page_size;
+                let page = self.kernel.cost.page_size;
                 for p in 0..=len.saturating_sub(1) / page {
                     self.data_access(src + p * page, 1, false)?;
                     self.data_access(dst + p * page, 1, true)?;
                 }
-                self.counters.cycles += cost.copy_cost(len);
+                self.counters.cycles += self.kernel.cost.copy_cost(len);
                 // Copy through a buffer (ranges may overlap).
                 let data = self.kernel.mem.read_bytes(src, len).to_vec();
                 self.kernel.mem.write_bytes(dst, &data);
@@ -1596,11 +2529,11 @@ impl Vm {
                     })?;
                     dst = translate(dst, b, sp, d);
                 }
-                let page = cost.page_size;
+                let page = self.kernel.cost.page_size;
                 for p in 0..=len.saturating_sub(1) / page {
                     self.data_access(dst + p * page, 1, true)?;
                 }
-                self.counters.cycles += cost.copy_cost(len);
+                self.counters.cycles += self.kernel.cost.copy_cost(len);
                 self.kernel.mem.write_bytes(dst, &vec![byte; len as usize]);
                 Ok(None)
             }
@@ -1621,13 +2554,16 @@ impl Vm {
                 }
                 match self.threads[tid as usize] {
                     ThreadState::Done(v) => {
-                        self.counters.cycles += cost.call;
+                        self.counters.cycles += self.kernel.cost.call;
                         Ok(Some(Value::I(v)))
                     }
                     _ => {
-                        // Not finished: block; the scheduler re-runs this
-                        // join after other threads make progress.
+                        // Not finished: block and yield the rest of the
+                        // quantum; the scheduler re-runs this join after
+                        // other threads make progress.
                         self.block_current = true;
+                        self.next_rotate_at = 0;
+                        self.recompute_bail();
                         Ok(None)
                     }
                 }
@@ -1635,10 +2571,94 @@ impl Vm {
         }
     }
 
-    fn account_guard(&mut self, probes: u64, cost: &carat_runtime::CostModel) {
+    /// Guard-check `[addr, addr+len)` for `access` — the body of the
+    /// `guard_load`/`guard_store` intrinsics, shared verbatim by the fused
+    /// guard+access superinstructions so their accounting is identical by
+    /// construction.
+    ///
+    /// The last-hit region cache short-circuits the full [`RegionTable`]
+    /// search on the common path. Caching the *probe count* is sound
+    /// because regions are disjoint and sorted: for any address inside a
+    /// given region, every comparison against other regions' bounds
+    /// resolves the same way, so all three guard implementations take the
+    /// same search path — and charge the same probes — as they did on the
+    /// hit that filled the cache. The cache keys on the table's
+    /// generation, which the kernel bumps on every region change.
+    ///
+    /// [`RegionTable`]: carat_runtime::RegionTable
+    fn exec_guard_access(&mut self, addr: u64, len: u64, access: Access) -> Result<(), VmError> {
+        let gc = self.guard_cache;
+        if gc.generation == self.kernel.regions.generation
+            && addr >= gc.start
+            && addr < gc.end
+            && len > 0
+            && addr.saturating_add(len) <= gc.end
+            && gc.perms.allows(access)
+        {
+            self.account_guard(gc.probes);
+            return Ok(());
+        }
+        let check = self
+            .kernel
+            .regions
+            .check(self.cfg.guard_impl, addr, len, access);
+        self.account_guard(check.probes);
+        if check.ok {
+            self.refill_guard_cache(addr, check.probes);
+            return Ok(());
+        }
+        // A poison address means the data is in swap: the guard
+        // fault reaches the kernel, which pages it back in.
+        if let Some((base, span, delta)) = self.try_page_in(addr)? {
+            let addr2 = translate(addr, base, span, delta);
+            let again = self
+                .kernel
+                .regions
+                .check(self.cfg.guard_impl, addr2, len, access);
+            self.account_guard(again.probes);
+            if again.ok {
+                self.refill_guard_cache(addr2, again.probes);
+                return Ok(());
+            }
+        }
+        if std::env::var_os("CARAT_VM_DEBUG").is_some() {
+            eprintln!(
+                "guard fault @ {addr:#x}: alloc={:?}, regions={:?}",
+                self.table.find_containing(addr).map(|(s, i)| (s, i.len)),
+                self.kernel
+                    .regions
+                    .regions()
+                    .iter()
+                    .map(|r| (r.start, r.len))
+                    .collect::<Vec<_>>()
+            );
+        }
+        Err(VmError::GuardFault {
+            addr,
+            len,
+            write: access == Access::Write,
+        })
+    }
+
+    /// Remember the region containing `addr` (which a check just accepted)
+    /// together with the probe count that check charged.
+    fn refill_guard_cache(&mut self, addr: u64, probes: u64) {
+        if let Some(r) = self.kernel.regions.containing(addr) {
+            self.guard_cache = GuardFastPath {
+                generation: self.kernel.regions.generation,
+                start: r.start,
+                end: r.end(),
+                perms: r.perms,
+                probes,
+            };
+        }
+    }
+
+    fn account_guard(&mut self, probes: u64) {
         self.counters.guards_executed += 1;
         self.counters.guard_probes += probes;
         self.counters.instrumentation_insts += 1;
+        let cost = &self.kernel.cost;
         let cycles = if self.cfg.guard_impl == GuardImpl::Mpx && self.kernel.regions.len() == 1 {
             cost.guard_mpx
         } else {
@@ -1680,7 +2700,9 @@ impl Vm {
             return false;
         };
         match self.cfg.engine {
-            Engine::Decoded => {
+            // Track intrinsics are never fused, so the fused stream still
+            // shows them as plain `Intrinsic` slots.
+            Engine::Fused | Engine::Decoded => {
                 matches!(
                     frame.code.get(frame.idx),
                     Some(DecodedInst::Intrinsic { intr, .. }) if intr.is_track()
@@ -1707,6 +2729,16 @@ impl Vm {
     /// # Errors
     ///
     /// Currently infallible; the `Result` keeps the call sites uniform.
+    /// Start a fresh scheduler quantum at the current instruction count
+    /// and refold the bail thresholds around the new boundary.
+    fn grant_quantum(&mut self) {
+        self.next_rotate_at = self
+            .counters
+            .instructions
+            .saturating_add(self.cfg.sched_quantum.max(1));
+        self.recompute_bail();
+    }
+
     fn rotate(&mut self, force: bool) -> Result<bool, VmError> {
         let n = self.threads.len();
         for off in 1..=n {
@@ -1731,7 +2763,9 @@ impl Vm {
                 stack_base: self.cur_stack_base,
             };
             self.threads[self.cur_tid] = ThreadState::Parked(parked);
+            self.parked_threads += 1;
         }
+        self.parked_threads -= 1; // `tid` leaves the parked set
         let slot = std::mem::replace(&mut self.threads[tid], ThreadState::Current);
         let ThreadState::Parked(t) = slot else {
             unreachable!("switch target verified parked");
@@ -1740,6 +2774,7 @@ impl Vm {
         self.sp = t.sp;
         self.cur_stack_base = t.stack_base;
         self.cur_tid = tid;
+        self.recompute_bail();
     }
 
     /// Live (current or parked) thread count, for world-stop costing.
@@ -1781,15 +2816,15 @@ impl Vm {
             prev_block: None,
             sp_base,
             ret_to: None,
-            code: self.program.funcs[fid.index()].blocks[entry.index()]
-                .code
-                .clone(),
+            code: self.pinned_code(fid.index(), entry.index()),
         };
         self.threads.push(ThreadState::Parked(ParkedThread {
             frames: vec![frame],
             sp: sp_base,
             stack_base: block,
         }));
+        self.parked_threads += 1;
+        self.recompute_bail();
         // Thread creation cost: the kernel sets up the stack and registers
         // the thread with the runtime.
         self.counters.cycles += self.kernel.cost.move_signal_per_thread;
@@ -1829,6 +2864,11 @@ impl Vm {
     }
 
     fn writeback_regs(&mut self, regs: &[u64], map: &SnapshotMap) {
+        // A world stop relocated data: drop the translation front cache.
+        // (Invalidation is always safe — a dropped entry merely routes the
+        // next access through `TranslationUnit::access`, which charges the
+        // identical DTLB hit.)
+        self.last_vpn = u64::MAX;
         // Replay the exact visit order of `snapshot_regs`: per thread, its
         // pointer registers (positional), then sp and frame bases (by
         // recorded absolute slot index).
@@ -2019,6 +3059,7 @@ impl Vm {
                 .map(|d| d.period_cycles)
                 .unwrap_or(u64::MAX),
         );
+        self.recompute_bail();
         if let Some(d) = self.cfg.swap_driver {
             if d.max_swaps != 0 && self.swaps_done >= d.max_swaps {
                 return Ok(());
@@ -2134,6 +3175,7 @@ impl Vm {
                 .map(|d| d.period_cycles)
                 .unwrap_or(u64::MAX),
         );
+        self.recompute_bail();
         if let Some(d) = self.cfg.move_driver {
             if d.max_moves != 0 && self.moves_done >= d.max_moves {
                 return Ok(());

@@ -9,7 +9,8 @@
 use carat_core::{count_guards, CaratCompiler, CompileOptions, OptPreset};
 use carat_frontend::compile_cm;
 use carat_ir::print_module;
-use carat_vm::{Vm, VmConfig};
+use carat_vm::{DecodedProgram, Engine, FusedKind, Vm, VmConfig};
+use carat_workloads::{all_workloads, Scale};
 
 const PROGRAM: &str = r#"
 double dot(double* xs, double* ys, int n) {
@@ -58,6 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run it and print the dynamic per-opcode instruction mix the decoded
     // engine's counters record — what the program actually *executes*, as
     // opposed to the static IR printed above.
+    let decoded = DecodedProgram::decode(&optimized.module);
     let result = Vm::new(optimized.module, VmConfig::default())?.run()?;
     println!(
         "==== dynamic opcode mix ({} instructions retired, ret {}) ====\n",
@@ -66,6 +68,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (op, n) in result.counters.opcode_mix.sorted() {
         let pct = 100.0 * n as f64 / result.counters.instructions as f64;
         println!("  {:<14} {n:>8}  ({pct:4.1}%)", format!("{op:?}"));
+    }
+
+    // Fusion statistics for the same run: what the decode-time peephole
+    // pass created (static sites), and how much of the dynamic stream
+    // actually retired through fused dispatches.
+    println!(
+        "\n==== fusion ({} static sites; {} pairs executed, {:.1}% of dynamic instructions fused) ====\n",
+        decoded.fusion.total(),
+        result.fusion.fused_pairs(),
+        100.0 * result.fusion.fused_instructions() as f64 / result.counters.instructions as f64
+    );
+    for (kind, n) in result.fusion.sorted() {
+        println!(
+            "  {:<14} {n:>8}  ({} static sites)",
+            kind.name(),
+            decoded.fusion.sites[kind as usize]
+        );
+    }
+
+    // And the same two numbers for every workload in the suite, with the
+    // top fused pairs that dominate each one.
+    println!("\n==== per-workload fusion statistics (Test scale, Carat build) ====\n");
+    println!(
+        "  {:<14} {:>6} {:>7}  top fused pairs",
+        "workload", "sites", "fused%"
+    );
+    for w in all_workloads() {
+        let module = w.module(Scale::Test)?;
+        let compiled = CaratCompiler::new(CompileOptions::default()).compile(module)?;
+        let decoded = DecodedProgram::decode(&compiled.module);
+        let cfg = VmConfig {
+            engine: Engine::Fused,
+            ..VmConfig::default()
+        };
+        let r = Vm::new(compiled.module, cfg)?.run()?;
+        let frac =
+            100.0 * r.fusion.fused_instructions() as f64 / r.counters.instructions.max(1) as f64;
+        let top: Vec<String> = r
+            .fusion
+            .sorted()
+            .into_iter()
+            .take(5)
+            .map(|(k, n): (FusedKind, u64)| format!("{} {n}", k.name()))
+            .collect();
+        println!(
+            "  {:<14} {:>6} {:>6.1}%  {}",
+            w.name,
+            decoded.fusion.total(),
+            frac,
+            top.join(", ")
+        );
     }
     Ok(())
 }

@@ -1,0 +1,301 @@
+//! Differential tests for the superinstruction (fused) engine.
+//!
+//! Fusion is a pure host-speed optimization: for every workload, in every
+//! execution mode, the fused engine must produce byte-for-byte the same
+//! observable behavior as the decoded engine (and, transitively through
+//! `tests/decoded_differential.rs`, the reference interpreter) — the same
+//! return value and the same `PerfCounters` (instructions, cycles,
+//! guard/tracking/move/TLB accounting, and the per-opcode histogram).
+//! Fusion changes host nanoseconds, never simulated state.
+
+use carat_suite::core::{CaratCompiler, CompileOptions};
+use carat_suite::frontend::compile_cm;
+use carat_suite::ir::Module;
+use carat_suite::vm::{
+    Engine, Mode, MoveDriverConfig, RunResult, SwapDriverConfig, Vm, VmConfig, VmError,
+};
+use carat_suite::workloads::{all_workloads, Scale};
+use proptest::prelude::*;
+
+/// Run `module` under `cfg` with the given engine.
+fn run_engine(module: Module, cfg: &VmConfig, engine: Engine) -> RunResult {
+    let cfg = VmConfig {
+        engine,
+        ..cfg.clone()
+    };
+    Vm::new(module, cfg).expect("load").run().expect("run")
+}
+
+/// Assert that the fused and decoded engines agree on every observable of
+/// a run, and that the fused engine actually reports its fusion stats.
+fn assert_identical(module: &Module, cfg: &VmConfig, what: &str) -> RunResult {
+    let fus = run_engine(module.clone(), cfg, Engine::Fused);
+    let dec = run_engine(module.clone(), cfg, Engine::Decoded);
+    assert_eq!(fus.ret, dec.ret, "{what}: return value");
+    assert_eq!(fus.counters, dec.counters, "{what}: counters");
+    assert_eq!(fus.output, dec.output, "{what}: output");
+    assert_eq!(fus.track_stats, dec.track_stats, "{what}: tracking stats");
+    assert_eq!(fus.page_allocs, dec.page_allocs, "{what}: page allocs");
+    assert_eq!(fus.page_moves, dec.page_moves, "{what}: page moves");
+    assert_eq!(fus.dtlb_misses, dec.dtlb_misses, "{what}: DTLB misses");
+    assert_eq!(fus.pagewalks, dec.pagewalks, "{what}: pagewalks");
+    assert_eq!(
+        dec.fusion.fused_pairs(),
+        0,
+        "{what}: decoded engine never executes superinstructions"
+    );
+    assert!(
+        2 * fus.fusion.fused_pairs() <= fus.counters.instructions,
+        "{what}: fused instructions bounded by retired instructions"
+    );
+    fus
+}
+
+fn compile(module: Module, options: CompileOptions) -> Module {
+    CaratCompiler::new(options)
+        .compile(module)
+        .expect("carat compile")
+        .module
+}
+
+/// Every workload, traditional paging mode (uninstrumented baseline
+/// build): identical TLB/pagewalk accounting, with the VPN front cache
+/// live on repeated-page accesses.
+#[test]
+fn all_workloads_agree_in_traditional_mode() {
+    for w in all_workloads() {
+        let module = w.module(Scale::Test).expect("frontend");
+        let m = compile(module, CompileOptions::baseline());
+        let cfg = VmConfig {
+            mode: Mode::Traditional,
+            ..VmConfig::default()
+        };
+        assert_identical(&m, &cfg, &format!("{} (traditional)", w.name));
+    }
+}
+
+/// Every workload, CARAT mode with full instrumentation: identical guard
+/// and tracking accounting, with the guard fast-path cache and the fused
+/// guard+access superinstructions live.
+#[test]
+fn all_workloads_agree_in_carat_mode() {
+    let mut fused_anywhere = 0u64;
+    for w in all_workloads() {
+        let module = w.module(Scale::Test).expect("frontend");
+        let m = compile(module, CompileOptions::default());
+        let cfg = VmConfig::default();
+        let fus = assert_identical(&m, &cfg, &format!("{} (carat)", w.name));
+        fused_anywhere += fus.fusion.fused_pairs();
+    }
+    assert!(
+        fused_anywhere > 0,
+        "fusion fires somewhere across the suite"
+    );
+}
+
+/// Page moves exercise the world-stop machinery (register snapshot,
+/// escape patching, poison handling); the fused engine must bail out of
+/// pairs so the world stops on exactly the same cycle.
+#[test]
+fn moves_agree_across_engines() {
+    for name in ["mcf", "canneal", "freqmine"] {
+        let w = carat_suite::workloads::by_name(name).expect("workload");
+        let module = w.module(Scale::Test).expect("frontend");
+        let m = compile(module, CompileOptions::default());
+        let cfg = VmConfig {
+            move_driver: Some(MoveDriverConfig {
+                period_cycles: 15_000,
+                max_moves: 40,
+            }),
+            ..VmConfig::default()
+        };
+        let fus = assert_identical(&m, &cfg, &format!("{name} (moves)"));
+        assert!(fus.counters.moves > 0, "{name}: moves actually happened");
+    }
+}
+
+/// Swap injection: page-outs poison addresses; guards fault the data back
+/// in mid-pair (a world stop *inside* a fused guard+access component).
+/// The fused engine must reproduce the identical page-in episodes.
+#[test]
+fn swaps_agree_across_engines() {
+    for name in ["mcf", "dedup"] {
+        let w = carat_suite::workloads::by_name(name).expect("workload");
+        let module = w.module(Scale::Test).expect("frontend");
+        let m = compile(module, CompileOptions::default());
+        let cfg = VmConfig {
+            swap_driver: Some(SwapDriverConfig {
+                period_cycles: 60_000,
+                max_swaps: 10,
+            }),
+            ..VmConfig::default()
+        };
+        let fus = assert_identical(&m, &cfg, &format!("{name} (swap)"));
+        assert!(
+            fus.counters.swap_ins > 0 || fus.counters.swap_outs > 0,
+            "{name}: swap actually happened"
+        );
+    }
+}
+
+/// Thread world-stops with `extra_threads > 0`: with parked threads the
+/// scheduler rotates after every instruction, so fusion must split every
+/// pair at the component boundary — and still agree on all counters.
+#[test]
+fn thread_world_stops_agree_across_engines() {
+    let src = "
+        int* shared;
+        int work(int lo) {
+            for (int i = lo; i < lo + 300; i += 1) { shared[i] = i * 7; }
+            return lo;
+        }
+        int main() {
+            shared = (int*) malloc(1200 * sizeof(int));
+            int t0 = spawn(work, 0);
+            int t1 = spawn(work, 300);
+            int t2 = spawn(work, 600);
+            int done = join(t0) + join(t1) + join(t2);
+            for (int i = 900; i < 1200; i += 1) { shared[i] = i * 7; }
+            int s = done * 0;
+            for (int i = 0; i < 1200; i += 1) { s += shared[i]; }
+            free(shared);
+            return s % 1000000;
+        }
+    ";
+    let module = compile_cm("stops", src).expect("frontend");
+    let m = compile(module, CompileOptions::default());
+    let cfg = VmConfig {
+        move_driver: Some(MoveDriverConfig {
+            period_cycles: 20_000,
+            max_moves: 60,
+        }),
+        extra_threads: 2,
+        ..VmConfig::default()
+    };
+    let fus = assert_identical(&m, &cfg, "threaded stops");
+    assert!(fus.counters.moves > 0, "moves happened during threaded run");
+}
+
+/// The step limit must trip on exactly the same instruction: a fused pair
+/// bails between components when the budget runs out, so tightening
+/// `max_steps` one instruction at a time never diverges the two engines.
+#[test]
+fn step_limit_trips_identically() {
+    let w = carat_suite::workloads::by_name("hpccg").expect("workload");
+    let module = w.module(Scale::Test).expect("frontend");
+    let m = compile(module, CompileOptions::default());
+    for max_steps in [1, 2, 3, 17, 1_000, 10_001, 250_000] {
+        let cfg = VmConfig {
+            max_steps,
+            ..VmConfig::default()
+        };
+        let outcome = |engine: Engine| -> Result<(i64, u64), String> {
+            let cfg = VmConfig {
+                engine,
+                ..cfg.clone()
+            };
+            match Vm::new(m.clone(), cfg).expect("load").run() {
+                Ok(r) => Ok((r.ret, r.counters.instructions)),
+                Err(e) => Err(format!("{e:?}")),
+            }
+        };
+        let fus = outcome(Engine::Fused);
+        let dec = outcome(Engine::Decoded);
+        assert_eq!(fus, dec, "max_steps={max_steps}");
+        if max_steps < 250_000 {
+            assert!(
+                matches!(fus, Err(ref e) if e.contains("StepLimit")),
+                "tiny budget must trip: {fus:?}"
+            );
+        }
+    }
+    let _ = VmError::StepLimit; // silence unused-import lint paths
+}
+
+/// The opcode histogram must agree — fused arms charge the tail
+/// component's opcode themselves, so the histogram still covers every
+/// retired instruction.
+#[test]
+fn opcode_mix_agrees_and_sums_to_instructions() {
+    let w = carat_suite::workloads::by_name("hpccg").expect("workload");
+    let module = w.module(Scale::Test).expect("frontend");
+    let m = compile(module, CompileOptions::default());
+    let cfg = VmConfig::default();
+    let fus = run_engine(m.clone(), &cfg, Engine::Decoded);
+    let dec = run_engine(m, &cfg, Engine::Fused);
+    assert_eq!(fus.counters.opcode_mix, dec.counters.opcode_mix);
+    assert_eq!(
+        dec.counters.opcode_mix.total(),
+        dec.counters.instructions,
+        "histogram covers every retired instruction"
+    );
+}
+
+/// Deterministically generate a small random Cm program rich in fusable
+/// patterns: array loops (`PtrAdd`+`Load`/`Store`, guard+access once
+/// instrumented), compare-and-branch chains (`Icmp`+`Br`), struct field
+/// traffic (`FieldAddr`+access), and constant arithmetic (`Const`+`Bin`).
+fn gen_program(seed: u64) -> String {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    let n = 24 + (next() % 72); // array length
+    let mut body = String::new();
+    body.push_str(&format!("    int n = {n};\n"));
+    body.push_str("    int* a = (int*) malloc(n * sizeof(int));\n");
+    body.push_str("    struct pt p; p.x = 3; p.y = 4;\n");
+    body.push_str("    int s = 0;\n");
+    let stmts = 3 + next() % 5;
+    for k in 0..stmts {
+        let c = 1 + (next() % 9) as i64;
+        let d = (next() % 100) as i64;
+        match next() % 5 {
+            0 => body.push_str(&format!(
+                "    for (int i{k} = 0; i{k} < n; i{k} += 1) {{ a[i{k}] = i{k} * {c} + {d}; }}\n"
+            )),
+            1 => body.push_str(&format!(
+                "    for (int i{k} = 0; i{k} < n; i{k} += 1) {{ s += a[i{k}] * {c}; }}\n"
+            )),
+            2 => body.push_str(&format!(
+                "    for (int i{k} = 0; i{k} < n; i{k} += 1) {{ if (a[i{k}] > {d}) {{ s += {c}; }} else {{ s -= 1; }} }}\n"
+            )),
+            3 => body.push_str(&format!(
+                "    p.x = p.x + {c}; p.y = p.y * {c} + p.x; s += p.y % 1000;\n"
+            )),
+            _ => body.push_str(&format!("    s = s * {c} + {d}; s = s % 100003;\n")),
+        }
+    }
+    body.push_str("    free(a);\n    return (s + p.x + p.y) % 1000000;\n");
+    format!("struct pt {{ int x; int y; }};\nint main() {{\n{body}}}\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Random-program property: fused, decoded, and reference engines
+    /// agree on the result and on every counter, under both the fully
+    /// instrumented CARAT build and the traditional baseline.
+    #[test]
+    fn random_programs_agree_across_engines(seed in 0u64..1_000_000) {
+        let src = gen_program(seed);
+        let module = compile_cm("prop", &src).expect("generated program compiles");
+        for (opts, mode) in [
+            (CompileOptions::default(), Mode::Carat),
+            (CompileOptions::baseline(), Mode::Traditional),
+        ] {
+            let m = compile(module.clone(), opts);
+            let cfg = VmConfig { mode, ..VmConfig::default() };
+            let fus = run_engine(m.clone(), &cfg, Engine::Fused);
+            let dec = run_engine(m.clone(), &cfg, Engine::Decoded);
+            let refr = run_engine(m, &cfg, Engine::Reference);
+            prop_assert_eq!(fus.ret, dec.ret, "seed {} ({:?}) ret", seed, mode);
+            prop_assert_eq!(&fus.counters, &dec.counters, "seed {} ({:?}) fused vs decoded", seed, mode);
+            prop_assert_eq!(&dec.counters, &refr.counters, "seed {} ({:?}) decoded vs reference", seed, mode);
+            prop_assert_eq!(fus.dtlb_misses, dec.dtlb_misses, "seed {} ({:?}) dtlb", seed, mode);
+            prop_assert_eq!(fus.page_allocs, dec.page_allocs, "seed {} ({:?}) allocs", seed, mode);
+        }
+    }
+}
