@@ -16,6 +16,9 @@ fn main() {
         "fig7_tracking_overhead",
         "fig9_move_overhead",
         "table3_move_breakdown",
+        "region_fragmentation",
+        "fault_overhead",
+        "multiproc_isolation",
     ];
     let args: Vec<String> = std::env::args().skip(1).collect();
     let me = std::env::current_exe().expect("own path");

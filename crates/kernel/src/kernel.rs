@@ -7,12 +7,13 @@ use crate::faults::{FaultPlan, FaultPoint, KernelError};
 use crate::loader::{load_signed, load_unsigned, LoadConfig, LoadError, ProcessImage};
 use crate::pagetable::{PageTable, Pte};
 use crate::phys::PhysicalMemory;
+use crate::proc::{retarget_region, Pid, ProcEntry, ProcState, ProcTable, SharedId};
 use crate::trace::{PagingEvent, PagingTrace};
 use carat_core::sign::{SignedModule, SigningKey};
 use carat_ir::Module;
 use carat_runtime::{
-    perform_move_journaled, AllocationTable, CostModel, MemAccess, MoveOutcome, MovePhase,
-    MoveRequest, Perms, Region, RegionTable, WorldStop, WorldStopError,
+    perform_move_journaled, perform_shared_move_journaled, AllocationTable, CostModel, MemAccess,
+    MoveOutcome, MovePhase, MoveRequest, Perms, Region, RegionTable, WorldStop, WorldStopError,
 };
 use std::collections::HashMap;
 
@@ -56,6 +57,9 @@ pub struct SimKernel {
     /// Move-destination allocations that succeeded only after compaction
     /// and retry (OOM recoveries).
     pub oom_recoveries: u64,
+    /// The process table (multi-tenant operation; empty for the classic
+    /// single-process flows, which never register).
+    pub procs: ProcTable,
 }
 
 /// A move destination with its provenance, so an abandoned move can
@@ -152,7 +156,18 @@ impl SimKernel {
             trusted: Vec::new(),
             faults: None,
             oom_recoveries: 0,
+            procs: ProcTable::new(),
         }
+    }
+
+    /// A minimal kernel (a few frames of memory) used as the placeholder
+    /// inside a descheduled VM: the multi-process scheduler swaps the one
+    /// real kernel into whichever VM is running, and every parked VM holds
+    /// one of these. Its cost model is the default — identical to a real
+    /// kernel's, so anything computed from a parked VM's cost view (e.g.
+    /// TLB geometry at construction) matches the live kernel exactly.
+    pub fn placeholder() -> SimKernel {
+        SimKernel::new(128 * 1024)
     }
 
     /// Install a fault-injection schedule. Also enables the patch journal
@@ -973,6 +988,283 @@ impl SimKernel {
             }
         }
     }
+
+    // --- multi-process operation -----------------------------------------
+
+    /// Register the most recently loaded image as a process: the capsule
+    /// region set the load installed becomes the process's guard-region
+    /// map, and the (empty at this point) live page table is parked with
+    /// it. Call immediately after [`SimKernel::load`] /
+    /// [`SimKernel::load_unsigned`] for each tenant; nothing is installed
+    /// until the first [`SimKernel::proc_switch`].
+    pub fn register_proc(&mut self, name: &str, image: ProcessImage) -> Pid {
+        let pid = self.procs.next_pid();
+        let regions = std::mem::take(&mut self.master);
+        let pagetable = std::mem::replace(&mut self.pagetable, PageTable::new());
+        self.regions.set_regions(Vec::new());
+        self.procs.push(ProcEntry {
+            pid,
+            name: name.to_string(),
+            state: ProcState::Runnable,
+            image,
+            regions,
+            pagetable,
+            table: None,
+            accounting: Default::default(),
+        });
+        pid
+    }
+
+    /// Context switch to process `to`: park the outgoing process's guard
+    /// regions and page table, install the incoming one's, and charge the
+    /// mode-dependent cost to the incoming process's *kernel* accounting.
+    ///
+    /// CARAT pays [`CostModel::ctx_switch_carat`] — the fixed trap path
+    /// plus a region-set install. There is no translation state, so
+    /// nothing is flushed; the region generation bump alone invalidates
+    /// every user-level guard fast path. Traditional pays
+    /// [`CostModel::ctx_switch_traditional`] — the same fixed path plus a
+    /// *modeled* TLB flush and amortized ASID-rollover refill. The flush
+    /// is a kernel-side cycle charge, not a simulated-TLB clear: the
+    /// per-process TLB contents model a tagged TLB whose coherence costs
+    /// are exactly this charge, which keeps a process's own retired
+    /// cycles identical between time-sliced and sequential execution.
+    ///
+    /// Returns the cycles charged (0 when `to` is already current).
+    pub fn proc_switch(&mut self, to: Pid, traditional: bool) -> u64 {
+        if self.procs.current() == Some(to) {
+            return 0;
+        }
+        if let Some(cur) = self.procs.current() {
+            let e = self.procs.entry_mut(cur);
+            e.regions = std::mem::take(&mut self.master);
+            e.pagetable = std::mem::replace(&mut self.pagetable, PageTable::new());
+        }
+        let e = self.procs.entry_mut(to);
+        self.master = std::mem::take(&mut e.regions);
+        self.pagetable = std::mem::replace(&mut e.pagetable, PageTable::new());
+        self.regions.set_regions(self.master.clone());
+        let cycles = if traditional {
+            self.cost.ctx_switch_traditional()
+        } else {
+            self.cost.ctx_switch_carat()
+        };
+        let acc = &mut self.procs.entry_mut(to).accounting;
+        acc.ctx_switches += 1;
+        acc.ctx_switch_cycles += cycles;
+        if traditional {
+            acc.tlb_flushes += 1;
+        }
+        self.procs.set_current(Some(to));
+        cycles
+    }
+
+    /// Allocate a page-aligned shared memory block of at least `len`
+    /// bytes. The block belongs to no process until mapped
+    /// ([`SimKernel::shared_map`]).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::OutOfFrames`] when the frame allocator is exhausted.
+    pub fn shared_create(&mut self, len: u64) -> Result<SharedId, KernelError> {
+        let pg = self.cost.page_size;
+        let len = len.div_ceil(pg) * pg;
+        let pages = len / pg;
+        let base = self
+            .buddy
+            .alloc_pages(pages)
+            .ok_or(KernelError::OutOfFrames { pages })?;
+        for p in 0..pages {
+            self.trace.record(PagingEvent::Alloc {
+                page: base / pg + p,
+            });
+        }
+        Ok(self.procs.add_shared(base, len))
+    }
+
+    /// Map shared block `id` into process `pid`'s region set (its guard
+    /// map gains an RW region over the block). The caller is responsible
+    /// for tracking the block in the process's allocation table so moves
+    /// can patch its pointers.
+    pub fn shared_map(&mut self, pid: Pid, id: SharedId) {
+        let (base, len) = {
+            let s = self.procs.shared(id).expect("live shared id");
+            (s.base, s.len)
+        };
+        let shared = self.procs.shared_mut(id);
+        if !shared.owners.contains(&pid) {
+            shared.owners.push(pid);
+        }
+        let region = Region {
+            start: base,
+            len,
+            perms: Perms::RW,
+        };
+        if self.procs.current() == Some(pid) {
+            self.master.push(region);
+            self.master.sort_by_key(|r| r.start);
+            self.regions.set_regions(self.master.clone());
+        } else {
+            let e = self.procs.entry_mut(pid);
+            e.regions.push(region);
+            e.regions.sort_by_key(|r| r.start);
+        }
+    }
+
+    /// [`SimKernel::journaled_move`] across several owner tables at once
+    /// (shared-region move).
+    fn journaled_shared_move(
+        &mut self,
+        tables: &mut [&mut AllocationTable],
+        regs: &mut [u64],
+        req: MoveRequest,
+    ) -> Result<MoveOutcome, KernelError> {
+        let mut plan = self.faults.take();
+        let journal_on = plan.is_some();
+        let mut hook = |phase: MovePhase| {
+            phase == MovePhase::Patched
+                && plan
+                    .as_mut()
+                    .is_some_and(|p| p.should_fire(FaultPoint::MidMove))
+        };
+        let mut routed = SwapAwareMem {
+            mem: &mut self.mem,
+            swap: &mut self.swap,
+        };
+        let res = perform_shared_move_journaled(
+            tables,
+            &mut routed,
+            regs,
+            req,
+            &self.cost,
+            if journal_on { Some(&mut hook) } else { None },
+        );
+        self.faults = plan;
+        res.map_err(|_| KernelError::MoveInterrupted {
+            src: req.src,
+            len: req.len,
+            dst: req.dst,
+        })
+    }
+
+    /// Move shared block `id` to a fresh location, patching the escapes
+    /// and dumped registers of *every* owner in one world stop, and
+    /// updating every owner's guard-region map. `regs` is the
+    /// concatenation of all owners' dumped thread registers; `threads`
+    /// the total stopped thread count.
+    ///
+    /// Every owner's allocation table must be checked in (all owners
+    /// descheduled — the scheduler quiesces them before a cross-process
+    /// move).
+    ///
+    /// # Errors
+    ///
+    /// Transactional exactly like [`SimKernel::move_pages`]:
+    /// [`KernelError::OutOfFrames`], [`KernelError::WorldStop`], or
+    /// [`KernelError::MoveInterrupted`] leave every owner's memory,
+    /// registers, and tables byte-identical to the pre-call state.
+    pub fn move_shared(
+        &mut self,
+        id: SharedId,
+        regs: &mut [u64],
+        threads: usize,
+    ) -> Result<(WorldStop, MoveOutcome), KernelError> {
+        let (base, len, owners) = {
+            let s = self.procs.shared(id).expect("live shared id");
+            (s.base, s.len, s.owners.clone())
+        };
+        // Pre-negotiate expansion across every owner so the destination
+        // is big enough (fixed point, mirroring the patch engine).
+        let pg = self.cost.page_size;
+        let (mut xsrc, mut xlen) = (base, len);
+        loop {
+            let before = (xsrc, xlen);
+            for &pid in &owners {
+                if let Some(t) = self.procs.get(pid).and_then(|e| e.table.as_ref()) {
+                    let (s, l) = carat_runtime::expand_to_allocations(t, xsrc, xlen, pg);
+                    (xsrc, xlen) = (s, l);
+                }
+            }
+            if (xsrc, xlen) == before {
+                break;
+            }
+        }
+        let (dst, backoff) = self.alloc_move_dst(xlen)?;
+        let mut world = match self.begin_stop(threads) {
+            Ok(w) => w,
+            Err(e) => {
+                self.release_move_dst(dst);
+                return Err(e);
+            }
+        };
+        let mut tables: Vec<AllocationTable> = owners
+            .iter()
+            .map(|&p| {
+                self.procs
+                    .checkout_table(p)
+                    .expect("owner tables checked in for a shared move")
+            })
+            .collect();
+        let req = MoveRequest {
+            src: xsrc,
+            len: xlen,
+            dst: dst.addr,
+        };
+        let res = {
+            let mut refs: Vec<&mut AllocationTable> = tables.iter_mut().collect();
+            self.journaled_shared_move(&mut refs, regs, req)
+        };
+        for (&p, t) in owners.iter().zip(tables) {
+            self.procs.checkin_table(p, t);
+        }
+        let mut outcome = match res {
+            Ok(out) => out,
+            Err(e) => {
+                world.abort(&self.cost);
+                self.release_move_dst(dst);
+                return Err(e);
+            }
+        };
+        outcome.cost.alloc_and_move += backoff;
+        Self::finish_stop(&mut world, &self.cost)?;
+
+        // Region maintenance, for every owner: the moved range leaves its
+        // map; the destination enters it. The current process's map is the
+        // live master list.
+        self.vacated.push((outcome.moved_src, outcome.moved_len));
+        for &pid in &owners {
+            if self.procs.current() == Some(pid) {
+                retarget_region(
+                    &mut self.master,
+                    outcome.moved_src,
+                    outcome.moved_len,
+                    outcome.moved_dst,
+                );
+                self.regions.set_regions(self.master.clone());
+            } else {
+                retarget_region(
+                    &mut self.procs.entry_mut(pid).regions,
+                    outcome.moved_src,
+                    outcome.moved_len,
+                    outcome.moved_dst,
+                );
+            }
+        }
+        for p in 0..outcome.moved_len / pg {
+            self.trace.record(PagingEvent::Move {
+                from: outcome.moved_src / pg + p,
+                to: outcome.moved_dst / pg + p,
+            });
+        }
+        let new_base = outcome
+            .moved_dst
+            .wrapping_add(base.wrapping_sub(outcome.moved_src));
+        let shared = self.procs.shared_mut(id);
+        shared.base = new_base;
+        self.procs.shared_moves += 1;
+        self.procs.shared_move_cycles += world.cycles + outcome.cost.total();
+        Ok((world, outcome))
+    }
 }
 
 #[cfg(test)]
@@ -1082,6 +1374,177 @@ mod tests {
         assert_eq!(pte1, pte2, "second touch reuses the mapping");
         assert_eq!(k.trace.allocs, before + 1);
         assert_eq!(k.pagetable.mapped, 1);
+    }
+
+    /// Boot two tenants through one kernel; returns their tables checked
+    /// into the process table.
+    fn boot_two_procs() -> (SimKernel, Pid, Pid, ProcessImage, ProcessImage) {
+        let mut k = SimKernel::new(64 * 1024 * 1024);
+        let cfg = LoadConfig {
+            stack_size: 64 * 1024,
+            heap_size: 1024 * 1024,
+            page_size: 4096,
+        };
+        let mut t0 = AllocationTable::new();
+        let img0 = k
+            .load_unsigned(module_with_global(), &mut t0, cfg)
+            .expect("loads");
+        let p0 = k.register_proc("alpha", img0.clone());
+        k.procs.checkin_table(p0, t0);
+        let mut t1 = AllocationTable::new();
+        let img1 = k
+            .load_unsigned(module_with_global(), &mut t1, cfg)
+            .expect("loads");
+        let p1 = k.register_proc("beta", img1.clone());
+        k.procs.checkin_table(p1, t1);
+        (k, p0, p1, img0, img1)
+    }
+
+    #[test]
+    fn proc_switch_installs_per_process_regions() {
+        let (mut k, p0, p1, img0, img1) = boot_two_procs();
+        assert_eq!(k.regions.len(), 0, "nothing installed before a switch");
+
+        let c0 = k.proc_switch(p0, false);
+        assert_eq!(k.procs.current(), Some(p0));
+        assert!(
+            k.regions
+                .check(GuardImpl::IfTree, img0.globals[0], 8, Access::Write)
+                .ok,
+            "own global accessible"
+        );
+        assert!(
+            !k.regions
+                .check(GuardImpl::IfTree, img1.globals[0], 8, Access::Read)
+                .ok,
+            "the other tenant's memory is not"
+        );
+
+        let c1 = k.proc_switch(p1, true);
+        assert!(
+            k.regions
+                .check(GuardImpl::IfTree, img1.globals[0], 8, Access::Write)
+                .ok
+        );
+        assert!(
+            !k.regions
+                .check(GuardImpl::IfTree, img0.globals[0], 8, Access::Read)
+                .ok
+        );
+        assert!(c0 < c1, "CARAT switch strictly cheaper than Traditional");
+        assert_eq!(c0, k.cost.ctx_switch_carat());
+        assert_eq!(c1, k.cost.ctx_switch_traditional());
+        let a1 = k.procs.get(p1).unwrap().accounting;
+        assert_eq!(a1.ctx_switches, 1);
+        assert_eq!(a1.tlb_flushes, 1, "traditional switch flushed");
+        assert_eq!(k.procs.get(p0).unwrap().accounting.tlb_flushes, 0);
+        assert_eq!(k.proc_switch(p1, true), 0, "switch to self is free");
+    }
+
+    #[test]
+    fn shared_region_maps_into_both_owners() {
+        let (mut k, p0, p1, _, _) = boot_two_procs();
+        let id = k.shared_create(4096).expect("frames available");
+        let base = k.procs.shared(id).unwrap().base;
+        k.shared_map(p0, id);
+        k.shared_map(p1, id);
+        assert_eq!(k.procs.shared(id).unwrap().owners, vec![p0, p1]);
+        for p in [p0, p1] {
+            k.proc_switch(p, false);
+            assert!(
+                k.regions
+                    .check(GuardImpl::IfTree, base, 8, Access::Write)
+                    .ok,
+                "{p} can reach the shared block"
+            );
+        }
+    }
+
+    #[test]
+    fn move_shared_patches_every_owner_and_region_map() {
+        let (mut k, p0, p1, img0, img1) = boot_two_procs();
+        let id = k.shared_create(4096).expect("frames available");
+        let base = k.procs.shared(id).unwrap().base;
+        k.shared_map(p0, id);
+        k.shared_map(p1, id);
+        // Each owner tracks the block and one escape cell in its own heap.
+        let cells = [img0.heap.0 + 64, img1.heap.0 + 64];
+        for (pid, cell) in [p0, p1].into_iter().zip(cells) {
+            let mut t = k.procs.checkout_table(pid).unwrap();
+            t.track_alloc(base, 4096, carat_runtime::AllocKind::Heap);
+            k.mem.write_uint(cell, base + 8, 8);
+            t.track_escape(cell);
+            t.flush_escapes(|_| base + 8);
+            k.procs.checkin_table(pid, t);
+        }
+        let mut regs = vec![base + 16, 0xdead];
+        let (world, outcome) = k.move_shared(id, &mut regs, 2).expect("shared move");
+        assert!(world.is_complete());
+        assert_eq!(outcome.allocations, 2, "one tracked block per owner");
+        assert_eq!(outcome.escapes_patched, 2, "one cell per owner");
+        let new_base = k.procs.shared(id).unwrap().base;
+        assert_ne!(new_base, base);
+        assert_eq!(k.mem.read_uint(cells[0], 8), new_base + 8);
+        assert_eq!(k.mem.read_uint(cells[1], 8), new_base + 8);
+        assert_eq!(regs, vec![new_base + 16, 0xdead]);
+        // Every owner's region map (and table) follows the block.
+        for pid in [p0, p1] {
+            k.proc_switch(pid, false);
+            assert!(
+                !k.regions.check(GuardImpl::IfTree, base, 8, Access::Read).ok,
+                "old location revoked for {pid}"
+            );
+            assert!(
+                k.regions
+                    .check(GuardImpl::IfTree, new_base, 8, Access::Read)
+                    .ok,
+                "new location mapped for {pid}"
+            );
+            let t = k.procs.get(pid).unwrap().table.as_ref().unwrap();
+            assert!(t.info(new_base).is_some());
+            assert!(t.info(base).is_none());
+        }
+    }
+
+    #[test]
+    fn interrupted_shared_move_is_transactional() {
+        let (mut k, p0, p1, img0, _) = boot_two_procs();
+        let id = k.shared_create(4096).expect("frames available");
+        let base = k.procs.shared(id).unwrap().base;
+        k.shared_map(p0, id);
+        k.shared_map(p1, id);
+        let cell = img0.heap.0 + 64;
+        let mut t = k.procs.checkout_table(p0).unwrap();
+        t.track_alloc(base, 4096, carat_runtime::AllocKind::Heap);
+        k.mem.write_uint(cell, base + 8, 8);
+        t.track_escape(cell);
+        t.flush_escapes(|_| base + 8);
+        k.procs.checkin_table(p0, t);
+
+        let plan = crate::faults::FaultPlan::new().arm(crate::faults::FaultPoint::MidMove, 1);
+        k.install_fault_plan(plan);
+        let mut regs = vec![base + 16];
+        let err = k.move_shared(id, &mut regs, 1).unwrap_err();
+        assert!(matches!(err, KernelError::MoveInterrupted { .. }));
+        assert!(err.is_recoverable());
+        // Byte-identical: cell, regs, shared base, table all unchanged.
+        assert_eq!(k.mem.read_uint(cell, 8), base + 8);
+        assert_eq!(regs, vec![base + 16]);
+        assert_eq!(k.procs.shared(id).unwrap().base, base);
+        assert!(
+            k.procs
+                .get(p0)
+                .unwrap()
+                .table
+                .as_ref()
+                .unwrap()
+                .info(base)
+                .is_some(),
+            "table checked back in, untouched"
+        );
+        // The fault is spent; the same move now succeeds.
+        let (_, outcome) = k.move_shared(id, &mut regs, 1).expect("retry succeeds");
+        assert_eq!(outcome.escapes_patched, 1);
     }
 
     /// A small kernel whose full physical memory is cheap to snapshot for

@@ -40,6 +40,7 @@ mod kernel;
 mod loader;
 mod pagetable;
 mod phys;
+mod proc;
 mod trace;
 
 pub use buddy::{BuddyAllocator, BuddyError};
@@ -48,4 +49,7 @@ pub use kernel::{SimKernel, POISON_BASE, POISON_SLOT_SPAN};
 pub use loader::{load_signed, load_unsigned, LoadConfig, LoadError, ProcessImage};
 pub use pagetable::{PageTable, Pte, Walk};
 pub use phys::PhysicalMemory;
+pub use proc::{
+    Pid, ProcAccounting, ProcEntry, ProcState, ProcTable, ProtectionFault, SharedId, SharedRegion,
+};
 pub use trace::{PagingEvent, PagingTrace};

@@ -122,6 +122,20 @@ impl ProcessImage {
             perms: Perms::RW,
         }
     }
+
+    /// A minimal placeholder image for process-table unit tests.
+    #[cfg(test)]
+    pub(crate) fn empty_for_tests() -> ProcessImage {
+        ProcessImage {
+            module: carat_ir::ModuleBuilder::new("empty").finish(),
+            globals: Vec::new(),
+            code: (0x2000, 0x1000),
+            stack: (0x1000, 0x1000),
+            heap: (0x3000, 0x1000),
+            initial_pages: 3,
+            static_footprint: 0x3000,
+        }
+    }
 }
 
 /// Load a signed module: verify provenance, lay out memory, copy and zero

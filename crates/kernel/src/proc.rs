@@ -1,0 +1,447 @@
+//! The process table: per-process kernel state for multi-tenant
+//! operation.
+//!
+//! CARAT's isolation story (paper §4.3) is that the kernel-maintained
+//! *region set* of a process — not a page table — decides what it may
+//! touch: every guard the compiler injected checks against the regions of
+//! the currently running process, so an address outside them is caught in
+//! user mode and surfaced to the kernel as a [`ProtectionFault`]. The
+//! process table holds, per process:
+//!
+//! * its [`Pid`] and lifecycle state ([`ProcState`]);
+//! * the admitted [`ProcessImage`](crate::ProcessImage) (the signing
+//!   record — what the trust chain accepted at load time);
+//! * its guard-region map (installed into the live
+//!   [`RegionTable`](carat_runtime::RegionTable) on context switch);
+//! * its baseline [`PageTable`] (traditional mode only);
+//! * its runtime [`AllocationTable`], parked here while the process is
+//!   descheduled and checked out by the scheduler while it runs;
+//! * scheduling/fault accounting ([`ProcAccounting`]).
+//!
+//! Shared memory ([`SharedRegion`]) is a page-aligned block mapped into
+//! the region set of several owners; each owner tracks it in its own
+//! allocation table, so a kernel move of the block patches every owner's
+//! escapes (see `SimKernel::move_shared`).
+
+use crate::loader::ProcessImage;
+use crate::pagetable::PageTable;
+use carat_runtime::{AllocationTable, Perms, Region};
+use std::error::Error;
+use std::fmt;
+
+/// Process identifier (index into the process table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+impl Pid {
+    /// The table index this pid names.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a shared memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SharedId(pub u32);
+
+impl fmt::Display for SharedId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shm{}", self.0)
+    }
+}
+
+/// A memory access outside the owning process's region set — the typed
+/// isolation violation. Never a panic: the guard fails in user mode and
+/// the kernel converts it into this record (and keeps scheduling every
+/// other process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtectionFault {
+    /// The offending process.
+    pub pid: Pid,
+    /// The address it tried to touch.
+    pub addr: u64,
+    /// Access width in bytes.
+    pub len: u64,
+    /// Whether the access was a write.
+    pub write: bool,
+}
+
+impl fmt::Display for ProtectionFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "protection fault: {} {} of {} bytes at {:#x} outside its regions",
+            self.pid,
+            if self.write { "write" } else { "read" },
+            self.len,
+            self.addr
+        )
+    }
+}
+
+impl Error for ProtectionFault {}
+
+/// Lifecycle state of a process table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Eligible for scheduling.
+    Runnable,
+    /// `main` returned with this value.
+    Exited(i64),
+    /// Killed by an isolation violation.
+    Faulted(ProtectionFault),
+}
+
+/// Kernel-side accounting for one process. These are *kernel* charges —
+/// context-switch and compaction work done on the process's behalf — and
+/// deliberately never flow into the process's own
+/// `PerfCounters`: a time-sliced run must retire exactly the cycles a
+/// sequential run would, with the scheduling overhead reported separately
+/// (this is what the differential tests pin down).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcAccounting {
+    /// Times this process was switched in.
+    pub ctx_switches: u64,
+    /// Kernel cycles spent switching this process in.
+    pub ctx_switch_cycles: u64,
+    /// TLB flushes paid on its behalf (traditional mode only; CARAT
+    /// switches never flush — there is no translation state).
+    pub tlb_flushes: u64,
+    /// Isolation violations this process caused.
+    pub protection_faults: u64,
+    /// Ranges paged out of this process under memory pressure.
+    pub pressure_page_outs: u64,
+    /// CARAT moves executed against this process by the compaction pass.
+    pub pressure_moves: u64,
+    /// Kernel cycles spent compacting/paging this process's memory.
+    pub compaction_cycles: u64,
+}
+
+/// One process's kernel-side record.
+#[derive(Debug)]
+pub struct ProcEntry {
+    /// Its identifier.
+    pub pid: Pid,
+    /// Human-readable name (workload name in the benches).
+    pub name: String,
+    /// Lifecycle state.
+    pub state: ProcState,
+    /// The admitted image — the record of what the trust chain accepted.
+    /// The *live* image (globals patched by moves, stack rebased) travels
+    /// with the VM; this copy is the admission-time snapshot.
+    pub image: ProcessImage,
+    /// Guard-region map while descheduled. Taken (left empty) while this
+    /// process is current: the live copy is the kernel's master list.
+    pub regions: Vec<Region>,
+    /// Baseline page table while descheduled (traditional mode); swapped
+    /// with the kernel's live one on context switch.
+    pub pagetable: PageTable,
+    /// The runtime allocation table, parked here while descheduled.
+    /// `None` while the scheduler has it checked out into the running VM.
+    pub table: Option<AllocationTable>,
+    /// Scheduling/fault accounting.
+    pub accounting: ProcAccounting,
+}
+
+/// A page-aligned block mapped into several processes' region sets.
+#[derive(Debug, Clone)]
+pub struct SharedRegion {
+    /// Its identifier.
+    pub id: SharedId,
+    /// Current base address (updated when the kernel moves the block).
+    pub base: u64,
+    /// Length in bytes (page-aligned).
+    pub len: u64,
+    /// Processes that have it mapped.
+    pub owners: Vec<Pid>,
+}
+
+/// The kernel's process table.
+#[derive(Debug, Default)]
+pub struct ProcTable {
+    entries: Vec<ProcEntry>,
+    current: Option<Pid>,
+    shared: Vec<SharedRegion>,
+    /// Cross-process shared-region moves executed.
+    pub shared_moves: u64,
+    /// Kernel cycles spent in shared-region moves (world stop + patch +
+    /// copy across every owner).
+    pub shared_move_cycles: u64,
+}
+
+impl ProcTable {
+    /// An empty table.
+    pub fn new() -> ProcTable {
+        ProcTable::default()
+    }
+
+    /// Number of registered processes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no process is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The currently installed process, if any.
+    pub fn current(&self) -> Option<Pid> {
+        self.current
+    }
+
+    pub(crate) fn set_current(&mut self, pid: Option<Pid>) {
+        self.current = pid;
+    }
+
+    /// All entries, in pid order.
+    pub fn iter(&self) -> impl Iterator<Item = &ProcEntry> {
+        self.entries.iter()
+    }
+
+    /// The entry for `pid`.
+    pub fn get(&self, pid: Pid) -> Option<&ProcEntry> {
+        self.entries.get(pid.index())
+    }
+
+    /// Mutable entry for `pid`.
+    pub fn get_mut(&mut self, pid: Pid) -> Option<&mut ProcEntry> {
+        self.entries.get_mut(pid.index())
+    }
+
+    pub(crate) fn entry_mut(&mut self, pid: Pid) -> &mut ProcEntry {
+        &mut self.entries[pid.index()]
+    }
+
+    pub(crate) fn push(&mut self, entry: ProcEntry) -> Pid {
+        let pid = entry.pid;
+        debug_assert_eq!(pid.index(), self.entries.len());
+        self.entries.push(entry);
+        pid
+    }
+
+    /// Pid that will be assigned to the next registered process.
+    pub fn next_pid(&self) -> Pid {
+        Pid(self.entries.len() as u32)
+    }
+
+    /// Check the allocation table of `pid` out (scheduler: the process is
+    /// about to run and the VM owns the table for the slice). Returns
+    /// `None` if it is already checked out.
+    pub fn checkout_table(&mut self, pid: Pid) -> Option<AllocationTable> {
+        self.entries.get_mut(pid.index())?.table.take()
+    }
+
+    /// Check the allocation table of `pid` back in (the slice ended).
+    pub fn checkin_table(&mut self, pid: Pid, table: AllocationTable) {
+        self.entry_mut(pid).table = Some(table);
+    }
+
+    /// Round-robin scheduling pick: the first [`ProcState::Runnable`]
+    /// entry strictly after `after` in pid order, wrapping around; `None`
+    /// when nothing is runnable.
+    pub fn next_runnable(&self, after: Option<Pid>) -> Option<Pid> {
+        let n = self.entries.len();
+        if n == 0 {
+            return None;
+        }
+        let start = after.map(|p| p.index() + 1).unwrap_or(0);
+        (0..n)
+            .map(|off| (start + off) % n)
+            .find(|&i| matches!(self.entries[i].state, ProcState::Runnable))
+            .map(|i| self.entries[i].pid)
+    }
+
+    /// Record an isolation violation by `pid`: bumps its fault accounting,
+    /// marks it [`ProcState::Faulted`], and returns the typed fault.
+    pub fn record_protection_fault(
+        &mut self,
+        pid: Pid,
+        addr: u64,
+        len: u64,
+        write: bool,
+    ) -> ProtectionFault {
+        let fault = ProtectionFault {
+            pid,
+            addr,
+            len,
+            write,
+        };
+        let e = self.entry_mut(pid);
+        e.accounting.protection_faults += 1;
+        e.state = ProcState::Faulted(fault);
+        fault
+    }
+
+    /// All shared regions.
+    pub fn shared_regions(&self) -> &[SharedRegion] {
+        &self.shared
+    }
+
+    /// The shared region `id`.
+    pub fn shared(&self, id: SharedId) -> Option<&SharedRegion> {
+        self.shared.get(id.0 as usize)
+    }
+
+    pub(crate) fn shared_mut(&mut self, id: SharedId) -> &mut SharedRegion {
+        &mut self.shared[id.0 as usize]
+    }
+
+    pub(crate) fn add_shared(&mut self, base: u64, len: u64) -> SharedId {
+        let id = SharedId(self.shared.len() as u32);
+        self.shared.push(SharedRegion {
+            id,
+            base,
+            len,
+            owners: Vec::new(),
+        });
+        id
+    }
+
+    /// Compaction victim pick under memory pressure: the runnable,
+    /// checked-in process whose allocation table carries the most live
+    /// escapes (the candidate whose move buys the most patch coverage —
+    /// the same heuristic as the single-process worst-page driver).
+    /// Deterministic: ties resolve to the highest pid.
+    pub fn pick_compaction_victim(&self) -> Option<Pid> {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.state, ProcState::Runnable))
+            .filter_map(|e| e.table.as_ref().map(|t| (e.pid, t)))
+            .max_by_key(|(_, t)| {
+                t.snapshot()
+                    .into_iter()
+                    .filter(|&(start, _, _, _)| !crate::SimKernel::is_poison(start))
+                    .map(|(_, _, escapes_live, _)| escapes_live)
+                    .sum::<usize>()
+            })
+            .map(|(pid, _)| pid)
+    }
+}
+
+/// Replace `[src, src+len)` in a region list with a same-length RW region
+/// at `dst` (the region-map half of a move), keeping the list sorted.
+pub(crate) fn retarget_region(regions: &mut Vec<Region>, src: u64, len: u64, dst: u64) {
+    let (lo, hi) = (src, src + len);
+    let mut next = Vec::with_capacity(regions.len() + 2);
+    for r in regions.drain(..) {
+        let (rs, re) = (r.start, r.end());
+        if re <= lo || rs >= hi {
+            next.push(r);
+            continue;
+        }
+        if rs < lo {
+            next.push(Region {
+                start: rs,
+                len: lo - rs,
+                perms: r.perms,
+            });
+        }
+        if re > hi {
+            next.push(Region {
+                start: hi,
+                len: re - hi,
+                perms: r.perms,
+            });
+        }
+    }
+    next.push(Region {
+        start: dst,
+        len,
+        perms: Perms::RW,
+    });
+    next.sort_by_key(|r| r.start);
+    *regions = next;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_and_shared_display() {
+        assert_eq!(Pid(3).to_string(), "pid3");
+        assert_eq!(SharedId(1).to_string(), "shm1");
+    }
+
+    #[test]
+    fn protection_fault_display_names_everything() {
+        let f = ProtectionFault {
+            pid: Pid(2),
+            addr: 0x8000,
+            len: 8,
+            write: true,
+        };
+        let s = f.to_string();
+        assert!(s.contains("pid2") && s.contains("write") && s.contains("0x8000"));
+    }
+
+    #[test]
+    fn retarget_splits_and_relocates() {
+        let mut regions = vec![Region {
+            start: 0x1000,
+            len: 0x3000,
+            perms: Perms::RW,
+        }];
+        retarget_region(&mut regions, 0x2000, 0x1000, 0x9000);
+        let starts: Vec<u64> = regions.iter().map(|r| r.start).collect();
+        assert_eq!(starts, vec![0x1000, 0x3000, 0x9000]);
+        assert_eq!(regions[0].len, 0x1000);
+        assert_eq!(regions[2].len, 0x1000);
+    }
+
+    #[test]
+    fn round_robin_skips_dead_processes() {
+        let mut t = ProcTable::new();
+        for i in 0..3u32 {
+            let pid = Pid(i);
+            t.push(ProcEntry {
+                pid,
+                name: format!("p{i}"),
+                state: ProcState::Runnable,
+                image: crate::loader::ProcessImage::empty_for_tests(),
+                regions: Vec::new(),
+                pagetable: PageTable::new(),
+                table: Some(AllocationTable::new()),
+                accounting: ProcAccounting::default(),
+            });
+        }
+        assert_eq!(t.next_runnable(None), Some(Pid(0)));
+        assert_eq!(t.next_runnable(Some(Pid(0))), Some(Pid(1)));
+        assert_eq!(t.next_runnable(Some(Pid(2))), Some(Pid(0)), "wraps");
+        t.entry_mut(Pid(1)).state = ProcState::Exited(0);
+        assert_eq!(t.next_runnable(Some(Pid(0))), Some(Pid(2)), "skips dead");
+        t.entry_mut(Pid(0)).state = ProcState::Exited(0);
+        t.entry_mut(Pid(2)).state = ProcState::Exited(0);
+        assert_eq!(t.next_runnable(None), None);
+    }
+
+    #[test]
+    fn fault_recording_kills_the_process() {
+        let mut t = ProcTable::new();
+        t.push(ProcEntry {
+            pid: Pid(0),
+            name: "victim".into(),
+            state: ProcState::Runnable,
+            image: crate::loader::ProcessImage::empty_for_tests(),
+            regions: Vec::new(),
+            pagetable: PageTable::new(),
+            table: Some(AllocationTable::new()),
+            accounting: ProcAccounting::default(),
+        });
+        let f = t.record_protection_fault(Pid(0), 0x10, 8, false);
+        assert_eq!(f.pid, Pid(0));
+        assert_eq!(t.get(Pid(0)).unwrap().accounting.protection_faults, 1);
+        assert!(matches!(
+            t.get(Pid(0)).unwrap().state,
+            ProcState::Faulted(_)
+        ));
+        assert_eq!(t.next_runnable(None), None);
+    }
+}

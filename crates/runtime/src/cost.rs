@@ -86,6 +86,23 @@ pub struct CostModel {
     pub move_alloc_fixed: u64,
     /// Copy cost per byte moved (Allocation & Movement).
     pub move_copy_per_byte_milli: u64,
+
+    // --- context switches (multi-process scheduling) ---
+    /// Mode-independent switch overhead: trap entry, scheduler pick,
+    /// callee-saved register save/restore, return to user.
+    pub ctx_switch_fixed: u64,
+    /// CARAT-only addition: installing the incoming process's guard
+    /// region set (a handful of bounds registers / a region-table
+    /// pointer swap — no address-translation state exists to flush).
+    pub ctx_switch_region_swap: u64,
+    /// Traditional-only addition: TLB flush on address-space switch
+    /// (CR3 write + pipeline drain; the cost Yan et al. attribute to
+    /// translation-coherence maintenance).
+    pub tlb_flush: u64,
+    /// Traditional-only addition: amortized ASID-rollover cost — the
+    /// refill traffic paid when tagged-TLB generation counters wrap and
+    /// every address space must re-walk its hot pages.
+    pub asid_rollover_refill: u64,
 }
 
 impl Default for CostModel {
@@ -121,6 +138,10 @@ impl Default for CostModel {
             move_register_patch_per_reg: 4,
             move_alloc_fixed: 800,
             move_copy_per_byte_milli: 250, // 0.25 cycles/byte
+            ctx_switch_fixed: 250,
+            ctx_switch_region_swap: 30,
+            tlb_flush: 500,
+            asid_rollover_refill: 600,
         }
     }
 }
@@ -152,6 +173,20 @@ impl CostModel {
     pub fn pages(&self, bytes: u64) -> u64 {
         bytes.div_ceil(self.page_size)
     }
+
+    /// Cycles for a CARAT-mode context switch: the fixed trap/scheduler
+    /// path plus a guard-region-set install. Physical addressing means
+    /// there is no translation state to invalidate.
+    pub fn ctx_switch_carat(&self) -> u64 {
+        self.ctx_switch_fixed + self.ctx_switch_region_swap
+    }
+
+    /// Cycles for a Traditional-mode context switch: the fixed path plus
+    /// the TLB flush and amortized ASID-rollover refill that an
+    /// address-space change costs under paging.
+    pub fn ctx_switch_traditional(&self) -> u64 {
+        self.ctx_switch_fixed + self.tlb_flush + self.asid_rollover_refill
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +214,20 @@ mod tests {
         let c = CostModel::default();
         assert!(c.software_guard_cost(10) > c.software_guard_cost(1));
         assert!(c.software_guard_cost(1) > c.guard_mpx);
+    }
+
+    #[test]
+    fn carat_context_switch_strictly_cheaper() {
+        let c = CostModel::default();
+        assert!(
+            c.ctx_switch_carat() < c.ctx_switch_traditional(),
+            "CARAT switch must not pay the TLB flush/ASID costs"
+        );
+        // The gap is exactly the translation-coherence charge.
+        assert_eq!(
+            c.ctx_switch_traditional() - c.ctx_switch_carat(),
+            c.tlb_flush + c.asid_rollover_refill - c.ctx_switch_region_swap
+        );
     }
 
     #[test]

@@ -43,7 +43,8 @@ pub use cost::CostModel;
 pub use fast_hash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use patch::{
     expand_to_allocations, perform_move, perform_move_alloc_granular, perform_move_journaled,
-    ExpandVeto, MemAccess, MoveCostBreakdown, MoveInterrupted, MoveOutcome, MovePhase, MoveRequest,
+    perform_shared_move_journaled, ExpandVeto, MemAccess, MoveCostBreakdown, MoveInterrupted,
+    MoveOutcome, MovePhase, MoveRequest,
 };
 pub use rbtree::RbTree;
 pub use region::{Access, GuardCheck, GuardImpl, Perms, Region, RegionTable};

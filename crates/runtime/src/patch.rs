@@ -331,6 +331,145 @@ pub fn perform_move_journaled(
     })
 }
 
+/// Execute one move against *several* allocation tables at once — the
+/// cross-process shared-region case. Each table belongs to one process
+/// that has the moved range mapped; the escape sets of all of them are
+/// patched, `regs` is the concatenated dumped register state of every
+/// stopped thread of every owner, the data is copied exactly once, and
+/// every table's entries are relocated.
+///
+/// Escape patching is idempotent across tables: a cell registered by more
+/// than one owner is rewritten on the first encounter (its value then
+/// points at the destination, outside the source range) and skipped — and
+/// counted — only once thereafter.
+///
+/// The journal spans all tables: an interrupt at a checkpoint rolls back
+/// every cell and register patched so far regardless of which owner's
+/// escape set produced it, leaving all processes byte-identical to their
+/// pre-move state (table maintenance happens strictly after the last
+/// checkpoint).
+///
+/// Expansion negotiates against *all* tables until a fixed point, so no
+/// owner's allocation straddles the moved range.
+///
+/// # Errors
+///
+/// [`MoveInterrupted`] when the hook fired; the rollback across all
+/// owners has already happened.
+pub fn perform_shared_move_journaled(
+    tables: &mut [&mut AllocationTable],
+    mem: &mut dyn MemAccess,
+    regs: &mut [u64],
+    req: MoveRequest,
+    cost: &CostModel,
+    mut interrupt: Option<&mut dyn FnMut(MovePhase) -> bool>,
+) -> Result<MoveOutcome, MoveInterrupted> {
+    // --- Phase 1: page expand, negotiated across every owner ---
+    let (mut src, mut len) = (req.src, req.len);
+    loop {
+        let before = (src, len);
+        for table in tables.iter() {
+            let (s, l) = expand_to_allocations(table, src, len, cost.page_size);
+            (src, len) = (s, l);
+        }
+        if (src, len) == before {
+            break;
+        }
+    }
+    let dst = req.dst.wrapping_sub(req.src - src);
+    let delta = dst.wrapping_sub(src) as i64;
+    let affected: Vec<Vec<u64>> = tables
+        .iter()
+        .map(|t| t.overlapping(src, src + len))
+        .collect();
+    let total_affected: usize = affected.iter().map(Vec::len).sum();
+    let page_expand = cost.move_expand_fixed + total_affected as u64 * cost.move_expand_per_alloc;
+
+    let mut journal = interrupt.as_ref().map(|_| PatchJournal::default());
+    if let Some(hook) = interrupt.as_deref_mut() {
+        if hook(MovePhase::Expanded) {
+            return Err(MoveInterrupted {
+                phase: MovePhase::Expanded,
+                cells_rolled_back: 0,
+                registers_rolled_back: 0,
+            });
+        }
+    }
+
+    // --- Phase 2: patch every owner's escapes ---
+    let mut escapes_patched = 0usize;
+    for (table, affected) in tables.iter().zip(&affected) {
+        for &start in affected {
+            let info = table.info(start).expect("listed");
+            let escape_cells: Vec<u64> = info.escapes.iter().copied().collect();
+            let (lo, hi) = (start, start + info.len);
+            for cell in escape_cells {
+                let val = mem.read_u64(cell);
+                if val >= lo && val < hi {
+                    if let Some(j) = journal.as_mut() {
+                        j.cells.push((cell, val));
+                    }
+                    mem.write_u64(cell, val.wrapping_add(delta as u64));
+                    escapes_patched += 1;
+                }
+            }
+        }
+    }
+    let patch_gen_exec = escapes_patched as u64 * cost.move_patch_per_escape;
+
+    // --- Phase 3: register patch (all owners' dumped threads) ---
+    let mut registers_patched = 0usize;
+    for (idx, r) in regs.iter_mut().enumerate() {
+        if *r >= src && *r < src + len {
+            if let Some(j) = journal.as_mut() {
+                j.regs.push((idx, *r));
+            }
+            *r = r.wrapping_add(delta as u64);
+            registers_patched += 1;
+        }
+    }
+    let register_patch = regs.len() as u64 * cost.move_register_patch_per_reg;
+
+    if let Some(hook) = interrupt {
+        if hook(MovePhase::Patched) {
+            let (nc, nr) = journal
+                .take()
+                .expect("journal exists whenever a hook does")
+                .rollback(mem, regs);
+            return Err(MoveInterrupted {
+                phase: MovePhase::Patched,
+                cells_rolled_back: nc,
+                registers_rolled_back: nr,
+            });
+        }
+    }
+
+    // --- Phase 4: single data copy + per-owner table maintenance ---
+    mem.copy(src, dst, len);
+    let alloc_and_move = cost.move_alloc_fixed + cost.copy_cost(len);
+    for (table, affected) in tables.iter_mut().zip(&affected) {
+        table.rebase_escape_cells(src, src + len, delta);
+        for &start in affected {
+            table.relocate(start, delta);
+        }
+    }
+
+    Ok(MoveOutcome {
+        moved_src: src,
+        moved_len: len,
+        moved_dst: dst,
+        allocations: total_affected,
+        escapes_patched,
+        registers_patched,
+        cost: MoveCostBreakdown {
+            page_expand,
+            patch_gen_exec,
+            register_patch,
+            alloc_and_move,
+        },
+    })
+}
+
 /// Allocation-granularity move (the paper's §6 "Allocation Granularity"
 /// future-work extension, implemented here for the ablation benchmarks):
 /// moves exactly one allocation, with no page expansion or negotiation.
@@ -674,6 +813,121 @@ mod tests {
         assert_eq!(plain, journaled, "journal must not change the outcome");
         assert_eq!(regs1, regs2);
         assert_eq!(m1.words, m2.words);
+    }
+
+    /// Two owner tables for one shared allocation at 0x20000..0x20100:
+    /// owner 0 holds a pointer cell at 0x5000, owner 1 at 0x6000, and both
+    /// track a cell at 0x20080 *inside* the shared block.
+    fn setup_shared() -> (AllocationTable, AllocationTable, TestMem) {
+        let mut t1 = AllocationTable::new();
+        let mut t2 = AllocationTable::new();
+        let mut m = TestMem::default();
+        for t in [&mut t1, &mut t2] {
+            t.track_alloc(0x20000, 0x100, AllocKind::Heap);
+        }
+        m.write_u64(0x5000, 0x20010);
+        m.write_u64(0x6000, 0x20020);
+        m.write_u64(0x20080, 0x20030);
+        t1.track_escape(0x5000);
+        t1.track_escape(0x20080);
+        t2.track_escape(0x6000);
+        t2.track_escape(0x20080);
+        let snapshot: HashMap<u64, u64> = [
+            (0x5000u64, 0x20010u64),
+            (0x6000, 0x20020),
+            (0x20080, 0x20030),
+        ]
+        .into();
+        t1.flush_escapes(|c| snapshot[&c]);
+        t2.flush_escapes(|c| snapshot[&c]);
+        (t1, t2, m)
+    }
+
+    #[test]
+    fn shared_move_patches_every_owner() {
+        let (mut t1, mut t2, mut m) = setup_shared();
+        let cost = CostModel::default();
+        // regs = owner0's thread then owner1's thread.
+        let mut regs = vec![0x20044u64, 0xdead, 0x20048];
+        let out = perform_shared_move_journaled(
+            &mut [&mut t1, &mut t2],
+            &mut m,
+            &mut regs,
+            MoveRequest {
+                src: 0x20000,
+                len: 0x1000,
+                dst: 0x90000,
+            },
+            &cost,
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.allocations, 2, "one affected allocation per owner");
+        // 0x5000, 0x6000, and 0x20080 — the doubly-tracked internal cell
+        // counts once (idempotent patch).
+        assert_eq!(out.escapes_patched, 3);
+        assert_eq!(out.registers_patched, 2);
+        assert_eq!(m.read_u64(0x5000), 0x90010);
+        assert_eq!(m.read_u64(0x6000), 0x90020);
+        assert_eq!(
+            m.read_u64(0x90080),
+            0x90030,
+            "internal cell moved + patched once"
+        );
+        assert_eq!(regs, vec![0x90044, 0xdead, 0x90048]);
+        for t in [&t1, &t2] {
+            assert!(t.info(0x20000).is_none());
+            assert_eq!(t.info(0x90000).map(|i| i.len), Some(0x100));
+            assert!(t.info(0x90000).unwrap().escapes.contains(&0x90080));
+        }
+        assert!(t1.info(0x90000).unwrap().escapes.contains(&0x5000));
+        assert!(t2.info(0x90000).unwrap().escapes.contains(&0x6000));
+    }
+
+    #[test]
+    fn interrupted_shared_move_rolls_back_all_owners() {
+        let (mut t1, mut t2, mut m) = setup_shared();
+        let cost = CostModel::default();
+        let mut regs = vec![0x20044u64, 0x20048];
+        let words_before = m.words.clone();
+        let regs_before = regs.clone();
+        let (snap1, snap2) = (t1.snapshot(), t2.snapshot());
+        let mut fire = |phase: MovePhase| phase == MovePhase::Patched;
+        let err = perform_shared_move_journaled(
+            &mut [&mut t1, &mut t2],
+            &mut m,
+            &mut regs,
+            MoveRequest {
+                src: 0x20000,
+                len: 0x1000,
+                dst: 0x90000,
+            },
+            &cost,
+            Some(&mut fire),
+        )
+        .unwrap_err();
+        assert_eq!(err.phase, MovePhase::Patched);
+        assert_eq!(err.cells_rolled_back, 3);
+        assert_eq!(err.registers_rolled_back, 2);
+        assert_eq!(m.words, words_before);
+        assert_eq!(regs, regs_before);
+        assert_eq!(t1.snapshot(), snap1);
+        assert_eq!(t2.snapshot(), snap2);
+        // Not poisoned: the same shared move succeeds afterwards.
+        let out = perform_shared_move_journaled(
+            &mut [&mut t1, &mut t2],
+            &mut m,
+            &mut regs,
+            MoveRequest {
+                src: 0x20000,
+                len: 0x1000,
+                dst: 0x90000,
+            },
+            &cost,
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.escapes_patched, 3);
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod counters;
 mod decode;
 mod heap;
 mod machine;
+mod multi;
 mod tlb;
 
 pub use counters::{MoveBreakdownSum, OpcodeMix, PerfCounters};
@@ -45,9 +46,10 @@ pub use decode::{
 };
 pub use heap::HeapAllocator;
 pub use machine::{
-    Engine, IntegrityReport, Mode, MoveDriverConfig, RunResult, SwapDriverConfig, Vm, VmConfig,
-    VmError,
+    Engine, IntegrityReport, Mode, MoveDriverConfig, RunResult, SliceExit, SwapDriverConfig, Vm,
+    VmConfig, VmError,
 };
+pub use multi::{MultiVm, MultiVmConfig, ProcOutcome, ProcReport, ProcSpec};
 pub use tlb::{Tlb, TranslationUnit};
 
 #[cfg(test)]

@@ -243,6 +243,18 @@ pub struct RunResult {
     pub fusion: FusionStats,
 }
 
+/// Why a bounded [`Vm::run_slice`] returned without error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceExit {
+    /// `main` returned with this value; call [`Vm::finish_run`] to fold
+    /// the final tracking state into a [`RunResult`].
+    Finished(i64),
+    /// The instruction budget expired at a safe boundary (never between a
+    /// pointer store and its escape notification). The process is
+    /// preempted, not finished: call [`Vm::run_slice`] again to continue.
+    Quantum,
+}
+
 /// Result of [`Vm::check_integrity`]: a structural audit of the
 /// allocation table, frame allocator, swap store, and region set.
 /// Produced by [`Vm::run_checked`] after every run — successful or not —
@@ -316,7 +328,7 @@ struct Frame {
 /// Bookkeeping for writing a patched register snapshot back into every
 /// thread (see [`Vm::snapshot_regs`]).
 #[derive(Debug, Default)]
-struct SnapshotMap {
+pub(crate) struct SnapshotMap {
     reg_slots: Vec<(usize, usize, usize)>,
     sp_slots: Vec<(usize, usize)>,
     base_slots: Vec<(usize, usize, usize)>,
@@ -438,6 +450,11 @@ pub struct Vm {
     /// Cached bail threshold in cycles: the earliest of the next due
     /// move driver, the next due swap driver, and the cycle limit.
     bail_cycles_at: u64,
+    /// Instruction count at which the current [`Vm::run_slice`] quantum
+    /// expires (`u64::MAX` outside a bounded slice). Folded into
+    /// `bail_insts_at` so the fused engine bails out of superinstruction
+    /// pairs at slice boundaries exactly as it does at rotation points.
+    slice_limit: u64,
 }
 
 impl fmt::Debug for Vm {
@@ -490,7 +507,14 @@ impl Vm {
         Ok(Vm::from_parts(kernel, table, image, cfg))
     }
 
-    fn from_parts(
+    /// Assemble a VM from an already-loaded process: a kernel (real or
+    /// [`SimKernel::placeholder`]), the allocation table the loader
+    /// populated, and the image it produced. This is the multi-tenant
+    /// entry point — a scheduler loads N images through one shared
+    /// kernel, registers each with the kernel's process table, and parks
+    /// each VM on a placeholder kernel, swapping the real kernel in for
+    /// the duration of each time slice (see [`crate::MultiVm`]).
+    pub fn from_parts(
         kernel: SimKernel,
         table: AllocationTable,
         image: ProcessImage,
@@ -536,6 +560,7 @@ impl Vm {
             next_rotate_at: 0,
             bail_insts_at: 0,
             bail_cycles_at: 0,
+            slice_limit: u64::MAX,
         };
         vm.cur_stack_base = stack_base;
         vm.recompute_bail();
@@ -545,6 +570,12 @@ impl Vm {
     /// The loaded image.
     pub fn image(&self) -> &ProcessImage {
         &self.image
+    }
+
+    /// The performance counters accumulated so far (live view — useful
+    /// between scheduler slices, before [`Vm::finish_run`]).
+    pub fn counters(&self) -> &PerfCounters {
+        &self.counters
     }
 
     /// Run `main` to completion.
@@ -568,14 +599,61 @@ impl Vm {
     }
 
     fn run_mut(&mut self) -> Result<RunResult, VmError> {
+        self.start()?;
+        match self.run_slice(u64::MAX)? {
+            SliceExit::Finished(v) => Ok(self.finish_run(v)),
+            // An unbounded slice cannot expire: the budget saturates to
+            // `u64::MAX` retired instructions, unreachable under any
+            // `max_steps`.
+            SliceExit::Quantum => Err(VmError::Trap("unbounded slice expired".into())),
+        }
+    }
+
+    /// Push `main`'s frame, making the VM runnable. Call once before the
+    /// first [`Vm::run_slice`]; [`Vm::run`] does this internally.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Trap`] when the module has no `main` or its frame does
+    /// not fit the stack.
+    pub fn start(&mut self) -> Result<(), VmError> {
         let main = self
             .image
             .module
             .main()
             .ok_or_else(|| VmError::Trap("no main function".into()))?;
-        self.push_frame(main, &[], None)?;
-        let ret;
+        self.push_frame(main, &[], None)
+    }
+
+    /// Run for at most `budget` more retired instructions, stopping at
+    /// the first safe boundary at or past the budget — the scheduler
+    /// quantum primitive. Semantics and accounting are identical to an
+    /// uninterrupted run: a preempted VM resumed by further slices
+    /// retires the same instruction stream and charges the same cycles
+    /// as [`Vm::run`] would in one pass (the multi-process differential
+    /// suite enforces this).
+    ///
+    /// # Errors
+    ///
+    /// See [`VmError`]; the slice bound is always unwound first, so a
+    /// failed slice leaves the VM consistent for inspection.
+    pub fn run_slice(&mut self, budget: u64) -> Result<SliceExit, VmError> {
+        self.slice_limit = self.counters.instructions.saturating_add(budget);
+        self.recompute_bail();
+        let out = self.run_slice_inner();
+        self.slice_limit = u64::MAX;
+        self.recompute_bail();
+        out
+    }
+
+    fn run_slice_inner(&mut self) -> Result<SliceExit, VmError> {
         loop {
+            // Slice expiry first: like a world-stop, preemption may not
+            // land between a pointer store and its escape callback —
+            // defer to the next boundary once the notification is in.
+            if self.counters.instructions >= self.slice_limit && !self.tracking_owed() {
+                return Ok(SliceExit::Quantum);
+            }
             // Step limit in retired instructions: every `step()` call
             // retires at least one (a blocked join still counts, exactly
             // as before), and a fused pair retires two — so this check is
@@ -591,8 +669,7 @@ impl Vm {
                 if self.cur_tid == 0 {
                     // Main returned: the process ends (any still-running
                     // threads are abandoned, as on a real exit()).
-                    ret = v;
-                    break;
+                    return Ok(SliceExit::Finished(v));
                 }
                 self.threads[self.cur_tid] = ThreadState::Done(v);
                 self.counters.cycles += self.kernel.cost.call;
@@ -626,12 +703,17 @@ impl Vm {
                 self.grant_quantum();
             }
         }
+    }
+
+    /// Fold the final tracking state into a [`RunResult`] after
+    /// [`Vm::run_slice`] returned [`SliceExit::Finished`].
+    pub fn finish_run(&mut self, ret: i64) -> RunResult {
         // End of program: final escape flush and histogram fold.
         self.flush_escapes();
         self.table.finish();
         self.note_tracking_bytes();
         let mpki = self.tlb.dtlb_mpki(self.counters.instructions);
-        Ok(RunResult {
+        RunResult {
             ret,
             output: std::mem::take(&mut self.output),
             track_stats: self.table.stats.clone(),
@@ -646,7 +728,7 @@ impl Vm {
             pagewalks: self.tlb.pagewalks,
             fusion: self.fusion.clone(),
             counters: self.counters.clone(),
-        })
+        }
     }
 
     /// Structural audit of the machine's memory-management state. Checks
@@ -793,11 +875,15 @@ impl Vm {
     /// saturating: a limit of `u64::MAX` stays unreachable in any run
     /// that could ever retire it).
     fn recompute_bail(&mut self) {
-        self.bail_insts_at = if self.parked_threads > 0 {
+        let base = if self.parked_threads > 0 {
             self.next_rotate_at.min(self.cfg.max_steps)
         } else {
             self.cfg.max_steps
         };
+        // A bounded scheduler slice is one more instruction boundary the
+        // run loop needs control at; outside a slice this folds to
+        // `u64::MAX` and changes nothing.
+        self.bail_insts_at = base.min(self.slice_limit);
         self.bail_cycles_at = self
             .next_move_at
             .min(self.next_swap_at)
@@ -2668,7 +2754,7 @@ impl Vm {
         self.counters.cycles += cycles;
     }
 
-    fn flush_escapes(&mut self) {
+    pub(crate) fn flush_escapes(&mut self) {
         let pending = self.table.pending_escapes() as u64;
         if pending == 0 {
             return;
@@ -2778,7 +2864,7 @@ impl Vm {
     }
 
     /// Live (current or parked) thread count, for world-stop costing.
-    fn live_threads(&self) -> usize {
+    pub(crate) fn live_threads(&self) -> usize {
         self.threads
             .iter()
             .filter(|t| !matches!(t, ThreadState::Done(_)))
@@ -2835,7 +2921,7 @@ impl Vm {
     /// "registers dumped on the stack" by the signal handlers), plus the
     /// stack pointer and frame bases. Returns the flat register image and
     /// the bookkeeping needed to write it back.
-    fn snapshot_regs(&self) -> (Vec<u64>, SnapshotMap) {
+    pub(crate) fn snapshot_regs(&self) -> (Vec<u64>, SnapshotMap) {
         let mut regs: Vec<u64> = Vec::new();
         let mut map = SnapshotMap::default();
         let mut visit = |tid: usize, frames: &[Frame], sp: u64, map: &mut SnapshotMap| {
@@ -2863,7 +2949,7 @@ impl Vm {
         (regs, map)
     }
 
-    fn writeback_regs(&mut self, regs: &[u64], map: &SnapshotMap) {
+    pub(crate) fn writeback_regs(&mut self, regs: &[u64], map: &SnapshotMap) {
         // A world stop relocated data: drop the translation front cache.
         // (Invalidation is always safe — a dropped entry merely routes the
         // next access through `TranslationUnit::access`, which charges the
@@ -2941,6 +3027,22 @@ impl Vm {
                 }
             }
         }
+    }
+
+    /// Rebase every piece of host-side bookkeeping that refers into
+    /// `[src, src+len)` after the kernel relocated it by `delta`: the
+    /// heap allocator's block map, the image's global addresses, and the
+    /// stack bases. Used by the multi-process scheduler after a
+    /// cross-process shared-region move (the in-memory cells and
+    /// registers were already patched by the kernel).
+    pub(crate) fn apply_relocation(&mut self, src: u64, len: u64, delta: i64) {
+        self.heap.rebase(src, len, delta);
+        for g in &mut self.image.globals {
+            if *g >= src && *g < src + len {
+                *g = g.wrapping_add(delta as u64);
+            }
+        }
+        self.rebase_image_stack(src, len, delta);
     }
 
     /// Ask the kernel to grow the stack; returns whether it did.

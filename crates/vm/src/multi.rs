@@ -1,0 +1,413 @@
+//! Multi-tenant scheduling: N CARAT processes time-sliced on one
+//! simulated kernel.
+//!
+//! The single-process [`Vm`] owns its kernel outright. Here the real
+//! kernel is shared: each process is a `Vm` parked on a
+//! [`SimKernel::placeholder`], and the scheduler swaps the real kernel
+//! into whichever VM holds the current time slice. Context switches go
+//! through [`SimKernel::proc_switch`], which installs the incoming
+//! process's guard-region map (CARAT) or page table (traditional) and
+//! charges the modeled switch cost into kernel-side
+//! [`ProcAccounting`] — never into the process's own counters, so a
+//! time-sliced process retires exactly the instruction stream and cycles
+//! a sequential run would (the multi-process differential suite pins
+//! this down).
+//!
+//! Isolation is the paper's: in CARAT mode every access is guarded
+//! against the owning process's region set, so a stray pointer into
+//! another tenant surfaces as a typed [`ProtectionFault`] that kills the
+//! offender and leaves every other process running — never a panic.
+
+use crate::counters::PerfCounters;
+use crate::machine::{Mode, RunResult, SliceExit, Vm, VmConfig, VmError};
+use carat_ir::Module;
+use carat_kernel::{
+    Pid, ProcAccounting, ProcState, ProtectionFault, SharedId, SimKernel, POISON_BASE,
+    POISON_SLOT_SPAN,
+};
+use carat_runtime::{AllocKind, AllocationTable, MemAccess};
+
+/// One tenant to admit into a [`MultiVm`].
+pub struct ProcSpec {
+    /// Process name (workload name in the benches).
+    pub name: String,
+    /// Its program.
+    pub module: Module,
+    /// Its VM configuration (mode, engine, load sizing …).
+    pub cfg: VmConfig,
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiVmConfig {
+    /// Time-slice length in retired instructions. `u64::MAX` degenerates
+    /// to running each process to completion in pid order — the
+    /// "sequential" arm of the differential tests, on the same kernel
+    /// and the same load addresses as the sliced arm.
+    pub quantum: u64,
+    /// Physical arena of the shared kernel in bytes.
+    pub kernel_mem: u64,
+    /// Run a memory-pressure compaction pass every this many slices
+    /// (0 disables): pick the victim process whose allocation table
+    /// carries the most live escapes, and relocate its worst page with a
+    /// journaled CARAT move plus a `page_out` — all while it is
+    /// descheduled, charged to its kernel-side accounting.
+    pub pressure_every: u64,
+}
+
+impl Default for MultiVmConfig {
+    fn default() -> MultiVmConfig {
+        MultiVmConfig {
+            quantum: 4096,
+            kernel_mem: 512 * 1024 * 1024,
+            pressure_every: 0,
+        }
+    }
+}
+
+/// How one tenant ended.
+///
+/// One value exists per process per run, so the size skew of carrying
+/// the full [`RunResult`] inline is irrelevant.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum ProcOutcome {
+    /// `main` returned; the full single-process result.
+    Finished(RunResult),
+    /// Killed by an isolation violation (the typed fault, not a panic).
+    Fault(ProtectionFault),
+    /// Died on another VM error (step limit, OOM, trap …).
+    Error(VmError),
+}
+
+/// Final report for one tenant.
+#[derive(Debug)]
+pub struct ProcReport {
+    /// Its pid.
+    pub pid: Pid,
+    /// Its name.
+    pub name: String,
+    /// How it ended.
+    pub outcome: ProcOutcome,
+    /// Kernel-side scheduling/compaction accounting.
+    pub accounting: ProcAccounting,
+}
+
+/// N processes time-sliced on one shared simulated kernel.
+pub struct MultiVm {
+    /// The real kernel — parked here between slices, swapped into the
+    /// scheduled VM for the duration of its slice (public for post-run
+    /// inspection, like [`Vm::kernel`]).
+    pub kernel: SimKernel,
+    vms: Vec<Vm>,
+    traditional: Vec<bool>,
+    outcomes: Vec<Option<ProcOutcome>>,
+    cfg: MultiVmConfig,
+}
+
+impl MultiVm {
+    /// Load every spec into one shared kernel (in pid order), register
+    /// each with the kernel's process table, and park each VM ready to
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// Loader failures, or a module without `main`.
+    pub fn new(specs: Vec<ProcSpec>, cfg: MultiVmConfig) -> Result<MultiVm, VmError> {
+        let mut kernel = SimKernel::new(cfg.kernel_mem);
+        let mut vms = Vec::with_capacity(specs.len());
+        let mut traditional = Vec::with_capacity(specs.len());
+        for spec in specs {
+            if let Some(plan) = spec.cfg.fault_plan.clone() {
+                kernel.install_fault_plan(plan);
+            }
+            let mut table = AllocationTable::new();
+            let image = kernel.load_unsigned(spec.module, &mut table, spec.cfg.load)?;
+            let pid = kernel.register_proc(&spec.name, image.clone());
+            debug_assert_eq!(pid.index(), vms.len());
+            kernel.procs.checkin_table(pid, table);
+            traditional.push(spec.cfg.mode == Mode::Traditional);
+            let mut vm = Vm::from_parts(
+                SimKernel::placeholder(),
+                AllocationTable::new(),
+                image,
+                spec.cfg,
+            );
+            vm.start()?;
+            vms.push(vm);
+        }
+        let outcomes = (0..vms.len()).map(|_| None).collect();
+        Ok(MultiVm {
+            kernel,
+            vms,
+            traditional,
+            outcomes,
+            cfg,
+        })
+    }
+
+    /// Number of admitted processes.
+    pub fn len(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Whether no process was admitted.
+    pub fn is_empty(&self) -> bool {
+        self.vms.is_empty()
+    }
+
+    /// The live performance counters of process `pid` (the differential
+    /// comparison target — kernel-side scheduling charges never appear
+    /// here).
+    pub fn counters(&self, pid: Pid) -> &PerfCounters {
+        self.vms[pid.index()].counters()
+    }
+
+    /// Create a shared memory block of at least `len` bytes (page
+    /// aligned up), mapped into no process yet.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Kernel`] when no frames are left.
+    pub fn shared_create(&mut self, len: u64) -> Result<SharedId, VmError> {
+        Ok(self.kernel.shared_create(len)?)
+    }
+
+    /// Map shared block `id` into process `pid`'s region set and publish
+    /// its base pointer into the storage of that process's global
+    /// `global` — the block becomes a tracked allocation in the owner's
+    /// table and the global's cell a registered escape, so a later
+    /// kernel move of the block patches this owner's pointer too.
+    pub fn shared_map(&mut self, pid: Pid, id: SharedId, global: usize) {
+        self.kernel.shared_map(pid, id);
+        let (base, len) = {
+            let s = self.kernel.procs.shared(id).expect("live shared id");
+            (s.base, s.len)
+        };
+        let cell = self.vms[pid.index()].image().globals[global];
+        self.kernel.mem.write_uint(cell, base, 8);
+        let mut table = self
+            .kernel
+            .procs
+            .checkout_table(pid)
+            .expect("shared_map between slices: table checked in");
+        // Kernel-side setup, not guest instrumentation: track and resolve
+        // directly against the table, charging the guest nothing.
+        table.track_alloc(base, len, AllocKind::Heap);
+        table.track_escape(cell);
+        let mem = &self.kernel.mem;
+        table.flush_escapes(|c| mem.read_u64(c));
+        self.kernel.procs.checkin_table(pid, table);
+    }
+
+    /// Move shared block `id` to a fresh location in one world stop:
+    /// every owner's escapes, dumped registers, heap bookkeeping, and
+    /// guard-region map are patched. Callable between slices (every
+    /// process quiesced). Returns the new base.
+    ///
+    /// # Errors
+    ///
+    /// Transactional: a typed kernel error (frame exhaustion, injected
+    /// mid-move fault …) leaves every owner byte-identical to the
+    /// pre-call state and is retryable.
+    pub fn move_shared(&mut self, id: SharedId) -> Result<u64, VmError> {
+        let owners = {
+            let s = self.kernel.procs.shared(id).expect("live shared id");
+            s.owners.clone()
+        };
+        // Quiesced by construction: escapes were flushed when each owner
+        // was descheduled, and setup escapes were resolved eagerly.
+        let mut regs: Vec<u64> = Vec::new();
+        let mut spans = Vec::with_capacity(owners.len());
+        let mut threads = 0usize;
+        for &pid in &owners {
+            let vm = &self.vms[pid.index()];
+            let (r, map) = vm.snapshot_regs();
+            spans.push((pid, regs.len(), r.len(), map));
+            regs.extend(r);
+            threads += vm.live_threads();
+        }
+        let (_world, outcome) = self.kernel.move_shared(id, &mut regs, threads)?;
+        let delta = outcome.moved_dst.wrapping_sub(outcome.moved_src) as i64;
+        for (pid, off, n, map) in &spans {
+            let vm = &mut self.vms[pid.index()];
+            vm.writeback_regs(&regs[*off..*off + *n], map);
+            vm.apply_relocation(outcome.moved_src, outcome.moved_len, delta);
+        }
+        Ok(self.kernel.procs.shared(id).expect("live shared id").base)
+    }
+
+    /// Swap the real kernel into `pid`'s VM and hand it its allocation
+    /// table, charging the modeled context-switch cost.
+    fn schedule_in(&mut self, pid: Pid) {
+        self.kernel.proc_switch(pid, self.traditional[pid.index()]);
+        let table = self
+            .kernel
+            .procs
+            .checkout_table(pid)
+            .expect("descheduled process holds its table");
+        let vm = &mut self.vms[pid.index()];
+        vm.table = table;
+        std::mem::swap(&mut self.kernel, &mut vm.kernel);
+    }
+
+    /// Flush the slice's pending escapes (so a cross-process move while
+    /// descheduled sees every pointer cell), take the kernel home, and
+    /// park the table back in the process entry.
+    fn schedule_out(&mut self, pid: Pid) {
+        let vm = &mut self.vms[pid.index()];
+        vm.flush_escapes();
+        std::mem::swap(&mut self.kernel, &mut vm.kernel);
+        let table = std::mem::replace(&mut vm.table, AllocationTable::new());
+        self.kernel.procs.checkin_table(pid, table);
+    }
+
+    /// Round-robin every runnable process to completion (or death) and
+    /// report per-process outcomes. Infallible: every per-process error
+    /// is captured in its report — an isolation violation in one tenant
+    /// never stops the others.
+    pub fn run(mut self) -> Vec<ProcReport> {
+        let mut last: Option<Pid> = None;
+        let mut slices: u64 = 0;
+        while let Some(pid) = self.kernel.procs.next_runnable(last) {
+            self.schedule_in(pid);
+            let res = self.vms[pid.index()].run_slice(self.cfg.quantum);
+            // Fold the final result while the real kernel and table are
+            // still in the VM (the flush and audit need them).
+            let done = match res {
+                Ok(SliceExit::Quantum) => None,
+                Ok(SliceExit::Finished(v)) => {
+                    let rr = self.vms[pid.index()].finish_run(v);
+                    Some(ProcOutcome::Finished(rr))
+                }
+                // Typed isolation violation: recorded below, after the
+                // kernel is home (it owns the process table).
+                Err(VmError::GuardFault { addr, len, write }) => {
+                    Some(ProcOutcome::Fault(ProtectionFault {
+                        pid,
+                        addr,
+                        len,
+                        write,
+                    }))
+                }
+                Err(e) => Some(ProcOutcome::Error(e)),
+            };
+            self.schedule_out(pid);
+            if let Some(outcome) = done {
+                match &outcome {
+                    ProcOutcome::Fault(f) => {
+                        self.kernel
+                            .procs
+                            .record_protection_fault(pid, f.addr, f.len, f.write);
+                    }
+                    ProcOutcome::Finished(rr) => {
+                        if let Some(e) = self.kernel.procs.get_mut(pid) {
+                            e.state = ProcState::Exited(rr.ret);
+                        }
+                    }
+                    ProcOutcome::Error(_) => {
+                        // Dead either way; `Exited(-1)` retires the pid so
+                        // the scheduler never picks it again.
+                        if let Some(e) = self.kernel.procs.get_mut(pid) {
+                            e.state = ProcState::Exited(-1);
+                        }
+                    }
+                }
+                self.outcomes[pid.index()] = Some(outcome);
+            }
+            slices += 1;
+            if self.cfg.pressure_every != 0 && slices.is_multiple_of(self.cfg.pressure_every) {
+                self.pressure_pass();
+            }
+            last = Some(pid);
+        }
+        self.reports()
+    }
+
+    /// Background compaction under memory pressure: pick the victim with
+    /// the most live escapes and relocate its worst page (journaled CARAT
+    /// move) plus page its most-escaped allocation out. Kernel work on a
+    /// descheduled tenant — charged to its [`ProcAccounting`], never its
+    /// own counters. Recoverable kernel errors (frame exhaustion, world
+    /// stops, injected faults) skip the pass; the kernel's transactional
+    /// guarantees keep the victim intact.
+    fn pressure_pass(&mut self) {
+        let Some(victim) = self.kernel.procs.pick_compaction_victim() else {
+            return;
+        };
+        // Compaction is a CARAT mechanism: moves rely on the victim's
+        // tracking state and page-outs on its guards to page data back
+        // in. A traditional-mode tenant has neither; leave it alone.
+        if self.traditional[victim.index()] {
+            return;
+        }
+        // Install the victim's region map: the move retargets the live
+        // master list.
+        self.kernel
+            .proc_switch(victim, self.traditional[victim.index()]);
+        let Some(mut table) = self.kernel.procs.checkout_table(victim) else {
+            return;
+        };
+        let (mut moves, mut outs, mut cycles) = (0u64, 0u64, 0u64);
+        let vm = &mut self.vms[victim.index()];
+        let threads = vm.live_threads();
+        if let Some(page) = self.kernel.worst_page(&table) {
+            let (mut regs, map) = vm.snapshot_regs();
+            if let Ok((world, outcome)) = self
+                .kernel
+                .move_pages(&mut table, &mut regs, page, 1, threads)
+            {
+                vm.writeback_regs(&regs, &map);
+                let delta = outcome.moved_dst.wrapping_sub(outcome.moved_src) as i64;
+                vm.apply_relocation(outcome.moved_src, outcome.moved_len, delta);
+                moves += 1;
+                cycles += world.cycles + outcome.cost.total();
+            }
+        }
+        let page_size = self.kernel.cost.page_size;
+        let target = table
+            .snapshot()
+            .into_iter()
+            .filter(|&(start, _, _, _)| !SimKernel::is_poison(start))
+            .max_by_key(|&(_, _, escapes_live, _)| escapes_live)
+            .map(|(start, _, _, _)| start / page_size * page_size);
+        if let Some(page) = target {
+            let (mut regs, map) = vm.snapshot_regs();
+            if let Ok(Some((world, slot, src, len))) =
+                self.kernel.page_out(&mut table, &mut regs, page, threads)
+            {
+                vm.writeback_regs(&regs, &map);
+                let base = POISON_BASE + slot * POISON_SLOT_SPAN;
+                vm.apply_relocation(src, len, base.wrapping_sub(src) as i64);
+                outs += 1;
+                cycles += world.cycles;
+            }
+        }
+        self.kernel.procs.checkin_table(victim, table);
+        if let Some(e) = self.kernel.procs.get_mut(victim) {
+            e.accounting.pressure_moves += moves;
+            e.accounting.pressure_page_outs += outs;
+            e.accounting.compaction_cycles += cycles;
+        }
+    }
+
+    fn reports(mut self) -> Vec<ProcReport> {
+        let mut reports = Vec::with_capacity(self.vms.len());
+        for (i, outcome) in self.outcomes.drain(..).enumerate() {
+            let e = self
+                .kernel
+                .procs
+                .get(Pid(i as u32))
+                .expect("every vm is registered");
+            reports.push(ProcReport {
+                pid: e.pid,
+                name: e.name.clone(),
+                outcome: outcome.unwrap_or(ProcOutcome::Error(VmError::Trap(
+                    "process never completed a slice".into(),
+                ))),
+                accounting: e.accounting,
+            });
+        }
+        reports
+    }
+}

@@ -352,6 +352,30 @@ pub fn by_name(name: &str) -> Option<Workload> {
     all_workloads().into_iter().find(|w| w.name == name)
 }
 
+/// The multi-tenant server-mix: the tenants the multi-process bench
+/// co-schedules on one kernel. Deliberately heterogeneous — pure compute
+/// (`ep`), pointer chasing (`mcf`), allocation/churn (`dedup`),
+/// indirect sparse sweeps (`cg`), streaming (`lbm`), and a
+/// medium-footprint solver (`hpccg`) — the shape of a consolidated
+/// server, so scheduling effects are not dominated by one memory
+/// behavior.
+pub const SERVER_MIX: [&str; 6] = ["hpccg", "cg", "ep", "mcf", "lbm", "dedup"];
+
+/// Compile the server-mix tenants at `scale`, in scheduling (pid) order.
+///
+/// # Errors
+///
+/// Front-end failures (a workload bug).
+pub fn server_mix(scale: Scale) -> Result<Vec<(&'static str, Module)>, CmError> {
+    SERVER_MIX
+        .iter()
+        .map(|&n| {
+            let w = by_name(n).expect("server-mix names exist in the suite");
+            w.module(scale).map(|m| (n, m))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,6 +392,19 @@ mod tests {
         assert_eq!(names.len(), ws.len(), "names are unique");
         assert!(by_name("mcf").is_some());
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn server_mix_is_valid_and_heterogeneous() {
+        let mix = server_mix(Scale::Test).unwrap();
+        assert_eq!(mix.len(), SERVER_MIX.len());
+        let mut names: Vec<_> = mix.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SERVER_MIX.len(), "tenants are distinct");
+        for (n, m) in &mix {
+            assert!(m.main().is_some(), "{n} has a main");
+        }
     }
 
     #[test]
