@@ -1,8 +1,18 @@
-//! Run every table/figure binary's logic in sequence (convenience driver
-//! for regenerating EXPERIMENTS.md numbers). Each experiment is also
+//! Run every table/figure binary's logic (convenience driver for
+//! regenerating EXPERIMENTS.md numbers). Each experiment is also
 //! available as its own binary; see DESIGN.md.
+//!
+//! `--jobs N` runs up to N experiments concurrently (output is captured
+//! and printed in the original order); other flags are passed through.
 
 use std::process::Command;
+use std::sync::Mutex;
+
+/// One spawnable experiment: binary name plus extra leading args.
+struct Job {
+    exe: &'static str,
+    prefix: &'static [&'static str],
+}
 
 fn main() {
     let exes = [
@@ -19,31 +29,88 @@ fn main() {
         "region_fragmentation",
         "fault_overhead",
         "multiproc_isolation",
+        "move_parallel",
     ];
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let me = std::env::current_exe().expect("own path");
-    let dir = me.parent().expect("bin dir");
-    for exe in exes {
-        println!("\n=== {exe} ===\n");
-        let mut extra: Vec<String> = args.clone();
-        if exe == "fig3_guard_overhead" {
-            // Run both sub-figures.
-            for mode in ["general", "carat"] {
-                let mut cmd_args = vec![mode.to_string()];
-                cmd_args.extend(args.clone());
-                let status = Command::new(dir.join(exe))
-                    .args(&cmd_args)
-                    .status()
-                    .expect("spawn");
-                assert!(status.success(), "{exe} {mode} failed");
-            }
-            continue;
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = match args.iter().position(|a| a == "--jobs") {
+        Some(i) if i + 1 < args.len() => {
+            let n = args[i + 1].parse::<usize>().unwrap_or(1).max(1);
+            args.drain(i..=i + 1);
+            n
         }
-        let status = Command::new(dir.join(exe))
-            .args(&mut extra)
-            .status()
-            .expect("spawn");
-        assert!(status.success(), "{exe} failed");
+        Some(i) => {
+            args.remove(i);
+            1
+        }
+        None => 1,
+    };
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir").to_path_buf();
+
+    let mut queue: Vec<Job> = Vec::new();
+    for exe in exes {
+        if exe == "fig3_guard_overhead" {
+            // Two sub-figures, each its own job.
+            queue.push(Job {
+                exe,
+                prefix: &["general"],
+            });
+            queue.push(Job {
+                exe,
+                prefix: &["carat"],
+            });
+        } else {
+            queue.push(Job { exe, prefix: &[] });
+        }
     }
+
+    // Work-stealing pool over scoped threads: each worker claims the next
+    // unclaimed job; outputs are stored by index and printed in order.
+    type JobOutput = (bool, Vec<u8>, Vec<u8>);
+    let next = Mutex::new(0usize);
+    let results: Vec<Mutex<Option<JobOutput>>> = queue.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs.min(queue.len()) {
+            s.spawn(|| loop {
+                let i = {
+                    let mut n = next.lock().expect("queue lock");
+                    if *n >= queue.len() {
+                        return;
+                    }
+                    *n += 1;
+                    *n - 1
+                };
+                let job = &queue[i];
+                let mut cmd_args: Vec<String> = job.prefix.iter().map(|s| s.to_string()).collect();
+                cmd_args.extend(args.iter().cloned());
+                let out = Command::new(dir.join(job.exe))
+                    .args(&cmd_args)
+                    .output()
+                    .expect("spawn");
+                *results[i].lock().expect("result lock") =
+                    Some((out.status.success(), out.stdout, out.stderr));
+            });
+        }
+    });
+
+    let mut failed = Vec::new();
+    for (job, slot) in queue.iter().zip(&results) {
+        let title: String = std::iter::once(job.exe)
+            .chain(job.prefix.iter().copied())
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("\n=== {title} ===\n");
+        let (ok, stdout, stderr) = slot
+            .lock()
+            .expect("result lock")
+            .take()
+            .expect("every job ran");
+        print!("{}", String::from_utf8_lossy(&stdout));
+        eprint!("{}", String::from_utf8_lossy(&stderr));
+        if !ok {
+            failed.push(title);
+        }
+    }
+    assert!(failed.is_empty(), "experiments failed: {failed:?}");
     println!("\nAll experiments completed.");
 }

@@ -3,15 +3,19 @@
 //! CARAT baseline (full instrumentation, no moves).
 
 use carat_bench::{
-    compile, geomean, print_table, scale_from_args, selected_workloads, Variant, FREQ_HZ,
+    compile, geomean, print_table, scale_from_args, selected_workloads, workers_from_args, Variant,
+    FREQ_HZ,
 };
 use carat_runtime::GuardImpl;
 use carat_vm::{Mode, MoveDriverConfig, Vm, VmConfig, VmError};
 
 fn main() {
     let scale = scale_from_args();
+    let workers = workers_from_args();
     let rates: [f64; 4] = [1.0, 100.0, 10_000.0, 20_000.0];
-    println!("Figure 9: worst-case page movement overhead ({scale:?} scale)");
+    println!(
+        "Figure 9: worst-case page movement overhead ({scale:?} scale, {workers} patch worker(s))"
+    );
     println!("(* = measurement infeasible at this rate, as in the paper)\n");
     let mut rows = Vec::new();
     let mut per_rate: Vec<Vec<f64>> = vec![Vec::new(); rates.len()];
@@ -33,6 +37,7 @@ fn main() {
                 mode: Mode::Carat,
                 guard_impl: GuardImpl::IfTree,
                 move_driver: Some(driver),
+                move_workers: workers,
                 max_steps: (base.counters.instructions * 50).max(10_000_000),
                 max_cycles: base.counters.cycles.saturating_mul(50),
                 ..VmConfig::default()

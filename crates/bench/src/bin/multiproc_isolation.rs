@@ -58,7 +58,7 @@ fn run_mix(variant: Variant, scale: Scale, quantum: u64) -> Vec<ProcReport> {
         MultiVmConfig {
             quantum,
             kernel_mem: KERNEL_MEM,
-            pressure_every: 0,
+            ..MultiVmConfig::default()
         },
     )
     .unwrap_or_else(|e| {
@@ -145,7 +145,7 @@ fn shared_move_cost(owners: usize) -> (f64, bool) {
         MultiVmConfig {
             quantum: 512,
             kernel_mem: KERNEL_MEM,
-            pressure_every: 0,
+            ..MultiVmConfig::default()
         },
     )
     .unwrap_or_else(|e| {

@@ -3,14 +3,18 @@
 //! the derived prototype-cost columns.
 
 use carat_bench::{
-    compile, geomean, print_table, run, scale_from_args, selected_workloads, Variant, FREQ_HZ,
+    compile, geomean, print_table, scale_from_args, selected_workloads, workers_from_args, Variant,
+    FREQ_HZ,
 };
 use carat_runtime::GuardImpl;
-use carat_vm::MoveDriverConfig;
+use carat_vm::{MoveDriverConfig, Vm, VmConfig};
 
 fn main() {
     let scale = scale_from_args();
-    println!("Table 3: Worst-case Page Movement Costs in Cycles ({scale:?} scale)\n");
+    let workers = workers_from_args();
+    println!(
+        "Table 3: Worst-case Page Movement Costs in Cycles ({scale:?} scale, {workers} patch worker(s))\n"
+    );
     let mut rows = Vec::new();
     let mut cols: [Vec<f64>; 8] = Default::default();
     for w in selected_workloads() {
@@ -20,7 +24,14 @@ fn main() {
             period_cycles: (FREQ_HZ / 10_000.0) as u64,
             max_moves: 200,
         };
-        let r = run(m, Variant::Full, GuardImpl::IfTree, Some(driver)).expect("runs");
+        let cfg = VmConfig {
+            mode: Variant::Full.mode(),
+            guard_impl: GuardImpl::IfTree,
+            move_driver: Some(driver),
+            move_workers: workers,
+            ..VmConfig::default()
+        };
+        let r = Vm::new(m, cfg).expect("loads").run().expect("runs");
         let (expand, patch, regs, mv) = r.counters.move_breakdown.averages();
         if r.counters.move_breakdown.episodes == 0 {
             continue;

@@ -115,6 +115,19 @@ pub fn scale_from_args() -> Scale {
     Scale::Small
 }
 
+/// Read the move-engine worker count from argv (`--workers N`;
+/// default 1 = serial). Sets both the host patch threads and the cost
+/// model's `patch_workers`, mirroring `SimKernel::set_move_workers`.
+pub fn workers_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--workers" {
+            return w[1].parse::<usize>().unwrap_or(1).max(1);
+        }
+    }
+    1
+}
+
 /// Read a positional mode argument (used by fig3: `general` / `carat`).
 pub fn arg_after_binary(default: &str) -> String {
     std::env::args()

@@ -12,8 +12,9 @@ use crate::trace::{PagingEvent, PagingTrace};
 use carat_core::sign::{SignedModule, SigningKey};
 use carat_ir::Module;
 use carat_runtime::{
-    perform_move_journaled, perform_shared_move_journaled, AllocationTable, CostModel, MemAccess,
-    MoveOutcome, MovePhase, MoveRequest, Perms, Region, RegionTable, WorldStop, WorldStopError,
+    perform_move_batch_journaled, perform_shared_move_journaled, AllocationTable, CostModel,
+    MemAccess, MoveOutcome, MovePhase, MoveRequest, PatchMem, Perms, Region, RegionTable,
+    WorldStop, WorldStopError,
 };
 use std::collections::HashMap;
 
@@ -54,6 +55,10 @@ pub struct SimKernel {
     /// Injected fault schedule. `None` (the default) also disables the
     /// patch journal, so the fault-free fast path pays nothing.
     faults: Option<FaultPlan>,
+    /// Host threads applying patch plans (1 = serial). Sharding is
+    /// deterministic, so memory state and counters are identical at every
+    /// setting; see [`SimKernel::set_move_workers`].
+    move_workers: usize,
     /// Move-destination allocations that succeeded only after compaction
     /// and retry (OOM recoveries).
     pub oom_recoveries: u64,
@@ -83,6 +88,22 @@ struct SwapEntry {
 pub struct SwapAwareMem<'a> {
     mem: &'a mut PhysicalMemory,
     swap: &'a mut HashMap<u64, SwapEntry>,
+}
+
+impl PatchMem for SwapAwareMem<'_> {
+    fn cell_ptr(&mut self, addr: u64) -> Option<*mut u8> {
+        if addr >= POISON_BASE {
+            let slot = (addr - POISON_BASE) / POISON_SLOT_SPAN;
+            let off = ((addr - POISON_BASE) % POISON_SLOT_SPAN) as usize;
+            let e = self.swap.get_mut(&slot)?;
+            // Out-of-bounds slot offsets decline the pointer, which sends
+            // the whole plan down the serial path — matching write_u64's
+            // silent-drop semantics would otherwise need a sentinel.
+            (off + 8 <= e.data.len()).then(|| unsafe { e.data.as_mut_ptr().add(off) })
+        } else {
+            self.mem.cell_ptr(addr)
+        }
+    }
 }
 
 impl MemAccess for SwapAwareMem<'_> {
@@ -155,6 +176,7 @@ impl SimKernel {
             last_touched_page: u64::MAX,
             trusted: Vec::new(),
             faults: None,
+            move_workers: 1,
             oom_recoveries: 0,
             procs: ProcTable::new(),
         }
@@ -181,6 +203,21 @@ impl SimKernel {
     /// The installed fault plan, if any (for inspecting fired faults).
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
+    }
+
+    /// Set the move engine's worker count. `n` host threads apply every
+    /// subsequent patch plan (deterministic sharding — memory state and
+    /// counters are bit-identical at every setting), and the cost model's
+    /// `patch_workers` is set to match, so modeled move cycles describe
+    /// the same machine that is actually running.
+    pub fn set_move_workers(&mut self, n: usize) {
+        self.move_workers = n.max(1);
+        self.cost.patch_workers = self.move_workers as u64;
+    }
+
+    /// Current move-engine worker count.
+    pub fn move_workers(&self) -> usize {
+        self.move_workers
     }
 
     /// Record an occurrence of `point` against the installed plan and
@@ -425,6 +462,18 @@ impl SimKernel {
         regs: &mut [u64],
         req: MoveRequest,
     ) -> Result<MoveOutcome, KernelError> {
+        self.journaled_move_batch(table, regs, std::slice::from_ref(&req))
+            .map(|mut outs| outs.pop().expect("one request, one outcome"))
+    }
+
+    /// [`SimKernel::journaled_move`] over a whole batch of requests as one
+    /// transaction: a MidMove fault rolls back every request's patches.
+    fn journaled_move_batch(
+        &mut self,
+        table: &mut AllocationTable,
+        regs: &mut [u64],
+        reqs: &[MoveRequest],
+    ) -> Result<Vec<MoveOutcome>, KernelError> {
         // The hook needs the plan while the router borrows mem+swap; take
         // the plan out for the duration of the move.
         let mut plan = self.faults.take();
@@ -435,23 +484,28 @@ impl SimKernel {
                     .as_mut()
                     .is_some_and(|p| p.should_fire(FaultPoint::MidMove))
         };
+        let workers = self.move_workers;
         let mut routed = SwapAwareMem {
             mem: &mut self.mem,
             swap: &mut self.swap,
         };
-        let res = perform_move_journaled(
+        let res = perform_move_batch_journaled(
             table,
             &mut routed,
             regs,
-            req,
+            reqs,
             &self.cost,
+            workers,
             if journal_on { Some(&mut hook) } else { None },
         );
         self.faults = plan;
-        res.map_err(|_| KernelError::MoveInterrupted {
-            src: req.src,
-            len: req.len,
-            dst: req.dst,
+        res.map_err(|_| {
+            let req = reqs[0];
+            KernelError::MoveInterrupted {
+                src: req.src,
+                len: req.len,
+                dst: req.dst,
+            }
         })
     }
 
@@ -611,6 +665,37 @@ impl SimKernel {
             .map(|(start, _, _, _)| start / page * page)
     }
 
+    /// The move planner's victim list: up to `max` page-aligned addresses
+    /// ordered worst-first by live escape count, deduplicated by page —
+    /// the batch fed to [`SimKernel::move_pages_batch`] so several
+    /// compaction victims share one world-stop.
+    ///
+    /// `worst_pages(table, 1)` always agrees with
+    /// [`SimKernel::worst_page`]: ties are broken toward the higher start
+    /// address, matching `max_by_key`'s last-maximum semantics over the
+    /// table's ascending iteration order.
+    pub fn worst_pages(&self, table: &AllocationTable, max: usize) -> Vec<u64> {
+        let page = self.cost.page_size;
+        let mut victims: Vec<(usize, u64)> = table
+            .snapshot()
+            .into_iter()
+            .filter(|&(start, _, _, _)| !Self::is_poison(start))
+            .map(|(start, _, escapes_live, _)| (escapes_live, start))
+            .collect();
+        victims.sort_unstable_by(|a, b| b.cmp(a));
+        let mut out: Vec<u64> = Vec::new();
+        for (_, start) in victims {
+            let p = start / page * page;
+            if !out.contains(&p) {
+                out.push(p);
+                if out.len() == max {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
     /// Execute a full CARAT page movement: world stop, negotiation,
     /// patching (escapes + registers), data copy, region update, resume.
     /// Returns the protocol record and the move outcome.
@@ -635,56 +720,143 @@ impl SimKernel {
         pages: u64,
         threads: usize,
     ) -> Result<(WorldStop, MoveOutcome), KernelError> {
+        self.move_pages_batch(table, regs, &[(src, pages)], threads)
+            .map(|(world, mut outs)| (world, outs.pop().expect("one request, one outcome")))
+    }
+
+    /// [`SimKernel::move_pages`] over a *batch* of `(src, pages)` requests
+    /// coalesced into ONE world-stop: one signal+barrier round, one
+    /// register-patch pass, and N region patches. A request whose expanded
+    /// range overlaps an earlier accepted one is already covered by that
+    /// move and is dropped; outcomes are returned for accepted requests in
+    /// order. For pairwise-disjoint requests the resulting memory,
+    /// registers, and table are bit-identical to issuing the moves
+    /// sequentially — only the world-stop and register-pass cycles are
+    /// amortized.
+    ///
+    /// # Errors
+    ///
+    /// Transactional across the whole batch, with the same error surface
+    /// as [`SimKernel::move_pages`]: on any error every destination is
+    /// released and every patch rolled back; no request takes effect.
+    pub fn move_pages_batch(
+        &mut self,
+        table: &mut AllocationTable,
+        regs: &mut [u64],
+        moves: &[(u64, u64)],
+        threads: usize,
+    ) -> Result<(WorldStop, Vec<MoveOutcome>), KernelError> {
         let page = self.cost.page_size;
-        let len = pages * page;
-        // Pre-negotiate the expansion so the destination is large enough.
-        let (xsrc, xlen) =
-            carat_runtime::expand_to_allocations(table, src / page * page, len, page);
-        let (dst, backoff) = self.alloc_move_dst(xlen)?;
+        // Pre-negotiate every request so each destination is large enough,
+        // coalescing requests the expansion has already swallowed.
+        let mut expanded: Vec<(u64, u64)> = Vec::with_capacity(moves.len());
+        for &(src, pages) in moves {
+            let len = pages * page;
+            let (xsrc, xlen) =
+                carat_runtime::expand_to_allocations(table, src / page * page, len, page);
+            if expanded
+                .iter()
+                .any(|&(s, l)| xsrc < s + l && s < xsrc + xlen)
+            {
+                continue;
+            }
+            expanded.push((xsrc, xlen));
+        }
+        // Allocate every destination up front, publishing each accepted
+        // source range to the vacated list as we go: destination k may
+        // recycle the frames request j < k is about to vacate, exactly as
+        // a sequence of per-move stops would — so physical placement (and
+        // with it every address-dependent counter) is bit-identical to
+        // sequential execution. The copies later run in request order, so
+        // an earlier range is always evacuated before a later destination
+        // lands in it. On failure nothing has been patched yet: restoring
+        // the vacated list and freeing the buddy blocks is the whole
+        // rollback.
+        let vacated_before = self.vacated.clone();
+        let mut dsts: Vec<(DstAlloc, u64)> = Vec::with_capacity(expanded.len());
+        let mut accepted: Vec<(u64, u64)> = Vec::with_capacity(expanded.len());
+        let release_all = |k: &mut Self, dsts: Vec<(DstAlloc, u64)>| {
+            k.vacated = vacated_before.clone();
+            for (d, _) in dsts {
+                if d.from_buddy {
+                    let freed = k.buddy.free_pages(d.addr);
+                    debug_assert!(freed.is_ok(), "releasing a live buddy block");
+                }
+            }
+        };
+        // A request whose destination cannot be allocated is skipped, not
+        // fatal to its batchmates — exactly as its stand-alone move would
+        // have failed without affecting the next one. The error surfaces
+        // only when *no* request gets a destination (so a batch of one
+        // keeps `move_pages`'s error surface).
+        let mut alloc_err = None;
+        for &(xsrc, xlen) in &expanded {
+            match self.alloc_move_dst(xlen) {
+                Ok(d) => {
+                    dsts.push(d);
+                    accepted.push((xsrc, xlen));
+                    self.vacated.push((xsrc, xlen));
+                }
+                Err(e) => alloc_err = Some(e),
+            }
+        }
+        if dsts.is_empty() {
+            // Nothing was taken or pre-published; only the (semantically
+            // neutral) vacated-range compaction of the failed attempts
+            // remains, as after a failed stand-alone move.
+            return Err(alloc_err.expect("empty batches are not issued"));
+        }
 
         let mut world = match self.begin_stop(threads) {
             Ok(w) => w,
             Err(e) => {
-                self.release_move_dst(dst);
+                release_all(self, dsts);
                 return Err(e);
             }
         };
-        let req = MoveRequest {
-            src: xsrc,
-            len: xlen,
-            dst: dst.addr,
-        };
-        let mut outcome = match self.journaled_move(table, regs, req) {
-            Ok(out) => out,
+        let reqs: Vec<MoveRequest> = accepted
+            .iter()
+            .zip(&dsts)
+            .map(|(&(xsrc, xlen), &(d, _))| MoveRequest {
+                src: xsrc,
+                len: xlen,
+                dst: d.addr,
+            })
+            .collect();
+        let mut outcomes = match self.journaled_move_batch(table, regs, &reqs) {
+            Ok(outs) => outs,
             Err(e) => {
                 world.abort(&self.cost);
-                self.release_move_dst(dst);
+                release_all(self, dsts);
                 return Err(e);
             }
         };
-        outcome.cost.alloc_and_move += backoff;
+        for (outcome, &(_, backoff)) in outcomes.iter_mut().zip(&dsts) {
+            outcome.cost.alloc_and_move += backoff;
+        }
         Self::finish_stop(&mut world, &self.cost)?;
 
-        // Region maintenance: the moved range leaves the capsule; the
-        // destination becomes accessible. The vacated frames are recycled
-        // for future moves.
-        self.vacated.push((outcome.moved_src, outcome.moved_len));
-        self.punch_hole(outcome.moved_src, outcome.moved_src + outcome.moved_len);
-        self.master.push(Region {
-            start: outcome.moved_dst,
-            len: outcome.moved_len,
-            perms: Perms::RW,
-        });
+        // Region maintenance: each moved range leaves the capsule and its
+        // destination becomes accessible. The vacated frames were already
+        // published during destination allocation above. One region
+        // rebuild covers the whole batch.
+        for outcome in &outcomes {
+            self.punch_hole(outcome.moved_src, outcome.moved_src + outcome.moved_len);
+            self.master.push(Region {
+                start: outcome.moved_dst,
+                len: outcome.moved_len,
+                perms: Perms::RW,
+            });
+            for p in 0..outcome.moved_len / page {
+                self.trace.record(PagingEvent::Move {
+                    from: outcome.moved_src / page + p,
+                    to: outcome.moved_dst / page + p,
+                });
+            }
+        }
         self.master.sort_by_key(|r| r.start);
         self.regions.set_regions(self.master.clone());
-
-        for p in 0..outcome.moved_len / page {
-            self.trace.record(PagingEvent::Move {
-                from: outcome.moved_src / page + p,
-                to: outcome.moved_dst / page + p,
-            });
-        }
-        Ok((world, outcome))
+        Ok((world, outcomes))
     }
 
     /// Page a range out to swap (paper §2.2: "to make a page unavailable,
@@ -731,11 +903,9 @@ impl SimKernel {
             mem: &mut self.mem,
             swap: &mut self.swap,
         };
-        for start in table.overlapping(src, src + len) {
-            let info = table.info(start).expect("listed");
+        for (start, info) in table.overlapping_infos(src, src + len) {
             let (lo, hi) = (start, start + info.len);
-            let cells: Vec<u64> = info.escapes.iter().copied().collect();
-            for cell in cells {
+            for &cell in &info.escapes {
                 let val = routed.read_u64(cell);
                 if val >= lo && val < hi {
                     routed.write_u64(cell, val.wrapping_add(delta as u64));
@@ -841,11 +1011,9 @@ impl SimKernel {
             mem: &mut self.mem,
             swap: &mut self.swap,
         };
-        for start in table.overlapping(poison, poison + entry.len) {
-            let info = table.info(start).expect("listed");
+        for (start, info) in table.overlapping_infos(poison, poison + entry.len) {
             let (lo, hi) = (start, start + info.len);
-            let cells: Vec<u64> = info.escapes.iter().copied().collect();
-            for cell in cells {
+            for &cell in &info.escapes {
                 // Cells inside this slot were restored at dst; cells in
                 // other slots are reached through the router.
                 let cell = if cell >= poison && cell < poison + entry.len {
@@ -1127,6 +1295,7 @@ impl SimKernel {
                     .as_mut()
                     .is_some_and(|p| p.should_fire(FaultPoint::MidMove))
         };
+        let workers = self.move_workers;
         let mut routed = SwapAwareMem {
             mem: &mut self.mem,
             swap: &mut self.swap,
@@ -1137,6 +1306,7 @@ impl SimKernel {
             regs,
             req,
             &self.cost,
+            workers,
             if journal_on { Some(&mut hook) } else { None },
         );
         self.faults = plan;

@@ -176,25 +176,35 @@ impl AllocationTable {
 
     /// Start addresses of allocations overlapping `[lo, hi)`.
     pub fn overlapping(&self, lo: u64, hi: u64) -> Vec<u64> {
-        let mut out = Vec::new();
+        self.overlapping_infos(lo, hi).map(|(s, _)| s).collect()
+    }
+
+    /// Allocations overlapping `[lo, hi)` as `(start, &info)` pairs, in
+    /// ascending start order (a straddler from below comes first). The
+    /// patch planner and expansion loops iterate this directly, avoiding
+    /// both the intermediate start vector and the per-start re-lookup
+    /// through [`Self::info`].
+    pub fn overlapping_infos(
+        &self,
+        lo: u64,
+        hi: u64,
+    ) -> impl Iterator<Item = (u64, &AllocInfo)> + '_ {
         // An allocation starting strictly before `lo` may straddle into the
         // range.
-        if lo > 0 {
-            if let Some((&start, info)) = self.tree.floor(&(lo - 1)) {
-                if start < lo && start + info.len > lo {
-                    out.push(start);
-                }
-            }
-        }
-        for (&start, _) in self.tree.iter() {
-            if start >= lo && start < hi {
-                out.push(start);
-            } else if start >= hi {
-                break;
-            }
-        }
-        out.dedup();
-        out
+        let straddler = if lo > 0 {
+            self.tree.floor(&(lo - 1)).and_then(|(&start, info)| {
+                (start < lo && start + info.len > lo).then_some((start, info))
+            })
+        } else {
+            None
+        };
+        straddler.into_iter().chain(
+            self.tree
+                .iter()
+                .skip_while(move |&(&start, _)| start < lo)
+                .take_while(move |&(&start, _)| start < hi)
+                .map(|(&start, info)| (start, info)),
+        )
     }
 
     /// Borrow an allocation's metadata by start address.

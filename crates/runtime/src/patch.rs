@@ -13,12 +13,22 @@
 //!    signal handler);
 //! 5. moves the data and updates the allocation table.
 //!
+//! The engine is split into **plan** and **apply**: a [`PatchPlan`] — one
+//! flat array of `(cell, old, new, owner)` records — is built from the
+//! allocation table with pure reads, then applied over raw memory. The
+//! apply step is embarrassingly parallel (the paper notes patching is a
+//! data-parallel scan over escape cells): the plan is sharded
+//! *deterministically by cell index* across `std::thread::scope` workers,
+//! and per-shard journals are merged in shard order, so memory state,
+//! counters, and rollback are byte-identical at every worker count.
+//!
 //! Every phase reports counts so the caller can convert to cycles with the
 //! [`CostModel`](crate::cost::CostModel) — this is the raw material of
 //! Table 3.
 
 use crate::alloc_table::AllocationTable;
 use crate::cost::CostModel;
+use crate::fast_hash::FastSet;
 use std::fmt;
 
 /// Memory access interface the engine uses to read/patch/copy simulated
@@ -30,6 +40,22 @@ pub trait MemAccess {
     fn write_u64(&mut self, addr: u64, val: u64);
     /// Copy `len` bytes from `src` to `dst` (ranges may not overlap).
     fn copy(&mut self, src: u64, dst: u64, len: u64);
+}
+
+/// [`MemAccess`] that can additionally expose raw host pointers to its
+/// backing store, unlocking the parallel patch path.
+pub trait PatchMem: MemAccess {
+    /// Raw host pointer to the 8 bytes backing `addr`, or `None` when
+    /// this memory has no contiguous host backing for the cell (the plan
+    /// is then applied serially through [`MemAccess`], with identical
+    /// results).
+    ///
+    /// Contract: the pointer must stay valid, and be written through by
+    /// nobody else, until the next `&mut self` method call.
+    fn cell_ptr(&mut self, addr: u64) -> Option<*mut u8> {
+        let _ = addr;
+        None
+    }
 }
 
 /// A kernel request to move `[src, src+len)` to `dst`.
@@ -116,8 +142,7 @@ pub fn expand_to_allocations(
 ) -> (u64, u64) {
     loop {
         let mut grown = false;
-        for start in table.overlapping(src, src + len) {
-            let info = table.info(start).expect("listed");
+        for (start, info) in table.overlapping_infos(src, src + len) {
             let end = start + info.len;
             if start < src {
                 let new_src = start / page * page;
@@ -174,8 +199,8 @@ impl fmt::Display for MoveInterrupted {
 
 impl std::error::Error for MoveInterrupted {}
 
-/// Undo log for one move: the pre-patch value of every mutated escape
-/// cell and register, in mutation order.
+/// Undo log for one move (or one batch of moves): the pre-patch value of
+/// every mutated escape cell and register, in mutation order.
 #[derive(Debug, Default)]
 struct PatchJournal {
     cells: Vec<(u64, u64)>,
@@ -196,6 +221,227 @@ impl PatchJournal {
     }
 }
 
+/// One planned escape-cell rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedPatch {
+    /// Address of the cell holding the pointer.
+    pub cell: u64,
+    /// Its current value (the journal entry).
+    pub old: u64,
+    /// The value it will hold after the move.
+    pub new: u64,
+    /// Start address of the allocation the pointer targets.
+    pub owner: u64,
+}
+
+/// Below this many cells a parallel apply is not attempted: host thread
+/// fork/join overwhelms the scan (the cost model charges the analogous
+/// `patch_fork_join_per_worker`). Results are identical either way.
+pub const PARALLEL_MIN_CELLS: usize = 1024;
+
+/// The flat patch plan for one move: every cell rewrite, precomputed from
+/// the allocation table(s) with pure reads, plus the affected allocation
+/// starts per table. Plan order equals the serial engine's mutation
+/// order, so journals and rollbacks are byte-identical however the plan
+/// is later sharded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatchPlan {
+    /// Expanded source range start.
+    pub src: u64,
+    /// Expanded range length.
+    pub len: u64,
+    /// Destination (adjusted by the same leading expansion).
+    pub dst: u64,
+    /// `dst - src`.
+    pub delta: i64,
+    /// Every cell rewrite, in deterministic table order.
+    pub cells: Vec<PlannedPatch>,
+    /// Affected allocation starts, one list per input table.
+    pub affected: Vec<Vec<u64>>,
+}
+
+/// Raw cell pointer that may cross into a worker thread. Safety is
+/// argued at the spawn site: every shard writes pairwise-disjoint 8-byte
+/// windows and nothing else touches the backing store during the scope.
+struct SendPtr(*mut u8);
+unsafe impl Send for SendPtr {}
+
+impl PatchPlan {
+    /// Build the plan for moving `[src, src+len)` to `dst` across one or
+    /// more allocation tables (several for the cross-process shared-region
+    /// case). Pure reads: neither the tables nor memory are touched.
+    ///
+    /// A cell registered by more than one table is planned exactly once
+    /// (the serial engine got the same idempotence from re-reading the
+    /// already-patched, now out-of-range value).
+    pub fn build(
+        tables: &[&AllocationTable],
+        mem: &dyn PatchMem,
+        src: u64,
+        len: u64,
+        dst: u64,
+    ) -> PatchPlan {
+        let delta = dst.wrapping_sub(src) as i64;
+        let mut cells = Vec::new();
+        let mut affected = Vec::with_capacity(tables.len());
+        let mut seen: Option<FastSet<u64>> = (tables.len() > 1).then(FastSet::default);
+        for table in tables {
+            let mut starts = Vec::new();
+            for (start, info) in table.overlapping_infos(src, src + len) {
+                starts.push(start);
+                let (lo, hi) = (start, start + info.len);
+                for &cell in &info.escapes {
+                    let old = mem.read_u64(cell);
+                    if old >= lo && old < hi {
+                        if let Some(seen) = seen.as_mut() {
+                            if !seen.insert(cell) {
+                                continue;
+                            }
+                        }
+                        cells.push(PlannedPatch {
+                            cell,
+                            old,
+                            new: old.wrapping_add(delta as u64),
+                            owner: start,
+                        });
+                    }
+                }
+            }
+            affected.push(starts);
+        }
+        PatchPlan {
+            src,
+            len,
+            dst,
+            delta,
+            cells,
+            affected,
+        }
+    }
+
+    /// Execute every planned rewrite over `workers` host threads (1 =
+    /// serial). Deterministic regardless of worker count: the plan is
+    /// sharded by cell index into contiguous chunks, each worker writes
+    /// precomputed values into disjoint cells, and nothing depends on
+    /// scheduling.
+    pub fn apply(&self, mem: &mut dyn PatchMem, workers: usize) {
+        self.apply_with_journal(mem, workers, None);
+    }
+
+    /// [`PatchPlan::apply`], optionally producing an undo journal. In the
+    /// parallel path each shard journals the cells it wrote, and the
+    /// per-shard journals are merged in shard order — which is plan
+    /// order, which is the serial engine's mutation order — so a later
+    /// rollback is byte-identical to a serial run's.
+    fn apply_with_journal(
+        &self,
+        mem: &mut dyn PatchMem,
+        workers: usize,
+        journal: Option<&mut PatchJournal>,
+    ) {
+        let n = self.cells.len();
+        if workers > 1 && n >= PARALLEL_MIN_CELLS && self.cell_windows_disjoint() {
+            if let Some(ptrs) = self.resolve_ptrs(mem) {
+                self.apply_parallel(ptrs, workers, journal);
+                return;
+            }
+        }
+        // Serial path (also the fallback for memories without raw
+        // backing, or plans with overlapping / too few cell windows).
+        if let Some(j) = journal {
+            j.cells.reserve(n);
+            for p in &self.cells {
+                j.cells.push((p.cell, p.old));
+                mem.write_u64(p.cell, p.new);
+            }
+        } else {
+            for p in &self.cells {
+                mem.write_u64(p.cell, p.new);
+            }
+        }
+    }
+
+    /// Whether every pair of 8-byte cell windows is disjoint. Escape
+    /// cells closer than 8 bytes apart would make parallel writes race on
+    /// the overlap, so such plans fall back to the serial path.
+    fn cell_windows_disjoint(&self) -> bool {
+        let mut addrs: Vec<u64> = self.cells.iter().map(|p| p.cell).collect();
+        addrs.sort_unstable();
+        addrs.windows(2).all(|w| w[1] - w[0] >= 8)
+    }
+
+    /// Resolve every cell to a raw host pointer, or `None` if the memory
+    /// declines any of them.
+    fn resolve_ptrs(&self, mem: &mut dyn PatchMem) -> Option<Vec<*mut u8>> {
+        self.cells.iter().map(|p| mem.cell_ptr(p.cell)).collect()
+    }
+
+    fn apply_parallel(
+        &self,
+        ptrs: Vec<*mut u8>,
+        workers: usize,
+        journal: Option<&mut PatchJournal>,
+    ) {
+        let n = self.cells.len();
+        let shard_len = n.div_ceil(workers);
+        let journaling = journal.is_some();
+        // Contiguous index shards: worker k owns cells
+        // [k*shard_len, (k+1)*shard_len) — a pure function of (n, workers).
+        let shards: Vec<Vec<(SendPtr, u64, u64)>> = self
+            .cells
+            .chunks(shard_len)
+            .zip(ptrs.chunks(shard_len))
+            .map(|(cells, ptrs)| {
+                cells
+                    .iter()
+                    .zip(ptrs)
+                    .map(|(p, &ptr)| (SendPtr(ptr), p.new, p.cell))
+                    .collect()
+            })
+            .collect();
+        // SAFETY: every pointer addresses an 8-byte window disjoint from
+        // every other (checked by `cell_windows_disjoint`; distinct cell
+        // addresses reach distinct backing regions per the `cell_ptr`
+        // contract), each window is written by exactly one worker, and
+        // `mem` is untouched for the duration of the scope.
+        let segments: Vec<Vec<(u64, u64)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .map(|shard| {
+                    s.spawn(move || {
+                        let mut seg = Vec::with_capacity(if journaling { shard.len() } else { 0 });
+                        for (SendPtr(ptr), new, cell) in shard {
+                            if journaling {
+                                let mut b = [0u8; 8];
+                                unsafe { std::ptr::copy_nonoverlapping(ptr, b.as_mut_ptr(), 8) };
+                                seg.push((cell, u64::from_le_bytes(b)));
+                            }
+                            let bytes = new.to_le_bytes();
+                            unsafe { std::ptr::copy_nonoverlapping(bytes.as_ptr(), ptr, 8) };
+                        }
+                        seg
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("patch worker panicked"))
+                .collect()
+        });
+        if let Some(j) = journal {
+            // Merge per-shard journals in shard order == plan order.
+            j.cells.reserve(n);
+            for seg in segments {
+                debug_assert!(seg
+                    .iter()
+                    .zip(&self.cells[j.cells.len()..])
+                    .all(|(&(cell, old), p)| cell == p.cell && old == p.old));
+                j.cells.extend(seg);
+            }
+        }
+    }
+}
+
 /// Execute a move entirely: negotiate, patch escapes and registers, copy,
 /// and update the allocation table. `regs` is the dumped register state of
 /// all stopped threads (patched in place).
@@ -203,16 +449,61 @@ impl PatchJournal {
 /// The caller (kernel) has already stopped the world and picked a `dst`
 /// with room for the *expanded* range; `dst` is adjusted by the same
 /// leading expansion so relative layout is preserved.
+///
+/// Infallible by construction — the no-interrupt path runs straight over
+/// the plan builder and keeps no journal, so it pays zero crash-
+/// consistency overhead and has no error to surface.
 pub fn perform_move(
     table: &mut AllocationTable,
-    mem: &mut dyn MemAccess,
+    mem: &mut dyn PatchMem,
     regs: &mut [u64],
     req: MoveRequest,
     cost: &CostModel,
 ) -> MoveOutcome {
-    match perform_move_journaled(table, mem, regs, req, cost, None) {
-        Ok(out) => out,
-        Err(_) => unreachable!("a move without an interrupt hook cannot be interrupted"),
+    perform_move_workers(table, mem, regs, req, cost, 1)
+}
+
+/// [`perform_move`] applying the patch plan over `workers` host threads.
+/// The outcome — memory, registers, table, and modeled cycles — is
+/// identical at every worker count; only host wall-clock changes.
+pub fn perform_move_workers(
+    table: &mut AllocationTable,
+    mem: &mut dyn PatchMem,
+    regs: &mut [u64],
+    req: MoveRequest,
+    cost: &CostModel,
+    workers: usize,
+) -> MoveOutcome {
+    let (src, len) = expand_to_allocations(table, req.src, req.len, cost.page_size);
+    let dst = req.dst.wrapping_sub(req.src - src);
+    let plan = PatchPlan::build(&[table], &*mem, src, len, dst);
+    plan.apply(mem, workers);
+    let mut registers_patched = 0usize;
+    for r in regs.iter_mut() {
+        if *r >= src && *r < src + len {
+            *r = r.wrapping_add(plan.delta as u64);
+            registers_patched += 1;
+        }
+    }
+    mem.copy(src, dst, len);
+    table.rebase_escape_cells(src, src + len, plan.delta);
+    for &start in &plan.affected[0] {
+        table.relocate(start, plan.delta);
+    }
+    MoveOutcome {
+        moved_src: src,
+        moved_len: len,
+        moved_dst: dst,
+        allocations: plan.affected[0].len(),
+        escapes_patched: plan.cells.len(),
+        registers_patched,
+        cost: MoveCostBreakdown {
+            page_expand: cost.move_expand_fixed
+                + plan.affected[0].len() as u64 * cost.move_expand_per_alloc,
+            patch_gen_exec: cost.patch_cost(plan.cells.len() as u64),
+            register_patch: regs.len() as u64 * cost.move_register_patch_per_reg,
+            alloc_and_move: cost.move_alloc_fixed + cost.copy_cost(len),
+        },
     }
 }
 
@@ -224,8 +515,9 @@ pub fn perform_move(
 /// maintenance happen strictly after the last checkpoint, so cells and
 /// registers are the only mutations to undo).
 ///
-/// With `interrupt == None` this is exactly [`perform_move`] — no journal
-/// is kept and no overhead is paid.
+/// With `interrupt == None` no journal is kept and no overhead is paid.
+/// `workers` shards the patch apply across host threads (1 = serial) with
+/// bit-identical results.
 ///
 /// # Errors
 ///
@@ -233,20 +525,73 @@ pub fn perform_move(
 /// happened by the time the error is returned.
 pub fn perform_move_journaled(
     table: &mut AllocationTable,
-    mem: &mut dyn MemAccess,
+    mem: &mut dyn PatchMem,
     regs: &mut [u64],
     req: MoveRequest,
     cost: &CostModel,
-    mut interrupt: Option<&mut dyn FnMut(MovePhase) -> bool>,
+    workers: usize,
+    interrupt: Option<&mut dyn FnMut(MovePhase) -> bool>,
 ) -> Result<MoveOutcome, MoveInterrupted> {
-    // --- Phase 1: page expand (negotiation) ---
-    let (src, len) = expand_to_allocations(table, req.src, req.len, cost.page_size);
-    let dst = req.dst.wrapping_sub(req.src - src);
-    let delta = dst.wrapping_sub(src) as i64;
-    let affected = table.overlapping(src, src + len);
-    let page_expand = cost.move_expand_fixed + affected.len() as u64 * cost.move_expand_per_alloc;
+    perform_move_batch_journaled(
+        table,
+        mem,
+        regs,
+        std::slice::from_ref(&req),
+        cost,
+        workers,
+        interrupt,
+    )
+    .map(|mut outs| outs.pop().expect("one request, one outcome"))
+}
 
-    let mut journal = interrupt.as_ref().map(|_| PatchJournal::default());
+/// Execute a *batch* of moves as one transaction: every request is
+/// expanded and planned up front, every plan is applied (cells first,
+/// then one register pass over all ranges), and only then — after the
+/// final [`MovePhase::Patched`] checkpoint — are the data copies and
+/// table maintenance performed, in request order. The caller wraps the
+/// whole batch in ONE world-stop, amortizing the signal+barrier round
+/// and the register pass across every coalesced move.
+///
+/// Requirements (the kernel's batch planner guarantees both): expanded
+/// source ranges are pairwise disjoint, and every destination is disjoint
+/// from its own and from every *later* request's source range. A
+/// destination may reuse an earlier request's source frames: the data
+/// copies run in request order, so that range has been evacuated by the
+/// time a later copy lands in it (which is exactly how sequential moves
+/// recycle vacated frames). Under those, the batch is bit-identical —
+/// memory, registers, table — to executing the requests sequentially.
+///
+/// Per-request outcomes match the sequential engine's exactly, except
+/// that the register-patch charge (`regs.len()` inspections) is paid once
+/// per batch and carried by the first outcome.
+///
+/// # Errors
+///
+/// [`MoveInterrupted`] when the hook fired; the whole batch — every cell
+/// and register of every request — has been rolled back in reverse
+/// mutation order.
+pub fn perform_move_batch_journaled(
+    table: &mut AllocationTable,
+    mem: &mut dyn PatchMem,
+    regs: &mut [u64],
+    reqs: &[MoveRequest],
+    cost: &CostModel,
+    workers: usize,
+    mut interrupt: Option<&mut dyn FnMut(MovePhase) -> bool>,
+) -> Result<Vec<MoveOutcome>, MoveInterrupted> {
+    // --- Phase 1: page expand (negotiation), every request up front ---
+    let mut expanded: Vec<(u64, u64, u64)> = Vec::with_capacity(reqs.len());
+    for req in reqs {
+        let (src, len) = expand_to_allocations(table, req.src, req.len, cost.page_size);
+        let dst = req.dst.wrapping_sub(req.src - src);
+        debug_assert!(
+            expanded
+                .iter()
+                .all(|&(s, l, _)| s + l <= src || src + len <= s),
+            "batched moves must expand to disjoint ranges"
+        );
+        expanded.push((src, len, dst));
+    }
     if let Some(hook) = interrupt.as_deref_mut() {
         if hook(MovePhase::Expanded) {
             // Nothing mutated yet; the journal is empty.
@@ -258,37 +603,27 @@ pub fn perform_move_journaled(
         }
     }
 
-    // --- Phase 2: patch generation & execution ---
-    let mut escapes_patched = 0usize;
-    for &start in &affected {
-        let info = table.info(start).expect("listed");
-        let escape_cells: Vec<u64> = info.escapes.iter().copied().collect();
-        let (lo, hi) = (start, start + info.len);
-        for cell in escape_cells {
-            let val = mem.read_u64(cell);
-            if val >= lo && val < hi {
-                if let Some(j) = journal.as_mut() {
-                    j.cells.push((cell, val));
-                }
-                mem.write_u64(cell, val.wrapping_add(delta as u64));
-                escapes_patched += 1;
-            }
-        }
+    // --- Phase 2: build every plan (pure reads), then apply them all ---
+    let plans: Vec<PatchPlan> = expanded
+        .iter()
+        .map(|&(src, len, dst)| PatchPlan::build(&[table], &*mem, src, len, dst))
+        .collect();
+    let mut journal = interrupt.as_ref().map(|_| PatchJournal::default());
+    for plan in &plans {
+        plan.apply_with_journal(mem, workers, journal.as_mut());
     }
-    let patch_gen_exec = escapes_patched as u64 * cost.move_patch_per_escape;
 
-    // --- Phase 3: register patch ---
-    let mut registers_patched = 0usize;
+    // --- Phase 3: ONE register pass over every range in the batch ---
+    let mut reg_counts = vec![0usize; plans.len()];
     for (idx, r) in regs.iter_mut().enumerate() {
-        if *r >= src && *r < src + len {
+        if let Some(k) = expanded.iter().position(|&(s, l, _)| *r >= s && *r < s + l) {
             if let Some(j) = journal.as_mut() {
                 j.regs.push((idx, *r));
             }
-            *r = r.wrapping_add(delta as u64);
-            registers_patched += 1;
+            *r = r.wrapping_add(plans[k].delta as u64);
+            reg_counts[k] += 1;
         }
     }
-    let register_patch = regs.len() as u64 * cost.move_register_patch_per_reg;
 
     if let Some(hook) = interrupt {
         if hook(MovePhase::Patched) {
@@ -304,31 +639,36 @@ pub fn perform_move_journaled(
         }
     }
 
-    // --- Phase 4: allocation + data movement ---
-    mem.copy(src, dst, len);
-    let alloc_and_move = cost.move_alloc_fixed + cost.copy_cost(len);
-
-    // --- Table maintenance: rebase entries and escape cells in range ---
-    // Escape cells that themselves lived inside the moved range moved too.
-    table.rebase_escape_cells(src, src + len, delta);
-    for &start in &affected {
-        table.relocate(start, delta);
+    // --- Phase 4: data movement + table maintenance, request order ---
+    let mut outcomes = Vec::with_capacity(plans.len());
+    for (k, plan) in plans.iter().enumerate() {
+        let (src, len, dst) = expanded[k];
+        mem.copy(src, dst, len);
+        table.rebase_escape_cells(src, src + len, plan.delta);
+        for &start in &plan.affected[0] {
+            table.relocate(start, plan.delta);
+        }
+        outcomes.push(MoveOutcome {
+            moved_src: src,
+            moved_len: len,
+            moved_dst: dst,
+            allocations: plan.affected[0].len(),
+            escapes_patched: plan.cells.len(),
+            registers_patched: reg_counts[k],
+            cost: MoveCostBreakdown {
+                page_expand: cost.move_expand_fixed
+                    + plan.affected[0].len() as u64 * cost.move_expand_per_alloc,
+                patch_gen_exec: cost.patch_cost(plan.cells.len() as u64),
+                register_patch: if k == 0 {
+                    regs.len() as u64 * cost.move_register_patch_per_reg
+                } else {
+                    0
+                },
+                alloc_and_move: cost.move_alloc_fixed + cost.copy_cost(len),
+            },
+        });
     }
-
-    Ok(MoveOutcome {
-        moved_src: src,
-        moved_len: len,
-        moved_dst: dst,
-        allocations: affected.len(),
-        escapes_patched,
-        registers_patched,
-        cost: MoveCostBreakdown {
-            page_expand,
-            patch_gen_exec,
-            register_patch,
-            alloc_and_move,
-        },
-    })
+    Ok(outcomes)
 }
 
 /// Execute one move against *several* allocation tables at once — the
@@ -339,9 +679,7 @@ pub fn perform_move_journaled(
 /// every table's entries are relocated.
 ///
 /// Escape patching is idempotent across tables: a cell registered by more
-/// than one owner is rewritten on the first encounter (its value then
-/// points at the destination, outside the source range) and skipped — and
-/// counted — only once thereafter.
+/// than one owner is planned — and counted — exactly once.
 ///
 /// The journal spans all tables: an interrupt at a checkpoint rolls back
 /// every cell and register patched so far regardless of which owner's
@@ -358,10 +696,11 @@ pub fn perform_move_journaled(
 /// owners has already happened.
 pub fn perform_shared_move_journaled(
     tables: &mut [&mut AllocationTable],
-    mem: &mut dyn MemAccess,
+    mem: &mut dyn PatchMem,
     regs: &mut [u64],
     req: MoveRequest,
     cost: &CostModel,
+    workers: usize,
     mut interrupt: Option<&mut dyn FnMut(MovePhase) -> bool>,
 ) -> Result<MoveOutcome, MoveInterrupted> {
     // --- Phase 1: page expand, negotiated across every owner ---
@@ -377,15 +716,12 @@ pub fn perform_shared_move_journaled(
         }
     }
     let dst = req.dst.wrapping_sub(req.src - src);
-    let delta = dst.wrapping_sub(src) as i64;
-    let affected: Vec<Vec<u64>> = tables
-        .iter()
-        .map(|t| t.overlapping(src, src + len))
-        .collect();
-    let total_affected: usize = affected.iter().map(Vec::len).sum();
-    let page_expand = cost.move_expand_fixed + total_affected as u64 * cost.move_expand_per_alloc;
+    let plan = {
+        let views: Vec<&AllocationTable> = tables.iter().map(|t| &**t).collect();
+        PatchPlan::build(&views, &*mem, src, len, dst)
+    };
+    let total_affected: usize = plan.affected.iter().map(Vec::len).sum();
 
-    let mut journal = interrupt.as_ref().map(|_| PatchJournal::default());
     if let Some(hook) = interrupt.as_deref_mut() {
         if hook(MovePhase::Expanded) {
             return Err(MoveInterrupted {
@@ -396,26 +732,9 @@ pub fn perform_shared_move_journaled(
         }
     }
 
-    // --- Phase 2: patch every owner's escapes ---
-    let mut escapes_patched = 0usize;
-    for (table, affected) in tables.iter().zip(&affected) {
-        for &start in affected {
-            let info = table.info(start).expect("listed");
-            let escape_cells: Vec<u64> = info.escapes.iter().copied().collect();
-            let (lo, hi) = (start, start + info.len);
-            for cell in escape_cells {
-                let val = mem.read_u64(cell);
-                if val >= lo && val < hi {
-                    if let Some(j) = journal.as_mut() {
-                        j.cells.push((cell, val));
-                    }
-                    mem.write_u64(cell, val.wrapping_add(delta as u64));
-                    escapes_patched += 1;
-                }
-            }
-        }
-    }
-    let patch_gen_exec = escapes_patched as u64 * cost.move_patch_per_escape;
+    // --- Phase 2: apply the combined plan ---
+    let mut journal = interrupt.as_ref().map(|_| PatchJournal::default());
+    plan.apply_with_journal(mem, workers, journal.as_mut());
 
     // --- Phase 3: register patch (all owners' dumped threads) ---
     let mut registers_patched = 0usize;
@@ -424,11 +743,10 @@ pub fn perform_shared_move_journaled(
             if let Some(j) = journal.as_mut() {
                 j.regs.push((idx, *r));
             }
-            *r = r.wrapping_add(delta as u64);
+            *r = r.wrapping_add(plan.delta as u64);
             registers_patched += 1;
         }
     }
-    let register_patch = regs.len() as u64 * cost.move_register_patch_per_reg;
 
     if let Some(hook) = interrupt {
         if hook(MovePhase::Patched) {
@@ -446,11 +764,10 @@ pub fn perform_shared_move_journaled(
 
     // --- Phase 4: single data copy + per-owner table maintenance ---
     mem.copy(src, dst, len);
-    let alloc_and_move = cost.move_alloc_fixed + cost.copy_cost(len);
-    for (table, affected) in tables.iter_mut().zip(&affected) {
-        table.rebase_escape_cells(src, src + len, delta);
+    for (table, affected) in tables.iter_mut().zip(&plan.affected) {
+        table.rebase_escape_cells(src, src + len, plan.delta);
         for &start in affected {
-            table.relocate(start, delta);
+            table.relocate(start, plan.delta);
         }
     }
 
@@ -459,13 +776,14 @@ pub fn perform_shared_move_journaled(
         moved_len: len,
         moved_dst: dst,
         allocations: total_affected,
-        escapes_patched,
+        escapes_patched: plan.cells.len(),
         registers_patched,
         cost: MoveCostBreakdown {
-            page_expand,
-            patch_gen_exec,
-            register_patch,
-            alloc_and_move,
+            page_expand: cost.move_expand_fixed
+                + total_affected as u64 * cost.move_expand_per_alloc,
+            patch_gen_exec: cost.patch_cost(plan.cells.len() as u64),
+            register_patch: regs.len() as u64 * cost.move_register_patch_per_reg,
+            alloc_and_move: cost.move_alloc_fixed + cost.copy_cost(len),
         },
     })
 }
@@ -484,9 +802,8 @@ pub fn perform_move_alloc_granular(
     let info = table.info(alloc_start)?;
     let len = info.len;
     let delta = dst.wrapping_sub(alloc_start) as i64;
-    let escape_cells: Vec<u64> = info.escapes.iter().copied().collect();
     let mut escapes_patched = 0;
-    for cell in escape_cells {
+    for &cell in &info.escapes {
         let val = mem.read_u64(cell);
         if val >= alloc_start && val < alloc_start + len {
             mem.write_u64(cell, val.wrapping_add(delta as u64));
@@ -512,7 +829,7 @@ pub fn perform_move_alloc_granular(
         registers_patched,
         cost: MoveCostBreakdown {
             page_expand: 0, // the whole point of allocation granularity
-            patch_gen_exec: escapes_patched as u64 * cost.move_patch_per_escape,
+            patch_gen_exec: cost.patch_cost(escapes_patched as u64),
             register_patch: regs.len() as u64 * cost.move_register_patch_per_reg,
             alloc_and_move: cost.move_alloc_fixed + cost.copy_cost(len),
         },
@@ -525,7 +842,8 @@ mod tests {
     use crate::alloc_table::AllocKind;
     use std::collections::HashMap;
 
-    /// Sparse simulated memory for tests.
+    /// Sparse simulated memory for tests. No raw backing, so plans over
+    /// it always take the serial apply path.
     #[derive(Default)]
     struct TestMem {
         words: HashMap<u64, u64>,
@@ -551,6 +869,8 @@ mod tests {
             }
         }
     }
+
+    impl PatchMem for TestMem {}
 
     fn setup() -> (AllocationTable, TestMem) {
         let mut t = AllocationTable::new();
@@ -640,6 +960,20 @@ mod tests {
             2 * cost.move_patch_per_escape,
             "two escapes patched"
         );
+    }
+
+    #[test]
+    fn plan_records_old_new_and_owner() {
+        let (t, m) = setup();
+        let plan = PatchPlan::build(&[&t], &m, 0x1000, 0x1000, 0x9000);
+        assert_eq!(plan.delta, 0x8000);
+        assert_eq!(plan.cells.len(), 2);
+        assert_eq!(plan.affected, vec![vec![0x1000]]);
+        for p in &plan.cells {
+            assert_eq!(p.owner, 0x1000);
+            assert_eq!(p.new, p.old + 0x8000);
+            assert_eq!(m.read_u64(p.cell), p.old, "build is pure reads");
+        }
     }
 
     #[test]
@@ -739,6 +1073,7 @@ mod tests {
                 dst: 0x9000,
             },
             &cost,
+            1,
             Some(&mut fire),
         )
         .unwrap_err();
@@ -784,6 +1119,7 @@ mod tests {
                 dst: 0x9000,
             },
             &cost,
+            1,
             Some(&mut fire),
         )
         .unwrap_err();
@@ -807,12 +1143,129 @@ mod tests {
         let mut regs2 = regs1.clone();
         let plain = perform_move(&mut t1, &mut m1, &mut regs1, req, &cost);
         let mut never = |_: MovePhase| false;
-        let journaled =
-            perform_move_journaled(&mut t2, &mut m2, &mut regs2, req, &cost, Some(&mut never))
-                .unwrap();
+        let journaled = perform_move_journaled(
+            &mut t2,
+            &mut m2,
+            &mut regs2,
+            req,
+            &cost,
+            1,
+            Some(&mut never),
+        )
+        .unwrap();
         assert_eq!(plain, journaled, "journal must not change the outcome");
         assert_eq!(regs1, regs2);
         assert_eq!(m1.words, m2.words);
+    }
+
+    /// Two disjoint allocations, each with its own escapes: a batch of
+    /// two moves must equal two sequential moves bit-for-bit, except the
+    /// register-patch charge is paid once.
+    fn setup_two() -> (AllocationTable, TestMem) {
+        let mut t = AllocationTable::new();
+        let mut m = TestMem::default();
+        t.track_alloc(0x1000, 0x100, AllocKind::Heap);
+        t.track_alloc(0x3000, 0x200, AllocKind::Heap);
+        m.write_u64(0x5000, 0x1010); // -> A
+        m.write_u64(0x1080, 0x3020); // inside A, -> B (cross-range pointer)
+        m.write_u64(0x6000, 0x3040); // -> B
+        t.track_escape(0x5000);
+        t.track_escape(0x1080);
+        t.track_escape(0x6000);
+        let snapshot: HashMap<u64, u64> =
+            [(0x5000u64, 0x1010u64), (0x1080, 0x3020), (0x6000, 0x3040)].into();
+        t.flush_escapes(|c| snapshot[&c]);
+        (t, m)
+    }
+
+    #[test]
+    fn batch_of_two_equals_sequential_moves() {
+        let reqs = [
+            MoveRequest {
+                src: 0x1000,
+                len: 0x1000,
+                dst: 0x9000,
+            },
+            MoveRequest {
+                src: 0x3000,
+                len: 0x1000,
+                dst: 0xb000,
+            },
+        ];
+        let cost = CostModel::default();
+
+        let (mut t1, mut m1) = setup_two();
+        let mut regs1 = vec![0x1044u64, 0x3044, 0xdead];
+        let seq: Vec<MoveOutcome> = reqs
+            .iter()
+            .map(|&req| perform_move(&mut t1, &mut m1, &mut regs1, req, &cost))
+            .collect();
+
+        let (mut t2, mut m2) = setup_two();
+        let mut regs2 = vec![0x1044u64, 0x3044, 0xdead];
+        let batch =
+            perform_move_batch_journaled(&mut t2, &mut m2, &mut regs2, &reqs, &cost, 1, None)
+                .unwrap();
+
+        assert_eq!(m1.words, m2.words, "memory bit-identical");
+        assert_eq!(regs1, regs2, "registers bit-identical");
+        assert_eq!(t1.snapshot(), t2.snapshot(), "tables bit-identical");
+        assert_eq!(batch.len(), 2);
+        for (s, b) in seq.iter().zip(&batch) {
+            assert_eq!(s.moved_src, b.moved_src);
+            assert_eq!(s.moved_dst, b.moved_dst);
+            assert_eq!(s.escapes_patched, b.escapes_patched);
+            assert_eq!(s.registers_patched, b.registers_patched);
+            assert_eq!(s.cost.patch_gen_exec, b.cost.patch_gen_exec);
+        }
+        // The amortization: one register pass for the whole batch.
+        assert_eq!(
+            batch[0].cost.register_patch,
+            regs2.len() as u64 * cost.move_register_patch_per_reg
+        );
+        assert_eq!(batch[1].cost.register_patch, 0);
+        // The cross-range pointer followed both moves: the cell moved
+        // with A, its value was patched for B.
+        assert_eq!(m2.read_u64(0x9080), 0xb020);
+    }
+
+    #[test]
+    fn interrupted_batch_rolls_back_every_request() {
+        let (mut t, mut m) = setup_two();
+        let cost = CostModel::default();
+        let mut regs = vec![0x1044u64, 0x3044];
+        let words_before = m.words.clone();
+        let regs_before = regs.clone();
+        let table_before = t.snapshot();
+        let reqs = [
+            MoveRequest {
+                src: 0x1000,
+                len: 0x1000,
+                dst: 0x9000,
+            },
+            MoveRequest {
+                src: 0x3000,
+                len: 0x1000,
+                dst: 0xb000,
+            },
+        ];
+        let mut fire = |phase: MovePhase| phase == MovePhase::Patched;
+        let err = perform_move_batch_journaled(
+            &mut t,
+            &mut m,
+            &mut regs,
+            &reqs,
+            &cost,
+            1,
+            Some(&mut fire),
+        )
+        .unwrap_err();
+        assert_eq!(err.phase, MovePhase::Patched);
+        assert_eq!(err.cells_rolled_back, 3, "all three cells, both requests");
+        assert_eq!(err.registers_rolled_back, 2);
+        assert_eq!(m.words, words_before);
+        assert_eq!(regs, regs_before);
+        assert_eq!(t.snapshot(), table_before);
     }
 
     /// Two owner tables for one shared allocation at 0x20000..0x20100:
@@ -859,6 +1312,7 @@ mod tests {
                 dst: 0x90000,
             },
             &cost,
+            1,
             None,
         )
         .unwrap();
@@ -903,6 +1357,7 @@ mod tests {
                 dst: 0x90000,
             },
             &cost,
+            1,
             Some(&mut fire),
         )
         .unwrap_err();
@@ -924,6 +1379,7 @@ mod tests {
                 dst: 0x90000,
             },
             &cost,
+            1,
             None,
         )
         .unwrap();

@@ -1,0 +1,322 @@
+//! Differential tests for the parallel patch engine: at every host worker
+//! count in {1, 2, 4, 8} a move must produce byte-identical memory,
+//! identical `MoveOutcome` cycles, and — after an injected mid-batch
+//! fault (the interrupt the kernel's `FaultPoint::MidMove` maps onto) —
+//! an identical reverse-order rollback. Worker count is a host-side
+//! execution detail; nothing the simulated machine can observe may vary.
+
+use carat_runtime::{
+    perform_move_batch_journaled, perform_move_workers, AllocKind, AllocationTable, CostModel,
+    MemAccess, MoveOutcome, MovePhase, MoveRequest, PatchMem, PatchPlan, PARALLEL_MIN_CELLS,
+};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Flat `Vec<u8>`-backed memory with real host pointers, so plans over it
+/// can take the actual parallel apply path (unlike the sparse `HashMap`
+/// test memory in the unit tests, which always falls back to serial).
+struct VecMem {
+    bytes: Vec<u8>,
+}
+
+impl VecMem {
+    fn new(size: usize) -> VecMem {
+        VecMem {
+            bytes: vec![0; size],
+        }
+    }
+}
+
+impl MemAccess for VecMem {
+    fn read_u64(&self, addr: u64) -> u64 {
+        let a = addr as usize;
+        u64::from_le_bytes(self.bytes[a..a + 8].try_into().unwrap())
+    }
+    fn write_u64(&mut self, addr: u64, val: u64) {
+        let a = addr as usize;
+        self.bytes[a..a + 8].copy_from_slice(&val.to_le_bytes());
+    }
+    fn copy(&mut self, src: u64, dst: u64, len: u64) {
+        self.bytes
+            .copy_within(src as usize..(src + len) as usize, dst as usize);
+    }
+}
+
+impl PatchMem for VecMem {
+    fn cell_ptr(&mut self, addr: u64) -> Option<*mut u8> {
+        (addr.checked_add(8)? <= self.bytes.len() as u64)
+            .then(|| unsafe { self.bytes.as_mut_ptr().add(addr as usize) })
+    }
+}
+
+const ALLOC_BASE: u64 = 0x10000;
+const ALLOC_SIZE: u64 = 0x400;
+const ARENA_BASE: u64 = 0x100000;
+const MOVE_DST: u64 = 0x200000;
+const MEM_SIZE: usize = 4 << 20;
+
+/// Deterministic fixture: `n_allocs` contiguous allocations from
+/// `ALLOC_BASE`, `cells_per_alloc` external escape cells per allocation in
+/// an arena of exactly-adjacent (but window-disjoint) 8-byte slots, plus
+/// one internal cross-pointer per allocation to the next one. `seed`
+/// varies the pointer targets. `AllocationTable` is not `Clone`, so
+/// differential runs rebuild the fixture per worker count — identical by
+/// construction.
+fn build_fixture(
+    n_allocs: usize,
+    cells_per_alloc: usize,
+    seed: u64,
+) -> (AllocationTable, VecMem, Vec<u64>) {
+    let mut t = AllocationTable::new();
+    let mut m = VecMem::new(MEM_SIZE);
+    let mut rng = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = || {
+        // xorshift64: deterministic, seed-driven.
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut arena = ARENA_BASE;
+    for i in 0..n_allocs {
+        let start = ALLOC_BASE + i as u64 * ALLOC_SIZE;
+        t.track_alloc(start, ALLOC_SIZE, AllocKind::Heap);
+        // Fill the payload with recognizable, allocation-unique bytes.
+        for w in 0..(ALLOC_SIZE / 8) {
+            m.write_u64(start + w * 8, (i as u64) << 32 | w);
+        }
+        for _ in 0..cells_per_alloc {
+            let target = start + (next() % (ALLOC_SIZE / 8)) * 8;
+            m.write_u64(arena, target);
+            t.track_escape(arena);
+            arena += 8;
+        }
+        // Internal cell in the last word, pointing at the next allocation
+        // (a cross-pointer that both moves with the data and is patched).
+        let cell = start + ALLOC_SIZE - 8;
+        let target = ALLOC_BASE + ((i + 1) % n_allocs) as u64 * ALLOC_SIZE + 0x10;
+        m.write_u64(cell, target);
+        t.track_escape(cell);
+    }
+    t.flush_escapes(|c| m.read_u64(c));
+    let regs = vec![
+        ALLOC_BASE + 0x10,
+        0xdead_beef,
+        ALLOC_BASE + (n_allocs as u64 - 1) * ALLOC_SIZE + 8,
+        0x50,
+    ];
+    (t, m, regs)
+}
+
+fn whole_range(n_allocs: usize) -> MoveRequest {
+    let len = (n_allocs as u64 * ALLOC_SIZE).div_ceil(0x1000) * 0x1000;
+    MoveRequest {
+        src: ALLOC_BASE,
+        len,
+        dst: MOVE_DST,
+    }
+}
+
+struct RunResultSnapshot {
+    bytes: Vec<u8>,
+    regs: Vec<u64>,
+    table: Vec<(u64, u64, usize, u64)>,
+    outcome: MoveOutcome,
+}
+
+fn run_move(
+    n_allocs: usize,
+    cells_per_alloc: usize,
+    seed: u64,
+    workers: usize,
+) -> RunResultSnapshot {
+    let (mut t, mut m, mut regs) = build_fixture(n_allocs, cells_per_alloc, seed);
+    let cost = CostModel::default();
+    let outcome = perform_move_workers(
+        &mut t,
+        &mut m,
+        &mut regs,
+        whole_range(n_allocs),
+        &cost,
+        workers,
+    );
+    RunResultSnapshot {
+        bytes: m.bytes,
+        regs,
+        table: t.snapshot(),
+        outcome,
+    }
+}
+
+/// The tentpole guarantee, exercised on a plan large enough (≥
+/// `PARALLEL_MIN_CELLS`) to take the real multi-threaded path: every
+/// worker count yields byte-identical memory, registers, table, and the
+/// exact same `MoveOutcome` (including modeled cycles).
+#[test]
+fn parallel_apply_is_byte_identical_across_worker_counts() {
+    let (n_allocs, cells_per_alloc, seed) = (32, 40, 7);
+    let baseline = run_move(n_allocs, cells_per_alloc, seed, 1);
+    assert!(
+        baseline.outcome.escapes_patched >= PARALLEL_MIN_CELLS,
+        "fixture too small to exercise the parallel path: {} cells",
+        baseline.outcome.escapes_patched
+    );
+    for workers in WORKER_COUNTS {
+        let run = run_move(n_allocs, cells_per_alloc, seed, workers);
+        assert_eq!(
+            run.bytes, baseline.bytes,
+            "memory differs at workers={workers}"
+        );
+        assert_eq!(
+            run.regs, baseline.regs,
+            "registers differ at workers={workers}"
+        );
+        assert_eq!(
+            run.table, baseline.table,
+            "table differs at workers={workers}"
+        );
+        assert_eq!(
+            run.outcome, baseline.outcome,
+            "outcome (incl. modeled cycles) differs at workers={workers}"
+        );
+    }
+}
+
+/// An interrupt injected mid-batch — between the patch and copy phases,
+/// the window the kernel arms with `FaultPoint::MidMove` — must roll the
+/// whole batch back to a byte-identical pre-move state at every worker
+/// count, undoing the same number of cells and registers.
+#[test]
+fn mid_batch_fault_rollback_is_identical_across_worker_counts() {
+    let (n_allocs, cells_per_alloc, seed) = (32, 40, 11);
+    let half = n_allocs as u64 / 2 * ALLOC_SIZE;
+    let reqs = [
+        MoveRequest {
+            src: ALLOC_BASE,
+            len: half,
+            dst: MOVE_DST,
+        },
+        MoveRequest {
+            src: ALLOC_BASE + half,
+            len: half,
+            dst: MOVE_DST + 0x80000,
+        },
+    ];
+    let cost = CostModel::default();
+    let mut rolled: Vec<(usize, usize)> = Vec::new();
+    for workers in WORKER_COUNTS {
+        let (mut t, mut m, mut regs) = build_fixture(n_allocs, cells_per_alloc, seed);
+        let pristine_bytes = m.bytes.clone();
+        let pristine_regs = regs.clone();
+        let pristine_table = t.snapshot();
+        let mut fire = |phase: MovePhase| phase == MovePhase::Patched;
+        let err = perform_move_batch_journaled(
+            &mut t,
+            &mut m,
+            &mut regs,
+            &reqs,
+            &cost,
+            workers,
+            Some(&mut fire),
+        )
+        .unwrap_err();
+        assert_eq!(err.phase, MovePhase::Patched);
+        assert!(
+            err.cells_rolled_back >= PARALLEL_MIN_CELLS,
+            "rollback too small to have covered the parallel path"
+        );
+        assert_eq!(
+            m.bytes, pristine_bytes,
+            "memory not restored at workers={workers}"
+        );
+        assert_eq!(
+            regs, pristine_regs,
+            "registers not restored at workers={workers}"
+        );
+        assert_eq!(
+            t.snapshot(),
+            pristine_table,
+            "table not restored at workers={workers}"
+        );
+        rolled.push((err.cells_rolled_back, err.registers_rolled_back));
+    }
+    assert!(
+        rolled.windows(2).all(|w| w[0] == w[1]),
+        "rollback extents differ across worker counts: {rolled:?}"
+    );
+}
+
+/// Modeled cycles are a function of the *cost model's* `patch_workers`,
+/// never of the host thread count: with 4 modeled workers the patch term
+/// shrinks ≥2× on an escape-heavy plan, and the figure is identical
+/// whether the host applies the plan with 1 or 8 threads.
+#[test]
+fn modeled_parallel_patch_speedup_is_host_worker_independent() {
+    let (n_allocs, cells_per_alloc, seed) = (32, 40, 3);
+    let cost4 = CostModel {
+        patch_workers: 4,
+        ..CostModel::default()
+    };
+    let mut outcomes = Vec::new();
+    for workers in WORKER_COUNTS {
+        let (mut t, mut m, mut regs) = build_fixture(n_allocs, cells_per_alloc, seed);
+        let out = perform_move_workers(
+            &mut t,
+            &mut m,
+            &mut regs,
+            whole_range(n_allocs),
+            &cost4,
+            workers,
+        );
+        outcomes.push(out);
+    }
+    assert!(
+        outcomes.windows(2).all(|w| w[0] == w[1]),
+        "modeled cycles leaked host worker count"
+    );
+    let escapes = outcomes[0].escapes_patched as u64;
+    let serial = CostModel::default().patch_cost(escapes);
+    let parallel = cost4.patch_cost(escapes);
+    assert_eq!(outcomes[0].cost.patch_gen_exec, parallel);
+    assert!(
+        serial >= 2 * parallel,
+        "expected ≥2x modeled patch speedup at 4 workers: serial={serial} parallel={parallel}"
+    );
+}
+
+/// The plan builder is pure and the fixture is deterministic, so the plan
+/// itself — cells, order, values — is identical however often it is
+/// rebuilt, which is what lets differential runs rebuild per worker count.
+#[test]
+fn plan_build_is_deterministic() {
+    let req = whole_range(8);
+    let (t1, m1, _) = build_fixture(8, 12, 99);
+    let (t2, m2, _) = build_fixture(8, 12, 99);
+    let p1 = PatchPlan::build(&[&t1], &m1, req.src, req.len, req.dst);
+    let p2 = PatchPlan::build(&[&t2], &m2, req.src, req.len, req.dst);
+    assert_eq!(p1, p2);
+    assert!(!p1.cells.is_empty());
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+    /// Randomized differential: arbitrary fixture shapes — below, at, and
+    /// above the parallel threshold — agree bit-for-bit at every worker
+    /// count, both on the final state and on the mid-batch rollback.
+    #[test]
+    fn any_fixture_agrees_across_worker_counts(
+        n_allocs in 2usize..24,
+        cells_per_alloc in 1usize..60,
+        seed in 0u64..1_000_000,
+    ) {
+        use proptest::prelude::*;
+        let baseline = run_move(n_allocs, cells_per_alloc, seed, 1);
+        for workers in [2usize, 4, 8] {
+            let run = run_move(n_allocs, cells_per_alloc, seed, workers);
+            prop_assert_eq!(&run.bytes, &baseline.bytes);
+            prop_assert_eq!(&run.regs, &baseline.regs);
+            prop_assert_eq!(&run.table, &baseline.table);
+            prop_assert_eq!(&run.outcome, &baseline.outcome);
+        }
+    }
+}

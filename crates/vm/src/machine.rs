@@ -125,6 +125,11 @@ pub struct VmConfig {
     /// `Some(FaultPlan::new())` arms nothing but enables the journaled
     /// (crash-consistent) move path, for measuring its overhead.
     pub fault_plan: Option<FaultPlan>,
+    /// Host threads the kernel's move engine shards patch plans across
+    /// (1 = serial). Guest-visible state and counters are bit-identical
+    /// at every setting; modeled move cycles follow the cost model's
+    /// matching `patch_workers` (see [`SimKernel::set_move_workers`]).
+    pub move_workers: usize,
 }
 
 impl Default for VmConfig {
@@ -146,6 +151,7 @@ impl Default for VmConfig {
             auto_grow_stack: true,
             max_stack: 8 * 1024 * 1024,
             fault_plan: None,
+            move_workers: 1,
         }
     }
 }
@@ -515,11 +521,12 @@ impl Vm {
     /// each VM on a placeholder kernel, swapping the real kernel in for
     /// the duration of each time slice (see [`crate::MultiVm`]).
     pub fn from_parts(
-        kernel: SimKernel,
+        mut kernel: SimKernel,
         table: AllocationTable,
         image: ProcessImage,
         cfg: VmConfig,
     ) -> Vm {
+        kernel.set_move_workers(cfg.move_workers);
         let program = DecodedProgram::decode(&image.module);
         let heap = HeapAllocator::new(image.heap.0, image.heap.1);
         let tlb = TranslationUnit::new(&kernel.cost);

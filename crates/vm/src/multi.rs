@@ -49,10 +49,21 @@ pub struct MultiVmConfig {
     pub kernel_mem: u64,
     /// Run a memory-pressure compaction pass every this many slices
     /// (0 disables): pick the victim process whose allocation table
-    /// carries the most live escapes, and relocate its worst page with a
-    /// journaled CARAT move plus a `page_out` — all while it is
+    /// carries the most live escapes, and relocate its worst pages with
+    /// journaled CARAT moves plus a `page_out` — all while it is
     /// descheduled, charged to its kernel-side accounting.
     pub pressure_every: u64,
+    /// Compaction victims relocated per pressure pass (the batch the
+    /// kernel's move planner coalesces; clamped to at least 1).
+    pub pressure_batch: usize,
+    /// Coalesce the pass's moves into ONE world-stop via
+    /// [`SimKernel::move_pages_batch`] (default). `false` issues the same
+    /// victim list as sequential per-move stops — the slower arm of the
+    /// batching differential.
+    pub batch_stops: bool,
+    /// Host threads for the shared kernel's move engine (1 = serial);
+    /// see [`SimKernel::set_move_workers`].
+    pub move_workers: usize,
 }
 
 impl Default for MultiVmConfig {
@@ -61,6 +72,9 @@ impl Default for MultiVmConfig {
             quantum: 4096,
             kernel_mem: 512 * 1024 * 1024,
             pressure_every: 0,
+            pressure_batch: 1,
+            batch_stops: true,
+            move_workers: 1,
         }
     }
 }
@@ -115,6 +129,7 @@ impl MultiVm {
     /// Loader failures, or a module without `main`.
     pub fn new(specs: Vec<ProcSpec>, cfg: MultiVmConfig) -> Result<MultiVm, VmError> {
         let mut kernel = SimKernel::new(cfg.kernel_mem);
+        kernel.set_move_workers(cfg.move_workers);
         let mut vms = Vec::with_capacity(specs.len());
         let mut traditional = Vec::with_capacity(specs.len());
         for spec in specs {
@@ -351,17 +366,43 @@ impl MultiVm {
         let (mut moves, mut outs, mut cycles) = (0u64, 0u64, 0u64);
         let vm = &mut self.vms[victim.index()];
         let threads = vm.live_threads();
-        if let Some(page) = self.kernel.worst_page(&table) {
-            let (mut regs, map) = vm.snapshot_regs();
-            if let Ok((world, outcome)) = self
-                .kernel
-                .move_pages(&mut table, &mut regs, page, 1, threads)
-            {
-                vm.writeback_regs(&regs, &map);
-                let delta = outcome.moved_dst.wrapping_sub(outcome.moved_src) as i64;
-                vm.apply_relocation(outcome.moved_src, outcome.moved_len, delta);
-                moves += 1;
-                cycles += world.cycles + outcome.cost.total();
+        // The move planner picks up to `pressure_batch` victim pages; the
+        // batched arm coalesces them into one world-stop, the sequential
+        // arm walks the same list with a stop per move.
+        let victims = self
+            .kernel
+            .worst_pages(&table, self.cfg.pressure_batch.max(1));
+        if self.cfg.batch_stops {
+            if !victims.is_empty() {
+                let reqs: Vec<(u64, u64)> = victims.iter().map(|&p| (p, 1)).collect();
+                let (mut regs, map) = vm.snapshot_regs();
+                if let Ok((world, outcomes)) = self
+                    .kernel
+                    .move_pages_batch(&mut table, &mut regs, &reqs, threads)
+                {
+                    vm.writeback_regs(&regs, &map);
+                    cycles += world.cycles;
+                    for outcome in &outcomes {
+                        let delta = outcome.moved_dst.wrapping_sub(outcome.moved_src) as i64;
+                        vm.apply_relocation(outcome.moved_src, outcome.moved_len, delta);
+                        moves += 1;
+                        cycles += outcome.cost.total();
+                    }
+                }
+            }
+        } else {
+            for &page in &victims {
+                let (mut regs, map) = vm.snapshot_regs();
+                if let Ok((world, outcome)) = self
+                    .kernel
+                    .move_pages(&mut table, &mut regs, page, 1, threads)
+                {
+                    vm.writeback_regs(&regs, &map);
+                    let delta = outcome.moved_dst.wrapping_sub(outcome.moved_src) as i64;
+                    vm.apply_relocation(outcome.moved_src, outcome.moved_len, delta);
+                    moves += 1;
+                    cycles += world.cycles + outcome.cost.total();
+                }
             }
         }
         let page_size = self.kernel.cost.page_size;

@@ -121,6 +121,58 @@ fn escape_module() -> Module {
     mb.finish()
 }
 
+/// Two page-sized heap blocks, each published into its own global cell
+/// (two escapes on two distinct pages — enough for the pressure planner
+/// to coalesce a two-move batch). Loops storing/loading through both
+/// cells so relocations are exercised mid-run; returns sum 2i over
+/// i in 0..n = n*(n-1).
+fn two_page_escape_module(n: i64) -> Module {
+    let mut mb = ModuleBuilder::new("two_page_escape");
+    let cell_a = mb.global("cell_a", Type::Ptr, GlobalInit::Zero);
+    let cell_b = mb.global("cell_b", Type::Ptr, GlobalInit::Zero);
+    let f = mb.declare("main", vec![], Some(Type::I64));
+    {
+        let mut b = mb.define(f);
+        let e = b.block("entry");
+        let h = b.block("loop.h");
+        let l = b.block("loop.b");
+        let x = b.block("exit");
+        b.switch_to(e);
+        let nn = b.const_i64(n);
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        let size = b.const_i64(4096);
+        let pa = b.malloc(size);
+        let pb = b.malloc(size);
+        let ga = b.global_addr(cell_a);
+        let gb = b.global_addr(cell_b);
+        b.store(Type::Ptr, ga, pa);
+        b.store(Type::Ptr, gb, pb);
+        b.jmp(h);
+        b.switch_to(h);
+        let i = b.phi(Type::I64, vec![(e, zero)]);
+        let s = b.phi(Type::I64, vec![(e, zero)]);
+        let c = b.icmp(Pred::Slt, i, nn);
+        b.br(c, l, x);
+        b.switch_to(l);
+        let qa = b.load(Type::Ptr, ga);
+        b.store(Type::I64, qa, i);
+        let qb = b.load(Type::Ptr, gb);
+        b.store(Type::I64, qb, i);
+        let va = b.load(Type::I64, qa);
+        let vb = b.load(Type::I64, qb);
+        let s2 = b.add(s, va);
+        let s3 = b.add(s2, vb);
+        let i2 = b.add(i, one);
+        b.phi_add_incoming(i, l, i2);
+        b.phi_add_incoming(s, l, s3);
+        b.jmp(h);
+        b.switch_to(x);
+        b.ret(Some(s));
+    }
+    mb.finish()
+}
+
 /// Sums the first four u64s of the shared block published in global 0.
 fn shared_reader_module() -> Module {
     let mut mb = ModuleBuilder::new("shared_reader");
@@ -505,5 +557,89 @@ fn pressure_compaction_relocates_tenants_transparently() {
     assert!(
         compaction_work > 0,
         "the pressure pass actually moved or paged something"
+    );
+}
+
+/// Run the four-tenant pressure mix with the move planner coalescing up
+/// to two victim pages per pass, either batched into one world-stop or
+/// issued as sequential per-move stops.
+fn pressure_mix_reports(batch_stops: bool) -> Vec<ProcReport> {
+    let specs: Vec<ProcSpec> = [
+        ("sweep", array_sum_module(240)),
+        ("two-page", two_page_escape_module(150)),
+        ("sweep2", array_sum_module(90)),
+        ("compute", compute_module(500)),
+    ]
+    .into_iter()
+    .map(|(name, module)| ProcSpec {
+        name: name.to_string(),
+        module: instrument(module),
+        cfg: VmConfig::default(),
+    })
+    .collect();
+    let mv = MultiVm::new(
+        specs,
+        MultiVmConfig {
+            quantum: 97,
+            pressure_every: 2,
+            pressure_batch: 2,
+            batch_stops,
+            ..MultiVmConfig::default()
+        },
+    )
+    .expect("loads");
+    mv.run()
+}
+
+/// Batched pressure compaction must equal sequential per-move compaction
+/// bit-for-bit from the guest's point of view — same returns, same
+/// PerfCounters — while doing the same moves for fewer kernel cycles
+/// (one signal+barrier round and one register pass per batch instead of
+/// per move).
+#[test]
+fn batched_pressure_compaction_matches_sequential_per_move() {
+    let batched = pressure_mix_reports(true);
+    let sequential = pressure_mix_reports(false);
+    let expected = [28680i64, 150 * 149, 4005, 124750];
+    let (mut moves_b, mut moves_s, mut cycles_b, mut cycles_s) = (0u64, 0u64, 0u64, 0u64);
+    for ((b, s), want) in batched.iter().zip(&sequential).zip(expected) {
+        let (ProcOutcome::Finished(rb), ProcOutcome::Finished(rs)) = (&b.outcome, &s.outcome)
+        else {
+            panic!(
+                "{}: both arms finish, got {:?} / {:?}",
+                b.name, b.outcome, s.outcome
+            );
+        };
+        assert_eq!(
+            rb.ret, want,
+            "{}: batched arm returns the right value",
+            b.name
+        );
+        assert_eq!(
+            rs.ret, want,
+            "{}: sequential arm returns the right value",
+            s.name
+        );
+        assert_eq!(
+            rb.counters, rs.counters,
+            "{}: guest counters must not see the batching strategy",
+            b.name
+        );
+        moves_b += b.accounting.pressure_moves;
+        moves_s += s.accounting.pressure_moves;
+        cycles_b += b.accounting.compaction_cycles;
+        cycles_s += s.accounting.compaction_cycles;
+    }
+    assert!(
+        moves_b > 0,
+        "the batched pressure pass actually moved pages (batched={moves_b} sequential={moves_s})"
+    );
+    assert_eq!(
+        moves_b, moves_s,
+        "both arms walk the same victim lists and execute the same moves"
+    );
+    assert!(
+        cycles_b < cycles_s,
+        "batching amortizes the world-stop: batched={cycles_b} sequential={cycles_s}"
     );
 }
