@@ -30,6 +30,7 @@ fn main() {
         "fault_overhead",
         "multiproc_isolation",
         "move_parallel",
+        "fleet_scaling",
     ];
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = match args.iter().position(|a| a == "--jobs") {

@@ -1,0 +1,469 @@
+//! # fleet_scaling — the 10k-tenant scaling curve
+//!
+//! Spawns fleets of 10 / 100 / 1k / 10k microservice-sized tenants (one
+//! shared module, one shared decoded program) on one kernel and measures
+//! what the slab-indexed process subsystem costs as the fleet grows:
+//!
+//! * **Context-switch cost per slice** — modeled kernel cycles per
+//!   switch must be FLAT across scales (the switch installs a region
+//!   set, it never walks the fleet), and the CARAT figure (region
+//!   install, no TLB flush) must undercut traditional paging (TLB flush
+//!   + amortized ASID refill) at EVERY scale.
+//! * **Host ns per slice** — the scheduler's own work per slice
+//!   (run-queue pop, table checkout, O(1) tenant materialization) must
+//!   not grow with fleet size: the curve gates on the largest scale
+//!   staying within a small factor of the smallest.
+//! * **Descheduled-tenant memory** — host bytes pinned per parked
+//!   tenant (frame stack, thread slots, counters; capsule bytes live in
+//!   kernel memory and decoded code is shared) must be flat in fleet
+//!   size.
+//! * **Pressure-compaction throughput** — journaled CARAT moves + page
+//!   outs driven on descheduled victims while the fleet runs.
+//! * **Churn soak** — spawn/kill/respawn against tight admission quotas
+//!   at the largest scale: refusals are typed `AdmissionError`s, killed
+//!   and recycled pids fail lookups with typed `TenancyError`s, and
+//!   nothing ever panics.
+//!
+//! Emits `BENCH_fleet.json` (override with `--out PATH`). Scale presets:
+//! `--scale test` runs 10/100, `small` adds 1k, `full` adds 10k.
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use carat_bench::{print_table, scale_from_args, Variant};
+use carat_core::CaratCompiler;
+use carat_ir::Module;
+use carat_kernel::{LoadConfig, Pid, TenantQuotas};
+use carat_runtime::CostModel;
+use carat_vm::{MultiVm, MultiVmConfig, ProcOutcome, TenancyError, VmConfig, VmError};
+use carat_workloads::{fleet_tenant, Scale};
+
+/// Per-tenant capsule sizing: a microservice, not a batch job. The
+/// tenant program touches a few hundred heap bytes and a few stack
+/// frames, so 8 KiB of stack and 16 KiB of heap leave headroom while
+/// keeping a 10k-tenant fleet under 2 GiB of managed memory.
+const FLEET_LOAD: LoadConfig = LoadConfig {
+    stack_size: 8 * 1024,
+    heap_size: 16 * 1024,
+    page_size: 4096,
+};
+
+/// Slices each live tenant gets in the timed steady-state batch.
+const TIMED_SLICES_PER_TENANT: u64 = 2;
+
+fn fleet_sizes(scale: Scale) -> &'static [usize] {
+    match scale {
+        Scale::Test => &[10, 100],
+        Scale::Small => &[10, 100, 1000],
+        Scale::Full => &[10, 100, 1000, 10000],
+    }
+}
+
+fn kernel_mem(tenants: usize) -> u64 {
+    64 * 1024 * 1024 + tenants as u64 * 128 * 1024
+}
+
+fn tenant_cfg(variant: Variant) -> VmConfig {
+    VmConfig {
+        mode: variant.mode(),
+        load: FLEET_LOAD,
+        ..VmConfig::default()
+    }
+}
+
+fn tenant_module(scale: Scale, variant: Variant, seed: i64) -> Rc<Module> {
+    let module = fleet_tenant(scale, seed).expect("fleet tenant compiles");
+    Rc::new(
+        CaratCompiler::new(variant.options())
+            .compile(module)
+            .expect("fleet tenant instruments")
+            .module,
+    )
+}
+
+fn build_fleet(
+    tenants: usize,
+    scale: Scale,
+    variant: Variant,
+    pressure_every: u64,
+) -> (MultiVm, Vec<Pid>) {
+    let module = tenant_module(scale, variant, 0);
+    let quantum = match scale {
+        Scale::Test => 128,
+        Scale::Small | Scale::Full => 256,
+    };
+    let mut mv = MultiVm::new(
+        Vec::new(),
+        MultiVmConfig {
+            quantum,
+            kernel_mem: kernel_mem(tenants),
+            pressure_every,
+            pressure_batch: 4,
+            ..MultiVmConfig::default()
+        },
+    )
+    .expect("empty fleet builds");
+    let cfg = tenant_cfg(variant);
+    let mut pids = Vec::with_capacity(tenants);
+    for i in 0..tenants {
+        let pid = mv
+            .spawn_shared(&format!("t{i}"), module.clone(), cfg.clone())
+            .unwrap_or_else(|e| {
+                eprintln!("fleet_scaling: admitting tenant {i}/{tenants} failed: {e}");
+                std::process::exit(2);
+            });
+        pids.push(pid);
+    }
+    (mv, pids)
+}
+
+/// One measured arm: warm every tenant once, time a steady-state batch,
+/// sample descheduled footprints, then drain to completion and fold the
+/// kernel accounting.
+struct ArmResult {
+    ns_per_slice: f64,
+    cycles_per_switch: f64,
+    switches: u64,
+    tlb_flushes: u64,
+    descheduled_bytes_per_tenant: f64,
+    outcomes_ok: bool,
+}
+
+fn run_arm(tenants: usize, scale: Scale, variant: Variant) -> ArmResult {
+    let (mut mv, pids) = build_fleet(tenants, scale, variant, 0);
+    // Warmup: one slice per tenant (first switch installs every region
+    // set; the timed batch then sees steady-state switching only).
+    mv.run_batch(tenants as u64);
+    let want = tenants as u64 * TIMED_SLICES_PER_TENANT;
+    let t0 = Instant::now();
+    let ran = mv.run_batch(want);
+    let elapsed = t0.elapsed();
+    let ns_per_slice = elapsed.as_nanos() as f64 / ran.max(1) as f64;
+    // Descheduled footprint, sampled while everything is parked.
+    let sample: Vec<usize> = pids
+        .iter()
+        .take(64)
+        .map(|&p| mv.descheduled_bytes(p).expect("live tenant"))
+        .collect();
+    let bytes_per_tenant = sample.iter().sum::<usize>() as f64 / sample.len().max(1) as f64;
+    let expected_ret = {
+        let solo = fleet_tenant(scale, 0).expect("compiles");
+        carat_vm::Vm::new(solo, VmConfig::default())
+            .expect("loads")
+            .run()
+            .expect("runs")
+            .ret
+    };
+    let reports = mv.run();
+    let outcomes_ok = reports.len() == tenants
+        && reports
+            .iter()
+            .all(|r| matches!(&r.outcome, ProcOutcome::Finished(rr) if rr.ret == expected_ret));
+    let switches: u64 = reports.iter().map(|r| r.accounting.ctx_switches).sum();
+    let cycles: u64 = reports.iter().map(|r| r.accounting.ctx_switch_cycles).sum();
+    let tlb_flushes: u64 = reports.iter().map(|r| r.accounting.tlb_flushes).sum();
+    ArmResult {
+        ns_per_slice,
+        cycles_per_switch: cycles as f64 / switches.max(1) as f64,
+        switches,
+        tlb_flushes,
+        descheduled_bytes_per_tenant: bytes_per_tenant,
+        outcomes_ok,
+    }
+}
+
+struct PressureResult {
+    moves: u64,
+    page_outs: u64,
+    cycles_per_relocation: f64,
+}
+
+/// The compaction arm: same fleet, pressure pass every 8 slices —
+/// journaled moves + page-outs on descheduled victims, charged to
+/// kernel accounting.
+fn run_pressure(tenants: usize, scale: Scale) -> PressureResult {
+    let (mv, _pids) = {
+        let (mut mv, pids) = build_fleet(tenants, scale, Variant::Full, 8);
+        mv.run_batch(tenants as u64);
+        (mv, pids)
+    };
+    let reports = mv.run();
+    let moves: u64 = reports.iter().map(|r| r.accounting.pressure_moves).sum();
+    let outs: u64 = reports
+        .iter()
+        .map(|r| r.accounting.pressure_page_outs)
+        .sum();
+    let cycles: u64 = reports.iter().map(|r| r.accounting.compaction_cycles).sum();
+    PressureResult {
+        moves,
+        page_outs: outs,
+        cycles_per_relocation: cycles as f64 / (moves + outs).max(1) as f64,
+    }
+}
+
+struct ChurnResult {
+    tenants: usize,
+    spawned: u64,
+    killed: u64,
+    admission_refusals: u64,
+    stale_lookups_typed: u64,
+    slices: u64,
+    ok: bool,
+}
+
+/// Spawn/kill/respawn churn against tight quotas at the largest scale.
+/// Every refusal must be a typed [`VmError::Admission`]; every lookup or
+/// kill of a retired pid must fail typed (never alias a recycled slot,
+/// never panic).
+fn run_churn(tenants: usize, scale: Scale) -> ChurnResult {
+    let module = tenant_module(scale, Variant::Full, 1);
+    let cfg = tenant_cfg(Variant::Full);
+    let mut mv = MultiVm::new(
+        Vec::new(),
+        MultiVmConfig {
+            quantum: 128,
+            kernel_mem: kernel_mem(tenants),
+            ..MultiVmConfig::default()
+        },
+    )
+    .expect("empty fleet builds");
+    // Probe one tenant to learn the capsule size, then set quotas that
+    // admit only half the requested fleet — the soak must hit the
+    // ceiling and get typed refusals.
+    let probe = mv
+        .spawn_shared("probe", module.clone(), cfg.clone())
+        .expect("probe admits");
+    let capsule = mv.kernel.procs.resident_bytes();
+    mv.kernel.set_quotas(TenantQuotas {
+        max_tenants: tenants,
+        max_resident_bytes: capsule * (tenants as u64 / 2).max(2),
+    });
+    let mut live: Vec<Pid> = vec![probe];
+    let mut stale: Vec<Pid> = Vec::new();
+    let (mut spawned, mut killed, mut refusals, mut stale_typed, mut slices) =
+        (1u64, 0u64, 0u64, 0u64, 0u64);
+    let mut ok = true;
+    for round in 0..3 {
+        // Spawn until the quota refuses (cap attempts at the fleet size).
+        for i in 0..tenants {
+            match mv.spawn_shared(&format!("c{round}.{i}"), module.clone(), cfg.clone()) {
+                Ok(pid) => {
+                    live.push(pid);
+                    spawned += 1;
+                }
+                Err(VmError::Admission(_)) => {
+                    refusals += 1;
+                    break;
+                }
+                Err(e) => {
+                    eprintln!("fleet_scaling: churn spawn died untyped: {e}");
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        slices += mv.run_batch(live.len() as u64 * 2);
+        // Kill every other tenant; their pids go stale for good.
+        let mut keep = Vec::with_capacity(live.len() / 2 + 1);
+        for (i, pid) in live.drain(..).enumerate() {
+            if i % 2 == 0 {
+                ok &= mv.kill(pid);
+                killed += 1;
+                stale.push(pid);
+            } else {
+                keep.push(pid);
+            }
+        }
+        live = keep;
+        // Every retired pid (including ones whose slab slot was recycled
+        // by this round's spawns) must fail typed, never alias.
+        for &pid in &stale {
+            match mv.counters(pid) {
+                Err(TenancyError::NoSuchTenant(p)) if p == pid => stale_typed += 1,
+                other => {
+                    eprintln!("fleet_scaling: stale pid {pid} lookup returned {other:?}");
+                    ok = false;
+                }
+            }
+            if mv.kill(pid) {
+                eprintln!("fleet_scaling: stale pid {pid} killed twice");
+                ok = false;
+            }
+        }
+    }
+    // `ok` already went false on any untyped refusal, aliased lookup, or
+    // double kill; the soak additionally must have hit the quota and run.
+    ok &= refusals > 0 && slices > 0 && stale_typed > 0;
+    ChurnResult {
+        tenants,
+        spawned,
+        killed,
+        admission_refusals: refusals,
+        stale_lookups_typed: stale_typed,
+        slices,
+        ok,
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_fleet.json".to_string());
+    let sizes = fleet_sizes(scale);
+    let cost = CostModel::default();
+    println!(
+        "fleet_scaling: fleets of {sizes:?} tenants, scale {scale:?} (modeled switch: carat {} vs traditional {})",
+        cost.ctx_switch_carat(),
+        cost.ctx_switch_traditional()
+    );
+    println!();
+
+    let mut rows = Vec::new();
+    let mut curve_json = String::new();
+    let mut carat_cps = Vec::new();
+    let mut trad_cps = Vec::new();
+    let mut carat_ns = Vec::new();
+    let mut mem_per_tenant = Vec::new();
+    let mut gap_every_scale = true;
+    let mut outcomes_ok = true;
+    for &n in sizes {
+        let carat = run_arm(n, scale, Variant::Full);
+        let trad = run_arm(n, scale, Variant::Traditional);
+        let pressure = run_pressure(n, scale);
+        gap_every_scale &=
+            carat.cycles_per_switch < trad.cycles_per_switch && carat.tlb_flushes == 0;
+        outcomes_ok &= carat.outcomes_ok && trad.outcomes_ok;
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.0}", carat.ns_per_slice),
+            format!("{:.1}", carat.cycles_per_switch),
+            format!("{:.1}", trad.cycles_per_switch),
+            format!("{:.0}", carat.descheduled_bytes_per_tenant),
+            pressure.moves.to_string(),
+            pressure.page_outs.to_string(),
+            format!("{:.0}", pressure.cycles_per_relocation),
+        ]);
+        if !curve_json.is_empty() {
+            curve_json.push_str(",\n");
+        }
+        curve_json.push_str(&format!(
+            "    {{\"tenants\": {n}, \
+             \"carat\": {{\"ns_per_slice\": {:.1}, \"cycles_per_switch\": {:.3}, \"switches\": {}, \"tlb_flushes\": {}}}, \
+             \"traditional\": {{\"ns_per_slice\": {:.1}, \"cycles_per_switch\": {:.3}, \"switches\": {}, \"tlb_flushes\": {}}}, \
+             \"descheduled_bytes_per_tenant\": {:.1}, \
+             \"pressure\": {{\"moves\": {}, \"page_outs\": {}, \"cycles_per_relocation\": {:.1}}}}}",
+            carat.ns_per_slice,
+            carat.cycles_per_switch,
+            carat.switches,
+            carat.tlb_flushes,
+            trad.ns_per_slice,
+            trad.cycles_per_switch,
+            trad.switches,
+            trad.tlb_flushes,
+            carat.descheduled_bytes_per_tenant,
+            pressure.moves,
+            pressure.page_outs,
+            pressure.cycles_per_relocation,
+        ));
+        carat_cps.push(carat.cycles_per_switch);
+        trad_cps.push(trad.cycles_per_switch);
+        carat_ns.push(carat.ns_per_slice);
+        mem_per_tenant.push(carat.descheduled_bytes_per_tenant);
+    }
+    print_table(
+        &[
+            "tenants",
+            "ns/slice",
+            "carat cyc/sw",
+            "trad cyc/sw",
+            "bytes/parked",
+            "pr.moves",
+            "pr.outs",
+            "cyc/reloc",
+        ],
+        &rows,
+    );
+
+    let spread = |xs: &[f64]| {
+        let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+        let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+        max / min.max(1e-9)
+    };
+    // Modeled switch cost is a constant charge: flat means *exactly* flat
+    // (1% slack for integer division on unequal switch counts).
+    let flat_ctx_ok = spread(&carat_cps) < 1.01 && spread(&trad_cps) < 1.01;
+    // Parked tenants are identical programs: their footprint must not
+    // grow with fleet size.
+    let flat_mem_ok = spread(&mem_per_tenant) < 1.25;
+    // Host scheduling work per slice is O(1) in fleet size; allow a
+    // generous factor for cache effects at 10k (an O(fleet) scheduler
+    // would blow through this by orders of magnitude).
+    let o1_sched_ok = spread(&carat_ns) < 10.0;
+    println!();
+    println!(
+        "{}: modeled cycles/switch flat across scales (carat spread {:.4}, trad {:.4})",
+        if flat_ctx_ok { "PASS" } else { "FAIL" },
+        spread(&carat_cps),
+        spread(&trad_cps)
+    );
+    println!(
+        "{}: carat switch undercuts traditional at every scale, 0 TLB flushes",
+        if gap_every_scale { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "{}: descheduled bytes/tenant flat across scales (spread {:.3})",
+        if flat_mem_ok { "PASS" } else { "FAIL" },
+        spread(&mem_per_tenant)
+    );
+    println!(
+        "{}: host ns/slice O(1) in fleet size (spread {:.2}x)",
+        if o1_sched_ok { "PASS" } else { "FAIL" },
+        spread(&carat_ns)
+    );
+    println!(
+        "{}: every tenant finished with the expected checksum",
+        if outcomes_ok { "PASS" } else { "FAIL" }
+    );
+
+    let churn_n = *sizes.last().expect("at least one size");
+    let churn = run_churn(churn_n, scale);
+    println!(
+        "{}: churn soak at {churn_n} tenants — {} spawned, {} killed, {} typed refusals, {} typed stale lookups, {} slices, 0 panics",
+        if churn.ok { "PASS" } else { "FAIL" },
+        churn.spawned,
+        churn.killed,
+        churn.admission_refusals,
+        churn.stale_lookups_typed,
+        churn.slices
+    );
+
+    let pass =
+        flat_ctx_ok && gap_every_scale && flat_mem_ok && o1_sched_ok && outcomes_ok && churn.ok;
+    let json = format!(
+        "{{\n  \"benchmark\": \"fleet_scaling\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"modeled_ctx\": {{\"carat\": {mc}, \"traditional\": {mt}}},\n  \"curve\": [\n{curve_json}\n  ],\n  \
+         \"flat_ctx_ok\": {flat_ctx_ok},\n  \"gap_every_scale\": {gap_every_scale},\n  \
+         \"flat_mem_ok\": {flat_mem_ok},\n  \"o1_sched_ok\": {o1_sched_ok},\n  \
+         \"outcomes_ok\": {outcomes_ok},\n  \"churn\": {{\"tenants\": {cn}, \"spawned\": {csp}, \
+         \"killed\": {ck}, \"admission_refusals\": {cr}, \"stale_lookups_typed\": {cs}, \
+         \"slices\": {csl}, \"ok\": {cok}}},\n  \"pass\": {pass}\n}}\n",
+        mc = cost.ctx_switch_carat(),
+        mt = cost.ctx_switch_traditional(),
+        cn = churn.tenants,
+        csp = churn.spawned,
+        ck = churn.killed,
+        cr = churn.admission_refusals,
+        cs = churn.stale_lookups_typed,
+        csl = churn.slices,
+        cok = churn.ok,
+    );
+    std::fs::write(&out_path, json).expect("write json");
+    println!("\nwrote {out_path}");
+    if !pass {
+        std::process::exit(1);
+    }
+}

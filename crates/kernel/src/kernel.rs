@@ -7,7 +7,7 @@ use crate::faults::{FaultPlan, FaultPoint, KernelError};
 use crate::loader::{load_signed, load_unsigned, LoadConfig, LoadError, ProcessImage};
 use crate::pagetable::{PageTable, Pte};
 use crate::phys::PhysicalMemory;
-use crate::proc::{retarget_region, Pid, ProcEntry, ProcState, ProcTable, SharedId};
+use crate::proc::{retarget_region, Pid, ProcTable, SharedId};
 use crate::trace::{PagingEvent, PagingTrace};
 use carat_core::sign::{SignedModule, SigningKey};
 use carat_ir::Module;
@@ -561,6 +561,23 @@ impl SimKernel {
         cfg: LoadConfig,
     ) -> Result<ProcessImage, LoadError> {
         let img = load_unsigned(module, &mut self.mem, &mut self.buddy, table, cfg)?;
+        self.install_image(&img);
+        Ok(img)
+    }
+
+    /// Load an unsigned module from a shared handle (fleet spawn path:
+    /// one `Rc<Module>` feeds thousands of tenants without cloning IR).
+    ///
+    /// # Errors
+    ///
+    /// See [`LoadError`].
+    pub fn load_shared(
+        &mut self,
+        module: std::rc::Rc<Module>,
+        table: &mut AllocationTable,
+        cfg: LoadConfig,
+    ) -> Result<ProcessImage, LoadError> {
+        let img = crate::loader::load_shared(module, &mut self.mem, &mut self.buddy, table, cfg)?;
         self.install_image(&img);
         Ok(img)
     }
@@ -1165,22 +1182,61 @@ impl SimKernel {
     /// it. Call immediately after [`SimKernel::load`] /
     /// [`SimKernel::load_unsigned`] for each tenant; nothing is installed
     /// until the first [`SimKernel::proc_switch`].
-    pub fn register_proc(&mut self, name: &str, image: ProcessImage) -> Pid {
-        let pid = self.procs.next_pid();
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError`] when the tenant quotas refuse the capsule. The
+    /// refused tenant's capsule frames are released again — admission
+    /// failure leaves the kernel exactly as it was before the load.
+    pub fn register_proc(
+        &mut self,
+        name: &str,
+        image: ProcessImage,
+    ) -> Result<Pid, crate::proc::AdmissionError> {
         let regions = std::mem::take(&mut self.master);
         let pagetable = std::mem::replace(&mut self.pagetable, PageTable::new());
         self.regions.set_regions(Vec::new());
-        self.procs.push(ProcEntry {
-            pid,
-            name: name.to_string(),
-            state: ProcState::Runnable,
-            image,
-            regions,
-            pagetable,
-            table: None,
-            accounting: Default::default(),
-        });
-        pid
+        let capsule_base = image.stack.0;
+        match self
+            .procs
+            .spawn(name.to_string(), image, regions, pagetable, None)
+        {
+            Ok(pid) => Ok(pid),
+            Err(e) => {
+                // Roll the load back: the capsule is one contiguous buddy
+                // block based at the stack bottom.
+                let _ = self.buddy.free_pages(capsule_base);
+                Err(e)
+            }
+        }
+    }
+
+    /// Set the fleet admission quotas (tenant count and resident bytes);
+    /// see [`crate::TenantQuotas`]. Applies to future registrations only.
+    pub fn set_quotas(&mut self, quotas: crate::proc::TenantQuotas) {
+        self.procs.set_quotas(quotas);
+    }
+
+    /// Kill process `pid`: retire its slab slot (bumping the generation,
+    /// so every outstanding copy of the pid goes stale), release its
+    /// capsule frames back to the buddy allocator, and unmap it from any
+    /// shared regions. Returns `false` for a stale pid.
+    ///
+    /// Blocks relocated out of the capsule by CARAT moves are reclaimed
+    /// through the vacated-range recycler rather than freed here.
+    pub fn proc_kill(&mut self, pid: Pid) -> bool {
+        let was_current = self.procs.current() == Some(pid);
+        let Some(entry) = self.procs.kill(pid) else {
+            return false;
+        };
+        if was_current {
+            // The live master list described the victim; drop it.
+            self.master.clear();
+            self.regions.set_regions(Vec::new());
+            self.pagetable = PageTable::new();
+        }
+        let _ = self.buddy.free_pages(entry.image.stack.0);
+        true
     }
 
     /// Context switch to process `to`: park the outgoing process's guard
@@ -1559,13 +1615,13 @@ mod tests {
         let img0 = k
             .load_unsigned(module_with_global(), &mut t0, cfg)
             .expect("loads");
-        let p0 = k.register_proc("alpha", img0.clone());
+        let p0 = k.register_proc("alpha", img0.clone()).expect("admitted");
         k.procs.checkin_table(p0, t0);
         let mut t1 = AllocationTable::new();
         let img1 = k
             .load_unsigned(module_with_global(), &mut t1, cfg)
             .expect("loads");
-        let p1 = k.register_proc("beta", img1.clone());
+        let p1 = k.register_proc("beta", img1.clone()).expect("admitted");
         k.procs.checkin_table(p1, t1);
         (k, p0, p1, img0, img1)
     }

@@ -46,10 +46,11 @@ mod trace;
 pub use buddy::{BuddyAllocator, BuddyError};
 pub use faults::{FaultPlan, FaultPoint, KernelError};
 pub use kernel::{SimKernel, POISON_BASE, POISON_SLOT_SPAN};
-pub use loader::{load_signed, load_unsigned, LoadConfig, LoadError, ProcessImage};
+pub use loader::{load_shared, load_signed, load_unsigned, LoadConfig, LoadError, ProcessImage};
 pub use pagetable::{PageTable, Pte, Walk};
 pub use phys::PhysicalMemory;
 pub use proc::{
-    Pid, ProcAccounting, ProcEntry, ProcState, ProcTable, ProtectionFault, SharedId, SharedRegion,
+    AdmissionError, Pid, ProcAccounting, ProcEntry, ProcState, ProcTable, ProtectionFault,
+    SharedId, SharedRegion, TenantQuotas,
 };
 pub use trace::{PagingEvent, PagingTrace};

@@ -19,6 +19,7 @@ use carat_ir::{parse_module, GlobalInit, Module, ParseError, VerifyError};
 use carat_runtime::{AllocKind, AllocationTable, Perms, Region};
 use std::error::Error;
 use std::fmt;
+use std::rc::Rc;
 
 /// Loader failure.
 #[derive(Debug)]
@@ -86,8 +87,10 @@ impl Default for LoadConfig {
 /// A loaded process image.
 #[derive(Debug, Clone)]
 pub struct ProcessImage {
-    /// The program.
-    pub module: Module,
+    /// The program, shared rather than owned: a fleet of tenants spawned
+    /// from one module clones the handle, not the IR (and the decoded
+    /// code is shared the same way on the VM side).
+    pub module: Rc<Module>,
     /// Physical address of each global, indexed by `GlobalId` — the
     /// patched constant pool (the loader's "initial patch"; updated again
     /// whenever the kernel moves a global).
@@ -127,7 +130,7 @@ impl ProcessImage {
     #[cfg(test)]
     pub(crate) fn empty_for_tests() -> ProcessImage {
         ProcessImage {
-            module: carat_ir::ModuleBuilder::new("empty").finish(),
+            module: Rc::new(carat_ir::ModuleBuilder::new("empty").finish()),
             globals: Vec::new(),
             code: (0x2000, 0x1000),
             stack: (0x1000, 0x1000),
@@ -168,7 +171,14 @@ pub fn load_signed(
     }
     let module = parse_module(&signed.text)?;
     carat_ir::verify_module(&module)?;
-    load_image(module, signed.text.len() as u64, mem, buddy, table, cfg)
+    load_image(
+        Rc::new(module),
+        signed.text.len() as u64,
+        mem,
+        buddy,
+        table,
+        cfg,
+    )
 }
 
 /// Load an unverified module (baseline configurations and tests).
@@ -183,13 +193,30 @@ pub fn load_unsigned(
     table: &mut AllocationTable,
     cfg: LoadConfig,
 ) -> Result<ProcessImage, LoadError> {
+    load_shared(Rc::new(module), mem, buddy, table, cfg)
+}
+
+/// [`load_unsigned`] over an already-shared module handle: the fleet
+/// spawn path, where thousands of tenants are loaded from one module
+/// without cloning the IR per tenant.
+///
+/// # Errors
+///
+/// [`LoadError::Verify`] / [`LoadError::OutOfMemory`].
+pub fn load_shared(
+    module: Rc<Module>,
+    mem: &mut PhysicalMemory,
+    buddy: &mut BuddyAllocator,
+    table: &mut AllocationTable,
+    cfg: LoadConfig,
+) -> Result<ProcessImage, LoadError> {
     carat_ir::verify_module(&module)?;
     let text_len = carat_ir::print_module(&module).len() as u64;
     load_image(module, text_len, mem, buddy, table, cfg)
 }
 
 fn load_image(
-    module: Module,
+    module: Rc<Module>,
     text_len: u64,
     mem: &mut PhysicalMemory,
     buddy: &mut BuddyAllocator,

@@ -270,6 +270,13 @@ impl AllocationTable {
         moved.len()
     }
 
+    /// Total live escapes across every allocation, read off the reverse
+    /// map in O(1). This is the compaction-victim score: the kernel ranks
+    /// descheduled tenants by it without walking their allocation trees.
+    pub fn live_escapes(&self) -> usize {
+        self.escape_owner.len()
+    }
+
     /// All live allocations as `(start, len, escapes_live, escapes_ever)`.
     pub fn snapshot(&self) -> Vec<(u64, u64, usize, u64)> {
         self.tree

@@ -237,7 +237,16 @@ pub struct PlannedPatch {
 /// Below this many cells a parallel apply is not attempted: host thread
 /// fork/join overwhelms the scan (the cost model charges the analogous
 /// `patch_fork_join_per_worker`). Results are identical either way.
-pub const PARALLEL_MIN_CELLS: usize = 1024;
+///
+/// Set from measurement, not intuition: `BENCH_moves.json` puts the
+/// serial apply at ~18–42 ns/cell and the 4-worker arm at a 0.32× host
+/// "speedup" on a 2112-cell plan — fork/join plus scheduling overhead
+/// (~80 µs and up per move) swamps sub-millisecond scans. With an ideal
+/// 4× parallel scan, break-even lands near `80 µs / (18 ns × 0.75)` ≈
+/// 5.9k cells; the next power of two keeps the serial path for every
+/// plan measured to lose and only forks on plans big enough to amortize
+/// the spawn cost (see EXPERIMENTS.md, "Parallel move engine").
+pub const PARALLEL_MIN_CELLS: usize = 8192;
 
 /// The flat patch plan for one move: every cell rewrite, precomputed from
 /// the allocation table(s) with pure reads, plus the affected allocation

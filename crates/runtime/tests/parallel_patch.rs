@@ -154,7 +154,7 @@ fn run_move(
 /// exact same `MoveOutcome` (including modeled cycles).
 #[test]
 fn parallel_apply_is_byte_identical_across_worker_counts() {
-    let (n_allocs, cells_per_alloc, seed) = (32, 40, 7);
+    let (n_allocs, cells_per_alloc, seed) = (128, 72, 7);
     let baseline = run_move(n_allocs, cells_per_alloc, seed, 1);
     assert!(
         baseline.outcome.escapes_patched >= PARALLEL_MIN_CELLS,
@@ -188,7 +188,7 @@ fn parallel_apply_is_byte_identical_across_worker_counts() {
 /// count, undoing the same number of cells and registers.
 #[test]
 fn mid_batch_fault_rollback_is_identical_across_worker_counts() {
-    let (n_allocs, cells_per_alloc, seed) = (32, 40, 11);
+    let (n_allocs, cells_per_alloc, seed) = (128, 72, 11);
     let half = n_allocs as u64 / 2 * ALLOC_SIZE;
     let reqs = [
         MoveRequest {

@@ -46,10 +46,10 @@ pub use decode::{
 };
 pub use heap::HeapAllocator;
 pub use machine::{
-    Engine, IntegrityReport, Mode, MoveDriverConfig, RunResult, SliceExit, SwapDriverConfig, Vm,
-    VmConfig, VmError,
+    Engine, IntegrityReport, Mode, MoveDriverConfig, RunResult, SliceExit, SwapDriverConfig,
+    TenantState, Vm, VmConfig, VmError,
 };
-pub use multi::{MultiVm, MultiVmConfig, ProcOutcome, ProcReport, ProcSpec};
+pub use multi::{MultiVm, MultiVmConfig, ProcOutcome, ProcReport, ProcSpec, TenancyError};
 pub use tlb::{Tlb, TranslationUnit};
 
 #[cfg(test)]

@@ -21,10 +21,13 @@ use carat_ir::{
     BinOp, BlockId, CastKind, Const, FuncId, Inst, IntTy, Intrinsic, Module, Opcode, Pred, Type,
     ValueId,
 };
-use carat_kernel::{FaultPlan, KernelError, LoadConfig, LoadError, ProcessImage, SimKernel};
+use carat_kernel::{
+    AdmissionError, FaultPlan, KernelError, LoadConfig, LoadError, ProcessImage, SimKernel,
+};
 use carat_runtime::{Access, AllocKind, AllocationTable, CostModel, GuardImpl, TrackStats};
 use std::error::Error;
 use std::fmt;
+use std::rc::Rc;
 
 /// Address-translation world.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -181,6 +184,9 @@ pub enum VmError {
     /// first, so its state — and the guest's memory image — is
     /// consistent; [`Vm::run_checked`] verifies this.
     Kernel(KernelError),
+    /// The kernel's admission control refused the tenant (quota
+    /// over-commit) before it became schedulable.
+    Admission(AdmissionError),
 }
 
 impl fmt::Display for VmError {
@@ -196,11 +202,18 @@ impl fmt::Display for VmError {
             VmError::Trap(m) => write!(f, "trap: {m}"),
             VmError::Load(e) => write!(f, "load: {e}"),
             VmError::Kernel(e) => write!(f, "kernel: {e}"),
+            VmError::Admission(e) => write!(f, "admission: {e}"),
         }
     }
 }
 
 impl Error for VmError {}
+
+impl From<AdmissionError> for VmError {
+    fn from(e: AdmissionError) -> VmError {
+        VmError::Admission(e)
+    }
+}
 
 impl From<LoadError> for VmError {
     fn from(e: LoadError) -> VmError {
@@ -403,8 +416,9 @@ pub struct Vm {
     output: Vec<String>,
     /// The module compiled to its flat executable form (also carries the
     /// per-function frame sizes and alloca offsets the reference engine
-    /// reads).
-    program: DecodedProgram,
+    /// reads). Shared: a fleet of tenants spawned from one module holds
+    /// one decoded copy.
+    program: Rc<DecodedProgram>,
     /// Reusable buffer for parallel phi-batch copies (decoded engine).
     phi_scratch: Vec<Value>,
     rng: u64,
@@ -472,6 +486,106 @@ impl fmt::Debug for Vm {
     }
 }
 
+/// A descheduled tenant: everything a [`Vm`] owns *except* the kernel and
+/// the allocation table (which park in the kernel's process table between
+/// slices). This is what the fleet scheduler keeps per tenant — frame
+/// stack, thread slots, decoded-code handle, counters, driver cursors —
+/// instead of a full `Vm` wrapped around a placeholder kernel.
+///
+/// [`Vm::from_tenant`] / [`Vm::into_tenant`] convert in O(1) field moves:
+/// a context switch materializes the running tenant around the one real
+/// kernel and dismantles it again at slice end, never cloning or
+/// allocating. The guard fast path and translation caches ride along and
+/// self-invalidate (the region-table generation bumps on every switch).
+pub struct TenantState {
+    cfg: VmConfig,
+    image: ProcessImage,
+    heap: HeapAllocator,
+    tlb: TranslationUnit,
+    counters: PerfCounters,
+    output: Vec<String>,
+    program: Rc<DecodedProgram>,
+    phi_scratch: Vec<Value>,
+    rng: u64,
+    sp: u64,
+    frames: Vec<Frame>,
+    threads: Vec<ThreadState>,
+    cur_tid: usize,
+    parked_threads: usize,
+    block_current: bool,
+    cur_stack_base: u64,
+    access_counter: u64,
+    next_move_at: u64,
+    moves_done: u64,
+    next_swap_at: u64,
+    swaps_done: u64,
+    peak_tracking_bytes: usize,
+    guard_cache: GuardFastPath,
+    last_vpn: u64,
+    fusion: FusionStats,
+    regs_pool: Vec<Vec<Value>>,
+    next_rotate_at: u64,
+    bail_insts_at: u64,
+    bail_cycles_at: u64,
+    slice_limit: u64,
+}
+
+impl fmt::Debug for TenantState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TenantState")
+            .field("mode", &self.cfg.mode)
+            .field("cycles", &self.counters.cycles)
+            .finish()
+    }
+}
+
+impl TenantState {
+    /// The tenant's live performance counters (the differential
+    /// comparison target — kernel-side scheduling charges never appear
+    /// here).
+    pub fn counters(&self) -> &PerfCounters {
+        &self.counters
+    }
+
+    /// The tenant's live image (globals patched by moves, stack rebased).
+    pub fn image(&self) -> &ProcessImage {
+        &self.image
+    }
+
+    /// Approximate heap bytes this descheduled tenant pins on the host:
+    /// frame stack, thread slots, register pools, buffered output. The
+    /// decoded program is shared across the fleet and the capsule lives
+    /// in kernel physical memory, so neither is charged here. The fleet
+    /// bench uses this to show per-descheduled-tenant overhead is
+    /// O(tenant size), not O(fleet size).
+    pub fn footprint_bytes(&self) -> usize {
+        let frame_bytes = |frames: &[Frame]| -> usize {
+            frames
+                .iter()
+                .map(|f| f.regs.capacity() * std::mem::size_of::<Value>())
+                .sum::<usize>()
+                + std::mem::size_of_val(frames)
+        };
+        let mut bytes = std::mem::size_of::<TenantState>();
+        bytes += frame_bytes(&self.frames);
+        bytes += self.threads.len() * std::mem::size_of::<ThreadState>();
+        for t in &self.threads {
+            if let ThreadState::Parked(p) = t {
+                bytes += frame_bytes(&p.frames);
+            }
+        }
+        bytes += self
+            .regs_pool
+            .iter()
+            .map(|r| r.capacity() * std::mem::size_of::<Value>())
+            .sum::<usize>();
+        bytes += self.output.iter().map(|s| s.capacity()).sum::<usize>();
+        bytes += self.phi_scratch.capacity() * std::mem::size_of::<Value>();
+        bytes += self.image.globals.capacity() * std::mem::size_of::<u64>();
+        bytes
+    }
+}
+
 impl Vm {
     /// Create a VM over a fresh kernel and load `module` into it
     /// (unsigned path; use [`Vm::load_signed`] for the full trust chain).
@@ -527,7 +641,22 @@ impl Vm {
         cfg: VmConfig,
     ) -> Vm {
         kernel.set_move_workers(cfg.move_workers);
-        let program = DecodedProgram::decode(&image.module);
+        let program = Rc::new(DecodedProgram::decode(&image.module));
+        Vm::assemble(kernel, table, image, cfg, program)
+    }
+
+    /// Assemble a VM from parts plus an already-decoded (possibly shared)
+    /// program, without touching the kernel's move-engine configuration.
+    /// This is the fleet spawn path: the scheduler owns the kernel's
+    /// worker setting, and thousands of tenants share one decoded copy of
+    /// their module.
+    pub(crate) fn assemble(
+        kernel: SimKernel,
+        table: AllocationTable,
+        image: ProcessImage,
+        cfg: VmConfig,
+        program: Rc<DecodedProgram>,
+    ) -> Vm {
         let heap = HeapAllocator::new(image.heap.0, image.heap.1);
         let tlb = TranslationUnit::new(&kernel.cost);
         let sp = image.stack_top();
@@ -572,6 +701,155 @@ impl Vm {
         vm.cur_stack_base = stack_base;
         vm.recompute_bail();
         vm
+    }
+
+    /// Dismantle this VM into the kernel, the allocation table, and a
+    /// compact [`TenantState`]. The fleet scheduler calls this at the end
+    /// of every slice: the kernel goes back to the scheduler, the table
+    /// checks back into the process table, and the `TenantState` parks in
+    /// the tenant slot. Pure field moves — no allocation, no clone.
+    pub(crate) fn into_tenant(self) -> (SimKernel, AllocationTable, TenantState) {
+        let Vm {
+            cfg,
+            kernel,
+            table,
+            image,
+            heap,
+            tlb,
+            counters,
+            output,
+            program,
+            phi_scratch,
+            rng,
+            sp,
+            frames,
+            threads,
+            cur_tid,
+            parked_threads,
+            block_current,
+            cur_stack_base,
+            access_counter,
+            next_move_at,
+            moves_done,
+            next_swap_at,
+            swaps_done,
+            peak_tracking_bytes,
+            guard_cache,
+            last_vpn,
+            fusion,
+            regs_pool,
+            next_rotate_at,
+            bail_insts_at,
+            bail_cycles_at,
+            slice_limit,
+        } = self;
+        let state = TenantState {
+            cfg,
+            image,
+            heap,
+            tlb,
+            counters,
+            output,
+            program,
+            phi_scratch,
+            rng,
+            sp,
+            frames,
+            threads,
+            cur_tid,
+            parked_threads,
+            block_current,
+            cur_stack_base,
+            access_counter,
+            next_move_at,
+            moves_done,
+            next_swap_at,
+            swaps_done,
+            peak_tracking_bytes,
+            guard_cache,
+            last_vpn,
+            fusion,
+            regs_pool,
+            next_rotate_at,
+            bail_insts_at,
+            bail_cycles_at,
+            slice_limit,
+        };
+        (kernel, table, state)
+    }
+
+    /// Rebuild a runnable VM around the real kernel and the tenant's
+    /// checked-out allocation table — the other half of
+    /// [`Vm::into_tenant`]. Pure field moves; the caches inside the state
+    /// (guard fast path, TLB) self-invalidate against the freshly
+    /// installed region table on first use.
+    pub(crate) fn from_tenant(kernel: SimKernel, table: AllocationTable, state: TenantState) -> Vm {
+        let TenantState {
+            cfg,
+            image,
+            heap,
+            tlb,
+            counters,
+            output,
+            program,
+            phi_scratch,
+            rng,
+            sp,
+            frames,
+            threads,
+            cur_tid,
+            parked_threads,
+            block_current,
+            cur_stack_base,
+            access_counter,
+            next_move_at,
+            moves_done,
+            next_swap_at,
+            swaps_done,
+            peak_tracking_bytes,
+            guard_cache,
+            last_vpn,
+            fusion,
+            regs_pool,
+            next_rotate_at,
+            bail_insts_at,
+            bail_cycles_at,
+            slice_limit,
+        } = state;
+        Vm {
+            cfg,
+            kernel,
+            table,
+            image,
+            heap,
+            tlb,
+            counters,
+            output,
+            program,
+            phi_scratch,
+            rng,
+            sp,
+            frames,
+            threads,
+            cur_tid,
+            parked_threads,
+            block_current,
+            cur_stack_base,
+            access_counter,
+            next_move_at,
+            moves_done,
+            next_swap_at,
+            swaps_done,
+            peak_tracking_bytes,
+            guard_cache,
+            last_vpn,
+            fusion,
+            regs_pool,
+            next_rotate_at,
+            bail_insts_at,
+            bail_cycles_at,
+            slice_limit,
+        }
     }
 
     /// The loaded image.

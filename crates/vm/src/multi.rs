@@ -2,28 +2,42 @@
 //! simulated kernel.
 //!
 //! The single-process [`Vm`] owns its kernel outright. Here the real
-//! kernel is shared: each process is a `Vm` parked on a
-//! [`SimKernel::placeholder`], and the scheduler swaps the real kernel
-//! into whichever VM holds the current time slice. Context switches go
-//! through [`SimKernel::proc_switch`], which installs the incoming
-//! process's guard-region map (CARAT) or page table (traditional) and
-//! charges the modeled switch cost into kernel-side
-//! [`ProcAccounting`] — never into the process's own counters, so a
-//! time-sliced process retires exactly the instruction stream and cycles
-//! a sequential run would (the multi-process differential suite pins
-//! this down).
+//! kernel is shared, and a descheduled tenant is *not* a parked `Vm`: it
+//! is a compact [`TenantState`] (frame stack, thread slots, counters,
+//! decoded-code handle) in a slab slot, plus its allocation table checked
+//! into the kernel's process table. A context switch goes through
+//! [`SimKernel::proc_switch`] — which installs the incoming tenant's
+//! guard-region map (CARAT) or page table (traditional) and charges the
+//! modeled switch cost into kernel-side [`ProcAccounting`] — and then
+//! materializes a `Vm` around the real kernel with O(1) field moves
+//! ([`Vm::from_tenant`]). At slice end the `Vm` is dismantled again
+//! ([`Vm::into_tenant`]). Nothing scales with fleet size: no per-tenant
+//! kernel, no per-tenant decoded program (tenants spawned from one
+//! shared module share one decoded copy), no whole-`SimKernel` swap.
+//!
+//! The accounting split is unchanged: a tenant's own counters never see
+//! scheduling charges, so a time-sliced process retires exactly the
+//! instruction stream and cycles a sequential run would (the
+//! multi-process differential suite pins this down).
 //!
 //! Isolation is the paper's: in CARAT mode every access is guarded
 //! against the owning process's region set, so a stray pointer into
 //! another tenant surfaces as a typed [`ProtectionFault`] that kills the
 //! offender and leaves every other process running — never a panic.
+//! Lifecycle errors are typed too: spawning past the configured
+//! [`TenantQuotas`] yields [`VmError::Admission`], and looking up a
+//! killed or recycled pid yields [`TenancyError::NoSuchTenant`].
+
+use std::fmt;
+use std::rc::Rc;
 
 use crate::counters::PerfCounters;
-use crate::machine::{Mode, RunResult, SliceExit, Vm, VmConfig, VmError};
+use crate::decode::DecodedProgram;
+use crate::machine::{Mode, RunResult, SliceExit, TenantState, Vm, VmConfig, VmError};
 use carat_ir::Module;
 use carat_kernel::{
-    Pid, ProcAccounting, ProcState, ProtectionFault, SharedId, SimKernel, POISON_BASE,
-    POISON_SLOT_SPAN,
+    Pid, ProcAccounting, ProcState, ProtectionFault, SharedId, SimKernel, TenantQuotas,
+    POISON_BASE, POISON_SLOT_SPAN,
 };
 use carat_runtime::{AllocKind, AllocationTable, MemAccess};
 
@@ -64,6 +78,10 @@ pub struct MultiVmConfig {
     /// Host threads for the shared kernel's move engine (1 = serial);
     /// see [`SimKernel::set_move_workers`].
     pub move_workers: usize,
+    /// Admission quotas for the fleet (default unlimited): spawns past
+    /// the tenant-count or resident-byte ceiling fail with a typed
+    /// [`VmError::Admission`] instead of exhausting the kernel arena.
+    pub quotas: TenantQuotas,
 }
 
 impl Default for MultiVmConfig {
@@ -75,9 +93,31 @@ impl Default for MultiVmConfig {
             pressure_batch: 1,
             batch_stops: true,
             move_workers: 1,
+            quotas: TenantQuotas::default(),
         }
     }
 }
+
+/// Typed tenant-lookup failure: the pid does not name a live tenant —
+/// never admitted, already killed, or its slab slot was recycled (the
+/// generation tag in the pid went stale). Lookups on retired pids return
+/// this; they never panic and never alias a successor tenant in the same
+/// slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenancyError {
+    /// No live tenant answers to this pid.
+    NoSuchTenant(Pid),
+}
+
+impl fmt::Display for TenancyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TenancyError::NoSuchTenant(pid) => write!(f, "no such tenant: {pid}"),
+        }
+    }
+}
+
+impl std::error::Error for TenancyError {}
 
 /// How one tenant ended.
 ///
@@ -107,75 +147,235 @@ pub struct ProcReport {
     pub accounting: ProcAccounting,
 }
 
+/// One slab slot of the fleet: the descheduled execution state plus the
+/// scheduler-side facts about the tenant. `state` is `None` only while
+/// the tenant is materialized as a `Vm` inside a scheduling operation.
+struct Tenant {
+    pid: Pid,
+    name: String,
+    traditional: bool,
+    state: Option<TenantState>,
+    outcome: Option<ProcOutcome>,
+}
+
 /// N processes time-sliced on one shared simulated kernel.
 pub struct MultiVm {
-    /// The real kernel — parked here between slices, swapped into the
-    /// scheduled VM for the duration of its slice (public for post-run
-    /// inspection, like [`Vm::kernel`]).
+    /// The real kernel — parked here between slices, moved into the
+    /// scheduled tenant's materialized `Vm` for the duration of its
+    /// slice (public for post-run inspection, like [`Vm::kernel`]).
     pub kernel: SimKernel,
-    vms: Vec<Vm>,
-    traditional: Vec<bool>,
-    outcomes: Vec<Option<ProcOutcome>>,
+    /// ONE reusable placeholder kernel: whenever the real kernel moves
+    /// into a `Vm`, this stands in at `self.kernel` so the field is never
+    /// empty; it also backs pressure/shared-move materializations of
+    /// descheduled tenants. `None` only inside those operations.
+    spare: Option<SimKernel>,
+    /// Tenant slots, indexed by `pid.index()` — the same slab indices as
+    /// the kernel's process table, so both sides recycle in lock-step.
+    slots: Vec<Option<Tenant>>,
+    /// Decoded-program cache for [`MultiVm::spawn_shared`]: every tenant
+    /// spawned from the same `Rc<Module>` shares one decoded copy.
+    programs: Vec<(Rc<Module>, Rc<DecodedProgram>)>,
     cfg: MultiVmConfig,
+    /// Slices executed so far (drives the pressure cadence across
+    /// [`MultiVm::run_batch`] calls).
+    slices: u64,
 }
 
 impl MultiVm {
-    /// Load every spec into one shared kernel (in pid order), register
-    /// each with the kernel's process table, and park each VM ready to
-    /// run.
+    /// Build a fleet over one shared kernel and admit every spec (in pid
+    /// order), exactly like calling [`MultiVm::spawn`] for each.
     ///
     /// # Errors
     ///
-    /// Loader failures, or a module without `main`.
+    /// Loader failures, a module without `main`, or a quota refusal
+    /// ([`VmError::Admission`]).
     pub fn new(specs: Vec<ProcSpec>, cfg: MultiVmConfig) -> Result<MultiVm, VmError> {
         let mut kernel = SimKernel::new(cfg.kernel_mem);
         kernel.set_move_workers(cfg.move_workers);
-        let mut vms = Vec::with_capacity(specs.len());
-        let mut traditional = Vec::with_capacity(specs.len());
-        for spec in specs {
-            if let Some(plan) = spec.cfg.fault_plan.clone() {
-                kernel.install_fault_plan(plan);
-            }
-            let mut table = AllocationTable::new();
-            let image = kernel.load_unsigned(spec.module, &mut table, spec.cfg.load)?;
-            let pid = kernel.register_proc(&spec.name, image.clone());
-            debug_assert_eq!(pid.index(), vms.len());
-            kernel.procs.checkin_table(pid, table);
-            traditional.push(spec.cfg.mode == Mode::Traditional);
-            let mut vm = Vm::from_parts(
-                SimKernel::placeholder(),
-                AllocationTable::new(),
-                image,
-                spec.cfg,
-            );
-            vm.start()?;
-            vms.push(vm);
-        }
-        let outcomes = (0..vms.len()).map(|_| None).collect();
-        Ok(MultiVm {
+        kernel.set_quotas(cfg.quotas);
+        let mut mv = MultiVm {
             kernel,
-            vms,
-            traditional,
-            outcomes,
+            spare: Some(SimKernel::placeholder()),
+            slots: Vec::new(),
+            programs: Vec::new(),
             cfg,
-        })
+            slices: 0,
+        };
+        for spec in specs {
+            mv.spawn(spec)?;
+        }
+        Ok(mv)
     }
 
-    /// Number of admitted processes.
+    /// Number of live tenants (admitted and not yet killed; exited
+    /// tenants still count until the fleet is torn down).
     pub fn len(&self) -> usize {
-        self.vms.len()
+        self.slots.iter().filter(|s| s.is_some()).count()
     }
 
-    /// Whether no process was admitted.
+    /// Whether no tenant is live.
     pub fn is_empty(&self) -> bool {
-        self.vms.is_empty()
+        self.len() == 0
     }
 
-    /// The live performance counters of process `pid` (the differential
+    /// Admit one tenant: load its module into the shared kernel, decode
+    /// its program, register it with the kernel's process table
+    /// (admission-checked against the quotas), and park it descheduled
+    /// and runnable. O(program + capsule) — nothing about this scales
+    /// with the number of tenants already resident.
+    ///
+    /// # Errors
+    ///
+    /// Loader failures ([`VmError::Load`]), a module without `main`, or
+    /// a quota refusal ([`VmError::Admission`]). Refused spawns roll the
+    /// kernel back completely — capsule frames freed, no pid burned.
+    pub fn spawn(&mut self, spec: ProcSpec) -> Result<Pid, VmError> {
+        let ProcSpec { name, module, cfg } = spec;
+        self.admit(&name, Rc::new(module), cfg, false)
+    }
+
+    /// Admit one tenant from a shared module: every tenant spawned from
+    /// the same `Rc<Module>` shares one decoded program, so a 10k-tenant
+    /// fleet of one workload holds ONE decoded copy of its code. Same
+    /// admission path and errors as [`MultiVm::spawn`].
+    ///
+    /// # Errors
+    ///
+    /// See [`MultiVm::spawn`].
+    pub fn spawn_shared(
+        &mut self,
+        name: &str,
+        module: Rc<Module>,
+        cfg: VmConfig,
+    ) -> Result<Pid, VmError> {
+        self.admit(name, module, cfg, true)
+    }
+
+    fn admit(
+        &mut self,
+        name: &str,
+        module: Rc<Module>,
+        cfg: VmConfig,
+        share_program: bool,
+    ) -> Result<Pid, VmError> {
+        if let Some(plan) = cfg.fault_plan.clone() {
+            self.kernel.install_fault_plan(plan);
+        }
+        let mut table = AllocationTable::new();
+        let image = self
+            .kernel
+            .load_shared(module.clone(), &mut table, cfg.load)?;
+        let pid = self.kernel.register_proc(name, image.clone())?;
+        self.kernel.procs.checkin_table(pid, table);
+        let program = if share_program {
+            self.decoded(&module)
+        } else {
+            Rc::new(DecodedProgram::decode(&module))
+        };
+        let traditional = cfg.mode == Mode::Traditional;
+        // Assemble the tenant around the spare placeholder: `start` only
+        // builds host-side frame state, so the real kernel is not needed.
+        let spare = self.spare.take().expect("spare kernel parked");
+        let mut vm = Vm::assemble(spare, AllocationTable::new(), image, cfg, program);
+        let started = vm.start();
+        let (spare, _empty, state) = vm.into_tenant();
+        self.spare = Some(spare);
+        if let Err(e) = started {
+            self.kernel.proc_kill(pid);
+            return Err(e);
+        }
+        let idx = pid.index();
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        debug_assert!(
+            self.slots[idx].is_none(),
+            "kernel slab and fleet slots recycle in lock-step"
+        );
+        self.slots[idx] = Some(Tenant {
+            pid,
+            name: name.to_string(),
+            traditional,
+            state: Some(state),
+            outcome: None,
+        });
+        Ok(pid)
+    }
+
+    /// Look up the shared decoded program for `module`, decoding it on
+    /// first sight. Cache entries die with their last tenant (pruned in
+    /// [`MultiVm::kill`]).
+    fn decoded(&mut self, module: &Rc<Module>) -> Rc<DecodedProgram> {
+        for (m, p) in &self.programs {
+            if Rc::ptr_eq(m, module) {
+                return p.clone();
+            }
+        }
+        let p = Rc::new(DecodedProgram::decode(module));
+        self.programs.push((module.clone(), p.clone()));
+        p
+    }
+
+    /// Kill tenant `pid`: retire its kernel slab slot (generation bump —
+    /// every outstanding copy of the pid goes stale), free its capsule
+    /// frames, and drop its descheduled state. Returns `false` for a
+    /// stale pid — killing twice is a no-op, never a panic.
+    pub fn kill(&mut self, pid: Pid) -> bool {
+        let live = self
+            .slots
+            .get(pid.index())
+            .and_then(|s| s.as_ref())
+            .is_some_and(|t| t.pid == pid);
+        if !live {
+            return false;
+        }
+        self.kernel.proc_kill(pid);
+        self.slots[pid.index()] = None;
+        // Drop decoded programs whose last tenant just died (the cache
+        // holds the only remaining module handle).
+        self.programs.retain(|(m, _)| Rc::strong_count(m) > 1);
+        true
+    }
+
+    fn tenant(&self, pid: Pid) -> Result<&Tenant, TenancyError> {
+        self.slots
+            .get(pid.index())
+            .and_then(|s| s.as_ref())
+            .filter(|t| t.pid == pid)
+            .ok_or(TenancyError::NoSuchTenant(pid))
+    }
+
+    /// The live performance counters of tenant `pid` (the differential
     /// comparison target — kernel-side scheduling charges never appear
     /// here).
-    pub fn counters(&self, pid: Pid) -> &PerfCounters {
-        self.vms[pid.index()].counters()
+    ///
+    /// # Errors
+    ///
+    /// [`TenancyError::NoSuchTenant`] for a killed or recycled pid.
+    pub fn counters(&self, pid: Pid) -> Result<&PerfCounters, TenancyError> {
+        Ok(self
+            .tenant(pid)?
+            .state
+            .as_ref()
+            .expect("descheduled tenant holds its state")
+            .counters())
+    }
+
+    /// Host bytes pinned by tenant `pid` while descheduled — the fleet
+    /// bench's per-tenant memory-overhead metric. Capsule bytes live in
+    /// kernel physical memory and the decoded program is shared, so this
+    /// is the true marginal cost of keeping one more tenant parked.
+    ///
+    /// # Errors
+    ///
+    /// [`TenancyError::NoSuchTenant`] for a killed or recycled pid.
+    pub fn descheduled_bytes(&self, pid: Pid) -> Result<usize, TenancyError> {
+        Ok(self
+            .tenant(pid)?
+            .state
+            .as_ref()
+            .expect("descheduled tenant holds its state")
+            .footprint_bytes())
     }
 
     /// Create a shared memory block of at least `len` bytes (page
@@ -199,7 +399,14 @@ impl MultiVm {
             let s = self.kernel.procs.shared(id).expect("live shared id");
             (s.base, s.len)
         };
-        let cell = self.vms[pid.index()].image().globals[global];
+        let cell = self
+            .tenant(pid)
+            .expect("live tenant")
+            .state
+            .as_ref()
+            .expect("descheduled tenant holds its state")
+            .image()
+            .globals[global];
         self.kernel.mem.write_uint(cell, base, 8);
         let mut table = self
             .kernel
@@ -231,111 +438,155 @@ impl MultiVm {
             s.owners.clone()
         };
         // Quiesced by construction: escapes were flushed when each owner
-        // was descheduled, and setup escapes were resolved eagerly.
+        // was descheduled, and setup escapes were resolved eagerly. Each
+        // owner is materialized briefly (O(1) field moves around the
+        // spare kernel) to dump and later patch its registers.
         let mut regs: Vec<u64> = Vec::new();
         let mut spans = Vec::with_capacity(owners.len());
         let mut threads = 0usize;
         for &pid in &owners {
-            let vm = &self.vms[pid.index()];
+            let (vm, _slot) = self.materialize(pid);
             let (r, map) = vm.snapshot_regs();
             spans.push((pid, regs.len(), r.len(), map));
             regs.extend(r);
             threads += vm.live_threads();
+            self.park(pid, vm);
         }
         let (_world, outcome) = self.kernel.move_shared(id, &mut regs, threads)?;
         let delta = outcome.moved_dst.wrapping_sub(outcome.moved_src) as i64;
         for (pid, off, n, map) in &spans {
-            let vm = &mut self.vms[pid.index()];
+            let (mut vm, _slot) = self.materialize(*pid);
             vm.writeback_regs(&regs[*off..*off + *n], map);
             vm.apply_relocation(outcome.moved_src, outcome.moved_len, delta);
+            self.park(*pid, vm);
         }
         Ok(self.kernel.procs.shared(id).expect("live shared id").base)
     }
 
-    /// Swap the real kernel into `pid`'s VM and hand it its allocation
-    /// table, charging the modeled context-switch cost.
-    fn schedule_in(&mut self, pid: Pid) {
-        self.kernel.proc_switch(pid, self.traditional[pid.index()]);
+    /// Materialize descheduled tenant `pid` around the spare placeholder
+    /// kernel and an empty table — for kernel-side work on its host
+    /// state (register dumps, relocation patching) while the real kernel
+    /// stays home. Pure field moves. Pair with [`MultiVm::park`].
+    fn materialize(&mut self, pid: Pid) -> (Vm, usize) {
+        let idx = pid.index();
+        let state = self.slots[idx]
+            .as_mut()
+            .expect("live tenant")
+            .state
+            .take()
+            .expect("descheduled tenant holds its state");
+        let spare = self.spare.take().expect("spare kernel parked");
+        (Vm::from_tenant(spare, AllocationTable::new(), state), idx)
+    }
+
+    /// Undo [`MultiVm::materialize`]: park the tenant state back in its
+    /// slot and the spare kernel back in the scheduler.
+    fn park(&mut self, pid: Pid, vm: Vm) {
+        let (spare, _empty, state) = vm.into_tenant();
+        self.spare = Some(spare);
+        self.slots[pid.index()].as_mut().expect("live tenant").state = Some(state);
+    }
+
+    /// Run ONE time slice for tenant `pid`: context-switch the kernel's
+    /// view (regions or page table — the modeled cost lands in kernel
+    /// accounting), materialize the tenant around the real kernel, run
+    /// up to the quantum, dismantle, and record any terminal outcome.
+    fn run_one_slice(&mut self, pid: Pid) {
+        let idx = pid.index();
+        let traditional = self.slots[idx]
+            .as_ref()
+            .expect("scheduled tenant")
+            .traditional;
+        self.kernel.proc_switch(pid, traditional);
         let table = self
             .kernel
             .procs
             .checkout_table(pid)
             .expect("descheduled process holds its table");
-        let vm = &mut self.vms[pid.index()];
-        vm.table = table;
-        std::mem::swap(&mut self.kernel, &mut vm.kernel);
+        let state = self.slots[idx]
+            .as_mut()
+            .expect("scheduled tenant")
+            .state
+            .take()
+            .expect("descheduled tenant holds its state");
+        // The real kernel moves into the tenant's Vm; the spare
+        // placeholder stands in at `self.kernel` for the slice.
+        let spare = self.spare.take().expect("spare kernel parked");
+        let kernel = std::mem::replace(&mut self.kernel, spare);
+        let mut vm = Vm::from_tenant(kernel, table, state);
+        let res = vm.run_slice(self.cfg.quantum);
+        // Fold the final result while the real kernel and table are
+        // still in the VM (the flush and audit need them).
+        let done = match res {
+            Ok(SliceExit::Quantum) => None,
+            Ok(SliceExit::Finished(v)) => Some(ProcOutcome::Finished(vm.finish_run(v))),
+            // Typed isolation violation: recorded below, after the
+            // kernel is home (it owns the process table).
+            Err(VmError::GuardFault { addr, len, write }) => {
+                Some(ProcOutcome::Fault(ProtectionFault {
+                    pid,
+                    addr,
+                    len,
+                    write,
+                }))
+            }
+            Err(e) => Some(ProcOutcome::Error(e)),
+        };
+        // Flush the slice's pending escapes (so a cross-process move
+        // while descheduled sees every pointer cell), then dismantle.
+        vm.flush_escapes();
+        let (kernel, table, state) = vm.into_tenant();
+        self.spare = Some(std::mem::replace(&mut self.kernel, kernel));
+        self.kernel.procs.checkin_table(pid, table);
+        self.slots[idx].as_mut().expect("scheduled tenant").state = Some(state);
+        if let Some(outcome) = done {
+            match &outcome {
+                ProcOutcome::Fault(f) => {
+                    self.kernel
+                        .procs
+                        .record_protection_fault(pid, f.addr, f.len, f.write);
+                }
+                ProcOutcome::Finished(rr) => {
+                    self.kernel.procs.set_state(pid, ProcState::Exited(rr.ret));
+                }
+                ProcOutcome::Error(_) => {
+                    // Dead either way; `Exited(-1)` retires the pid so
+                    // the scheduler never picks it again.
+                    self.kernel.procs.set_state(pid, ProcState::Exited(-1));
+                }
+            }
+            self.slots[idx].as_mut().expect("scheduled tenant").outcome = Some(outcome);
+        }
+        self.slices += 1;
+        if self.cfg.pressure_every != 0 && self.slices.is_multiple_of(self.cfg.pressure_every) {
+            self.pressure_pass();
+        }
     }
 
-    /// Flush the slice's pending escapes (so a cross-process move while
-    /// descheduled sees every pointer cell), take the kernel home, and
-    /// park the table back in the process entry.
-    fn schedule_out(&mut self, pid: Pid) {
-        let vm = &mut self.vms[pid.index()];
-        vm.flush_escapes();
-        std::mem::swap(&mut self.kernel, &mut vm.kernel);
-        let table = std::mem::replace(&mut vm.table, AllocationTable::new());
-        self.kernel.procs.checkin_table(pid, table);
+    /// Run up to `max_slices` time slices (run-queue order), stopping
+    /// early when no tenant is runnable. Returns the slices executed —
+    /// the incremental driver behind [`MultiVm::run`], and the fleet
+    /// bench's probe for steady-state per-slice cost: spawn/kill between
+    /// batches, then keep slicing.
+    pub fn run_batch(&mut self, max_slices: u64) -> u64 {
+        let mut ran = 0u64;
+        while ran < max_slices {
+            let Some(pid) = self.kernel.procs.next_runnable() else {
+                break;
+            };
+            self.run_one_slice(pid);
+            ran += 1;
+        }
+        ran
     }
 
     /// Round-robin every runnable process to completion (or death) and
     /// report per-process outcomes. Infallible: every per-process error
     /// is captured in its report — an isolation violation in one tenant
-    /// never stops the others.
+    /// never stops the others. Tenants removed by [`MultiVm::kill`] are
+    /// not reported; everyone else is, in slot (spawn) order.
     pub fn run(mut self) -> Vec<ProcReport> {
-        let mut last: Option<Pid> = None;
-        let mut slices: u64 = 0;
-        while let Some(pid) = self.kernel.procs.next_runnable(last) {
-            self.schedule_in(pid);
-            let res = self.vms[pid.index()].run_slice(self.cfg.quantum);
-            // Fold the final result while the real kernel and table are
-            // still in the VM (the flush and audit need them).
-            let done = match res {
-                Ok(SliceExit::Quantum) => None,
-                Ok(SliceExit::Finished(v)) => {
-                    let rr = self.vms[pid.index()].finish_run(v);
-                    Some(ProcOutcome::Finished(rr))
-                }
-                // Typed isolation violation: recorded below, after the
-                // kernel is home (it owns the process table).
-                Err(VmError::GuardFault { addr, len, write }) => {
-                    Some(ProcOutcome::Fault(ProtectionFault {
-                        pid,
-                        addr,
-                        len,
-                        write,
-                    }))
-                }
-                Err(e) => Some(ProcOutcome::Error(e)),
-            };
-            self.schedule_out(pid);
-            if let Some(outcome) = done {
-                match &outcome {
-                    ProcOutcome::Fault(f) => {
-                        self.kernel
-                            .procs
-                            .record_protection_fault(pid, f.addr, f.len, f.write);
-                    }
-                    ProcOutcome::Finished(rr) => {
-                        if let Some(e) = self.kernel.procs.get_mut(pid) {
-                            e.state = ProcState::Exited(rr.ret);
-                        }
-                    }
-                    ProcOutcome::Error(_) => {
-                        // Dead either way; `Exited(-1)` retires the pid so
-                        // the scheduler never picks it again.
-                        if let Some(e) = self.kernel.procs.get_mut(pid) {
-                            e.state = ProcState::Exited(-1);
-                        }
-                    }
-                }
-                self.outcomes[pid.index()] = Some(outcome);
-            }
-            slices += 1;
-            if self.cfg.pressure_every != 0 && slices.is_multiple_of(self.cfg.pressure_every) {
-                self.pressure_pass();
-            }
-            last = Some(pid);
-        }
+        self.run_batch(u64::MAX);
         self.reports()
     }
 
@@ -353,18 +604,24 @@ impl MultiVm {
         // Compaction is a CARAT mechanism: moves rely on the victim's
         // tracking state and page-outs on its guards to page data back
         // in. A traditional-mode tenant has neither; leave it alone.
-        if self.traditional[victim.index()] {
+        let traditional = self.slots[victim.index()]
+            .as_ref()
+            .expect("victim is live")
+            .traditional;
+        if traditional {
             return;
         }
         // Install the victim's region map: the move retargets the live
         // master list.
-        self.kernel
-            .proc_switch(victim, self.traditional[victim.index()]);
+        self.kernel.proc_switch(victim, traditional);
         let Some(mut table) = self.kernel.procs.checkout_table(victim) else {
             return;
         };
         let (mut moves, mut outs, mut cycles) = (0u64, 0u64, 0u64);
-        let vm = &mut self.vms[victim.index()];
+        // The victim's host state (registers, TLB, heap bookkeeping) is
+        // patched through a brief materialization on the spare kernel;
+        // the real kernel stays home and drives the moves.
+        let (mut vm, _idx) = self.materialize(victim);
         let threads = vm.live_threads();
         // The move planner picks up to `pressure_batch` victim pages; the
         // batched arm coalesces them into one world-stop, the sequential
@@ -424,6 +681,7 @@ impl MultiVm {
                 cycles += world.cycles;
             }
         }
+        self.park(victim, vm);
         self.kernel.procs.checkin_table(victim, table);
         if let Some(e) = self.kernel.procs.get_mut(victim) {
             e.accounting.pressure_moves += moves;
@@ -433,17 +691,18 @@ impl MultiVm {
     }
 
     fn reports(mut self) -> Vec<ProcReport> {
-        let mut reports = Vec::with_capacity(self.vms.len());
-        for (i, outcome) in self.outcomes.drain(..).enumerate() {
+        let mut reports = Vec::new();
+        for slot in self.slots.drain(..) {
+            let Some(tenant) = slot else { continue };
             let e = self
                 .kernel
                 .procs
-                .get(Pid(i as u32))
-                .expect("every vm is registered");
+                .get(tenant.pid)
+                .expect("live tenant is registered");
             reports.push(ProcReport {
-                pid: e.pid,
-                name: e.name.clone(),
-                outcome: outcome.unwrap_or(ProcOutcome::Error(VmError::Trap(
+                pid: tenant.pid,
+                name: tenant.name,
+                outcome: tenant.outcome.unwrap_or(ProcOutcome::Error(VmError::Trap(
                     "process never completed a slice".into(),
                 ))),
                 accounting: e.accounting,

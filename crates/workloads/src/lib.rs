@@ -352,6 +352,26 @@ pub fn by_name(name: &str) -> Option<Workload> {
     all_workloads().into_iter().find(|w| w.name == name)
 }
 
+/// Compile the fleet tenant at `scale`: the microservice-sized program
+/// behind the `fleet_scaling` bench's 10/100/1k/10k curve. Deliberately
+/// tiny — a few dozen heap cells, a pointer-cell array (live escapes for
+/// the compaction victim scan), and a multi-slice instruction count —
+/// so the bench measures the *process subsystem* (context switches,
+/// slab recycling, admission), not the tenant's own compute. `seed`
+/// differentiates tenants compiled from one shared module call-site.
+///
+/// # Errors
+///
+/// Front-end failures (a workload bug).
+pub fn fleet_tenant(scale: Scale, seed: i64) -> Result<Module, CmError> {
+    let (slots, passes) = match scale {
+        Scale::Test => (16, 4),
+        Scale::Small => (32, 16),
+        Scale::Full => (32, 32),
+    };
+    compile_cm("fleet_tenant", &programs::fleet_tenant(slots, passes, seed))
+}
+
 /// The multi-tenant server-mix: the tenants the multi-process bench
 /// co-schedules on one kernel. Deliberately heterogeneous — pure compute
 /// (`ep`), pointer chasing (`mcf`), allocation/churn (`dedup`),
@@ -405,6 +425,15 @@ mod tests {
         for (n, m) in &mix {
             assert!(m.main().is_some(), "{n} has a main");
         }
+    }
+
+    #[test]
+    fn fleet_tenant_compiles_runs_and_seeds_differentiate() {
+        let a = fleet_tenant(Scale::Test, 1).unwrap();
+        let b = fleet_tenant(Scale::Test, 2).unwrap();
+        let ra = Vm::new(a, VmConfig::default()).unwrap().run().unwrap();
+        let rb = Vm::new(b, VmConfig::default()).unwrap().run().unwrap();
+        assert_ne!(ra.ret, rb.ret, "seeds differentiate tenants");
     }
 
     #[test]

@@ -749,3 +749,32 @@ int main() {{
         total = 4 * workers_chunks,
     )
 }
+
+/// The fleet tenant: a microservice-sized program for the 10k-tenant
+/// scaling curve — tiny capsule, a handful of heap allocations, and a
+/// pointer-cell array so every tenant carries live escapes (compaction
+/// material). The seed differentiates tenants so a fleet of one module
+/// still produces distinct, checkable results.
+pub fn fleet_tenant(slots: i64, passes: i64, seed: i64) -> String {
+    format!(
+        r#"
+int main() {{
+    int n = {slots};
+    int* data = (int*) malloc(n * sizeof(int));
+    int** cells = (int**) malloc(n * sizeof(int*));
+    for (int i = 0; i < n; i += 1) {{
+        data[i] = ({seed} + i * 7) % 97;
+        cells[i] = &data[i];
+    }}
+    int s = 0;
+    for (int p = 0; p < {passes}; p += 1) {{
+        for (int i = 0; i < n; i += 1) {{ s += *cells[i]; }}
+        data[p % n] = s % 89;
+    }}
+    free(data);
+    free(cells);
+    return s % 1000000;
+}}
+"#
+    )
+}
