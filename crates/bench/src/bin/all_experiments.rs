@@ -31,6 +31,7 @@ fn main() {
         "multiproc_isolation",
         "move_parallel",
         "fleet_scaling",
+        "chaos_soak",
     ];
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = match args.iter().position(|a| a == "--jobs") {

@@ -158,7 +158,8 @@ fn shared_move_cost(owners: usize) -> (f64, bool) {
         mv.kernel.mem.write_uint(base + 8 * i as u64, v, 8);
     }
     for pid in 0..owners {
-        mv.shared_map(Pid(pid as u64), id, 0);
+        mv.shared_map(Pid(pid as u64), id, 0)
+            .expect("maps into live tenant");
     }
     for _ in 0..SHARED_MOVES {
         mv.move_shared(id).expect("clean move");

@@ -37,11 +37,37 @@ pub enum FaultPoint {
     /// The signed image is corrupted in flight, so signature verification
     /// at `load` must reject it.
     SignatureCorrupt,
+    /// The capsule device fails to persist an externalized tenant capsule
+    /// (`capsule_write`): the write is refused before any bytes land, so
+    /// the tenant simply stays resident.
+    CapsuleWrite,
+    /// An externalized capsule rots at rest: the stored bytes are flipped
+    /// so the checksum verification on `capsule_read` must reject them.
+    CapsuleCorrupt,
+    /// A tenant's heap allocation is refused as if its arena were
+    /// exhausted — the per-tenant OOM a supervisor must absorb.
+    TenantOom,
 }
 
 impl FaultPoint {
     /// All injectable points, for building seed matrices.
-    pub const ALL: [FaultPoint; 5] = [
+    pub const ALL: [FaultPoint; 8] = [
+        FaultPoint::MoveDstAlloc,
+        FaultPoint::MidMove,
+        FaultPoint::WorldStopStall,
+        FaultPoint::SwapRead,
+        FaultPoint::SignatureCorrupt,
+        FaultPoint::CapsuleWrite,
+        FaultPoint::CapsuleCorrupt,
+        FaultPoint::TenantOom,
+    ];
+
+    /// The single-VM points [`FaultPlan::from_seed`] draws from — the
+    /// original five, kept stable so seeded single-VM soak schedules are
+    /// reproducible across releases. The capsule/tenant points only make
+    /// sense under a fleet scheduler and are drawn by
+    /// [`FaultPlan::from_seed_chaos`].
+    pub const CLASSIC: [FaultPoint; 5] = [
         FaultPoint::MoveDstAlloc,
         FaultPoint::MidMove,
         FaultPoint::WorldStopStall,
@@ -56,6 +82,9 @@ impl FaultPoint {
             FaultPoint::WorldStopStall => 2,
             FaultPoint::SwapRead => 3,
             FaultPoint::SignatureCorrupt => 4,
+            FaultPoint::CapsuleWrite => 5,
+            FaultPoint::CapsuleCorrupt => 6,
+            FaultPoint::TenantOom => 7,
         }
     }
 }
@@ -68,6 +97,9 @@ impl fmt::Display for FaultPoint {
             FaultPoint::WorldStopStall => "world-stop-stall",
             FaultPoint::SwapRead => "swap-read",
             FaultPoint::SignatureCorrupt => "signature-corrupt",
+            FaultPoint::CapsuleWrite => "capsule-write",
+            FaultPoint::CapsuleCorrupt => "capsule-corrupt",
+            FaultPoint::TenantOom => "tenant-oom",
         };
         f.write_str(s)
     }
@@ -94,7 +126,7 @@ struct Arm {
 pub struct FaultPlan {
     arms: Vec<Arm>,
     /// Dynamic occurrence count per fault point.
-    counts: [u64; 5],
+    counts: [u64; FaultPoint::ALL.len()],
     /// Log of fired faults: `(point, occurrence)` in firing order.
     fired: Vec<(FaultPoint, u64)>,
 }
@@ -141,7 +173,7 @@ impl FaultPlan {
         let mut plan = FaultPlan::new();
         let n_arms = 1 + (next() % 2);
         for _ in 0..n_arms {
-            let point = FaultPoint::ALL[(next() % 5) as usize];
+            let point = FaultPoint::CLASSIC[(next() % 5) as usize];
             let nth = 1 + next() % 3;
             // Exhaustion that clears itself mid-retry would make the run
             // diverge from the fault-free counters without erroring;
@@ -153,6 +185,44 @@ impl FaultPlan {
             };
         }
         plan
+    }
+
+    /// Derive a fleet-scale fault storm from `seed`: several armed points
+    /// drawn from the full set — including the capsule and per-tenant
+    /// points — with trigger counts spread across a wider occurrence
+    /// range, so faults land throughout a long fleet run rather than all
+    /// at the start. Deterministic: the same seed always produces the
+    /// same storm.
+    pub fn from_seed_chaos(seed: u64) -> FaultPlan {
+        let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = || {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let mut plan = FaultPlan::new();
+        let n_arms = 3 + (next() % 4);
+        for _ in 0..n_arms {
+            let point = FaultPoint::ALL[(next() % FaultPoint::ALL.len() as u64) as usize];
+            let nth = 1 + next() % 64;
+            plan = if point == FaultPoint::MoveDstAlloc {
+                plan.arm_persistent(point, nth)
+            } else {
+                plan.arm(point, nth)
+            };
+        }
+        plan
+    }
+
+    /// The points with at least one live arm (deduplicated, in
+    /// [`FaultPoint::ALL`] order) — what a soak harness consults to know
+    /// which typed errors a schedule may legitimately surface.
+    pub fn armed_points(&self) -> Vec<FaultPoint> {
+        FaultPoint::ALL
+            .into_iter()
+            .filter(|p| self.arms.iter().any(|a| a.point == *p))
+            .collect()
     }
 
     /// Record one dynamic occurrence of `point` and report whether an arm
@@ -227,14 +297,49 @@ pub enum KernelError {
     /// The frame allocator rejected an operation (e.g. double free) —
     /// a sign of kernel-internal inconsistency.
     Buddy(BuddyError),
+    /// The capsule device refused to persist an externalized tenant
+    /// capsule (injected [`FaultPoint::CapsuleWrite`]). No bytes landed;
+    /// the tenant stays resident and the write can be retried.
+    CapsuleWriteFailed {
+        /// Capsule bytes that were being written.
+        len: u64,
+    },
+    /// An externalized capsule failed its checksum on rehydrate: the
+    /// stored bytes no longer hash to the checksum recorded at write. The
+    /// rotten image is discarded — the tenant's execution state is lost —
+    /// but the fault is *recoverable at the fleet level*: the supervisor
+    /// respawns the tenant from its admitted image.
+    CapsuleCorrupt {
+        /// The corrupt capsule slot.
+        slot: u64,
+    },
+    /// A capsule slot that was never written (or already consumed) was
+    /// asked for — a stale externalization handle.
+    CapsuleMissing {
+        /// The missing slot.
+        slot: u64,
+    },
+    /// A shared-region operation named an id with no live region.
+    NoSuchShared {
+        /// The stale id.
+        id: crate::proc::SharedId,
+    },
+    /// A process-table operation named a pid whose slot was retired or
+    /// recycled (the generation tag went stale).
+    StaleTenant {
+        /// The stale pid.
+        pid: crate::proc::Pid,
+    },
 }
 
 impl KernelError {
     /// Whether the caller can retry or continue after this error.
     /// Transient conditions (exhaustion, stalls, interrupted moves, swap
-    /// I/O) are recoverable: kernel state is intact and the operation can
-    /// be reattempted. [`KernelError::Buddy`] is fatal — it indicates the
-    /// kernel's own bookkeeping is inconsistent.
+    /// and capsule I/O, stale handles) are recoverable: kernel state is
+    /// intact and the operation can be reattempted — or, for a corrupt
+    /// capsule, the tenant respawned from its image. [`KernelError::Buddy`]
+    /// is fatal — it indicates the kernel's own bookkeeping is
+    /// inconsistent.
     pub fn is_recoverable(&self) -> bool {
         !matches!(self, KernelError::Buddy(_))
     }
@@ -258,6 +363,20 @@ impl fmt::Display for KernelError {
                 write!(f, "swap store failed to read slot {slot}")
             }
             KernelError::Buddy(e) => write!(f, "frame allocator: {e}"),
+            KernelError::CapsuleWriteFailed { len } => {
+                write!(f, "capsule device refused a {len}-byte write")
+            }
+            KernelError::CapsuleCorrupt { slot } => {
+                write!(f, "capsule slot {slot} failed its checksum on rehydrate")
+            }
+            KernelError::CapsuleMissing { slot } => {
+                write!(
+                    f,
+                    "capsule slot {slot} was never written or already consumed"
+                )
+            }
+            KernelError::NoSuchShared { id } => write!(f, "no such shared region: {id}"),
+            KernelError::StaleTenant { pid } => write!(f, "stale tenant pid: {pid}"),
         }
     }
 }
@@ -330,6 +449,67 @@ mod tests {
             .map(|s| format!("{:?}", FaultPlan::from_seed(s)))
             .collect();
         assert!(distinct.len() > 4);
+    }
+
+    #[test]
+    fn chaos_schedules_cover_capsule_points() {
+        for seed in 0..64u64 {
+            assert_eq!(
+                FaultPlan::from_seed_chaos(seed),
+                FaultPlan::from_seed_chaos(seed)
+            );
+            assert!(FaultPlan::from_seed_chaos(seed).is_armed());
+        }
+        // Across a modest seed range, the chaos generator reaches the
+        // capsule/tenant points the classic generator never arms.
+        let mut reached = std::collections::HashSet::new();
+        for seed in 0..256u64 {
+            for p in FaultPlan::from_seed_chaos(seed).armed_points() {
+                reached.insert(format!("{p}"));
+            }
+        }
+        for p in ["capsule-write", "capsule-corrupt", "tenant-oom"] {
+            assert!(reached.contains(p), "chaos seeds never armed {p}");
+        }
+    }
+
+    #[test]
+    fn classic_seeds_never_arm_fleet_points() {
+        for seed in 0..256u64 {
+            for p in FaultPlan::from_seed(seed).armed_points() {
+                assert!(
+                    FaultPoint::CLASSIC.contains(&p),
+                    "single-VM seed {seed} armed fleet-only point {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn armed_points_deduplicates() {
+        let p = FaultPlan::new()
+            .arm(FaultPoint::CapsuleCorrupt, 1)
+            .arm(FaultPoint::CapsuleCorrupt, 5)
+            .arm(FaultPoint::TenantOom, 2);
+        assert_eq!(
+            p.armed_points(),
+            vec![FaultPoint::CapsuleCorrupt, FaultPoint::TenantOom]
+        );
+    }
+
+    #[test]
+    fn capsule_errors_are_recoverable() {
+        assert!(KernelError::CapsuleWriteFailed { len: 128 }.is_recoverable());
+        assert!(KernelError::CapsuleCorrupt { slot: 3 }.is_recoverable());
+        assert!(KernelError::CapsuleMissing { slot: 9 }.is_recoverable());
+        assert!(KernelError::NoSuchShared {
+            id: crate::proc::SharedId(7)
+        }
+        .is_recoverable());
+        assert!(KernelError::StaleTenant {
+            pid: crate::proc::Pid(1)
+        }
+        .is_recoverable());
     }
 
     #[test]

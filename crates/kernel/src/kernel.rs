@@ -16,12 +16,20 @@ use carat_runtime::{
     MemAccess, MoveOutcome, MovePhase, MoveRequest, PatchMem, Perms, Region, RegionTable,
     WorldStop, WorldStopError,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Bounded retries for a move-destination allocation before surfacing
 /// [`KernelError::OutOfFrames`] (each retry compacts vacated ranges and
 /// charges cost-model backoff).
 const MOVE_ALLOC_RETRIES: u32 = 3;
+
+/// Swap-slot ids are striped per process: process `i` (by slab index)
+/// issues slots `local * SWAP_SLOT_STRIDE + i`, so no tenant's page-outs
+/// can renumber another's poison addresses — a fault domain requirement
+/// (one tenant's death must leave bystander counters bit-identical). A
+/// kernel with no registered process (the solo machine) issues the plain
+/// monotonic sequence, unchanged.
+const SWAP_SLOT_STRIDE: u64 = 16_384;
 
 /// The simulated kernel.
 #[derive(Debug)]
@@ -42,12 +50,29 @@ pub struct SimKernel {
     /// moves).
     master: Vec<Region>,
     /// Page ranges vacated by moves, recycled as future move destinations
-    /// ("frees the data at the old location", paper §4.2).
+    /// ("frees the data at the old location", paper §4.2). Per-process
+    /// state: this is the *current* process's list (or the solo
+    /// machine's); a context switch parks it in the outgoing
+    /// [`ProcEntry`] and installs the incoming one's.
     vacated: Vec<(u64, u64)>,
+    /// Whole buddy blocks the current process obtained after admission
+    /// (move/page-in/stack-growth destinations); parked per process like
+    /// `vacated`, and freed on kill.
+    owned_blocks: Vec<u64>,
     /// Swapped-out ranges by slot id: the paper's non-canonical-address
     /// encoding of "this data is in swap" (§2.2).
     swap: HashMap<u64, SwapEntry>,
+    /// Next unissued local swap-slot ordinal and the recycled ordinals —
+    /// per-process state swapped on context switch, like `vacated`. See
+    /// [`SWAP_SLOT_STRIDE`].
     next_swap_slot: u64,
+    free_swap_slots: BTreeSet<u64>,
+    /// Externalized tenant capsules by slot id: checksummed serialized
+    /// `TenantState` images parked in the simulated swap device. The
+    /// checksum is verified on read, so a corrupted image surfaces as a
+    /// typed (recoverable) error instead of a poisoned rehydrate.
+    capsules: HashMap<u64, CapsuleEntry>,
+    next_capsule_slot: u64,
     /// Last page passed to [`SimKernel::demand_touch`] — a one-entry
     /// cache shortcutting the per-access touched-set probe.
     last_touched_page: u64,
@@ -81,6 +106,24 @@ struct DstAlloc {
 struct SwapEntry {
     len: u64,
     data: Vec<u8>,
+}
+
+/// One externalized tenant capsule: the serialized image plus the
+/// FNV-1a checksum taken when it was written.
+#[derive(Debug, Clone)]
+struct CapsuleEntry {
+    checksum: u64,
+    data: Vec<u8>,
+}
+
+/// FNV-1a 64-bit hash over `data` — the capsule checksum.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// A [`MemAccess`] view that routes poison addresses into the swap store,
@@ -171,8 +214,12 @@ impl SimKernel {
             cost,
             master: Vec::new(),
             vacated: Vec::new(),
+            owned_blocks: Vec::new(),
             swap: HashMap::new(),
             next_swap_slot: 0,
+            free_swap_slots: BTreeSet::new(),
+            capsules: HashMap::new(),
+            next_capsule_slot: 0,
             last_touched_page: u64::MAX,
             trusted: Vec::new(),
             faults: None,
@@ -224,6 +271,13 @@ impl SimKernel {
     /// report whether an armed fault fires. No plan → never fires.
     fn fire(&mut self, point: FaultPoint) -> bool {
         self.faults.as_mut().is_some_and(|p| p.should_fire(point))
+    }
+
+    /// Public face of the injection hook, for layers that own their own
+    /// fault handling (e.g. the VM's tenant-OOM probe): record an
+    /// occurrence of `point` and report whether an armed fault fires.
+    pub fn poll_fault(&mut self, point: FaultPoint) -> bool {
+        self.fire(point)
     }
 
     /// Whether `addr` encodes swapped-out data.
@@ -302,6 +356,142 @@ impl SimKernel {
             }
         }
         out
+    }
+
+    /// Park a serialized tenant capsule in the simulated swap device.
+    /// The checksum is taken here, over exactly the bytes stored; a later
+    /// [`SimKernel::capsule_read`] verifies it before handing the image
+    /// back. Consumes a fresh slot id and returns it.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::CapsuleWriteFailed`] when the injected
+    /// [`FaultPoint::CapsuleWrite`] fires — the write never happened, no
+    /// slot id is consumed, and the tenant stays resident.
+    pub fn capsule_write(&mut self, data: Vec<u8>) -> Result<u64, KernelError> {
+        if self.fire(FaultPoint::CapsuleWrite) {
+            return Err(KernelError::CapsuleWriteFailed {
+                len: data.len() as u64,
+            });
+        }
+        let slot = self.next_capsule_slot;
+        self.next_capsule_slot += 1;
+        let checksum = fnv1a(&data);
+        self.capsules.insert(slot, CapsuleEntry { checksum, data });
+        Ok(slot)
+    }
+
+    /// Take capsule `slot` back out of the swap device, verifying its
+    /// checksum. The slot is consumed either way: a rehydrate is a move,
+    /// not a copy, and a corrupted image is useless — the caller's only
+    /// recovery is respawn-from-image, so holding the bytes would only
+    /// leak them.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::CapsuleMissing`] when `slot` was never written or
+    /// already consumed; [`KernelError::CapsuleCorrupt`] when the stored
+    /// image fails its checksum (disk corruption, or the injected
+    /// [`FaultPoint::CapsuleCorrupt`] flipping a byte).
+    pub fn capsule_read(&mut self, slot: u64) -> Result<Vec<u8>, KernelError> {
+        let Some(mut entry) = self.capsules.remove(&slot) else {
+            return Err(KernelError::CapsuleMissing { slot });
+        };
+        if self.fire(FaultPoint::CapsuleCorrupt) {
+            let mid = entry.data.len() / 2;
+            match entry.data.get_mut(mid) {
+                Some(b) => *b ^= 0xFF,
+                // An empty image has no byte to flip; corrupt the
+                // recorded checksum instead.
+                None => entry.checksum ^= 1,
+            }
+        }
+        if fnv1a(&entry.data) != entry.checksum {
+            return Err(KernelError::CapsuleCorrupt { slot });
+        }
+        Ok(entry.data)
+    }
+
+    /// Drop capsule `slot` without reading it (its tenant was killed).
+    /// Returns whether the slot was live.
+    pub fn capsule_free(&mut self, slot: u64) -> bool {
+        self.capsules.remove(&slot).is_some()
+    }
+
+    /// Number of capsules currently parked in the swap device.
+    pub fn capsule_count(&self) -> usize {
+        self.capsules.len()
+    }
+
+    /// Total bytes of parked capsule images.
+    pub fn capsule_bytes(&self) -> u64 {
+        self.capsules.values().map(|e| e.data.len() as u64).sum()
+    }
+
+    /// Test hook: corrupt capsule `slot` by flipping a stored byte, as a
+    /// disk error would. Returns whether the slot existed.
+    pub fn debug_corrupt_capsule(&mut self, slot: u64) -> bool {
+        match self.capsules.get_mut(&slot) {
+            Some(e) => {
+                let mid = e.data.len() / 2;
+                match e.data.get_mut(mid) {
+                    Some(b) => *b ^= 0xFF,
+                    None => e.checksum ^= 1,
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The slot id the next page-out would use, without consuming it:
+    /// the lowest recycled local ordinal, else the next fresh one, both
+    /// striped by the current process's slab index (identity for the
+    /// solo machine). Pair with [`SimKernel::commit_swap_slot`] once the
+    /// episode is under way.
+    fn peek_swap_slot(&self) -> u64 {
+        let local = self
+            .free_swap_slots
+            .iter()
+            .next()
+            .copied()
+            .unwrap_or(self.next_swap_slot);
+        match self.procs.current() {
+            Some(pid) => local * SWAP_SLOT_STRIDE + (pid.index() as u64) % SWAP_SLOT_STRIDE,
+            None => local,
+        }
+    }
+
+    /// Consume the slot id returned by [`SimKernel::peek_swap_slot`].
+    fn commit_swap_slot(&mut self, slot: u64) {
+        let local = match self.procs.current() {
+            Some(_) => slot / SWAP_SLOT_STRIDE,
+            None => slot,
+        };
+        if !self.free_swap_slots.remove(&local) {
+            self.next_swap_slot = local + 1;
+        }
+    }
+
+    /// Return a paged-in slot's local ordinal to the current process's
+    /// recycle set, so its slot sequence stays compact and deterministic
+    /// regardless of fleet interleaving. Solo slots are not recycled
+    /// (the monotonic sequence is the historical solo behavior).
+    fn release_swap_slot(&mut self, slot: u64) {
+        if let Some(pid) = self.procs.current() {
+            if slot % SWAP_SLOT_STRIDE == (pid.index() as u64) % SWAP_SLOT_STRIDE {
+                self.free_swap_slots.insert(slot / SWAP_SLOT_STRIDE);
+            }
+        }
+    }
+
+    /// Record a freshly-issued buddy block as owned by the current
+    /// process, so a supervised kill can reap it. Solo machines skip the
+    /// bookkeeping (their blocks die with the kernel).
+    fn commit_dst_block(&mut self, dst: &DstAlloc) {
+        if dst.from_buddy && self.procs.current().is_some() {
+            self.owned_blocks.push(dst.addr);
+        }
     }
 
     /// One attempt to take a destination for `len` bytes: recycle a
@@ -463,7 +653,13 @@ impl SimKernel {
         req: MoveRequest,
     ) -> Result<MoveOutcome, KernelError> {
         self.journaled_move_batch(table, regs, std::slice::from_ref(&req))
-            .map(|mut outs| outs.pop().expect("one request, one outcome"))
+            .and_then(|mut outs| {
+                outs.pop().ok_or(KernelError::MoveInterrupted {
+                    src: req.src,
+                    len: req.len,
+                    dst: req.dst,
+                })
+            })
     }
 
     /// [`SimKernel::journaled_move`] over a whole batch of requests as one
@@ -738,7 +934,14 @@ impl SimKernel {
         threads: usize,
     ) -> Result<(WorldStop, MoveOutcome), KernelError> {
         self.move_pages_batch(table, regs, &[(src, pages)], threads)
-            .map(|(world, mut outs)| (world, outs.pop().expect("one request, one outcome")))
+            .and_then(|(world, mut outs)| {
+                let out = outs.pop().ok_or(KernelError::MoveInterrupted {
+                    src,
+                    len: pages * self.cost.page_size,
+                    dst: 0,
+                })?;
+                Ok((world, out))
+            })
     }
 
     /// [`SimKernel::move_pages`] over a *batch* of `(src, pages)` requests
@@ -821,7 +1024,10 @@ impl SimKernel {
             // Nothing was taken or pre-published; only the (semantically
             // neutral) vacated-range compaction of the failed attempts
             // remains, as after a failed stand-alone move.
-            return Err(alloc_err.expect("empty batches are not issued"));
+            // An empty `moves` batch reaches here with no allocation
+            // error recorded; surface it as a zero-page frame failure
+            // rather than panicking on a caller mistake.
+            return Err(alloc_err.unwrap_or(KernelError::OutOfFrames { pages: 0 }));
         }
 
         let mut world = match self.begin_stop(threads) {
@@ -850,6 +1056,9 @@ impl SimKernel {
         };
         for (outcome, &(_, backoff)) in outcomes.iter_mut().zip(&dsts) {
             outcome.cost.alloc_and_move += backoff;
+        }
+        for (d, _) in &dsts {
+            self.commit_dst_block(d);
         }
         Self::finish_stop(&mut world, &self.cost)?;
 
@@ -905,14 +1114,14 @@ impl SimKernel {
             return Ok(None);
         }
         // The slot id is only consumed once the episode is under way.
-        let slot = self.next_swap_slot;
+        let slot = self.peek_swap_slot();
         let poison = POISON_BASE + slot * POISON_SLOT_SPAN;
         let delta = poison.wrapping_sub(src) as i64;
 
         // All mutations happen after the world has stopped; a stall here
         // leaves every byte as it was.
         let mut world = self.begin_stop(threads)?;
-        self.next_swap_slot += 1;
+        self.commit_swap_slot(slot);
 
         // Patch escapes of every affected allocation to poison addresses
         // (cells may themselves live in other swapped ranges).
@@ -996,7 +1205,14 @@ impl SimKernel {
             }
         };
         world.cycles += backoff;
-        let entry = self.swap.remove(&slot).expect("checked live above");
+        let Some(entry) = self.swap.remove(&slot) else {
+            // The slot vanished between the liveness probe and here —
+            // impossible today, but a typed error keeps a future razed
+            // invariant from taking the fleet down with it.
+            world.abort(&self.cost);
+            self.release_move_dst(dst);
+            return Err(KernelError::SwapReadFailed { slot });
+        };
         if entry.data.len() as u64 != entry.len {
             // Corrupted entry: keep it for post-mortem, release
             // everything else, surface a typed error.
@@ -1065,6 +1281,8 @@ impl SimKernel {
         for p in 0..entry.len / pg {
             self.trace.record(PagingEvent::Alloc { page: dst / pg + p });
         }
+        self.commit_dst_block(&dst_alloc);
+        self.release_swap_slot((poison - POISON_BASE) / POISON_SLOT_SPAN);
 
         Self::finish_stop(&mut world, &self.cost)?;
         Ok(Some((world, dst)))
@@ -1127,6 +1345,7 @@ impl SimKernel {
                 return Err(e);
             }
         };
+        self.commit_dst_block(&dst);
         Self::finish_stop(&mut world, &self.cost)?;
 
         // Extend the relocated stack allocation downward over the whole
@@ -1219,24 +1438,78 @@ impl SimKernel {
 
     /// Kill process `pid`: retire its slab slot (bumping the generation,
     /// so every outstanding copy of the pid goes stale), release its
-    /// capsule frames back to the buddy allocator, and unmap it from any
-    /// shared regions. Returns `false` for a stale pid.
+    /// capsule frames *and* every buddy block its CARAT moves carried it
+    /// into back to the allocator, drop its swap-device entries, and
+    /// unmap it from any shared regions. Returns `false` for a stale pid.
     ///
-    /// Blocks relocated out of the capsule by CARAT moves are reclaimed
-    /// through the vacated-range recycler rather than freed here.
+    /// Because the vacated-range recycler is per-process, fragments of a
+    /// victim's relocation blocks die with its entry — each owned block
+    /// goes home to the buddy in one piece, with no risk of a recycled
+    /// sub-range aliasing the freed frames.
     pub fn proc_kill(&mut self, pid: Pid) -> bool {
         let was_current = self.procs.current() == Some(pid);
-        let Some(entry) = self.procs.kill(pid) else {
+        let Some(mut entry) = self.procs.kill(pid) else {
             return false;
         };
         if was_current {
-            // The live master list described the victim; drop it.
+            // The live master list and allocator state described the
+            // victim; drop the regions and claim the per-process
+            // allocator state as the victim's so the reap below sees it.
             self.master.clear();
             self.regions.set_regions(Vec::new());
             self.pagetable = PageTable::new();
+            self.vacated.clear();
+            entry.owned_blocks = std::mem::take(&mut self.owned_blocks);
+            self.next_swap_slot = 0;
+            self.free_swap_slots.clear();
         }
         let _ = self.buddy.free_pages(entry.image.stack.0);
+        for base in entry.owned_blocks.drain(..) {
+            let _ = self.buddy.free_pages(base);
+        }
+        // Striped swap slots carry the owner's lane in their low bits;
+        // reap the victim's pages from the simulated device.
+        let lane = (pid.index() as u64) % SWAP_SLOT_STRIDE;
+        self.swap.retain(|&slot, _| slot % SWAP_SLOT_STRIDE != lane);
         true
+    }
+
+    /// Reserve a private pool of `pages` frames for process `pid`,
+    /// seeded into its vacated-range recycler. Subsequent CARAT move
+    /// destinations for the process are carved from the pool instead of
+    /// the shared buddy allocator, so one tenant's allocation history
+    /// cannot perturb another's move-destination addresses — the
+    /// bystander-determinism guarantee the fleet fault domain relies on.
+    /// The pool is reaped in full by [`SimKernel::proc_kill`].
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::StaleTenant`] for a dead pid;
+    /// [`KernelError::OutOfFrames`] when the frame allocator cannot back
+    /// the pool. Either way nothing is reserved.
+    pub fn proc_reserve_pool(&mut self, pid: Pid, pages: u64) -> Result<(), KernelError> {
+        if pages == 0 {
+            return Ok(());
+        }
+        if self.procs.get(pid).is_none() {
+            return Err(KernelError::StaleTenant { pid });
+        }
+        let base = self
+            .buddy
+            .alloc_pages(pages)
+            .ok_or(KernelError::OutOfFrames { pages })?;
+        let len = pages * self.cost.page_size;
+        if self.procs.current() == Some(pid) {
+            self.vacated.push((base, len));
+            self.owned_blocks.push(base);
+        } else {
+            // `get` above proved the entry live.
+            if let Some(e) = self.procs.get_mut(pid) {
+                e.vacated.push((base, len));
+                e.owned_blocks.push(base);
+            }
+        }
+        Ok(())
     }
 
     /// Context switch to process `to`: park the outgoing process's guard
@@ -1255,32 +1528,78 @@ impl SimKernel {
     /// cycles identical between time-sliced and sequential execution.
     ///
     /// Returns the cycles charged (0 when `to` is already current).
-    pub fn proc_switch(&mut self, to: Pid, traditional: bool) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::StaleTenant`] when `to` no longer names a live
+    /// process; the outgoing process (if any) is left installed.
+    pub fn proc_switch(&mut self, to: Pid, traditional: bool) -> Result<u64, KernelError> {
         if self.procs.current() == Some(to) {
-            return 0;
+            return Ok(0);
         }
-        if let Some(cur) = self.procs.current() {
-            let e = self.procs.entry_mut(cur);
+        if self.procs.get(to).is_none() {
+            return Err(KernelError::StaleTenant { pid: to });
+        }
+        if let Some(e) = self.procs.current().and_then(|cur| self.procs.get_mut(cur)) {
             e.regions = std::mem::take(&mut self.master);
             e.pagetable = std::mem::replace(&mut self.pagetable, PageTable::new());
+            e.vacated = std::mem::take(&mut self.vacated);
+            e.owned_blocks = std::mem::take(&mut self.owned_blocks);
+            e.next_swap_slot = std::mem::take(&mut self.next_swap_slot);
+            e.free_swap_slots = std::mem::take(&mut self.free_swap_slots);
         }
-        let e = self.procs.entry_mut(to);
+        let e = self
+            .procs
+            .get_mut(to)
+            .ok_or(KernelError::StaleTenant { pid: to })?;
         self.master = std::mem::take(&mut e.regions);
         self.pagetable = std::mem::replace(&mut e.pagetable, PageTable::new());
+        self.vacated = std::mem::take(&mut e.vacated);
+        self.owned_blocks = std::mem::take(&mut e.owned_blocks);
+        self.next_swap_slot = std::mem::take(&mut e.next_swap_slot);
+        self.free_swap_slots = std::mem::take(&mut e.free_swap_slots);
         self.regions.set_regions(self.master.clone());
         let cycles = if traditional {
             self.cost.ctx_switch_traditional()
         } else {
             self.cost.ctx_switch_carat()
         };
-        let acc = &mut self.procs.entry_mut(to).accounting;
+        let acc = &mut e.accounting;
         acc.ctx_switches += 1;
         acc.ctx_switch_cycles += cycles;
         if traditional {
             acc.tlb_flushes += 1;
         }
         self.procs.set_current(Some(to));
-        cycles
+        Ok(cycles)
+    }
+
+    /// Deschedule the current process without scheduling a successor:
+    /// park its guard regions, page table, and per-process allocator
+    /// state back in its entry and leave the kernel with no process
+    /// installed. Free bookkeeping — no switch cost is charged (the
+    /// next [`SimKernel::proc_switch`] pays the full install).
+    ///
+    /// Call before any operation that treats the live master region
+    /// list as scratch space — notably [`SimKernel::load`] /
+    /// [`SimKernel::register_proc`] for a *new* process while another
+    /// is installed: the loader builds the newcomer's region list in
+    /// `master`, and an unparked incumbent's regions would be swept
+    /// into the newcomer's entry. No-op when no process is current.
+    pub fn proc_park(&mut self) {
+        let Some(cur) = self.procs.current() else {
+            return;
+        };
+        if let Some(e) = self.procs.get_mut(cur) {
+            e.regions = std::mem::take(&mut self.master);
+            e.pagetable = std::mem::replace(&mut self.pagetable, PageTable::new());
+            e.vacated = std::mem::take(&mut self.vacated);
+            e.owned_blocks = std::mem::take(&mut self.owned_blocks);
+            e.next_swap_slot = std::mem::take(&mut self.next_swap_slot);
+            e.free_swap_slots = std::mem::take(&mut self.free_swap_slots);
+        }
+        self.regions.set_regions(Vec::new());
+        self.procs.set_current(None);
     }
 
     /// Allocate a page-aligned shared memory block of at least `len`
@@ -1310,15 +1629,20 @@ impl SimKernel {
     /// map gains an RW region over the block). The caller is responsible
     /// for tracking the block in the process's allocation table so moves
     /// can patch its pointers.
-    pub fn shared_map(&mut self, pid: Pid, id: SharedId) {
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchShared`] for an unknown block id;
+    /// [`KernelError::StaleTenant`] when `pid` no longer names a live
+    /// process. Either way nothing is mapped.
+    pub fn shared_map(&mut self, pid: Pid, id: SharedId) -> Result<(), KernelError> {
         let (base, len) = {
-            let s = self.procs.shared(id).expect("live shared id");
+            let s = self
+                .procs
+                .shared(id)
+                .ok_or(KernelError::NoSuchShared { id })?;
             (s.base, s.len)
         };
-        let shared = self.procs.shared_mut(id);
-        if !shared.owners.contains(&pid) {
-            shared.owners.push(pid);
-        }
         let region = Region {
             start: base,
             len,
@@ -1329,10 +1653,18 @@ impl SimKernel {
             self.master.sort_by_key(|r| r.start);
             self.regions.set_regions(self.master.clone());
         } else {
-            let e = self.procs.entry_mut(pid);
+            let e = self
+                .procs
+                .get_mut(pid)
+                .ok_or(KernelError::StaleTenant { pid })?;
             e.regions.push(region);
             e.regions.sort_by_key(|r| r.start);
         }
+        let shared = self.procs.shared_mut(id);
+        if !shared.owners.contains(&pid) {
+            shared.owners.push(pid);
+        }
+        Ok(())
     }
 
     /// [`SimKernel::journaled_move`] across several owner tables at once
@@ -1396,7 +1728,10 @@ impl SimKernel {
         threads: usize,
     ) -> Result<(WorldStop, MoveOutcome), KernelError> {
         let (base, len, owners) = {
-            let s = self.procs.shared(id).expect("live shared id");
+            let s = self
+                .procs
+                .shared(id)
+                .ok_or(KernelError::NoSuchShared { id })?;
             (s.base, s.len, s.owners.clone())
         };
         // Pre-negotiate expansion across every owner so the destination
@@ -1423,14 +1758,27 @@ impl SimKernel {
                 return Err(e);
             }
         };
-        let mut tables: Vec<AllocationTable> = owners
-            .iter()
-            .map(|&p| {
-                self.procs
-                    .checkout_table(p)
-                    .expect("owner tables checked in for a shared move")
-            })
-            .collect();
+        // Check out every owner's table; a missing one (stale owner, or a
+        // table still checked out to a running tenant) aborts the episode
+        // with everything restored.
+        let mut tables: Vec<AllocationTable> = Vec::with_capacity(owners.len());
+        let mut checked_out: Vec<Pid> = Vec::with_capacity(owners.len());
+        for &p in &owners {
+            match self.procs.checkout_table(p) {
+                Some(t) => {
+                    tables.push(t);
+                    checked_out.push(p);
+                }
+                None => {
+                    for (&q, t) in checked_out.iter().zip(tables) {
+                        self.procs.checkin_table(q, t);
+                    }
+                    world.abort(&self.cost);
+                    self.release_move_dst(dst);
+                    return Err(KernelError::StaleTenant { pid: p });
+                }
+            }
+        }
         let req = MoveRequest {
             src: xsrc,
             len: xlen,
@@ -1452,6 +1800,7 @@ impl SimKernel {
             }
         };
         outcome.cost.alloc_and_move += backoff;
+        self.commit_dst_block(&dst);
         Self::finish_stop(&mut world, &self.cost)?;
 
         // Region maintenance, for every owner: the moved range leaves its
@@ -1467,9 +1816,9 @@ impl SimKernel {
                     outcome.moved_dst,
                 );
                 self.regions.set_regions(self.master.clone());
-            } else {
+            } else if let Some(e) = self.procs.get_mut(pid) {
                 retarget_region(
-                    &mut self.procs.entry_mut(pid).regions,
+                    &mut e.regions,
                     outcome.moved_src,
                     outcome.moved_len,
                     outcome.moved_dst,
@@ -1631,7 +1980,7 @@ mod tests {
         let (mut k, p0, p1, img0, img1) = boot_two_procs();
         assert_eq!(k.regions.len(), 0, "nothing installed before a switch");
 
-        let c0 = k.proc_switch(p0, false);
+        let c0 = k.proc_switch(p0, false).expect("live pid");
         assert_eq!(k.procs.current(), Some(p0));
         assert!(
             k.regions
@@ -1646,7 +1995,7 @@ mod tests {
             "the other tenant's memory is not"
         );
 
-        let c1 = k.proc_switch(p1, true);
+        let c1 = k.proc_switch(p1, true).expect("live pid");
         assert!(
             k.regions
                 .check(GuardImpl::IfTree, img1.globals[0], 8, Access::Write)
@@ -1664,7 +2013,7 @@ mod tests {
         assert_eq!(a1.ctx_switches, 1);
         assert_eq!(a1.tlb_flushes, 1, "traditional switch flushed");
         assert_eq!(k.procs.get(p0).unwrap().accounting.tlb_flushes, 0);
-        assert_eq!(k.proc_switch(p1, true), 0, "switch to self is free");
+        assert_eq!(k.proc_switch(p1, true), Ok(0), "switch to self is free");
     }
 
     #[test]
@@ -1672,11 +2021,11 @@ mod tests {
         let (mut k, p0, p1, _, _) = boot_two_procs();
         let id = k.shared_create(4096).expect("frames available");
         let base = k.procs.shared(id).unwrap().base;
-        k.shared_map(p0, id);
-        k.shared_map(p1, id);
+        k.shared_map(p0, id).expect("maps");
+        k.shared_map(p1, id).expect("maps");
         assert_eq!(k.procs.shared(id).unwrap().owners, vec![p0, p1]);
         for p in [p0, p1] {
-            k.proc_switch(p, false);
+            k.proc_switch(p, false).expect("live pid");
             assert!(
                 k.regions
                     .check(GuardImpl::IfTree, base, 8, Access::Write)
@@ -1691,8 +2040,8 @@ mod tests {
         let (mut k, p0, p1, img0, img1) = boot_two_procs();
         let id = k.shared_create(4096).expect("frames available");
         let base = k.procs.shared(id).unwrap().base;
-        k.shared_map(p0, id);
-        k.shared_map(p1, id);
+        k.shared_map(p0, id).expect("maps");
+        k.shared_map(p1, id).expect("maps");
         // Each owner tracks the block and one escape cell in its own heap.
         let cells = [img0.heap.0 + 64, img1.heap.0 + 64];
         for (pid, cell) in [p0, p1].into_iter().zip(cells) {
@@ -1715,7 +2064,7 @@ mod tests {
         assert_eq!(regs, vec![new_base + 16, 0xdead]);
         // Every owner's region map (and table) follows the block.
         for pid in [p0, p1] {
-            k.proc_switch(pid, false);
+            k.proc_switch(pid, false).expect("live pid");
             assert!(
                 !k.regions.check(GuardImpl::IfTree, base, 8, Access::Read).ok,
                 "old location revoked for {pid}"
@@ -1737,8 +2086,8 @@ mod tests {
         let (mut k, p0, p1, img0, _) = boot_two_procs();
         let id = k.shared_create(4096).expect("frames available");
         let base = k.procs.shared(id).unwrap().base;
-        k.shared_map(p0, id);
-        k.shared_map(p1, id);
+        k.shared_map(p0, id).expect("maps");
+        k.shared_map(p1, id).expect("maps");
         let cell = img0.heap.0 + 64;
         let mut t = k.procs.checkout_table(p0).unwrap();
         t.track_alloc(base, 4096, carat_runtime::AllocKind::Heap);
@@ -2008,6 +2357,78 @@ mod tests {
         let mut table = AllocationTable::new();
         k.load(&signed, &mut table, LoadConfig::default())
             .expect("clean image verifies");
+    }
+
+    #[test]
+    fn capsule_round_trip_is_byte_identical() {
+        let mut k = SimKernel::new(1024 * 1024);
+        let image: Vec<u8> = (0..4096u32).map(|i| (i * 31 % 251) as u8).collect();
+        let slot = k.capsule_write(image.clone()).expect("write accepted");
+        assert_eq!(k.capsule_count(), 1);
+        assert_eq!(k.capsule_bytes(), 4096);
+        let back = k.capsule_read(slot).expect("checksum verifies");
+        assert_eq!(back, image);
+        // A read consumes the slot.
+        assert_eq!(
+            k.capsule_read(slot),
+            Err(KernelError::CapsuleMissing { slot })
+        );
+        assert_eq!(k.capsule_count(), 0);
+    }
+
+    #[test]
+    fn corrupted_capsule_fails_checksum_with_typed_error() {
+        let mut k = SimKernel::new(1024 * 1024);
+        let slot = k.capsule_write(vec![7u8; 512]).expect("write accepted");
+        assert!(k.debug_corrupt_capsule(slot));
+        let err = k.capsule_read(slot).expect_err("corruption detected");
+        assert_eq!(err, KernelError::CapsuleCorrupt { slot });
+        assert!(err.is_recoverable(), "capsule loss degrades one tenant");
+        // The corrupted image is dropped, not left to be retried.
+        assert_eq!(k.capsule_count(), 0);
+    }
+
+    #[test]
+    fn armed_capsule_faults_fire_once_then_disarm() {
+        let mut k = SimKernel::new(1024 * 1024);
+        k.install_fault_plan(
+            FaultPlan::new()
+                .arm(FaultPoint::CapsuleWrite, 1)
+                .arm(FaultPoint::CapsuleCorrupt, 1),
+        );
+        let err = k.capsule_write(vec![1u8; 64]).expect_err("armed write");
+        assert_eq!(err, KernelError::CapsuleWriteFailed { len: 64 });
+        assert_eq!(k.capsule_count(), 0, "failed write stored nothing");
+        let slot = k.capsule_write(vec![2u8; 64]).expect("fault disarmed");
+        let err = k
+            .capsule_read(slot)
+            .expect_err("armed corrupt flips a byte");
+        assert_eq!(err, KernelError::CapsuleCorrupt { slot });
+        let slot = k.capsule_write(vec![3u8; 64]).expect("write ok");
+        assert_eq!(
+            k.capsule_read(slot).expect("corrupt disarmed"),
+            vec![3u8; 64]
+        );
+    }
+
+    #[test]
+    fn stale_pid_surfaces_typed_errors_not_panics() {
+        let (mut k, p0, p1, _, _) = boot_two_procs();
+        k.proc_switch(p0, false).expect("live pid");
+        assert!(k.proc_kill(p1));
+        assert_eq!(
+            k.proc_switch(p1, false),
+            Err(KernelError::StaleTenant { pid: p1 })
+        );
+        let id = k.shared_create(4096).expect("frames available");
+        assert_eq!(
+            k.shared_map(p1, id),
+            Err(KernelError::StaleTenant { pid: p1 })
+        );
+        assert!(
+            k.procs.shared(id).expect("live id").owners.is_empty(),
+            "failed map did not half-register an owner"
+        );
     }
 
     #[test]

@@ -173,6 +173,17 @@ pub enum AdmissionError {
         /// The configured cap.
         limit: u64,
     },
+    /// The fleet is shedding load: frame utilization climbed past the
+    /// scheduler's backpressure watermark, so new admissions are refused
+    /// until the degradation ladder (compaction, page-out, capsule
+    /// externalization) brings utilization back down. The last rung of
+    /// graceful degradation — a typed refusal, never an allocator panic.
+    Backpressure {
+        /// Frame utilization (percent) when the spawn was refused.
+        utilization_pct: u64,
+        /// The watermark that tripped.
+        watermark_pct: u64,
+    },
 }
 
 impl fmt::Display for AdmissionError {
@@ -189,6 +200,14 @@ impl fmt::Display for AdmissionError {
                 f,
                 "admission refused: {requested} capsule bytes over-commit \
                  resident memory ({resident} of {limit} in use)"
+            ),
+            AdmissionError::Backpressure {
+                utilization_pct,
+                watermark_pct,
+            } => write!(
+                f,
+                "admission refused: backpressure at {utilization_pct}% frame \
+                 utilization (watermark {watermark_pct}%)"
             ),
         }
     }
@@ -219,6 +238,11 @@ pub struct ProcAccounting {
     pub pressure_moves: u64,
     /// Kernel cycles spent compacting/paging this process's memory.
     pub compaction_cycles: u64,
+    /// Times this tenant's capsule was externalized to the capsule device
+    /// by the degradation ladder.
+    pub externalizations: u64,
+    /// Times its capsule was rehydrated from the device at schedule time.
+    pub rehydrations: u64,
 }
 
 /// One process's kernel-side record.
@@ -247,6 +271,24 @@ pub struct ProcEntry {
     pub table: Option<AllocationTable>,
     /// Scheduling/fault accounting.
     pub accounting: ProcAccounting,
+    /// Move-destination recycler while descheduled: page ranges this
+    /// process's moves vacated, reused for its future move destinations.
+    /// Per-process (swapped with the kernel's live list on context
+    /// switch) so one tenant's churn never changes another's placement —
+    /// and so a dead tenant's fragments cannot alias frames the buddy
+    /// has already re-issued.
+    pub vacated: Vec<(u64, u64)>,
+    /// Base addresses of whole buddy blocks this process obtained after
+    /// admission (move/page-in/stack-growth destinations). Freed back to
+    /// the buddy when the process is killed — the reap half of
+    /// supervision.
+    pub owned_blocks: Vec<u64>,
+    /// Next unissued local swap-slot ordinal (per-process, so one
+    /// tenant's page-outs never renumber another's poison addresses).
+    pub next_swap_slot: u64,
+    /// Recycled local swap-slot ordinals (freed by page-ins), reissued
+    /// lowest-first so slot assignment stays deterministic.
+    pub free_swap_slots: std::collections::BTreeSet<u64>,
 }
 
 /// A page-aligned block mapped into several processes' region sets.
@@ -415,10 +457,6 @@ impl ProcTable {
         s.entry.as_mut()
     }
 
-    pub(crate) fn entry_mut(&mut self, pid: Pid) -> &mut ProcEntry {
-        self.get_mut(pid).expect("live pid")
-    }
-
     /// Admission check for a capsule of `bytes`: would a spawn be
     /// accepted right now?
     ///
@@ -480,6 +518,10 @@ impl ProcTable {
             pagetable,
             table,
             accounting: ProcAccounting::default(),
+            vacated: Vec::new(),
+            owned_blocks: Vec::new(),
+            next_swap_slot: 0,
+            free_swap_slots: std::collections::BTreeSet::new(),
         });
         self.live += 1;
         self.resident += bytes;
@@ -499,7 +541,8 @@ impl ProcTable {
         let idx = pid.index() as u32;
         self.dequeue(idx);
         let slot = &mut self.slots[pid.index()];
-        let entry = slot.entry.take().expect("validated live");
+        // `valid` above proved the entry live.
+        let entry = slot.entry.take()?;
         slot.generation = slot.generation.wrapping_add(1);
         self.free.push(idx);
         self.live -= 1;
@@ -608,7 +651,11 @@ impl ProcTable {
             return;
         }
         let idx = pid.index() as u32;
-        self.slots[pid.index()].entry.as_mut().expect("live").state = state;
+        // `valid` above proved the entry live; a stale pid already
+        // returned, so this is never reached with an empty slot.
+        if let Some(e) = self.slots[pid.index()].entry.as_mut() {
+            e.state = state;
+        }
         if matches!(state, ProcState::Runnable) {
             self.enqueue(idx);
         } else {
@@ -632,9 +679,13 @@ impl ProcTable {
             len,
             write,
         };
-        let e = self.entry_mut(pid);
-        e.accounting.protection_faults += 1;
-        self.set_state(pid, ProcState::Faulted(fault));
+        // A stale pid (tenant killed between the guard failing and the
+        // fault being recorded) has nothing to account against; the typed
+        // fault is still produced for the caller's report.
+        if let Some(e) = self.get_mut(pid) {
+            e.accounting.protection_faults += 1;
+            self.set_state(pid, ProcState::Faulted(fault));
+        }
         fault
     }
 

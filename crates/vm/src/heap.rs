@@ -95,6 +95,32 @@ impl HeapAllocator {
         self.allocated.len()
     }
 
+    /// Capsule view of the allocator: the free list (already sorted) and
+    /// the live-block map sorted by start address, so serializing the
+    /// same heap twice yields identical bytes regardless of `HashMap`
+    /// iteration order.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn snapshot(&self) -> (&[(u64, u64)], Vec<(u64, u64)>) {
+        let mut allocated: Vec<(u64, u64)> = self.allocated.iter().map(|(&s, &l)| (s, l)).collect();
+        allocated.sort_unstable();
+        (&self.free, allocated)
+    }
+
+    /// Rebuild an allocator from its capsule view.
+    pub(crate) fn restore(
+        free: Vec<(u64, u64)>,
+        allocated: Vec<(u64, u64)>,
+        peak_bytes: u64,
+        live_bytes: u64,
+    ) -> HeapAllocator {
+        HeapAllocator {
+            free,
+            allocated: allocated.into_iter().collect(),
+            peak_bytes,
+            live_bytes,
+        }
+    }
+
     /// Rebase bookkeeping after the kernel moved `[lo, lo+len)` by
     /// `delta`: live blocks inside the range get new start addresses, and
     /// the *portions* of free chunks inside the range move too (their

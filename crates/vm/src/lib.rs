@@ -32,11 +32,13 @@
 
 #![warn(missing_docs)]
 
+mod capsule;
 mod counters;
 mod decode;
 mod heap;
 mod machine;
 mod multi;
+mod supervise;
 mod tlb;
 
 pub use counters::{MoveBreakdownSum, OpcodeMix, PerfCounters};
@@ -50,6 +52,7 @@ pub use machine::{
     TenantState, Vm, VmConfig, VmError,
 };
 pub use multi::{MultiVm, MultiVmConfig, ProcOutcome, ProcReport, ProcSpec, TenancyError};
+pub use supervise::{SupervisionEvent, Supervisor, SupervisorConfig, TenantExit, Verdict};
 pub use tlb::{Tlb, TranslationUnit};
 
 #[cfg(test)]

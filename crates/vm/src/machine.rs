@@ -22,7 +22,8 @@ use carat_ir::{
     ValueId,
 };
 use carat_kernel::{
-    AdmissionError, FaultPlan, KernelError, LoadConfig, LoadError, ProcessImage, SimKernel,
+    AdmissionError, FaultPlan, FaultPoint, KernelError, LoadConfig, LoadError, ProcessImage,
+    SimKernel,
 };
 use carat_runtime::{Access, AllocKind, AllocationTable, CostModel, GuardImpl, TrackStats};
 use std::error::Error;
@@ -187,6 +188,10 @@ pub enum VmError {
     /// The kernel's admission control refused the tenant (quota
     /// over-commit) before it became schedulable.
     Admission(AdmissionError),
+    /// A fleet-level tenancy operation was refused (stale pid,
+    /// externalized state, or an engaged kernel); see
+    /// [`crate::TenancyError`].
+    Tenancy(crate::multi::TenancyError),
 }
 
 impl fmt::Display for VmError {
@@ -203,7 +208,14 @@ impl fmt::Display for VmError {
             VmError::Load(e) => write!(f, "load: {e}"),
             VmError::Kernel(e) => write!(f, "kernel: {e}"),
             VmError::Admission(e) => write!(f, "admission: {e}"),
+            VmError::Tenancy(e) => write!(f, "tenancy: {e}"),
         }
+    }
+}
+
+impl From<crate::multi::TenancyError> for VmError {
+    fn from(e: crate::multi::TenancyError) -> VmError {
+        VmError::Tenancy(e)
     }
 }
 
@@ -301,7 +313,7 @@ impl IntegrityReport {
 
 /// An SSA register value.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Value {
+pub(crate) enum Value {
     I(i64),
     F(f64),
     P(u64),
@@ -331,17 +343,17 @@ impl Value {
     }
 }
 
-struct Frame {
-    func: FuncId,
-    regs: Vec<Value>,
-    block: BlockId,
-    idx: usize,
-    prev_block: Option<BlockId>,
-    sp_base: u64,
-    ret_to: Option<ValueId>,
+pub(crate) struct Frame {
+    pub(crate) func: FuncId,
+    pub(crate) regs: Vec<Value>,
+    pub(crate) block: BlockId,
+    pub(crate) idx: usize,
+    pub(crate) prev_block: Option<BlockId>,
+    pub(crate) sp_base: u64,
+    pub(crate) ret_to: Option<ValueId>,
     /// The current block's decoded code, pinned here so the hot fetch is
     /// one indexed load (kept in sync by `push_frame` and `jump`).
-    code: std::rc::Rc<[DecodedInst]>,
+    pub(crate) code: std::rc::Rc<[DecodedInst]>,
 }
 
 /// Bookkeeping for writing a patched register snapshot back into every
@@ -354,10 +366,10 @@ pub(crate) struct SnapshotMap {
 }
 
 /// A thread that is not currently executing.
-struct ParkedThread {
-    frames: Vec<Frame>,
-    sp: u64,
-    stack_base: u64,
+pub(crate) struct ParkedThread {
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) sp: u64,
+    pub(crate) stack_base: u64,
 }
 
 /// Last-hit region cache for the guard fast path: the bounds, permissions
@@ -369,12 +381,12 @@ struct ParkedThread {
 /// same search path — and therefore the same probe count — through each
 /// guard implementation.
 #[derive(Debug, Clone, Copy)]
-struct GuardFastPath {
-    generation: u64,
-    start: u64,
-    end: u64,
-    perms: carat_runtime::Perms,
-    probes: u64,
+pub(crate) struct GuardFastPath {
+    pub(crate) generation: u64,
+    pub(crate) start: u64,
+    pub(crate) end: u64,
+    pub(crate) perms: carat_runtime::Perms,
+    pub(crate) probes: u64,
 }
 
 impl Default for GuardFastPath {
@@ -392,7 +404,7 @@ impl Default for GuardFastPath {
 }
 
 /// Lifecycle state of one thread slot.
-enum ThreadState {
+pub(crate) enum ThreadState {
     /// This slot is the currently executing thread (its state lives in the
     /// `Vm` fields).
     Current,
@@ -498,36 +510,36 @@ impl fmt::Debug for Vm {
 /// allocating. The guard fast path and translation caches ride along and
 /// self-invalidate (the region-table generation bumps on every switch).
 pub struct TenantState {
-    cfg: VmConfig,
-    image: ProcessImage,
-    heap: HeapAllocator,
-    tlb: TranslationUnit,
-    counters: PerfCounters,
-    output: Vec<String>,
-    program: Rc<DecodedProgram>,
-    phi_scratch: Vec<Value>,
-    rng: u64,
-    sp: u64,
-    frames: Vec<Frame>,
-    threads: Vec<ThreadState>,
-    cur_tid: usize,
-    parked_threads: usize,
-    block_current: bool,
-    cur_stack_base: u64,
-    access_counter: u64,
-    next_move_at: u64,
-    moves_done: u64,
-    next_swap_at: u64,
-    swaps_done: u64,
-    peak_tracking_bytes: usize,
-    guard_cache: GuardFastPath,
-    last_vpn: u64,
-    fusion: FusionStats,
-    regs_pool: Vec<Vec<Value>>,
-    next_rotate_at: u64,
-    bail_insts_at: u64,
-    bail_cycles_at: u64,
-    slice_limit: u64,
+    pub(crate) cfg: VmConfig,
+    pub(crate) image: ProcessImage,
+    pub(crate) heap: HeapAllocator,
+    pub(crate) tlb: TranslationUnit,
+    pub(crate) counters: PerfCounters,
+    pub(crate) output: Vec<String>,
+    pub(crate) program: Rc<DecodedProgram>,
+    pub(crate) phi_scratch: Vec<Value>,
+    pub(crate) rng: u64,
+    pub(crate) sp: u64,
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) threads: Vec<ThreadState>,
+    pub(crate) cur_tid: usize,
+    pub(crate) parked_threads: usize,
+    pub(crate) block_current: bool,
+    pub(crate) cur_stack_base: u64,
+    pub(crate) access_counter: u64,
+    pub(crate) next_move_at: u64,
+    pub(crate) moves_done: u64,
+    pub(crate) next_swap_at: u64,
+    pub(crate) swaps_done: u64,
+    pub(crate) peak_tracking_bytes: usize,
+    pub(crate) guard_cache: GuardFastPath,
+    pub(crate) last_vpn: u64,
+    pub(crate) fusion: FusionStats,
+    pub(crate) regs_pool: Vec<Vec<Value>>,
+    pub(crate) next_rotate_at: u64,
+    pub(crate) bail_insts_at: u64,
+    pub(crate) bail_cycles_at: u64,
+    pub(crate) slice_limit: u64,
 }
 
 impl fmt::Debug for TenantState {
@@ -550,6 +562,19 @@ impl TenantState {
     /// The tenant's live image (globals patched by moves, stack rebased).
     pub fn image(&self) -> &ProcessImage {
         &self.image
+    }
+
+    /// The tenant's VM configuration — the host-side half of an
+    /// externalized capsule (the serialized image deliberately excludes
+    /// it; see [`TenantState::externalize`]).
+    pub fn config(&self) -> &VmConfig {
+        &self.cfg
+    }
+
+    /// The tenant's decoded program handle (shared across the fleet;
+    /// never serialized).
+    pub fn program(&self) -> &Rc<DecodedProgram> {
+        &self.program
     }
 
     /// Approximate heap bytes this descheduled tenant pins on the host:
@@ -708,7 +733,7 @@ impl Vm {
     /// of every slice: the kernel goes back to the scheduler, the table
     /// checks back into the process table, and the `TenantState` parks in
     /// the tenant slot. Pure field moves — no allocation, no clone.
-    pub(crate) fn into_tenant(self) -> (SimKernel, AllocationTable, TenantState) {
+    pub fn into_tenant(self) -> (SimKernel, AllocationTable, TenantState) {
         let Vm {
             cfg,
             kernel,
@@ -783,7 +808,7 @@ impl Vm {
     /// [`Vm::into_tenant`]. Pure field moves; the caches inside the state
     /// (guard fast path, TLB) self-invalidate against the freshly
     /// installed region table on first use.
-    pub(crate) fn from_tenant(kernel: SimKernel, table: AllocationTable, state: TenantState) -> Vm {
+    pub fn from_tenant(kernel: SimKernel, table: AllocationTable, state: TenantState) -> Vm {
         let TenantState {
             cfg,
             image,
@@ -2693,6 +2718,11 @@ impl Vm {
             Intrinsic::Malloc => {
                 let size = args[0].as_i().max(0) as u64;
                 self.counters.cycles += 60;
+                // Injected allocation failure: the tenant sees a clean
+                // out-of-memory, exactly as if its arena were exhausted.
+                if self.kernel.poll_fault(FaultPoint::TenantOom) {
+                    return Err(VmError::OutOfMemory);
+                }
                 let addr = self.heap.alloc(size).ok_or(VmError::OutOfMemory)?;
                 Ok(Some(Value::P(addr)))
             }

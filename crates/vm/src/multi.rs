@@ -34,10 +34,11 @@ use std::rc::Rc;
 use crate::counters::PerfCounters;
 use crate::decode::DecodedProgram;
 use crate::machine::{Mode, RunResult, SliceExit, TenantState, Vm, VmConfig, VmError};
+use crate::supervise::{PendingRestart, Supervisor, SupervisorConfig, TenantExit, Verdict};
 use carat_ir::Module;
 use carat_kernel::{
-    Pid, ProcAccounting, ProcState, ProtectionFault, SharedId, SimKernel, TenantQuotas,
-    POISON_BASE, POISON_SLOT_SPAN,
+    AdmissionError, FaultPlan, KernelError, Pid, ProcAccounting, ProcState, ProtectionFault,
+    SharedId, SimKernel, TenantQuotas, POISON_BASE, POISON_SLOT_SPAN,
 };
 use carat_runtime::{AllocKind, AllocationTable, MemAccess};
 
@@ -82,6 +83,31 @@ pub struct MultiVmConfig {
     /// the tenant-count or resident-byte ceiling fail with a typed
     /// [`VmError::Admission`] instead of exhausting the kernel arena.
     pub quotas: TenantQuotas,
+    /// Supervision policy (default `None`: terminal tenant outcomes are
+    /// recorded and the pid retired, exactly the pre-supervision
+    /// behavior). With a policy installed, every abnormal exit goes
+    /// through the [`Supervisor`]: recoverable exits are restarted with
+    /// exponential backoff, unrecoverable ones (and lineages past the
+    /// restart cap) are quarantined and reaped.
+    pub supervisor: Option<SupervisorConfig>,
+    /// Rung 3 of the degradation ladder: when a pressure pass sees
+    /// frame utilization at or above this percentage, the coldest
+    /// resident tenant is externalized into the checksummed capsule
+    /// device. `100` effectively disables the rung (the default — the
+    /// differential suites expect rungs 1–2 only).
+    pub externalize_watermark: u64,
+    /// Rung 4: admissions at or above this frame-utilization percentage
+    /// are refused with [`AdmissionError::Backpressure`]. `101`
+    /// disables the rung (the default).
+    pub backpressure_watermark: u64,
+    /// Private move-destination pool reserved per tenant at admission,
+    /// in frames (0 disables — the default). With a pool, a tenant's
+    /// CARAT move destinations are carved from its own pre-reserved
+    /// frames instead of the shared buddy allocator, so fleet
+    /// composition cannot perturb its relocation addresses — the
+    /// strongest form of the bystander-determinism guarantee. The pool
+    /// is reaped in full when the tenant dies.
+    pub tenant_pool_pages: u64,
 }
 
 impl Default for MultiVmConfig {
@@ -94,6 +120,10 @@ impl Default for MultiVmConfig {
             batch_stops: true,
             move_workers: 1,
             quotas: TenantQuotas::default(),
+            supervisor: None,
+            externalize_watermark: 100,
+            backpressure_watermark: 101,
+            tenant_pool_pages: 0,
         }
     }
 }
@@ -107,12 +137,27 @@ impl Default for MultiVmConfig {
 pub enum TenancyError {
     /// No live tenant answers to this pid.
     NoSuchTenant(Pid),
+    /// The tenant is live but its execution state is externalized to
+    /// the capsule device: counters and footprint are unreadable until
+    /// it is next scheduled (and thus rehydrated).
+    NotResident(Pid),
+    /// The shared kernel (or its spare placeholder) is engaged in a
+    /// tenant slice and cannot service a fleet operation right now. A
+    /// host-logic invariant violation surfaced as a typed refusal —
+    /// never a panic mid-fleet.
+    KernelEngaged,
 }
 
 impl fmt::Display for TenancyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TenancyError::NoSuchTenant(pid) => write!(f, "no such tenant: {pid}"),
+            TenancyError::NotResident(pid) => {
+                write!(f, "tenant {pid} is externalized to the capsule device")
+            }
+            TenancyError::KernelEngaged => {
+                write!(f, "the shared kernel is engaged in a tenant slice")
+            }
         }
     }
 }
@@ -148,13 +193,30 @@ pub struct ProcReport {
 }
 
 /// One slab slot of the fleet: the descheduled execution state plus the
-/// scheduler-side facts about the tenant. `state` is `None` only while
-/// the tenant is materialized as a `Vm` inside a scheduling operation.
+/// scheduler-side facts about the tenant. `state` is `None` while the
+/// tenant is materialized as a `Vm` inside a scheduling operation, or
+/// while its capsule is externalized (`external` holds the device slot).
 struct Tenant {
     pid: Pid,
     name: String,
     traditional: bool,
+    /// Respawn-from-image spec: the module and config this lineage was
+    /// admitted with (the config's fault plan is stripped — the shared
+    /// kernel plan is installed once, not re-armed per respawn).
+    module: Rc<Module>,
+    cfg: VmConfig,
+    /// The decoded-program handle, kept host-side so an externalized
+    /// capsule (which deliberately excludes it) can be rehydrated.
+    program: Rc<DecodedProgram>,
     state: Option<TenantState>,
+    /// Capsule-device slot while externalized.
+    external: Option<u64>,
+    /// Supervised restarts this lineage has consumed (carried across
+    /// respawns so the circuit breaker counts the whole lineage).
+    restarts: u32,
+    /// Fleet slice this tenant last ran — the externalization rung's
+    /// coldness metric.
+    last_ran: u64,
     outcome: Option<ProcOutcome>,
 }
 
@@ -179,6 +241,12 @@ pub struct MultiVm {
     /// Slices executed so far (drives the pressure cadence across
     /// [`MultiVm::run_batch`] calls).
     slices: u64,
+    /// Restart/quarantine policy engine, when configured.
+    supervisor: Option<Supervisor>,
+    /// Final reports of tenants the supervisor reaped (restarted or
+    /// quarantined) — prepended to [`MultiVm::run`]'s report list so a
+    /// supervised fleet still accounts for every admission.
+    retired: Vec<ProcReport>,
 }
 
 impl MultiVm {
@@ -198,6 +266,8 @@ impl MultiVm {
             spare: Some(SimKernel::placeholder()),
             slots: Vec::new(),
             programs: Vec::new(),
+            supervisor: cfg.supervisor.map(Supervisor::new),
+            retired: Vec::new(),
             cfg,
             slices: 0,
         };
@@ -258,14 +328,38 @@ impl MultiVm {
         cfg: VmConfig,
         share_program: bool,
     ) -> Result<Pid, VmError> {
+        // Rung 4 of the degradation ladder: past the backpressure
+        // watermark the fleet sheds load at the door — a typed refusal
+        // before any frame is committed, never an allocator panic.
+        let utilization_pct = self.utilization_pct();
+        if utilization_pct >= self.cfg.backpressure_watermark {
+            return Err(VmError::Admission(AdmissionError::Backpressure {
+                utilization_pct,
+                watermark_pct: self.cfg.backpressure_watermark,
+            }));
+        }
         if let Some(plan) = cfg.fault_plan.clone() {
             self.kernel.install_fault_plan(plan);
         }
+        // Mid-fleet admission (supervised respawn, churn): the loader
+        // builds the newcomer's region list in the kernel's live master
+        // list, so an installed incumbent must be parked first or its
+        // regions would be swept into the newcomer's entry.
+        self.kernel.proc_park();
         let mut table = AllocationTable::new();
         let image = self
             .kernel
             .load_shared(module.clone(), &mut table, cfg.load)?;
         let pid = self.kernel.register_proc(name, image.clone())?;
+        if let Err(e) = self
+            .kernel
+            .proc_reserve_pool(pid, self.cfg.tenant_pool_pages)
+        {
+            // Pool reservation is part of admission: refuse the tenant
+            // whole rather than admit it with weaker isolation.
+            self.kernel.proc_kill(pid);
+            return Err(VmError::Kernel(e));
+        }
         self.kernel.procs.checkin_table(pid, table);
         let program = if share_program {
             self.decoded(&module)
@@ -273,10 +367,20 @@ impl MultiVm {
             Rc::new(DecodedProgram::decode(&module))
         };
         let traditional = cfg.mode == Mode::Traditional;
+        // The respawn spec keeps the admission config minus its fault
+        // plan: the shared kernel plan was installed above, once — a
+        // supervised respawn must not re-arm it.
+        let mut spec_cfg = cfg.clone();
+        spec_cfg.fault_plan = None;
         // Assemble the tenant around the spare placeholder: `start` only
         // builds host-side frame state, so the real kernel is not needed.
-        let spare = self.spare.take().expect("spare kernel parked");
-        let mut vm = Vm::assemble(spare, AllocationTable::new(), image, cfg, program);
+        let Some(spare) = self.spare.take() else {
+            // Host invariant violated (the spare is away mid-slice):
+            // refuse typed rather than panic with a half-admitted tenant.
+            self.kernel.proc_kill(pid);
+            return Err(VmError::Tenancy(TenancyError::KernelEngaged));
+        };
+        let mut vm = Vm::assemble(spare, AllocationTable::new(), image, cfg, program.clone());
         let started = vm.start();
         let (spare, _empty, state) = vm.into_tenant();
         self.spare = Some(spare);
@@ -296,7 +400,13 @@ impl MultiVm {
             pid,
             name: name.to_string(),
             traditional,
+            module,
+            cfg: spec_cfg,
+            program,
             state: Some(state),
+            external: None,
+            restarts: 0,
+            last_ran: self.slices,
             outcome: None,
         });
         Ok(pid)
@@ -329,6 +439,16 @@ impl MultiVm {
         if !live {
             return false;
         }
+        // Reap-and-release: kernel frames and quota via `proc_kill`,
+        // plus any capsule the tenant left in the device.
+        if let Some(slot) = self
+            .slots
+            .get(pid.index())
+            .and_then(|s| s.as_ref())
+            .and_then(|t| t.external)
+        {
+            self.kernel.capsule_free(slot);
+        }
         self.kernel.proc_kill(pid);
         self.slots[pid.index()] = None;
         // Drop decoded programs whose last tenant just died (the cache
@@ -351,14 +471,15 @@ impl MultiVm {
     ///
     /// # Errors
     ///
-    /// [`TenancyError::NoSuchTenant`] for a killed or recycled pid.
+    /// [`TenancyError::NoSuchTenant`] for a killed or recycled pid;
+    /// [`TenancyError::NotResident`] while the tenant's capsule is
+    /// externalized to the device.
     pub fn counters(&self, pid: Pid) -> Result<&PerfCounters, TenancyError> {
-        Ok(self
-            .tenant(pid)?
-            .state
+        let t = self.tenant(pid)?;
+        t.state
             .as_ref()
-            .expect("descheduled tenant holds its state")
-            .counters())
+            .map(|s| s.counters())
+            .ok_or(TenancyError::NotResident(pid))
     }
 
     /// Host bytes pinned by tenant `pid` while descheduled — the fleet
@@ -368,14 +489,141 @@ impl MultiVm {
     ///
     /// # Errors
     ///
-    /// [`TenancyError::NoSuchTenant`] for a killed or recycled pid.
+    /// [`TenancyError::NoSuchTenant`] for a killed or recycled pid;
+    /// [`TenancyError::NotResident`] while the tenant's capsule is
+    /// externalized to the device.
     pub fn descheduled_bytes(&self, pid: Pid) -> Result<usize, TenancyError> {
-        Ok(self
-            .tenant(pid)?
-            .state
+        let t = self.tenant(pid)?;
+        t.state
             .as_ref()
-            .expect("descheduled tenant holds its state")
-            .footprint_bytes())
+            .map(|s| s.footprint_bytes())
+            .ok_or(TenancyError::NotResident(pid))
+    }
+
+    /// The supervisor's decision log and tallies, when supervision is
+    /// configured.
+    pub fn supervisor(&self) -> Option<&Supervisor> {
+        self.supervisor.as_ref()
+    }
+
+    /// Fleet slices executed so far.
+    pub fn slices(&self) -> u64 {
+        self.slices
+    }
+
+    /// Current frame utilization of the shared kernel arena, in percent
+    /// — the degradation ladder's pressure signal.
+    pub fn utilization_pct(&self) -> u64 {
+        let total = self.kernel.buddy.total_pages();
+        if total == 0 {
+            return 0;
+        }
+        (total - self.kernel.buddy.pages_free()) * 100 / total
+    }
+
+    /// Arm the shared kernel with a seeded fault plan — the chaos
+    /// bench's storm installer. Replaces any plan installed at
+    /// admission time.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.kernel.install_fault_plan(plan);
+    }
+
+    /// Externalize tenant `pid`: serialize its descheduled state into
+    /// the kernel's checksummed capsule device and drop the resident
+    /// copy (rung 3 of the degradation ladder; also callable directly).
+    /// Idempotent — an already-externalized tenant returns its existing
+    /// slot. Returns the device slot.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::StaleTenant`] (as [`VmError::Kernel`]) for a dead
+    /// pid, or [`KernelError::CapsuleWriteFailed`] when the device
+    /// refuses the write (injected fault) — the tenant stays resident
+    /// and untouched.
+    pub fn externalize_tenant(&mut self, pid: Pid) -> Result<u64, VmError> {
+        let idx = pid.index();
+        {
+            let t = self
+                .slots
+                .get(idx)
+                .and_then(|s| s.as_ref())
+                .filter(|t| t.pid == pid)
+                .ok_or(VmError::Kernel(KernelError::StaleTenant { pid }))?;
+            if let Some(slot) = t.external {
+                return Ok(slot);
+            }
+        }
+        let state = self.slots[idx]
+            .as_mut()
+            .and_then(|t| t.state.take())
+            .ok_or(VmError::Kernel(KernelError::StaleTenant { pid }))?;
+        let bytes = state.externalize();
+        match self.kernel.capsule_write(bytes) {
+            Ok(slot) => {
+                if let Some(t) = self.slots[idx].as_mut() {
+                    t.external = Some(slot);
+                }
+                if let Some(e) = self.kernel.procs.get_mut(pid) {
+                    e.accounting.externalizations += 1;
+                }
+                Ok(slot)
+            }
+            Err(e) => {
+                // Device refused: put the resident copy back; nothing
+                // was consumed.
+                if let Some(t) = self.slots[idx].as_mut() {
+                    t.state = Some(state);
+                }
+                Err(VmError::Kernel(e))
+            }
+        }
+    }
+
+    /// Rehydrate tenant `pid` from the capsule device (no-op when it is
+    /// already resident). Called automatically when an externalized
+    /// tenant is next scheduled.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::CapsuleCorrupt`] (as [`VmError::Kernel`]) when
+    /// the image fails its checksum or no longer parses — the execution
+    /// state is lost (the device consumed the slot) and the supervisor,
+    /// if configured, respawns the lineage from its admission image.
+    pub fn rehydrate_tenant(&mut self, pid: Pid) -> Result<(), VmError> {
+        let idx = pid.index();
+        let slot = {
+            let t = self
+                .slots
+                .get(idx)
+                .and_then(|s| s.as_ref())
+                .filter(|t| t.pid == pid)
+                .ok_or(VmError::Kernel(KernelError::StaleTenant { pid }))?;
+            match t.external {
+                Some(slot) => slot,
+                None => return Ok(()),
+            }
+        };
+        // The read consumes the slot whether or not it verifies; the
+        // resident marker is cleared on every path below.
+        let read = self.kernel.capsule_read(slot);
+        let t = self.slots[idx]
+            .as_mut()
+            .ok_or(VmError::Kernel(KernelError::StaleTenant { pid }))?;
+        t.external = None;
+        let bytes = match read {
+            Ok(bytes) => bytes,
+            Err(e) => return Err(VmError::Kernel(e)),
+        };
+        match TenantState::rehydrate(&bytes, t.cfg.clone(), t.module.clone(), t.program.clone()) {
+            Some(state) => {
+                t.state = Some(state);
+                if let Some(e) = self.kernel.procs.get_mut(pid) {
+                    e.accounting.rehydrations += 1;
+                }
+                Ok(())
+            }
+            None => Err(VmError::Kernel(KernelError::CapsuleCorrupt { slot })),
+        }
     }
 
     /// Create a shared memory block of at least `len` bytes (page
@@ -393,26 +641,39 @@ impl MultiVm {
     /// `global` — the block becomes a tracked allocation in the owner's
     /// table and the global's cell a registered escape, so a later
     /// kernel move of the block patches this owner's pointer too.
-    pub fn shared_map(&mut self, pid: Pid, id: SharedId, global: usize) {
-        self.kernel.shared_map(pid, id);
-        let (base, len) = {
-            let s = self.kernel.procs.shared(id).expect("live shared id");
-            (s.base, s.len)
-        };
+    ///
+    /// # Errors
+    ///
+    /// Typed, never a panic: [`KernelError::NoSuchShared`] for a dead
+    /// block id, [`KernelError::StaleTenant`] for a dead or
+    /// externalized pid, and a [`VmError::Trap`] for a global index the
+    /// program does not have.
+    pub fn shared_map(&mut self, pid: Pid, id: SharedId, global: usize) -> Result<(), VmError> {
         let cell = self
             .tenant(pid)
-            .expect("live tenant")
-            .state
-            .as_ref()
-            .expect("descheduled tenant holds its state")
+            .ok()
+            .and_then(|t| t.state.as_ref())
+            .ok_or(VmError::Kernel(KernelError::StaleTenant { pid }))?
             .image()
-            .globals[global];
+            .globals
+            .get(global)
+            .copied()
+            .ok_or_else(|| VmError::Trap(format!("shared_map: no global #{global}")))?;
+        self.kernel.shared_map(pid, id)?;
+        let (base, len) = {
+            let s = self
+                .kernel
+                .procs
+                .shared(id)
+                .ok_or(VmError::Kernel(KernelError::NoSuchShared { id }))?;
+            (s.base, s.len)
+        };
         self.kernel.mem.write_uint(cell, base, 8);
         let mut table = self
             .kernel
             .procs
             .checkout_table(pid)
-            .expect("shared_map between slices: table checked in");
+            .ok_or(VmError::Kernel(KernelError::StaleTenant { pid }))?;
         // Kernel-side setup, not guest instrumentation: track and resolve
         // directly against the table, charging the guest nothing.
         table.track_alloc(base, len, AllocKind::Heap);
@@ -420,6 +681,7 @@ impl MultiVm {
         let mem = &self.kernel.mem;
         table.flush_escapes(|c| mem.read_u64(c));
         self.kernel.procs.checkin_table(pid, table);
+        Ok(())
     }
 
     /// Move shared block `id` to a fresh location in one world stop:
@@ -434,7 +696,11 @@ impl MultiVm {
     /// pre-call state and is retryable.
     pub fn move_shared(&mut self, id: SharedId) -> Result<u64, VmError> {
         let owners = {
-            let s = self.kernel.procs.shared(id).expect("live shared id");
+            let s = self
+                .kernel
+                .procs
+                .shared(id)
+                .ok_or(VmError::Kernel(KernelError::NoSuchShared { id }))?;
             s.owners.clone()
         };
         // Quiesced by construction: escapes were flushed when each owner
@@ -445,7 +711,9 @@ impl MultiVm {
         let mut spans = Vec::with_capacity(owners.len());
         let mut threads = 0usize;
         for &pid in &owners {
-            let (vm, _slot) = self.materialize(pid);
+            let (vm, _slot) = self
+                .materialize(pid)
+                .map_err(|_| VmError::Kernel(KernelError::StaleTenant { pid }))?;
             let (r, map) = vm.snapshot_regs();
             spans.push((pid, regs.len(), r.len(), map));
             regs.extend(r);
@@ -455,36 +723,68 @@ impl MultiVm {
         let (_world, outcome) = self.kernel.move_shared(id, &mut regs, threads)?;
         let delta = outcome.moved_dst.wrapping_sub(outcome.moved_src) as i64;
         for (pid, off, n, map) in &spans {
-            let (mut vm, _slot) = self.materialize(*pid);
+            let Ok((mut vm, _slot)) = self.materialize(*pid) else {
+                // The owner list was validated above; a vanished owner
+                // here means its slot was reaped mid-operation — its
+                // registers no longer exist to patch.
+                continue;
+            };
             vm.writeback_regs(&regs[*off..*off + *n], map);
             vm.apply_relocation(outcome.moved_src, outcome.moved_len, delta);
             self.park(*pid, vm);
         }
-        Ok(self.kernel.procs.shared(id).expect("live shared id").base)
+        self.kernel
+            .procs
+            .shared(id)
+            .map(|s| s.base)
+            .ok_or(VmError::Kernel(KernelError::NoSuchShared { id }))
     }
 
     /// Materialize descheduled tenant `pid` around the spare placeholder
     /// kernel and an empty table — for kernel-side work on its host
     /// state (register dumps, relocation patching) while the real kernel
     /// stays home. Pure field moves. Pair with [`MultiVm::park`].
-    fn materialize(&mut self, pid: Pid) -> (Vm, usize) {
+    fn materialize(&mut self, pid: Pid) -> Result<(Vm, usize), TenancyError> {
         let idx = pid.index();
-        let state = self.slots[idx]
-            .as_mut()
-            .expect("live tenant")
+        let state = self
+            .slots
+            .get_mut(idx)
+            .and_then(|s| s.as_mut())
+            .filter(|t| t.pid == pid)
+            .ok_or(TenancyError::NoSuchTenant(pid))?
             .state
             .take()
-            .expect("descheduled tenant holds its state");
-        let spare = self.spare.take().expect("spare kernel parked");
-        (Vm::from_tenant(spare, AllocationTable::new(), state), idx)
+            .ok_or(TenancyError::NotResident(pid))?;
+        let Some(spare) = self.spare.take() else {
+            // Host invariant violated (the spare is away mid-slice):
+            // restore the state and refuse typed rather than panic.
+            if let Some(t) = self
+                .slots
+                .get_mut(idx)
+                .and_then(|s| s.as_mut())
+                .filter(|t| t.pid == pid)
+            {
+                t.state = Some(state);
+            }
+            return Err(TenancyError::KernelEngaged);
+        };
+        Ok((Vm::from_tenant(spare, AllocationTable::new(), state), idx))
     }
 
     /// Undo [`MultiVm::materialize`]: park the tenant state back in its
-    /// slot and the spare kernel back in the scheduler.
+    /// slot and the spare kernel back in the scheduler. Tolerant of a
+    /// slot reaped mid-operation — the state is dropped with the slot.
     fn park(&mut self, pid: Pid, vm: Vm) {
         let (spare, _empty, state) = vm.into_tenant();
         self.spare = Some(spare);
-        self.slots[pid.index()].as_mut().expect("live tenant").state = Some(state);
+        if let Some(t) = self
+            .slots
+            .get_mut(pid.index())
+            .and_then(|s| s.as_mut())
+            .filter(|t| t.pid == pid)
+        {
+            t.state = Some(state);
+        }
     }
 
     /// Run ONE time slice for tenant `pid`: context-switch the kernel's
@@ -492,31 +792,67 @@ impl MultiVm {
     /// accounting), materialize the tenant around the real kernel, run
     /// up to the quantum, dismantle, and record any terminal outcome.
     fn run_one_slice(&mut self, pid: Pid) {
+        self.slices += 1;
         let idx = pid.index();
-        let traditional = self.slots[idx]
-            .as_ref()
-            .expect("scheduled tenant")
-            .traditional;
-        self.kernel.proc_switch(pid, traditional);
-        let table = self
-            .kernel
-            .procs
-            .checkout_table(pid)
-            .expect("descheduled process holds its table");
-        let state = self.slots[idx]
-            .as_mut()
-            .expect("scheduled tenant")
-            .state
-            .take()
-            .expect("descheduled tenant holds its state");
+        let Some(t) = self
+            .slots
+            .get_mut(idx)
+            .and_then(|s| s.as_mut())
+            .filter(|t| t.pid == pid)
+        else {
+            // The run queue handed us a pid whose slot was reaped
+            // between slices; retire it so it is never picked again.
+            self.kernel.procs.set_state(pid, ProcState::Exited(-1));
+            return;
+        };
+        let traditional = t.traditional;
+        t.last_ran = self.slices;
+        // Rehydrate-on-schedule: an externalized tenant comes back from
+        // the capsule device before it can run. A corrupt capsule is a
+        // tenant-fatal but fleet-recoverable exit — the supervisor
+        // respawns the lineage from its admission image; bystanders
+        // never notice.
+        if t.external.is_some() {
+            if let Err(e) = self.rehydrate_tenant(pid) {
+                self.kernel.procs.set_state(pid, ProcState::Exited(-1));
+                self.supervise(pid, ProcOutcome::Error(e));
+                return;
+            }
+        }
+        if self.kernel.proc_switch(pid, traditional).is_err() {
+            // Stale by the kernel's account: retire the fleet slot too.
+            self.kernel.procs.set_state(pid, ProcState::Exited(-1));
+            return;
+        }
+        let Some(table) = self.kernel.procs.checkout_table(pid) else {
+            self.kernel.procs.set_state(pid, ProcState::Exited(-1));
+            return;
+        };
+        let Some(state) = self.slots[idx].as_mut().and_then(|t| t.state.take()) else {
+            self.kernel.procs.checkin_table(pid, table);
+            self.kernel.procs.set_state(pid, ProcState::Exited(-1));
+            return;
+        };
         // The real kernel moves into the tenant's Vm; the spare
         // placeholder stands in at `self.kernel` for the slice.
-        let spare = self.spare.take().expect("spare kernel parked");
+        let Some(spare) = self.spare.take() else {
+            // Host invariant violated (the spare is away): put the
+            // tenant back intact and skip the slice — a lost quantum,
+            // never a panic mid-fleet.
+            self.kernel.procs.checkin_table(pid, table);
+            if let Some(t) = self.slots[idx].as_mut() {
+                t.state = Some(state);
+            }
+            return;
+        };
         let kernel = std::mem::replace(&mut self.kernel, spare);
         let mut vm = Vm::from_tenant(kernel, table, state);
         let res = vm.run_slice(self.cfg.quantum);
         // Fold the final result while the real kernel and table are
-        // still in the VM (the flush and audit need them).
+        // still in the VM (the flush and audit need them). This match is
+        // the per-tenant fault domain: every failure mode of the slice
+        // lands here as a typed value — the tenant dies alone and the
+        // loop (and every bystander's counters) continues untouched.
         let done = match res {
             Ok(SliceExit::Quantum) => None,
             Ok(SliceExit::Finished(v)) => Some(ProcOutcome::Finished(vm.finish_run(v))),
@@ -538,7 +874,9 @@ impl MultiVm {
         let (kernel, table, state) = vm.into_tenant();
         self.spare = Some(std::mem::replace(&mut self.kernel, kernel));
         self.kernel.procs.checkin_table(pid, table);
-        self.slots[idx].as_mut().expect("scheduled tenant").state = Some(state);
+        if let Some(t) = self.slots[idx].as_mut() {
+            t.state = Some(state);
+        }
         if let Some(outcome) = done {
             match &outcome {
                 ProcOutcome::Fault(f) => {
@@ -555,11 +893,122 @@ impl MultiVm {
                     self.kernel.procs.set_state(pid, ProcState::Exited(-1));
                 }
             }
-            self.slots[idx].as_mut().expect("scheduled tenant").outcome = Some(outcome);
+            self.supervise(pid, outcome);
         }
-        self.slices += 1;
         if self.cfg.pressure_every != 0 && self.slices.is_multiple_of(self.cfg.pressure_every) {
             self.pressure_pass();
+        }
+    }
+
+    /// Route a terminal outcome through the supervision policy.
+    ///
+    /// Unsupervised fleets keep the pre-supervision behavior: the
+    /// outcome is recorded in the slot and the pid stays (retired) until
+    /// teardown. Supervised fleets retire finished tenants the same way,
+    /// but abnormal exits are judged: recoverable ones are reaped and
+    /// scheduled for a backed-off respawn, unrecoverable ones (and
+    /// lineages past the restart cap) are quarantined — reaped with no
+    /// successor. Reaping releases frames, quota, and capsule slot, and
+    /// banks the tenant's final report.
+    fn supervise(&mut self, pid: Pid, outcome: ProcOutcome) {
+        let slice = self.slices;
+        let idx = pid.index();
+        let Some(t) = self
+            .slots
+            .get_mut(idx)
+            .and_then(|s| s.as_mut())
+            .filter(|t| t.pid == pid)
+        else {
+            return;
+        };
+        let attempt = t.restarts;
+        // Normal retirement: the tenant (and its full result) stays in
+        // its slot for the final report, supervised or not.
+        if let ProcOutcome::Finished(rr) = outcome {
+            let (name, ret) = (t.name.clone(), rr.ret);
+            t.outcome = Some(ProcOutcome::Finished(rr));
+            if let Some(sup) = self.supervisor.as_mut() {
+                sup.decide(slice, pid, &name, TenantExit::Finished(ret), attempt);
+            }
+            return;
+        }
+        let Some(sup) = self.supervisor.as_mut() else {
+            t.outcome = Some(outcome);
+            return;
+        };
+        let exit = match &outcome {
+            ProcOutcome::Fault(f) => TenantExit::Fault(*f),
+            ProcOutcome::Error(e) => TenantExit::classify(e),
+            ProcOutcome::Finished(_) => unreachable!("handled above"),
+        };
+        let name = t.name.clone();
+        let (module, cfg) = (t.module.clone(), t.cfg.clone());
+        let verdict = sup.decide(slice, pid, &name, exit, attempt);
+        if let Verdict::Restarting { due_slice, .. } = verdict {
+            let event_idx = sup.events.len() - 1;
+            sup.pending.push(PendingRestart {
+                event_idx,
+                pid,
+                name: name.clone(),
+                module,
+                cfg,
+                attempt: attempt + 1,
+                due_slice,
+            });
+        }
+        // Reap-and-release: bank the report, then free frames, quota,
+        // and capsule slot.
+        let accounting = self
+            .kernel
+            .procs
+            .get(pid)
+            .map(|e| e.accounting)
+            .unwrap_or_default();
+        self.retired.push(ProcReport {
+            pid,
+            name,
+            outcome,
+            accounting,
+        });
+        self.kill(pid);
+    }
+
+    /// Admit every pending respawn whose backoff has elapsed. A respawn
+    /// the admission path refuses (backpressure, quota) ends its lineage
+    /// with a quarantine event — degradation stays graceful even when
+    /// the fleet is too full to honor a restart.
+    fn drain_due_restarts(&mut self) {
+        let due = match self.supervisor.as_mut() {
+            Some(sup) if sup.has_pending() => sup.take_due(self.slices),
+            _ => return,
+        };
+        for r in due {
+            match self.admit(&r.name, r.module.clone(), r.cfg.clone(), true) {
+                Ok(new_pid) => {
+                    let slice = self.slices;
+                    if let Some(t) = self.slots.get_mut(new_pid.index()).and_then(|s| s.as_mut()) {
+                        t.restarts = r.attempt;
+                    }
+                    if let Some(sup) = self.supervisor.as_mut() {
+                        if let Some(ev) = sup.events.get_mut(r.event_idx) {
+                            ev.respawned_as = Some((new_pid, slice));
+                        }
+                    }
+                }
+                Err(e) => {
+                    if let Some(sup) = self.supervisor.as_mut() {
+                        sup.quarantines += 1;
+                        sup.events.push(crate::supervise::SupervisionEvent {
+                            slice: self.slices,
+                            pid: r.pid,
+                            name: r.name,
+                            exit: TenantExit::Fatal(format!("respawn refused: {e}")),
+                            verdict: Verdict::Quarantined,
+                            respawned_as: None,
+                        });
+                    }
+                }
+            }
         }
     }
 
@@ -571,10 +1020,22 @@ impl MultiVm {
     pub fn run_batch(&mut self, max_slices: u64) -> u64 {
         let mut ran = 0u64;
         while ran < max_slices {
-            let Some(pid) = self.kernel.procs.next_runnable() else {
+            self.drain_due_restarts();
+            if let Some(pid) = self.kernel.procs.next_runnable() {
+                self.run_one_slice(pid);
+            } else if self
+                .supervisor
+                .as_ref()
+                .is_some_and(Supervisor::has_pending)
+            {
+                // Nothing runnable but respawns are backing off: an
+                // idle tick advances fleet time toward the next due
+                // slice (counted against the budget so a fleet that can
+                // never respawn still terminates).
+                self.slices += 1;
+            } else {
                 break;
-            };
-            self.run_one_slice(pid);
+            }
             ran += 1;
         }
         ran
@@ -590,30 +1051,65 @@ impl MultiVm {
         self.reports()
     }
 
-    /// Background compaction under memory pressure: pick the victim with
-    /// the most live escapes and relocate its worst page (journaled CARAT
-    /// move) plus page its most-escaped allocation out. Kernel work on a
-    /// descheduled tenant — charged to its [`ProcAccounting`], never its
-    /// own counters. Recoverable kernel errors (frame exhaustion, world
-    /// stops, injected faults) skip the pass; the kernel's transactional
-    /// guarantees keep the victim intact.
+    /// The degradation ladder under memory pressure, in escalating
+    /// rungs: (1) compact — relocate the victim's worst pages with
+    /// journaled CARAT moves; (2) page out its most-escaped allocation;
+    /// (3) past [`MultiVmConfig::externalize_watermark`], serialize the
+    /// coldest resident tenant into the checksummed capsule device;
+    /// rung (4), admission backpressure, lives in the admission path.
+    /// Kernel work on descheduled tenants — charged to their
+    /// [`ProcAccounting`], never their own counters. Recoverable kernel
+    /// errors (frame exhaustion, world stops, injected faults) skip the
+    /// rung; transactional guarantees keep every victim intact.
     fn pressure_pass(&mut self) {
+        self.compaction_rungs();
+        // Rung 3: externalize the coldest resident tenant. Best-effort
+        // by design — a device refusal (injected CapsuleWrite fault)
+        // leaves the tenant resident and untouched.
+        if self.utilization_pct() >= self.cfg.externalize_watermark {
+            if let Some(cold) = self.coldest_resident() {
+                let _ = self.externalize_tenant(cold);
+            }
+        }
+    }
+
+    /// The coldest tenant that still holds resident state: the one
+    /// scheduled longest ago — the externalization rung's victim.
+    fn coldest_resident(&self) -> Option<Pid> {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|t| t.outcome.is_none() && t.state.is_some())
+            .min_by_key(|t| t.last_ran)
+            .map(|t| t.pid)
+    }
+
+    /// Rungs 1–2: journaled compaction moves plus a page-out against
+    /// the tenant carrying the most live escapes.
+    fn compaction_rungs(&mut self) {
         let Some(victim) = self.kernel.procs.pick_compaction_victim() else {
             return;
         };
         // Compaction is a CARAT mechanism: moves rely on the victim's
         // tracking state and page-outs on its guards to page data back
         // in. A traditional-mode tenant has neither; leave it alone.
-        let traditional = self.slots[victim.index()]
-            .as_ref()
-            .expect("victim is live")
-            .traditional;
+        let Some(traditional) = self
+            .slots
+            .get(victim.index())
+            .and_then(|s| s.as_ref())
+            .filter(|t| t.pid == victim)
+            .map(|t| t.traditional)
+        else {
+            return;
+        };
         if traditional {
             return;
         }
         // Install the victim's region map: the move retargets the live
-        // master list.
-        self.kernel.proc_switch(victim, traditional);
+        // master list. A stale victim skips the pass.
+        if self.kernel.proc_switch(victim, traditional).is_err() {
+            return;
+        }
         let Some(mut table) = self.kernel.procs.checkout_table(victim) else {
             return;
         };
@@ -621,7 +1117,12 @@ impl MultiVm {
         // The victim's host state (registers, TLB, heap bookkeeping) is
         // patched through a brief materialization on the spare kernel;
         // the real kernel stays home and drives the moves.
-        let (mut vm, _idx) = self.materialize(victim);
+        let Ok((mut vm, _idx)) = self.materialize(victim) else {
+            // Externalized (or reaped) since victim selection: its host
+            // state is in the capsule device, not patchable — skip.
+            self.kernel.procs.checkin_table(victim, table);
+            return;
+        };
         let threads = vm.live_threads();
         // The move planner picks up to `pressure_batch` victim pages; the
         // batched arm coalesces them into one world-stop, the sequential
@@ -691,21 +1192,24 @@ impl MultiVm {
     }
 
     fn reports(mut self) -> Vec<ProcReport> {
-        let mut reports = Vec::new();
+        // Supervision-reaped tenants first (they exited first), then
+        // the surviving slots in spawn order.
+        let mut reports = std::mem::take(&mut self.retired);
         for slot in self.slots.drain(..) {
             let Some(tenant) = slot else { continue };
-            let e = self
+            let accounting = self
                 .kernel
                 .procs
                 .get(tenant.pid)
-                .expect("live tenant is registered");
+                .map(|e| e.accounting)
+                .unwrap_or_default();
             reports.push(ProcReport {
                 pid: tenant.pid,
                 name: tenant.name,
                 outcome: tenant.outcome.unwrap_or(ProcOutcome::Error(VmError::Trap(
                     "process never completed a slice".into(),
                 ))),
-                accounting: e.accounting,
+                accounting,
             });
         }
         reports

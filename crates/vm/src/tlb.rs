@@ -76,6 +76,28 @@ impl Tlb {
             s.clear();
         }
     }
+
+    /// Capsule view: sets, associativity, LRU stamp.
+    pub(crate) fn snapshot(&self) -> (&[Vec<(u64, u64)>], usize, u64) {
+        (&self.sets, self.assoc, self.stamp)
+    }
+
+    /// Rebuild a TLB from its capsule view.
+    pub(crate) fn restore(
+        sets: Vec<Vec<(u64, u64)>>,
+        assoc: usize,
+        stamp: u64,
+        hits: u64,
+        misses: u64,
+    ) -> Tlb {
+        Tlb {
+            sets,
+            assoc,
+            stamp,
+            hits,
+            misses,
+        }
+    }
 }
 
 /// The two-level translation structure plus pagewalk counters.

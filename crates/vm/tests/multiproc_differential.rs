@@ -452,8 +452,8 @@ fn shared_pair(fault_plan: Option<FaultPlan>) -> (MultiVm, carat_kernel::SharedI
     for (i, v) in [11u64, 22, 33, 44].into_iter().enumerate() {
         mv.kernel.mem.write_uint(base + 8 * i as u64, v, 8);
     }
-    mv.shared_map(Pid(0), id, 0);
-    mv.shared_map(Pid(1), id, 0);
+    mv.shared_map(Pid(0), id, 0).expect("maps into live tenant");
+    mv.shared_map(Pid(1), id, 0).expect("maps into live tenant");
     (mv, id)
 }
 

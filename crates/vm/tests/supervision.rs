@@ -1,0 +1,244 @@
+//! Supervision policy suite: restart-on-recoverable with exponential
+//! backoff, the max-restart circuit breaker, respawn-from-image after
+//! capsule corruption, and admission backpressure.
+//!
+//! Everything here is driven through the public `MultiVm` surface with
+//! seeded fault plans — the same machinery the chaos bench storms use —
+//! so the assertions double as executable documentation of the
+//! supervisor's contract: deterministic verdicts, slice-exact backoff,
+//! and a ledger (`events`, `restarts`, `quarantines`, `backoff_cycles`)
+//! that always adds up.
+
+use carat_core::{CaratCompiler, CompileOptions};
+use carat_ir::Module;
+use carat_kernel::{AdmissionError, FaultPlan, FaultPoint};
+use carat_vm::{
+    MultiVm, MultiVmConfig, ProcOutcome, ProcSpec, SupervisorConfig, TenantExit, Verdict, VmConfig,
+    VmError,
+};
+
+/// Fifty small allocations summed: touches the malloc intrinsic (the
+/// `TenantOom` injection site) on every incarnation, and finishes with
+/// a known return value.
+const ALLOC_SRC: &str = "
+    int main() {
+        int s = 0;
+        for (int i = 0; i < 50; i += 1) {
+            int* p = (int*) malloc(sizeof(int));
+            *p = i;
+            s += *p;
+        }
+        return s;
+    }
+";
+
+/// sum(0..50) — the return value every healthy incarnation produces.
+const ALLOC_RET: i64 = 1225;
+
+fn workload() -> Module {
+    let module = carat_frontend::compile_cm("supervised", ALLOC_SRC).expect("compiles");
+    CaratCompiler::new(CompileOptions::default())
+        .compile(module)
+        .expect("instruments")
+        .module
+}
+
+fn spec(plan: Option<FaultPlan>) -> ProcSpec {
+    ProcSpec {
+        name: "lineage".to_string(),
+        module: workload(),
+        cfg: VmConfig {
+            fault_plan: plan,
+            ..VmConfig::default()
+        },
+    }
+}
+
+fn supervised_cfg() -> MultiVmConfig {
+    MultiVmConfig {
+        supervisor: Some(SupervisorConfig::default()),
+        ..MultiVmConfig::default()
+    }
+}
+
+#[test]
+fn recoverable_exit_restarts_with_slice_exact_backoff() {
+    // One injected malloc failure kills the first incarnation; the
+    // supervisor schedules a respawn one slice out (attempt 0 ⇒ 2^0)
+    // and the successor runs to completion from the admission image.
+    let plan = FaultPlan::new().arm(FaultPoint::TenantOom, 1);
+    let mut mv = MultiVm::new(vec![spec(Some(plan))], supervised_cfg()).expect("admits");
+    mv.run_batch(u64::MAX);
+
+    let sup = mv.supervisor().expect("supervision configured");
+    assert_eq!(sup.restarts, 1);
+    assert_eq!(sup.quarantines, 0);
+    let base = SupervisorConfig::default().backoff_base_cycles;
+    assert_eq!(sup.backoff_cycles, base);
+
+    let death = &sup.events[0];
+    assert!(matches!(death.exit, TenantExit::Recoverable(_)));
+    let Verdict::Restarting {
+        attempt,
+        due_slice,
+        backoff_cycles,
+    } = death.verdict
+    else {
+        panic!(
+            "first verdict must schedule a restart, got {:?}",
+            death.verdict
+        );
+    };
+    assert_eq!(attempt, 0);
+    assert_eq!(backoff_cycles, base);
+    assert_eq!(due_slice, death.slice + 1, "attempt 0 backs off 2^0 slices");
+    let (successor, rejoined_at) = death.respawned_as.expect("respawn admitted");
+    assert_ne!(successor, death.pid, "a respawn is a fresh pid");
+    assert!(rejoined_at >= due_slice, "no respawn before its backoff");
+
+    // The ancestor's report carries the typed error; the successor's
+    // carries the full healthy result.
+    let reports = mv.run();
+    let errors = reports
+        .iter()
+        .filter(|r| matches!(r.outcome, ProcOutcome::Error(VmError::OutOfMemory)))
+        .count();
+    let finished: Vec<i64> = reports
+        .iter()
+        .filter_map(|r| match &r.outcome {
+            ProcOutcome::Finished(rr) => Some(rr.ret),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(errors, 1);
+    assert_eq!(finished, vec![ALLOC_RET]);
+}
+
+#[test]
+fn circuit_breaker_quarantines_a_flapping_lineage() {
+    // A persistent malloc-failure condition kills every incarnation.
+    // The lineage gets exactly `max_restarts` geometrically backed-off
+    // respawns, then the breaker trips and quarantines it for good.
+    let plan = FaultPlan::new().arm_persistent(FaultPoint::TenantOom, 1);
+    let mut mv = MultiVm::new(vec![spec(Some(plan))], supervised_cfg()).expect("admits");
+    mv.run_batch(u64::MAX);
+
+    let cfg = SupervisorConfig::default();
+    let sup = mv.supervisor().expect("supervision configured");
+    assert_eq!(sup.restarts, u64::from(cfg.max_restarts));
+    assert_eq!(sup.quarantines, 1);
+    // Geometric series: base * (2^0 + 2^1 + … + 2^(max-1)).
+    let expected: u64 = (0..cfg.max_restarts)
+        .map(|k| cfg.backoff_base_cycles << k)
+        .sum();
+    assert_eq!(sup.backoff_cycles, expected);
+
+    // One death event per incarnation, each backing off twice as far,
+    // and the last one quarantined.
+    assert_eq!(sup.events.len() as u32, cfg.max_restarts + 1);
+    for (k, ev) in sup.events.iter().enumerate() {
+        let k = k as u32;
+        if k < cfg.max_restarts {
+            let Verdict::Restarting {
+                attempt,
+                due_slice,
+                backoff_cycles,
+            } = ev.verdict
+            else {
+                panic!("death {k} must restart, got {:?}", ev.verdict);
+            };
+            assert_eq!(attempt, k);
+            assert_eq!(backoff_cycles, cfg.backoff_base_cycles << k);
+            assert_eq!(due_slice, ev.slice + (1 << k));
+            assert!(ev.respawned_as.is_some(), "scheduled respawns are admitted");
+        } else {
+            assert_eq!(ev.verdict, Verdict::Quarantined);
+            assert!(ev.respawned_as.is_none());
+        }
+    }
+    assert!(!sup.has_pending(), "quarantine leaves nothing pending");
+
+    // Every incarnation reported the same typed error; none finished.
+    let reports = mv.run();
+    assert_eq!(reports.len() as u32, cfg.max_restarts + 1);
+    for r in &reports {
+        assert!(
+            matches!(r.outcome, ProcOutcome::Error(VmError::OutOfMemory)),
+            "[{}] unexpected outcome {:?}",
+            r.name,
+            r.outcome
+        );
+    }
+}
+
+#[test]
+fn corrupt_capsule_respawns_lineage_from_image() {
+    // Externalize the tenant into the checksummed capsule device, then
+    // arm the device read to fail verification. Rehydrate-on-schedule
+    // surfaces `CapsuleCorrupt`; the execution state is lost, but the
+    // supervisor respawns the lineage from its admission image and the
+    // successor still produces the workload's result.
+    let mut mv = MultiVm::new(vec![], supervised_cfg()).expect("empty fleet");
+    let pid = mv.spawn(spec(None)).expect("admits");
+    mv.externalize_tenant(pid)
+        .expect("device accepts the capsule");
+    mv.install_fault_plan(FaultPlan::new().arm(FaultPoint::CapsuleCorrupt, 1));
+    mv.run_batch(u64::MAX);
+
+    let sup = mv.supervisor().expect("supervision configured");
+    let death = sup
+        .events
+        .iter()
+        .find(|e| matches!(e.exit, TenantExit::CapsuleCorrupt { .. }))
+        .expect("corruption observed");
+    assert!(
+        matches!(death.verdict, Verdict::Restarting { .. }),
+        "capsule corruption is recoverable via respawn-from-image"
+    );
+    assert!(death.respawned_as.is_some());
+
+    let reports = mv.run();
+    let finished: Vec<i64> = reports
+        .iter()
+        .filter_map(|r| match &r.outcome {
+            ProcOutcome::Finished(rr) => Some(rr.ret),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(finished, vec![ALLOC_RET]);
+}
+
+#[test]
+fn backpressure_watermark_refuses_admission() {
+    // Rung 4 of the degradation ladder: past the watermark the fleet
+    // sheds load at the door with a typed refusal — before any frame
+    // is committed.
+    let cfg = MultiVmConfig {
+        backpressure_watermark: 0,
+        ..supervised_cfg()
+    };
+    let mut mv = MultiVm::new(vec![], cfg).expect("an empty fleet admits nothing");
+    match mv.spawn(spec(None)) {
+        Err(VmError::Admission(AdmissionError::Backpressure { watermark_pct, .. })) => {
+            assert_eq!(watermark_pct, 0);
+        }
+        other => panic!("expected a backpressure refusal, got {other:?}"),
+    }
+}
+
+#[test]
+fn unsupervised_fleet_keeps_terminal_outcomes_in_place() {
+    // Without a policy installed, the pre-supervision behavior holds:
+    // the typed error stays in the tenant's report, no respawn happens,
+    // and there is no supervisor ledger at all.
+    let plan = FaultPlan::new().arm(FaultPoint::TenantOom, 1);
+    let mut mv = MultiVm::new(vec![spec(Some(plan))], MultiVmConfig::default()).expect("admits");
+    mv.run_batch(u64::MAX);
+    assert!(mv.supervisor().is_none());
+    let reports = mv.run();
+    assert_eq!(reports.len(), 1);
+    assert!(matches!(
+        reports[0].outcome,
+        ProcOutcome::Error(VmError::OutOfMemory)
+    ));
+}

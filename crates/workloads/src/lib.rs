@@ -372,6 +372,26 @@ pub fn fleet_tenant(scale: Scale, seed: i64) -> Result<Module, CmError> {
     compile_cm("fleet_tenant", &programs::fleet_tenant(slots, passes, seed))
 }
 
+/// Compile the chaos tenant at `scale`: the `chaos_soak` bench's storm
+/// subject. The fleet tenant's storm-hardened sibling — its malloc
+/// sites stay hot through the whole run (so `TenantOom` injections can
+/// land anywhere in a tenant's life) and its pointer list keeps live
+/// escapes in every pass (move/compaction fault material). The result
+/// is a pure function of the inputs, so a supervised respawn-from-image
+/// must reproduce it bit-exactly.
+///
+/// # Errors
+///
+/// Front-end failures (a workload bug).
+pub fn chaos_tenant(scale: Scale, seed: i64) -> Result<Module, CmError> {
+    let (slots, passes) = match scale {
+        Scale::Test => (16, 6),
+        Scale::Small => (32, 16),
+        Scale::Full => (32, 32),
+    };
+    compile_cm("chaos_tenant", &programs::chaos_tenant(slots, passes, seed))
+}
+
 /// The multi-tenant server-mix: the tenants the multi-process bench
 /// co-schedules on one kernel. Deliberately heterogeneous — pure compute
 /// (`ep`), pointer chasing (`mcf`), allocation/churn (`dedup`),

@@ -750,6 +750,42 @@ int main() {{
     )
 }
 
+/// The chaos tenant: the fleet tenant's storm-hardened sibling. Same
+/// microservice-sized capsule, but its allocation sites stay hot for
+/// the whole run — every pass mallocs (and frees) a scratch block, so a
+/// `TenantOom` injection can land at any point in the tenant's life,
+/// not just at startup — and its pointer list keeps live escapes in
+/// every pass (compaction-victim and move-fault material). The result
+/// is a pure function of `(slots, passes, seed)`, so a supervised
+/// respawn-from-image must reproduce it exactly.
+pub fn chaos_tenant(slots: i64, passes: i64, seed: i64) -> String {
+    format!(
+        r#"
+struct node {{ int v; struct node* n; }};
+int main() {{
+    int n = {slots};
+    struct node* head = (struct node*) null;
+    for (int i = 0; i < n; i += 1) {{
+        struct node* x = (struct node*) malloc(sizeof(struct node));
+        x->v = ({seed} + i * 7) % 97;
+        x->n = head;
+        head = x;
+    }}
+    int s = 0;
+    for (int p = 0; p < {passes}; p += 1) {{
+        int* scratch = (int*) malloc(8 * sizeof(int));
+        for (int i = 0; i < 8; i += 1) {{ scratch[i] = p + i; }}
+        struct node* c = head;
+        while (c != null) {{ s += c->v; c = c->n; }}
+        for (int i = 0; i < 8; i += 1) {{ s += scratch[i]; }}
+        free(scratch);
+    }}
+    return s % 1000000;
+}}
+"#
+    )
+}
+
 /// The fleet tenant: a microservice-sized program for the 10k-tenant
 /// scaling curve — tiny capsule, a handful of heap allocations, and a
 /// pointer-cell array so every tenant carries live escapes (compaction
