@@ -10,7 +10,9 @@
 //! * [`canonical_loop_info`] / [`ptr_evolution`] — scalar evolution for
 //!   counted loops (Opt 2);
 //! * [`ValueRanges`] — conditional value-range analysis;
-//! * [`Availability`] — the AC/DC available-pointer-defs dataflow (Opt 3).
+//! * [`Availability`] — the AC/DC available-pointer-defs dataflow (Opt 3);
+//! * [`prove_function`] — whole-trip guard proofs consumed by the threaded
+//!   engine tier to elide and hoist guards at decode time.
 //!
 //! ## Example
 //!
@@ -43,6 +45,7 @@ mod cfg;
 mod dom;
 mod invariance;
 mod loops;
+mod proofs;
 mod range;
 mod scev;
 mod steensgaard;
@@ -57,6 +60,9 @@ pub use cfg::Cfg;
 pub use dom::DomTree;
 pub use invariance::LoopInvariance;
 pub use loops::{ensure_preheader, Loop, LoopForest};
+pub use proofs::{
+    prove_function, prove_function_in, FunctionProofs, GuardProof, LoopPlan, ProofKind,
+};
 pub use range::{Interval, ValueRanges};
 pub use scev::{
     affine_index, canonical_loop_info, ptr_evolution, AffineIndex, LoopTripInfo, PtrEvolution,

@@ -25,13 +25,17 @@
 //! recovery-latency distribution (slices from death to respawn).
 //!
 //! Emits `BENCH_chaos.json` (override with `--out PATH`). Scale presets:
-//! `--scale test` runs 64 tenants, `small` 256, `full` 1000.
+//! `--scale test` runs 64 tenants, `small` 256, `full` 1000. The tenant
+//! interpreter tier is selectable with
+//! `--engine reference|decoded|fused|threaded` (default fused): the
+//! zero-panic / bit-identity / typed-failure gates must hold on every
+//! tier, including threaded streams with guards elided under proofs.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 
-use carat_bench::{print_table, scale_from_args, Variant};
+use carat_bench::{engine_from_args, print_table, scale_from_args, Variant};
 use carat_core::CaratCompiler;
 use carat_ir::Module;
 use carat_kernel::{AdmissionError, FaultPlan, FaultPoint, LoadConfig, Pid};
@@ -88,6 +92,7 @@ fn chaos_module(scale: Scale) -> Rc<Module> {
 fn tenant_cfg() -> VmConfig {
     VmConfig {
         mode: Mode::Carat,
+        engine: engine_from_args(),
         load: CHAOS_LOAD,
         // Aggressive drivers: relocations and page-outs every few
         // thousand cycles, so every storm arm exercises the CARAT
@@ -328,7 +333,8 @@ fn main() {
             .ret
     };
     println!(
-        "chaos_soak: {tenants}-tenant supervised fleet, scale {scale:?}, expected ret {expected_ret}"
+        "chaos_soak: {tenants}-tenant supervised fleet, scale {scale:?}, engine {}, expected ret {expected_ret}",
+        engine_from_args().name()
     );
     println!();
 
@@ -496,7 +502,7 @@ fn main() {
     }
     let json = format!(
         "{{\n  \"benchmark\": \"chaos_soak\",\n  \"scale\": \"{scale:?}\",\n  \"tenants\": {tenants},\n  \
-         \"expected_ret\": {expected_ret},\n  \"storms\": [\n{storms_json}\n  ],\n  \
+         \"engine\": \"{eng}\",\n  \"expected_ret\": {expected_ret},\n  \"storms\": [\n{storms_json}\n  ],\n  \
          \"panics\": {panics},\n  \"divergences\": {divergences},\n  \"untyped\": {untyped},\n  \
          \"restarts\": {restarts},\n  \"quarantines\": {quarantines},\n  \"backoff_cycles\": {backoff_cycles},\n  \
          \"recovery_latency_slices\": {{\"samples\": {}, \"p50\": {}, \"p90\": {}, \"max\": {}}},\n  \
@@ -509,6 +515,7 @@ fn main() {
         percentile(&latencies, 50),
         percentile(&latencies, 90),
         percentile(&latencies, 100),
+        eng = engine_from_args().name(),
     );
     std::fs::write(&out_path, json).expect("write json");
     println!("\nwrote {out_path}");

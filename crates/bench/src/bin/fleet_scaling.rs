@@ -25,12 +25,15 @@
 //!   nothing ever panics.
 //!
 //! Emits `BENCH_fleet.json` (override with `--out PATH`). Scale presets:
-//! `--scale test` runs 10/100, `small` adds 1k, `full` adds 10k.
+//! `--scale test` runs 10/100, `small` adds 1k, `full` adds 10k. The
+//! tenants' interpreter tier is selectable with
+//! `--engine reference|decoded|fused|threaded` (default fused) — the
+//! scaling gates must hold on every tier.
 
 use std::rc::Rc;
 use std::time::Instant;
 
-use carat_bench::{print_table, scale_from_args, Variant};
+use carat_bench::{engine_from_args, print_table, scale_from_args, Variant};
 use carat_core::CaratCompiler;
 use carat_ir::Module;
 use carat_kernel::{LoadConfig, Pid, TenantQuotas};
@@ -66,6 +69,7 @@ fn kernel_mem(tenants: usize) -> u64 {
 fn tenant_cfg(variant: Variant) -> VmConfig {
     VmConfig {
         mode: variant.mode(),
+        engine: engine_from_args(),
         load: FLEET_LOAD,
         ..VmConfig::default()
     }
@@ -316,7 +320,9 @@ fn main() {
     let sizes = fleet_sizes(scale);
     let cost = CostModel::default();
     println!(
-        "fleet_scaling: fleets of {sizes:?} tenants, scale {scale:?} (modeled switch: carat {} vs traditional {})",
+        "fleet_scaling: fleets of {sizes:?} tenants, scale {scale:?}, engine {} \
+         (modeled switch: carat {} vs traditional {})",
+        engine_from_args().name(),
         cost.ctx_switch_carat(),
         cost.ctx_switch_traditional()
     );
@@ -445,12 +451,13 @@ fn main() {
         flat_ctx_ok && gap_every_scale && flat_mem_ok && o1_sched_ok && outcomes_ok && churn.ok;
     let json = format!(
         "{{\n  \"benchmark\": \"fleet_scaling\",\n  \"scale\": \"{scale:?}\",\n  \
-         \"modeled_ctx\": {{\"carat\": {mc}, \"traditional\": {mt}}},\n  \"curve\": [\n{curve_json}\n  ],\n  \
+         \"engine\": \"{eng}\",\n  \"modeled_ctx\": {{\"carat\": {mc}, \"traditional\": {mt}}},\n  \"curve\": [\n{curve_json}\n  ],\n  \
          \"flat_ctx_ok\": {flat_ctx_ok},\n  \"gap_every_scale\": {gap_every_scale},\n  \
          \"flat_mem_ok\": {flat_mem_ok},\n  \"o1_sched_ok\": {o1_sched_ok},\n  \
          \"outcomes_ok\": {outcomes_ok},\n  \"churn\": {{\"tenants\": {cn}, \"spawned\": {csp}, \
          \"killed\": {ck}, \"admission_refusals\": {cr}, \"stale_lookups_typed\": {cs}, \
          \"slices\": {csl}, \"ok\": {cok}}},\n  \"pass\": {pass}\n}}\n",
+        eng = engine_from_args().name(),
         mc = cost.ctx_switch_carat(),
         mt = cost.ctx_switch_traditional(),
         cn = churn.tenants,

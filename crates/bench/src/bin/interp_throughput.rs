@@ -1,27 +1,40 @@
 //! Host-side interpreter throughput: wall-clock ns per retired IR
-//! instruction and MIPS for the superinstruction (fused) engine, with the
-//! pre-decoded engine and the retained reference interpreter as the
-//! comparison points, across the whole workload suite.
+//! instruction and MIPS for the threaded and superinstruction (fused)
+//! engines, with the pre-decoded engine and the retained reference
+//! interpreter as the comparison points, across the whole workload suite.
 //!
 //! Unlike every other experiment (which reports *simulated* cycles), this
 //! one measures the *host* cost of simulation itself — the number the
-//! decoded-engine refactor and the fusion pass exist to improve.
-//! Workloads are compiled uninstrumented (`Variant::Baseline`) so the
-//! timing isolates the interpreter loop rather than the guard/tracking
-//! runtime it calls into.
+//! decoded-engine refactor, the fusion pass, and the threaded tier exist
+//! to improve.
+//!
+//! Two sections:
+//!
+//! 1. **Uninstrumented** (`Variant::Baseline`): all four engines on bare
+//!    workloads, isolating the interpreter loop itself. The threaded tier
+//!    has no guards to elide here, so its edge over fused is superblock
+//!    chaining alone.
+//! 2. **Guard elision** (`Variant::GuardsNaive`): fused vs threaded on
+//!    guard-instrumented builds with no compile-time guard optimization —
+//!    the substrate where every per-iteration loop guard survives to
+//!    decode time, so the threaded tier's proof-driven elision, hoisting,
+//!    and fast-tier strength reduction carry the full optimization burden.
+//!    Both engines run the *same program*, so
+//!    MIPS is work-normalized: ns divided by the fused engine's retired
+//!    instruction count for both columns.
 //!
 //! Usage: `interp_throughput [--scale test|small|full] [--only a,b]
-//! [--engine reference|decoded|fused] [--reference] [--out PATH]`.
+//! [--engine reference|decoded|fused|threaded] [--reference] [--out PATH]`.
 //! `--engine X` times only engine X, after verifying its counters against
 //! the reference interpreter (a divergence panics — this is the CI smoke
 //! mode). `--reference` is a legacy alias for `--engine reference`. The
-//! default times all three engines with interleaved reps and reports both
+//! default times all four engines with interleaved reps and reports the
 //! speedup columns. Results are also written as JSON (default
 //! `BENCH_interp.json`).
 
 use std::time::Instant;
 
-use carat_bench::{compile, print_table, scale_from_args, selected_workloads, Variant};
+use carat_bench::{compile, print_table, scale_from_args, selected_workloads, Variant, LOOP_HEAVY};
 use carat_ir::Module;
 use carat_vm::{Engine, RunResult, Vm, VmConfig};
 
@@ -38,15 +51,17 @@ fn time_run(module: Module, engine: Engine) -> (f64, RunResult) {
     (ns, r)
 }
 
-/// Best-of-N for all three engines, reps interleaved so a noisy stretch
+/// Best-of-N for all four engines, reps interleaved so a noisy stretch
 /// of host time degrades every measurement instead of biasing one.
 /// Asserts that every engine retires the same instructions with the same
-/// simulated counters — the fused engine is only a win if it changes host
-/// nanoseconds and nothing else.
-fn best_of_triple(module: &Module, reps: usize) -> (f64, f64, f64, u64, f64) {
+/// simulated counters — on an uninstrumented build the threaded tier has
+/// nothing to elide, so even it must match the reference exactly.
+#[allow(clippy::type_complexity)]
+fn best_of_quad(module: &Module, reps: usize) -> (f64, f64, f64, f64, u64, f64) {
     let mut best_ref = f64::INFINITY;
     let mut best_dec = f64::INFINITY;
     let mut best_fus = f64::INFINITY;
+    let mut best_thr = f64::INFINITY;
     let mut insts = 0;
     let mut fused_fraction = 0.0;
     for _ in 0..reps {
@@ -61,8 +76,18 @@ fn best_of_triple(module: &Module, reps: usize) -> (f64, f64, f64, u64, f64) {
         best_fus = best_fus.min(ns);
         assert_eq!(base, r.counters, "fused engine diverged from reference");
         fused_fraction = r.fusion.fused_instructions() as f64 / insts.max(1) as f64;
+        let (ns, r) = time_run(module.clone(), Engine::Threaded);
+        best_thr = best_thr.min(ns);
+        assert_eq!(base, r.counters, "threaded engine diverged from reference");
     }
-    (best_ref, best_dec, best_fus, insts, fused_fraction)
+    (
+        best_ref,
+        best_dec,
+        best_fus,
+        best_thr,
+        insts,
+        fused_fraction,
+    )
 }
 
 /// Time a single engine, best-of-N, after one counter-verification run
@@ -92,6 +117,7 @@ struct Row {
     reference_ns_per_inst: f64,
     decoded_ns_per_inst: f64,
     fused_ns_per_inst: f64,
+    threaded_ns_per_inst: f64,
     fused_fraction: f64,
 }
 
@@ -101,20 +127,80 @@ impl Row {
     }
 }
 
+/// One workload of the guard-elision section: fused vs threaded on a
+/// `GuardsNaive` build. `work_insts` is the fused engine's retired
+/// instruction count — the common denominator for both MIPS columns.
+struct GuardRow {
+    name: String,
+    loop_heavy: bool,
+    work_insts: u64,
+    fused_ns: f64,
+    threaded_ns: f64,
+    guards_executed_fused: u64,
+    guards_executed_threaded: u64,
+    guards_elided: u64,
+    guards_hoisted: u64,
+}
+
+/// Fused vs threaded on a guard-instrumented module: interleaved
+/// best-of-N timing plus a full semantic + guard-accounting check.
+///
+/// The accounting invariant (checked every rep): every guard the fused
+/// stream executes is either executed by the threaded stream too, or
+/// counted as elided; hoisted preheader checks are the only additions.
+/// `fused.guards == threaded.guards + elided − hoisted`.
+fn best_of_guard_pair(module: &Module, reps: usize, name: &str) -> GuardRow {
+    let mut best_fus = f64::INFINITY;
+    let mut best_thr = f64::INFINITY;
+    let mut fus_last: Option<RunResult> = None;
+    let mut thr_last: Option<RunResult> = None;
+    for _ in 0..reps {
+        let (ns, f) = time_run(module.clone(), Engine::Fused);
+        best_fus = best_fus.min(ns);
+        let (ns, t) = time_run(module.clone(), Engine::Threaded);
+        best_thr = best_thr.min(ns);
+        assert_eq!(f.ret, t.ret, "{name}: return value diverged");
+        assert_eq!(f.output, t.output, "{name}: output diverged");
+        assert_eq!(f.counters.loads, t.counters.loads, "{name}: loads");
+        assert_eq!(f.counters.stores, t.counters.stores, "{name}: stores");
+        assert_eq!(f.counters.calls, t.counters.calls, "{name}: calls");
+        assert_eq!(
+            f.counters.guards_executed,
+            t.counters.guards_executed + t.counters.guards_elided - t.counters.guards_hoisted,
+            "{name}: guard accounting broken"
+        );
+        fus_last = Some(f);
+        thr_last = Some(t);
+    }
+    let f = fus_last.expect("reps >= 1");
+    let t = thr_last.expect("reps >= 1");
+    GuardRow {
+        name: name.to_string(),
+        loop_heavy: LOOP_HEAVY.contains(&name),
+        work_insts: f.counters.instructions,
+        fused_ns: best_fus,
+        threaded_ns: best_thr,
+        guards_executed_fused: f.counters.guards_executed,
+        guards_executed_threaded: t.counters.guards_executed,
+        guards_elided: t.counters.guards_elided,
+        guards_hoisted: t.counters.guards_hoisted,
+    }
+}
+
 fn parse_engine(args: &[String]) -> Option<Engine> {
     if args.iter().any(|a| a == "--reference") {
         return Some(Engine::Reference);
     }
     let val = args.windows(2).find(|w| w[0] == "--engine").map(|w| &w[1]);
-    match val.map(String::as_str) {
+    match val {
         None => None,
-        Some("reference") => Some(Engine::Reference),
-        Some("decoded") => Some(Engine::Decoded),
-        Some("fused") => Some(Engine::Fused),
-        Some(other) => {
-            eprintln!("error: unknown engine '{other}' (want reference|decoded|fused)");
-            std::process::exit(2);
-        }
+        Some(s) => match Engine::parse(s) {
+            Some(e) => Some(e),
+            None => {
+                eprintln!("error: unknown engine '{s}' (want reference|decoded|fused|threaded)");
+                std::process::exit(2);
+            }
+        },
     }
 }
 
@@ -137,11 +223,14 @@ fn main() {
 
     if let Some(engine) = single_engine {
         // A/B and CI smoke mode: one engine, counters verified against
-        // the reference interpreter, no JSON artifact.
+        // the reference interpreter, no JSON artifact. The threaded
+        // engine additionally runs the guard-elision check on a
+        // GuardsNaive build (its raison d'être — an uninstrumented
+        // smoke alone would never execute the elision paths).
         println!("Interpreter throughput ({scale:?} scale, {engine:?} only, best of {reps})\n");
         let mut table = Vec::new();
-        for w in selected {
-            let m = compile(&w, scale, Variant::Baseline);
+        for w in &selected {
+            let m = compile(w, scale, Variant::Baseline);
             let (ns, insts) = best_of_single(&m, reps, engine);
             let per = ns / insts.max(1) as f64;
             table.push(vec![
@@ -153,14 +242,26 @@ fn main() {
         }
         print_table(&["workload", "IR insts", "ns/inst", "MIPS"], &table);
         println!("\ncounters verified against reference: OK");
+        if engine == Engine::Threaded {
+            let mut elided_total = 0u64;
+            for w in &selected {
+                let m = compile(w, scale, Variant::GuardsNaive);
+                let g = best_of_guard_pair(&m, 1, w.name);
+                elided_total += g.guards_elided;
+            }
+            println!(
+                "guard accounting verified on GuardsNaive builds: OK \
+                 ({elided_total} guards elided)"
+            );
+        }
         return;
     }
 
     println!("Interpreter throughput ({scale:?} scale, best of {reps})\n");
     let mut rows: Vec<Row> = Vec::new();
-    for w in selected {
-        let m = compile(&w, scale, Variant::Baseline);
-        let (ref_ns, dec_ns, fus_ns, insts, fused_fraction) = best_of_triple(&m, reps);
+    for w in &selected {
+        let m = compile(w, scale, Variant::Baseline);
+        let (ref_ns, dec_ns, fus_ns, thr_ns, insts, fused_fraction) = best_of_quad(&m, reps);
         let per = |ns: f64| ns / insts.max(1) as f64;
         rows.push(Row {
             name: w.name.to_string(),
@@ -168,6 +269,7 @@ fn main() {
             reference_ns_per_inst: per(ref_ns),
             decoded_ns_per_inst: per(dec_ns),
             fused_ns_per_inst: per(fus_ns),
+            threaded_ns_per_inst: per(thr_ns),
             fused_fraction,
         });
     }
@@ -176,31 +278,36 @@ fn main() {
     let mut dec_vs_ref = Vec::new();
     let mut fus_vs_ref = Vec::new();
     let mut fus_vs_dec = Vec::new();
+    let mut thr_vs_fus_bare = Vec::new();
     let mut at_least_3x = 0usize;
     for r in &rows {
         let dvr = r.reference_ns_per_inst / r.decoded_ns_per_inst;
         let fvr = r.reference_ns_per_inst / r.fused_ns_per_inst;
         let fvd = r.decoded_ns_per_inst / r.fused_ns_per_inst;
+        let tvf = r.fused_ns_per_inst / r.threaded_ns_per_inst;
         if fvr >= 3.0 {
             at_least_3x += 1;
         }
         dec_vs_ref.push(dvr);
         fus_vs_ref.push(fvr);
         fus_vs_dec.push(fvd);
+        thr_vs_fus_bare.push(tvf);
         table.push(vec![
             r.name.clone(),
             format!("{}", r.insts),
             format!("{:.1}", r.reference_ns_per_inst),
             format!("{:.1}", r.decoded_ns_per_inst),
             format!("{:.1}", r.fused_ns_per_inst),
+            format!("{:.1}", r.threaded_ns_per_inst),
             format!("{:.0}%", r.fused_fraction * 100.0),
             format!("{fvr:.2}x"),
-            format!("{fvd:.2}x"),
+            format!("{tvf:.2}x"),
         ]);
     }
     print_table(
         &[
-            "workload", "IR insts", "ref ns/i", "dec ns/i", "fus ns/i", "fused", "vs ref", "vs dec",
+            "workload", "IR insts", "ref ns/i", "dec ns/i", "fus ns/i", "thr ns/i", "fused",
+            "fus/ref", "thr/fus",
         ],
         &table,
     );
@@ -212,10 +319,60 @@ fn main() {
         at_least_3x,
         rows.len()
     );
+    println!(
+        "Geomean threaded speedup {:.2}x vs fused on uninstrumented builds (chaining only)",
+        carat_bench::geomean(&thr_vs_fus_bare),
+    );
+
+    // Guard-elision section: the threaded tier's actual target. Under
+    // the generic guard preset the per-iteration loop guards survive to
+    // decode time, and the proof-driven elision + hoisting removes them.
+    println!("\nGuard elision (GuardsNaive builds, fused vs threaded, best of {reps})\n");
+    let mut grows: Vec<GuardRow> = Vec::new();
+    for w in &selected {
+        let m = compile(w, scale, Variant::GuardsNaive);
+        grows.push(best_of_guard_pair(&m, reps, w.name));
+    }
+    let mut gtable = Vec::new();
+    let mut thr_vs_fus_all = Vec::new();
+    let mut thr_vs_fus_loop = Vec::new();
+    for g in &grows {
+        let per = |ns: f64| ns / g.work_insts.max(1) as f64;
+        let speedup = g.fused_ns / g.threaded_ns;
+        thr_vs_fus_all.push(speedup);
+        if g.loop_heavy {
+            thr_vs_fus_loop.push(speedup);
+        }
+        let elided_pct = 100.0 * g.guards_elided as f64 / g.guards_executed_fused.max(1) as f64;
+        gtable.push(vec![
+            g.name.clone(),
+            if g.loop_heavy { "*".into() } else { "".into() },
+            format!("{}", g.guards_executed_fused),
+            format!("{}", g.guards_elided),
+            format!("{}", g.guards_hoisted),
+            format!("{elided_pct:.0}%"),
+            format!("{:.1}", per(g.fused_ns)),
+            format!("{:.1}", per(g.threaded_ns)),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    print_table(
+        &[
+            "workload", "loop", "guards", "elided", "hoisted", "% gone", "fus ns/i", "thr ns/i",
+            "speedup",
+        ],
+        &gtable,
+    );
+    println!(
+        "\nGeomean threaded speedup vs fused: {:.2}x overall, {:.2}x on the {} loop-heavy workloads",
+        carat_bench::geomean(&thr_vs_fus_all),
+        carat_bench::geomean(&thr_vs_fus_loop),
+        thr_vs_fus_loop.len(),
+    );
 
     // Hand-rolled JSON: no serde in the dependency closure. Legacy
     // field names (decoded vs reference) are preserved so older tooling
-    // keeps parsing; fused columns are additive.
+    // keeps parsing; fused and threaded columns are additive.
     let mut json = String::from("{\n  \"scale\": \"");
     json.push_str(&format!("{scale:?}"));
     json.push_str("\",\n  \"workloads\": [\n");
@@ -225,9 +382,11 @@ fn main() {
              \"reference_ns_per_inst\": {:.3}, \"reference_mips\": {:.3}, \
              \"decoded_ns_per_inst\": {:.3}, \"decoded_mips\": {:.3}, \
              \"fused_ns_per_inst\": {:.3}, \"fused_mips\": {:.3}, \
+             \"threaded_ns_per_inst\": {:.3}, \"threaded_mips\": {:.3}, \
              \"fused_fraction\": {:.4}, \
              \"speedup\": {:.3}, \"fused_speedup_vs_reference\": {:.3}, \
-             \"fused_speedup_vs_decoded\": {:.3}}}{}\n",
+             \"fused_speedup_vs_decoded\": {:.3}, \
+             \"threaded_speedup_vs_fused\": {:.3}}}{}\n",
             r.name,
             r.insts,
             r.reference_ns_per_inst,
@@ -236,10 +395,13 @@ fn main() {
             Row::mips(r.decoded_ns_per_inst),
             r.fused_ns_per_inst,
             Row::mips(r.fused_ns_per_inst),
+            r.threaded_ns_per_inst,
+            Row::mips(r.threaded_ns_per_inst),
             r.fused_fraction,
             r.reference_ns_per_inst / r.decoded_ns_per_inst,
             r.reference_ns_per_inst / r.fused_ns_per_inst,
             r.decoded_ns_per_inst / r.fused_ns_per_inst,
+            r.fused_ns_per_inst / r.threaded_ns_per_inst,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -258,13 +420,46 @@ fn main() {
             .map(|r| format!("{:.3}", r.fused_ns_per_inst))
             .unwrap_or_else(|| "null".into()),
     ));
+    // Guard-elision section: MIPS here is work-normalized (ns over the
+    // fused engine's retired instruction count for both engines).
+    json.push_str("  \"guard_elision\": [\n");
+    for (i, g) in grows.iter().enumerate() {
+        let per = |ns: f64| ns / g.work_insts.max(1) as f64;
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"loop_heavy\": {}, \"work_instructions\": {}, \
+             \"guards_executed_fused\": {}, \"guards_executed_threaded\": {}, \
+             \"guards_elided\": {}, \"guards_hoisted\": {}, \
+             \"fused_ns_per_inst\": {:.3}, \"fused_mips\": {:.3}, \
+             \"threaded_ns_per_inst\": {:.3}, \"threaded_mips\": {:.3}, \
+             \"threaded_speedup_vs_fused\": {:.3}}}{}\n",
+            g.name,
+            g.loop_heavy,
+            g.work_insts,
+            g.guards_executed_fused,
+            g.guards_executed_threaded,
+            g.guards_elided,
+            g.guards_hoisted,
+            per(g.fused_ns),
+            Row::mips(per(g.fused_ns)),
+            per(g.threaded_ns),
+            Row::mips(per(g.threaded_ns)),
+            g.fused_ns / g.threaded_ns,
+            if i + 1 < grows.len() { "," } else { "" },
+        ));
+    }
     json.push_str(&format!(
-        "  \"geomean_speedup\": {:.3},\n  \"fused_geomean_vs_reference\": {:.3},\n  \
-         \"fused_geomean_vs_decoded\": {:.3},\n  \"workloads_at_3x\": {}\n}}\n",
+        "  ],\n  \"geomean_speedup\": {:.3},\n  \"fused_geomean_vs_reference\": {:.3},\n  \
+         \"fused_geomean_vs_decoded\": {:.3},\n  \"workloads_at_3x\": {},\n  \
+         \"threaded_geomean_vs_fused_uninstrumented\": {:.3},\n  \
+         \"threaded_geomean_vs_fused_guards\": {:.3},\n  \
+         \"threaded_geomean_vs_fused_guards_loop_heavy\": {:.3}\n}}\n",
         carat_bench::geomean(&dec_vs_ref),
         carat_bench::geomean(&fus_vs_ref),
         carat_bench::geomean(&fus_vs_dec),
-        at_least_3x
+        at_least_3x,
+        carat_bench::geomean(&thr_vs_fus_bare),
+        carat_bench::geomean(&thr_vs_fus_all),
+        carat_bench::geomean(&thr_vs_fus_loop),
     ));
     std::fs::write(&out_path, json).expect("write json");
     println!("wrote {out_path}");

@@ -11,6 +11,27 @@ use carat_ir::Module;
 use carat_vm::{Mode, MoveDriverConfig, RunResult, Vm, VmConfig, VmError};
 use carat_workloads::{all_workloads, Scale, Workload};
 
+/// Workloads whose hot paths are counted loops with affine accesses — the
+/// subset where the threaded tier's decode-time whole-trip proofs have
+/// material to work on. `freqmine` and `xalancbmk` are excluded
+/// deliberately: their hot paths are recursive pointer chasing (linked
+/// `struct elem` trees, side-exit search loops) where no affine
+/// whole-trip proof applies.
+pub const LOOP_HEAVY: &[&str] = &[
+    "hpccg",
+    "cg",
+    "ft",
+    "blackscholes",
+    "canneal",
+    "streamcluster",
+    "deepsjeng",
+    "lbm",
+    "mcf",
+    "nab",
+    "xz",
+    "dedup",
+];
+
 /// A compile/run configuration used across the experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Variant {
@@ -126,6 +147,26 @@ pub fn workers_from_args() -> usize {
         }
     }
     1
+}
+
+/// Read the interpreter engine from argv
+/// (`--engine reference|decoded|fused|threaded`; default fused).
+///
+/// Panics on an unknown name so a typo in a CI job fails loudly instead
+/// of silently benchmarking the wrong engine.
+pub fn engine_from_args() -> carat_vm::Engine {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--engine" {
+            return carat_vm::Engine::parse(&w[1]).unwrap_or_else(|| {
+                panic!(
+                    "unknown engine {:?}: want reference|decoded|fused|threaded",
+                    w[1]
+                )
+            });
+        }
+    }
+    carat_vm::Engine::default()
 }
 
 /// Read a positional mode argument (used by fig3: `general` / `carat`).

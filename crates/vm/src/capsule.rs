@@ -36,7 +36,7 @@
 use crate::decode::DecodedProgram;
 use crate::heap::HeapAllocator;
 use crate::machine::{
-    Frame, GuardFastPath, ParkedThread, TenantState, ThreadState, Value, VmConfig,
+    Frame, GuardFastPath, ParkedThread, StreamKind, TenantState, ThreadState, Value, VmConfig,
 };
 use crate::tlb::{Tlb, TranslationUnit};
 use carat_ir::{BlockId, FuncId, Module, ValueId};
@@ -46,7 +46,7 @@ use std::rc::Rc;
 
 /// Image magic + format version. Bump on any layout change: a stale
 /// capsule then fails cleanly at the header instead of misparsing.
-const CAPSULE_MAGIC: u64 = 0x4341_5250_0000_0001; // "CARP" v1
+const CAPSULE_MAGIC: u64 = 0x4341_5250_0000_0002; // "CARP" v2
 
 /// Little-endian byte sink.
 struct Enc {
@@ -187,7 +187,7 @@ impl<'a> Dec<'a> {
         }
         Some(v)
     }
-    fn frame(&mut self, program: &DecodedProgram, fused: bool) -> Option<Frame> {
+    fn frame(&mut self, program: &DecodedProgram, stream: StreamKind) -> Option<Frame> {
         let func = FuncId(self.u32()?);
         let regs = self.regs()?;
         let block = BlockId(self.u32()?);
@@ -198,10 +198,10 @@ impl<'a> Dec<'a> {
         let has_ret = self.bool()?;
         let ret_raw = self.u32()?;
         let blk = program.funcs.get(func.index())?.blocks.get(block.index())?;
-        let code = if fused {
-            blk.fused_code.clone()
-        } else {
-            blk.code.clone()
+        let code = match stream {
+            StreamKind::Fused => blk.fused_code.clone(),
+            StreamKind::Threaded => blk.threaded_code.clone(),
+            StreamKind::Plain => blk.code.clone(),
         };
         Some(Frame {
             func,
@@ -214,11 +214,11 @@ impl<'a> Dec<'a> {
             code,
         })
     }
-    fn frames(&mut self, program: &DecodedProgram, fused: bool) -> Option<Vec<Frame>> {
+    fn frames(&mut self, program: &DecodedProgram, stream: StreamKind) -> Option<Vec<Frame>> {
         let n = self.len(32)?;
         let mut v = Vec::with_capacity(n);
         for _ in 0..n {
-            v.push(self.frame(program, fused)?);
+            v.push(self.frame(program, stream)?);
         }
         Some(v)
     }
@@ -328,6 +328,8 @@ impl TenantState {
             guards_executed,
             guard_cycles,
             guard_probes,
+            guards_elided,
+            guards_hoisted,
             track_events,
             track_cycles,
             translation_cycles,
@@ -349,6 +351,8 @@ impl TenantState {
             guards_executed,
             guard_cycles,
             guard_probes,
+            guards_elided,
+            guards_hoisted,
             track_events,
             track_cycles,
             translation_cycles,
@@ -453,7 +457,7 @@ impl TenantState {
         if d.u64()? != CAPSULE_MAGIC {
             return None;
         }
-        let fused = matches!(cfg.engine, crate::machine::Engine::Fused);
+        let stream = cfg.engine.stream();
 
         // --- image ---
         let nglobals = d.len(8)?;
@@ -533,6 +537,8 @@ impl TenantState {
                 &mut c.guards_executed,
                 &mut c.guard_cycles,
                 &mut c.guard_probes,
+                &mut c.guards_elided,
+                &mut c.guards_hoisted,
                 &mut c.track_events,
                 &mut c.track_cycles,
                 &mut c.translation_cycles,
@@ -576,14 +582,14 @@ impl TenantState {
         let phi_scratch = d.regs()?;
         let rng = d.u64()?;
         let sp = d.u64()?;
-        let frames = d.frames(&program, fused)?;
+        let frames = d.frames(&program, stream)?;
         let nthreads = d.len(1)?;
         let mut threads = Vec::with_capacity(nthreads);
         for _ in 0..nthreads {
             threads.push(match d.u8()? {
                 0 => ThreadState::Current,
                 1 => ThreadState::Parked(ParkedThread {
-                    frames: d.frames(&program, fused)?,
+                    frames: d.frames(&program, stream)?,
                     sp: d.u64()?,
                     stack_base: d.u64()?,
                 }),

@@ -28,6 +28,12 @@ pub struct PerfCounters {
     pub guard_cycles: u64,
     /// Probe steps across all software guard checks.
     pub guard_probes: u64,
+    /// Guard checks the threaded tier removed with a static in-region
+    /// proof (counted per dynamic guard the fused stream would have run).
+    pub guards_elided: u64,
+    /// Widened range-guards executed at loop preheaders by the threaded
+    /// tier, each standing in for a whole loop trip of per-access guards.
+    pub guards_hoisted: u64,
 
     // --- tracking ---
     /// Tracking callbacks executed (alloc/free/escape enqueue).

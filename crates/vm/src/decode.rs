@@ -494,6 +494,52 @@ pub enum DecodedInst {
         /// Bin integer result width.
         bw: IntTy,
     },
+
+    // --- threaded-tier ops (threaded streams only) ---
+    //
+    // These appear only in `DecodedBlock::threaded_code`, built by the
+    // threaded engine's decode-time transform. They are never produced by
+    // plain decoding or fusion, so the reference/decoded/fused engines
+    // never see them.
+    /// Superblock seam: replaces the unconditional branch between two
+    /// chained blocks. Accounts exactly like the `Jmp` it replaced but
+    /// advances the cursor *into the next member's segment of the same
+    /// concatenated stream* instead of re-pinning code — the whole point
+    /// of chaining.
+    Seam {
+        /// Block index the cursor logically enters (the chain member whose
+        /// segment starts at the next slot).
+        to: u32,
+    },
+    /// A guard statically proven redundant by an identical-or-wider guard
+    /// earlier in its block. Executes nothing — it only counts one elided
+    /// guard so `guards_executed + guards_elided` stays reconcilable with
+    /// the fused baseline.
+    ElidedGuard,
+    /// A widened whole-trip range guard at a loop preheader, standing in
+    /// for every per-iteration guard the transform elided from the loop
+    /// body. Carries an index into [`DecodedFunc::hoists`].
+    HoistedGuard {
+        /// Index into [`DecodedFunc::hoists`].
+        meta: u32,
+    },
+    /// A surviving `GuardLoad`/`GuardStore` intrinsic strength-reduced to
+    /// a fast-tier range probe: same region-table check, same accounting,
+    /// but without leaving the fast dispatch loop for the intrinsic
+    /// machinery. On a check miss it falls back to the slow tier, which
+    /// re-runs the full guard path (page-in retry, fault reporting).
+    GuardFast {
+        /// Register holding the guarded address.
+        gaddr: u32,
+        /// Register holding the access length in bytes, or [`NO_REG`]
+        /// when the length is the `imm` immediate (a single-use literal
+        /// whose const slot was dropped from the threaded stream).
+        glen: u32,
+        /// Immediate access length (valid when `glen` is [`NO_REG`]).
+        imm: u32,
+        /// Whether the guarded access is a write.
+        write: bool,
+    },
 }
 
 impl DecodedInst {
@@ -549,6 +595,13 @@ impl DecodedInst {
             DecodedInst::FusedBinBin { .. } | DecodedInst::FusedBinJmp { .. } => Opcode::Bin,
             DecodedInst::FusedPtrAddConst { .. } => Opcode::PtrAdd,
             DecodedInst::FusedCastBin { .. } => Opcode::Cast,
+            // A seam retires the Jmp it replaced; the guard markers retire
+            // nothing (their arms account explicitly), but `opcode` must
+            // stay total, and the guards they stand in for were intrinsics.
+            DecodedInst::Seam { .. } => Opcode::Jmp,
+            DecodedInst::ElidedGuard
+            | DecodedInst::HoistedGuard { .. }
+            | DecodedInst::GuardFast { .. } => Opcode::CallIntrinsic,
         }
     }
 
@@ -722,6 +775,120 @@ impl FusionSummary {
     }
 }
 
+/// Configuration for the threaded tier's decode-time transform — the
+/// ablation axes of the guard-optimization table (none / elide /
+/// elide+hoist). Superblock chaining and fusion are always on for the
+/// threaded engine; these toggles control only the proof-driven parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadedOpts {
+    /// Drop guards proven redundant (whole-trip loop proofs, block-local
+    /// duplicates) and dead constants, and dedup exact-duplicate tracking
+    /// calls.
+    pub elide: bool,
+    /// Execute one widened range check per elided loop guard at the
+    /// preheader. With `elide` on and `hoist` off, elided guards are
+    /// dropped without replacement (the ablation's "elide" row — it shows
+    /// what the hoisted check costs).
+    pub hoist: bool,
+}
+
+impl Default for ThreadedOpts {
+    fn default() -> ThreadedOpts {
+        ThreadedOpts {
+            elide: true,
+            hoist: true,
+        }
+    }
+}
+
+/// Side-table entry for one [`DecodedInst::HoistedGuard`]: everything the
+/// runtime needs to reconstruct the full address span the elided loop
+/// guard would have checked across the trip. All register fields are
+/// defined outside the loop (the proof guarantees it), so they are
+/// readable at the preheader.
+#[derive(Debug, Clone, Copy)]
+pub struct HoistedGuardMeta {
+    /// Base pointer register (`Affine`), or the invariant address itself.
+    pub base: u32,
+    /// Register holding the induction variable's initial value.
+    pub init: u32,
+    /// Register holding the loop bound (positive term when peeled).
+    pub bound: u32,
+    /// Register of the peeled bound's negative term, or [`NO_REG`]. The
+    /// effective bound is `bound − bound2 + bound_const`.
+    pub bound2: u32,
+    /// Constant summand of a peeled bound expression.
+    pub bound_const: i64,
+    /// Register of the loop-invariant index summand, or [`NO_REG`].
+    pub inv: u32,
+    /// Induction-variable coefficient in the index (0 = invariant addr).
+    pub coeff: i64,
+    /// Constant index summand.
+    pub offset: i64,
+    /// Element stride scaling the index (0 = invariant addr).
+    pub elem: u64,
+    /// Constant byte offset added after scaling (peeled `FieldAddr`s).
+    pub byte_off: u64,
+    /// Access length in bytes.
+    pub len: u64,
+    /// Positive induction step.
+    pub step: i64,
+    /// `true` for `iv <= bound`, `false` for `iv < bound`.
+    pub inclusive: bool,
+    /// Whether the elided guard checked write access.
+    pub write: bool,
+    /// Whether to execute the widened range check (hoisting enabled).
+    /// When false the slot only accounts the trip's elided guards.
+    pub check: bool,
+}
+
+/// Per-loop transform decisions, kept for `compile_inspect` and the
+/// ablation table: what was proven, what was rejected and why.
+#[derive(Debug, Clone)]
+pub struct LoopReport {
+    /// Function name.
+    pub func: String,
+    /// Loop header block index.
+    pub header: u32,
+    /// One line per proven guard: proof kind and symbolic span.
+    pub decisions: Vec<String>,
+    /// One line per rejected guard: value and reason.
+    pub rejected: Vec<String>,
+}
+
+/// Static census of the threaded transform across a program.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadedReport {
+    /// Loop guards removed under a whole-trip proof.
+    pub elided_sites: u64,
+    /// Block-local duplicate guards replaced by markers.
+    pub dup_guard_sites: u64,
+    /// Exact-duplicate tracking calls dropped.
+    pub track_dedup_sites: u64,
+    /// Widened preheader checks inserted (0 when `hoist` is off).
+    pub hoisted_sites: u64,
+    /// Surviving guard intrinsics strength-reduced to fast-tier probes.
+    pub fast_guard_sites: u64,
+    /// Constants dropped because their last use was an elided guard, or
+    /// was embedded as a fast-guard length immediate.
+    pub dead_consts: u64,
+    /// Multi-block superblocks formed by chaining.
+    pub chains: u64,
+    /// Member blocks absorbed into a chain (beyond the head).
+    pub chained_blocks: u64,
+    /// Per-loop decisions for inspection.
+    pub loops: Vec<LoopReport>,
+    /// Loops the prover skipped structurally: "func bbN: reason".
+    pub skipped_loops: Vec<String>,
+}
+
+impl ThreadedReport {
+    /// Total guard slots removed or markered by proofs.
+    pub fn total_elided_sites(&self) -> u64 {
+        self.elided_sites + self.dup_guard_sites
+    }
+}
+
 /// The copy list for entering a phi-headed block from one predecessor.
 #[derive(Debug, Clone, Copy)]
 pub struct PhiEdge {
@@ -748,6 +915,15 @@ pub struct DecodedBlock {
     /// (and vice versa) — mid-pair bail-outs and blocking intrinsics
     /// resume at exact component boundaries.
     pub fused_code: std::rc::Rc<[DecodedInst]>,
+    /// The threaded-tier view, pinned by the threaded engine (empty
+    /// unless the program was decoded with [`ThreadedOpts`]). Unlike
+    /// `fused_code` this is *not* slot-parallel with `code`: guard slots
+    /// may be elided, hoisted checks inserted, and chained blocks share
+    /// one concatenated stream (every member of a superblock chain holds
+    /// the same `Rc`, with its segment at the offset the preceding
+    /// [`DecodedInst::Seam`]s imply). Cursors into a threaded stream are
+    /// only meaningful against the threaded stream itself.
+    pub threaded_code: std::rc::Rc<[DecodedInst]>,
     /// Per-predecessor phi copy lists (empty when the block has no phis).
     /// An entry exists only for predecessors every phi covers; entering
     /// from any other block traps, as in the reference interpreter.
@@ -771,6 +947,9 @@ pub struct DecodedFunc {
     /// alloca). The decoded stream carries offsets inline; this table
     /// serves the reference engine, replacing its per-function `HashMap`.
     pub alloca_offsets: Vec<u64>,
+    /// Side table for [`DecodedInst::HoistedGuard`] slots (threaded tier
+    /// only; empty otherwise).
+    pub hoists: Vec<HoistedGuardMeta>,
 }
 
 impl DecodedFunc {
@@ -793,7 +972,13 @@ pub struct DecodedProgram {
     /// Decoded functions, indexed by [`FuncId`](carat_ir::FuncId).
     pub funcs: Vec<DecodedFunc>,
     /// Static census of the fusion sites created across all functions.
+    /// For a threaded decode this is the census over the *threaded*
+    /// streams (elision re-exposes fusion opportunities the guard slots
+    /// were blocking).
     pub fusion: FusionSummary,
+    /// Census of the threaded transform, when the program was decoded
+    /// with [`ThreadedOpts`].
+    pub threaded: Option<ThreadedReport>,
 }
 
 impl DecodedProgram {
@@ -802,13 +987,40 @@ impl DecodedProgram {
     /// trapping forms so behavior stays identical to the reference
     /// interpreter, which also rejects them only upon execution.
     pub fn decode(module: &Module) -> DecodedProgram {
+        DecodedProgram::decode_with(module, None)
+    }
+
+    /// Decode every function, and when `threaded` is given also build the
+    /// threaded-tier streams: proof-driven guard elision and hoisting,
+    /// superblock chaining, then one fusion pass over the chained code.
+    /// The plain and fused streams are unaffected — the same decoded
+    /// program can back any engine.
+    pub fn decode_with(module: &Module, threaded: Option<ThreadedOpts>) -> DecodedProgram {
         let mut fusion = FusionSummary::default();
+        let mut funcs: Vec<DecodedFunc> = module
+            .func_ids()
+            .map(|fid| decode_func(module.func(fid), &mut fusion))
+            .collect();
+        let threaded = threaded.map(|opts| {
+            let mut report = ThreadedReport::default();
+            let mut tfusion = FusionSummary::default();
+            for (df, fid) in funcs.iter_mut().zip(module.func_ids()) {
+                thread_func(
+                    module,
+                    module.func(fid),
+                    df,
+                    opts,
+                    &mut tfusion,
+                    &mut report,
+                );
+            }
+            fusion = tfusion;
+            report
+        });
         DecodedProgram {
-            funcs: module
-                .func_ids()
-                .map(|fid| decode_func(module.func(fid), &mut fusion))
-                .collect(),
+            funcs,
             fusion,
+            threaded,
         }
     }
 }
@@ -884,6 +1096,7 @@ fn decode_func(f: &carat_ir::Function, fusion: &mut FusionSummary) -> DecodedFun
         blocks.push(DecodedBlock {
             code: code.into(),
             fused_code: fused.into(),
+            threaded_code: Vec::new().into(),
             phi_edges,
         });
     }
@@ -895,6 +1108,7 @@ fn decode_func(f: &carat_ir::Function, fusion: &mut FusionSummary) -> DecodedFun
         operands,
         phi_copies,
         alloca_offsets,
+        hoists: Vec::new(),
     }
 }
 
@@ -1026,6 +1240,342 @@ fn decode_inst(
             value: value.map(|v| v.0).unwrap_or(NO_REG),
         },
         Inst::Unreachable => DecodedInst::Unreachable,
+    }
+}
+
+/// Per-slot action of the threaded transform.
+const KEEP: u8 = 0;
+const DROP: u8 = 1;
+const MARK: u8 = 2;
+
+/// Build the threaded-tier streams for one function: consume the guard
+/// proofs to drop/mark slots and insert hoisted checks, chain
+/// single-entry straight-line successors into superblocks, then fuse
+/// once over each concatenated stream.
+fn thread_func(
+    module: &Module,
+    f: &carat_ir::Function,
+    df: &mut DecodedFunc,
+    opts: ThreadedOpts,
+    fusion: &mut FusionSummary,
+    report: &mut ThreadedReport,
+) {
+    let nblocks = df.blocks.len();
+    let mut actions: Vec<Vec<u8>> = df.blocks.iter().map(|b| vec![KEEP; b.code.len()]).collect();
+    let mut inserts: Vec<Vec<DecodedInst>> = vec![Vec::new(); nblocks];
+
+    // Map each non-phi instruction to its decoded slot: the leading phi
+    // run collapses into one PhiBatch, so the i-th non-phi instruction
+    // sits at slot `(has_phis as usize) + i`.
+    let mut slot_of: Vec<Option<(usize, usize)>> = vec![None; f.num_values()];
+    for b in f.block_ids() {
+        let insts = &f.block(b).insts;
+        let nphis = insts
+            .iter()
+            .take_while(|&&v| matches!(f.inst(v), Some(Inst::Phi { .. })))
+            .count();
+        let lead = usize::from(nphis > 0);
+        for (i, &v) in insts.iter().enumerate().skip(nphis) {
+            slot_of[v.index()] = Some((b.index(), lead + (i - nphis)));
+        }
+    }
+
+    if opts.elide {
+        let proofs = carat_analysis::prove_function_in(f, Some(module));
+        for (header, reason) in &proofs.skipped_loops {
+            report
+                .skipped_loops
+                .push(format!("{} bb{}: {}", f.name, header.index(), reason));
+        }
+        for plan in &proofs.loops {
+            let mut lrep = LoopReport {
+                func: f.name.clone(),
+                header: plan.header.index() as u32,
+                decisions: Vec::new(),
+                rejected: Vec::new(),
+            };
+            for g in &plan.guards {
+                let Some((gb, gs)) = slot_of[g.guard.index()] else {
+                    continue;
+                };
+                actions[gb][gs] = DROP;
+                let meta = df.hoists.len() as u32;
+                df.hoists.push(HoistedGuardMeta {
+                    base: g.base.0,
+                    init: plan.init.0,
+                    bound: plan.bound.0,
+                    bound2: plan.bound_minus.map(|v| v.0).unwrap_or(NO_REG),
+                    bound_const: plan.bound_const,
+                    inv: g.inv.map(|v| v.0).unwrap_or(NO_REG),
+                    coeff: g.coeff,
+                    offset: g.offset,
+                    elem: g.elem,
+                    byte_off: g.byte_off,
+                    len: g.len,
+                    step: plan.step,
+                    inclusive: plan.inclusive,
+                    write: g.write,
+                    check: opts.hoist,
+                });
+                inserts[plan.preheader.index()].push(DecodedInst::HoistedGuard { meta });
+                report.elided_sites += 1;
+                if opts.hoist {
+                    report.hoisted_sites += 1;
+                }
+                let access = if g.write { "store" } else { "load" };
+                let fate = if opts.hoist {
+                    format!("widened check at bb{}", plan.preheader.index())
+                } else {
+                    "no hoisted check (ablation)".to_string()
+                };
+                lrep.decisions.push(match g.kind {
+                    carat_analysis::ProofKind::Affine => format!(
+                        "v{}: {access} guard elided for whole trip \
+                         (affine: base=v{} elem={} coeff={} offset={} len={}); {fate}",
+                        g.guard.index(),
+                        g.base.index(),
+                        g.elem,
+                        g.coeff,
+                        g.offset,
+                        g.len,
+                    ),
+                    carat_analysis::ProofKind::Invariant => format!(
+                        "v{}: {access} guard elided for whole trip \
+                         (invariant addr v{}, len={}); {fate}",
+                        g.guard.index(),
+                        g.base.index(),
+                        g.len,
+                    ),
+                });
+            }
+            for (v, reason) in &plan.rejected {
+                lrep.rejected.push(format!("v{}: {}", v.index(), reason));
+            }
+            report.loops.push(lrep);
+        }
+        for v in &proofs.dup_guards {
+            if let Some((b, s)) = slot_of[v.index()] {
+                actions[b][s] = MARK;
+                report.dup_guard_sites += 1;
+            }
+        }
+        for v in &proofs.dup_tracks {
+            if let Some((b, s)) = slot_of[v.index()] {
+                actions[b][s] = DROP;
+                report.track_dedup_sites += 1;
+            }
+        }
+
+        // Constants whose last use was a removed slot are dead in the
+        // threaded stream — but never drop a register a hoisted check
+        // reads at runtime.
+        let mut pinned = vec![false; f.num_values()];
+        for m in &df.hoists {
+            for r in [m.base, m.init, m.bound, m.bound2, m.inv] {
+                if r != NO_REG {
+                    if let Some(p) = pinned.get_mut(r as usize) {
+                        *p = true;
+                    }
+                }
+            }
+        }
+        let mut uses = vec![0u32; f.num_values()];
+        for (_, _, inst) in f.insts_in_layout_order() {
+            for o in inst.operands() {
+                uses[o.index()] += 1;
+            }
+        }
+        let orig_uses = uses.clone();
+        for (_, v, inst) in f.insts_in_layout_order() {
+            let Some((bi, s)) = slot_of[v.index()] else {
+                continue;
+            };
+            if actions[bi][s] != KEEP {
+                for o in inst.operands() {
+                    uses[o.index()] -= 1;
+                }
+            }
+        }
+        for (_, v, inst) in f.insts_in_layout_order() {
+            if !matches!(inst, Inst::Const(_)) {
+                continue;
+            }
+            let Some((bi, s)) = slot_of[v.index()] else {
+                continue;
+            };
+            if actions[bi][s] == KEEP
+                && uses[v.index()] == 0
+                && orig_uses[v.index()] > 0
+                && !pinned[v.index()]
+            {
+                actions[bi][s] = DROP;
+                report.dead_consts += 1;
+            }
+        }
+    }
+
+    // Surviving guards whose length is a single-use literal constant get
+    // the length embedded as an immediate and the const's slot dropped:
+    // the fused baseline still executes (and counts) the const, but the
+    // threaded stream has no other consumer for it.
+    let mut guard_imm: std::collections::HashMap<(usize, usize), u32> =
+        std::collections::HashMap::new();
+    {
+        let mut uses = vec![0u32; f.num_values()];
+        for (_, _, inst) in f.insts_in_layout_order() {
+            for o in inst.operands() {
+                uses[o.index()] += 1;
+            }
+        }
+        for (_, v, inst) in f.insts_in_layout_order() {
+            let Inst::CallIntrinsic {
+                intr: Intrinsic::GuardLoad | Intrinsic::GuardStore,
+                args,
+            } = inst
+            else {
+                continue;
+            };
+            let [_, len_arg] = args.as_slice() else {
+                continue;
+            };
+            let Some((gb, gs)) = slot_of[v.index()] else {
+                continue;
+            };
+            if actions[gb][gs] != KEEP || uses[len_arg.index()] != 1 {
+                continue;
+            }
+            let Some(Inst::Const(Const::Int(n, _))) = f.inst(*len_arg) else {
+                continue;
+            };
+            let Ok(imm) = u32::try_from(*n) else { continue };
+            if imm == 0 {
+                continue;
+            }
+            let Some((cb, cs)) = slot_of[len_arg.index()] else {
+                continue;
+            };
+            if actions[cb][cs] != KEEP {
+                continue;
+            }
+            actions[cb][cs] = DROP;
+            guard_imm.insert((gb, gs), imm);
+            report.dead_consts += 1;
+        }
+    }
+
+    // Apply the actions per block; hoisted checks go right before the
+    // preheader's terminator (the last slot, never dropped or marked).
+    // Surviving guard intrinsics are strength-reduced to fast-tier range
+    // probes here — before fusion, so `FusedGuardLoad`/`FusedGuardStore`
+    // never form in a threaded stream and the probe stays inside the
+    // fast dispatch loop instead of breaking out to the intrinsic
+    // machinery.
+    let mut transformed: Vec<Vec<DecodedInst>> = Vec::with_capacity(nblocks);
+    for (bi, blk) in df.blocks.iter().enumerate() {
+        let mut code: Vec<DecodedInst> = Vec::with_capacity(blk.code.len() + inserts[bi].len());
+        for (s, &inst) in blk.code.iter().enumerate() {
+            if s + 1 == blk.code.len() {
+                code.extend(inserts[bi].iter().copied());
+            }
+            match actions[bi][s] {
+                DROP => {}
+                MARK => code.push(DecodedInst::ElidedGuard),
+                _ => match inst {
+                    DecodedInst::Intrinsic { intr, args, .. }
+                        if matches!(intr, Intrinsic::GuardLoad | Intrinsic::GuardStore)
+                            && args.len == 2 =>
+                    {
+                        let (glen, imm) = match guard_imm.get(&(bi, s)) {
+                            Some(&n) => (NO_REG, n),
+                            None => (df.operands[args.start as usize + 1], 0),
+                        };
+                        code.push(DecodedInst::GuardFast {
+                            gaddr: df.operands[args.start as usize],
+                            glen,
+                            imm,
+                            write: intr == Intrinsic::GuardStore,
+                        });
+                        report.fast_guard_sites += 1;
+                    }
+                    _ => code.push(inst),
+                },
+            }
+        }
+        if blk.code.is_empty() {
+            code.extend(inserts[bi].iter().copied());
+        }
+        transformed.push(code);
+    }
+
+    // Superblock chaining: follow unconditional jumps into blocks with a
+    // single predecessor and no phis (never the entry block, never a
+    // self-loop). In-degree and out-degree are both at most one, so the
+    // `next` edges form vertex-disjoint paths; each path becomes one
+    // concatenated stream with a Seam replacing every interior
+    // terminator, shared by all members so absolute cursors stay valid
+    // wherever a frame suspends.
+    let preds = f.predecessors();
+    let mut next: Vec<Option<usize>> = vec![None; nblocks];
+    for b in 0..nblocks {
+        let Some(&DecodedInst::Jmp { target }) = transformed[b].last() else {
+            continue;
+        };
+        let t = target as usize;
+        if t == 0 || t == b || t >= nblocks || transformed[t].is_empty() {
+            continue;
+        }
+        if preds[t].len() != 1 || preds[t][0].index() != b {
+            continue;
+        }
+        if matches!(transformed[t].first(), Some(DecodedInst::PhiBatch)) {
+            continue;
+        }
+        next[b] = Some(t);
+    }
+    let mut is_target = vec![false; nblocks];
+    for &t in next.iter().flatten() {
+        is_target[t] = true;
+    }
+    let mut streams: Vec<Option<std::rc::Rc<[DecodedInst]>>> = vec![None; nblocks];
+    for (head, &targeted) in is_target.iter().enumerate() {
+        if targeted {
+            continue;
+        }
+        let mut chain = vec![head];
+        let mut cur = head;
+        while let Some(t) = next[cur] {
+            chain.push(t);
+            cur = t;
+        }
+        let mut code: Vec<DecodedInst> = Vec::new();
+        for (k, &b) in chain.iter().enumerate() {
+            if k + 1 < chain.len() {
+                let seg = &transformed[b];
+                code.extend_from_slice(&seg[..seg.len() - 1]);
+                code.push(DecodedInst::Seam {
+                    to: chain[k + 1] as u32,
+                });
+            } else {
+                code.extend_from_slice(&transformed[b]);
+            }
+        }
+        let rc: std::rc::Rc<[DecodedInst]> = fuse_block(&code, &df.operands, fusion).into();
+        if chain.len() > 1 {
+            report.chains += 1;
+            report.chained_blocks += (chain.len() - 1) as u64;
+        }
+        for &b in &chain {
+            streams[b] = Some(rc.clone());
+        }
+    }
+    for (b, stream) in streams.into_iter().enumerate() {
+        // Blocks on a pure `next` cycle have no head; they are
+        // unreachable (a cycle of single-predecessor blocks cannot be
+        // entered), but still get a well-formed single-block stream.
+        df.blocks[b].threaded_code = match stream {
+            Some(s) => s,
+            None => fuse_block(&transformed[b], &df.operands, fusion).into(),
+        };
     }
 }
 
@@ -1548,6 +2098,193 @@ mod tests {
         assert_eq!(prog.fusion.total(), 4);
         assert_eq!(prog.fusion.sites[FusedKind::PtrAddStore as usize], 1);
         assert_eq!(prog.fusion.sites[FusedKind::IcmpBr as usize], 1);
+    }
+
+    /// entry -> header{phi,icmp,br} -> body{guard, load, add} -> exit,
+    /// guarding `a[i]` with constant length 8.
+    fn guarded_loop_module() -> carat_ir::Module {
+        let mut mb = ModuleBuilder::new("t");
+        let fid = mb.declare("main", vec![Type::Ptr, Type::I64], Some(Type::I64));
+        {
+            let mut b = mb.define(fid);
+            let e = b.block("entry");
+            let h = b.block("header");
+            let body = b.block("body");
+            let x = b.block("exit");
+            b.switch_to(e);
+            let zero = b.const_i64(0);
+            let one = b.const_i64(1);
+            let eight = b.const_i64(8);
+            b.jmp(h);
+            b.switch_to(h);
+            let i = b.phi(Type::I64, vec![(e, zero)]);
+            let c = b.icmp(carat_ir::Pred::Slt, i, b.arg(1));
+            b.br(c, body, x);
+            b.switch_to(body);
+            let ai = b.ptr_add(b.arg(0), i, Type::I64);
+            b.intr(Intrinsic::GuardLoad, vec![ai, eight]);
+            let _ = b.load(Type::I64, ai);
+            let i2 = b.add(i, one);
+            b.phi_add_incoming(i, body, i2);
+            b.jmp(h);
+            b.switch_to(x);
+            b.ret(Some(i));
+        }
+        mb.finish()
+    }
+
+    #[test]
+    fn threaded_elides_loop_guard_and_hoists() {
+        let m = guarded_loop_module();
+        let prog = DecodedProgram::decode_with(&m, Some(ThreadedOpts::default()));
+        let report = prog.threaded.as_ref().unwrap();
+        assert_eq!(report.elided_sites, 1);
+        assert_eq!(report.hoisted_sites, 1);
+        let f = &prog.funcs[0];
+        // The guard slot is gone from the body's threaded stream…
+        let body = &f.blocks[2].threaded_code;
+        assert!(
+            body.iter().all(|i| !matches!(
+                i,
+                DecodedInst::Intrinsic {
+                    intr: Intrinsic::GuardLoad,
+                    ..
+                } | DecodedInst::FusedGuardLoad { .. }
+            )),
+            "loop guard must be elided from the threaded stream"
+        );
+        // …which re-exposes the address/access fusion the guard blocked.
+        assert!(body
+            .iter()
+            .any(|i| matches!(i, DecodedInst::FusedPtrAddLoad { .. })));
+        // The widened check sits in the preheader (entry), with the
+        // proof's parameters in the side table.
+        let entry = &f.blocks[0].threaded_code;
+        let meta = entry
+            .iter()
+            .find_map(|i| match i {
+                DecodedInst::HoistedGuard { meta } => Some(*meta),
+                _ => None,
+            })
+            .expect("hoisted check in preheader");
+        let h = f.hoists[meta as usize];
+        assert_eq!(h.elem, 8);
+        assert_eq!(h.coeff, 1);
+        assert_eq!(h.len, 8);
+        assert_eq!(h.step, 1);
+        assert!(!h.inclusive && !h.write && h.check);
+        // The plain and fused streams are untouched.
+        assert!(f.blocks[2]
+            .code
+            .iter()
+            .any(|i| matches!(i, DecodedInst::Intrinsic { .. })));
+    }
+
+    #[test]
+    fn threaded_ablation_axes() {
+        let m = guarded_loop_module();
+        let none = DecodedProgram::decode_with(
+            &m,
+            Some(ThreadedOpts {
+                elide: false,
+                hoist: false,
+            }),
+        );
+        let r = none.threaded.as_ref().unwrap();
+        assert_eq!((r.elided_sites, r.hoisted_sites), (0, 0));
+        assert!(none.funcs[0].hoists.is_empty());
+
+        let elide_only = DecodedProgram::decode_with(
+            &m,
+            Some(ThreadedOpts {
+                elide: true,
+                hoist: false,
+            }),
+        );
+        let r = elide_only.threaded.as_ref().unwrap();
+        assert_eq!((r.elided_sites, r.hoisted_sites), (1, 0));
+        // The accounting slot is still present — it just skips the check.
+        assert!(!elide_only.funcs[0].hoists[0].check);
+    }
+
+    #[test]
+    fn threaded_chains_straightline_blocks() {
+        let mut mb = ModuleBuilder::new("t");
+        let fid = mb.declare("main", vec![], Some(Type::I64));
+        {
+            let mut b = mb.define(fid);
+            let e = b.block("entry");
+            let m1 = b.block("mid1");
+            let m2 = b.block("mid2");
+            b.switch_to(e);
+            let x = b.const_i64(1);
+            b.jmp(m1);
+            b.switch_to(m1);
+            let y = b.const_i64(2);
+            b.jmp(m2);
+            b.switch_to(m2);
+            let z = b.add(x, y);
+            b.ret(Some(z));
+        }
+        let m = mb.finish();
+        let prog = DecodedProgram::decode_with(&m, Some(ThreadedOpts::default()));
+        let report = prog.threaded.as_ref().unwrap();
+        assert_eq!(report.chains, 1);
+        assert_eq!(report.chained_blocks, 2);
+        let f = &prog.funcs[0];
+        // All three blocks share one concatenated stream…
+        assert!(std::rc::Rc::ptr_eq(
+            &f.blocks[0].threaded_code,
+            &f.blocks[1].threaded_code
+        ));
+        assert!(std::rc::Rc::ptr_eq(
+            &f.blocks[0].threaded_code,
+            &f.blocks[2].threaded_code
+        ));
+        // …with seams where the interior jumps were.
+        let seams: Vec<u32> = f.blocks[0]
+            .threaded_code
+            .iter()
+            .filter_map(|i| match i {
+                DecodedInst::Seam { to } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seams, vec![1, 2]);
+        assert!(matches!(
+            f.blocks[0].threaded_code.last(),
+            Some(DecodedInst::Ret { .. })
+        ));
+    }
+
+    #[test]
+    fn threaded_marks_block_local_duplicate_guard() {
+        let mut mb = ModuleBuilder::new("t");
+        let fid = mb.declare("main", vec![Type::Ptr], Some(Type::I64));
+        {
+            let mut b = mb.define(fid);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let eight = b.const_i64(8);
+            b.intr(Intrinsic::GuardLoad, vec![b.arg(0), eight]);
+            let v1 = b.load(Type::I64, b.arg(0));
+            b.intr(Intrinsic::GuardLoad, vec![b.arg(0), eight]);
+            let v2 = b.load(Type::I64, b.arg(0));
+            let s = b.add(v1, v2);
+            b.ret(Some(s));
+        }
+        let m = mb.finish();
+        let prog = DecodedProgram::decode_with(&m, Some(ThreadedOpts::default()));
+        let report = prog.threaded.as_ref().unwrap();
+        assert_eq!(report.dup_guard_sites, 1);
+        let stream = &prog.funcs[0].blocks[0].threaded_code;
+        assert_eq!(
+            stream
+                .iter()
+                .filter(|i| matches!(i, DecodedInst::ElidedGuard))
+                .count(),
+            1
+        );
     }
 
     #[test]

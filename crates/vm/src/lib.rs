@@ -44,12 +44,13 @@ mod tlb;
 pub use counters::{MoveBreakdownSum, OpcodeMix, PerfCounters};
 pub use decode::{
     DecodedBlock, DecodedFunc, DecodedInst, DecodedProgram, FusedKind, FusionStats, FusionSummary,
-    OperandRange, PhiEdge, ScalarClass, FUSED_KINDS, NO_REG,
+    HoistedGuardMeta, LoopReport, OperandRange, PhiEdge, ScalarClass, ThreadedOpts, ThreadedReport,
+    FUSED_KINDS, NO_REG,
 };
 pub use heap::HeapAllocator;
 pub use machine::{
-    Engine, IntegrityReport, Mode, MoveDriverConfig, RunResult, SliceExit, SwapDriverConfig,
-    TenantState, Vm, VmConfig, VmError,
+    Engine, IntegrityReport, Mode, MoveDriverConfig, RunResult, SliceExit, StreamKind,
+    SwapDriverConfig, TenantState, Vm, VmConfig, VmError,
 };
 pub use multi::{MultiVm, MultiVmConfig, ProcOutcome, ProcReport, ProcSpec, TenancyError};
 pub use supervise::{SupervisionEvent, Supervisor, SupervisorConfig, TenantExit, Verdict};

@@ -82,6 +82,64 @@ pub enum Engine {
     /// interpreter, retained as the semantic reference for differential
     /// testing and as the `--reference` baseline in `interp_throughput`.
     Reference,
+    /// Execute over the threaded-code streams: superblock chains of the
+    /// fused stream with guard checks elided or hoisted under the static
+    /// whole-trip proofs of `carat_analysis::prove_function` (see
+    /// [`crate::decode::ThreadedOpts`]). The only engine whose simulated
+    /// counters legitimately diverge from the others: it retires fewer
+    /// instructions and cycles because proven-redundant guards never
+    /// execute, with the removal accounted in
+    /// [`PerfCounters::guards_elided`]/[`PerfCounters::guards_hoisted`]
+    /// so `guards_executed + guards_elided - guards_hoisted` reconciles
+    /// with the fused engine's `guards_executed`. Outputs, return values,
+    /// loads, stores, and calls remain byte-identical.
+    Threaded,
+}
+
+/// Which decoded instruction stream an engine pins into active frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKind {
+    /// The plain one-slot-per-instruction stream (`code`).
+    Plain,
+    /// The superinstruction view (`fused_code`).
+    Fused,
+    /// The threaded-tier superblock view (`threaded_code`).
+    Threaded,
+}
+
+impl Engine {
+    /// Every engine, in the order benchmarks report them.
+    pub const ALL: [Engine; 4] = [
+        Engine::Reference,
+        Engine::Decoded,
+        Engine::Fused,
+        Engine::Threaded,
+    ];
+
+    /// The decoded stream this engine executes.
+    #[inline]
+    pub fn stream(self) -> StreamKind {
+        match self {
+            Engine::Fused => StreamKind::Fused,
+            Engine::Threaded => StreamKind::Threaded,
+            Engine::Decoded | Engine::Reference => StreamKind::Plain,
+        }
+    }
+
+    /// Stable CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Fused => "fused",
+            Engine::Decoded => "decoded",
+            Engine::Reference => "reference",
+            Engine::Threaded => "threaded",
+        }
+    }
+
+    /// Parse a CLI name (as produced by [`Engine::name`]).
+    pub fn parse(s: &str) -> Option<Engine> {
+        Engine::ALL.into_iter().find(|e| e.name() == s)
+    }
 }
 
 /// VM configuration.
@@ -134,6 +192,10 @@ pub struct VmConfig {
     /// at every setting; modeled move cycles follow the cost model's
     /// matching `patch_workers` (see [`SimKernel::set_move_workers`]).
     pub move_workers: usize,
+    /// Threaded-tier transform toggles (only read by [`Engine::Threaded`];
+    /// both on by default, the ablation rows of the guard-opts table turn
+    /// them off selectively).
+    pub threaded: crate::decode::ThreadedOpts,
 }
 
 impl Default for VmConfig {
@@ -156,6 +218,7 @@ impl Default for VmConfig {
             max_stack: 8 * 1024 * 1024,
             fault_plan: None,
             move_workers: 1,
+            threaded: crate::decode::ThreadedOpts::default(),
         }
     }
 }
@@ -666,7 +729,8 @@ impl Vm {
         cfg: VmConfig,
     ) -> Vm {
         kernel.set_move_workers(cfg.move_workers);
-        let program = Rc::new(DecodedProgram::decode(&image.module));
+        let threaded = (cfg.engine == Engine::Threaded).then_some(cfg.threaded);
+        let program = Rc::new(DecodedProgram::decode_with(&image.module, threaded));
         Vm::assemble(kernel, table, image, cfg, program)
     }
 
@@ -1144,22 +1208,26 @@ impl Vm {
     /// streams the fused engine pins into frames.
     fn step(&mut self) -> Result<Option<i64>, VmError> {
         match self.cfg.engine {
-            Engine::Fused => self.step_decoded::<true>(),
+            Engine::Fused | Engine::Threaded => self.step_decoded::<true>(),
             Engine::Decoded => self.step_decoded::<false>(),
             Engine::Reference => self.step_reference(),
         }
     }
 
     /// The code stream to pin for `(func, block)` under the configured
-    /// engine: the superinstruction view for [`Engine::Fused`], the plain
-    /// decoded stream otherwise. The two are index-compatible by
-    /// construction.
+    /// engine: the superinstruction view for [`Engine::Fused`], the
+    /// threaded superblock stream for [`Engine::Threaded`], the plain
+    /// decoded stream otherwise. Plain and fused are index-compatible by
+    /// construction; threaded cursors are only ever created and resumed
+    /// against threaded streams (chain members share one stream, so a
+    /// frame suspended mid-chain re-pins the identical code).
     #[inline]
     fn pinned_code(&self, func: usize, block: usize) -> std::rc::Rc<[DecodedInst]> {
         let blk = &self.program.funcs[func].blocks[block];
-        match self.cfg.engine {
-            Engine::Fused => blk.fused_code.clone(),
-            _ => blk.code.clone(),
+        match self.cfg.engine.stream() {
+            StreamKind::Fused => blk.fused_code.clone(),
+            StreamKind::Threaded => blk.threaded_code.clone(),
+            StreamKind::Plain => blk.code.clone(),
         }
     }
 
@@ -1486,9 +1554,10 @@ impl Vm {
                     last_vpn,
                     bail_insts_at,
                     bail_cycles_at,
+                    guard_cache,
                     ..
                 } = self;
-                let fused_stream = matches!(cfg.engine, Engine::Fused);
+                let stream = cfg.engine.stream();
                 let mode = cfg.mode;
                 let fr = frames.last_mut().expect("non-empty");
                 loop {
@@ -1669,7 +1738,7 @@ impl Vm {
                             counters.instructions += 1;
                             counters.opcode_mix.record(Opcode::Jmp);
                             counters.cycles += kernel.cost.branch;
-                            take_jump(fr, program, fused_stream, BlockId(target));
+                            take_jump(fr, program, stream, BlockId(target));
                         }
                         DecodedInst::Br {
                             cond,
@@ -1683,7 +1752,7 @@ impl Vm {
                             take_jump(
                                 fr,
                                 program,
-                                fused_stream,
+                                stream,
                                 BlockId(if c { if_true } else { if_false }),
                             );
                         }
@@ -1799,7 +1868,7 @@ impl Vm {
                             take_jump(
                                 fr,
                                 program,
-                                fused_stream,
+                                stream,
                                 BlockId(if r { if_true } else { if_false }),
                             );
                         }
@@ -1883,7 +1952,7 @@ impl Vm {
                             counters.instructions += 1;
                             counters.opcode_mix.record(Opcode::Jmp);
                             counters.cycles += kernel.cost.branch;
-                            take_jump(fr, program, fused_stream, BlockId(target));
+                            take_jump(fr, program, stream, BlockId(target));
                         }
                         DecodedInst::FusedFcmpBr {
                             cdst,
@@ -1920,7 +1989,7 @@ impl Vm {
                             take_jump(
                                 fr,
                                 program,
-                                fused_stream,
+                                stream,
                                 BlockId(if r { if_true } else { if_false }),
                             );
                         }
@@ -2228,6 +2297,93 @@ impl Vm {
                             counters.stores += 1;
                         }
 
+                        // --- threaded-tier ops ---
+                        //
+                        // A seam is the Jmp between two chained blocks:
+                        // identical accounting, but the cursor continues
+                        // into the next member's segment of the same
+                        // concatenated stream — no re-pin, no idx reset.
+                        // The batch gate below still runs, so rotation and
+                        // due drivers get control at the same boundaries a
+                        // real Jmp would give them.
+                        DecodedInst::Seam { to } => {
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::Jmp);
+                            counters.cycles += kernel.cost.branch;
+                            fr.prev_block = Some(fr.block);
+                            fr.block = BlockId(to);
+                            fr.idx += 1;
+                        }
+                        // A block-local duplicate guard: the covering guard
+                        // earlier in the block already ran, so this one
+                        // only accounts its own removal — no instruction,
+                        // no cycles, no probe.
+                        DecodedInst::ElidedGuard => {
+                            counters.guards_elided += 1;
+                            fr.idx += 1;
+                        }
+                        // A surviving guard intrinsic strength-reduced to a
+                        // fast-tier range probe. The passing path — cache hit
+                        // or fresh region check — accounts exactly like
+                        // `exec_guard_access`; a failing check breaks to the
+                        // slow tier unaccounted, where the full guard path
+                        // (page-in retry, fault reporting) runs instead.
+                        DecodedInst::GuardFast {
+                            gaddr,
+                            glen,
+                            imm,
+                            write,
+                        } => {
+                            let addr = fr.regs[gaddr as usize].as_p();
+                            let len = if glen == NO_REG {
+                                imm as u64
+                            } else {
+                                fr.regs[glen as usize].as_i().max(0) as u64
+                            };
+                            let access = if write { Access::Write } else { Access::Read };
+                            let gc = *guard_cache;
+                            let (probes, fresh) = if gc.generation == kernel.regions.generation
+                                && addr >= gc.start
+                                && addr < gc.end
+                                && len > 0
+                                && addr.saturating_add(len) <= gc.end
+                                && gc.perms.allows(access)
+                            {
+                                (gc.probes, false)
+                            } else {
+                                let check = kernel.regions.check(cfg.guard_impl, addr, len, access);
+                                if !check.ok {
+                                    break;
+                                }
+                                (check.probes, true)
+                            };
+                            counters.instructions += 1;
+                            counters.opcode_mix.record(Opcode::CallIntrinsic);
+                            counters.guards_executed += 1;
+                            counters.guard_probes += probes;
+                            counters.instrumentation_insts += 1;
+                            let gcyc =
+                                if cfg.guard_impl == GuardImpl::Mpx && kernel.regions.len() == 1 {
+                                    kernel.cost.guard_mpx
+                                } else {
+                                    kernel.cost.software_guard_cost(probes)
+                                };
+                            counters.guard_cycles += gcyc;
+                            counters.cycles += gcyc;
+                            if fresh {
+                                if let Some(r) = kernel.regions.containing(addr) {
+                                    *guard_cache = GuardFastPath {
+                                        generation: kernel.regions.generation,
+                                        start: r.start,
+                                        end: r.end(),
+                                        perms: r.perms,
+                                        probes,
+                                    };
+                                }
+                            }
+                            fr.idx += 1;
+                        }
+
                         // Kernel and frame-stack instructions (calls,
                         // intrinsics, guards, returns) need the whole
                         // `&mut self`: fall through to the slow tier
@@ -2247,6 +2403,18 @@ impl Vm {
             let fr = self.frames.last_mut().expect("non-empty");
             let fid = fr.func;
             let inst = fr.code[fr.idx];
+            // A hoisted whole-trip guard retires no instruction of its
+            // own (the per-iteration guards it replaces were already
+            // counted out via `guards_elided`), so it is dispatched
+            // before the slow tier's instruction accounting.
+            if let DecodedInst::HoistedGuard { meta } = inst {
+                self.exec_hoisted_guard(fid, meta)?;
+                self.frames.last_mut().expect("frame").idx += 1;
+                if !BATCH || self.fusion_bail() {
+                    return Ok(None);
+                }
+                continue;
+            }
             self.counters.instructions += 1;
             self.counters.opcode_mix.record(inst.opcode());
 
@@ -2435,6 +2603,25 @@ impl Vm {
                     }
                     self.counters.stores += 1;
                 }
+                // A fast-tier range probe whose check missed (cold cache
+                // plus a failing or poison address): run the full guard
+                // path — accounting, page-in retry, fault reporting.
+                DecodedInst::GuardFast {
+                    gaddr,
+                    glen,
+                    imm,
+                    write,
+                } => {
+                    let addr = fr.regs[gaddr as usize].as_p();
+                    let len = if glen == NO_REG {
+                        imm as u64
+                    } else {
+                        fr.regs[glen as usize].as_i().max(0) as u64
+                    };
+                    let access = if write { Access::Write } else { Access::Read };
+                    self.exec_guard_access(addr, len, access)?;
+                    self.frames.last_mut().expect("frame").idx += 1;
+                }
                 _ => unreachable!("fast-tier instruction reached the slow tier"),
             }
             if !BATCH || self.fusion_bail() {
@@ -2474,10 +2661,10 @@ impl Vm {
     }
 
     fn jump(&mut self, from: BlockId, to: BlockId) {
-        let fused_stream = matches!(self.cfg.engine, Engine::Fused);
+        let stream = self.cfg.engine.stream();
         let frame = self.frames.last_mut().expect("frame");
         debug_assert_eq!(frame.block, from, "jump from a non-current block");
-        take_jump(frame, &self.program, fused_stream, to);
+        take_jump(frame, &self.program, stream, to);
     }
 
     /// Evaluate a two-operand op. `width` is the integer result width,
@@ -2569,20 +2756,20 @@ fn eval_bin(
 }
 
 /// Redirect `fr` to block `to`, pinning that block's code stream (the
-/// fused or the plain array, by engine). A free function over the frame
-/// and the decoded program so the fast dispatch tier can take branches
-/// without giving up its destructured borrow; [`Vm::jump`] wraps it for
-/// the reference engine.
+/// fused, threaded, or plain array, by engine). A free function over the
+/// frame and the decoded program so the fast dispatch tier can take
+/// branches without giving up its destructured borrow; [`Vm::jump`]
+/// wraps it for the reference engine.
 #[inline]
-fn take_jump(fr: &mut Frame, program: &DecodedProgram, fused_stream: bool, to: BlockId) {
+fn take_jump(fr: &mut Frame, program: &DecodedProgram, stream: StreamKind, to: BlockId) {
     fr.prev_block = Some(fr.block);
     fr.block = to;
     fr.idx = 0;
     let blk = &program.funcs[fr.func.index()].blocks[to.index()];
-    fr.code = if fused_stream {
-        blk.fused_code.clone()
-    } else {
-        blk.code.clone()
+    fr.code = match stream {
+        StreamKind::Fused => blk.fused_code.clone(),
+        StreamKind::Threaded => blk.threaded_code.clone(),
+        StreamKind::Plain => blk.code.clone(),
     };
 }
 
@@ -3055,6 +3242,95 @@ impl Vm {
         }
     }
 
+    /// Execute one [`DecodedInst::HoistedGuard`]: reconstruct the loop's
+    /// trip count and the full address span its elided per-iteration
+    /// guards would have checked, account the whole trip as elided, and
+    /// (when hoisting is enabled) run one widened range check that
+    /// mirrors the `GuardRange` intrinsic exactly — region probe, guard
+    /// accounting, poison page-in retry, fault on rejection.
+    ///
+    /// The trip arithmetic runs in `i128` so a pathological span that
+    /// overflows the simulated address space faults instead of silently
+    /// wrapping (per-iteration guards would have faulted on the way
+    /// there too).
+    fn exec_hoisted_guard(&mut self, fid: FuncId, meta: u32) -> Result<(), VmError> {
+        let m = self.program.funcs[fid.index()].hoists[meta as usize];
+        let fr = self.frames.last().expect("frame");
+        let init = fr.regs[m.init as usize].as_i() as i128;
+        // A peeled bound re-assembles `plus − minus + konst` from registers
+        // defined outside the loop; wrapping at i64 matches the header's own
+        // arithmetic (the peel only fires for i64 chains).
+        let bound = {
+            let plus = fr.regs[m.bound as usize].as_i();
+            let minus = if m.bound2 == NO_REG {
+                0
+            } else {
+                fr.regs[m.bound2 as usize].as_i()
+            };
+            plus.wrapping_sub(minus).wrapping_add(m.bound_const) as i128
+        };
+        let base = fr.regs[m.base as usize].as_p();
+        let inv = if m.inv == NO_REG {
+            0
+        } else {
+            fr.regs[m.inv as usize].as_i() as i128
+        };
+        let bound_adj = bound - i128::from(!m.inclusive);
+        if init > bound_adj {
+            // Zero-trip loop: the body never runs, so there is nothing to
+            // elide and nothing to check — exactly like the fused engine,
+            // which executes no guard either.
+            return Ok(());
+        }
+        let step = m.step.max(1) as i128;
+        let strides = (bound_adj - init) / step;
+        let n = u64::try_from(strides + 1).unwrap_or(u64::MAX);
+        self.counters.guards_elided = self.counters.guards_elided.saturating_add(n);
+        if !m.check {
+            return Ok(());
+        }
+        // Addresses the first and last iteration touch, in the VM's
+        // PtrAdd+FieldAddr arithmetic:
+        // `base + elem * (coeff*iv + inv + offset) + byte_off`.
+        let addr_at = |iv: i128| {
+            base as i128
+                + m.elem as i128 * (m.coeff as i128 * iv + inv + m.offset as i128)
+                + m.byte_off as i128
+        };
+        let first = addr_at(init);
+        let last = addr_at(init + strides * step);
+        let lo_w = first.min(last);
+        let hi_w = first.max(last) + m.len as i128;
+        let access = if m.write { Access::Write } else { Access::Read };
+        let (Ok(lo), Ok(hi)) = (u64::try_from(lo_w), u64::try_from(hi_w)) else {
+            return Err(VmError::GuardFault {
+                addr: lo_w.clamp(0, u64::MAX as i128) as u64,
+                len: m.len,
+                write: m.write,
+            });
+        };
+        self.counters.guards_hoisted += 1;
+        let check = self.kernel.regions.check_range(lo, hi, access);
+        self.account_guard(check.probes);
+        if check.ok {
+            return Ok(());
+        }
+        if let Some((pbase, span, delta)) = self.try_page_in(lo)? {
+            let lo2 = translate(lo, pbase, span, delta);
+            let hi2 = translate(hi, pbase, span, delta);
+            let again = self.kernel.regions.check_range(lo2, hi2, access);
+            self.account_guard(again.probes);
+            if again.ok {
+                return Ok(());
+            }
+        }
+        Err(VmError::GuardFault {
+            addr: lo,
+            len: hi.saturating_sub(lo),
+            write: m.write,
+        })
+    }
+
     fn account_guard(&mut self, probes: u64) {
         self.counters.guards_executed += 1;
         self.counters.guard_probes += probes;
@@ -3101,9 +3377,9 @@ impl Vm {
             return false;
         };
         match self.cfg.engine {
-            // Track intrinsics are never fused, so the fused stream still
-            // shows them as plain `Intrinsic` slots.
-            Engine::Fused | Engine::Decoded => {
+            // Track intrinsics are never fused, so the fused and threaded
+            // streams still show them as plain `Intrinsic` slots.
+            Engine::Fused | Engine::Decoded | Engine::Threaded => {
                 matches!(
                     frame.code.get(frame.idx),
                     Some(DecodedInst::Intrinsic { intr, .. }) if intr.is_track()

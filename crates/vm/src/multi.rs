@@ -32,8 +32,8 @@ use std::fmt;
 use std::rc::Rc;
 
 use crate::counters::PerfCounters;
-use crate::decode::DecodedProgram;
-use crate::machine::{Mode, RunResult, SliceExit, TenantState, Vm, VmConfig, VmError};
+use crate::decode::{DecodedProgram, ThreadedOpts};
+use crate::machine::{Engine, Mode, RunResult, SliceExit, TenantState, Vm, VmConfig, VmError};
 use crate::supervise::{PendingRestart, Supervisor, SupervisorConfig, TenantExit, Verdict};
 use carat_ir::Module;
 use carat_kernel::{
@@ -236,7 +236,7 @@ pub struct MultiVm {
     slots: Vec<Option<Tenant>>,
     /// Decoded-program cache for [`MultiVm::spawn_shared`]: every tenant
     /// spawned from the same `Rc<Module>` shares one decoded copy.
-    programs: Vec<(Rc<Module>, Rc<DecodedProgram>)>,
+    programs: Vec<(Rc<Module>, Option<ThreadedOpts>, Rc<DecodedProgram>)>,
     cfg: MultiVmConfig,
     /// Slices executed so far (drives the pressure cadence across
     /// [`MultiVm::run_batch`] calls).
@@ -361,10 +361,11 @@ impl MultiVm {
             return Err(VmError::Kernel(e));
         }
         self.kernel.procs.checkin_table(pid, table);
+        let threaded = (cfg.engine == Engine::Threaded).then_some(cfg.threaded);
         let program = if share_program {
-            self.decoded(&module)
+            self.decoded(&module, threaded)
         } else {
-            Rc::new(DecodedProgram::decode(&module))
+            Rc::new(DecodedProgram::decode_with(&module, threaded))
         };
         let traditional = cfg.mode == Mode::Traditional;
         // The respawn spec keeps the admission config minus its fault
@@ -415,14 +416,18 @@ impl MultiVm {
     /// Look up the shared decoded program for `module`, decoding it on
     /// first sight. Cache entries die with their last tenant (pruned in
     /// [`MultiVm::kill`]).
-    fn decoded(&mut self, module: &Rc<Module>) -> Rc<DecodedProgram> {
-        for (m, p) in &self.programs {
-            if Rc::ptr_eq(m, module) {
+    fn decoded(
+        &mut self,
+        module: &Rc<Module>,
+        threaded: Option<ThreadedOpts>,
+    ) -> Rc<DecodedProgram> {
+        for (m, t, p) in &self.programs {
+            if Rc::ptr_eq(m, module) && *t == threaded {
                 return p.clone();
             }
         }
-        let p = Rc::new(DecodedProgram::decode(module));
-        self.programs.push((module.clone(), p.clone()));
+        let p = Rc::new(DecodedProgram::decode_with(module, threaded));
+        self.programs.push((module.clone(), threaded, p.clone()));
         p
     }
 
@@ -453,7 +458,7 @@ impl MultiVm {
         self.slots[pid.index()] = None;
         // Drop decoded programs whose last tenant just died (the cache
         // holds the only remaining module handle).
-        self.programs.retain(|(m, _)| Rc::strong_count(m) > 1);
+        self.programs.retain(|(m, _, _)| Rc::strong_count(m) > 1);
         true
     }
 

@@ -9,7 +9,7 @@
 use carat_core::{count_guards, CaratCompiler, CompileOptions, OptPreset};
 use carat_frontend::compile_cm;
 use carat_ir::print_module;
-use carat_vm::{DecodedProgram, Engine, FusedKind, Vm, VmConfig};
+use carat_vm::{DecodedProgram, Engine, FusedKind, ThreadedOpts, Vm, VmConfig};
 use carat_workloads::{all_workloads, Scale};
 
 const PROGRAM: &str = r#"
@@ -118,6 +118,67 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             decoded.fusion.total(),
             frac,
             top.join(", ")
+        );
+    }
+
+    // The threaded tier's decode-time transform on the inspect program:
+    // which loop guards the whole-trip prover elides (and why the ones it
+    // keeps survive), where the widened checks land, and what was
+    // strength-reduced. The substrate is the *unoptimized* guard build —
+    // the proofs do all the work at decode time.
+    let naive = CaratCompiler::new(CompileOptions::guards_only(OptPreset::None))
+        .compile(compile_cm("inspect", PROGRAM)?)?;
+    let threaded = DecodedProgram::decode_with(&naive.module, Some(ThreadedOpts::default()));
+    let rep = threaded.threaded.as_ref().expect("threaded report");
+    println!(
+        "\n==== threaded tier (per-loop decisions; {} elided, {} hoisted, {} dup-marked, \
+         {} fast-tier guards, {} dead consts, {} chains) ====\n",
+        rep.elided_sites,
+        rep.hoisted_sites,
+        rep.dup_guard_sites,
+        rep.fast_guard_sites,
+        rep.dead_consts,
+        rep.chains
+    );
+    for lp in &rep.loops {
+        println!("  {} bb{}:", lp.func, lp.header);
+        for d in &lp.decisions {
+            println!("    + {d}");
+        }
+        for r in &lp.rejected {
+            println!("    - kept: {r}");
+        }
+    }
+    for s in &rep.skipped_loops {
+        println!("  skipped {s}");
+    }
+
+    // And the per-workload census of the same transform: how much guard
+    // work the proofs remove from each workload's naive guard build.
+    println!("\n==== per-workload threaded-tier census (Test scale, naive guard build) ====\n");
+    println!(
+        "  {:<14} {:>7} {:>7} {:>7} {:>7}  skipped loops (reason)",
+        "workload", "elided", "hoisted", "fast", "dup"
+    );
+    for w in all_workloads() {
+        let module = w.module(Scale::Test)?;
+        let compiled =
+            CaratCompiler::new(CompileOptions::guards_only(OptPreset::None)).compile(module)?;
+        let prog = DecodedProgram::decode_with(&compiled.module, Some(ThreadedOpts::default()));
+        let rep = prog.threaded.as_ref().expect("threaded report");
+        let skipped = if rep.skipped_loops.is_empty() {
+            String::new()
+        } else {
+            rep.skipped_loops.join("; ")
+        };
+        println!(
+            "  {:<14} {:>7} {:>7} {:>7} {:>7}  {}",
+            w.name,
+            rep.elided_sites,
+            rep.hoisted_sites,
+            rep.fast_guard_sites,
+            rep.dup_guard_sites,
+            skipped
         );
     }
     Ok(())
