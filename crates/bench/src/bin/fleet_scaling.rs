@@ -12,7 +12,9 @@
 //! * **Host ns per slice** — the scheduler's own work per slice
 //!   (run-queue pop, table checkout, O(1) tenant materialization) must
 //!   not grow with fleet size: the curve gates on the largest scale
-//!   staying within a small factor of the smallest.
+//!   staying within a small factor of the smallest. Each slice is timed
+//!   individually, so the JSON also carries the **p99 slice latency** —
+//!   the tail a latency SLO would see under fan-out.
 //! * **Descheduled-tenant memory** — host bytes pinned per parked
 //!   tenant (frame stack, thread slots, counters; capsule bytes live in
 //!   kernel memory and decoded code is shared) must be flat in fleet
@@ -28,7 +30,9 @@
 //! `--scale test` runs 10/100, `small` adds 1k, `full` adds 10k. The
 //! tenants' interpreter tier is selectable with
 //! `--engine reference|decoded|fused|threaded` (default fused) — the
-//! scaling gates must hold on every tier.
+//! scaling gates must hold on every tier. `--sched quantum|timer`
+//! (default quantum) selects the preemption source: the instruction
+//! quantum or the CLINT-style cycle-deadline timer.
 
 use std::rc::Rc;
 use std::time::Instant;
@@ -100,6 +104,11 @@ fn build_fleet(
         Vec::new(),
         MultiVmConfig {
             quantum,
+            // `--sched timer` swaps the instruction quantum for the
+            // CLINT-style cycle-deadline comparator; the scaling gates
+            // must hold under either preemption source.
+            sched: carat_bench::sched_from_args(),
+            timer_interval: quantum * 16,
             kernel_mem: kernel_mem(tenants),
             pressure_every,
             pressure_batch: 4,
@@ -126,6 +135,7 @@ fn build_fleet(
 /// kernel accounting.
 struct ArmResult {
     ns_per_slice: f64,
+    p99_ns_per_slice: u64,
     cycles_per_switch: f64,
     switches: u64,
     tlb_flushes: u64,
@@ -139,10 +149,24 @@ fn run_arm(tenants: usize, scale: Scale, variant: Variant) -> ArmResult {
     // set; the timed batch then sees steady-state switching only).
     mv.run_batch(tenants as u64);
     let want = tenants as u64 * TIMED_SLICES_PER_TENANT;
+    // Slices are driven one at a time so each gets its own wall-clock
+    // sample: the p99 is the tail the mean hides (a pressure pass, an
+    // externalization, a cold cache), exactly what a latency SLO sees.
+    let mut samples: Vec<u64> = Vec::with_capacity(want as usize);
     let t0 = Instant::now();
-    let ran = mv.run_batch(want);
+    let mut ran = 0u64;
+    while ran < want {
+        let t = Instant::now();
+        let step = mv.run_batch(1);
+        if step == 0 {
+            break;
+        }
+        samples.push(t.elapsed().as_nanos() as u64);
+        ran += step;
+    }
     let elapsed = t0.elapsed();
     let ns_per_slice = elapsed.as_nanos() as f64 / ran.max(1) as f64;
+    let p99_ns_per_slice = carat_bench::percentile(&samples, 99.0);
     // Descheduled footprint, sampled while everything is parked.
     let sample: Vec<usize> = pids
         .iter()
@@ -168,6 +192,7 @@ fn run_arm(tenants: usize, scale: Scale, variant: Variant) -> ArmResult {
     let tlb_flushes: u64 = reports.iter().map(|r| r.accounting.tlb_flushes).sum();
     ArmResult {
         ns_per_slice,
+        p99_ns_per_slice,
         cycles_per_switch: cycles as f64 / switches.max(1) as f64,
         switches,
         tlb_flushes,
@@ -346,6 +371,7 @@ fn main() {
         rows.push(vec![
             n.to_string(),
             format!("{:.0}", carat.ns_per_slice),
+            carat.p99_ns_per_slice.to_string(),
             format!("{:.1}", carat.cycles_per_switch),
             format!("{:.1}", trad.cycles_per_switch),
             format!("{:.0}", carat.descheduled_bytes_per_tenant),
@@ -358,15 +384,17 @@ fn main() {
         }
         curve_json.push_str(&format!(
             "    {{\"tenants\": {n}, \
-             \"carat\": {{\"ns_per_slice\": {:.1}, \"cycles_per_switch\": {:.3}, \"switches\": {}, \"tlb_flushes\": {}}}, \
-             \"traditional\": {{\"ns_per_slice\": {:.1}, \"cycles_per_switch\": {:.3}, \"switches\": {}, \"tlb_flushes\": {}}}, \
+             \"carat\": {{\"ns_per_slice\": {:.1}, \"p99_ns_per_slice\": {}, \"cycles_per_switch\": {:.3}, \"switches\": {}, \"tlb_flushes\": {}}}, \
+             \"traditional\": {{\"ns_per_slice\": {:.1}, \"p99_ns_per_slice\": {}, \"cycles_per_switch\": {:.3}, \"switches\": {}, \"tlb_flushes\": {}}}, \
              \"descheduled_bytes_per_tenant\": {:.1}, \
              \"pressure\": {{\"moves\": {}, \"page_outs\": {}, \"cycles_per_relocation\": {:.1}}}}}",
             carat.ns_per_slice,
+            carat.p99_ns_per_slice,
             carat.cycles_per_switch,
             carat.switches,
             carat.tlb_flushes,
             trad.ns_per_slice,
+            trad.p99_ns_per_slice,
             trad.cycles_per_switch,
             trad.switches,
             trad.tlb_flushes,
@@ -384,6 +412,7 @@ fn main() {
         &[
             "tenants",
             "ns/slice",
+            "p99 ns/slice",
             "carat cyc/sw",
             "trad cyc/sw",
             "bytes/parked",

@@ -169,6 +169,37 @@ pub fn engine_from_args() -> carat_vm::Engine {
     carat_vm::Engine::default()
 }
 
+/// Read the fleet preemption source from argv
+/// (`--sched quantum|timer`; default quantum, the historical behavior).
+///
+/// Panics on an unknown name so a typo in a CI job fails loudly instead
+/// of silently benchmarking the wrong scheduler.
+pub fn sched_from_args() -> carat_vm::SchedSource {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--sched" {
+            return match w[1].as_str() {
+                "quantum" => carat_vm::SchedSource::Quantum,
+                "timer" => carat_vm::SchedSource::Timer,
+                other => panic!("unknown scheduler {other:?}: want quantum|timer"),
+            };
+        }
+    }
+    carat_vm::SchedSource::default()
+}
+
+/// Percentile over a sample set (nearest-rank on a sorted copy);
+/// 0 for an empty set. `pct` in [0, 100].
+pub fn percentile(xs: &[u64], pct: f64) -> u64 {
+    if xs.is_empty() {
+        return 0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable();
+    let rank = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
 /// Read a positional mode argument (used by fig3: `general` / `carat`).
 pub fn arg_after_binary(default: &str) -> String {
     std::env::args()

@@ -1,0 +1,41 @@
+//! # Simulated devices
+//!
+//! The device side of the reproduction: a CLINT-style timer that raises
+//! interrupts on modeled-cycle deadlines (the preemption source for
+//! timer-driven scheduling in `MultiVm`), and a block/NIC-style DMA
+//! engine with request/response descriptor queues whose buffers must be
+//! **pinned** before the device will touch them.
+//!
+//! Devices live in a [`DeviceBay`] hung off the kernel, so they travel
+//! with the kernel when it is lent to a VM for a slice: the timer's
+//! deadline is visible to the slice loop, and DMA service runs against
+//! whichever process table is currently checked in.
+//!
+//! Everything here is deterministic in modeled cycles — no host time, no
+//! host randomness — so runs replay bit-identically.
+
+mod dma;
+mod timer;
+
+pub use dma::{DmaCompletion, DmaDevice, DmaDir, DmaError, DmaRequest, DmaStats};
+pub use timer::{ClintTimer, TimerStats};
+
+/// The kernel's device complement: one timer, one DMA engine.
+///
+/// Kept deliberately small — a slot per device class, not a bus model.
+/// The bay is part of [`crate::SimKernel`], so per-slice device state
+/// (an armed deadline, queued descriptors) survives kernel lending.
+#[derive(Debug, Default)]
+pub struct DeviceBay {
+    /// The CLINT-style cycle-deadline timer.
+    pub timer: ClintTimer,
+    /// The descriptor-queue DMA engine.
+    pub dma: DmaDevice,
+}
+
+impl DeviceBay {
+    /// An empty bay: timer disarmed, DMA queues empty.
+    pub fn new() -> DeviceBay {
+        DeviceBay::default()
+    }
+}

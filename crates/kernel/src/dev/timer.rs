@@ -1,0 +1,209 @@
+//! CLINT-style timer device.
+//!
+//! Modeled after the RISC-V core-local interruptor: software writes a
+//! deadline into `mtimecmp`, and the device raises a timer interrupt the
+//! moment the cycle counter (`mtime`) reaches it. Here `mtime` is the
+//! tenant's modeled cycle counter, so "the interrupt fires" means the
+//! slice loop observes `cycles >= deadline` at its next safe point.
+//!
+//! The interesting measurement is **interrupt-to-dispatch latency**: the
+//! interrupt is *raised* exactly at the deadline, but the scheduler can
+//! only *dispatch* it once the tenant leaves its signals-masked windows
+//! (pending escape processing, a fused instruction pair mid-flight). The
+//! gap — in modeled cycles — is recorded per preemption, with a bounded
+//! reservoir of samples for tail percentiles.
+
+/// Cap on retained latency samples; beyond this the reservoir keeps
+/// every k-th sample so long soaks stay bounded without losing the tail
+/// shape entirely.
+const SAMPLE_CAP: usize = 8192;
+
+/// Aggregate timer statistics (monotone over the device's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimerStats {
+    /// Deadlines armed.
+    pub armed: u64,
+    /// Interrupts dispatched (deadline reached and scheduler acted).
+    pub dispatched: u64,
+    /// Deadlines cancelled before firing (tenant finished or faulted).
+    pub cancelled: u64,
+    /// Sum of interrupt-to-dispatch latencies, in modeled cycles.
+    pub latency_cycles: u64,
+    /// Worst single interrupt-to-dispatch latency observed.
+    pub latency_max: u64,
+}
+
+/// The timer device: one `mtimecmp` comparator plus latency accounting.
+#[derive(Debug, Default)]
+pub struct ClintTimer {
+    /// Armed deadline in modeled cycles, `None` when disarmed.
+    mtimecmp: Option<u64>,
+    /// Lifetime stats.
+    stats: TimerStats,
+    /// Bounded reservoir of per-dispatch latencies for percentiles.
+    samples: Vec<u64>,
+    /// Decimation stride once the reservoir is full (keep every k-th).
+    stride: u64,
+    /// Dispatches seen since the last retained sample.
+    since_kept: u64,
+}
+
+impl ClintTimer {
+    /// A disarmed timer with empty stats.
+    pub fn new() -> ClintTimer {
+        ClintTimer {
+            stride: 1,
+            ..ClintTimer::default()
+        }
+    }
+
+    /// Arm the comparator: the interrupt is pending once the tenant's
+    /// cycle counter reaches `deadline`. Re-arming overwrites any
+    /// previously armed deadline (CLINT semantics: one comparator).
+    pub fn arm(&mut self, deadline: u64) {
+        self.mtimecmp = Some(deadline);
+        self.stats.armed += 1;
+    }
+
+    /// The armed deadline, if any.
+    pub fn deadline(&self) -> Option<u64> {
+        self.mtimecmp
+    }
+
+    /// Has the armed deadline been reached at cycle `now`?
+    pub fn pending(&self, now: u64) -> bool {
+        self.mtimecmp.is_some_and(|d| now >= d)
+    }
+
+    /// The scheduler acted on the interrupt at cycle `now`: record the
+    /// interrupt-to-dispatch latency (`now - deadline`; the deferral the
+    /// tenant's masked windows imposed) and disarm. Returns the latency.
+    ///
+    /// Calling this with no armed deadline is a scheduler bug in the
+    /// making, but is tolerated as a zero-latency dispatch so chaos
+    /// paths that race cancellation stay total.
+    pub fn dispatch(&mut self, now: u64) -> u64 {
+        let latency = match self.mtimecmp.take() {
+            Some(d) => now.saturating_sub(d),
+            None => 0,
+        };
+        self.stats.dispatched += 1;
+        self.stats.latency_cycles += latency;
+        self.stats.latency_max = self.stats.latency_max.max(latency);
+        self.since_kept += 1;
+        if self.since_kept >= self.stride {
+            self.since_kept = 0;
+            if self.samples.len() >= SAMPLE_CAP {
+                // Decimate: keep every other retained sample and double
+                // the stride, preserving a uniform thinning of history.
+                let mut i = 0;
+                self.samples.retain(|_| {
+                    i += 1;
+                    i % 2 == 0
+                });
+                self.stride *= 2;
+            }
+            self.samples.push(latency);
+        }
+        latency
+    }
+
+    /// Disarm without dispatching (tenant finished, faulted, or was
+    /// killed before the deadline).
+    pub fn cancel(&mut self) {
+        if self.mtimecmp.take().is_some() {
+            self.stats.cancelled += 1;
+        }
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> TimerStats {
+        self.stats
+    }
+
+    /// Mean interrupt-to-dispatch latency in modeled cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.stats.dispatched == 0 {
+            0.0
+        } else {
+            self.stats.latency_cycles as f64 / self.stats.dispatched as f64
+        }
+    }
+
+    /// The `pct`-th percentile (0–100) of retained dispatch latencies.
+    pub fn latency_percentile(&self, pct: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        let rank = ((pct / 100.0) * (s.len() - 1) as f64).round() as usize;
+        s[rank.min(s.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_pending_dispatch_roundtrip() {
+        let mut t = ClintTimer::new();
+        assert!(!t.pending(u64::MAX), "disarmed timer never pends");
+        t.arm(1000);
+        assert!(!t.pending(999));
+        assert!(t.pending(1000));
+        let lat = t.dispatch(1040);
+        assert_eq!(lat, 40);
+        assert_eq!(t.deadline(), None, "dispatch disarms");
+        let s = t.stats();
+        assert_eq!((s.armed, s.dispatched, s.latency_cycles), (1, 1, 40));
+        assert_eq!(s.latency_max, 40);
+    }
+
+    #[test]
+    fn cancel_counts_once_and_disarms() {
+        let mut t = ClintTimer::new();
+        t.arm(10);
+        t.cancel();
+        t.cancel(); // no-op when disarmed
+        assert_eq!(t.stats().cancelled, 1);
+        assert!(!t.pending(u64::MAX));
+    }
+
+    #[test]
+    fn rearm_overwrites() {
+        let mut t = ClintTimer::new();
+        t.arm(100);
+        t.arm(50);
+        assert_eq!(t.deadline(), Some(50));
+        assert!(t.pending(60));
+    }
+
+    #[test]
+    fn percentiles_track_tail() {
+        let mut t = ClintTimer::new();
+        for i in 0..100 {
+            t.arm(0);
+            t.dispatch(i); // latencies 0..100
+        }
+        assert_eq!(t.latency_percentile(0.0), 0);
+        assert_eq!(t.latency_percentile(100.0), 99);
+        let p99 = t.latency_percentile(99.0);
+        assert!(p99 >= 95, "p99 of 0..100 should be near the top: {p99}");
+        assert!((t.mean_latency() - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reservoir_stays_bounded() {
+        let mut t = ClintTimer::new();
+        for i in 0..(SAMPLE_CAP as u64 * 4) {
+            t.arm(0);
+            t.dispatch(i);
+        }
+        assert!(t.samples.len() <= SAMPLE_CAP + 1);
+        assert_eq!(t.stats().dispatched, SAMPLE_CAP as u64 * 4);
+        // Tail still visible after decimation.
+        assert!(t.latency_percentile(100.0) > SAMPLE_CAP as u64 * 3);
+    }
+}

@@ -15,7 +15,7 @@
 //! * Firing is a pure function of the occurrence count, so the same plan
 //!   over the same workload fires at exactly the same instant every time.
 
-use carat_runtime::WorldStopError;
+use carat_runtime::{MoveError, WorldStopError};
 use std::error::Error;
 use std::fmt;
 
@@ -47,11 +47,15 @@ pub enum FaultPoint {
     /// A tenant's heap allocation is refused as if its arena were
     /// exhausted — the per-tenant OOM a supervisor must absorb.
     TenantOom,
+    /// The DMA engine faults while servicing a descriptor: the transfer
+    /// is refused with a typed device error, no bytes move, and the
+    /// completion ring still advances (I/O-storm chaos testing).
+    DmaService,
 }
 
 impl FaultPoint {
     /// All injectable points, for building seed matrices.
-    pub const ALL: [FaultPoint; 8] = [
+    pub const ALL: [FaultPoint; 9] = [
         FaultPoint::MoveDstAlloc,
         FaultPoint::MidMove,
         FaultPoint::WorldStopStall,
@@ -60,6 +64,7 @@ impl FaultPoint {
         FaultPoint::CapsuleWrite,
         FaultPoint::CapsuleCorrupt,
         FaultPoint::TenantOom,
+        FaultPoint::DmaService,
     ];
 
     /// The single-VM points [`FaultPlan::from_seed`] draws from — the
@@ -85,6 +90,7 @@ impl FaultPoint {
             FaultPoint::CapsuleWrite => 5,
             FaultPoint::CapsuleCorrupt => 6,
             FaultPoint::TenantOom => 7,
+            FaultPoint::DmaService => 8,
         }
     }
 }
@@ -100,6 +106,7 @@ impl fmt::Display for FaultPoint {
             FaultPoint::CapsuleWrite => "capsule-write",
             FaultPoint::CapsuleCorrupt => "capsule-corrupt",
             FaultPoint::TenantOom => "tenant-oom",
+            FaultPoint::DmaService => "dma-service",
         };
         f.write_str(s)
     }
@@ -330,6 +337,10 @@ pub enum KernelError {
         /// The stale pid.
         pid: crate::proc::Pid,
     },
+    /// A mover refused to touch a pinned DMA range. Decided before the
+    /// world stops, so nothing was mutated; the caller plans around the
+    /// pinned hole (pick a different victim, or wait for the unpin).
+    Move(MoveError),
 }
 
 impl KernelError {
@@ -377,11 +388,18 @@ impl fmt::Display for KernelError {
             }
             KernelError::NoSuchShared { id } => write!(f, "no such shared region: {id}"),
             KernelError::StaleTenant { pid } => write!(f, "stale tenant pid: {pid}"),
+            KernelError::Move(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl Error for KernelError {}
+
+impl From<MoveError> for KernelError {
+    fn from(e: MoveError) -> KernelError {
+        KernelError::Move(e)
+    }
+}
 
 impl From<WorldStopError> for KernelError {
     fn from(e: WorldStopError) -> KernelError {
@@ -510,6 +528,18 @@ mod tests {
             pid: crate::proc::Pid(1)
         }
         .is_recoverable());
+    }
+
+    #[test]
+    fn pinned_move_refusals_are_recoverable() {
+        let e = KernelError::Move(MoveError::Pinned {
+            src: 0x1000,
+            len: 0x1000,
+            pin_start: 0x1800,
+            pin_len: 0x100,
+        });
+        assert!(e.is_recoverable(), "a pinned hole is planned around");
+        assert!(e.to_string().contains("pinned"));
     }
 
     #[test]

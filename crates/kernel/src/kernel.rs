@@ -3,6 +3,7 @@
 //! §4.3 — the kernel module's role).
 
 use crate::buddy::BuddyAllocator;
+use crate::dev::{DeviceBay, DmaCompletion, DmaDir, DmaError, DmaRequest};
 use crate::faults::{FaultPlan, FaultPoint, KernelError};
 use crate::loader::{load_signed, load_unsigned, LoadConfig, LoadError, ProcessImage};
 use crate::pagetable::{PageTable, Pte};
@@ -12,11 +13,12 @@ use crate::trace::{PagingEvent, PagingTrace};
 use carat_core::sign::{SignedModule, SigningKey};
 use carat_ir::Module;
 use carat_runtime::{
-    perform_move_batch_journaled, perform_shared_move_journaled, AllocationTable, CostModel,
-    MemAccess, MoveOutcome, MovePhase, MoveRequest, PatchMem, Perms, Region, RegionTable,
-    WorldStop, WorldStopError,
+    check_unpinned, perform_move_batch_journaled, perform_shared_move_journaled, AllocationTable,
+    CostModel, MemAccess, MoveOutcome, MovePhase, MoveRequest, PatchMem, Perms, PinnedRange,
+    Region, RegionTable, WorldStop, WorldStopError,
 };
 use std::collections::{BTreeSet, HashMap};
+use std::fmt;
 
 /// Bounded retries for a move-destination allocation before surfacing
 /// [`KernelError::OutOfFrames`] (each retry compacts vacated ranges and
@@ -90,7 +92,105 @@ pub struct SimKernel {
     /// The process table (multi-tenant operation; empty for the classic
     /// single-process flows, which never register).
     pub procs: ProcTable,
+    /// Simulated devices (timer + DMA engine). Travels with the kernel
+    /// when it is lent to a VM for a slice.
+    pub dev: DeviceBay,
+    /// Pinned DMA ranges. Deliberately **global** (not parked per
+    /// process on context switch): a pin is a property of physical
+    /// memory that every device and every mover must see regardless of
+    /// which process is scheduled. Per-tenant ownership is recorded in
+    /// each range for kill-time reaping; address spaces are disjoint, so
+    /// a mover only ever collides with the current process's own pins.
+    pins: Vec<PinnedRange>,
+    /// Lifetime pin accounting (fragmentation cost of pinned holes).
+    pin_stats: PinStats,
 }
+
+/// Kernel-wide pin accounting: how often pinning happened and how much
+/// compaction freedom it cost (moves and page-outs refused because the
+/// victim range was pinned — the "pinned hole" fragmentation the paper's
+/// model trades for free pins).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PinStats {
+    /// Successful `pin_region` calls.
+    pub pins: u64,
+    /// Successful `unpin_region` calls.
+    pub unpins: u64,
+    /// Pins reaped at tenant kill (leaked by the tenant, reclaimed by
+    /// the supervisor path).
+    pub reaped: u64,
+    /// Moves/page-outs refused with [`MoveError::Pinned`].
+    pub denied_moves: u64,
+    /// Bytes those refused operations wanted to relocate.
+    pub denied_bytes: u64,
+    /// High-water mark of simultaneously pinned bytes.
+    pub peak_pinned_bytes: u64,
+}
+
+/// Why a pin or unpin request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinError {
+    /// Zero-length pins are malformed.
+    ZeroLen,
+    /// The range lies in the poison (swapped-out) address space; there
+    /// is no physical memory there to pin. Page it in first.
+    Swapped {
+        /// The offending address.
+        addr: u64,
+    },
+    /// The range overlaps an existing pin.
+    AlreadyPinned {
+        /// Existing pin's start.
+        start: u64,
+        /// Existing pin's length.
+        len: u64,
+    },
+    /// No pin matches the range to unpin (must match exactly).
+    NotPinned {
+        /// Requested start.
+        start: u64,
+        /// Requested length.
+        len: u64,
+    },
+    /// `pin_region_for` named a pid whose slot was retired or recycled.
+    StaleTenant {
+        /// The stale pid.
+        pid: Pid,
+    },
+    /// The tenant holds pinned DMA bytes, so an operation that would
+    /// relocate or deschedule its memory wholesale (capsule
+    /// externalization) was refused. Unpin first, or let kill-time
+    /// reaping release the pins.
+    PinnedTenant {
+        /// The refusing tenant.
+        pid: Pid,
+        /// Pinned bytes it holds.
+        bytes: u64,
+    },
+}
+
+impl fmt::Display for PinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PinError::ZeroLen => write!(f, "zero-length pin"),
+            PinError::Swapped { addr } => {
+                write!(f, "cannot pin swapped-out (poison) address {addr:#x}")
+            }
+            PinError::AlreadyPinned { start, len } => {
+                write!(f, "range overlaps existing pin [{start:#x}, +{len:#x})")
+            }
+            PinError::NotPinned { start, len } => {
+                write!(f, "no pin matches [{start:#x}, +{len:#x})")
+            }
+            PinError::StaleTenant { pid } => write!(f, "stale tenant pid: {pid}"),
+            PinError::PinnedTenant { pid, bytes } => {
+                write!(f, "tenant {pid} holds {bytes} pinned DMA bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PinError {}
 
 /// A move destination with its provenance, so an abandoned move can
 /// release it to the right place.
@@ -226,6 +326,9 @@ impl SimKernel {
             move_workers: 1,
             oom_recoveries: 0,
             procs: ProcTable::new(),
+            dev: DeviceBay::new(),
+            pins: Vec::new(),
+            pin_stats: PinStats::default(),
         }
     }
 
@@ -670,6 +773,13 @@ impl SimKernel {
         regs: &mut [u64],
         reqs: &[MoveRequest],
     ) -> Result<Vec<MoveOutcome>, KernelError> {
+        // Defense in depth: every caller screens its sources against the
+        // pin registry before reaching here, but a pinned cell must never
+        // be patched even if a new caller forgets — re-check each request
+        // while nothing has been mutated yet.
+        for req in reqs {
+            check_unpinned(req.src, req.len, &self.pins).map_err(KernelError::Move)?;
+        }
         // The hook needs the plan while the router borrows mem+swap; take
         // the plan out for the duration of the move.
         let mut plan = self.faults.take();
@@ -872,8 +982,11 @@ impl SimKernel {
         table
             .snapshot()
             .into_iter()
-            // Swapped-out (poison-resident) allocations cannot be moved.
-            .filter(|&(start, _, _, _)| !Self::is_poison(start))
+            // Swapped-out (poison-resident) allocations cannot be moved,
+            // and pinned DMA targets must not be: plan around both.
+            .filter(|&(start, len, _, _)| {
+                !Self::is_poison(start) && check_unpinned(start, len, &self.pins).is_ok()
+            })
             .max_by_key(|&(_, _, escapes_live, _)| escapes_live)
             .map(|(start, _, _, _)| start / page * page)
     }
@@ -892,7 +1005,9 @@ impl SimKernel {
         let mut victims: Vec<(usize, u64)> = table
             .snapshot()
             .into_iter()
-            .filter(|&(start, _, _, _)| !Self::is_poison(start))
+            .filter(|&(start, len, _, _)| {
+                !Self::is_poison(start) && check_unpinned(start, len, &self.pins).is_ok()
+            })
             .map(|(start, _, escapes_live, _)| (escapes_live, start))
             .collect();
         victims.sort_unstable_by(|a, b| b.cmp(a));
@@ -907,6 +1022,212 @@ impl SimKernel {
             }
         }
         out
+    }
+
+    // ------------------------------------------------------------------
+    // DMA pinning
+    // ------------------------------------------------------------------
+
+    /// Pin `[start, start+len)` for DMA on behalf of the currently
+    /// scheduled process (kernel-owned when none is). Pinned memory is
+    /// invisible to victim selection and refused by every mover until
+    /// unpinned — the CARAT trade: the pin itself is O(1) (no page-table
+    /// walk, physical addresses are already stable), but the pinned hole
+    /// costs compaction freedom, accounted in [`SimKernel::pin_stats`].
+    pub fn pin_region(&mut self, start: u64, len: u64) -> Result<(), PinError> {
+        let owner = self.procs.current();
+        self.pin_with_owner(owner, start, len)
+    }
+
+    /// Pin on behalf of `pid` (which need not be scheduled): the pin is
+    /// reaped if that tenant is killed, and its accounting lands in that
+    /// tenant's [`crate::ProcAccounting`].
+    pub fn pin_region_for(&mut self, pid: Pid, start: u64, len: u64) -> Result<(), PinError> {
+        if self.procs.get(pid).is_none() {
+            return Err(PinError::StaleTenant { pid });
+        }
+        self.pin_with_owner(Some(pid), start, len)
+    }
+
+    fn pin_with_owner(&mut self, owner: Option<Pid>, start: u64, len: u64) -> Result<(), PinError> {
+        if len == 0 {
+            return Err(PinError::ZeroLen);
+        }
+        if Self::is_poison(start) {
+            return Err(PinError::Swapped { addr: start });
+        }
+        if let Some(p) = self.pins.iter().find(|p| p.overlaps(start, len)) {
+            return Err(PinError::AlreadyPinned {
+                start: p.start,
+                len: p.len,
+            });
+        }
+        self.pins.push(PinnedRange {
+            start,
+            len,
+            owner: owner.map(|p| p.index()),
+        });
+        self.pin_stats.pins += 1;
+        let now = self.pinned_bytes();
+        self.pin_stats.peak_pinned_bytes = self.pin_stats.peak_pinned_bytes.max(now);
+        if let Some(pid) = owner {
+            if let Some(e) = self.procs.get_mut(pid) {
+                e.accounting.pins += 1;
+                e.accounting.pinned_bytes += len;
+            }
+        }
+        Ok(())
+    }
+
+    /// Unpin an exact previously pinned range. Partial unpins are
+    /// rejected: a device owns the whole buffer or none of it.
+    pub fn unpin_region(&mut self, start: u64, len: u64) -> Result<(), PinError> {
+        let Some(idx) = self
+            .pins
+            .iter()
+            .position(|p| p.start == start && p.len == len)
+        else {
+            return Err(PinError::NotPinned { start, len });
+        };
+        let pin = self.pins.swap_remove(idx);
+        self.pin_stats.unpins += 1;
+        if let Some(owner) = pin.owner {
+            let owner_pid = self
+                .procs
+                .iter()
+                .map(|e| e.pid)
+                .find(|p| p.index() == owner);
+            if let Some(e) = owner_pid.and_then(|p| self.procs.get_mut(p)) {
+                e.accounting.unpins += 1;
+                e.accounting.pinned_bytes = e.accounting.pinned_bytes.saturating_sub(len);
+            }
+        }
+        Ok(())
+    }
+
+    /// The pin overlapping `[start, start+len)`, if any, as
+    /// `(pin_start, pin_len)`.
+    pub fn pinned_overlap(&self, start: u64, len: u64) -> Option<(u64, u64)> {
+        self.pins
+            .iter()
+            .find(|p| p.overlaps(start, len))
+            .map(|p| (p.start, p.len))
+    }
+
+    /// The live pin list (movers and tests inspect it; mutation goes
+    /// through pin/unpin so accounting stays consistent).
+    pub fn pins(&self) -> &[PinnedRange] {
+        &self.pins
+    }
+
+    /// Total bytes currently pinned.
+    pub fn pinned_bytes(&self) -> u64 {
+        self.pins.iter().map(|p| p.len).sum()
+    }
+
+    /// Bytes currently pinned by `pid`.
+    pub fn pinned_bytes_of(&self, pid: Pid) -> u64 {
+        self.pins
+            .iter()
+            .filter(|p| p.owner == Some(pid.index()))
+            .map(|p| p.len)
+            .sum()
+    }
+
+    /// Lifetime pin accounting.
+    pub fn pin_stats(&self) -> PinStats {
+        self.pin_stats
+    }
+
+    /// Record a mover refusal against the pin ledger (fragmentation
+    /// cost of the pinned hole).
+    fn note_denied_move(&mut self, len: u64) {
+        self.pin_stats.denied_moves += 1;
+        self.pin_stats.denied_bytes += len;
+    }
+
+    // ------------------------------------------------------------------
+    // DMA service
+    // ------------------------------------------------------------------
+
+    /// Service up to `max` pending DMA descriptors: validate each target
+    /// against the pin registry (a transfer into unpinned memory is
+    /// refused — the device will not race the move engine), perform the
+    /// copy, and push a completion. Returns the completions produced by
+    /// this call (they are also queued on the response ring).
+    pub fn dma_service(&mut self, max: usize) -> Vec<DmaCompletion> {
+        let mut done = Vec::with_capacity(max.min(8));
+        for _ in 0..max {
+            let Some(req) = self.dev.dma.pop_request() else {
+                break;
+            };
+            let c = self.dma_execute(req);
+            self.dev.dma.push_completion(c);
+            done.push(c);
+        }
+        done
+    }
+
+    fn dma_execute(&mut self, req: DmaRequest) -> DmaCompletion {
+        let fail = |err| DmaCompletion {
+            id: req.id,
+            err: Some(err),
+            cycles: 0,
+            checksum: 0,
+        };
+        if req.len == 0 {
+            return fail(DmaError::ZeroLen);
+        }
+        if self.fire(FaultPoint::DmaService) {
+            return fail(DmaError::DeviceFault);
+        }
+        if Self::is_poison(req.addr) {
+            return fail(DmaError::Swapped { addr: req.addr });
+        }
+        let covered = self
+            .pins
+            .iter()
+            .any(|p| p.start <= req.addr && req.addr + req.len <= p.start + p.len);
+        if !covered {
+            return fail(DmaError::NotPinned {
+                addr: req.addr,
+                len: req.len,
+            });
+        }
+        let cycles = self.cost.dma_cost(req.len);
+        let checksum = match req.dir {
+            DmaDir::DeviceToMem => {
+                // Deterministic device payload: a xorshift64* stream
+                // seeded by the descriptor, so replays are bit-identical
+                // and workloads can verify what "the wire" delivered.
+                let mut x = req
+                    .id
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(req.addr | 1);
+                let mut buf = vec![0u8; req.len as usize];
+                for chunk in buf.chunks_mut(8) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let b = x.to_le_bytes();
+                    chunk.copy_from_slice(&b[..chunk.len()]);
+                }
+                self.mem.write_bytes(req.addr, &buf);
+                self.dev.dma.account_bytes(DmaDir::DeviceToMem, req.len);
+                fnv1a(&buf)
+            }
+            DmaDir::MemToDevice => {
+                let data = self.mem.read_bytes(req.addr, req.len).to_vec();
+                self.dev.dma.account_bytes(DmaDir::MemToDevice, req.len);
+                fnv1a(&data)
+            }
+        };
+        DmaCompletion {
+            id: req.id,
+            err: None,
+            cycles,
+            checksum,
+        }
     }
 
     /// Execute a full CARAT page movement: world stop, negotiation,
@@ -968,7 +1289,12 @@ impl SimKernel {
     ) -> Result<(WorldStop, Vec<MoveOutcome>), KernelError> {
         let page = self.cost.page_size;
         // Pre-negotiate every request so each destination is large enough,
-        // coalescing requests the expansion has already swallowed.
+        // coalescing requests the expansion has already swallowed. A
+        // request whose *expanded* range touches a pinned DMA buffer is
+        // refused here — before anything is allocated or stopped — and
+        // skipped like an alloc failure: batchmates still move, and the
+        // typed error surfaces only when nothing in the batch survives.
+        let mut pin_err: Option<KernelError> = None;
         let mut expanded: Vec<(u64, u64)> = Vec::with_capacity(moves.len());
         for &(src, pages) in moves {
             let len = pages * page;
@@ -978,6 +1304,11 @@ impl SimKernel {
                 .iter()
                 .any(|&(s, l)| xsrc < s + l && s < xsrc + xlen)
             {
+                continue;
+            }
+            if let Err(e) = check_unpinned(xsrc, xlen, &self.pins) {
+                self.note_denied_move(xlen);
+                pin_err = Some(KernelError::Move(e));
                 continue;
             }
             expanded.push((xsrc, xlen));
@@ -1026,8 +1357,12 @@ impl SimKernel {
             // remains, as after a failed stand-alone move.
             // An empty `moves` batch reaches here with no allocation
             // error recorded; surface it as a zero-page frame failure
-            // rather than panicking on a caller mistake.
-            return Err(alloc_err.unwrap_or(KernelError::OutOfFrames { pages: 0 }));
+            // rather than panicking on a caller mistake. An allocation
+            // failure outranks a pin refusal: the former is the signal
+            // compaction callers act on.
+            return Err(alloc_err
+                .or(pin_err)
+                .unwrap_or(KernelError::OutOfFrames { pages: 0 }));
         }
 
         let mut world = match self.begin_stop(threads) {
@@ -1112,6 +1447,12 @@ impl SimKernel {
         let (src, len) = carat_runtime::expand_to_allocations(table, page / pg * pg, pg, pg);
         if len > POISON_SLOT_SPAN || Self::is_poison(src) {
             return Ok(None);
+        }
+        // A pinned DMA buffer can never be swapped: the device holds its
+        // physical address. Typed refusal, nothing mutated.
+        if let Err(e) = check_unpinned(src, len, &self.pins) {
+            self.note_denied_move(len);
+            return Err(KernelError::Move(e));
         }
         // The slot id is only consumed once the episode is under way.
         let slot = self.peek_swap_slot();
@@ -1318,6 +1659,12 @@ impl SimKernel {
         if new_len <= old_len {
             return Ok(None);
         }
+        // Stack growth relocates the old stack block; a pinned stack
+        // range (a tenant DMA-ing from its own stack) blocks it, typed.
+        if let Err(e) = check_unpinned(old_start, old_len, &self.pins) {
+            self.note_denied_move(old_len);
+            return Err(KernelError::Move(e));
+        }
         let (dst, backoff) = self.alloc_move_dst(new_len)?;
         let dst_block = dst.addr;
         // Live data keeps its distance from the stack top: it lands at the
@@ -1471,6 +1818,12 @@ impl SimKernel {
         // reap the victim's pages from the simulated device.
         let lane = (pid.index() as u64) % SWAP_SLOT_STRIDE;
         self.swap.retain(|&slot, _| slot % SWAP_SLOT_STRIDE != lane);
+        // Reap the victim's DMA pins: a dead tenant must not leave holes
+        // the compactor can never clear. (The slab generation was bumped
+        // by `kill` above, so a recycled index cannot alias these.)
+        let before = self.pins.len();
+        self.pins.retain(|p| p.owner != Some(pid.index()));
+        self.pin_stats.reaped += (before - self.pins.len()) as u64;
         true
     }
 
@@ -1749,6 +2102,12 @@ impl SimKernel {
             if (xsrc, xlen) == before {
                 break;
             }
+        }
+        // Shared regions are the natural DMA-buffer vehicle, so this is
+        // the mover most likely to meet a pin. Refuse before allocating.
+        if let Err(e) = check_unpinned(xsrc, xlen, &self.pins) {
+            self.note_denied_move(xlen);
+            return Err(KernelError::Move(e));
         }
         let (dst, backoff) = self.alloc_move_dst(xlen)?;
         let mut world = match self.begin_stop(threads) {

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod buddy;
+pub mod dev;
 mod faults;
 mod kernel;
 mod loader;
@@ -44,8 +45,12 @@ mod proc;
 mod trace;
 
 pub use buddy::{BuddyAllocator, BuddyError};
+pub use dev::{
+    ClintTimer, DeviceBay, DmaCompletion, DmaDevice, DmaDir, DmaError, DmaRequest, DmaStats,
+    TimerStats,
+};
 pub use faults::{FaultPlan, FaultPoint, KernelError};
-pub use kernel::{SimKernel, POISON_BASE, POISON_SLOT_SPAN};
+pub use kernel::{fnv1a, PinError, PinStats, SimKernel, POISON_BASE, POISON_SLOT_SPAN};
 pub use loader::{load_shared, load_signed, load_unsigned, LoadConfig, LoadError, ProcessImage};
 pub use pagetable::{PageTable, Pte, Walk};
 pub use phys::PhysicalMemory;

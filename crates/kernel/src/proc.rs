@@ -243,6 +243,18 @@ pub struct ProcAccounting {
     pub externalizations: u64,
     /// Times its capsule was rehydrated from the device at schedule time.
     pub rehydrations: u64,
+    /// DMA pins taken on this tenant's behalf.
+    pub pins: u64,
+    /// DMA unpins on its behalf.
+    pub unpins: u64,
+    /// Bytes it currently holds pinned (kill-time reap zeroes the pins
+    /// themselves; the entry dies with the process).
+    pub pinned_bytes: u64,
+    /// Timer interrupts that preempted this tenant (timer scheduling).
+    pub timer_preemptions: u64,
+    /// Summed interrupt-to-dispatch latency of those preemptions, in
+    /// modeled cycles — the deferral its masked windows imposed.
+    pub preempt_latency_cycles: u64,
 }
 
 /// One process's kernel-side record.

@@ -110,6 +110,24 @@ pub struct CostModel {
     /// refill traffic paid when tagged-TLB generation counters wrap and
     /// every address space must re-walk its hot pages.
     pub asid_rollover_refill: u64,
+
+    // --- devices: timer interrupts + DMA pinning ---
+    /// Timer-interrupt delivery: trap entry, deadline comparator read,
+    /// and handoff to the scheduler (both modes pay this).
+    pub timer_irq: u64,
+    /// Fixed cost of recording a pin/unpin in the kernel's pin registry
+    /// (both modes pay this bookkeeping charge).
+    pub pin_registry: u64,
+    /// Traditional-only per-page pin cost: walk the page table, mark the
+    /// PTE unevictable, and refcount the frame — the `get_user_pages`
+    /// path. CARAT has no translation layer, so pinning is just the
+    /// registry entry: physical addresses are already stable.
+    pub pin_pte_per_page: u64,
+    /// DMA engine setup per descriptor (doorbell write + fetch).
+    pub dma_setup: u64,
+    /// DMA transfer cost per byte, in milli-cycles (device-side; the
+    /// CPU does not stall, but modeled completion time advances).
+    pub dma_per_byte_milli: u64,
 }
 
 impl Default for CostModel {
@@ -151,6 +169,11 @@ impl Default for CostModel {
             ctx_switch_region_swap: 30,
             tlb_flush: 500,
             asid_rollover_refill: 600,
+            timer_irq: 220,
+            pin_registry: 60,
+            pin_pte_per_page: 90,
+            dma_setup: 400,
+            dma_per_byte_milli: 120, // 0.12 cycles/byte, device-side
         }
     }
 }
@@ -214,6 +237,28 @@ impl CostModel {
     /// address-space change costs under paging.
     pub fn ctx_switch_traditional(&self) -> u64 {
         self.ctx_switch_fixed + self.tlb_flush + self.asid_rollover_refill
+    }
+
+    /// Cycles to pin `pages` pages in CARAT mode: one registry entry,
+    /// independent of the region size — physical addresses are already
+    /// stable, so there is no per-page translation work to do. The price
+    /// CARAT pays instead is compaction freedom (the pinned hole), which
+    /// is accounted where moves are refused, not here.
+    pub fn pin_cost_carat(&self, _pages: u64) -> u64 {
+        self.pin_registry
+    }
+
+    /// Cycles to pin `pages` pages in Traditional mode: the registry
+    /// entry plus a pagewalk and PTE pin per page (the
+    /// `get_user_pages`-style path a paging kernel must take before any
+    /// DMA target is safe).
+    pub fn pin_cost_traditional(&self, pages: u64) -> u64 {
+        self.pin_registry + pages * (self.pagewalk + self.pin_pte_per_page)
+    }
+
+    /// Device-side cycles for one DMA transfer of `bytes` bytes.
+    pub fn dma_cost(&self, bytes: u64) -> u64 {
+        self.dma_setup + (bytes * self.dma_per_byte_milli) / 1000
     }
 }
 
@@ -282,6 +327,28 @@ mod tests {
         // Tiny plans are dominated by fork/join: parallelism can lose.
         let tiny_serial = CostModel::default().patch_cost(4);
         assert!(c.patch_cost(4) > tiny_serial);
+    }
+
+    #[test]
+    fn carat_pin_is_flat_traditional_pin_is_linear() {
+        let c = CostModel::default();
+        assert_eq!(
+            c.pin_cost_carat(1),
+            c.pin_cost_carat(1024),
+            "CARAT pin cost must not scale with region size"
+        );
+        assert!(
+            c.pin_cost_traditional(1024) > 100 * c.pin_cost_traditional(1),
+            "traditional pinning pays a pagewalk + PTE pin per page"
+        );
+        assert!(c.pin_cost_carat(1) < c.pin_cost_traditional(1));
+    }
+
+    #[test]
+    fn dma_cost_scales_with_bytes() {
+        let c = CostModel::default();
+        assert_eq!(c.dma_cost(0), c.dma_setup);
+        assert!(c.dma_cost(65536) > c.dma_cost(4096));
     }
 
     #[test]

@@ -199,6 +199,82 @@ impl fmt::Display for MoveInterrupted {
 
 impl std::error::Error for MoveInterrupted {}
 
+/// A pinned physical range: memory a device is actively DMA-ing into,
+/// which therefore cannot be moved, compacted, or swapped. The owner (if
+/// any) is an opaque process index so the kernel can reap a tenant's pins
+/// at kill time without the runtime knowing about process tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PinnedRange {
+    /// First byte of the pinned range.
+    pub start: u64,
+    /// Length in bytes (never zero).
+    pub len: u64,
+    /// Owning process index, or `None` for kernel-owned pins.
+    pub owner: Option<usize>,
+}
+
+impl PinnedRange {
+    /// Does `[start, start+len)` overlap this pin?
+    #[inline]
+    pub fn overlaps(&self, start: u64, len: u64) -> bool {
+        start < self.start + self.len && self.start < start + len
+    }
+}
+
+/// A move was refused because it would relocate pinned memory. Unlike
+/// [`MoveInterrupted`] (a fault mid-protocol, rolled back), a pinned
+/// refusal is decided *before* the world stops: nothing was mutated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveError {
+    /// The requested source range overlaps a pinned DMA region.
+    Pinned {
+        /// Requested (expanded) source start.
+        src: u64,
+        /// Requested (expanded) length.
+        len: u64,
+        /// Start of the pin that blocked it.
+        pin_start: u64,
+        /// Length of the blocking pin.
+        pin_len: u64,
+    },
+}
+
+impl fmt::Display for MoveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MoveError::Pinned {
+                src,
+                len,
+                pin_start,
+                pin_len,
+            } => write!(
+                f,
+                "move of [{src:#x}, +{len:#x}) refused: overlaps pinned DMA range [{pin_start:#x}, +{pin_len:#x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MoveError {}
+
+/// Check a candidate move source against a pin list. Returns the typed
+/// [`MoveError::Pinned`] for the first overlapping pin, if any. Movers
+/// call this after expansion (the expanded range is what actually moves)
+/// and before the world stop, so a refusal is side-effect free.
+pub fn check_unpinned(src: u64, len: u64, pins: &[PinnedRange]) -> Result<(), MoveError> {
+    for p in pins {
+        if p.overlaps(src, len) {
+            return Err(MoveError::Pinned {
+                src,
+                len,
+                pin_start: p.start,
+                pin_len: p.len,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Undo log for one move (or one batch of moves): the pre-patch value of
 /// every mutated escape cell and register, in mutation order.
 #[derive(Debug, Default)]

@@ -267,6 +267,7 @@ impl TenantState {
             bail_insts_at,
             bail_cycles_at,
             slice_limit,
+            slice_cycle_limit,
         } = self;
         let mut e = Enc {
             buf: Vec::with_capacity(256 + self.footprint_bytes()),
@@ -438,6 +439,7 @@ impl TenantState {
         e.u64(*bail_insts_at);
         e.u64(*bail_cycles_at);
         e.u64(*slice_limit);
+        e.u64(*slice_cycle_limit);
         e.buf
     }
 
@@ -637,6 +639,7 @@ impl TenantState {
         let bail_insts_at = d.u64()?;
         let bail_cycles_at = d.u64()?;
         let slice_limit = d.u64()?;
+        let slice_cycle_limit = d.u64()?;
         if !d.done() || cur_tid >= threads.len() {
             return None;
         }
@@ -672,6 +675,7 @@ impl TenantState {
             bail_insts_at,
             bail_cycles_at,
             slice_limit,
+            slice_cycle_limit,
         })
     }
 }

@@ -52,7 +52,9 @@ pub use machine::{
     Engine, IntegrityReport, Mode, MoveDriverConfig, RunResult, SliceExit, StreamKind,
     SwapDriverConfig, TenantState, Vm, VmConfig, VmError,
 };
-pub use multi::{MultiVm, MultiVmConfig, ProcOutcome, ProcReport, ProcSpec, TenancyError};
+pub use multi::{
+    MultiVm, MultiVmConfig, ProcOutcome, ProcReport, ProcSpec, SchedSource, TenancyError,
+};
 pub use supervise::{SupervisionEvent, Supervisor, SupervisorConfig, TenantExit, Verdict};
 pub use tlb::{Tlb, TranslationUnit};
 

@@ -22,8 +22,8 @@ use carat_ir::{
     ValueId,
 };
 use carat_kernel::{
-    AdmissionError, FaultPlan, FaultPoint, KernelError, LoadConfig, LoadError, ProcessImage,
-    SimKernel,
+    AdmissionError, FaultPlan, FaultPoint, KernelError, LoadConfig, LoadError, PinError,
+    ProcessImage, SimKernel,
 };
 use carat_runtime::{Access, AllocKind, AllocationTable, CostModel, GuardImpl, TrackStats};
 use std::error::Error;
@@ -255,6 +255,10 @@ pub enum VmError {
     /// externalized state, or an engaged kernel); see
     /// [`crate::TenancyError`].
     Tenancy(crate::multi::TenancyError),
+    /// A DMA pin operation was refused, or an operation collided with
+    /// a pinned region (e.g. externalizing a tenant whose memory is a
+    /// live device target); see [`carat_kernel::PinError`].
+    Pin(PinError),
 }
 
 impl fmt::Display for VmError {
@@ -272,7 +276,14 @@ impl fmt::Display for VmError {
             VmError::Kernel(e) => write!(f, "kernel: {e}"),
             VmError::Admission(e) => write!(f, "admission: {e}"),
             VmError::Tenancy(e) => write!(f, "tenancy: {e}"),
+            VmError::Pin(e) => write!(f, "pin: {e}"),
         }
+    }
+}
+
+impl From<PinError> for VmError {
+    fn from(e: PinError) -> VmError {
+        VmError::Pin(e)
     }
 }
 
@@ -550,6 +561,12 @@ pub struct Vm {
     /// `bail_insts_at` so the fused engine bails out of superinstruction
     /// pairs at slice boundaries exactly as it does at rotation points.
     slice_limit: u64,
+    /// Cycle count at which the current [`Vm::run_slice_cycles`] deadline
+    /// expires (`u64::MAX` outside a timer slice) — the CLINT-style
+    /// `mtimecmp` comparator seen from inside the VM. Folded into
+    /// `bail_cycles_at` the same way `slice_limit` folds into
+    /// `bail_insts_at`.
+    slice_cycle_limit: u64,
 }
 
 impl fmt::Debug for Vm {
@@ -603,6 +620,7 @@ pub struct TenantState {
     pub(crate) bail_insts_at: u64,
     pub(crate) bail_cycles_at: u64,
     pub(crate) slice_limit: u64,
+    pub(crate) slice_cycle_limit: u64,
 }
 
 impl fmt::Debug for TenantState {
@@ -786,6 +804,7 @@ impl Vm {
             bail_insts_at: 0,
             bail_cycles_at: 0,
             slice_limit: u64::MAX,
+            slice_cycle_limit: u64::MAX,
         };
         vm.cur_stack_base = stack_base;
         vm.recompute_bail();
@@ -831,6 +850,7 @@ impl Vm {
             bail_insts_at,
             bail_cycles_at,
             slice_limit,
+            slice_cycle_limit,
         } = self;
         let state = TenantState {
             cfg,
@@ -863,6 +883,7 @@ impl Vm {
             bail_insts_at,
             bail_cycles_at,
             slice_limit,
+            slice_cycle_limit,
         };
         (kernel, table, state)
     }
@@ -904,6 +925,7 @@ impl Vm {
             bail_insts_at,
             bail_cycles_at,
             slice_limit,
+            slice_cycle_limit,
         } = state;
         Vm {
             cfg,
@@ -938,6 +960,7 @@ impl Vm {
             bail_insts_at,
             bail_cycles_at,
             slice_limit,
+            slice_cycle_limit,
         }
     }
 
@@ -1020,12 +1043,43 @@ impl Vm {
         out
     }
 
+    /// Run until the modeled cycle counter reaches `deadline` — the
+    /// timer-interrupt primitive. The CLINT-style timer arms `deadline`
+    /// as its `mtimecmp`; the slice loop observes `cycles >= deadline`
+    /// at the first safe boundary past it and returns
+    /// [`SliceExit::Quantum`], exactly as an instruction quantum would.
+    /// The same signals-masked deferrals apply (pending escape
+    /// notifications, mid-flight fused pairs), and the gap between the
+    /// deadline and the cycle count at the exit *is* the
+    /// interrupt-to-dispatch latency the timer device records.
+    ///
+    /// A `deadline` at or before the current cycle count preempts at the
+    /// first safe boundary (one interrupt, not a livelock: every step
+    /// retires at least one cycle).
+    ///
+    /// # Errors
+    ///
+    /// See [`VmError`]; identical surface to [`Vm::run_slice`].
+    pub fn run_slice_cycles(&mut self, deadline: u64) -> Result<SliceExit, VmError> {
+        self.slice_cycle_limit = deadline;
+        self.recompute_bail();
+        let out = self.run_slice_inner();
+        self.slice_cycle_limit = u64::MAX;
+        self.recompute_bail();
+        out
+    }
+
     fn run_slice_inner(&mut self) -> Result<SliceExit, VmError> {
         loop {
             // Slice expiry first: like a world-stop, preemption may not
             // land between a pointer store and its escape callback —
             // defer to the next boundary once the notification is in.
-            if self.counters.instructions >= self.slice_limit && !self.tracking_owed() {
+            // Instruction quanta and cycle deadlines share one exit; a
+            // scheduler arms whichever preemption source it uses.
+            if (self.counters.instructions >= self.slice_limit
+                || self.counters.cycles >= self.slice_cycle_limit)
+                && !self.tracking_owed()
+            {
                 return Ok(SliceExit::Quantum);
             }
             // Step limit in retired instructions: every `step()` call
@@ -1262,9 +1316,13 @@ impl Vm {
         // run loop needs control at; outside a slice this folds to
         // `u64::MAX` and changes nothing.
         self.bail_insts_at = base.min(self.slice_limit);
+        // A timer slice is a cycle boundary the loop needs control at,
+        // exactly as the move/swap drivers are; outside one it folds to
+        // `u64::MAX` and changes nothing.
         self.bail_cycles_at = self
             .next_move_at
             .min(self.next_swap_at)
+            .min(self.slice_cycle_limit)
             .min(self.cfg.max_cycles.saturating_add(1));
     }
 

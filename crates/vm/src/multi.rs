@@ -37,8 +37,8 @@ use crate::machine::{Engine, Mode, RunResult, SliceExit, TenantState, Vm, VmConf
 use crate::supervise::{PendingRestart, Supervisor, SupervisorConfig, TenantExit, Verdict};
 use carat_ir::Module;
 use carat_kernel::{
-    AdmissionError, FaultPlan, KernelError, Pid, ProcAccounting, ProcState, ProtectionFault,
-    SharedId, SimKernel, TenantQuotas, POISON_BASE, POISON_SLOT_SPAN,
+    AdmissionError, DmaCompletion, DmaDir, FaultPlan, KernelError, Pid, PinError, ProcAccounting,
+    ProcState, ProtectionFault, SharedId, SimKernel, TenantQuotas, POISON_BASE, POISON_SLOT_SPAN,
 };
 use carat_runtime::{AllocKind, AllocationTable, MemAccess};
 
@@ -52,14 +52,40 @@ pub struct ProcSpec {
     pub cfg: VmConfig,
 }
 
+/// The fleet's preemption source: what ends a tenant's time slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedSource {
+    /// Instruction-quantum round-robin (the original scheduler): a slice
+    /// ends after [`MultiVmConfig::quantum`] retired instructions. No
+    /// device is involved; the "interrupt" is the VM counting.
+    #[default]
+    Quantum,
+    /// Timer-preemptive: before each slice the scheduler arms the
+    /// kernel's CLINT-style timer at `tenant_cycles +
+    /// [`MultiVmConfig::timer_interval`]`, and the slice ends when the
+    /// tenant's modeled cycle counter crosses that deadline. The gap
+    /// between the deadline and the actual exit (deferral past
+    /// signals-masked windows) is recorded by the timer device as
+    /// interrupt-to-dispatch latency.
+    Timer,
+}
+
 /// Scheduler configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct MultiVmConfig {
     /// Time-slice length in retired instructions. `u64::MAX` degenerates
     /// to running each process to completion in pid order — the
     /// "sequential" arm of the differential tests, on the same kernel
-    /// and the same load addresses as the sliced arm.
+    /// and the same load addresses as the sliced arm. Used by
+    /// [`SchedSource::Quantum`] only.
     pub quantum: u64,
+    /// Preemption source (default [`SchedSource::Quantum`], the
+    /// historical behavior; `--sched timer` in the benches selects
+    /// [`SchedSource::Timer`]).
+    pub sched: SchedSource,
+    /// Timer-slice length in modeled cycles ([`SchedSource::Timer`]
+    /// only). Clamped to at least 1 when a timer slice is armed.
+    pub timer_interval: u64,
     /// Physical arena of the shared kernel in bytes.
     pub kernel_mem: u64,
     /// Run a memory-pressure compaction pass every this many slices
@@ -114,6 +140,10 @@ impl Default for MultiVmConfig {
     fn default() -> MultiVmConfig {
         MultiVmConfig {
             quantum: 4096,
+            sched: SchedSource::Quantum,
+            // Default matches the quantum's order of magnitude: ~4096
+            // instructions at a handful of cycles each.
+            timer_interval: 16_384,
             kernel_mem: 512 * 1024 * 1024,
             pressure_every: 0,
             pressure_batch: 1,
@@ -558,6 +588,14 @@ impl MultiVm {
                 return Ok(slot);
             }
         }
+        // A pinned tenant's memory holds live device targets: the DMA
+        // engine addresses it by physical location, so serializing the
+        // tenant away while a pin is live would leave the device writing
+        // into a reaped image. Refuse typed; unpin (or kill) first.
+        let pinned = self.kernel.pinned_bytes_of(pid);
+        if pinned > 0 {
+            return Err(VmError::Pin(PinError::PinnedTenant { pid, bytes: pinned }));
+        }
         let state = self.slots[idx]
             .as_mut()
             .and_then(|t| t.state.take())
@@ -745,6 +783,68 @@ impl MultiVm {
             .ok_or(VmError::Kernel(KernelError::NoSuchShared { id }))
     }
 
+    /// Pin shared block `id` as a DMA target on behalf of tenant `pid`:
+    /// the block's whole range enters the kernel pin list (every mover
+    /// refuses it with a typed error until unpinned) and the pin is
+    /// charged to `pid`'s accounting, so killing the tenant reaps it.
+    ///
+    /// This is the CARAT pin: a registry entry, no page-table walk —
+    /// see [`carat_runtime::CostModel::pin_cost_carat`].
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Pin`] — stale pid, overlap with an existing pin, or a
+    /// swapped-out range; [`VmError::Kernel`] for a dead block id.
+    pub fn pin_shared(&mut self, pid: Pid, id: SharedId) -> Result<(u64, u64), VmError> {
+        let (base, len) = {
+            let s = self
+                .kernel
+                .procs
+                .shared(id)
+                .ok_or(VmError::Kernel(KernelError::NoSuchShared { id }))?;
+            (s.base, s.len)
+        };
+        self.kernel.pin_region_for(pid, base, len)?;
+        Ok((base, len))
+    }
+
+    /// Release the pin covering shared block `id` (exact-range match).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Pin`] when no pin matches the block's current range;
+    /// [`VmError::Kernel`] for a dead block id.
+    pub fn unpin_shared(&mut self, id: SharedId) -> Result<(), VmError> {
+        let (base, len) = {
+            let s = self
+                .kernel
+                .procs
+                .shared(id)
+                .ok_or(VmError::Kernel(KernelError::NoSuchShared { id }))?;
+            (s.base, s.len)
+        };
+        self.kernel.unpin_region(base, len)?;
+        Ok(())
+    }
+
+    /// Enqueue a DMA request on the modeled device; returns its id.
+    /// The target range must already be pinned when the device services
+    /// it (see [`MultiVm::dma_service`]), not at submit time — exactly
+    /// the window a real device driver has to get pinning wrong, and
+    /// what the chaos tests probe.
+    pub fn dma_submit(&mut self, addr: u64, len: u64, dir: DmaDir) -> u64 {
+        self.kernel.dev.dma.submit(addr, len, dir)
+    }
+
+    /// Service up to `max` queued DMA requests against physical memory,
+    /// returning their completions (also retained on the device's
+    /// completion ring). Unpinned or swapped targets complete with a
+    /// typed [`carat_kernel::DmaError`]; nothing is transferred for
+    /// them.
+    pub fn dma_service(&mut self, max: usize) -> Vec<DmaCompletion> {
+        self.kernel.dma_service(max)
+    }
+
     /// Materialize descheduled tenant `pid` around the spare placeholder
     /// kernel and an empty table — for kernel-side work on its host
     /// state (register dumps, relocation patching) while the real kernel
@@ -850,9 +950,27 @@ impl MultiVm {
             }
             return;
         };
+        // Timer-preemptive scheduling: arm the kernel's CLINT-style
+        // timer at the tenant's current modeled cycles plus the
+        // interval, *before* the kernel is lent to the VM — the armed
+        // comparator travels with it. The quantum path arms nothing.
+        let timer_deadline = match self.cfg.sched {
+            SchedSource::Quantum => None,
+            SchedSource::Timer => {
+                let deadline = state
+                    .counters()
+                    .cycles
+                    .saturating_add(self.cfg.timer_interval.max(1));
+                self.kernel.dev.timer.arm(deadline);
+                Some(deadline)
+            }
+        };
         let kernel = std::mem::replace(&mut self.kernel, spare);
         let mut vm = Vm::from_tenant(kernel, table, state);
-        let res = vm.run_slice(self.cfg.quantum);
+        let res = match timer_deadline {
+            None => vm.run_slice(self.cfg.quantum),
+            Some(deadline) => vm.run_slice_cycles(deadline),
+        };
         // Fold the final result while the real kernel and table are
         // still in the VM (the flush and audit need them). This match is
         // the per-tenant fault domain: every failure mode of the slice
@@ -877,10 +995,27 @@ impl MultiVm {
         // while descheduled sees every pointer cell), then dismantle.
         vm.flush_escapes();
         let (kernel, table, state) = vm.into_tenant();
+        let end_cycles = state.counters().cycles;
         self.spare = Some(std::mem::replace(&mut self.kernel, kernel));
         self.kernel.procs.checkin_table(pid, table);
         if let Some(t) = self.slots[idx].as_mut() {
             t.state = Some(state);
+        }
+        // Retire the timer interrupt now that the kernel is home: a
+        // quantum exit under timer scheduling *is* the dispatched
+        // interrupt (latency = cycles past the deadline, the deferral
+        // the tenant's masked windows imposed); any terminal outcome
+        // disarms the comparator instead.
+        if timer_deadline.is_some() {
+            if done.is_none() {
+                let latency = self.kernel.dev.timer.dispatch(end_cycles);
+                if let Some(e) = self.kernel.procs.get_mut(pid) {
+                    e.accounting.timer_preemptions += 1;
+                    e.accounting.preempt_latency_cycles += latency;
+                }
+            } else {
+                self.kernel.dev.timer.cancel();
+            }
         }
         if let Some(outcome) = done {
             match &outcome {
@@ -1080,11 +1215,16 @@ impl MultiVm {
 
     /// The coldest tenant that still holds resident state: the one
     /// scheduled longest ago — the externalization rung's victim.
+    /// Tenants holding pinned DMA bytes are not candidates: the device
+    /// addresses their memory physically, and [`MultiVm::externalize_tenant`]
+    /// would refuse them anyway.
     fn coldest_resident(&self) -> Option<Pid> {
         self.slots
             .iter()
             .flatten()
-            .filter(|t| t.outcome.is_none() && t.state.is_some())
+            .filter(|t| {
+                t.outcome.is_none() && t.state.is_some() && self.kernel.pinned_bytes_of(t.pid) == 0
+            })
             .min_by_key(|t| t.last_ran)
             .map(|t| t.pid)
     }
@@ -1169,10 +1309,15 @@ impl MultiVm {
             }
         }
         let page_size = self.kernel.cost.page_size;
+        // Skip already-swapped regions and pinned DMA targets: the
+        // kernel's `page_out` would refuse a pinned range with a typed
+        // error anyway, but not selecting it keeps the rung useful.
         let target = table
             .snapshot()
             .into_iter()
-            .filter(|&(start, _, _, _)| !SimKernel::is_poison(start))
+            .filter(|&(start, len, _, _)| {
+                !SimKernel::is_poison(start) && self.kernel.pinned_overlap(start, len).is_none()
+            })
             .max_by_key(|&(_, _, escapes_live, _)| escapes_live)
             .map(|(start, _, _, _)| start / page_size * page_size);
         if let Some(page) = target {

@@ -18,6 +18,16 @@
 //! exit and the lineage's restart count, and backoff is measured in
 //! fleet slices, so a seeded chaos run replays bit-identically.
 //!
+//! Supervision time is deliberately *preemption-agnostic*: a "fleet
+//! slice" is one scheduling turn regardless of what bounded it — the
+//! historical instruction quantum ([`SchedSource::Quantum`]) or a
+//! timer-interrupt cycle deadline ([`SchedSource::Timer`]). Nothing in
+//! this module assumes a slice retired a fixed instruction count, so
+//! backoff schedules replay identically under either scheduler.
+//!
+//! [`SchedSource::Quantum`]: crate::SchedSource::Quantum
+//! [`SchedSource::Timer`]: crate::SchedSource::Timer
+//!
 //! [`MultiVm`]: crate::MultiVm
 
 use std::fmt;

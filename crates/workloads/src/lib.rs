@@ -392,6 +392,26 @@ pub fn chaos_tenant(scale: Scale, seed: i64) -> Result<Module, CmError> {
     compile_cm("chaos_tenant", &programs::chaos_tenant(slots, passes, seed))
 }
 
+/// Compile the I/O server tenant at `scale`: the `io_latency` bench's
+/// request/response worker. Its global #0 (`int* dmabuf`) is the DMA
+/// buffer pointer the host publishes with `shared_map` — the block the
+/// modeled device reads and writes must be **pinned** while requests
+/// are in flight, so this tenant is also the chaos battery's subject
+/// for "storm compaction never moves a pinned cell". `seed`
+/// differentiates tenants sharing one module.
+///
+/// # Errors
+///
+/// Front-end failures (a workload bug).
+pub fn io_server(scale: Scale, seed: i64) -> Result<Module, CmError> {
+    let (words, passes) = match scale {
+        Scale::Test => (16, 4),
+        Scale::Small => (64, 16),
+        Scale::Full => (256, 32),
+    };
+    compile_cm("io_server", &programs::io_server(words, passes, seed))
+}
+
 /// The multi-tenant server-mix: the tenants the multi-process bench
 /// co-schedules on one kernel. Deliberately heterogeneous — pure compute
 /// (`ep`), pointer chasing (`mcf`), allocation/churn (`dedup`),
@@ -453,6 +473,23 @@ mod tests {
         let b = fleet_tenant(Scale::Test, 2).unwrap();
         let ra = Vm::new(a, VmConfig::default()).unwrap().run().unwrap();
         let rb = Vm::new(b, VmConfig::default()).unwrap().run().unwrap();
+        assert_ne!(ra.ret, rb.ret, "seeds differentiate tenants");
+    }
+
+    #[test]
+    fn io_server_compiles_runs_and_tolerates_unmapped_buffer() {
+        // Unhosted (dmabuf never published) the null guard skips the
+        // scan: the tenant must still finish deterministically, since
+        // the differential scheduler test runs it without a device.
+        let a = io_server(Scale::Test, 3).unwrap();
+        let b = io_server(Scale::Test, 4).unwrap();
+        let ra = Vm::new(a.clone(), VmConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        let ra2 = Vm::new(a, VmConfig::default()).unwrap().run().unwrap();
+        let rb = Vm::new(b, VmConfig::default()).unwrap().run().unwrap();
+        assert_eq!(ra.ret, ra2.ret, "deterministic");
         assert_ne!(ra.ret, rb.ret, "seeds differentiate tenants");
     }
 

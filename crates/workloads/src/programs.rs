@@ -814,3 +814,35 @@ int main() {{
 "#
     )
 }
+
+/// The I/O server tenant: the `io_latency` bench's request/response
+/// worker. Its first global (`dmabuf`, index 0) is published by the
+/// host via `shared_map`, pointing at a pinned shared block the modeled
+/// DMA device fills between slices. Each pass scans the buffer
+/// (consuming whatever the device last wrote), folds it into a running
+/// checksum, and writes a response pattern back for the device's
+/// mem-to-device leg — plus a little heap churn so compaction pressure
+/// has non-pinned material to chew on around the pinned hole.
+pub fn io_server(words: i64, passes: i64, seed: i64) -> String {
+    format!(
+        r#"
+int* dmabuf;
+int main() {{
+    int s = {seed};
+    for (int p = 0; p < {passes}; p += 1) {{
+        if (dmabuf != null) {{
+            for (int i = 0; i < {words}; i += 1) {{
+                s += dmabuf[i];
+                dmabuf[i] = (s + i) % 251;
+            }}
+        }}
+        int* scratch = (int*) malloc({words} * sizeof(int));
+        for (int i = 0; i < {words}; i += 1) {{ scratch[i] = (s + i * 3) % 127; }}
+        for (int i = 0; i < {words}; i += 1) {{ s += scratch[i]; }}
+        free(scratch);
+    }}
+    return s % 1000000;
+}}
+"#
+    )
+}
