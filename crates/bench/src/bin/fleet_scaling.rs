@@ -1,8 +1,9 @@
-//! # fleet_scaling — the 10k-tenant scaling curve
+//! # fleet_scaling — the 100k-tenant scaling curve
 //!
-//! Spawns fleets of 10 / 100 / 1k / 10k microservice-sized tenants (one
-//! shared module, one shared decoded program) on one kernel and measures
-//! what the slab-indexed process subsystem costs as the fleet grows:
+//! Spawns fleets of 10 / 100 / 1k / 10k / 100k microservice-sized
+//! tenants (one shared module, one shared decoded program) on one kernel
+//! and measures what the slab-indexed process subsystem costs as the
+//! fleet grows:
 //!
 //! * **Context-switch cost per slice** — modeled kernel cycles per
 //!   switch must be FLAT across scales (the switch installs a region
@@ -25,14 +26,27 @@
 //!   at the largest scale: refusals are typed `AdmissionError`s, killed
 //!   and recycled pids fail lookups with typed `TenancyError`s, and
 //!   nothing ever panics.
+//! * **Batch admission** — `spawn_batch` vs sequential `spawn_shared`
+//!   at every scale: modeled admission cycles must amortize ≥5×, and a
+//!   bounded prefix of both fleets must run with bit-identical
+//!   per-tenant counters (the counter-divergence gate).
+//! * **Capsule arena** — externalize/rehydrate churn through the pooled
+//!   arena: high-water marks recorded, and steady-state churn must
+//!   allocate nothing (every round after the first reuses slots).
+//! * **Epoch pressure scans** — victim picks examine a bounded window
+//!   of slab slots per pass (`2 × limit`, externalization + compaction),
+//!   independent of fleet size — the per-slice flatness gate.
 //!
 //! Emits `BENCH_fleet.json` (override with `--out PATH`). Scale presets:
-//! `--scale test` runs 10/100, `small` adds 1k, `full` adds 10k. The
-//! tenants' interpreter tier is selectable with
+//! `--scale test` runs 10/100, `small` adds 1k, `full` adds 10k and
+//! 100k. The tenants' interpreter tier is selectable with
 //! `--engine reference|decoded|fused|threaded` (default fused) — the
 //! scaling gates must hold on every tier. `--sched quantum|timer`
 //! (default quantum) selects the preemption source: the instruction
 //! quantum or the CLINT-style cycle-deadline timer.
+//! `--spawn batch|seq` (default batch) picks the fleets' admission
+//! path, and `--scan-limit N` (default 64; 0 = unbounded full rescan)
+//! bounds the epoch pressure scans.
 
 use std::rc::Rc;
 use std::time::Instant;
@@ -40,7 +54,7 @@ use std::time::Instant;
 use carat_bench::{engine_from_args, print_table, scale_from_args, Variant};
 use carat_core::CaratCompiler;
 use carat_ir::Module;
-use carat_kernel::{LoadConfig, Pid, TenantQuotas};
+use carat_kernel::{ArenaStats, LoadConfig, Pid, TenantQuotas};
 use carat_runtime::CostModel;
 use carat_vm::{MultiVm, MultiVmConfig, ProcOutcome, TenancyError, VmConfig, VmError};
 use carat_workloads::{fleet_tenant, Scale};
@@ -62,8 +76,47 @@ fn fleet_sizes(scale: Scale) -> &'static [usize] {
     match scale {
         Scale::Test => &[10, 100],
         Scale::Small => &[10, 100, 1000],
-        Scale::Full => &[10, 100, 1000, 10000],
+        Scale::Full => &[10, 100, 1000, 10000, 100000],
     }
+}
+
+/// Which admission path builds the measured fleets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SpawnMode {
+    /// One `spawn_batch` call: verify + quota once, stamp per tenant.
+    Batch,
+    /// N sequential `spawn_shared` calls (the pre-batch path).
+    Seq,
+}
+
+fn spawn_mode_from_args() -> SpawnMode {
+    let args: Vec<String> = std::env::args().collect();
+    match args
+        .windows(2)
+        .find(|w| w[0] == "--spawn")
+        .map(|w| w[1].as_str())
+    {
+        Some("seq") | Some("sequential") => SpawnMode::Seq,
+        Some("batch") | None => SpawnMode::Batch,
+        Some(other) => {
+            eprintln!("fleet_scaling: unknown --spawn {other} (want batch|seq)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Epoch pressure-scan bound (`--scan-limit N`; 0 = unbounded rescan).
+fn scan_limit_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--scan-limit")
+        .map(|w| {
+            w[1].parse().unwrap_or_else(|_| {
+                eprintln!("fleet_scaling: --scan-limit wants a number, got {}", w[1]);
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(64)
 }
 
 fn kernel_mem(tenants: usize) -> u64 {
@@ -112,22 +165,44 @@ fn build_fleet(
             kernel_mem: kernel_mem(tenants),
             pressure_every,
             pressure_batch: 4,
+            pressure_scan_limit: scan_limit_from_args(),
             ..MultiVmConfig::default()
         },
     )
     .expect("empty fleet builds");
     let cfg = tenant_cfg(variant);
-    let mut pids = Vec::with_capacity(tenants);
-    for i in 0..tenants {
-        let pid = mv
-            .spawn_shared(&format!("t{i}"), module.clone(), cfg.clone())
-            .unwrap_or_else(|e| {
-                eprintln!("fleet_scaling: admitting tenant {i}/{tenants} failed: {e}");
-                std::process::exit(2);
-            });
-        pids.push(pid);
-    }
+    let pids = spawn_fleet(&mut mv, &module, &cfg, tenants, spawn_mode_from_args());
     (mv, pids)
+}
+
+/// Admit `tenants` identical tenants named `t0..` via the selected
+/// admission path. The two paths stamp bit-identical tenants (the
+/// `batch_admission_differential` suite holds them to that), so the
+/// scaling arms are comparable whichever one built them.
+fn spawn_fleet(
+    mv: &mut MultiVm,
+    module: &Rc<Module>,
+    cfg: &VmConfig,
+    tenants: usize,
+    mode: SpawnMode,
+) -> Vec<Pid> {
+    match mode {
+        SpawnMode::Batch => mv
+            .spawn_batch("t", module.clone(), cfg.clone(), tenants)
+            .unwrap_or_else(|e| {
+                eprintln!("fleet_scaling: batch-admitting {tenants} tenants failed: {e}");
+                std::process::exit(2);
+            }),
+        SpawnMode::Seq => (0..tenants)
+            .map(|i| {
+                mv.spawn_shared(&format!("t{i}"), module.clone(), cfg.clone())
+                    .unwrap_or_else(|e| {
+                        eprintln!("fleet_scaling: admitting tenant {i}/{tenants} failed: {e}");
+                        std::process::exit(2);
+                    })
+            })
+            .collect(),
+    }
 }
 
 /// One measured arm: warm every tenant once, time a steady-state batch,
@@ -205,17 +280,24 @@ struct PressureResult {
     moves: u64,
     page_outs: u64,
     cycles_per_relocation: f64,
+    /// Slab slots an average pressure pass examined (externalization
+    /// scan + compaction victim pick) — the epoch-scan flatness metric:
+    /// bounded by `2 × scan limit` whatever the fleet size.
+    scan_slots_per_pass: f64,
+    scan_cycles_per_pass: f64,
 }
 
 /// The compaction arm: same fleet, pressure pass every 8 slices —
 /// journaled moves + page-outs on descheduled victims, charged to
 /// kernel accounting.
 fn run_pressure(tenants: usize, scale: Scale) -> PressureResult {
-    let (mv, _pids) = {
-        let (mut mv, pids) = build_fleet(tenants, scale, Variant::Full, 8);
-        mv.run_batch(tenants as u64);
-        (mv, pids)
-    };
+    let (mut mv, _pids) = build_fleet(tenants, scale, Variant::Full, 8);
+    mv.run_batch(tenants as u64);
+    mv.run_batch(u64::MAX);
+    // Scan accounting is fleet-level state; read it before teardown.
+    let passes = (mv.slices() / 8).max(1);
+    let scan_slots_per_pass = mv.pressure_scan_slots() as f64 / passes as f64;
+    let scan_cycles_per_pass = mv.pressure_scan_cycles() as f64 / passes as f64;
     let reports = mv.run();
     let moves: u64 = reports.iter().map(|r| r.accounting.pressure_moves).sum();
     let outs: u64 = reports
@@ -227,6 +309,96 @@ fn run_pressure(tenants: usize, scale: Scale) -> PressureResult {
         moves,
         page_outs: outs,
         cycles_per_relocation: cycles as f64 / (moves + outs).max(1) as f64,
+        scan_slots_per_pass,
+        scan_cycles_per_pass,
+    }
+}
+
+struct AdmissionResult {
+    batch_cycles: u64,
+    seq_cycles: u64,
+    /// `seq_cycles / batch_cycles` — the amortization factor (≥5× is
+    /// the acceptance bar, at every size).
+    ratio: f64,
+    ns_per_admit_batch: f64,
+    ns_per_admit_seq: f64,
+    /// Counter-divergence gate: a bounded prefix of both fleets ran the
+    /// same slices with bit-identical per-tenant counters.
+    counters_match: bool,
+    arena: ArenaStats,
+    /// Steady-state gate: externalize/rehydrate rounds after the first
+    /// allocated no new arena slots, reuse fired, and the final round
+    /// drained the pool back to zero live slots.
+    arena_steady: bool,
+}
+
+/// The admission arm: build the same fleet through both admission paths
+/// and compare the modeled toll, wall-clock per admit, and (bounded)
+/// per-tenant counters; then drive externalize/rehydrate churn through
+/// the batch fleet to exercise the pooled capsule arena.
+fn run_admission(tenants: usize, scale: Scale) -> AdmissionResult {
+    let module = tenant_module(scale, Variant::Full, 0);
+    let cfg = tenant_cfg(Variant::Full);
+    let fleet_cfg = MultiVmConfig {
+        quantum: 128,
+        kernel_mem: kernel_mem(tenants),
+        pressure_scan_limit: scan_limit_from_args(),
+        ..MultiVmConfig::default()
+    };
+
+    let t0 = Instant::now();
+    let mut batch = MultiVm::new(Vec::new(), fleet_cfg.clone()).expect("empty fleet builds");
+    let pids = spawn_fleet(&mut batch, &module, &cfg, tenants, SpawnMode::Batch);
+    let ns_per_admit_batch = t0.elapsed().as_nanos() as f64 / tenants.max(1) as f64;
+    let batch_cycles = batch.admission_cycles();
+
+    let t0 = Instant::now();
+    let mut seq = MultiVm::new(Vec::new(), fleet_cfg).expect("empty fleet builds");
+    spawn_fleet(&mut seq, &module, &cfg, tenants, SpawnMode::Seq);
+    let ns_per_admit_seq = t0.elapsed().as_nanos() as f64 / tenants.max(1) as f64;
+    let seq_cycles = seq.admission_cycles();
+
+    // Counter divergence, on a bounded prefix (cheap at any scale): the
+    // first ~64 tenants of both fleets run the same slices and must end
+    // them with bit-identical counters.
+    let probe = pids.len().min(64);
+    let slices = probe as u64 * 2;
+    batch.run_batch(slices);
+    seq.run_batch(slices);
+    let counters_match = pids
+        .iter()
+        .take(probe)
+        .all(|&p| batch.counters(p).ok() == seq.counters(p).ok());
+    drop(seq);
+
+    // Arena churn: three externalize/rehydrate rounds over a bounded
+    // window. Round one populates the size classes; every later round
+    // must run entirely on the free lists.
+    let window = &pids[..probe];
+    let mut allocs_after_first = 0u64;
+    for round in 0..3 {
+        for &p in window {
+            batch.externalize_tenant(p).expect("externalizes");
+        }
+        for &p in window {
+            batch.rehydrate_tenant(p).expect("rehydrates");
+        }
+        if round == 0 {
+            allocs_after_first = batch.arena_stats().allocs;
+        }
+    }
+    let arena = batch.arena_stats();
+    let arena_steady =
+        arena.allocs == allocs_after_first && arena.reuses > 0 && arena.slots_live == 0;
+    AdmissionResult {
+        batch_cycles,
+        seq_cycles,
+        ratio: seq_cycles as f64 / batch_cycles.max(1) as f64,
+        ns_per_admit_batch,
+        ns_per_admit_seq,
+        counters_match,
+        arena,
+        arena_steady,
     }
 }
 
@@ -344,10 +516,13 @@ fn main() {
         .unwrap_or_else(|| "BENCH_fleet.json".to_string());
     let sizes = fleet_sizes(scale);
     let cost = CostModel::default();
+    let scan_limit = scan_limit_from_args();
     println!(
-        "fleet_scaling: fleets of {sizes:?} tenants, scale {scale:?}, engine {} \
-         (modeled switch: carat {} vs traditional {})",
+        "fleet_scaling: fleets of {sizes:?} tenants, scale {scale:?}, engine {}, \
+         spawn {:?}, scan limit {} (modeled switch: carat {} vs traditional {})",
         engine_from_args().name(),
+        spawn_mode_from_args(),
+        scan_limit,
         cost.ctx_switch_carat(),
         cost.ctx_switch_traditional()
     );
@@ -361,13 +536,37 @@ fn main() {
     let mut mem_per_tenant = Vec::new();
     let mut gap_every_scale = true;
     let mut outcomes_ok = true;
+    let mut admission_ok = true;
+    let mut arena_ok = true;
+    let mut scan_ok = true;
+    let mut p99_ok = true;
     for &n in sizes {
         let carat = run_arm(n, scale, Variant::Full);
         let trad = run_arm(n, scale, Variant::Traditional);
         let pressure = run_pressure(n, scale);
+        let admission = run_admission(n, scale);
         gap_every_scale &=
             carat.cycles_per_switch < trad.cycles_per_switch && carat.tlb_flushes == 0;
         outcomes_ok &= carat.outcomes_ok && trad.outcomes_ok;
+        // Modeled admission must amortize ≥5× AND match the cost model
+        // exactly; the counter probe is the divergence gate.
+        admission_ok &= admission.ratio >= 5.0
+            && admission.batch_cycles == cost.admit_batch_cost(n as u64)
+            && admission.seq_cycles == cost.admit_sequential_cost(n as u64)
+            && admission.counters_match;
+        arena_ok &= admission.arena_steady;
+        // Epoch scans examine at most the externalization window plus
+        // the compaction window per pass, whatever the fleet size.
+        let scan_bound = if scan_limit == 0 {
+            2.0 * n as f64
+        } else {
+            2.0 * scan_limit as f64
+        };
+        scan_ok &= pressure.scan_slots_per_pass <= scan_bound + 2.0;
+        // The latency tail must stay within two orders of magnitude of
+        // the mean: an O(fleet) pass hiding in 1% of slices blows
+        // through this at the large scales while the mean stays put.
+        p99_ok &= (carat.p99_ns_per_slice as f64) < carat.ns_per_slice * 100.0;
         rows.push(vec![
             n.to_string(),
             format!("{:.0}", carat.ns_per_slice),
@@ -375,9 +574,10 @@ fn main() {
             format!("{:.1}", carat.cycles_per_switch),
             format!("{:.1}", trad.cycles_per_switch),
             format!("{:.0}", carat.descheduled_bytes_per_tenant),
-            pressure.moves.to_string(),
-            pressure.page_outs.to_string(),
             format!("{:.0}", pressure.cycles_per_relocation),
+            format!("{:.1}", admission.ratio),
+            format!("{:.0}", pressure.scan_slots_per_pass),
+            (admission.arena.high_water_bytes / 1024).to_string(),
         ]);
         if !curve_json.is_empty() {
             curve_json.push_str(",\n");
@@ -387,7 +587,9 @@ fn main() {
              \"carat\": {{\"ns_per_slice\": {:.1}, \"p99_ns_per_slice\": {}, \"cycles_per_switch\": {:.3}, \"switches\": {}, \"tlb_flushes\": {}}}, \
              \"traditional\": {{\"ns_per_slice\": {:.1}, \"p99_ns_per_slice\": {}, \"cycles_per_switch\": {:.3}, \"switches\": {}, \"tlb_flushes\": {}}}, \
              \"descheduled_bytes_per_tenant\": {:.1}, \
-             \"pressure\": {{\"moves\": {}, \"page_outs\": {}, \"cycles_per_relocation\": {:.1}}}}}",
+             \"pressure\": {{\"moves\": {}, \"page_outs\": {}, \"cycles_per_relocation\": {:.1}, \"scan_slots_per_pass\": {:.1}, \"scan_cycles_per_pass\": {:.1}}}, \
+             \"admission\": {{\"batch_cycles\": {}, \"seq_cycles\": {}, \"ratio\": {:.2}, \"ns_per_admit_batch\": {:.0}, \"ns_per_admit_seq\": {:.0}, \"counters_match\": {}}}, \
+             \"arena\": {{\"high_water_bytes\": {}, \"high_water_slots\": {}, \"allocs\": {}, \"reuses\": {}, \"steady\": {}}}}}",
             carat.ns_per_slice,
             carat.p99_ns_per_slice,
             carat.cycles_per_switch,
@@ -402,6 +604,19 @@ fn main() {
             pressure.moves,
             pressure.page_outs,
             pressure.cycles_per_relocation,
+            pressure.scan_slots_per_pass,
+            pressure.scan_cycles_per_pass,
+            admission.batch_cycles,
+            admission.seq_cycles,
+            admission.ratio,
+            admission.ns_per_admit_batch,
+            admission.ns_per_admit_seq,
+            admission.counters_match,
+            admission.arena.high_water_bytes,
+            admission.arena.high_water_slots,
+            admission.arena.allocs,
+            admission.arena.reuses,
+            admission.arena_steady,
         ));
         carat_cps.push(carat.cycles_per_switch);
         trad_cps.push(trad.cycles_per_switch);
@@ -416,9 +631,10 @@ fn main() {
             "carat cyc/sw",
             "trad cyc/sw",
             "bytes/parked",
-            "pr.moves",
-            "pr.outs",
             "cyc/reloc",
+            "adm ratio",
+            "scan/pass",
+            "arena hw KiB",
         ],
         &rows,
     );
@@ -463,6 +679,27 @@ fn main() {
         "{}: every tenant finished with the expected checksum",
         if outcomes_ok { "PASS" } else { "FAIL" }
     );
+    println!(
+        "{}: batch admission >=5x cheaper than sequential (modeled), counters bit-identical",
+        if admission_ok { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "{}: capsule arena steady-state churn allocates nothing (reuse after round one)",
+        if arena_ok { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "{}: pressure scans bounded at {} slots/pass whatever the fleet size",
+        if scan_ok { "PASS" } else { "FAIL" },
+        if scan_limit == 0 {
+            "2n".to_string()
+        } else {
+            format!("{}", 2 * scan_limit)
+        }
+    );
+    println!(
+        "{}: p99 slice latency within 100x of the mean at every scale",
+        if p99_ok { "PASS" } else { "FAIL" }
+    );
 
     let churn_n = *sizes.last().expect("at least one size");
     let churn = run_churn(churn_n, scale);
@@ -476,16 +713,28 @@ fn main() {
         churn.slices
     );
 
-    let pass =
-        flat_ctx_ok && gap_every_scale && flat_mem_ok && o1_sched_ok && outcomes_ok && churn.ok;
+    let pass = flat_ctx_ok
+        && gap_every_scale
+        && flat_mem_ok
+        && o1_sched_ok
+        && outcomes_ok
+        && admission_ok
+        && arena_ok
+        && scan_ok
+        && p99_ok
+        && churn.ok;
     let json = format!(
         "{{\n  \"benchmark\": \"fleet_scaling\",\n  \"scale\": \"{scale:?}\",\n  \
-         \"engine\": \"{eng}\",\n  \"modeled_ctx\": {{\"carat\": {mc}, \"traditional\": {mt}}},\n  \"curve\": [\n{curve_json}\n  ],\n  \
+         \"engine\": \"{eng}\",\n  \"spawn_mode\": \"{sm:?}\",\n  \"scan_limit\": {scan_limit},\n  \
+         \"modeled_ctx\": {{\"carat\": {mc}, \"traditional\": {mt}}},\n  \"curve\": [\n{curve_json}\n  ],\n  \
          \"flat_ctx_ok\": {flat_ctx_ok},\n  \"gap_every_scale\": {gap_every_scale},\n  \
          \"flat_mem_ok\": {flat_mem_ok},\n  \"o1_sched_ok\": {o1_sched_ok},\n  \
-         \"outcomes_ok\": {outcomes_ok},\n  \"churn\": {{\"tenants\": {cn}, \"spawned\": {csp}, \
+         \"outcomes_ok\": {outcomes_ok},\n  \"admission_ok\": {admission_ok},\n  \
+         \"arena_ok\": {arena_ok},\n  \"scan_ok\": {scan_ok},\n  \"p99_ok\": {p99_ok},\n  \
+         \"churn\": {{\"tenants\": {cn}, \"spawned\": {csp}, \
          \"killed\": {ck}, \"admission_refusals\": {cr}, \"stale_lookups_typed\": {cs}, \
          \"slices\": {csl}, \"ok\": {cok}}},\n  \"pass\": {pass}\n}}\n",
+        sm = spawn_mode_from_args(),
         eng = engine_from_args().name(),
         mc = cost.ctx_switch_carat(),
         mt = cost.ctx_switch_traditional(),

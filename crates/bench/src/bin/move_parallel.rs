@@ -23,8 +23,8 @@ use std::time::Instant;
 use carat_bench::{print_table, scale_from_args};
 use carat_kernel::{PhysicalMemory, SimKernel};
 use carat_runtime::{
-    perform_move_workers, AllocKind, AllocationTable, CostModel, MemAccess, MoveOutcome,
-    MoveRequest,
+    perform_move_workers, set_parallel_min_cells, AllocKind, AllocationTable, CostModel, MemAccess,
+    MoveOutcome, MoveRequest,
 };
 use carat_workloads::Scale;
 
@@ -213,6 +213,78 @@ fn run_workers(d: &Dims, workers: usize) -> WorkerRun {
     }
 }
 
+struct CrossoverRun {
+    cells: usize,
+    ns_serial: f64,
+    ns_parallel: f64,
+}
+
+/// One crossover point: the same bounce-move fixture timed with the
+/// serial apply and with the 4-worker pooled apply, the parallel-path
+/// threshold forced to 1 so small plans take the pool too. The
+/// difference isolates per-apply dispatch overhead (exactly, on a
+/// single-core host, where the pool cannot win any scan time back) —
+/// the number `PARALLEL_MIN_CELLS` is derived from.
+fn run_crossover(n_allocs: usize, cells_per_alloc: usize, reps: usize) -> CrossoverRun {
+    let len = (n_allocs as u64 * ALLOC_SIZE).div_ceil(0x1000) * 0x1000;
+    let cost = CostModel::default();
+    let time_arm = |workers: usize| {
+        let mut mem = PhysicalMemory::new(MEM_SIZE);
+        let mut table = build_fixture(
+            &mut mem,
+            ALLOC_BASE,
+            ARENA_BASE,
+            n_allocs,
+            cells_per_alloc,
+            42,
+        );
+        let mut regs = fixture_regs(ALLOC_BASE, n_allocs);
+        let (mut here, mut there) = (ALLOC_BASE, MOVE_DST);
+        // Warm the pool (and caches) outside the timed window.
+        perform_move_workers(
+            &mut table,
+            &mut mem,
+            &mut regs,
+            MoveRequest {
+                src: here,
+                len,
+                dst: there,
+            },
+            &cost,
+            workers,
+        );
+        std::mem::swap(&mut here, &mut there);
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            perform_move_workers(
+                &mut table,
+                &mut mem,
+                &mut regs,
+                MoveRequest {
+                    src: here,
+                    len,
+                    dst: there,
+                },
+                &cost,
+                workers,
+            );
+            best = best.min(t0.elapsed().as_nanos() as f64);
+            std::mem::swap(&mut here, &mut there);
+        }
+        best
+    };
+    let ns_serial = time_arm(1);
+    let prev = set_parallel_min_cells(1);
+    let ns_parallel = time_arm(4);
+    set_parallel_min_cells(prev);
+    CrossoverRun {
+        cells: n_allocs * (cells_per_alloc + 1),
+        ns_serial,
+        ns_parallel,
+    }
+}
+
 struct BatchRun {
     batch: usize,
     stop_cycles_sequential: u64,
@@ -387,6 +459,58 @@ fn main() {
     };
     println!("Host wall-clock, 1w -> 4w: {host_speedup4:.2}x speedup: {host_verdict}");
 
+    // --- Crossover sweep: per-apply dispatch overhead of the pooled
+    // parallel path, measured against the serial apply on identical
+    // fixtures. On a single-core host the delta IS the dispatch cost;
+    // on a multi-core host large plans go negative (the pool wins).
+    println!();
+    let xover_reps = if matches!(scale, Scale::Test) { 3 } else { 7 };
+    let xruns: Vec<CrossoverRun> = [16usize, 32, 64, 128, 256]
+        .iter()
+        .map(|&n| run_crossover(n, 32, xover_reps))
+        .collect();
+    let mut xtable = Vec::new();
+    for x in &xruns {
+        xtable.push(vec![
+            format!("{}", x.cells),
+            format!("{:.0}", x.ns_serial),
+            format!("{:.0}", x.ns_parallel),
+            format!("{:+.1}", (x.ns_parallel - x.ns_serial) / 1000.0),
+        ]);
+    }
+    print_table(
+        &[
+            "plan cells",
+            "serial ns/apply",
+            "pooled-4w ns/apply",
+            "dispatch delta µs",
+        ],
+        &xtable,
+    );
+    // The fixed dispatch cost is the intercept of delta-vs-cells: on a
+    // single-core host the delta also carries a per-cell serialization
+    // term (worker scans cannot overlap, and cells bounce between
+    // caches), which the slope absorbs; on a multi-core host the slope
+    // goes negative as the pool wins scan time back. Either way the
+    // intercept estimates the constant per-apply overhead.
+    let n = xruns.len() as f64;
+    let (sc, sd, scd, scc) = xruns.iter().fold((0.0, 0.0, 0.0, 0.0), |acc, x| {
+        let (c, d) = (x.cells as f64, x.ns_parallel - x.ns_serial);
+        (acc.0 + c, acc.1 + d, acc.2 + c * d, acc.3 + c * c)
+    });
+    let slope = (n * scd - sc * sd) / (n * scc - sc * sc);
+    let dispatch_ns = ((sd - slope * sc) / n).max(0.0);
+    let per_cell = xruns.last().unwrap().ns_serial / xruns.last().unwrap().cells as f64;
+    let derived = dispatch_ns / (per_cell * 0.75);
+    println!(
+        "Pool dispatch overhead (fit intercept): {:.1} µs; serial scan {:.1} ns/cell; \
+         derived 4-worker break-even ≈ {:.0} cells (PARALLEL_MIN_CELLS = {})",
+        dispatch_ns / 1000.0,
+        per_cell,
+        derived,
+        carat_runtime::PARALLEL_MIN_CELLS,
+    );
+
     // --- Batch sweep ---
     println!();
     let batches: Vec<BatchRun> = d.batch_sizes.iter().map(|&k| run_batch(&d, k)).collect();
@@ -449,7 +573,21 @@ fn main() {
             if i + 1 < runs.len() { "," } else { "" },
         ));
     }
-    json.push_str("  ],\n  \"batch_sweep\": [\n");
+    json.push_str("  ],\n  \"crossover_sweep\": [\n");
+    for (i, x) in xruns.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"cells\": {}, \"ns_serial\": {:.0}, \"ns_parallel\": {:.0}}}{}\n",
+            x.cells,
+            x.ns_serial,
+            x.ns_parallel,
+            if i + 1 < xruns.len() { "," } else { "" },
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"pool_dispatch_overhead_ns\": {dispatch_ns:.0},\n  \
+         \"derived_break_even_cells\": {derived:.0},\n"
+    ));
+    json.push_str("  \"batch_sweep\": [\n");
     for (i, b) in batches.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"batch\": {}, \"stop_cycles_sequential\": {}, \"stop_cycles_batched\": {}, \

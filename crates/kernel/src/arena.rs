@@ -1,0 +1,418 @@
+//! The pooled capsule arena: slab-style, size-classed slot storage for
+//! externalized tenant capsules.
+//!
+//! Before this arena, every capsule externalization allocated a fresh
+//! host `Vec<u8>` and parked it in a `HashMap` — at 100k descheduled
+//! tenants that is 100k live host allocations plus per-entry map
+//! overhead, churned on every externalize/rehydrate cycle. The arena
+//! replaces that with power-of-two **size classes** over a slot slab:
+//!
+//! * a freed slot's buffer goes on its class's intrusive free list and
+//!   is reused by the next capsule of that class — steady-state
+//!   externalization churn performs **zero** host allocations;
+//! * slot ids are generation-tagged (like [`Pid`](crate::Pid)), so a
+//!   stale id from a killed tenant can never alias a successor's
+//!   capsule;
+//! * high-water accounting ([`ArenaStats`]) exposes the pool's true
+//!   footprint to the fleet bench (`BENCH_fleet.json` arena columns);
+//! * kill-time reap returns the victim's slot to the pool (tracked
+//!   separately as [`ArenaStats::reaps`]).
+//!
+//! The arena stores bytes plus the checksum the kernel computed; the
+//! checksum contract (FNV-1a verified on read, typed
+//! `KernelError::CapsuleCorrupt` on mismatch) stays in
+//! [`SimKernel`](crate::SimKernel), which owns fault injection.
+
+/// Smallest slot class, as a shift: 256-byte slots.
+const MIN_CLASS_SHIFT: u32 = 8;
+/// Number of power-of-two classes: 256 B … 2 GiB.
+const NUM_CLASSES: usize = 24;
+/// Free-list terminator.
+const NIL: u32 = u32::MAX;
+
+/// Pool accounting for the capsule arena. All counters are cumulative
+/// except the `*_live` pair; the high-water fields are monotone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Slots currently holding a live capsule.
+    pub slots_live: u64,
+    /// Bytes of live capsule images (stored lengths, not slot capacity).
+    pub bytes_live: u64,
+    /// Total buffer capacity the pool holds, live and free slots alike —
+    /// the arena's true host-memory footprint.
+    pub pooled_bytes: u64,
+    /// High-water mark of `pooled_bytes` (monotone: the pool never
+    /// shrinks, it only recycles).
+    pub high_water_bytes: u64,
+    /// High-water mark of `bytes_live`.
+    pub high_water_live_bytes: u64,
+    /// High-water mark of `slots_live`.
+    pub high_water_slots: u64,
+    /// Fresh host allocations (a store that found its class free list
+    /// empty).
+    pub allocs: u64,
+    /// Stores satisfied from a class free list — no host allocation.
+    pub reuses: u64,
+    /// Slots returned to the pool by consuming reads or explicit frees.
+    pub frees: u64,
+    /// Slots returned by kill-time reaping specifically (a subset
+    /// counted separately from `frees`).
+    pub reaps: u64,
+}
+
+/// One slab slot: a pooled buffer whose capacity is its class size.
+#[derive(Debug)]
+struct ArenaSlot {
+    /// Bumped on every free, so retired ids go stale instead of
+    /// aliasing the slot's next occupant.
+    generation: u32,
+    /// Next slot in this class's free list (`NIL` = end / live).
+    next_free: u32,
+    /// Size class index; fixed for the slot's lifetime.
+    class: u8,
+    /// Whether the slot holds a live capsule.
+    live: bool,
+    /// Checksum recorded by the kernel at store time.
+    checksum: u64,
+    /// The pooled buffer. While live, `data.len()` is the image length;
+    /// capacity stays at (at least) the class size across reuse.
+    data: Vec<u8>,
+}
+
+/// Slab of size-classed capsule slots with per-class free lists.
+#[derive(Debug)]
+pub struct CapsuleArena {
+    slots: Vec<ArenaSlot>,
+    /// Head of each class's intrusive free list.
+    free_heads: [u32; NUM_CLASSES],
+    stats: ArenaStats,
+}
+
+/// The class whose slot size (`256 << class`) covers `len` bytes.
+/// Oversize images (past the top class) share the top class, whose
+/// slots grow to fit — in practice capsules are a few KiB.
+fn class_of(len: usize) -> usize {
+    let rounded = len.max(1).next_power_of_two();
+    let shift = rounded.trailing_zeros().max(MIN_CLASS_SHIFT);
+    ((shift - MIN_CLASS_SHIFT) as usize).min(NUM_CLASSES - 1)
+}
+
+/// Slot capacity of `class`.
+fn class_size(class: usize) -> usize {
+    1usize << (MIN_CLASS_SHIFT as usize + class)
+}
+
+impl Default for CapsuleArena {
+    fn default() -> CapsuleArena {
+        CapsuleArena::new()
+    }
+}
+
+impl CapsuleArena {
+    /// An empty arena: no slots, nothing pooled.
+    pub fn new() -> CapsuleArena {
+        CapsuleArena {
+            slots: Vec::new(),
+            free_heads: [NIL; NUM_CLASSES],
+            stats: ArenaStats::default(),
+        }
+    }
+
+    /// Store `data` (and its kernel-computed `checksum`) in a pooled
+    /// slot of the matching size class, reusing a freed buffer when one
+    /// exists. Returns the generation-tagged slot id.
+    pub fn store(&mut self, data: &[u8], checksum: u64) -> u64 {
+        let class = class_of(data.len());
+        let idx = match self.free_heads[class] {
+            NIL => {
+                let cap = class_size(class).max(data.len());
+                self.slots.push(ArenaSlot {
+                    generation: 0,
+                    next_free: NIL,
+                    class: class as u8,
+                    live: false,
+                    checksum: 0,
+                    data: Vec::with_capacity(cap),
+                });
+                self.stats.allocs += 1;
+                self.stats.pooled_bytes += cap as u64;
+                (self.slots.len() - 1) as u32
+            }
+            head => {
+                self.free_heads[class] = self.slots[head as usize].next_free;
+                self.stats.reuses += 1;
+                head
+            }
+        };
+        let slot = &mut self.slots[idx as usize];
+        debug_assert!(!slot.live, "free list handed out a live slot");
+        slot.next_free = NIL;
+        slot.data.clear();
+        if slot.data.capacity() < data.len() {
+            // Only reachable for top-class oversize images: the slot
+            // grows and the pool footprint grows with it.
+            let grow = (data.len() - slot.data.capacity()) as u64;
+            self.stats.pooled_bytes += grow;
+            slot.data.reserve_exact(data.len() - slot.data.capacity());
+        }
+        slot.data.extend_from_slice(data);
+        slot.checksum = checksum;
+        slot.live = true;
+        let id = ((slot.generation as u64) << 32) | idx as u64;
+        self.stats.slots_live += 1;
+        self.stats.bytes_live += data.len() as u64;
+        self.stats.high_water_bytes = self.stats.high_water_bytes.max(self.stats.pooled_bytes);
+        self.stats.high_water_live_bytes =
+            self.stats.high_water_live_bytes.max(self.stats.bytes_live);
+        self.stats.high_water_slots = self.stats.high_water_slots.max(self.stats.slots_live);
+        id
+    }
+
+    /// Resolve `id` to its slab index when it names a live capsule.
+    fn resolve(&self, id: u64) -> Option<usize> {
+        let idx = (id & 0xFFFF_FFFF) as usize;
+        let generation = (id >> 32) as u32;
+        let slot = self.slots.get(idx)?;
+        (slot.live && slot.generation == generation).then_some(idx)
+    }
+
+    /// Copy the capsule at `id` into `out` (cleared first, capacity
+    /// reused) and free the slot — a rehydrate is a move, not a copy.
+    /// Returns the stored checksum, or `None` for a stale or
+    /// never-issued id (the slot is untouched in that case).
+    pub fn read_consume(&mut self, id: u64, out: &mut Vec<u8>) -> Option<u64> {
+        let idx = self.resolve(id)?;
+        out.clear();
+        out.extend_from_slice(&self.slots[idx].data);
+        let checksum = self.slots[idx].checksum;
+        self.release(idx, false);
+        Some(checksum)
+    }
+
+    /// Free the capsule at `id` without reading it. `reap` marks the
+    /// free as kill-time reaping in the stats. Returns whether the id
+    /// was live.
+    pub fn free(&mut self, id: u64, reap: bool) -> bool {
+        match self.resolve(id) {
+            Some(idx) => {
+                self.release(idx, reap);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Return slot `idx` to its class free list with a bumped
+    /// generation.
+    fn release(&mut self, idx: usize, reap: bool) {
+        let class = {
+            let slot = &mut self.slots[idx];
+            slot.live = false;
+            slot.generation = slot.generation.wrapping_add(1);
+            slot.checksum = 0;
+            self.stats.slots_live -= 1;
+            self.stats.bytes_live -= slot.data.len() as u64;
+            slot.class as usize
+        };
+        self.slots[idx].next_free = self.free_heads[class];
+        self.free_heads[class] = idx as u32;
+        self.stats.frees += 1;
+        if reap {
+            self.stats.reaps += 1;
+        }
+    }
+
+    /// Flip a stored byte of the capsule at `id` (its middle byte; an
+    /// empty image flips the checksum instead) — the disk-corruption
+    /// test hook. Returns whether the id was live.
+    pub fn corrupt(&mut self, id: u64) -> bool {
+        let Some(idx) = self.resolve(id) else {
+            return false;
+        };
+        let slot = &mut self.slots[idx];
+        let mid = slot.data.len() / 2;
+        match slot.data.get_mut(mid) {
+            Some(b) => *b ^= 0xFF,
+            None => slot.checksum ^= 1,
+        }
+        true
+    }
+
+    /// Live capsules in the arena.
+    pub fn count(&self) -> usize {
+        self.stats.slots_live as usize
+    }
+
+    /// Bytes of live capsule images.
+    pub fn bytes(&self) -> u64 {
+        self.stats.bytes_live
+    }
+
+    /// The pool accounting snapshot.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn classes_round_up_to_powers_of_two() {
+        assert_eq!(class_of(0), 0);
+        assert_eq!(class_of(1), 0);
+        assert_eq!(class_of(256), 0);
+        assert_eq!(class_of(257), 1);
+        assert_eq!(class_of(512), 1);
+        assert_eq!(class_of(4096), 4);
+        assert_eq!(class_size(0), 256);
+        assert_eq!(class_size(4), 4096);
+        // Oversize clamps to the top class instead of indexing past it.
+        assert_eq!(class_of(usize::MAX / 4), NUM_CLASSES - 1);
+    }
+
+    #[test]
+    fn store_read_round_trips_and_recycles() {
+        let mut a = CapsuleArena::new();
+        let image = vec![7u8; 1000];
+        let id = a.store(&image, 42);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.bytes(), 1000);
+        let mut out = Vec::new();
+        assert_eq!(a.read_consume(id, &mut out), Some(42));
+        assert_eq!(out, image);
+        assert_eq!(a.count(), 0);
+        // The id went stale with the free.
+        assert_eq!(a.read_consume(id, &mut out), None);
+        assert!(!a.free(id, false));
+        // Same-class store reuses the slot buffer: no fresh allocation.
+        let before = a.stats();
+        let id2 = a.store(&[1u8; 900], 1);
+        let after = a.stats();
+        assert_eq!(after.allocs, before.allocs, "free-listed buffer reused");
+        assert_eq!(after.reuses, before.reuses + 1);
+        assert_eq!(after.pooled_bytes, before.pooled_bytes, "pool did not grow");
+        assert_ne!(id2, id, "recycled slot carries a new generation");
+    }
+
+    #[test]
+    fn kill_time_reap_is_counted() {
+        let mut a = CapsuleArena::new();
+        let id = a.store(&[3u8; 64], 9);
+        assert!(a.free(id, true));
+        assert_eq!(a.stats().reaps, 1);
+        assert_eq!(a.stats().frees, 1);
+        assert_eq!(a.count(), 0);
+    }
+
+    #[test]
+    fn corrupt_flips_payload_or_checksum() {
+        let mut a = CapsuleArena::new();
+        let id = a.store(&[5u8; 10], 11);
+        assert!(a.corrupt(id));
+        let mut out = Vec::new();
+        a.read_consume(id, &mut out).unwrap();
+        assert_eq!(out[5], 5 ^ 0xFF);
+        // Empty image: the checksum takes the flip.
+        let id = a.store(&[], 100);
+        assert!(a.corrupt(id));
+        assert_eq!(a.read_consume(id, &mut Vec::new()), Some(101));
+        assert!(!a.corrupt(id), "stale id refuses");
+    }
+
+    proptest! {
+        /// Arena vs a naive map model under random store/read/free/reap
+        /// interleavings: contents and checksums always match, stale ids
+        /// never resolve (no slot aliasing), high-water marks are
+        /// monotone, and a final full reap leaves zero live bytes while
+        /// the pool keeps every buffer for reuse.
+        #[test]
+        fn arena_matches_model_under_churn(
+            ops in proptest::collection::vec((0u8..4, 0usize..8, 1usize..3000), 1..200)
+        ) {
+            let mut a = CapsuleArena::new();
+            let mut model: HashMap<u64, (Vec<u8>, u64)> = HashMap::new();
+            let mut retired: Vec<u64> = Vec::new();
+            let mut seq = 0u8;
+            let mut hw = (0u64, 0u64, 0u64);
+            for (op, pick, len) in ops {
+                let live: Vec<u64> = model.keys().copied().collect();
+                match op {
+                    // store
+                    0 => {
+                        seq = seq.wrapping_add(1);
+                        let image = vec![seq; len];
+                        let id = a.store(&image, seq as u64);
+                        prop_assert!(!model.contains_key(&id), "live id reissued");
+                        prop_assert!(!retired.contains(&id), "retired id reissued");
+                        model.insert(id, (image, seq as u64));
+                    }
+                    // consuming read
+                    1 if !live.is_empty() => {
+                        let id = live[pick % live.len()];
+                        let (image, checksum) = model.remove(&id).unwrap();
+                        let mut out = Vec::new();
+                        prop_assert_eq!(a.read_consume(id, &mut out), Some(checksum));
+                        prop_assert_eq!(out, image);
+                        retired.push(id);
+                    }
+                    // free / reap
+                    2 | 3 if !live.is_empty() => {
+                        let id = live[pick % live.len()];
+                        model.remove(&id);
+                        prop_assert!(a.free(id, op == 3));
+                        retired.push(id);
+                    }
+                    _ => {}
+                }
+                // Stale ids never alias a successor.
+                for id in &retired {
+                    prop_assert!(a.read_consume(*id, &mut Vec::new()).is_none());
+                }
+                let s = a.stats();
+                prop_assert_eq!(s.slots_live, model.len() as u64);
+                prop_assert_eq!(
+                    s.bytes_live,
+                    model.values().map(|(v, _)| v.len() as u64).sum::<u64>()
+                );
+                prop_assert!(s.pooled_bytes >= s.bytes_live);
+                // High-water marks are monotone.
+                prop_assert!(s.high_water_bytes >= hw.0);
+                prop_assert!(s.high_water_live_bytes >= hw.1);
+                prop_assert!(s.high_water_slots >= hw.2);
+                prop_assert!(s.high_water_bytes >= s.pooled_bytes);
+                hw = (s.high_water_bytes, s.high_water_live_bytes, s.high_water_slots);
+            }
+            // Kill-time reap completes: every live capsule freed, zero
+            // live bytes, pool footprint intact for the next tenant.
+            let pooled = a.stats().pooled_bytes;
+            for id in model.keys() {
+                prop_assert!(a.free(*id, true));
+            }
+            prop_assert_eq!(a.count(), 0);
+            prop_assert_eq!(a.bytes(), 0);
+            prop_assert_eq!(a.stats().pooled_bytes, pooled, "reap keeps buffers pooled");
+        }
+
+        /// Steady-state externalize/rehydrate churn at a fixed class is
+        /// allocation-free after the first cycle.
+        #[test]
+        fn steady_state_churn_allocates_nothing(rounds in 1usize..40, len in 300usize..700) {
+            let mut a = CapsuleArena::new();
+            let image = vec![9u8; len];
+            let first = a.store(&image, 1);
+            let mut out = Vec::new();
+            a.read_consume(first, &mut out);
+            let baseline = a.stats().allocs;
+            for i in 0..rounds {
+                let id = a.store(&image, i as u64);
+                a.read_consume(id, &mut out);
+            }
+            prop_assert_eq!(a.stats().allocs, baseline, "churn hit the free list every time");
+            prop_assert_eq!(a.stats().reuses as usize, rounds);
+        }
+    }
+}

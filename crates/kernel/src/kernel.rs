@@ -2,6 +2,7 @@
 //! paging baseline, and the CARAT move/protection orchestration (paper
 //! §4.3 — the kernel module's role).
 
+use crate::arena::{ArenaStats, CapsuleArena};
 use crate::buddy::BuddyAllocator;
 use crate::dev::{DeviceBay, DmaCompletion, DmaDir, DmaError, DmaRequest};
 use crate::faults::{FaultPlan, FaultPoint, KernelError};
@@ -69,12 +70,14 @@ pub struct SimKernel {
     /// [`SWAP_SLOT_STRIDE`].
     next_swap_slot: u64,
     free_swap_slots: BTreeSet<u64>,
-    /// Externalized tenant capsules by slot id: checksummed serialized
-    /// `TenantState` images parked in the simulated swap device. The
-    /// checksum is verified on read, so a corrupted image surfaces as a
-    /// typed (recoverable) error instead of a poisoned rehydrate.
-    capsules: HashMap<u64, CapsuleEntry>,
-    next_capsule_slot: u64,
+    /// Externalized tenant capsules: checksummed serialized
+    /// `TenantState` images parked in the pooled, size-classed capsule
+    /// arena backing the simulated swap device. The checksum is
+    /// verified on read, so a corrupted image surfaces as a typed
+    /// (recoverable) error instead of a poisoned rehydrate. Slot ids
+    /// are generation-tagged, so a killed tenant's stale id can never
+    /// alias its successor's capsule.
+    capsules: CapsuleArena,
     /// Last page passed to [`SimKernel::demand_touch`] — a one-entry
     /// cache shortcutting the per-access touched-set probe.
     last_touched_page: u64,
@@ -208,14 +211,6 @@ struct SwapEntry {
     data: Vec<u8>,
 }
 
-/// One externalized tenant capsule: the serialized image plus the
-/// FNV-1a checksum taken when it was written.
-#[derive(Debug, Clone)]
-struct CapsuleEntry {
-    checksum: u64,
-    data: Vec<u8>,
-}
-
 /// FNV-1a 64-bit hash over `data` — the capsule checksum.
 pub fn fnv1a(data: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -318,8 +313,7 @@ impl SimKernel {
             swap: HashMap::new(),
             next_swap_slot: 0,
             free_swap_slots: BTreeSet::new(),
-            capsules: HashMap::new(),
-            next_capsule_slot: 0,
+            capsules: CapsuleArena::new(),
             last_touched_page: u64::MAX,
             trusted: Vec::new(),
             faults: None,
@@ -464,28 +458,36 @@ impl SimKernel {
     /// Park a serialized tenant capsule in the simulated swap device.
     /// The checksum is taken here, over exactly the bytes stored; a later
     /// [`SimKernel::capsule_read`] verifies it before handing the image
-    /// back. Consumes a fresh slot id and returns it.
+    /// back. The bytes land in a pooled arena slot (reusing a freed
+    /// buffer of the same size class when one exists) and the
+    /// generation-tagged slot id is returned. The caller keeps ownership
+    /// of `data` — steady-state externalization churn with a pooled
+    /// scratch buffer performs zero host allocations.
     ///
     /// # Errors
     ///
     /// [`KernelError::CapsuleWriteFailed`] when the injected
     /// [`FaultPoint::CapsuleWrite`] fires — the write never happened, no
     /// slot id is consumed, and the tenant stays resident.
-    pub fn capsule_write(&mut self, data: Vec<u8>) -> Result<u64, KernelError> {
+    pub fn capsule_write_from(&mut self, data: &[u8]) -> Result<u64, KernelError> {
         if self.fire(FaultPoint::CapsuleWrite) {
             return Err(KernelError::CapsuleWriteFailed {
                 len: data.len() as u64,
             });
         }
-        let slot = self.next_capsule_slot;
-        self.next_capsule_slot += 1;
-        let checksum = fnv1a(&data);
-        self.capsules.insert(slot, CapsuleEntry { checksum, data });
-        Ok(slot)
+        let checksum = fnv1a(data);
+        Ok(self.capsules.store(data, checksum))
     }
 
-    /// Take capsule `slot` back out of the swap device, verifying its
-    /// checksum. The slot is consumed either way: a rehydrate is a move,
+    /// [`SimKernel::capsule_write_from`] for callers that already hold
+    /// an owned buffer.
+    pub fn capsule_write(&mut self, data: Vec<u8>) -> Result<u64, KernelError> {
+        self.capsule_write_from(&data)
+    }
+
+    /// Take capsule `slot` back out of the swap device into `out`
+    /// (cleared first; its capacity is reused), verifying the checksum.
+    /// The arena slot is consumed either way: a rehydrate is a move,
     /// not a copy, and a corrupted image is useless — the caller's only
     /// recovery is respawn-from-image, so holding the bytes would only
     /// leak them.
@@ -496,55 +498,59 @@ impl SimKernel {
     /// already consumed; [`KernelError::CapsuleCorrupt`] when the stored
     /// image fails its checksum (disk corruption, or the injected
     /// [`FaultPoint::CapsuleCorrupt`] flipping a byte).
-    pub fn capsule_read(&mut self, slot: u64) -> Result<Vec<u8>, KernelError> {
-        let Some(mut entry) = self.capsules.remove(&slot) else {
+    pub fn capsule_read_into(&mut self, slot: u64, out: &mut Vec<u8>) -> Result<(), KernelError> {
+        let Some(mut checksum) = self.capsules.read_consume(slot, out) else {
             return Err(KernelError::CapsuleMissing { slot });
         };
         if self.fire(FaultPoint::CapsuleCorrupt) {
-            let mid = entry.data.len() / 2;
-            match entry.data.get_mut(mid) {
+            let mid = out.len() / 2;
+            match out.get_mut(mid) {
                 Some(b) => *b ^= 0xFF,
                 // An empty image has no byte to flip; corrupt the
                 // recorded checksum instead.
-                None => entry.checksum ^= 1,
+                None => checksum ^= 1,
             }
         }
-        if fnv1a(&entry.data) != entry.checksum {
+        if fnv1a(out) != checksum {
             return Err(KernelError::CapsuleCorrupt { slot });
         }
-        Ok(entry.data)
+        Ok(())
     }
 
-    /// Drop capsule `slot` without reading it (its tenant was killed).
-    /// Returns whether the slot was live.
+    /// [`SimKernel::capsule_read_into`] returning a fresh buffer.
+    pub fn capsule_read(&mut self, slot: u64) -> Result<Vec<u8>, KernelError> {
+        let mut out = Vec::new();
+        self.capsule_read_into(slot, &mut out)?;
+        Ok(out)
+    }
+
+    /// Reap capsule `slot` without reading it (its tenant was killed);
+    /// the slot's buffer returns to the arena pool. Returns whether the
+    /// slot was live.
     pub fn capsule_free(&mut self, slot: u64) -> bool {
-        self.capsules.remove(&slot).is_some()
+        self.capsules.free(slot, true)
     }
 
     /// Number of capsules currently parked in the swap device.
     pub fn capsule_count(&self) -> usize {
-        self.capsules.len()
+        self.capsules.count()
     }
 
     /// Total bytes of parked capsule images.
     pub fn capsule_bytes(&self) -> u64 {
-        self.capsules.values().map(|e| e.data.len() as u64).sum()
+        self.capsules.bytes()
+    }
+
+    /// Pool accounting for the capsule arena: live/pooled bytes,
+    /// high-water marks, and alloc/reuse/reap counters.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.capsules.stats()
     }
 
     /// Test hook: corrupt capsule `slot` by flipping a stored byte, as a
     /// disk error would. Returns whether the slot existed.
     pub fn debug_corrupt_capsule(&mut self, slot: u64) -> bool {
-        match self.capsules.get_mut(&slot) {
-            Some(e) => {
-                let mid = e.data.len() / 2;
-                match e.data.get_mut(mid) {
-                    Some(b) => *b ^= 0xFF,
-                    None => e.checksum ^= 1,
-                }
-                true
-            }
-            None => false,
-        }
+        self.capsules.corrupt(slot)
     }
 
     /// The slot id the next page-out would use, without consuming it:
@@ -884,6 +890,34 @@ impl SimKernel {
         cfg: LoadConfig,
     ) -> Result<ProcessImage, LoadError> {
         let img = crate::loader::load_shared(module, &mut self.mem, &mut self.buddy, table, cfg)?;
+        self.install_image(&img);
+        Ok(img)
+    }
+
+    /// [`SimKernel::load_shared`] for a module already verified and
+    /// measured by a batch admission pass — skips `verify_module` and
+    /// the `print_module` length walk. `text_len` must be the value the
+    /// sequential path would compute, so the stamped image is
+    /// bit-identical to its sequential counterpart.
+    ///
+    /// # Errors
+    ///
+    /// See [`LoadError`] (out-of-memory only on this path).
+    pub fn load_shared_preverified(
+        &mut self,
+        module: std::rc::Rc<Module>,
+        text_len: u64,
+        table: &mut AllocationTable,
+        cfg: LoadConfig,
+    ) -> Result<ProcessImage, LoadError> {
+        let img = crate::loader::load_shared_preverified(
+            module,
+            text_len,
+            &mut self.mem,
+            &mut self.buddy,
+            table,
+            cfg,
+        )?;
         self.install_image(&img);
         Ok(img)
     }

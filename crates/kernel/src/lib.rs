@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+mod arena;
 mod buddy;
 pub mod dev;
 mod faults;
@@ -44,6 +45,7 @@ mod phys;
 mod proc;
 mod trace;
 
+pub use arena::ArenaStats;
 pub use buddy::{BuddyAllocator, BuddyError};
 pub use dev::{
     ClintTimer, DeviceBay, DmaCompletion, DmaDevice, DmaDir, DmaError, DmaRequest, DmaStats,
@@ -51,7 +53,10 @@ pub use dev::{
 };
 pub use faults::{FaultPlan, FaultPoint, KernelError};
 pub use kernel::{fnv1a, PinError, PinStats, SimKernel, POISON_BASE, POISON_SLOT_SPAN};
-pub use loader::{load_shared, load_signed, load_unsigned, LoadConfig, LoadError, ProcessImage};
+pub use loader::{
+    load_shared, load_shared_preverified, load_signed, load_unsigned, LoadConfig, LoadError,
+    ProcessImage,
+};
 pub use pagetable::{PageTable, Pte, Walk};
 pub use phys::PhysicalMemory;
 pub use proc::{

@@ -215,6 +215,28 @@ pub fn load_shared(
     load_image(module, text_len, mem, buddy, table, cfg)
 }
 
+/// [`load_shared`] for a module the caller has **already verified and
+/// measured** — the batch-admission stamp path, where one verification
+/// pass covers N tenants. `text_len` must be the
+/// `carat_ir::print_module` length of this module (the batch entry point
+/// computes it once); passing the same value the sequential path would
+/// compute keeps per-tenant images bit-identical between the two paths.
+///
+/// # Errors
+///
+/// [`LoadError::OutOfMemory`]. Verification errors cannot occur here —
+/// that is the point.
+pub fn load_shared_preverified(
+    module: Rc<Module>,
+    text_len: u64,
+    mem: &mut PhysicalMemory,
+    buddy: &mut BuddyAllocator,
+    table: &mut AllocationTable,
+    cfg: LoadConfig,
+) -> Result<ProcessImage, LoadError> {
+    load_image(module, text_len, mem, buddy, table, cfg)
+}
+
 fn load_image(
     module: Rc<Module>,
     text_len: u64,

@@ -733,9 +733,27 @@ impl ProcTable {
     /// table's O(1) reverse-map count. Deterministic: ties resolve to the
     /// earliest queue position.
     pub fn pick_compaction_victim(&self) -> Option<Pid> {
+        self.pick_compaction_victim_bounded(0).0
+    }
+
+    /// [`ProcTable::pick_compaction_victim`] with the walk bounded to
+    /// the first `limit` run-queue entries (`0` = unbounded). Because
+    /// [`ProcTable::next_runnable`] rotates the queue every slice, the
+    /// bounded window is a moving clock hand over the runnable set —
+    /// each pressure pass examines a different stretch, and every tenant
+    /// is examined within `runnable / limit` passes. With `limit >=`
+    /// the runnable count this is exactly the full walk. Returns the
+    /// victim and the number of queue entries examined (the pressure
+    /// pass's modeled scan charge).
+    pub fn pick_compaction_victim_bounded(&self, limit: usize) -> (Option<Pid>, usize) {
         let mut best: Option<(Pid, usize)> = None;
+        let mut examined = 0usize;
         let mut idx = self.rq_head;
         while idx != NIL {
+            if limit != 0 && examined >= limit {
+                break;
+            }
+            examined += 1;
             let slot = &self.slots[idx as usize];
             if let Some(e) = slot.entry.as_ref() {
                 if matches!(e.state, ProcState::Runnable) {
@@ -749,7 +767,7 @@ impl ProcTable {
             }
             idx = slot.next;
         }
-        best.map(|(pid, _)| pid)
+        (best.map(|(pid, _)| pid), examined)
     }
 }
 

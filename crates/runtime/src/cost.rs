@@ -94,6 +94,24 @@ pub struct CostModel {
     /// shard to a core and joining it at the patch barrier.
     pub patch_fork_join_per_worker: u64,
 
+    // --- fleet admission + pressure scanning ---
+    /// Verifying an admission image: signature walk plus IR
+    /// verification. Paid once per admission *pass* — every spawn pays
+    /// it sequentially; `MultiVm::spawn_batch` pays it once for the
+    /// whole batch (the amortization that makes batch admission win).
+    pub admit_verify: u64,
+    /// Quota/backpressure bookkeeping per admission pass (also amortized
+    /// to one charge per batch).
+    pub admit_quota: u64,
+    /// Stamping one tenant: capsule layout, zeroing, the initial patch,
+    /// and the slab insert. Paid per tenant on both admission paths.
+    pub admit_stamp: u64,
+    /// Examining one fleet slot during an epoch-based pressure sweep
+    /// (clock-hand advance + coldness compare). The sweep touches a
+    /// bounded number of slots per pass, so per-slice pressure cost is
+    /// `limit * this`, independent of fleet size.
+    pub pressure_scan_per_slot: u64,
+
     // --- context switches (multi-process scheduling) ---
     /// Mode-independent switch overhead: trap entry, scheduler pick,
     /// callee-saved register save/restore, return to user.
@@ -165,6 +183,10 @@ impl Default for CostModel {
             move_copy_per_byte_milli: 250, // 0.25 cycles/byte
             patch_workers: 1,
             patch_fork_join_per_worker: 800,
+            admit_verify: 18_000,
+            admit_quota: 300,
+            admit_stamp: 1_400,
+            pressure_scan_per_slot: 12,
             ctx_switch_fixed: 250,
             ctx_switch_region_swap: 30,
             tlb_flush: 500,
@@ -223,6 +245,18 @@ impl CostModel {
     /// Number of 4KiB pages covering `bytes`.
     pub fn pages(&self, bytes: u64) -> u64 {
         bytes.div_ceil(self.page_size)
+    }
+
+    /// Modeled cycles to admit `n` tenants one spawn at a time: every
+    /// spawn re-verifies the image and re-runs the quota pass.
+    pub fn admit_sequential_cost(&self, n: u64) -> u64 {
+        n * (self.admit_verify + self.admit_quota + self.admit_stamp)
+    }
+
+    /// Modeled cycles to admit `n` tenants in one batch pass: one
+    /// verify, one quota pass, `n` stamps.
+    pub fn admit_batch_cost(&self, n: u64) -> u64 {
+        self.admit_verify + self.admit_quota + n * self.admit_stamp
     }
 
     /// Cycles for a CARAT-mode context switch: the fixed trap/scheduler
@@ -349,6 +383,17 @@ mod tests {
         let c = CostModel::default();
         assert_eq!(c.dma_cost(0), c.dma_setup);
         assert!(c.dma_cost(65536) > c.dma_cost(4096));
+    }
+
+    #[test]
+    fn batch_admission_amortizes_verification() {
+        let c = CostModel::default();
+        // The acceptance bar: >=5x cheaper than sequential at n=10k.
+        assert!(c.admit_sequential_cost(10_000) >= 5 * c.admit_batch_cost(10_000));
+        // Even small batches win once the verify dominates.
+        assert!(c.admit_sequential_cost(10) >= 5 * c.admit_batch_cost(10));
+        // A batch of one still pays the full pass — no free lunch.
+        assert_eq!(c.admit_batch_cost(1), c.admit_sequential_cost(1));
     }
 
     #[test]

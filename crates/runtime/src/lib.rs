@@ -42,11 +42,11 @@ pub use alloc_table::{AllocInfo, AllocKind, AllocationTable, TrackStats};
 pub use cost::CostModel;
 pub use fast_hash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use patch::{
-    check_unpinned, expand_to_allocations, perform_move, perform_move_alloc_granular,
-    perform_move_batch_journaled, perform_move_journaled, perform_move_workers,
-    perform_shared_move_journaled, ExpandVeto, MemAccess, MoveCostBreakdown, MoveError,
-    MoveInterrupted, MoveOutcome, MovePhase, MoveRequest, PatchMem, PatchPlan, PinnedRange,
-    PlannedPatch, PARALLEL_MIN_CELLS,
+    check_unpinned, expand_to_allocations, parallel_min_cells, perform_move,
+    perform_move_alloc_granular, perform_move_batch_journaled, perform_move_journaled,
+    perform_move_workers, perform_shared_move_journaled, set_parallel_min_cells, ExpandVeto,
+    MemAccess, MoveCostBreakdown, MoveError, MoveInterrupted, MoveOutcome, MovePhase, MoveRequest,
+    PatchMem, PatchPlan, PinnedRange, PlannedPatch, PARALLEL_MIN_CELLS,
 };
 pub use rbtree::RbTree;
 pub use region::{Access, GuardCheck, GuardImpl, Perms, Region, RegionTable};

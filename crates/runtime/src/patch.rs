@@ -18,9 +18,11 @@
 //! allocation table with pure reads, then applied over raw memory. The
 //! apply step is embarrassingly parallel (the paper notes patching is a
 //! data-parallel scan over escape cells): the plan is sharded
-//! *deterministically by cell index* across `std::thread::scope` workers,
-//! and per-shard journals are merged in shard order, so memory state,
-//! counters, and rollback are byte-identical at every worker count.
+//! *deterministically by cell index* across a persistent worker pool
+//! (workers park on a job queue between applies — no per-apply
+//! fork/join), and per-shard journals are merged in shard order, so
+//! memory state, counters, and rollback are byte-identical at every
+//! worker count.
 //!
 //! Every phase reports counts so the caller can convert to cycles with the
 //! [`CostModel`](crate::cost::CostModel) — this is the raw material of
@@ -30,6 +32,7 @@ use crate::alloc_table::AllocationTable;
 use crate::cost::CostModel;
 use crate::fast_hash::FastSet;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Memory access interface the engine uses to read/patch/copy simulated
 /// physical memory. Implemented by the kernel's physical memory.
@@ -310,19 +313,39 @@ pub struct PlannedPatch {
     pub owner: u64,
 }
 
-/// Below this many cells a parallel apply is not attempted: host thread
-/// fork/join overwhelms the scan (the cost model charges the analogous
-/// `patch_fork_join_per_worker`). Results are identical either way.
+/// Below this many cells a parallel apply is not attempted: host
+/// dispatch overhead overwhelms the scan (the cost model charges the
+/// analogous `patch_fork_join_per_worker`). Results are identical either
+/// way.
 ///
-/// Set from measurement, not intuition: `BENCH_moves.json` puts the
-/// serial apply at ~18–42 ns/cell and the 4-worker arm at a 0.32× host
-/// "speedup" on a 2112-cell plan — fork/join plus scheduling overhead
-/// (~80 µs and up per move) swamps sub-millisecond scans. With an ideal
-/// 4× parallel scan, break-even lands near `80 µs / (18 ns × 0.75)` ≈
-/// 5.9k cells; the next power of two keeps the serial path for every
-/// plan measured to lose and only forks on plans big enough to amortize
-/// the spawn cost (see EXPERIMENTS.md, "Parallel move engine").
-pub const PARALLEL_MIN_CELLS: usize = 8192;
+/// Set from measurement, not intuition — and re-measured when the
+/// dispatch mechanism changed. The original `thread::scope` engine paid
+/// ~80 µs fork/join per apply; at ~18 ns/cell serial and an ideal 4×
+/// scan that broke even near `80 µs / (18 ns × 0.75)` ≈ 5.9k cells,
+/// rounded up to 8192. The persistent worker pool replaced the per-apply
+/// fork/join with a channel send + parked-thread wakeup: `move_parallel`'s
+/// crossover sweep puts the fixed per-apply dispatch cost (intercept of
+/// the delta-vs-cells fit) at ~23 µs on the reference host — break-even
+/// `≈ 23 µs / (22 ns × 0.75)` ≈ 1.4k cells, rounded up to the next
+/// power of two (see EXPERIMENTS.md, "Parallel move engine").
+pub const PARALLEL_MIN_CELLS: usize = 2048;
+
+static PARALLEL_MIN: AtomicUsize = AtomicUsize::new(PARALLEL_MIN_CELLS);
+
+/// The live parallel-apply threshold, in cells (defaults to
+/// [`PARALLEL_MIN_CELLS`]).
+pub fn parallel_min_cells() -> usize {
+    PARALLEL_MIN.load(Ordering::Relaxed)
+}
+
+/// Override the parallel-apply threshold — benchmark machinery: the
+/// crossover sweep forces the parallel path onto small plans to measure
+/// pool dispatch overhead, and a host-tuned harness can install its own
+/// measured break-even. Returns the previous value. `0` is clamped to 1
+/// (a zero threshold would parallelize empty plans).
+pub fn set_parallel_min_cells(n: usize) -> usize {
+    PARALLEL_MIN.swap(n.max(1), Ordering::Relaxed)
+}
 
 /// The flat patch plan for one move: every cell rewrite, precomputed from
 /// the allocation table(s) with pure reads, plus the affected allocation
@@ -346,10 +369,124 @@ pub struct PatchPlan {
 }
 
 /// Raw cell pointer that may cross into a worker thread. Safety is
-/// argued at the spawn site: every shard writes pairwise-disjoint 8-byte
-/// windows and nothing else touches the backing store during the scope.
+/// argued at the dispatch site: every shard writes pairwise-disjoint
+/// 8-byte windows and nothing else touches the backing store until
+/// every dispatched shard has replied.
 struct SendPtr(*mut u8);
 unsafe impl Send for SendPtr {}
+
+/// Apply one shard of a patch plan: capture old bytes when journaling,
+/// then write each cell's precomputed new value. The per-worker half of
+/// [`PatchPlan::apply`]'s parallel path; the safety argument lives at
+/// the dispatch site.
+fn apply_shard(shard: Vec<(SendPtr, u64, u64)>, journaling: bool) -> Vec<(u64, u64)> {
+    let mut seg = Vec::with_capacity(if journaling { shard.len() } else { 0 });
+    for (SendPtr(ptr), new, cell) in shard {
+        if journaling {
+            let mut b = [0u8; 8];
+            unsafe { std::ptr::copy_nonoverlapping(ptr, b.as_mut_ptr(), 8) };
+            seg.push((cell, u64::from_le_bytes(b)));
+        }
+        let bytes = new.to_le_bytes();
+        unsafe { std::ptr::copy_nonoverlapping(bytes.as_ptr(), ptr, 8) };
+    }
+    seg
+}
+
+/// The persistent patch worker pool. `std::thread::scope` paid a
+/// fork/join (~80 µs on the reference host) on EVERY parallel apply —
+/// under fleet-scale pressure compaction that tax recurs per move. The
+/// pool parks its workers on a shared job queue across applies instead:
+/// dispatch is a channel send, and the barrier `thread::scope` provided
+/// is re-created by the caller blocking on every shard's reply before
+/// touching memory again. Workers are spawned on demand up to the
+/// largest worker count any apply has requested, then live for the
+/// process (parked on `recv`, costing nothing while idle).
+mod pool {
+    use super::{apply_shard, SendPtr};
+    use std::sync::mpsc::{channel, Receiver, Sender};
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    /// One dispatched shard plus the reply channel its caller blocks on.
+    struct Job {
+        shard: Vec<(SendPtr, u64, u64)>,
+        journaling: bool,
+        reply: Sender<Vec<(u64, u64)>>,
+    }
+
+    struct PatchPool {
+        queue: Sender<Job>,
+        /// Workers share one receiver behind a mutex (idle workers block
+        /// in `recv`, so a job is taken by exactly one).
+        intake: Arc<Mutex<Receiver<Job>>>,
+        spawned: usize,
+    }
+
+    static POOL: OnceLock<Mutex<PatchPool>> = OnceLock::new();
+
+    fn worker_loop(intake: Arc<Mutex<Receiver<Job>>>) {
+        loop {
+            // Take the next job; holding the lock only across the recv
+            // keeps other workers free to take the following one.
+            let job = {
+                let guard = intake.lock().expect("patch pool intake poisoned");
+                guard.recv()
+            };
+            let Ok(job) = job else {
+                return;
+            };
+            let seg = apply_shard(job.shard, job.journaling);
+            // A dropped reply receiver means the caller is gone
+            // (panicking); nothing to do with the segment.
+            let _ = job.reply.send(seg);
+        }
+    }
+
+    /// Ship `shards` to the pool, growing it if this apply wants more
+    /// workers than any before. Returns one reply receiver per shard,
+    /// in shard order — the caller MUST block on every one before
+    /// touching the patched memory (that recv loop is the safety
+    /// barrier for the raw pointers the shards carry).
+    pub(super) fn dispatch(
+        shards: Vec<Vec<(SendPtr, u64, u64)>>,
+        journaling: bool,
+    ) -> Vec<Receiver<Vec<(u64, u64)>>> {
+        if shards.is_empty() {
+            return Vec::new();
+        }
+        let pool = POOL.get_or_init(|| {
+            let (queue, rx) = channel();
+            Mutex::new(PatchPool {
+                queue,
+                intake: Arc::new(Mutex::new(rx)),
+                spawned: 0,
+            })
+        });
+        let mut pool = pool.lock().expect("patch pool poisoned");
+        while pool.spawned < shards.len() {
+            let intake = pool.intake.clone();
+            std::thread::Builder::new()
+                .name("carat-patch-worker".into())
+                .spawn(move || worker_loop(intake))
+                .expect("spawn patch worker");
+            pool.spawned += 1;
+        }
+        shards
+            .into_iter()
+            .map(|shard| {
+                let (reply, receiver) = channel();
+                pool.queue
+                    .send(Job {
+                        shard,
+                        journaling,
+                        reply,
+                    })
+                    .expect("patch pool queue closed");
+                receiver
+            })
+            .collect()
+    }
+}
 
 impl PatchPlan {
     /// Build the plan for moving `[src, src+len)` to `dst` across one or
@@ -425,7 +562,7 @@ impl PatchPlan {
         journal: Option<&mut PatchJournal>,
     ) {
         let n = self.cells.len();
-        if workers > 1 && n >= PARALLEL_MIN_CELLS && self.cell_windows_disjoint() {
+        if workers > 1 && n >= parallel_min_cells() && self.cell_windows_disjoint() {
             if let Some(ptrs) = self.resolve_ptrs(mem) {
                 self.apply_parallel(ptrs, workers, journal);
                 return;
@@ -488,39 +625,33 @@ impl PatchPlan {
         // every other (checked by `cell_windows_disjoint`; distinct cell
         // addresses reach distinct backing regions per the `cell_ptr`
         // contract), each window is written by exactly one worker, and
-        // `mem` is untouched for the duration of the scope.
-        let segments: Vec<Vec<(u64, u64)>> = std::thread::scope(|s| {
-            let handles: Vec<_> = shards
-                .into_iter()
-                .map(|shard| {
-                    s.spawn(move || {
-                        let mut seg = Vec::with_capacity(if journaling { shard.len() } else { 0 });
-                        for (SendPtr(ptr), new, cell) in shard {
-                            if journaling {
-                                let mut b = [0u8; 8];
-                                unsafe { std::ptr::copy_nonoverlapping(ptr, b.as_mut_ptr(), 8) };
-                                seg.push((cell, u64::from_le_bytes(b)));
-                            }
-                            let bytes = new.to_le_bytes();
-                            unsafe { std::ptr::copy_nonoverlapping(bytes.as_ptr(), ptr, 8) };
-                        }
-                        seg
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("patch worker panicked"))
-                .collect()
-        });
+        // `mem` is untouched until every dispatched shard has replied —
+        // the recv loop below re-creates the barrier `thread::scope`
+        // used to provide, without paying its per-apply fork/join.
+        let mut shards = shards.into_iter();
+        let first = shards.next().unwrap_or_default();
+        let pending = pool::dispatch(shards.collect(), journaling);
+        let mut segments: Vec<Vec<(u64, u64)>> = Vec::with_capacity(pending.len() + 1);
+        // The calling thread is worker 0: its shard overlaps with the
+        // pool's, so the serial share of the apply is one shard, not the
+        // whole plan.
+        segments.push(apply_shard(first, journaling));
+        for rx in pending {
+            segments.push(rx.recv().expect("patch worker panicked"));
+        }
         if let Some(j) = journal {
-            // Merge per-shard journals in shard order == plan order.
+            // Merge per-shard journals in shard order == plan order. The
+            // comparison offset is plan-local: a batched journal already
+            // carries earlier moves' entries, so `j.cells.len()` is not
+            // an index into THIS plan's cells.
             j.cells.reserve(n);
+            let mut off = 0usize;
             for seg in segments {
                 debug_assert!(seg
                     .iter()
-                    .zip(&self.cells[j.cells.len()..])
+                    .zip(&self.cells[off..])
                     .all(|(&(cell, old), p)| cell == p.cell && old == p.old));
+                off += seg.len();
                 j.cells.extend(seg);
             }
         }

@@ -233,6 +233,17 @@ impl TenantState {
     /// that externalize then drop the state get a byte-exact replacement
     /// from [`TenantState::rehydrate`].
     pub fn externalize(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.externalize_into(&mut out);
+        out
+    }
+
+    /// [`TenantState::externalize`] into a caller-pooled buffer: `out`
+    /// is cleared first and its capacity reused, so steady-state capsule
+    /// churn against a fleet scratch buffer performs zero host
+    /// allocations. The encoded bytes are identical to
+    /// [`TenantState::externalize`]'s.
+    pub fn externalize_into(&self, out: &mut Vec<u8>) {
         // Exhaustive destructure: adding a TenantState field without
         // deciding its capsule treatment is a compile error, not a
         // silently-dropped field.
@@ -269,9 +280,10 @@ impl TenantState {
             slice_limit,
             slice_cycle_limit,
         } = self;
-        let mut e = Enc {
-            buf: Vec::with_capacity(256 + self.footprint_bytes()),
-        };
+        let mut buf = std::mem::take(out);
+        buf.clear();
+        buf.reserve(256 + self.footprint_bytes());
+        let mut e = Enc { buf };
         e.u64(CAPSULE_MAGIC);
 
         // --- image (module handle excluded) ---
@@ -440,7 +452,7 @@ impl TenantState {
         e.u64(*bail_cycles_at);
         e.u64(*slice_limit);
         e.u64(*slice_cycle_limit);
-        e.buf
+        *out = e.buf;
     }
 
     /// Rebuild a tenant from a capsule image plus the host-side handles

@@ -37,8 +37,9 @@ use crate::machine::{Engine, Mode, RunResult, SliceExit, TenantState, Vm, VmConf
 use crate::supervise::{PendingRestart, Supervisor, SupervisorConfig, TenantExit, Verdict};
 use carat_ir::Module;
 use carat_kernel::{
-    AdmissionError, DmaCompletion, DmaDir, FaultPlan, KernelError, Pid, PinError, ProcAccounting,
-    ProcState, ProtectionFault, SharedId, SimKernel, TenantQuotas, POISON_BASE, POISON_SLOT_SPAN,
+    AdmissionError, ArenaStats, DmaCompletion, DmaDir, FaultPlan, KernelError, LoadError, Pid,
+    PinError, ProcAccounting, ProcState, ProtectionFault, SharedId, SimKernel, TenantQuotas,
+    POISON_BASE, POISON_SLOT_SPAN,
 };
 use carat_runtime::{AllocKind, AllocationTable, MemAccess};
 
@@ -134,6 +135,15 @@ pub struct MultiVmConfig {
     /// strongest form of the bystander-determinism guarantee. The pool
     /// is reaped in full when the tenant dies.
     pub tenant_pool_pages: u64,
+    /// Epoch-based pressure scanning: slots a pressure pass examines
+    /// when choosing its externalization and compaction victims (`0` =
+    /// unbounded, the pre-epoch full rescan). The scan is a clock hand
+    /// over the tenant slab — each pass picks up where the last left
+    /// off, so every slot is still examined once per `fleet /
+    /// pressure_scan_limit` passes, but per-pass cost is bounded and
+    /// independent of fleet size. Fleets no larger than the limit get
+    /// exactly the full-scan victims.
+    pub pressure_scan_limit: usize,
 }
 
 impl Default for MultiVmConfig {
@@ -154,6 +164,7 @@ impl Default for MultiVmConfig {
             externalize_watermark: 100,
             backpressure_watermark: 101,
             tenant_pool_pages: 0,
+            pressure_scan_limit: 64,
         }
     }
 }
@@ -277,6 +288,24 @@ pub struct MultiVm {
     /// quarantined) — prepended to [`MultiVm::run`]'s report list so a
     /// supervised fleet still accounts for every admission.
     retired: Vec<ProcReport>,
+    /// Pooled externalization scratch: capsule images are encoded into
+    /// and decoded from this one buffer, so steady-state
+    /// externalize/rehydrate churn performs zero host allocations (the
+    /// kernel-side arena pools the parked copies).
+    scratch: Vec<u8>,
+    /// Clock hand of the epoch-based externalization scan: the slab
+    /// index the next pressure pass starts examining from.
+    scan_hand: usize,
+    /// Modeled cycles spent admitting tenants (verify + quota + stamp;
+    /// fleet-level — admission predates the tenant, so there is no
+    /// per-tenant accounting to charge).
+    admission_cycles: u64,
+    /// Modeled cycles spent scanning for pressure victims
+    /// (externalization coldness + compaction escapes), and the slots
+    /// those scans examined. The fleet bench's flatness gate reads
+    /// these: per-slice scan cost must not grow with fleet size.
+    pressure_scan_cycles: u64,
+    pressure_scan_slots: u64,
 }
 
 impl MultiVm {
@@ -300,6 +329,11 @@ impl MultiVm {
             retired: Vec::new(),
             cfg,
             slices: 0,
+            scratch: Vec::new(),
+            scan_hand: 0,
+            admission_cycles: 0,
+            pressure_scan_cycles: 0,
+            pressure_scan_slots: 0,
         };
         for spec in specs {
             mv.spawn(spec)?;
@@ -351,6 +385,66 @@ impl MultiVm {
         self.admit(name, module, cfg, true)
     }
 
+    /// Admit N tenants from one shared module in a single admission
+    /// pass: the module is verified and measured ONCE, the backpressure
+    /// gate is consulted ONCE, and each tenant is then stamped through
+    /// the preverified load path. Tenant `i` is named
+    /// `{name_prefix}{i}`, and its image, counters, guards, and capsule
+    /// bytes are bit-identical to the tenant the `i`-th sequential
+    /// [`MultiVm::spawn_shared`] call would have produced — only the
+    /// modeled admission cost differs ([`MultiVm::admission_cycles`]
+    /// grows by `verify + quota + n × stamp` instead of `n × (verify +
+    /// quota + stamp)`).
+    ///
+    /// All-or-nothing: a mid-batch refusal (per-tenant kernel quota,
+    /// loader OOM) kills the tenants already stamped and returns the
+    /// error — the fleet is left exactly as before the call.
+    ///
+    /// # Errors
+    ///
+    /// See [`MultiVm::spawn_shared`], plus [`LoadError::Verify`] when
+    /// the template module fails verification (checked here, since the
+    /// per-tenant path skips it).
+    pub fn spawn_batch(
+        &mut self,
+        name_prefix: &str,
+        module: Rc<Module>,
+        cfg: VmConfig,
+        n: usize,
+    ) -> Result<Vec<Pid>, VmError> {
+        // Rung 4, consulted once for the whole batch.
+        let utilization_pct = self.utilization_pct();
+        if utilization_pct >= self.cfg.backpressure_watermark {
+            return Err(VmError::Admission(AdmissionError::Backpressure {
+                utilization_pct,
+                watermark_pct: self.cfg.backpressure_watermark,
+            }));
+        }
+        // Verify and measure the template once; every stamp below skips
+        // both. `text_len` is exactly what the sequential path computes,
+        // so stamped images are bit-identical to sequential ones.
+        carat_ir::verify_module(&module).map_err(|e| VmError::Load(LoadError::Verify(e)))?;
+        let text_len = carat_ir::print_module(&module).len() as u64;
+        self.admission_cycles += self.kernel.cost.admit_verify + self.kernel.cost.admit_quota;
+        let mut pids = Vec::with_capacity(n);
+        for i in 0..n {
+            self.admission_cycles += self.kernel.cost.admit_stamp;
+            let name = format!("{name_prefix}{i}");
+            match self.admit_load(&name, module.clone(), cfg.clone(), true, Some(text_len)) {
+                Ok(pid) => pids.push(pid),
+                Err(e) => {
+                    // Unwind the partial batch: admission is
+                    // all-or-nothing.
+                    for pid in pids {
+                        self.kill(pid);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(pids)
+    }
+
     fn admit(
         &mut self,
         name: &str,
@@ -368,6 +462,27 @@ impl MultiVm {
                 watermark_pct: self.cfg.backpressure_watermark,
             }));
         }
+        // A sequential admission pays the full toll: verification,
+        // quota consultation, and the capsule stamp.
+        self.admission_cycles += self.kernel.cost.admit_verify
+            + self.kernel.cost.admit_quota
+            + self.kernel.cost.admit_stamp;
+        self.admit_load(name, module, cfg, share_program, None)
+    }
+
+    /// The admission tail shared by the sequential and batch paths:
+    /// everything after the backpressure gate and cost charge. With
+    /// `preverified = Some(text_len)` the loader skips module
+    /// verification and the text-length walk (the batch entry point did
+    /// both once for the whole batch).
+    fn admit_load(
+        &mut self,
+        name: &str,
+        module: Rc<Module>,
+        cfg: VmConfig,
+        share_program: bool,
+        preverified: Option<u64>,
+    ) -> Result<Pid, VmError> {
         if let Some(plan) = cfg.fault_plan.clone() {
             self.kernel.install_fault_plan(plan);
         }
@@ -377,9 +492,17 @@ impl MultiVm {
         // regions would be swept into the newcomer's entry.
         self.kernel.proc_park();
         let mut table = AllocationTable::new();
-        let image = self
-            .kernel
-            .load_shared(module.clone(), &mut table, cfg.load)?;
+        let image = match preverified {
+            None => self
+                .kernel
+                .load_shared(module.clone(), &mut table, cfg.load)?,
+            Some(text_len) => self.kernel.load_shared_preverified(
+                module.clone(),
+                text_len,
+                &mut table,
+                cfg.load,
+            )?,
+        };
         let pid = self.kernel.register_proc(name, image.clone())?;
         if let Err(e) = self
             .kernel
@@ -535,6 +658,25 @@ impl MultiVm {
             .ok_or(TenancyError::NotResident(pid))
     }
 
+    /// The capsule image of tenant `pid` — the exact bytes
+    /// [`MultiVm::externalize_tenant`] would write, serialized from the
+    /// resident state without consuming it. Differential suites compare
+    /// these across admission paths: two tenants whose images are
+    /// byte-identical are in bit-identical execution states.
+    ///
+    /// # Errors
+    ///
+    /// [`TenancyError::NoSuchTenant`] for a killed or recycled pid;
+    /// [`TenancyError::NotResident`] while the tenant's capsule is
+    /// externalized to the device.
+    pub fn capsule_image(&self, pid: Pid) -> Result<Vec<u8>, TenancyError> {
+        let t = self.tenant(pid)?;
+        t.state
+            .as_ref()
+            .map(TenantState::externalize)
+            .ok_or(TenancyError::NotResident(pid))
+    }
+
     /// The supervisor's decision log and tallies, when supervision is
     /// configured.
     pub fn supervisor(&self) -> Option<&Supervisor> {
@@ -544,6 +686,34 @@ impl MultiVm {
     /// Fleet slices executed so far.
     pub fn slices(&self) -> u64 {
         self.slices
+    }
+
+    /// Modeled cycles spent admitting tenants (verification, quota
+    /// consultation, capsule stamping). Batch admission amortizes the
+    /// verify + quota share across the batch, so this is the bench's
+    /// measure of the batch-vs-sequential admission win.
+    pub fn admission_cycles(&self) -> u64 {
+        self.admission_cycles
+    }
+
+    /// Modeled cycles spent scanning for pressure victims, and the
+    /// slots examined. Bounded per pass by
+    /// [`MultiVmConfig::pressure_scan_limit`], so cycles-per-pass stays
+    /// flat as the fleet grows — the bench's flatness gate reads this.
+    pub fn pressure_scan_cycles(&self) -> u64 {
+        self.pressure_scan_cycles
+    }
+
+    /// Slab slots examined by pressure-victim scans so far.
+    pub fn pressure_scan_slots(&self) -> u64 {
+        self.pressure_scan_slots
+    }
+
+    /// Pool accounting of the kernel's capsule arena (live/pooled
+    /// bytes, high-water marks, alloc/reuse/reap counters) — the fleet
+    /// bench's arena columns.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.kernel.arena_stats()
     }
 
     /// Current frame utilization of the shared kernel arena, in percent
@@ -600,8 +770,14 @@ impl MultiVm {
             .as_mut()
             .and_then(|t| t.state.take())
             .ok_or(VmError::Kernel(KernelError::StaleTenant { pid }))?;
-        let bytes = state.externalize();
-        match self.kernel.capsule_write(bytes) {
+        // Encode into the fleet's pooled scratch buffer; the kernel
+        // copies it into a pooled arena slot. Steady-state churn
+        // allocates nothing on the host.
+        let mut buf = std::mem::take(&mut self.scratch);
+        state.externalize_into(&mut buf);
+        let wrote = self.kernel.capsule_write_from(&buf);
+        self.scratch = buf;
+        match wrote {
             Ok(slot) => {
                 if let Some(t) = self.slots[idx].as_mut() {
                     t.external = Some(slot);
@@ -647,19 +823,28 @@ impl MultiVm {
             }
         };
         // The read consumes the slot whether or not it verifies; the
-        // resident marker is cleared on every path below.
-        let read = self.kernel.capsule_read(slot);
-        let t = self.slots[idx]
-            .as_mut()
-            .ok_or(VmError::Kernel(KernelError::StaleTenant { pid }))?;
-        t.external = None;
-        let bytes = match read {
-            Ok(bytes) => bytes,
-            Err(e) => return Err(VmError::Kernel(e)),
+        // resident marker is cleared on every path below. The image is
+        // copied out of its arena slot into the pooled scratch buffer —
+        // no allocation on the steady-state path.
+        let mut buf = std::mem::take(&mut self.scratch);
+        let read = self.kernel.capsule_read_into(slot, &mut buf);
+        let Some(t) = self.slots[idx].as_mut() else {
+            self.scratch = buf;
+            return Err(VmError::Kernel(KernelError::StaleTenant { pid }));
         };
-        match TenantState::rehydrate(&bytes, t.cfg.clone(), t.module.clone(), t.program.clone()) {
+        t.external = None;
+        if let Err(e) = read {
+            self.scratch = buf;
+            return Err(VmError::Kernel(e));
+        }
+        let state =
+            TenantState::rehydrate(&buf, t.cfg.clone(), t.module.clone(), t.program.clone());
+        self.scratch = buf;
+        match state {
             Some(state) => {
-                t.state = Some(state);
+                if let Some(t) = self.slots[idx].as_mut() {
+                    t.state = Some(state);
+                }
                 if let Some(e) = self.kernel.procs.get_mut(pid) {
                     e.accounting.rehydrations += 1;
                 }
@@ -1207,32 +1392,62 @@ impl MultiVm {
         // by design — a device refusal (injected CapsuleWrite fault)
         // leaves the tenant resident and untouched.
         if self.utilization_pct() >= self.cfg.externalize_watermark {
-            if let Some(cold) = self.coldest_resident() {
+            if let Some(cold) = self.scan_coldest() {
                 let _ = self.externalize_tenant(cold);
             }
         }
     }
 
-    /// The coldest tenant that still holds resident state: the one
-    /// scheduled longest ago — the externalization rung's victim.
-    /// Tenants holding pinned DMA bytes are not candidates: the device
-    /// addresses their memory physically, and [`MultiVm::externalize_tenant`]
-    /// would refuse them anyway.
-    fn coldest_resident(&self) -> Option<Pid> {
-        self.slots
-            .iter()
-            .flatten()
-            .filter(|t| {
-                t.outcome.is_none() && t.state.is_some() && self.kernel.pinned_bytes_of(t.pid) == 0
-            })
-            .min_by_key(|t| t.last_ran)
-            .map(|t| t.pid)
+    /// The externalization rung's victim pick, as an epoch scan: examine
+    /// up to [`MultiVmConfig::pressure_scan_limit`] slab slots starting
+    /// at the clock hand, take the coldest eligible tenant seen (least
+    /// recent `last_ran`; not exited, resident, and holding no pinned
+    /// DMA bytes — the device addresses pinned memory physically, and
+    /// [`MultiVm::externalize_tenant`] would refuse anyway), and advance
+    /// the hand past the examined window. Per-pass cost is bounded by
+    /// the limit, independent of fleet size; a fleet no larger than the
+    /// limit is examined in full, which is exactly the pre-epoch
+    /// `coldest_resident` full rescan.
+    fn scan_coldest(&mut self) -> Option<Pid> {
+        let n = self.slots.len();
+        if n == 0 {
+            return None;
+        }
+        let limit = match self.cfg.pressure_scan_limit {
+            0 => n,
+            l => l.min(n),
+        };
+        let mut best: Option<(u64, Pid)> = None;
+        for step in 0..limit {
+            let idx = (self.scan_hand + step) % n;
+            if let Some(t) = self.slots[idx].as_ref() {
+                if t.outcome.is_none()
+                    && t.state.is_some()
+                    && self.kernel.pinned_bytes_of(t.pid) == 0
+                    && best.is_none_or(|(coldest, _)| t.last_ran < coldest)
+                {
+                    best = Some((t.last_ran, t.pid));
+                }
+            }
+        }
+        self.scan_hand = (self.scan_hand + limit) % n;
+        self.pressure_scan_slots += limit as u64;
+        self.pressure_scan_cycles += limit as u64 * self.kernel.cost.pressure_scan_per_slot;
+        best.map(|(_, pid)| pid)
     }
 
     /// Rungs 1–2: journaled compaction moves plus a page-out against
-    /// the tenant carrying the most live escapes.
+    /// the tenant carrying the most live escapes. The victim pick is
+    /// bounded by the same epoch limit as the externalization scan; the
+    /// run queue's rotation supplies the clock hand.
     fn compaction_rungs(&mut self) {
-        let Some(victim) = self.kernel.procs.pick_compaction_victim() else {
+        let (victim, examined) = self
+            .kernel
+            .procs
+            .pick_compaction_victim_bounded(self.cfg.pressure_scan_limit);
+        self.pressure_scan_slots += examined as u64;
+        self.pressure_scan_cycles += examined as u64 * self.kernel.cost.pressure_scan_per_slot;
+        let Some(victim) = victim else {
             return;
         };
         // Compaction is a CARAT mechanism: moves rely on the victim's

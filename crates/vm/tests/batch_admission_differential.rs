@@ -1,0 +1,286 @@
+//! Batch-admission differential suite: `MultiVm::spawn_batch` must be
+//! observationally identical, per tenant, to the same number of
+//! sequential [`MultiVm::spawn_shared`] calls — every [`PerfCounters`]
+//! field (guard tallies included) and the tenant's capsule bytes —
+//! across every engine and both worlds. The only permitted divergence
+//! is the modeled admission toll: the batch pays one verify + quota
+//! pass for the whole batch where the sequential path pays it per
+//! tenant.
+//!
+//! Also the transactional half: a mid-batch quota refusal unwinds every
+//! tenant already stamped, leaving the fleet exactly as before the
+//! call.
+
+use std::rc::Rc;
+
+use carat_core::{CaratCompiler, CompileOptions};
+use carat_ir::{GlobalInit, Module, ModuleBuilder, Pred, Type};
+use carat_kernel::{AdmissionError, LoadConfig, Pid, TenantQuotas};
+use carat_vm::{Engine, Mode, MultiVm, MultiVmConfig, ProcOutcome, VmConfig, VmError};
+use proptest::prelude::*;
+
+const ENGINES: [Engine; 4] = [
+    Engine::Fused,
+    Engine::Decoded,
+    Engine::Reference,
+    Engine::Threaded,
+];
+
+/// Heap block published into a global cell (one escape), then a loop
+/// storing/loading `i` through the cell: memory traffic, guards, and an
+/// escaped pointer — everything a capsule carries. Returns sum of i for
+/// i in 0..n = n*(n-1)/2.
+fn workload_module(n: i64) -> Module {
+    let mut mb = ModuleBuilder::new("batch_workload");
+    let cell = mb.global("cell", Type::Ptr, GlobalInit::Zero);
+    let f = mb.declare("main", vec![], Some(Type::I64));
+    {
+        let mut b = mb.define(f);
+        let e = b.block("entry");
+        let h = b.block("loop.h");
+        let l = b.block("loop.b");
+        let x = b.block("exit");
+        b.switch_to(e);
+        let nn = b.const_i64(n);
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        let size = b.const_i64(256);
+        let p = b.malloc(size);
+        let ga = b.global_addr(cell);
+        b.store(Type::Ptr, ga, p);
+        b.jmp(h);
+        b.switch_to(h);
+        let i = b.phi(Type::I64, vec![(e, zero)]);
+        let s = b.phi(Type::I64, vec![(e, zero)]);
+        let c = b.icmp(Pred::Slt, i, nn);
+        b.br(c, l, x);
+        b.switch_to(l);
+        let q = b.load(Type::Ptr, ga);
+        b.store(Type::I64, q, i);
+        let v = b.load(Type::I64, q);
+        let s2 = b.add(s, v);
+        let i2 = b.add(i, one);
+        b.phi_add_incoming(i, l, i2);
+        b.phi_add_incoming(s, l, s2);
+        b.jmp(h);
+        b.switch_to(x);
+        b.ret(Some(s));
+    }
+    mb.finish()
+}
+
+fn template(mode: Mode) -> Rc<Module> {
+    let m = workload_module(120);
+    Rc::new(if mode == Mode::Carat {
+        CaratCompiler::new(CompileOptions::default())
+            .compile(m)
+            .expect("instruments")
+            .module
+    } else {
+        m
+    })
+}
+
+fn vm_cfg(engine: Engine, mode: Mode) -> VmConfig {
+    VmConfig {
+        engine,
+        mode,
+        // Microservice-sized capsules (the fleet bench's sizing): the
+        // workload touches a few hundred heap bytes, and small capsules
+        // keep a ten-tenant fleet far from the kernel's frame limit.
+        load: LoadConfig {
+            stack_size: 8 * 1024,
+            heap_size: 16 * 1024,
+            page_size: 4096,
+        },
+        ..VmConfig::default()
+    }
+}
+
+fn empty_fleet(quantum: u64) -> MultiVm {
+    MultiVm::new(
+        vec![],
+        MultiVmConfig {
+            quantum,
+            ..MultiVmConfig::default()
+        },
+    )
+    .expect("an empty fleet builds")
+}
+
+/// The two admission paths under test, over identical kernels: one
+/// `spawn_batch` call vs `n` sequential spawns using the same
+/// `{prefix}{i}` names the batch stamps.
+fn spawn_both(engine: Engine, mode: Mode, quantum: u64, n: usize) -> (MultiVm, MultiVm, Vec<Pid>) {
+    let module = template(mode);
+    let cfg = vm_cfg(engine, mode);
+    let mut batch = empty_fleet(quantum);
+    let batch_pids = batch
+        .spawn_batch("t", module.clone(), cfg.clone(), n)
+        .expect("batch admits");
+    let mut seq = empty_fleet(quantum);
+    let seq_pids: Vec<Pid> = (0..n)
+        .map(|i| {
+            seq.spawn_shared(&format!("t{i}"), module.clone(), cfg.clone())
+                .expect("sequential spawn admits")
+        })
+        .collect();
+    assert_eq!(batch_pids, seq_pids, "same slab slots in the same order");
+    (batch, seq, batch_pids)
+}
+
+#[test]
+fn batch_equals_sequential_for_every_engine_and_mode() {
+    for engine in ENGINES {
+        for mode in [Mode::Carat, Mode::Traditional] {
+            let n = 3;
+            let (mut batch, mut seq, pids) = spawn_both(engine, mode, 97, n);
+
+            // The modeled admission toll is the ONLY divergence: one
+            // verify + quota pass vs one per tenant.
+            assert_eq!(
+                batch.admission_cycles(),
+                batch.kernel.cost.admit_batch_cost(n as u64),
+                "{engine:?}/{mode:?}: batch toll"
+            );
+            assert_eq!(
+                seq.admission_cycles(),
+                seq.kernel.cost.admit_sequential_cost(n as u64),
+                "{engine:?}/{mode:?}: sequential toll"
+            );
+
+            // Mid-run at a prime quantum (slice boundaries land
+            // mid-loop): counters and capsule bytes are bit-identical
+            // per tenant.
+            assert_eq!(batch.run_batch(5), seq.run_batch(5));
+            for &pid in &pids {
+                assert_eq!(
+                    batch.counters(pid).expect("resident"),
+                    seq.counters(pid).expect("resident"),
+                    "{engine:?}/{mode:?} {pid}: mid-run counters"
+                );
+                assert_eq!(
+                    batch.capsule_image(pid).expect("resident"),
+                    seq.capsule_image(pid).expect("resident"),
+                    "{engine:?}/{mode:?} {pid}: capsule bytes must be \
+                     bit-identical across admission paths"
+                );
+            }
+
+            // And to completion: every report matches field for field.
+            let br = batch.run();
+            let sr = seq.run();
+            assert_eq!(br.len(), n);
+            assert_eq!(sr.len(), n);
+            for (b, s) in br.iter().zip(&sr) {
+                assert_eq!(b.name, s.name);
+                let (ProcOutcome::Finished(rb), ProcOutcome::Finished(rs)) =
+                    (&b.outcome, &s.outcome)
+                else {
+                    panic!("{engine:?}/{mode:?} {}: both arms finish", b.name);
+                };
+                assert_eq!(rb.ret, 120 * 119 / 2, "{}: correct result", b.name);
+                assert_eq!(rb.ret, rs.ret);
+                assert_eq!(
+                    rb.counters, rs.counters,
+                    "{engine:?}/{mode:?} {}: final counters",
+                    b.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_admission_amortizes_the_verify_pass() {
+    let n = 10;
+    let (batch, seq, _) = spawn_both(Engine::Fused, Mode::Carat, 4096, n);
+    assert!(
+        seq.admission_cycles() >= 5 * batch.admission_cycles(),
+        "batch admission must be >=5x cheaper in modeled cycles \
+         (sequential {} vs batch {})",
+        seq.admission_cycles(),
+        batch.admission_cycles()
+    );
+    // The acceptance bar at fleet scale, from the same cost model the
+    // fleets charged.
+    let cost = &batch.kernel.cost;
+    assert!(cost.admit_sequential_cost(10_000) >= 5 * cost.admit_batch_cost(10_000));
+}
+
+#[test]
+fn refused_batch_unwinds_completely() {
+    let module = template(Mode::Carat);
+    let cfg = vm_cfg(Engine::Fused, Mode::Carat);
+    let mut mv = MultiVm::new(
+        vec![],
+        MultiVmConfig {
+            quotas: TenantQuotas {
+                max_tenants: 4,
+                ..TenantQuotas::default()
+            },
+            ..MultiVmConfig::default()
+        },
+    )
+    .expect("empty fleet builds");
+    let err = mv
+        .spawn_batch("t", module.clone(), cfg.clone(), 6)
+        .expect_err("the 5th stamp exceeds the tenant quota");
+    assert!(
+        matches!(
+            err,
+            VmError::Admission(AdmissionError::TenantLimit { limit: 4 })
+        ),
+        "typed quota refusal, got {err:?}"
+    );
+    assert_eq!(mv.len(), 0, "partial stamps are unwound");
+
+    // The unwind released every frame and pid: a full-quota batch then
+    // admits and runs cleanly on the same kernel.
+    let pids = mv
+        .spawn_batch("t", module, cfg, 4)
+        .expect("full-quota batch admits after the unwind");
+    assert_eq!(pids.len(), 4);
+    let reports = mv.run();
+    assert_eq!(reports.len(), 4);
+    for r in &reports {
+        let ProcOutcome::Finished(rr) = &r.outcome else {
+            panic!("{}: finishes after unwind", r.name);
+        };
+        assert_eq!(rr.ret, 120 * 119 / 2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any fleet size, quantum, engine, and world: after any number of
+    /// slices, every tenant admitted by the batch path is in a
+    /// bit-identical execution state (counters + capsule bytes) to its
+    /// sequentially admitted twin.
+    #[test]
+    fn batch_equals_sequential_any_slicing(
+        n in 1usize..6,
+        quantum in 150u64..4000,
+        slices in 1u64..12,
+        engine_idx in 0usize..4,
+        traditional in proptest::bool::ANY,
+    ) {
+        let engine = ENGINES[engine_idx];
+        let mode = if traditional { Mode::Traditional } else { Mode::Carat };
+        let (mut batch, mut seq, pids) = spawn_both(engine, mode, quantum, n);
+        prop_assert_eq!(batch.run_batch(slices), seq.run_batch(slices));
+        for &pid in &pids {
+            // Finished tenants keep their state in the slot until
+            // teardown, so both lookups succeed mid-run or after.
+            prop_assert_eq!(
+                batch.counters(pid).expect("resident"),
+                seq.counters(pid).expect("resident")
+            );
+            prop_assert_eq!(
+                batch.capsule_image(pid).expect("resident"),
+                seq.capsule_image(pid).expect("resident")
+            );
+        }
+    }
+}
